@@ -1,0 +1,34 @@
+//! # efactory-baselines — the paper's comparison systems
+//!
+//! All five prior designs the eFactory paper evaluates against (§5.3),
+//! implemented on the same code base as eFactory itself (the data
+//! structures, protocol, and substrates from the `efactory` crate), exactly
+//! as the authors did for their apples-to-apples comparison:
+//!
+//! | System | PUT | GET | Durability of a PUT |
+//! |---|---|---|---|
+//! | [`ca_noper`] | RPC alloc + RDMA write | 2 RDMA reads, unverified | none |
+//! | [`rpc_store`] | value through RPC; server copies + flushes | RPC + RDMA read | on ack |
+//! | [`saw`] | RPC alloc + RDMA write + RDMA send (persist) | 2 RDMA reads | on ack |
+//! | [`imm`] | RPC alloc + write_with_imm; server flushes | 2 RDMA reads | on ack |
+//! | [`erda`] | RPC alloc + RDMA write; 8-byte atomic metadata | 2 RDMA reads + client CRC (+1 fallback read) | never explicit |
+//! | [`forca`] | like Erda + metadata indirection | RPC (server CRC + persist) + RDMA read | on first read |
+//!
+//! eFactory itself (background verification, durability flag, hybrid read)
+//! lives in the `efactory` crate; "eFactory w/o hybrid read" is its client
+//! with `hybrid_read: false`.
+
+pub mod ca_noper;
+pub mod common;
+pub mod erda;
+pub mod forca;
+pub mod imm;
+pub mod rpc_store;
+pub mod saw;
+
+pub use ca_noper::{CaNoperClient, CaNoperServer};
+pub use erda::{ErdaClient, ErdaServer};
+pub use forca::{ForcaClient, ForcaServer};
+pub use imm::{ImmClient, ImmServer};
+pub use rpc_store::{RpcClient, RpcServer};
+pub use saw::{SawClient, SawServer};

@@ -1,0 +1,38 @@
+//! Micro-benchmark: CRC32C throughput (host time) — slice-by-8 vs the
+//! bitwise reference, across the paper's value sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use efactory_checksum::{crc32c, crc32c_bitwise, Crc32c};
+
+fn bench_crc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crc32c");
+    for size in [64usize, 256, 1024, 4096] {
+        let data = vec![0xA5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("slice_by_8", size), &data, |b, d| {
+            b.iter(|| crc32c(std::hint::black_box(d)))
+        });
+        group.bench_with_input(BenchmarkId::new("incremental_64B_chunks", size), &data, |b, d| {
+            b.iter(|| {
+                let mut h = Crc32c::new();
+                for chunk in d.chunks(64) {
+                    h.update(chunk);
+                }
+                h.finalize()
+            })
+        });
+    }
+    // The reference only at one size (it is slow by design).
+    let data = vec![0xA5u8; 1024];
+    group.bench_function("bitwise_reference/1024", |b| {
+        b.iter(|| crc32c_bitwise(std::hint::black_box(&data)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_crc
+}
+criterion_main!(benches);

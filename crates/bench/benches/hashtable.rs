@@ -1,0 +1,45 @@
+//! Micro-benchmark: the NVM hash index (host time) — claims, lookups, and
+//! the client-side window scan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use efactory::hashtable::{find_in_window, fingerprint, HashTable, BUCKET_LEN, NPROBE};
+use efactory_pmem::PmemPool;
+
+fn bench_ht(c: &mut Criterion) {
+    let buckets = 16 * 1024;
+    let pool = PmemPool::new(HashTable::region_len(buckets));
+    let ht = HashTable::new(0, buckets);
+    // Populate 25 % load.
+    for i in 0..buckets / 4 {
+        let fp = fingerprint(format!("key-{i}").as_bytes());
+        ht.lookup_or_claim(&pool, fp).expect("claim");
+    }
+    let mut group = c.benchmark_group("hashtable");
+    group.bench_function("lookup_hit", |b| {
+        let fp = fingerprint(b"key-100");
+        b.iter(|| ht.lookup(&pool, std::hint::black_box(fp)))
+    });
+    group.bench_function("lookup_miss", |b| {
+        let fp = fingerprint(b"no-such-key");
+        b.iter(|| ht.lookup(&pool, std::hint::black_box(fp)))
+    });
+    group.bench_function("fingerprint_32B_key", |b| {
+        let key = [0x42u8; 32];
+        b.iter(|| fingerprint(std::hint::black_box(&key)))
+    });
+    group.bench_function("client_window_scan", |b| {
+        let fp = fingerprint(b"key-100");
+        let home = ht.home(fp);
+        let mut window = vec![0u8; NPROBE * BUCKET_LEN];
+        pool.read(ht.entry_off(home), &mut window);
+        b.iter(|| find_in_window(std::hint::black_box(&window), fp))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_ht
+}
+criterion_main!(benches);

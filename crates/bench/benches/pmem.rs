@@ -1,0 +1,49 @@
+//! Micro-benchmark: the persistent-memory model (host time) — working-image
+//! writes, flushes, and crash resolution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use efactory_pmem::{CrashSpec, PmemPool};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_pmem(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pmem");
+    for size in [64usize, 1024, 4096] {
+        let pool = PmemPool::new(1 << 20);
+        let data = vec![0x5Au8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("write", size), &data, |b, d| {
+            b.iter(|| pool.write(4096, std::hint::black_box(d)))
+        });
+        group.bench_with_input(BenchmarkId::new("write_flush", size), &data, |b, d| {
+            b.iter(|| {
+                pool.write(4096, std::hint::black_box(d));
+                pool.persist(4096, d.len());
+            })
+        });
+    }
+    group.bench_function("crash_drop_all/1MiB_dirty", |b| {
+        let pool = PmemPool::new(1 << 20);
+        let blob = vec![0xFFu8; 1 << 20];
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            pool.write(0, &blob);
+            pool.crash(CrashSpec::DropAll, &mut rng)
+        })
+    });
+    group.bench_function("aligned_u64_store_load", |b| {
+        let pool = PmemPool::new(4096);
+        b.iter(|| {
+            pool.write_u64(64, 0xDEAD_BEEF);
+            pool.read_u64(64)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pmem
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Per-system operation benchmarks.
+//!
+//! Two things happen here:
+//!
+//! 1. The **virtual-time** p50 latencies of single PUT/GET operations are
+//!    computed for each system and printed as a table — a fast Figure 1 /
+//!    Figure 2 cross-check (deterministic, host-independent):
+//!    PUT: CA w/o persistence < eFactory < IMM < RPC < SAW;
+//!    GET: eFactory < Forca < Erda (at 4 KB).
+//! 2. Criterion measures the **host time** of executing a complete small
+//!    experiment per system — i.e. how fast the simulator itself runs,
+//!    which bounds how long the figure binaries take on a given machine.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use efactory_harness::{cluster, Cleaning, ExperimentSpec, SystemKind};
+use efactory_ycsb::Mix;
+
+fn spec(system: SystemKind, mix: Mix, value_len: usize) -> ExperimentSpec {
+    ExperimentSpec {
+        system,
+        mix,
+        value_len,
+        key_len: 32,
+        clients: 1,
+        ops_per_client: 200,
+        record_count: 128,
+        seed: 13,
+        cleaning: Cleaning::Disabled,
+        force_clean: false,
+    }
+}
+
+fn print_virtual_latency_table() {
+    println!("\nvirtual-time p50 latencies (deterministic; Figure 1/2 cross-check)");
+    println!("{:<22} {:>12} {:>12}", "system", "PUT 64B (us)", "PUT 4KB (us)");
+    for system in [
+        SystemKind::CaNoper,
+        SystemKind::EFactory,
+        SystemKind::Imm,
+        SystemKind::Rpc,
+        SystemKind::Saw,
+    ] {
+        let s = cluster::run(&spec(system, Mix::UpdateOnly, 64));
+        let l = cluster::run(&spec(system, Mix::UpdateOnly, 4096));
+        println!(
+            "{:<22} {:>12.2} {:>12.2}",
+            system.label(),
+            s.put.p50_us(),
+            l.put.p50_us()
+        );
+    }
+    println!("{:<22} {:>12} {:>12}", "system", "GET 64B (us)", "GET 4KB (us)");
+    for system in [SystemKind::EFactory, SystemKind::Erda, SystemKind::Forca] {
+        let s = cluster::run(&spec(system, Mix::C, 64));
+        let l = cluster::run(&spec(system, Mix::C, 4096));
+        println!(
+            "{:<22} {:>12.2} {:>12.2}",
+            system.label(),
+            s.get.p50_us(),
+            l.get.p50_us()
+        );
+    }
+    println!();
+}
+
+fn bench_simulator_host_time(c: &mut Criterion) {
+    print_virtual_latency_table();
+
+    // Host-time cost of a complete small experiment (preload + 200 ops),
+    // per system: measures the DES kernel + store implementation overheads.
+    let mut group = c.benchmark_group("sim_host_time_small_experiment");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for system in [SystemKind::EFactory, SystemKind::Saw, SystemKind::Erda] {
+        group.bench_function(
+            BenchmarkId::new("ycsb_a_200ops", system.label().replace(' ', "_")),
+            move |b| b.iter(|| cluster::run(&spec(system, Mix::A, 256))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator_host_time);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Micro-benchmark: the discrete-event kernel's host-side overheads — how
+//! fast the simulator itself executes events and messages. These numbers
+//! bound how long the figure binaries take on a given machine; they say
+//! nothing about virtual-time results (which are host-independent).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use efactory_sim::{self as sim, Sim};
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_kernel");
+    group.bench_function("sleep_event_round_trip", |b| {
+        b.iter(|| {
+            let mut simu = Sim::new(0);
+            simu.spawn("p", || {
+                for _ in 0..100 {
+                    sim::sleep(10);
+                }
+            });
+            simu.run().expect_ok()
+        })
+    });
+    group.bench_function("channel_msg_round_trip", |b| {
+        b.iter(|| {
+            let mut simu = Sim::new(0);
+            let (tx, rx) = simu.channel::<u32>();
+            let (tx2, rx2) = simu.channel::<u32>();
+            simu.spawn("server", move || {
+                while let Ok(v) = rx.recv() {
+                    if tx2.send(v, 100).is_err() {
+                        break;
+                    }
+                }
+            });
+            simu.spawn("client", move || {
+                for i in 0..100 {
+                    tx.send(i, 100).unwrap();
+                    rx2.recv().unwrap();
+                }
+            });
+            simu.run()
+        })
+    });
+    group.bench_function("spawn_join_10_processes", |b| {
+        b.iter(|| {
+            let mut simu = Sim::new(0);
+            simu.spawn("root", || {
+                let handles: Vec<_> = (0..10)
+                    .map(|i| sim::spawn(&format!("w{i}"), move || sim::sleep(i * 7)))
+                    .collect();
+                for h in &handles {
+                    h.join();
+                }
+            });
+            simu.run().expect_ok()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kernel
+}
+criterion_main!(benches);

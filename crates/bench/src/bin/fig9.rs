@@ -1,0 +1,69 @@
+//! **Figure 9** — "End-to-end throughput comparison with different value
+//! sizes": the six systems (eFactory, eFactory w/o hybrid read, SAW, IMM,
+//! Erda, Forca) on four YCSB workloads × four value sizes, with 8
+//! concurrent clients.
+//!
+//! Paper's observations to reproduce:
+//! * (a) read-only: eFactory ≈ IMM ≈ SAW; Erda degrades as values grow
+//!   (client CRC); Forca is lowest (RPC on every read); at 4 KB eFactory is
+//!   1.96× Erda and 1.67× Forca;
+//! * (b) 95 % GET: eFactory ≈ SAW ≈ 95 % of IMM, still 1.74×/1.61× over
+//!   Erda/Forca;
+//! * (c) 50 % GET: eFactory highest at every size;
+//! * (d) update-only: eFactory beats IMM by 0.42–2.79× and SAW by
+//!   0.66–2.85× (improvement ratios), 5–22 % over Erda, ≳ Forca at small
+//!   values.
+//!
+//! Pass `--workload {a|b|c|u}` to run one panel; default runs all four.
+
+use efactory_bench::{mix_tag, size_label, spec, VALUE_SIZES};
+use efactory_harness::{cluster, RunResult, SystemKind, Table};
+use efactory_ycsb::Mix;
+
+fn run_panel(mix: Mix) {
+    println!("--- Figure 9 panel: {} (8 clients) ---", mix_tag(mix));
+    let mut table = Table::new(vec!["system", "size", "Mops/s", "vs eFactory"]);
+    for &size in &VALUE_SIZES {
+        let mut results: Vec<(SystemKind, RunResult)> = Vec::new();
+        for system in SystemKind::comparison() {
+            let s = spec(system, mix, size);
+            results.push((system, cluster::run(&s)));
+        }
+        let ef = results
+            .iter()
+            .find(|(k, _)| *k == SystemKind::EFactory)
+            .map(|(_, r)| r.mops)
+            .expect("eFactory run");
+        for (system, r) in &results {
+            table.row(vec![
+                system.label().to_string(),
+                size_label(size),
+                format!("{:.3}", r.mops),
+                format!("{:.2}x", r.mops / ef),
+            ]);
+        }
+    }
+    table.print();
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args
+        .iter()
+        .position(|a| a == "--workload")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str());
+    println!("Figure 9: end-to-end throughput vs value size\n");
+    let panels: Vec<Mix> = match which {
+        Some("a") => vec![Mix::A],
+        Some("b") => vec![Mix::B],
+        Some("c") => vec![Mix::C],
+        Some("u") => vec![Mix::UpdateOnly],
+        _ => vec![Mix::C, Mix::B, Mix::A, Mix::UpdateOnly],
+    };
+    for mix in panels {
+        run_panel(mix);
+    }
+    println!("factor analysis: compare 'eFactory' vs 'eFactory w/o hr' rows (the hybrid-read contribution).");
+}

@@ -1,0 +1,56 @@
+//! **Headline claims** (abstract + §6): the improvement-ratio summary the
+//! paper quotes, derived from the same runs as Figure 9.
+//!
+//! * write (update-only): eFactory outperforms IMM by 0.42–2.79× and SAW by
+//!   0.66–2.85× (improvement ratio = eF/other − 1);
+//! * read (read-only): eFactory's throughput is 1.3–1.96× Erda's (at sizes
+//!   where CRC matters, i.e. excluding 64 B — see the paper's footnote 2)
+//!   and 1.24–1.67× Forca's.
+
+use efactory_bench::{size_label, spec, VALUE_SIZES};
+use efactory_harness::{cluster, SystemKind, Table};
+use efactory_ycsb::Mix;
+
+fn main() {
+    println!("Headline ratios (derived from Figure 9 runs)\n");
+
+    // Update-only panel.
+    let mut tw = Table::new(vec!["size", "eF/IMM - 1", "eF/SAW - 1", "eF/Erda", "eF/Forca"]);
+    for &size in &VALUE_SIZES {
+        let ef = cluster::run(&spec(SystemKind::EFactory, Mix::UpdateOnly, size)).mops;
+        let imm = cluster::run(&spec(SystemKind::Imm, Mix::UpdateOnly, size)).mops;
+        let saw = cluster::run(&spec(SystemKind::Saw, Mix::UpdateOnly, size)).mops;
+        let erda = cluster::run(&spec(SystemKind::Erda, Mix::UpdateOnly, size)).mops;
+        let forca = cluster::run(&spec(SystemKind::Forca, Mix::UpdateOnly, size)).mops;
+        tw.row(vec![
+            size_label(size),
+            format!("{:+.2}x", ef / imm - 1.0),
+            format!("{:+.2}x", ef / saw - 1.0),
+            format!("{:.2}x", ef / erda),
+            format!("{:.2}x", ef / forca),
+        ]);
+    }
+    println!("write (update-only, 8 clients):");
+    tw.print();
+    println!("paper: vs IMM +0.42..+2.79x; vs SAW +0.66..+2.85x; vs Erda +5..22%\n");
+
+    // Read-only panel.
+    let mut tr = Table::new(vec!["size", "eF/Erda", "eF/Forca", "eF/IMM", "eF/SAW"]);
+    for &size in &VALUE_SIZES {
+        let ef = cluster::run(&spec(SystemKind::EFactory, Mix::C, size)).mops;
+        let erda = cluster::run(&spec(SystemKind::Erda, Mix::C, size)).mops;
+        let forca = cluster::run(&spec(SystemKind::Forca, Mix::C, size)).mops;
+        let imm = cluster::run(&spec(SystemKind::Imm, Mix::C, size)).mops;
+        let saw = cluster::run(&spec(SystemKind::Saw, Mix::C, size)).mops;
+        tr.row(vec![
+            size_label(size),
+            format!("{:.2}x", ef / erda),
+            format!("{:.2}x", ef / forca),
+            format!("{:.2}x", ef / imm),
+            format!("{:.2}x", ef / saw),
+        ]);
+    }
+    println!("read (read-only, 8 clients):");
+    tr.print();
+    println!("paper: vs Erda 1.3-1.96x (beyond 64B); vs Forca 1.24-1.67x; ~= IMM/SAW (gap ~2%)");
+}

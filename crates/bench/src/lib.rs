@@ -1,0 +1,75 @@
+//! # efactory-bench — benchmark harness
+//!
+//! Two families of targets:
+//!
+//! * **Per-figure binaries** (`src/bin/fig*.rs`) regenerate every table and
+//!   figure of the paper's evaluation section. Run e.g.
+//!   `cargo run --release -p efactory-bench --bin fig9`. Results are
+//!   deterministic (virtual-time measurement on a seeded simulator).
+//! * **Criterion micro-benchmarks** (`benches/`) cover the substrates:
+//!   checksum throughput, pmem flush/crash, fabric verbs, hash table, and
+//!   per-system single-op latencies.
+//!
+//! The `EF_OPS_SCALE` environment variable scales the per-client operation
+//! counts of the figure binaries (default 1.0; smaller = faster, noisier).
+
+use efactory_harness::{ExperimentSpec, SystemKind};
+use efactory_ycsb::Mix;
+
+/// The value sizes the paper sweeps in Figures 1, 2, and 9.
+pub const VALUE_SIZES: [usize; 4] = [64, 256, 1024, 4096];
+
+/// Scale an op count by `EF_OPS_SCALE`.
+pub fn scaled_ops(base: usize) -> usize {
+    let scale: f64 = std::env::var("EF_OPS_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    ((base as f64 * scale) as usize).max(50)
+}
+
+/// Paper-flavored spec with the scaled default op count.
+pub fn spec(system: SystemKind, mix: Mix, value_len: usize) -> ExperimentSpec {
+    let mut s = ExperimentSpec::paper(system, mix, value_len);
+    s.ops_per_client = scaled_ops(s.ops_per_client);
+    s
+}
+
+/// Pretty size label (64B / 1KB / ...).
+pub fn size_label(bytes: usize) -> String {
+    if bytes >= 1024 && bytes.is_multiple_of(1024) {
+        format!("{}KB", bytes / 1024)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Mix label used in figure tables.
+pub fn mix_tag(mix: Mix) -> &'static str {
+    match mix {
+        Mix::C => "YCSB-C 100%GET",
+        Mix::B => "YCSB-B 95%GET",
+        Mix::A => "YCSB-A 50%GET",
+        Mix::UpdateOnly => "Update-only",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(size_label(64), "64B");
+        assert_eq!(size_label(1024), "1KB");
+        assert_eq!(size_label(4096), "4KB");
+        assert_eq!(size_label(100), "100B");
+    }
+
+    #[test]
+    fn scaled_ops_has_floor() {
+        // Without the env var the base passes through.
+        std::env::remove_var("EF_OPS_SCALE");
+        assert_eq!(scaled_ops(2000), 2000);
+    }
+}

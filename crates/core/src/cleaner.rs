@@ -1,0 +1,324 @@
+//! Two-stage log cleaning (paper §4.4, Figure 7).
+//!
+//! Triggered when the active pool passes the fill threshold:
+//!
+//! * **Stage 1 — log compressing.** Clients are notified to switch to the
+//!   RPC+RDMA read scheme. The cleaner reverse-scans the old pool
+//!   (newest → oldest), relocates the latest version of each key into the
+//!   new pool, and skips stale versions. New writes keep flowing into the
+//!   old pool.
+//! * **Stage 2 — log merging.** New writes switch to the new pool. The
+//!   cleaner reverse-scans the objects written *during* compression and
+//!   merges them, skipping any key whose newest version already lives in
+//!   the new pool (the paper's D1/D2 rule).
+//! * **Finish.** For every surviving key the mark bit flips to the new
+//!   pool's slot and the old offset clears; keys with no intact version
+//!   left are dropped. The old pool is zeroed (freed) and clients are told
+//!   to resume hybrid reads.
+//!
+//! Relocated objects are always made durable first (CRC verify + flush if
+//! needed), mirroring the GET handler's durability guarantee; an in-flight
+//! latest version is waited on up to the verifier timeout, exactly like the
+//! background verifier would.
+//!
+//! Chain maintenance: when a relocated object has a newer successor in the
+//! old pool, the successor's `PrePTR` is repointed at the relocated copy
+//! and its `Trans` flag set (paper §4.2.2) so version-list traversal keeps
+//! working while both pools are live.
+
+use std::collections::HashSet;
+use std::sync::atomic::Ordering;
+
+use efactory_rnic::Notifier;
+use efactory_sim as sim;
+
+use crate::layout::{self, flags, ObjHeader, NIL};
+use crate::protocol::Event;
+use crate::server::{CleanPhase, ServerShared};
+
+/// Cleaner main loop: watch the active pool, clean when it fills up.
+pub fn run(shared: &ServerShared, notifier: &Notifier) {
+    loop {
+        if shared.stopping() {
+            return;
+        }
+        let active = shared.active.load(Ordering::Relaxed);
+        let requested = shared.clean_request.swap(false, Ordering::Relaxed);
+        if shared.phase() == CleanPhase::Normal
+            && (requested || shared.logs[active].fill_frac() >= shared.cfg.clean_threshold)
+        {
+            clean(shared, notifier);
+        }
+        sim::sleep(shared.cfg.clean_poll);
+    }
+}
+
+/// Run one full cleaning pass (public so tests and the Figure 11 harness
+/// can force cleaning at a chosen instant).
+pub fn clean(shared: &ServerShared, notifier: &Notifier) {
+    let old = shared.active.load(Ordering::Relaxed);
+    let new = 1 - old;
+    if shared.logs[new].is_empty() {
+        return; // single-pool deployment: nowhere to clean into
+    }
+    shared.stats.cleanings.fetch_add(1, Ordering::Relaxed);
+
+    // ---- Stage 1: log compressing -----------------------------------------
+    let _ = notifier.notify_all(&Event::CleanStart.encode());
+    shared
+        .clean_phase
+        .store(CleanPhase::Compress as u8, Ordering::Relaxed);
+    let compress_start = shared.logs[old].head();
+    let offs = shared.logs[old].scan_until(&shared.pool, compress_start);
+    let mut seen: HashSet<u64> = HashSet::with_capacity(offs.len());
+    for &off in offs.iter().rev() {
+        if shared.stopping() {
+            return;
+        }
+        sim::work(shared.cost.cpu_hash_ns);
+        let hdr = ObjHeader::read_from(&shared.pool, off);
+        let key = layout::read_key(&shared.pool, off, &hdr);
+        let fp = crate::hashtable::fingerprint(&key);
+        if !seen.insert(fp) {
+            shared.stats.reclaimed_versions.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        relocate(shared, off, fp, new, CleanPhase::Compress);
+    }
+
+    // ---- Stage 2: log merging ---------------------------------------------
+    shared
+        .clean_phase
+        .store(CleanPhase::Merge as u8, Ordering::Relaxed);
+    // From here on the handler allocates in the new pool; the old pool's
+    // head is frozen.
+    let merge_end = shared.logs[old].head();
+    let offs2 = shared.logs[old].scan_until(&shared.pool, merge_end);
+    let mut seen2: HashSet<u64> = HashSet::new();
+    for &off in offs2.iter().rev() {
+        if off < compress_start {
+            break; // reached the compress range (offs are sorted ascending)
+        }
+        if shared.stopping() {
+            return;
+        }
+        sim::work(shared.cost.cpu_hash_ns);
+        let hdr = ObjHeader::read_from(&shared.pool, off);
+        let key = layout::read_key(&shared.pool, off, &hdr);
+        let fp = crate::hashtable::fingerprint(&key);
+        if !seen2.insert(fp) {
+            shared.stats.reclaimed_versions.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        relocate(shared, off, fp, new, CleanPhase::Merge);
+    }
+
+    // ---- Finish --------------------------------------------------------------
+    let buckets = shared.ht.buckets();
+    for idx in 0..buckets {
+        if shared.stopping() {
+            return;
+        }
+        // Mutation block: read-check-update one bucket without yielding.
+        let e = shared.ht.read(&shared.pool, idx);
+        if e.fp == 0 {
+            continue;
+        }
+        if e.ctl.mark() == new {
+            // Key first written during the merge phase (fresh bucket whose
+            // mark was pointed straight at the new pool): nothing to flip.
+            debug_assert_eq!(e.slot[old], 0, "merge-fresh key with an old-pool offset");
+            continue;
+        }
+        if e.ctl.new_valid() {
+            debug_assert_ne!(e.slot[new], 0, "new_valid without a new-pool offset");
+            shared.ht.set_slot(&shared.pool, idx, old, 0);
+            shared
+                .ht
+                .set_ctl(&shared.pool, idx, e.ctl.with_mark(new).with_new_valid(false).bumped());
+        } else {
+            // No intact version made it to the new pool: the key's chain
+            // was entirely torn/invalid, so the key was never durably
+            // written. Drop it.
+            shared.ht.clear(&shared.pool, idx);
+        }
+        let lines = shared.ht.persist_entry(&shared.pool, idx);
+        sim::work(shared.cost.flush(lines * efactory_pmem::LINE) + shared.cost.cpu_hash_ns / 4);
+    }
+
+    // Swap pools, repoint the verifier, free the old region.
+    shared.active.store(new, Ordering::Relaxed);
+    shared
+        .clean_phase
+        .store(CleanPhase::Normal as u8, Ordering::Relaxed);
+    shared
+        .cursor_pool
+        .store(new, Ordering::Relaxed);
+    shared
+        .cursor
+        .store(shared.logs[new].base() as u64, Ordering::Relaxed);
+    shared.clean_epoch.fetch_add(1, Ordering::Relaxed);
+    let (obase, olen) = (shared.logs[old].base(), shared.logs[old].len());
+    shared.pool.zero_region(obase, olen);
+    shared.logs[old].reset();
+    let _ = notifier.notify_all(&Event::CleanEnd.encode());
+}
+
+/// Relocate the version chain headed at `head_off` (the newest version of
+/// its key within the scanned range) into pool `dst`.
+fn relocate(shared: &ServerShared, head_off: usize, fp: u64, dst: usize, stage: CleanPhase) {
+    let Some((idx, entry)) = shared.ht.lookup(&shared.pool, fp) else {
+        return; // bucket dropped (e.g. tombstone reclaimed earlier)
+    };
+
+    // Merge-stage D1/D2 rule: if the key's newest version already lives in
+    // the new pool (written during merging, or relocated during
+    // compression and not superseded), skip this old-pool version —
+    // provided the new-pool one is durable or can be made durable.
+    if stage == CleanPhase::Merge && entry.ctl.new_valid() {
+        let new_off = entry.slot[dst];
+        if new_off != 0 {
+            let new_hdr = ObjHeader::read_from(&shared.pool, new_off as usize);
+            let head_hdr = ObjHeader::read_from(&shared.pool, head_off);
+            if new_hdr.seq >= head_hdr.seq && ensure_intact(shared, new_off as usize).is_some() {
+                shared.stats.reclaimed_versions.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+
+    // Wait for an in-flight head (bounded by the verifier timeout), then
+    // pick the newest intact version of the chain.
+    let src = loop {
+        let hdr = ObjHeader::read_from(&shared.pool, head_off);
+        if hdr.has(flags::DURABLE) {
+            break Some((head_off, hdr));
+        }
+        if hdr.has(flags::VALID) {
+            sim::work(shared.cost.crc_hw(hdr.vlen as usize));
+            if shared.crc_matches(head_off, &hdr) {
+                break Some((head_off, hdr));
+            }
+            if sim::now().saturating_sub(hdr.alloc_time) <= shared.cfg.verify_timeout {
+                // Still within its window — wait like the verifier would.
+                sim::sleep(shared.cfg.verify_idle);
+                // A newer version may have appeared while waiting; if so,
+                // a later scan position (or the merge stage) owns this key.
+                if let Some((_, e2)) = shared.ht.lookup(&shared.pool, fp) {
+                    if shared.current_off(&e2) != head_off as u64 {
+                        return;
+                    }
+                }
+                continue;
+            }
+            // Timed out: invalidate, like the verifier.
+            layout::update_flags(&shared.pool, head_off, 0, flags::VALID);
+            shared.pool.flush(head_off, 8);
+            shared.pool.drain();
+            shared.stats.bg_timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        // Fall back along the chain for the newest intact ancestor.
+        break walk_chain(shared, hdr.pre_ptr);
+    };
+    let Some((src_off, src_hdr)) = src else {
+        return; // nothing intact: the finish pass drops the bucket
+    };
+
+    // Tombstone heading the chain: the key is deleted; reclaim it now if
+    // it is still the key's current version.
+    if src_hdr.has(flags::TOMBSTONE) {
+        let e = shared.ht.read(&shared.pool, idx);
+        if shared.current_off(&e) == head_off as u64 {
+            shared.ht.clear(&shared.pool, idx);
+            shared.ht.persist_entry(&shared.pool, idx);
+            shared.stats.reclaimed_versions.fetch_add(1, Ordering::Relaxed);
+        }
+        return;
+    }
+
+    // Copy into the destination pool (already durable ⇒ copy is durable).
+    let size = src_hdr.object_size();
+    let Some(noff) = shared.logs[dst].alloc(size) else {
+        panic!(
+            "log cleaning ran out of space in the destination pool \
+             (size the pools with more slack)"
+        );
+    };
+    // ---- mutation block: build the relocated object ----
+    let mut reloc_hdr = src_hdr;
+    reloc_hdr.pre_ptr = NIL;
+    reloc_hdr.next_ptr = NIL;
+    reloc_hdr.flags = src_hdr.flags | flags::DURABLE;
+    reloc_hdr.write_to(&shared.pool, noff);
+    let mut body = vec![0u8; size - layout::HDR_LEN];
+    shared.pool.read(src_off + layout::HDR_LEN, &mut body);
+    shared.pool.write(noff + layout::HDR_LEN, &body);
+    // If the source was verified-intact but not yet flagged durable,
+    // persist the copy (and the flag is already set in the copy's header).
+    shared.pool.flush(noff, size);
+    shared.pool.drain();
+    // ---- end mutation block ----
+    sim::work(shared.cost.memcpy(size) + shared.cost.flush(size));
+
+    // Link: if the key's current version is still `head_off`, point the
+    // entry's new-pool slot at the copy; otherwise repair the successor's
+    // back-pointer (paper's PrePTR fix + Trans flag).
+    let e = shared.ht.read(&shared.pool, idx);
+    if shared.current_off(&e) == head_off as u64 {
+        shared.ht.set_slot(&shared.pool, idx, dst, noff as u64);
+        shared.ht.set_sizes(&shared.pool, idx, src_hdr.klen, src_hdr.vlen);
+        shared
+            .ht
+            .set_ctl(&shared.pool, idx, e.ctl.with_new_valid(true).bumped());
+        shared.ht.persist_entry(&shared.pool, idx);
+    } else if src_hdr.next_ptr != NIL {
+        let succ = src_hdr.next_ptr as usize;
+        layout::set_pre_ptr(&shared.pool, succ, noff as u64);
+        layout::update_flags(&shared.pool, succ, flags::TRANS, 0);
+        shared.pool.flush(succ, 24);
+        shared.pool.drain();
+    }
+    shared.stats.relocated.fetch_add(1, Ordering::Relaxed);
+    sim::work(shared.cost.cpu_hash_ns);
+}
+
+/// Newest intact (durable or CRC-verifiable) version along a `pre_ptr`
+/// chain, persisting it if needed.
+fn walk_chain(shared: &ServerShared, mut off: u64) -> Option<(usize, ObjHeader)> {
+    while off != 0 && off != NIL {
+        let hdr = ObjHeader::read_from(&shared.pool, off as usize);
+        if hdr.has(flags::VALID) {
+            if hdr.has(flags::DURABLE) {
+                return Some((off as usize, hdr));
+            }
+            sim::work(shared.cost.crc_hw(hdr.vlen as usize));
+            if shared.crc_matches(off as usize, &hdr) {
+                let lines = shared.persist_object(off as usize, &hdr);
+                sim::work(shared.cost.flush(lines * efactory_pmem::LINE));
+                let hdr = ObjHeader::read_from(&shared.pool, off as usize);
+                return Some((off as usize, hdr));
+            }
+        }
+        off = hdr.pre_ptr;
+    }
+    None
+}
+
+/// Check (and if needed make) the object at `off` durable; `None` if torn.
+fn ensure_intact(shared: &ServerShared, off: usize) -> Option<usize> {
+    let hdr = ObjHeader::read_from(&shared.pool, off);
+    if hdr.has(flags::DURABLE) {
+        return Some(off);
+    }
+    if !hdr.has(flags::VALID) {
+        return None;
+    }
+    sim::work(shared.cost.crc_hw(hdr.vlen as usize));
+    if shared.crc_matches(off, &hdr) {
+        let lines = shared.persist_object(off, &hdr);
+        sim::work(shared.cost.flush(lines * efactory_pmem::LINE));
+        Some(off)
+    } else {
+        None
+    }
+}

@@ -1,0 +1,315 @@
+//! The eFactory client: PUT with asynchronous durability, and the hybrid
+//! read scheme for GET (paper §4.3, Figures 5 and 6).
+//!
+//! * **PUT** — one SEND-based RPC to allocate (the server persists the
+//!   object metadata and links the hash entry), then a one-sided RDMA write
+//!   of the value. The client does *not* wait for durability; the server's
+//!   background process provides it asynchronously.
+//! * **GET (hybrid)** — optimistically pure one-sided: read the hash-entry
+//!   probe window, locate the entry, read the whole object, and check the
+//!   durability flag embedded in it. If the flag shows the object is not
+//!   yet fully durable (or any validation fails), fall back to the
+//!   RPC+RDMA read scheme, where the server guarantees durability before
+//!   exposing the offset.
+//! * During **log cleaning** the server broadcasts `CleanStart`/`CleanEnd`
+//!   events and the client pins itself to the RPC+RDMA scheme (§4.4).
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use efactory_checksum::crc32c;
+use efactory_rnic::{ClientQp, Fabric, Node};
+
+use crate::hashtable::{find_in_window, fingerprint, BUCKET_LEN, NPROBE};
+use crate::layout::{self, flags, ObjHeader};
+use crate::protocol::{Event, Request, Response, Status, StoreError};
+use crate::server::StoreDesc;
+
+/// The uniform client interface the experiment harness drives. All six
+/// systems of the paper's comparison (eFactory and the five baselines)
+/// implement it, so workloads are system-agnostic.
+pub trait RemoteKv {
+    /// Store `value` under `key` with whatever durability contract the
+    /// system provides.
+    fn kv_put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError>;
+    /// Read `key`; `Ok(None)` means absent.
+    fn kv_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError>;
+}
+
+/// Client knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Use the hybrid read scheme; `false` gives "eFactory w/o hr" (always
+    /// RPC+RDMA read), the factor-analysis configuration of §6.1.
+    pub hybrid_read: bool,
+    /// Bounded retries for the RPC read path (validation hiccups).
+    pub max_rpc_retries: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            hybrid_read: true,
+            max_rpc_retries: 3,
+        }
+    }
+}
+
+/// Which path served a GET (exposed for tests and the factor analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GetOutcome {
+    /// Pure RDMA read path succeeded (durability flag was set).
+    Pure,
+    /// Fell back to the RPC+RDMA read scheme.
+    Fallback,
+    /// RPC+RDMA was used directly (hybrid disabled or cleaning active).
+    RpcOnly,
+}
+
+/// Per-client counters.
+#[derive(Debug, Default)]
+pub struct ClientStats {
+    /// GETs served by the pure one-sided path.
+    pub pure_hits: Cell<u64>,
+    /// GETs that started pure and fell back to RPC.
+    pub fallbacks: Cell<u64>,
+    /// GETs that went straight to RPC (cleaning / hybrid disabled).
+    pub rpc_only: Cell<u64>,
+    /// PUTs completed.
+    pub puts: Cell<u64>,
+}
+
+/// A connected eFactory client. Not `Sync`: one client per simulated
+/// process, like one QP per thread in the paper's testbed.
+pub struct Client {
+    qp: ClientQp,
+    desc: StoreDesc,
+    cfg: ClientConfig,
+    /// Set between CleanStart and CleanEnd notifications.
+    cleaning: Cell<bool>,
+    stats: ClientStats,
+}
+
+impl Client {
+    /// Connect `local` to the server on `server_node` described by `desc`.
+    /// Must run inside a simulated process.
+    pub fn connect(
+        fabric: &Arc<Fabric>,
+        local: &Node,
+        server_node: &Node,
+        desc: StoreDesc,
+        cfg: ClientConfig,
+    ) -> Result<Client, StoreError> {
+        let qp = fabric.connect(local, server_node)?;
+        Ok(Client {
+            qp,
+            desc,
+            cfg,
+            cleaning: Cell::new(false),
+            stats: ClientStats::default(),
+        })
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
+    }
+
+    /// Drain pending server notifications (cleaning state).
+    fn poll_events(&self) {
+        while let Some(ev) = self.qp.try_event() {
+            match Event::decode(&ev) {
+                Some(Event::CleanStart) => self.cleaning.set(true),
+                Some(Event::CleanEnd) => self.cleaning.set(false),
+                None => {}
+            }
+        }
+    }
+
+    fn rpc(&self, req: &Request) -> Result<Response, StoreError> {
+        let raw = self.qp.rpc(req.encode())?;
+        Response::decode(&raw).ok_or(StoreError::Protocol)
+    }
+
+    /// Store `value` under `key`. Returns when the RDMA write is acked —
+    /// durability is asynchronous (the paper's client-active scheme).
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        self.poll_events();
+        let req = Request::Put {
+            key: key.to_vec(),
+            vlen: value.len() as u32,
+            crc: crc32c(value),
+        };
+        match self.rpc(&req)? {
+            Response::Put {
+                status: Status::Ok,
+                value_off,
+                ..
+            } => {
+                if !value.is_empty() {
+                    self.qp
+                        .rdma_write(&self.desc.mr, value_off as usize, value.to_vec())?;
+                }
+                self.stats.puts.set(self.stats.puts.get() + 1);
+                Ok(())
+            }
+            Response::Put { status, .. } => Err(StoreError::Status(status)),
+            _ => Err(StoreError::Protocol),
+        }
+    }
+
+    /// Delete `key` (tombstone).
+    pub fn del(&self, key: &[u8]) -> Result<(), StoreError> {
+        self.poll_events();
+        match self.rpc(&Request::Del { key: key.to_vec() })? {
+            Response::Ack { status: Status::Ok } => Ok(()),
+            Response::Ack { status } => Err(StoreError::Status(status)),
+            _ => Err(StoreError::Protocol),
+        }
+    }
+
+    /// Read `key`. `Ok(None)` means not found (or deleted).
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        Ok(self.get_traced(key)?.0)
+    }
+
+    /// Like [`get`](Self::get), also reporting which path served the read.
+    pub fn get_traced(&self, key: &[u8]) -> Result<(Option<Vec<u8>>, GetOutcome), StoreError> {
+        self.poll_events();
+        if self.cfg.hybrid_read && !self.cleaning.get() {
+            // Step 1-4 of Figure 6: the optimistic pure RDMA read path.
+            match self.try_pure_get(key)? {
+                PureOutcome::Hit(v) => {
+                    self.stats.pure_hits.set(self.stats.pure_hits.get() + 1);
+                    return Ok((v, GetOutcome::Pure));
+                }
+                PureOutcome::NotFound => {
+                    self.stats.pure_hits.set(self.stats.pure_hits.get() + 1);
+                    return Ok((None, GetOutcome::Pure));
+                }
+                PureOutcome::Fallback => {
+                    self.stats.fallbacks.set(self.stats.fallbacks.get() + 1);
+                    let v = self.rpc_get(key)?;
+                    return Ok((v, GetOutcome::Fallback));
+                }
+            }
+        }
+        self.stats.rpc_only.set(self.stats.rpc_only.get() + 1);
+        let v = self.rpc_get(key)?;
+        Ok((v, GetOutcome::RpcOnly))
+    }
+
+    fn try_pure_get(&self, key: &[u8]) -> Result<PureOutcome, StoreError> {
+        let ht = self.desc.layout.hashtable();
+        let fp = fingerprint(key);
+        let home = ht.home(fp);
+        // Step 2: fetch the probe window with one RDMA read.
+        let window = self
+            .qp
+            .rdma_read(&self.desc.mr, ht.entry_off(home), NPROBE * BUCKET_LEN)?;
+        let Some((_, entry)) = find_in_window(&window, fp) else {
+            // Fingerprint absent: the key was never inserted. (Entries are
+            // only removed by cleaning, during which we don't take this
+            // path.)
+            return Ok(PureOutcome::NotFound);
+        };
+        if entry.ctl.new_valid() {
+            // Cleaning is (or just was) rearranging this key; be safe.
+            return Ok(PureOutcome::Fallback);
+        }
+        let off = entry.current();
+        if off == 0 {
+            return Ok(PureOutcome::Fallback);
+        }
+        // Step 3: fetch the object (header + key + value) with one read.
+        let size = layout::object_size(entry.klen as usize, entry.vlen as usize);
+        let obj = self.qp.rdma_read(&self.desc.mr, off as usize, size)?;
+        let Some(hdr) = ObjHeader::decode(&obj) else {
+            return Ok(PureOutcome::Fallback);
+        };
+        // Step 4: validations + the durability flag check.
+        if hdr.klen != entry.klen
+            || hdr.vlen != entry.vlen
+            || hdr.klen as usize != key.len()
+            || !hdr.has(flags::VALID)
+            || !hdr.has(flags::DURABLE)
+        {
+            return Ok(PureOutcome::Fallback);
+        }
+        let key_start = hdr.key_off();
+        if &obj[key_start..key_start + key.len()] != key {
+            return Ok(PureOutcome::Fallback);
+        }
+        if hdr.has(flags::TOMBSTONE) {
+            return Ok(PureOutcome::NotFound);
+        }
+        let v_start = hdr.value_off();
+        Ok(PureOutcome::Hit(Some(
+            obj[v_start..v_start + hdr.vlen as usize].to_vec(),
+        )))
+    }
+
+    /// Steps 5–9 of Figure 6: RPC to the server (which guarantees
+    /// durability before answering), then a one-sided read of the object.
+    fn rpc_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        for _ in 0..=self.cfg.max_rpc_retries {
+            let resp = self.rpc(&Request::Get { key: key.to_vec() })?;
+            let Response::Get {
+                status,
+                obj_off,
+                klen,
+                vlen,
+            } = resp
+            else {
+                return Err(StoreError::Protocol);
+            };
+            match status {
+                Status::NotFound => return Ok(None),
+                Status::Busy => continue,
+                Status::Ok => {}
+                s => return Err(StoreError::Status(s)),
+            }
+            let size = layout::object_size(klen as usize, vlen as usize);
+            let obj = self.qp.rdma_read(&self.desc.mr, obj_off as usize, size)?;
+            let Some(hdr) = ObjHeader::decode(&obj) else {
+                continue;
+            };
+            // The server persisted before replying. The returned version's
+            // key must match, but it may be an *older* version with a
+            // different value length; anything inconsistent is a race with
+            // cleaning — retry through the server.
+            if !hdr.has(flags::DURABLE)
+                || hdr.klen != klen
+                || hdr.vlen != vlen
+                || hdr.klen as usize != key.len()
+            {
+                continue;
+            }
+            let key_start = hdr.key_off();
+            if &obj[key_start..key_start + key.len()] != key {
+                continue;
+            }
+            if hdr.has(flags::TOMBSTONE) {
+                return Ok(None);
+            }
+            let v_start = hdr.value_off();
+            return Ok(Some(obj[v_start..v_start + hdr.vlen as usize].to_vec()));
+        }
+        Err(StoreError::Protocol)
+    }
+}
+
+enum PureOutcome {
+    Hit(Option<Vec<u8>>),
+    NotFound,
+    Fallback,
+}
+
+impl RemoteKv for Client {
+    fn kv_put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        self.put(key, value)
+    }
+    fn kv_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        self.get(key)
+    }
+}

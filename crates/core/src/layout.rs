@@ -1,0 +1,292 @@
+//! On-NVM object layout (paper Figure 4).
+//!
+//! Every object is stored in the log-structured data pool as:
+//!
+//! ```text
+//! ┌──────────── 40-byte header (five 8-byte words) ────────────┐
+//! │ w0: klen:u16 | vlen:u32 | flags:u8 | pad:u8                │
+//! │ w1: pre_ptr  — absolute pool offset of the previous        │
+//! │     version (NIL if none)                                  │
+//! │ w2: next_ptr — absolute pool offset of the next (newer)    │
+//! │     version (maintained for log cleaning)                  │
+//! │ w3: crc:u32 | seq:u32                                      │
+//! │ w4: alloc_time — virtual ns, for the verifier timeout      │
+//! ├────────────────────────────────────────────────────────────┤
+//! │ key bytes, zero-padded to 8                                │
+//! │ value bytes, zero-padded to 8                              │
+//! └────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! This merges the paper's "object" (key, value, durability flag) and its
+//! colocated "object metadata" (vlen, PrePTR, NextPTR, valid, Trans, CRC) —
+//! the colocated variant is the one the authors implemented (§4.2.2).
+//!
+//! The **durability flag** lives in the flags byte of word 0, so a client
+//! that fetches the whole object with a single RDMA read gets the flag for
+//! free (the key of the hybrid read scheme). Flag updates rewrite word 0
+//! in full — an 8-byte atomic store, the NVM failure-atomicity unit.
+
+use efactory_pmem::PmemPool;
+
+/// "No version" marker for `pre_ptr` / `next_ptr`.
+pub const NIL: u64 = u64::MAX;
+
+/// Header length in bytes.
+pub const HDR_LEN: usize = 40;
+
+/// Object flag bits (in word 0).
+pub mod flags {
+    /// The version is live (cleared when the verifier times an object out).
+    pub const VALID: u8 = 1 << 0;
+    /// The object (value + metadata) is fully persisted in NVM.
+    pub const DURABLE: u8 = 1 << 1;
+    /// A delete marker: `vlen == 0` and the key is logically absent.
+    pub const TOMBSTONE: u8 = 1 << 2;
+    /// The previous version of this object has been relocated to the other
+    /// pool by log cleaning (paper's `Trans` identifier).
+    pub const TRANS: u8 = 1 << 3;
+}
+
+/// Round `n` up to a multiple of 8 (layout padding).
+#[inline]
+pub const fn pad8(n: usize) -> usize {
+    n.div_ceil(8) * 8
+}
+
+/// Total on-pool size of an object with the given key/value lengths.
+#[inline]
+pub const fn object_size(klen: usize, vlen: usize) -> usize {
+    HDR_LEN + pad8(klen) + pad8(vlen)
+}
+
+/// A decoded object header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjHeader {
+    /// Key length in bytes.
+    pub klen: u16,
+    /// Value length in bytes (0 for tombstones).
+    pub vlen: u32,
+    /// Flag bits (see [`flags`]).
+    pub flags: u8,
+    /// Absolute pool offset of the previous version ([`NIL`] if none).
+    pub pre_ptr: u64,
+    /// Absolute pool offset of the next (newer) version ([`NIL`] if none).
+    pub next_ptr: u64,
+    /// CRC32C of the value bytes.
+    pub crc: u32,
+    /// Monotonic per-key version sequence (diagnostics).
+    pub seq: u32,
+    /// Virtual time the server allocated this object (verifier timeout).
+    pub alloc_time: u64,
+}
+
+impl ObjHeader {
+    /// Flag check helper.
+    #[inline]
+    pub fn has(&self, bit: u8) -> bool {
+        self.flags & bit != 0
+    }
+
+    /// Size of the whole object on the pool.
+    #[inline]
+    pub fn object_size(&self) -> usize {
+        object_size(self.klen as usize, self.vlen as usize)
+    }
+
+    /// Offset of the key relative to the object start.
+    #[inline]
+    pub fn key_off(&self) -> usize {
+        HDR_LEN
+    }
+
+    /// Offset of the value relative to the object start.
+    #[inline]
+    pub fn value_off(&self) -> usize {
+        HDR_LEN + pad8(self.klen as usize)
+    }
+
+    /// Pack word 0 (sizes + flags).
+    #[inline]
+    pub fn word0(&self) -> u64 {
+        (self.klen as u64) | ((self.vlen as u64) << 16) | ((self.flags as u64) << 48)
+    }
+
+    /// Unpack word 0.
+    #[inline]
+    pub fn from_word0(w: u64) -> (u16, u32, u8) {
+        (w as u16, (w >> 16) as u32, (w >> 48) as u8)
+    }
+
+    /// Write the full header at absolute pool offset `off` (working image;
+    /// caller decides what to flush).
+    pub fn write_to(&self, pool: &PmemPool, off: usize) {
+        pool.write_u64(off, self.word0());
+        pool.write_u64(off + 8, self.pre_ptr);
+        pool.write_u64(off + 16, self.next_ptr);
+        pool.write_u64(off + 24, (self.crc as u64) | ((self.seq as u64) << 32));
+        pool.write_u64(off + 32, self.alloc_time);
+    }
+
+    /// Read a header from absolute pool offset `off`.
+    pub fn read_from(pool: &PmemPool, off: usize) -> ObjHeader {
+        let w0 = pool.read_u64(off);
+        let (klen, vlen, flags) = Self::from_word0(w0);
+        let w3 = pool.read_u64(off + 24);
+        ObjHeader {
+            klen,
+            vlen,
+            flags,
+            pre_ptr: pool.read_u64(off + 8),
+            next_ptr: pool.read_u64(off + 16),
+            crc: w3 as u32,
+            seq: (w3 >> 32) as u32,
+            alloc_time: pool.read_u64(off + 32),
+        }
+    }
+
+    /// Decode a header from a raw byte slice (what a client sees after an
+    /// RDMA read of the object).
+    pub fn decode(buf: &[u8]) -> Option<ObjHeader> {
+        if buf.len() < HDR_LEN {
+            return None;
+        }
+        let w = |i: usize| u64::from_le_bytes(buf[i * 8..(i + 1) * 8].try_into().unwrap());
+        let (klen, vlen, flags) = Self::from_word0(w(0));
+        Some(ObjHeader {
+            klen,
+            vlen,
+            flags,
+            pre_ptr: w(1),
+            next_ptr: w(2),
+            crc: w(3) as u32,
+            seq: (w(3) >> 32) as u32,
+            alloc_time: w(4),
+        })
+    }
+}
+
+/// Atomically update the flags byte of the object at `off` (read-modify-
+/// write of word 0; single 8-byte store).
+pub fn update_flags(pool: &PmemPool, off: usize, set: u8, clear: u8) {
+    let w0 = pool.read_u64(off);
+    let (klen, vlen, flags) = ObjHeader::from_word0(w0);
+    let new_flags = (flags & !clear) | set;
+    let new_w0 = (klen as u64) | ((vlen as u64) << 16) | ((new_flags as u64) << 48);
+    pool.write_u64(off, new_w0);
+}
+
+/// Set `next_ptr` (word 2) of the object at `off`.
+pub fn set_next_ptr(pool: &PmemPool, off: usize, next: u64) {
+    pool.write_u64(off + 16, next);
+}
+
+/// Set `pre_ptr` (word 1) of the object at `off`.
+pub fn set_pre_ptr(pool: &PmemPool, off: usize, pre: u64) {
+    pool.write_u64(off + 8, pre);
+}
+
+/// Read the key bytes of the object whose header is `hdr`, at pool offset
+/// `off`.
+pub fn read_key(pool: &PmemPool, off: usize, hdr: &ObjHeader) -> Vec<u8> {
+    let mut key = vec![0u8; hdr.klen as usize];
+    pool.read(off + hdr.key_off(), &mut key);
+    key
+}
+
+/// Read the value bytes of the object whose header is `hdr`.
+pub fn read_value(pool: &PmemPool, off: usize, hdr: &ObjHeader) -> Vec<u8> {
+    let mut value = vec![0u8; hdr.vlen as usize];
+    pool.read(off + hdr.value_off(), &mut value);
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ObjHeader {
+        ObjHeader {
+            klen: 32,
+            vlen: 2048,
+            flags: flags::VALID | flags::DURABLE,
+            pre_ptr: 0x1234_5678,
+            next_ptr: NIL,
+            crc: 0xDEAD_BEEF,
+            seq: 42,
+            alloc_time: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn header_roundtrip_via_pool() {
+        let pool = PmemPool::new(4096);
+        let h = sample();
+        h.write_to(&pool, 64);
+        assert_eq!(ObjHeader::read_from(&pool, 64), h);
+    }
+
+    #[test]
+    fn header_roundtrip_via_decode() {
+        let pool = PmemPool::new(4096);
+        let h = sample();
+        h.write_to(&pool, 0);
+        let mut buf = vec![0u8; HDR_LEN];
+        pool.read(0, &mut buf);
+        assert_eq!(ObjHeader::decode(&buf), Some(h));
+    }
+
+    #[test]
+    fn decode_rejects_short_buffers() {
+        assert_eq!(ObjHeader::decode(&[0u8; 39]), None);
+    }
+
+    #[test]
+    fn object_size_includes_padding() {
+        assert_eq!(object_size(32, 2048), 40 + 32 + 2048);
+        assert_eq!(object_size(5, 3), 40 + 8 + 8);
+        assert_eq!(object_size(0, 0), 40);
+    }
+
+    #[test]
+    fn flag_update_is_isolated_to_flags() {
+        let pool = PmemPool::new(4096);
+        let h = sample();
+        h.write_to(&pool, 0);
+        update_flags(&pool, 0, flags::TRANS, flags::DURABLE);
+        let h2 = ObjHeader::read_from(&pool, 0);
+        assert_eq!(h2.klen, h.klen);
+        assert_eq!(h2.vlen, h.vlen);
+        assert!(h2.has(flags::VALID));
+        assert!(h2.has(flags::TRANS));
+        assert!(!h2.has(flags::DURABLE));
+    }
+
+    #[test]
+    fn value_and_key_offsets_are_padded() {
+        let h = ObjHeader {
+            klen: 5,
+            vlen: 100,
+            ..sample()
+        };
+        assert_eq!(h.key_off(), 40);
+        assert_eq!(h.value_off(), 48);
+        assert_eq!(h.object_size(), 40 + 8 + 104);
+    }
+
+    #[test]
+    fn key_value_accessors() {
+        let pool = PmemPool::new(4096);
+        let key = b"hello-key";
+        let value = b"world-value-bytes";
+        let h = ObjHeader {
+            klen: key.len() as u16,
+            vlen: value.len() as u32,
+            ..sample()
+        };
+        h.write_to(&pool, 128);
+        pool.write(128 + h.key_off(), key);
+        pool.write(128 + h.value_off(), value);
+        assert_eq!(read_key(&pool, 128, &h), key);
+        assert_eq!(read_value(&pool, 128, &h), value);
+    }
+}

@@ -1,0 +1,448 @@
+//! SEND-based RPC wire protocol.
+//!
+//! Every system in the comparison uses the same request/response framing
+//! (the paper implements all five on one code base, §5.3). Messages are
+//! length-prefixed byte strings with a 1-byte opcode; encoding is manual —
+//! the formats are tiny and fixed, and the decoder is fuzzed by property
+//! tests.
+
+/// Reply status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// Success.
+    Ok = 0,
+    /// Key not present (or no intact version survived).
+    NotFound = 1,
+    /// No free bucket in the key's probe window.
+    TableFull = 2,
+    /// The data pool is out of space.
+    NoSpace = 3,
+    /// Validation failed in a way retries will not fix.
+    Corrupt = 4,
+    /// Transient condition (e.g. cleaning hiccup); retry.
+    Busy = 5,
+}
+
+impl Status {
+    /// Decode a status byte.
+    pub fn from_u8(b: u8) -> Option<Status> {
+        Some(match b {
+            0 => Status::Ok,
+            1 => Status::NotFound,
+            2 => Status::TableFull,
+            3 => Status::NoSpace,
+            4 => Status::Corrupt,
+            5 => Status::Busy,
+            _ => return None,
+        })
+    }
+}
+
+/// Client-facing error type for store operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreError {
+    /// Transport-level failure.
+    Qp(efactory_rnic::QpError),
+    /// The server replied with a non-OK status.
+    Status(Status),
+    /// A reply failed to decode or repeatedly failed validation.
+    Protocol,
+}
+
+impl From<efactory_rnic::QpError> for StoreError {
+    fn from(e: efactory_rnic::QpError) -> Self {
+        StoreError::Qp(e)
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Qp(e) => write!(f, "transport: {e}"),
+            StoreError::Status(s) => write!(f, "server status: {s:?}"),
+            StoreError::Protocol => f.write_str("protocol violation"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Requests a client sends to a server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Allocate space for a PUT (client-active scheme): the server returns
+    /// the offset the client should RDMA-write the value to. Carries the
+    /// CRC so the server can record it in the object metadata.
+    Put {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Value length the client will write.
+        vlen: u32,
+        /// CRC32C of the value.
+        crc: u32,
+    },
+    /// Look up a key (RPC+RDMA read path).
+    Get {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// Delete a key (writes a tombstone version).
+    Del {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// SAW only: "the value at `obj_off` has been written; persist it and
+    /// expose the metadata".
+    Persist {
+        /// Object offset returned by the earlier `Put` reply.
+        obj_off: u64,
+    },
+    /// RPC baseline only: ship the whole value through the two-sided path.
+    RpcPut {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+}
+
+/// Replies a server sends back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Response {
+    /// Reply to `Put`: where the object lives and where to write the value.
+    Put {
+        /// Outcome.
+        status: Status,
+        /// Absolute pool offset of the object (header).
+        obj_off: u64,
+        /// Absolute pool offset the client RDMA-writes the value to.
+        value_off: u64,
+    },
+    /// Reply to `Get`: where to RDMA-read the object from.
+    Get {
+        /// Outcome.
+        status: Status,
+        /// Absolute pool offset of the object (header).
+        obj_off: u64,
+        /// Key length of the returned version.
+        klen: u16,
+        /// Value length of the returned version.
+        vlen: u32,
+    },
+    /// Generic acknowledgement (`Del`, `Persist`, `RpcPut`).
+    Ack {
+        /// Outcome.
+        status: Status,
+    },
+}
+
+/// Asynchronous server→client notifications (cleaning protocol, §4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Log cleaning begins: switch to the RPC+RDMA read scheme.
+    CleanStart,
+    /// Log cleaning finished: hybrid reads are safe again.
+    CleanEnd,
+}
+
+const OP_PUT: u8 = 0x01;
+const OP_GET: u8 = 0x02;
+const OP_DEL: u8 = 0x03;
+const OP_PERSIST: u8 = 0x04;
+const OP_RPC_PUT: u8 = 0x05;
+const OP_R_PUT: u8 = 0x81;
+const OP_R_GET: u8 = 0x82;
+const OP_R_ACK: u8 = 0x83;
+const OP_E_CLEAN_START: u8 = 0xC1;
+const OP_E_CLEAN_END: u8 = 0xC2;
+
+fn put_key(buf: &mut Vec<u8>, key: &[u8]) {
+    buf.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    buf.extend_from_slice(key);
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+    fn u8(&mut self) -> Option<u8> {
+        let b = *self.buf.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+    fn u16(&mut self) -> Option<u16> {
+        let b = self.buf.get(self.pos..self.pos + 2)?;
+        self.pos += 2;
+        Some(u16::from_le_bytes(b.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Option<u32> {
+        let b = self.buf.get(self.pos..self.pos + 4)?;
+        self.pos += 4;
+        Some(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        let b = self.buf.get(self.pos..self.pos + 8)?;
+        self.pos += 8;
+        Some(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+    fn bytes(&mut self, n: usize) -> Option<Vec<u8>> {
+        let b = self.buf.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(b.to_vec())
+    }
+    fn key(&mut self) -> Option<Vec<u8>> {
+        let n = self.u16()? as usize;
+        self.bytes(n)
+    }
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+impl Request {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32);
+        match self {
+            Request::Put { key, vlen, crc } => {
+                buf.push(OP_PUT);
+                put_key(&mut buf, key);
+                buf.extend_from_slice(&vlen.to_le_bytes());
+                buf.extend_from_slice(&crc.to_le_bytes());
+            }
+            Request::Get { key } => {
+                buf.push(OP_GET);
+                put_key(&mut buf, key);
+            }
+            Request::Del { key } => {
+                buf.push(OP_DEL);
+                put_key(&mut buf, key);
+            }
+            Request::Persist { obj_off } => {
+                buf.push(OP_PERSIST);
+                buf.extend_from_slice(&obj_off.to_le_bytes());
+            }
+            Request::RpcPut { key, value } => {
+                buf.push(OP_RPC_PUT);
+                put_key(&mut buf, key);
+                buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                buf.extend_from_slice(value);
+            }
+        }
+        buf
+    }
+
+    /// Decode from wire bytes; `None` on malformed input.
+    pub fn decode(buf: &[u8]) -> Option<Request> {
+        let mut r = Reader::new(buf);
+        let req = match r.u8()? {
+            OP_PUT => Request::Put {
+                key: r.key()?,
+                vlen: r.u32()?,
+                crc: r.u32()?,
+            },
+            OP_GET => Request::Get { key: r.key()? },
+            OP_DEL => Request::Del { key: r.key()? },
+            OP_PERSIST => Request::Persist { obj_off: r.u64()? },
+            OP_RPC_PUT => {
+                let key = r.key()?;
+                let n = r.u32()? as usize;
+                Request::RpcPut {
+                    key,
+                    value: r.bytes(n)?,
+                }
+            }
+            _ => return None,
+        };
+        r.done().then_some(req)
+    }
+}
+
+impl Response {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(24);
+        match self {
+            Response::Put {
+                status,
+                obj_off,
+                value_off,
+            } => {
+                buf.push(OP_R_PUT);
+                buf.push(*status as u8);
+                buf.extend_from_slice(&obj_off.to_le_bytes());
+                buf.extend_from_slice(&value_off.to_le_bytes());
+            }
+            Response::Get {
+                status,
+                obj_off,
+                klen,
+                vlen,
+            } => {
+                buf.push(OP_R_GET);
+                buf.push(*status as u8);
+                buf.extend_from_slice(&obj_off.to_le_bytes());
+                buf.extend_from_slice(&klen.to_le_bytes());
+                buf.extend_from_slice(&vlen.to_le_bytes());
+            }
+            Response::Ack { status } => {
+                buf.push(OP_R_ACK);
+                buf.push(*status as u8);
+            }
+        }
+        buf
+    }
+
+    /// Decode from wire bytes; `None` on malformed input.
+    pub fn decode(buf: &[u8]) -> Option<Response> {
+        let mut r = Reader::new(buf);
+        let resp = match r.u8()? {
+            OP_R_PUT => Response::Put {
+                status: Status::from_u8(r.u8()?)?,
+                obj_off: r.u64()?,
+                value_off: r.u64()?,
+            },
+            OP_R_GET => Response::Get {
+                status: Status::from_u8(r.u8()?)?,
+                obj_off: r.u64()?,
+                klen: r.u16()?,
+                vlen: r.u32()?,
+            },
+            OP_R_ACK => Response::Ack {
+                status: Status::from_u8(r.u8()?)?,
+            },
+            _ => return None,
+        };
+        r.done().then_some(resp)
+    }
+}
+
+impl Event {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        vec![match self {
+            Event::CleanStart => OP_E_CLEAN_START,
+            Event::CleanEnd => OP_E_CLEAN_END,
+        }]
+    }
+
+    /// Decode from wire bytes; `None` on malformed input.
+    pub fn decode(buf: &[u8]) -> Option<Event> {
+        match buf {
+            [OP_E_CLEAN_START] => Some(Event::CleanStart),
+            [OP_E_CLEAN_END] => Some(Event::CleanEnd),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn request_roundtrips() {
+        let cases = vec![
+            Request::Put {
+                key: b"k1".to_vec(),
+                vlen: 4096,
+                crc: 0xDEAD_BEEF,
+            },
+            Request::Get { key: b"".to_vec() },
+            Request::Del {
+                key: vec![0xFF; 300],
+            },
+            Request::Persist { obj_off: u64::MAX },
+            Request::RpcPut {
+                key: b"key".to_vec(),
+                value: vec![9; 1000],
+            },
+        ];
+        for req in cases {
+            assert_eq!(Request::decode(&req.encode()), Some(req));
+        }
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let cases = vec![
+            Response::Put {
+                status: Status::Ok,
+                obj_off: 12345,
+                value_off: 12385,
+            },
+            Response::Get {
+                status: Status::NotFound,
+                obj_off: 0,
+                klen: 32,
+                vlen: 2048,
+            },
+            Response::Ack {
+                status: Status::NoSpace,
+            },
+        ];
+        for resp in cases {
+            assert_eq!(Response::decode(&resp.encode()), Some(resp));
+        }
+    }
+
+    #[test]
+    fn events_roundtrip() {
+        for ev in [Event::CleanStart, Event::CleanEnd] {
+            assert_eq!(Event::decode(&ev.encode()), Some(ev));
+        }
+        assert_eq!(Event::decode(&[0x00]), None);
+        assert_eq!(Event::decode(&[]), None);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut buf = Request::Get { key: b"k".to_vec() }.encode();
+        buf.push(0);
+        assert_eq!(Request::decode(&buf), None);
+    }
+
+    #[test]
+    fn truncation_is_rejected_at_every_length() {
+        let buf = Request::RpcPut {
+            key: b"key".to_vec(),
+            value: vec![1, 2, 3, 4],
+        }
+        .encode();
+        for cut in 0..buf.len() {
+            assert_eq!(Request::decode(&buf[..cut]), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_opcodes_are_rejected() {
+        assert_eq!(Request::decode(&[0x7F, 0, 0]), None);
+        assert_eq!(Response::decode(&[0x7F]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn decoder_never_panics_on_fuzz(buf in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = Request::decode(&buf);
+            let _ = Response::decode(&buf);
+            let _ = Event::decode(&buf);
+        }
+
+        #[test]
+        fn put_roundtrips_any_fields(
+            key in proptest::collection::vec(any::<u8>(), 0..64),
+            vlen in any::<u32>(),
+            crc in any::<u32>(),
+        ) {
+            let req = Request::Put { key, vlen, crc };
+            prop_assert_eq!(Request::decode(&req.encode()), Some(req));
+        }
+    }
+}

@@ -1,0 +1,555 @@
+//! The eFactory server: shared state, the PUT/GET/DEL request handler, and
+//! process startup.
+//!
+//! Three simulated processes share one [`ServerShared`]:
+//!
+//! * the **request handler** (this module) — SEND-based RPCs: PUT
+//!   allocation, the RPC+RDMA GET fallback with the *selective durability
+//!   guarantee*, DELETE tombstones;
+//! * the **background verifier** ([`crate::verifier`]) — CRC verification
+//!   and persisting off the critical path;
+//! * the **log cleaner** ([`crate::cleaner`]) — two-stage compress/merge
+//!   reclamation.
+//!
+//! # Concurrency discipline
+//!
+//! State is shared exclusively through atomics (the pmem pool is
+//! word-atomic; counters/cursors are `AtomicU64`). The simulator serializes
+//! execution, so the only interleaving points are *simulated-time yields*
+//! (`sim::work` / `sim::sleep`). Every multi-word mutation (filling an
+//! object header, updating a hash entry) therefore runs **without any yield
+//! in the middle**, making it atomic as observed by the other server
+//! processes and by clients' one-sided reads. CPU costs are charged before
+//! or after a mutation block, never inside one. Violating this rule is the
+//! one way to corrupt this server — keep it in mind when editing.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use efactory_checksum::crc32c;
+use efactory_pmem::PmemPool;
+use efactory_rnic::{CostModel, Fabric, Incoming, Listener, Node, RemoteMr};
+use efactory_sim as sim;
+use efactory_sim::Nanos;
+
+use crate::hashtable::{Entry, HashTable, HtError};
+use crate::layout::{self, flags, ObjHeader, NIL};
+use crate::log::{LogRegion, StoreLayout};
+use crate::protocol::{Request, Response, Status};
+
+/// Cleaning phase (paper §4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum CleanPhase {
+    /// No cleaning in progress.
+    Normal = 0,
+    /// Stage 1: reverse-scan the old pool, relocate latest versions. New
+    /// writes still go to the old pool.
+    Compress = 1,
+    /// Stage 2: merge writes that happened during compression. New writes
+    /// go to the new pool.
+    Merge = 2,
+}
+
+impl CleanPhase {
+    fn from_u8(v: u8) -> CleanPhase {
+        match v {
+            1 => CleanPhase::Compress,
+            2 => CleanPhase::Merge,
+            _ => CleanPhase::Normal,
+        }
+    }
+}
+
+/// Tunables for an eFactory server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Verifier timeout: an object whose CRC has not matched for this long
+    /// after allocation is marked invalid (paper §4.3.2).
+    pub verify_timeout: Nanos,
+    /// Verifier sleep when it has nothing to do (or is head-of-line
+    /// blocked on an in-flight object).
+    pub verify_idle: Nanos,
+    /// Fixed CPU charge per object the verifier touches.
+    pub verify_step_cost: Nanos,
+    /// Start log cleaning when the active pool passes this fill fraction.
+    pub clean_threshold: f64,
+    /// Whether the cleaner process runs at all (needs a second pool).
+    pub clean_enabled: bool,
+    /// Cleaner poll period while idle.
+    pub clean_poll: Nanos,
+    /// Use the batched receive-region ring (eFactory's optimization).
+    pub batched_recv: bool,
+    /// Recovery scan sanity bounds.
+    pub max_klen: usize,
+    /// Recovery scan sanity bounds.
+    pub max_vlen: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            verify_timeout: sim::micros(200),
+            verify_idle: sim::micros(2),
+            verify_step_cost: 50,
+            clean_threshold: 0.7,
+            clean_enabled: true,
+            clean_poll: sim::micros(20),
+            batched_recv: true,
+            max_klen: 256,
+            max_vlen: 16 << 20,
+        }
+    }
+}
+
+/// Counters exposed by the server (all monotonically increasing).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// PUT requests handled.
+    pub puts: AtomicU64,
+    /// DELETE requests handled.
+    pub dels: AtomicU64,
+    /// GET requests handled via RPC (the fallback path).
+    pub gets: AtomicU64,
+    /// RPC GETs that found the object already durable (fast durability
+    /// check — the "selective durability guarantee").
+    pub gets_already_durable: AtomicU64,
+    /// RPC GETs where the handler verified + persisted on demand.
+    pub gets_persisted_on_demand: AtomicU64,
+    /// RPC GETs served from a previous version (torn head).
+    pub gets_from_previous_version: AtomicU64,
+    /// Objects verified + persisted by the background process.
+    pub bg_verified: AtomicU64,
+    /// Objects invalidated after the verify timeout.
+    pub bg_timeouts: AtomicU64,
+    /// Log cleanings completed.
+    pub cleanings: AtomicU64,
+    /// Objects relocated by cleaning (compress + merge).
+    pub relocated: AtomicU64,
+    /// Stale versions skipped by cleaning.
+    pub reclaimed_versions: AtomicU64,
+    /// PUT failures (table full / no space).
+    pub put_failures: AtomicU64,
+}
+
+/// State shared by the handler, verifier, and cleaner processes.
+pub struct ServerShared {
+    /// The fabric node this server runs on.
+    pub node: Node,
+    /// The NVM device.
+    pub pool: Arc<PmemPool>,
+    /// Virtual-hardware cost model (copied from the fabric).
+    pub cost: CostModel,
+    /// NVM geometry.
+    pub layout: StoreLayout,
+    /// The hash index.
+    pub ht: HashTable,
+    /// Data pools A and B (B may be zero-sized).
+    pub logs: [LogRegion; 2],
+    /// Index of the pool taking new writes outside the merge phase.
+    pub active: AtomicUsize,
+    /// Current cleaning phase.
+    pub clean_phase: AtomicU8,
+    /// Bumped whenever the cleaner swaps pools; the verifier revalidates
+    /// its cursor against it.
+    pub clean_epoch: AtomicU64,
+    /// Background-verifier position: absolute offset within `cursor_pool`.
+    pub cursor: AtomicU64,
+    /// Which pool the verifier is scanning.
+    pub cursor_pool: AtomicUsize,
+    /// Configuration.
+    pub cfg: ServerConfig,
+    /// Counters.
+    pub stats: ServerStats,
+    /// Cooperative shutdown flag (in addition to crash detection).
+    pub stop: AtomicBool,
+    /// One-shot manual cleaning trigger (experiments force cleaning at a
+    /// chosen instant; normally the fill threshold drives it).
+    pub clean_request: AtomicBool,
+    /// Node crash epoch at server creation; a later epoch means this server
+    /// instance died with a crash and must never touch state again (even if
+    /// the node was restarted for a recovered instance).
+    pub born_epoch: u64,
+}
+
+impl ServerShared {
+    /// Current cleaning phase.
+    pub fn phase(&self) -> CleanPhase {
+        CleanPhase::from_u8(self.clean_phase.load(Ordering::Relaxed))
+    }
+
+    /// True when the handler/verifier/cleaner should exit.
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+            || self.node.is_crashed()
+            || self.node.epoch() != self.born_epoch
+    }
+
+    /// Pool index new allocations go to, given the cleaning phase: the old
+    /// pool through compression, the new pool during merging (§4.4).
+    pub fn alloc_pool(&self) -> usize {
+        let active = self.active.load(Ordering::Relaxed);
+        match self.phase() {
+            CleanPhase::Merge => 1 - active,
+            _ => active,
+        }
+    }
+
+    /// The newest version's offset for `entry` under the current phase.
+    /// During merge, keys rewritten since cleaning started live in the new
+    /// pool behind the `new_valid` bit; otherwise the mark-selected slot is
+    /// authoritative.
+    pub fn current_off(&self, entry: &Entry) -> u64 {
+        match self.phase() {
+            CleanPhase::Merge if entry.ctl.new_valid() => entry.other(),
+            _ => entry.current(),
+        }
+    }
+
+    /// Verify the value bytes of the object at `off` against its recorded
+    /// CRC (pure computation — callers charge `cost.crc(vlen)` themselves).
+    pub fn crc_matches(&self, off: usize, hdr: &ObjHeader) -> bool {
+        let value = layout::read_value(&self.pool, off, hdr);
+        crc32c(&value) == hdr.crc
+    }
+
+    /// Persist the object at `off` and set its durability flag. Returns the
+    /// number of cache lines actually flushed (for cost charging).
+    pub fn persist_object(&self, off: usize, hdr: &ObjHeader) -> usize {
+        let mut lines = self.pool.flush(off, hdr.object_size());
+        layout::update_flags(&self.pool, off, flags::DURABLE, 0);
+        lines += self.pool.flush(off, 8);
+        self.pool.drain();
+        lines
+    }
+
+    /// The "durability guarantee" step of the hybrid-read fallback
+    /// (§4.3.3, step 7): make the object at `off` durable if it is intact,
+    /// walking to previous versions otherwise. Returns the offset + header
+    /// served, or `None` when no intact version exists.
+    ///
+    /// Charges CRC/flush costs; must be called from a server process.
+    pub fn ensure_durable_version(&self, mut off: u64) -> Option<(u64, ObjHeader)> {
+        let mut first = true;
+        loop {
+            if off == 0 || off == NIL {
+                return None;
+            }
+            let hdr = ObjHeader::read_from(&self.pool, off as usize);
+            if hdr.has(flags::VALID) {
+                // Durability check first — the selective durability
+                // guarantee that distinguishes eFactory from Forca.
+                if hdr.has(flags::DURABLE) {
+                    if first {
+                        self.stats.gets_already_durable.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.stats
+                            .gets_from_previous_version
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Some((off, hdr));
+                }
+                sim::work(self.cost.crc_hw(hdr.vlen as usize));
+                if self.crc_matches(off as usize, &hdr) {
+                    let lines = self.persist_object(off as usize, &hdr);
+                    sim::work(self.cost.flush(lines * efactory_pmem::LINE));
+                    if first {
+                        self.stats
+                            .gets_persisted_on_demand
+                            .fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.stats
+                            .gets_from_previous_version
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Some((off, hdr));
+                }
+            }
+            first = false;
+            off = hdr.pre_ptr;
+        }
+    }
+}
+
+/// Everything a client needs to talk to a store: the memory registration
+/// and the geometry. Handed out at connection setup, like the paper's
+/// "addresses and corresponding registration keys" (§4.3).
+#[derive(Debug, Clone, Copy)]
+pub struct StoreDesc {
+    /// Registration covering the whole NVM region.
+    pub mr: RemoteMr,
+    /// Geometry (hash table + pools).
+    pub layout: StoreLayout,
+}
+
+/// An eFactory server instance.
+pub struct Server {
+    shared: Arc<ServerShared>,
+    desc: StoreDesc,
+}
+
+impl Server {
+    /// Create a fresh (formatted) store on `node`, registering the NVM
+    /// region on the fabric.
+    pub fn format(fabric: &Fabric, node: &Node, layout: StoreLayout, cfg: ServerConfig) -> Server {
+        let pool = Arc::new(PmemPool::new(layout.total_len()));
+        Self::with_pool(fabric, node, pool, layout, cfg)
+    }
+
+    /// Create a server over an existing pool (used by recovery).
+    pub fn with_pool(
+        fabric: &Fabric,
+        node: &Node,
+        pool: Arc<PmemPool>,
+        layout: StoreLayout,
+        cfg: ServerConfig,
+    ) -> Server {
+        let mr = node.register_mr(&pool, 0, layout.total_len());
+        let logs = layout.regions();
+        let cursor0 = logs[0].base() as u64;
+        let shared = Arc::new(ServerShared {
+            node: node.clone(),
+            pool,
+            cost: fabric.cost().clone(),
+            ht: layout.hashtable(),
+            logs,
+            layout,
+            active: AtomicUsize::new(0),
+            clean_phase: AtomicU8::new(CleanPhase::Normal as u8),
+            clean_epoch: AtomicU64::new(0),
+            cursor: AtomicU64::new(cursor0),
+            cursor_pool: AtomicUsize::new(0),
+            cfg,
+            stats: ServerStats::default(),
+            stop: AtomicBool::new(false),
+            clean_request: AtomicBool::new(false),
+            born_epoch: node.epoch(),
+        });
+        Server {
+            shared,
+            desc: StoreDesc { mr, layout },
+        }
+    }
+
+    /// The descriptor clients connect with.
+    pub fn desc(&self) -> StoreDesc {
+        self.desc
+    }
+
+    /// Shared state (verifier/cleaner/tests).
+    pub fn shared(&self) -> &Arc<ServerShared> {
+        &self.shared
+    }
+
+    /// Ask all server processes to wind down (they notice on their next
+    /// wakeup or request).
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Spawn the server's processes (request handler, background verifier,
+    /// log cleaner). Must be called from within a simulated process so the
+    /// listener channels can be created. The listener exists when this
+    /// returns, so clients may connect immediately after.
+    pub fn start(&self, fabric: &Arc<Fabric>) -> Arc<ServerShared> {
+        let shared = Arc::clone(&self.shared);
+        let listener = shared.node.listen(fabric, shared.cfg.batched_recv);
+        let notifier = listener.notifier();
+
+        let h_shared = Arc::clone(&shared);
+        sim::spawn("efactory-handler", move || {
+            run_handler(&h_shared, &listener);
+        });
+
+        let v_shared = Arc::clone(&shared);
+        sim::spawn("efactory-verifier", move || {
+            crate::verifier::run(&v_shared);
+        });
+
+        if shared.cfg.clean_enabled && !shared.logs[1].is_empty() {
+            let c_shared = Arc::clone(&shared);
+            sim::spawn("efactory-cleaner", move || {
+                crate::cleaner::run(&c_shared, &notifier);
+            });
+        }
+        shared
+    }
+}
+
+/// The request-handler loop.
+fn run_handler(shared: &ServerShared, listener: &Listener) {
+    loop {
+        // A periodic deadline lets the handler observe `stop` even when no
+        // requests arrive.
+        let msg = match listener.recv_deadline(sim::now() + sim::micros(100)) {
+            Ok(m) => m,
+            Err(efactory_rnic::QpError::Timeout) => {
+                if shared.stopping() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return, // disconnected or crashed
+        };
+        if shared.stopping() {
+            return;
+        }
+        let Incoming::Send { from, payload } = msg else {
+            continue; // eFactory does not use write_with_imm
+        };
+        let Some(req) = Request::decode(&payload) else {
+            continue;
+        };
+        let resp = match req {
+            Request::Put { key, vlen, crc } => handle_put(shared, &key, vlen, crc),
+            Request::Get { key } => handle_get(shared, &key),
+            Request::Del { key } => handle_del(shared, &key),
+            // SAW/RPC-baseline opcodes are not part of eFactory.
+            Request::Persist { .. } | Request::RpcPut { .. } => Response::Ack {
+                status: Status::Corrupt,
+            },
+        };
+        if listener.reply(from, resp.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// PUT (paper §4.3.1, Figure 5): allocate in the log, fill the object
+/// metadata + key, persist them, link the hash entry, and return the value
+/// offset. The client then RDMA-writes the value with **no** durability
+/// wait — the background verifier takes over.
+fn handle_put(shared: &ServerShared, key: &[u8], vlen: u32, crc: u32) -> Response {
+    sim::work(shared.cost.cpu_req_handle_ns + shared.cost.cpu_hash_ns + shared.cost.cpu_alloc_ns);
+
+    let fail = |status: Status| {
+        shared.stats.put_failures.fetch_add(1, Ordering::Relaxed);
+        Response::Put {
+            status,
+            obj_off: 0,
+            value_off: 0,
+        }
+    };
+
+    let fp = crate::hashtable::fingerprint(key);
+    let size = layout::object_size(key.len(), vlen as usize);
+
+    // ---- mutation block: no yields until the entry is linked ----
+    let (idx, entry) = match shared.ht.lookup_or_claim(&shared.pool, fp) {
+        Ok(v) => v,
+        Err(HtError::TableFull) => return fail(Status::TableFull),
+    };
+    let pool_idx = shared.alloc_pool();
+    let Some(off) = shared.logs[pool_idx].alloc(size) else {
+        return fail(Status::NoSpace);
+    };
+    let prev = shared.current_off(&entry);
+    let hdr = ObjHeader {
+        klen: key.len() as u16,
+        vlen,
+        flags: flags::VALID,
+        pre_ptr: if prev == 0 { NIL } else { prev },
+        next_ptr: NIL,
+        crc,
+        seq: entry.ctl.seq() as u32 + 1,
+        alloc_time: sim::now(),
+    };
+    hdr.write_to(&shared.pool, off);
+    shared.pool.write(off + hdr.key_off(), key);
+    if prev != 0 && prev != NIL {
+        // Maintain the forward link used by log cleaning. Not flushed —
+        // recovery rebuilds chains from pre_ptrs.
+        layout::set_next_ptr(&shared.pool, prev as usize, off as u64);
+    }
+    // Persist object metadata + key before exposing the object (§4.3.1
+    // step 4: "after all the metadata has been updated and persisted ...").
+    let mut lines = shared.pool.flush(off, layout::HDR_LEN + layout::pad8(key.len()));
+    shared.pool.drain();
+    // Link the hash entry. Slots correspond to pools 1:1; the new-valid
+    // bit flags a current version living in the non-mark slot (merge-phase
+    // writes land in the new pool before the mark flips at finish).
+    let slot = pool_idx;
+    let ctl = if slot == entry.ctl.mark() {
+        entry.ctl.bumped().with_new_valid(false)
+    } else if entry.current() == 0 {
+        // Fresh (or cleaning-reclaimed) bucket whose default mark points at
+        // the inactive pool: repoint the mark instead of flagging new-valid
+        // — there is no old version to keep reachable.
+        entry.ctl.with_mark(slot).with_new_valid(false).bumped()
+    } else {
+        entry.ctl.bumped().with_new_valid(true)
+    };
+    shared.ht.set_slot(&shared.pool, idx, slot, off as u64);
+    shared.ht.set_sizes(&shared.pool, idx, key.len() as u16, vlen);
+    shared.ht.set_ctl(&shared.pool, idx, ctl);
+    lines += shared.ht.persist_entry(&shared.pool, idx);
+    // ---- end mutation block ----
+
+    sim::work(shared.cost.flush(lines * efactory_pmem::LINE));
+    shared.stats.puts.fetch_add(1, Ordering::Relaxed);
+    Response::Put {
+        status: Status::Ok,
+        obj_off: off as u64,
+        value_off: (off + hdr.value_off()) as u64,
+    }
+}
+
+/// GET fallback (paper §4.3.3, steps 5–8): look up the entry, run the
+/// durability check / durability guarantee, and return the offset of an
+/// intact version for the client to RDMA-read.
+fn handle_get(shared: &ServerShared, key: &[u8]) -> Response {
+    sim::work(shared.cost.cpu_req_handle_ns + shared.cost.cpu_hash_ns);
+    shared.stats.gets.fetch_add(1, Ordering::Relaxed);
+    let not_found = Response::Get {
+        status: Status::NotFound,
+        obj_off: 0,
+        klen: 0,
+        vlen: 0,
+    };
+    let fp = crate::hashtable::fingerprint(key);
+    let Some((_idx, entry)) = shared.ht.lookup(&shared.pool, fp) else {
+        return not_found;
+    };
+    let off = shared.current_off(&entry);
+    match shared.ensure_durable_version(off) {
+        Some((off, hdr)) => {
+            if hdr.has(flags::TOMBSTONE) {
+                not_found
+            } else {
+                Response::Get {
+                    status: Status::Ok,
+                    obj_off: off,
+                    klen: hdr.klen,
+                    vlen: hdr.vlen,
+                }
+            }
+        }
+        None => not_found,
+    }
+}
+
+/// DELETE: append a tombstone version. Tombstones carry no client value, so
+/// they are made durable immediately.
+fn handle_del(shared: &ServerShared, key: &[u8]) -> Response {
+    // A tombstone is a PUT of an empty value whose CRC is crc32c(b"") == 0.
+    let resp = handle_put(shared, key, 0, crc32c(b""));
+    let Response::Put {
+        status: Status::Ok,
+        obj_off,
+        ..
+    } = resp
+    else {
+        let Response::Put { status, .. } = resp else {
+            unreachable!()
+        };
+        return Response::Ack { status };
+    };
+    let off = obj_off as usize;
+    layout::update_flags(&shared.pool, off, flags::TOMBSTONE | flags::DURABLE, 0);
+    let lines = shared.pool.flush(off, 8);
+    shared.pool.drain();
+    sim::work(shared.cost.flush(lines * efactory_pmem::LINE));
+    shared.stats.dels.fetch_add(1, Ordering::Relaxed);
+    shared.stats.puts.fetch_sub(1, Ordering::Relaxed); // counted as del, not put
+    Response::Ack { status: Status::Ok }
+}

@@ -1,0 +1,514 @@
+//! End-to-end tests for the eFactory store on the simulated substrates:
+//! client ↔ fabric ↔ server ↔ background verifier, with crash injection.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use efactory::client::{Client, ClientConfig, GetOutcome};
+use efactory::layout::{flags, ObjHeader};
+use efactory::log::StoreLayout;
+use efactory::recovery;
+use efactory::server::{Server, ServerConfig};
+use efactory_pmem::CrashSpec;
+use efactory_rnic::{CostModel, Fabric, Node};
+use efactory_sim as sim;
+use efactory_sim::Sim;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Spin up a sim + fabric + formatted server, run `body` in an orchestrator
+/// process (server already started, one client node pre-created), and drive
+/// the sim to completion.
+fn with_store<F>(cost: CostModel, layout: StoreLayout, cfg: ServerConfig, body: F)
+where
+    F: FnOnce(&Arc<Fabric>, &Node, &Server) + Send + 'static,
+{
+    let mut simu = Sim::new(7);
+    let fabric = Fabric::new(cost);
+    let server_node = fabric.add_node("server");
+    let server = Server::format(&fabric, &server_node, layout, cfg);
+    let f2 = Arc::clone(&fabric);
+    simu.spawn("main", move || {
+        server.start(&f2);
+        body(&f2, &server_node, &server);
+        server.shutdown();
+    });
+    simu.run().expect_ok();
+}
+
+fn small_layout() -> StoreLayout {
+    StoreLayout::new(256, 1 << 20, true)
+}
+
+fn connect(fabric: &Arc<Fabric>, server_node: &Node, server: &Server) -> Client {
+    let cnode = fabric.add_node("client");
+    Client::connect(fabric, &cnode, server_node, server.desc(), ClientConfig::default()).unwrap()
+}
+
+#[test]
+fn put_get_roundtrip() {
+    with_store(CostModel::zero(), small_layout(), ServerConfig::default(), |f, sn, srv| {
+        let c = connect(f, sn, srv);
+        c.put(b"alpha", b"value-1").unwrap();
+        assert_eq!(c.get(b"alpha").unwrap().as_deref(), Some(&b"value-1"[..]));
+        assert_eq!(c.get(b"missing").unwrap(), None);
+    });
+}
+
+#[test]
+fn overwrite_returns_latest() {
+    with_store(CostModel::zero(), small_layout(), ServerConfig::default(), |f, sn, srv| {
+        let c = connect(f, sn, srv);
+        for i in 0..10u32 {
+            let v = format!("version-{i}");
+            c.put(b"key", v.as_bytes()).unwrap();
+            assert_eq!(c.get(b"key").unwrap().as_deref(), Some(v.as_bytes()));
+        }
+    });
+}
+
+#[test]
+fn delete_hides_key_and_reput_revives_it() {
+    with_store(CostModel::zero(), small_layout(), ServerConfig::default(), |f, sn, srv| {
+        let c = connect(f, sn, srv);
+        c.put(b"k", b"v").unwrap();
+        c.del(b"k").unwrap();
+        assert_eq!(c.get(b"k").unwrap(), None);
+        c.put(b"k", b"v2").unwrap();
+        assert_eq!(c.get(b"k").unwrap().as_deref(), Some(&b"v2"[..]));
+    });
+}
+
+#[test]
+fn many_keys_many_sizes() {
+    let layout = StoreLayout::new(2048, 8 << 20, true);
+    with_store(CostModel::zero(), layout, ServerConfig::default(), |f, sn, srv| {
+        let c = connect(f, sn, srv);
+        let sizes = [0usize, 1, 7, 8, 63, 64, 255, 1024, 4096];
+        for (i, &s) in sizes.iter().enumerate() {
+            let key = format!("key-{i:04}");
+            let val = vec![i as u8 + 1; s];
+            c.put(key.as_bytes(), &val).unwrap();
+        }
+        for (i, &s) in sizes.iter().enumerate() {
+            let key = format!("key-{i:04}");
+            assert_eq!(
+                c.get(key.as_bytes()).unwrap().as_deref(),
+                Some(&vec![i as u8 + 1; s][..]),
+                "size {s}"
+            );
+        }
+    });
+}
+
+#[test]
+fn read_immediately_after_put_falls_back_then_turns_pure() {
+    // A GET fired right after a PUT beats the background verifier (slowed
+    // here so the race is deterministic): the durability flag is clear,
+    // forcing the RPC fallback (which persists on demand). A later GET
+    // takes the pure path.
+    let cfg = ServerConfig {
+        verify_idle: sim::millis(10),
+        ..ServerConfig::default()
+    };
+    with_store(CostModel::default(), small_layout(), cfg, |f, sn, srv| {
+        let c = connect(f, sn, srv);
+        c.put(b"hot", b"fresh-value").unwrap();
+        let (v, outcome) = c.get_traced(b"hot").unwrap();
+        assert_eq!(v.as_deref(), Some(&b"fresh-value"[..]));
+        assert_eq!(outcome, GetOutcome::Fallback, "flag cannot be set yet");
+        let (v2, outcome2) = c.get_traced(b"hot").unwrap();
+        assert_eq!(v2.as_deref(), Some(&b"fresh-value"[..]));
+        assert_eq!(outcome2, GetOutcome::Pure, "on-demand persist set the flag");
+        assert_eq!(srv.shared().stats.gets_persisted_on_demand.load(Ordering::Relaxed), 1);
+    });
+}
+
+#[test]
+fn background_verifier_persists_without_reads() {
+    with_store(CostModel::default(), small_layout(), ServerConfig::default(), |f, sn, srv| {
+        let c = connect(f, sn, srv);
+        c.put(b"idle", b"will-persist-in-background").unwrap();
+        // Give the verifier time to scan.
+        sim::sleep(sim::micros(100));
+        let (v, outcome) = c.get_traced(b"idle").unwrap();
+        assert_eq!(v.as_deref(), Some(&b"will-persist-in-background"[..]));
+        assert_eq!(outcome, GetOutcome::Pure);
+        assert_eq!(srv.shared().stats.bg_verified.load(Ordering::Relaxed), 1);
+        assert_eq!(srv.shared().stats.gets.load(Ordering::Relaxed), 0, "no RPC needed");
+    });
+}
+
+#[test]
+fn without_hybrid_read_every_get_is_rpc() {
+    with_store(CostModel::default(), small_layout(), ServerConfig::default(), |f, sn, srv| {
+        let cnode = f.add_node("client");
+        let cfg = ClientConfig {
+            hybrid_read: false,
+            ..ClientConfig::default()
+        };
+        let c = Client::connect(f, &cnode, sn, srv.desc(), cfg).unwrap();
+        c.put(b"k", b"v").unwrap();
+        sim::sleep(sim::micros(100));
+        let (_, outcome) = c.get_traced(b"k").unwrap();
+        assert_eq!(outcome, GetOutcome::RpcOnly);
+        assert_eq!(srv.shared().stats.gets.load(Ordering::Relaxed), 1);
+    });
+}
+
+#[test]
+fn concurrent_writers_same_key_builds_version_chain() {
+    let mut simu = Sim::new(3);
+    let fabric = Fabric::new(CostModel::default());
+    let server_node = fabric.add_node("server");
+    let server = Server::format(&fabric, &server_node, small_layout(), ServerConfig::default());
+    let f2 = Arc::clone(&fabric);
+    simu.spawn("main", move || {
+        let shared = server.start(&f2);
+        let mut writers = Vec::new();
+        for w in 0..4 {
+            let f3 = Arc::clone(&f2);
+            let sn = server_node.clone();
+            let desc = server.desc();
+            writers.push(sim::spawn(&format!("w{w}"), move || {
+                let cn = f3.add_node(&format!("cn{w}"));
+                let c = Client::connect(&f3, &cn, &sn, desc, ClientConfig::default()).unwrap();
+                for i in 0..25 {
+                    c.put(b"shared-key", format!("w{w}-v{i}").as_bytes()).unwrap();
+                }
+            }));
+        }
+        for h in &writers {
+            h.join();
+        }
+        sim::sleep(sim::micros(500)); // let the verifier drain
+        // The chain head must be durable and hold one of the written values.
+        let reader_node = f2.add_node("reader");
+        let c = Client::connect(&f2, &reader_node, &server_node, server.desc(), ClientConfig::default()).unwrap();
+        let (v, outcome) = c.get_traced(b"shared-key").unwrap();
+        let v = v.expect("key must exist");
+        let s = String::from_utf8(v).unwrap();
+        assert!(s.starts_with('w') && s.contains("-v"), "unexpected value {s}");
+        assert_eq!(outcome, GetOutcome::Pure);
+        // 100 versions were written; chain traversal must find them.
+        assert_eq!(shared.stats.puts.load(Ordering::Relaxed), 100);
+        server.shutdown();
+    });
+    simu.run().expect_ok();
+}
+
+/// Crash after an acked PUT whose value was never persisted: the store must
+/// recover to the *previous* durable version (old-or-new atomicity).
+#[test]
+fn crash_before_background_persist_recovers_previous_version() {
+    let mut simu = Sim::new(11);
+    let fabric = Fabric::new(CostModel::default());
+    let server_node = fabric.add_node("server");
+    // Huge verifier idle so the background process never persists v2.
+    let cfg = ServerConfig {
+        verify_idle: sim::millis(100),
+        ..ServerConfig::default()
+    };
+    let layout = small_layout();
+    let server = Server::format(&fabric, &server_node, layout, cfg.clone());
+    let pool = Arc::clone(&server.shared().pool);
+    let f2 = Arc::clone(&fabric);
+    simu.spawn("main", move || {
+        server.start(&f2);
+        let c = connect(&f2, &server_node, &server);
+        c.put(b"key", b"version-one").unwrap();
+        // Force v1 durable via the read path.
+        assert!(c.get(b"key").unwrap().is_some());
+        // v2: acked but never flushed (verifier is asleep, no read).
+        c.put(b"key", b"version-TWO").unwrap();
+
+        // Power failure: all dirty lines lost.
+        let mut rng = StdRng::seed_from_u64(1);
+        f2.crash_node(&server_node, CrashSpec::DropAll, &mut rng);
+        sim::sleep(sim::millis(1));
+
+        // Reboot + recover.
+        f2.restart_node(&server_node);
+        let (server2, report) = recovery::recover(&f2, &server_node, pool, layout, cfg);
+        assert_eq!(report.keys_rolled_back, 1, "v2 must be discarded: {report:?}");
+        assert_eq!(report.keys_lost, 0);
+        recovery::check_consistency(&server2.shared().pool, &layout);
+
+        server2.start(&f2);
+        let c2 = connect(&f2, &server_node, &server2);
+        assert_eq!(
+            c2.get(b"key").unwrap().as_deref(),
+            Some(&b"version-one"[..]),
+            "must roll back to the previous intact version"
+        );
+        // The store stays writable after recovery.
+        c2.put(b"key", b"version-three").unwrap();
+        assert_eq!(c2.get(b"key").unwrap().as_deref(), Some(&b"version-three"[..]));
+        server2.shutdown();
+    });
+    simu.run().expect_ok();
+}
+
+/// eFactory's monotonic-read guarantee: a value observed by a GET survives
+/// a crash, because the hybrid read never returns non-durable data.
+#[test]
+fn reads_are_monotonic_across_crashes() {
+    let mut simu = Sim::new(13);
+    let fabric = Fabric::new(CostModel::default());
+    let server_node = fabric.add_node("server");
+    let cfg = ServerConfig::default();
+    let layout = small_layout();
+    let server = Server::format(&fabric, &server_node, layout, cfg.clone());
+    let pool = Arc::clone(&server.shared().pool);
+    let f2 = Arc::clone(&fabric);
+    simu.spawn("main", move || {
+        server.start(&f2);
+        let c = connect(&f2, &server_node, &server);
+        c.put(b"m", b"observed-value").unwrap();
+        // The client reads (and thus observes) the value.
+        let seen = c.get(b"m").unwrap().unwrap();
+        assert_eq!(&seen, b"observed-value");
+
+        // Crash immediately, dropping every dirty line.
+        let mut rng = StdRng::seed_from_u64(2);
+        f2.crash_node(&server_node, CrashSpec::DropAll, &mut rng);
+        f2.restart_node(&server_node);
+        let (server2, report) = recovery::recover(&f2, &server_node, pool, layout, cfg);
+        server2.start(&f2);
+        let c2 = connect(&f2, &server_node, &server2);
+        assert_eq!(
+            c2.get(b"m").unwrap().as_deref(),
+            Some(&b"observed-value"[..]),
+            "a read value must never vanish (non-monotonic read): {report:?}"
+        );
+        server2.shutdown();
+    });
+    simu.run().expect_ok();
+}
+
+/// Crash with partial survival at word granularity: recovery must never
+/// expose a torn value (CRC catches every partial state).
+#[test]
+fn torn_values_are_never_exposed_after_crash() {
+    for seed in 0..10u64 {
+        let mut simu = Sim::new(seed);
+        let fabric = Fabric::new(CostModel::default());
+        let server_node = fabric.add_node("server");
+        let cfg = ServerConfig {
+            verify_idle: sim::millis(100), // keep v2 unverified
+            ..ServerConfig::default()
+        };
+        let layout = small_layout();
+        let server = Server::format(&fabric, &server_node, layout, cfg.clone());
+        let pool = Arc::clone(&server.shared().pool);
+        let f2 = Arc::clone(&fabric);
+        simu.spawn("main", move || {
+            server.start(&f2);
+            let c = connect(&f2, &server_node, &server);
+            c.put(b"t", &vec![0xAA; 1024]).unwrap();
+            assert!(c.get(b"t").unwrap().is_some()); // v1 durable
+            c.put(b"t", &vec![0xBB; 1024]).unwrap(); // v2 acked, not durable
+
+            let mut rng = StdRng::seed_from_u64(seed * 31 + 7);
+            f2.crash_node(&server_node, CrashSpec::Words(0.5), &mut rng);
+            f2.restart_node(&server_node);
+            let (server2, _report) = recovery::recover(&f2, &server_node, pool, layout, cfg);
+            recovery::check_consistency(&server2.shared().pool, &layout);
+            server2.start(&f2);
+            let c2 = connect(&f2, &server_node, &server2);
+            let v = c2.get(b"t").unwrap().expect("v1 was durable");
+            assert!(
+                v == vec![0xAA; 1024] || v == vec![0xBB; 1024],
+                "seed {seed}: recovered a torn value"
+            );
+            server2.shutdown();
+        });
+        simu.run().expect_ok();
+    }
+}
+
+/// The verifier invalidates objects whose writes never arrive (client died
+/// between the alloc RPC and the RDMA write).
+#[test]
+fn verifier_times_out_abandoned_allocations() {
+    let mut simu = Sim::new(17);
+    let fabric = Fabric::new(CostModel::default());
+    let server_node = fabric.add_node("server");
+    let cfg = ServerConfig {
+        verify_timeout: sim::micros(50),
+        ..ServerConfig::default()
+    };
+    let server = Server::format(&fabric, &server_node, small_layout(), cfg);
+    let f2 = Arc::clone(&fabric);
+    simu.spawn("main", move || {
+        let shared = server.start(&f2);
+        // Issue the alloc RPC directly, then never write the value.
+        let cnode = f2.add_node("client");
+        let qp = f2.connect(&cnode, &server_node).unwrap();
+        let req = efactory::protocol::Request::Put {
+            key: b"abandoned".to_vec(),
+            vlen: 64,
+            crc: 0xBAD,
+        };
+        let resp = qp.rpc(req.encode()).unwrap();
+        let resp = efactory::protocol::Response::decode(&resp).unwrap();
+        let efactory::protocol::Response::Put { obj_off, .. } = resp else {
+            panic!("expected put response");
+        };
+        sim::sleep(sim::millis(1)); // >> timeout
+        let hdr = ObjHeader::read_from(&shared.pool, obj_off as usize);
+        assert!(!hdr.has(flags::VALID), "must be invalidated");
+        assert_eq!(shared.stats.bg_timeouts.load(Ordering::Relaxed), 1);
+        // And a GET sees nothing.
+        let c = connect(&f2, &server_node, &server);
+        assert_eq!(c.get(b"abandoned").unwrap(), None);
+        server.shutdown();
+    });
+    simu.run().expect_ok();
+}
+
+/// A torn head must not hide the durable previous version from GETs even
+/// before any crash (read-write race handling, §4.3.3 step 7).
+#[test]
+fn get_serves_previous_version_while_head_is_in_flight() {
+    let mut simu = Sim::new(19);
+    let fabric = Fabric::new(CostModel::default());
+    let server_node = fabric.add_node("server");
+    let cfg = ServerConfig {
+        verify_idle: sim::millis(100),
+        verify_timeout: sim::millis(50),
+        ..ServerConfig::default()
+    };
+    let server = Server::format(&fabric, &server_node, small_layout(), cfg);
+    let f2 = Arc::clone(&fabric);
+    simu.spawn("main", move || {
+        let shared = server.start(&f2);
+        let c = connect(&f2, &server_node, &server);
+        c.put(b"r", b"stable").unwrap();
+        assert!(c.get(b"r").unwrap().is_some()); // make durable
+
+        // Alloc a new version but never write it (simulating a client whose
+        // RDMA write is still in flight / lost).
+        let cnode = f2.add_node("laggard");
+        let qp = f2.connect(&cnode, &server_node).unwrap();
+        let req = efactory::protocol::Request::Put {
+            key: b"r".to_vec(),
+            vlen: 6,
+            crc: 0x1234,
+        };
+        qp.rpc(req.encode()).unwrap();
+
+        // A read within the timeout window must serve the previous version.
+        let (v, outcome) = c.get_traced(b"r").unwrap();
+        assert_eq!(v.as_deref(), Some(&b"stable"[..]));
+        assert_eq!(outcome, GetOutcome::Fallback);
+        assert!(shared.stats.gets_from_previous_version.load(Ordering::Relaxed) >= 1);
+        server.shutdown();
+    });
+    simu.run().expect_ok();
+}
+
+/// Log cleaning reclaims space while the store keeps serving, and data
+/// survives the pool swap.
+#[test]
+fn log_cleaning_under_load_preserves_data() {
+    let mut simu = Sim::new(23);
+    let fabric = Fabric::new(CostModel::default());
+    let server_node = fabric.add_node("server");
+    // Small pools so updates trigger cleaning quickly.
+    let layout = StoreLayout::new(256, 96 * 1024, true);
+    let cfg = ServerConfig {
+        clean_threshold: 0.5,
+        clean_poll: sim::micros(5),
+        ..ServerConfig::default()
+    };
+    let server = Server::format(&fabric, &server_node, layout, cfg);
+    let f2 = Arc::clone(&fabric);
+    simu.spawn("main", move || {
+        let shared = server.start(&f2);
+        let c = connect(&f2, &server_node, &server);
+        // 40 keys × ~600 B objects, updated repeatedly: ~24 KB per round,
+        // pool fills after ~2 rounds and cleaning must kick in.
+        for round in 0..16u32 {
+            for k in 0..40u32 {
+                let key = format!("key-{k:02}");
+                let val = format!("round-{round:02}-{}", "x".repeat(512));
+                c.put(key.as_bytes(), val.as_bytes()).unwrap();
+            }
+            sim::sleep(sim::micros(50));
+        }
+        sim::sleep(sim::millis(2)); // let cleaning finish
+        assert!(
+            shared.stats.cleanings.load(Ordering::Relaxed) >= 1,
+            "cleaning never triggered"
+        );
+        for k in 0..40u32 {
+            let key = format!("key-{k:02}");
+            let v = c.get(key.as_bytes()).unwrap().expect("key lost by cleaning");
+            let s = String::from_utf8(v).unwrap();
+            assert!(s.starts_with("round-15-"), "stale value {}", &s[..12]);
+        }
+        // Deleted keys must be reclaimed too.
+        c.del(b"key-00").unwrap();
+        assert_eq!(c.get(b"key-00").unwrap(), None);
+        server.shutdown();
+    });
+    simu.run().expect_ok();
+}
+
+/// Clients pinned to RPC-only mode during cleaning still see consistent
+/// data (the paper's cleaning/read protocol).
+#[test]
+fn reads_during_cleaning_use_rpc_and_stay_consistent() {
+    let mut simu = Sim::new(29);
+    let fabric = Fabric::new(CostModel::default());
+    let server_node = fabric.add_node("server");
+    let layout = StoreLayout::new(256, 128 * 1024, true);
+    let cfg = ServerConfig {
+        clean_threshold: 0.4,
+        clean_poll: sim::micros(5),
+        ..ServerConfig::default()
+    };
+    let server = Server::format(&fabric, &server_node, layout, cfg);
+    let f2 = Arc::clone(&fabric);
+    simu.spawn("main", move || {
+        let shared = server.start(&f2);
+        let desc = server.desc();
+        let sn = server_node.clone();
+        let f3 = Arc::clone(&f2);
+        // A writer that churns the pool to force cleaning.
+        let writer = sim::spawn("writer", move || {
+            let cn = f3.add_node("wn");
+            let c = Client::connect(&f3, &cn, &sn, desc, ClientConfig::default()).unwrap();
+            for round in 0..20u32 {
+                for k in 0..30u32 {
+                    let key = format!("wkey-{k:02}");
+                    c.put(key.as_bytes(), format!("r{round}-{}", "y".repeat(400)).as_bytes())
+                        .unwrap();
+                }
+            }
+        });
+        // A reader hammering GETs concurrently.
+        let c = connect(&f2, &server_node, &server);
+        let mut rpc_only_seen = false;
+        for _ in 0..300 {
+            if let (Some(v), outcome) = c.get_traced(b"wkey-07").unwrap() {
+                let s = String::from_utf8(v).unwrap();
+                assert!(s.starts_with('r'), "garbage value");
+                if outcome == GetOutcome::RpcOnly {
+                    rpc_only_seen = true;
+                }
+            }
+            sim::sleep(sim::micros(3));
+        }
+        writer.join();
+        sim::sleep(sim::millis(2));
+        assert!(
+            shared.stats.cleanings.load(Ordering::Relaxed) >= 1,
+            "cleaning never ran"
+        );
+        assert!(rpc_only_seen, "reader never observed cleaning mode");
+        server.shutdown();
+    });
+    simu.run().expect_ok();
+}

@@ -1,0 +1,161 @@
+//! Failure injection under load: clients that die between the allocation
+//! RPC and the RDMA value write leave half-born objects in the log. The
+//! verifier must time them out, GETs must keep serving the last durable
+//! version, and log cleaning must reclaim the corpses.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use efactory::client::{Client, ClientConfig};
+use efactory::log::StoreLayout;
+use efactory::protocol::{Request, Response};
+use efactory::server::{Server, ServerConfig};
+use efactory_rnic::{CostModel, Fabric};
+use efactory_sim as sim;
+use efactory_sim::Sim;
+
+#[test]
+fn lost_clients_are_timed_out_and_reclaimed() {
+    let mut simu = Sim::new(73);
+    let fabric = Fabric::new(CostModel::default());
+    let server_node = fabric.add_node("server");
+    let layout = StoreLayout::new(512, 256 * 1024, true);
+    let cfg = ServerConfig {
+        verify_timeout: sim::micros(50),
+        clean_threshold: 2.0, // manual cleaning below
+        clean_poll: sim::micros(10),
+        ..ServerConfig::default()
+    };
+    let server = Server::format(&fabric, &server_node, layout, cfg);
+    let f = Arc::clone(&fabric);
+    simu.spawn("main", move || {
+        let shared = server.start(&f);
+        let desc = server.desc();
+
+        // Live client writing + reading normally.
+        let live_node = f.add_node("live");
+        let live =
+            Client::connect(&f, &live_node, &server_node, desc, ClientConfig::default()).unwrap();
+
+        // "Zombie" clients: alloc RPCs with no value write, interleaved
+        // with live traffic on the same keys.
+        let zombie_node = f.add_node("zombie");
+        let zombie_qp = f.connect(&zombie_node, &server_node).unwrap();
+
+        for round in 0..10u32 {
+            for k in 0..8u32 {
+                let key = format!("key-{k}");
+                live.put(key.as_bytes(), format!("live-{round}-{k}").as_bytes())
+                    .unwrap();
+                // The zombie allocates a newer version of the same key and
+                // vanishes.
+                let req = Request::Put {
+                    key: key.as_bytes().to_vec(),
+                    vlen: 64,
+                    crc: 0xBAD0BAD0,
+                };
+                let raw = zombie_qp.rpc(req.encode()).unwrap();
+                assert!(matches!(
+                    Response::decode(&raw),
+                    Some(Response::Put { .. })
+                ));
+            }
+            sim::sleep(sim::micros(30));
+        }
+        // Wait out the timeout window + verifier sweeps.
+        sim::sleep(sim::millis(1));
+
+        // Every key must read as the live client's last value — the
+        // zombies' half-born heads are skipped via the version list.
+        for k in 0..8u32 {
+            let key = format!("key-{k}");
+            let v = live.get(key.as_bytes()).unwrap().expect("key lost");
+            let s = String::from_utf8(v).unwrap();
+            assert!(
+                s.starts_with("live-9-"),
+                "{key}: expected last live value, got {s}"
+            );
+        }
+        let timeouts = shared.stats.bg_timeouts.load(Ordering::Relaxed);
+        assert!(timeouts >= 60, "verifier only timed out {timeouts}/80 zombies");
+
+        // Cleaning reclaims the invalid corpses.
+        let used_before = shared.logs[0].used();
+        shared.clean_request.store(true, Ordering::Relaxed);
+        sim::sleep(sim::millis(3));
+        assert_eq!(shared.stats.cleanings.load(Ordering::Relaxed), 1);
+        let active = shared.active.load(Ordering::Relaxed);
+        let used_after = shared.logs[active].used();
+        assert!(
+            used_after < used_before / 4,
+            "cleaning kept too much: {used_before} -> {used_after}"
+        );
+        // And the data is still all there.
+        for k in 0..8u32 {
+            let key = format!("key-{k}");
+            assert!(live.get(key.as_bytes()).unwrap().is_some(), "{key} lost by cleaning");
+        }
+        server.shutdown();
+    });
+    simu.run().expect_ok();
+}
+
+/// A client whose value write is *partial* (dies mid-stream): crash tears
+/// the write at the fabric level; the reader sees the previous version.
+#[test]
+fn reader_never_sees_partially_written_values() {
+    let mut simu = Sim::new(79);
+    let fabric = Fabric::new(CostModel::default());
+    let server_node = fabric.add_node("server");
+    let layout = StoreLayout::new(256, 256 * 1024, true);
+    let cfg = ServerConfig {
+        verify_timeout: sim::micros(100),
+        ..ServerConfig::default()
+    };
+    let server = Server::format(&fabric, &server_node, layout, cfg);
+    let f = Arc::clone(&fabric);
+    simu.spawn("main", move || {
+        server.start(&f);
+        let c = Client::connect(
+            &f,
+            &f.add_node("c"),
+            &server_node,
+            server.desc(),
+            ClientConfig::default(),
+        )
+        .unwrap();
+        c.put(b"target", &vec![0xAA; 2048]).unwrap();
+        assert!(c.get(b"target").unwrap().is_some()); // durable
+
+        // A writer that allocates and then writes only HALF the value
+        // (modeling a client that died mid-DMA: we write a prefix
+        // directly, never completing the object).
+        let req = Request::Put {
+            key: b"target".to_vec(),
+            vlen: 2048,
+            crc: efactory_checksum::crc32c(&vec![0xBB; 2048]),
+        };
+        let half_qp = f.connect(&f.add_node("half"), &server_node).unwrap();
+        let raw = half_qp.rpc(req.encode()).unwrap();
+        let Some(Response::Put { value_off, .. }) = Response::decode(&raw) else {
+            panic!("alloc failed");
+        };
+        // Write only the first half of the value.
+        half_qp
+            .rdma_write(&server.desc().mr, value_off as usize, vec![0xBB; 1024])
+            .unwrap();
+
+        // Readers during and after the timeout window always get a full,
+        // consistent value.
+        for _ in 0..50 {
+            let v = c.get(b"target").unwrap().expect("key must stay readable");
+            assert!(
+                v == vec![0xAA; 2048] || v == vec![0xBB; 2048],
+                "reader saw a torn value"
+            );
+            sim::sleep(sim::micros(10));
+        }
+        server.shutdown();
+    });
+    simu.run().expect_ok();
+}

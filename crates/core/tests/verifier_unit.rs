@@ -1,0 +1,156 @@
+//! Unit tests driving the background verifier's `step` state machine
+//! directly (no network, no handler): each `StepOutcome` variant has a
+//! dedicated construction.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use efactory::layout::{self, flags, ObjHeader, NIL};
+use efactory::log::StoreLayout;
+use efactory::server::{Server, ServerConfig};
+use efactory::verifier::{step, StepOutcome};
+use efactory_checksum::crc32c;
+use efactory_rnic::{CostModel, Fabric};
+use efactory_sim as sim;
+use efactory_sim::Sim;
+
+/// Stage an object the way the PUT handler would (header + key persisted),
+/// with the value either present or missing.
+fn stage(
+    shared: &efactory::server::ServerShared,
+    key: &[u8],
+    value: &[u8],
+    write_value: bool,
+) -> usize {
+    let size = layout::object_size(key.len(), value.len());
+    let off = shared.logs[0].alloc(size).expect("alloc");
+    let hdr = ObjHeader {
+        klen: key.len() as u16,
+        vlen: value.len() as u32,
+        flags: flags::VALID,
+        pre_ptr: NIL,
+        next_ptr: NIL,
+        crc: crc32c(value),
+        seq: 1,
+        alloc_time: sim::now(),
+    };
+    hdr.write_to(&shared.pool, off);
+    shared.pool.write(off + hdr.key_off(), key);
+    shared.pool.persist(off, layout::HDR_LEN + layout::pad8(key.len()));
+    if write_value {
+        shared.pool.write(off + hdr.value_off(), value);
+    }
+    off
+}
+
+fn in_sim(cfg: ServerConfig, body: impl FnOnce(Arc<efactory::server::ServerShared>) + Send + 'static) {
+    let mut simu = Sim::new(71);
+    let fabric = Fabric::new(CostModel::default());
+    let node = fabric.add_node("server");
+    let server = Server::format(&fabric, &node, StoreLayout::new(256, 1 << 20, true), cfg);
+    let shared = Arc::clone(server.shared());
+    // Note: the server is NOT started — no competing verifier process.
+    simu.spawn("test", move || body(shared));
+    simu.run().expect_ok();
+}
+
+#[test]
+fn idle_when_cursor_reaches_head() {
+    in_sim(ServerConfig::default(), |shared| {
+        assert_eq!(step(&shared), StepOutcome::Idle);
+    });
+}
+
+#[test]
+fn persists_complete_objects_and_advances() {
+    in_sim(ServerConfig::default(), |shared| {
+        let off1 = stage(&shared, b"key-1", b"value-one", true);
+        let off2 = stage(&shared, b"key-2", b"value-two", true);
+        assert_eq!(step(&shared), StepOutcome::Persisted);
+        let h1 = ObjHeader::read_from(&shared.pool, off1);
+        assert!(h1.has(flags::DURABLE));
+        assert!(shared.pool.is_persisted(off1, h1.object_size()));
+        assert_eq!(step(&shared), StepOutcome::Persisted);
+        assert!(ObjHeader::read_from(&shared.pool, off2).has(flags::DURABLE));
+        assert_eq!(step(&shared), StepOutcome::Idle);
+        assert_eq!(shared.stats.bg_verified.load(Ordering::Relaxed), 2);
+    });
+}
+
+#[test]
+fn waits_on_incomplete_object_within_timeout() {
+    in_sim(ServerConfig::default(), |shared| {
+        let off = stage(&shared, b"key", b"value-not-yet-written", false);
+        assert_eq!(step(&shared), StepOutcome::Waiting);
+        // Head-of-line: the cursor must NOT advance.
+        assert_eq!(shared.cursor.load(Ordering::Relaxed) as usize, off);
+        // The value lands (client RDMA write completes): next step persists.
+        let hdr = ObjHeader::read_from(&shared.pool, off);
+        shared
+            .pool
+            .write(off + hdr.value_off(), b"value-not-yet-written");
+        assert_eq!(step(&shared), StepOutcome::Persisted);
+    });
+}
+
+#[test]
+fn invalidates_after_timeout_and_moves_on() {
+    let cfg = ServerConfig {
+        verify_timeout: sim::micros(10),
+        ..ServerConfig::default()
+    };
+    in_sim(cfg, |shared| {
+        let off_dead = stage(&shared, b"dead", b"never-arrives", false);
+        let off_live = stage(&shared, b"live", b"arrives", true);
+        assert_eq!(step(&shared), StepOutcome::Waiting);
+        sim::sleep(sim::micros(20)); // exceed the timeout
+        assert_eq!(step(&shared), StepOutcome::Invalidated);
+        let h = ObjHeader::read_from(&shared.pool, off_dead);
+        assert!(!h.has(flags::VALID), "timed-out object must be invalid");
+        // The object behind the stuck head is now reachable.
+        assert_eq!(step(&shared), StepOutcome::Persisted);
+        assert!(ObjHeader::read_from(&shared.pool, off_live).has(flags::DURABLE));
+        assert_eq!(shared.stats.bg_timeouts.load(Ordering::Relaxed), 1);
+    });
+}
+
+#[test]
+fn skips_objects_persisted_by_the_get_handler() {
+    in_sim(ServerConfig::default(), |shared| {
+        let off = stage(&shared, b"key", b"value", true);
+        // Simulate the GET handler's on-demand persist.
+        let hdr = ObjHeader::read_from(&shared.pool, off);
+        shared.persist_object(off, &hdr);
+        assert_eq!(step(&shared), StepOutcome::Skipped);
+        assert_eq!(shared.stats.bg_verified.load(Ordering::Relaxed), 0);
+    });
+}
+
+#[test]
+fn tombstones_verify_trivially() {
+    in_sim(ServerConfig::default(), |shared| {
+        let off = stage(&shared, b"gone", b"", true);
+        layout::update_flags(&shared.pool, off, flags::TOMBSTONE, 0);
+        shared.pool.persist(off, 8);
+        assert_eq!(step(&shared), StepOutcome::Persisted);
+        assert!(ObjHeader::read_from(&shared.pool, off).has(flags::DURABLE));
+    });
+}
+
+#[test]
+fn corrupted_value_is_waiting_then_invalidated_not_persisted() {
+    let cfg = ServerConfig {
+        verify_timeout: sim::micros(5),
+        ..ServerConfig::default()
+    };
+    in_sim(cfg, |shared| {
+        let off = stage(&shared, b"key", b"good-value", true);
+        // Corrupt one byte of the landed value (a torn DMA).
+        let hdr = ObjHeader::read_from(&shared.pool, off);
+        shared.pool.write(off + hdr.value_off(), b"God-value!");
+        assert_eq!(step(&shared), StepOutcome::Waiting);
+        sim::sleep(sim::micros(10));
+        assert_eq!(step(&shared), StepOutcome::Invalidated);
+        assert!(!ObjHeader::read_from(&shared.pool, off).has(flags::DURABLE));
+    });
+}

@@ -1,0 +1,483 @@
+//! The experiment driver: build a cluster for any of the paper's six
+//! systems inside one deterministic simulation, run a YCSB workload with N
+//! closed-loop clients, and report latency/throughput in virtual time.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+
+use efactory::client::{Client, ClientConfig, RemoteKv};
+use efactory::log::StoreLayout;
+use efactory::server::{Server, ServerConfig};
+use efactory_baselines::{
+    CaNoperClient, CaNoperServer, ErdaClient, ErdaServer, ForcaClient, ForcaServer, ImmClient,
+    ImmServer, RpcClient, RpcServer, SawClient, SawServer,
+};
+use efactory_rnic::{CostModel, Fabric, Node};
+use efactory_sim as sim;
+use efactory_sim::{Nanos, Sim};
+use efactory_ycsb::{make_value, Mix, Op, OpStream, WorkloadConfig};
+
+use crate::stats::LatencyStats;
+
+/// The systems under comparison (paper §5.3 + the factor-analysis variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+pub enum SystemKind {
+    /// The paper's contribution.
+    EFactory,
+    /// eFactory with the hybrid read disabled (always RPC+RDMA read).
+    EFactoryNoHr,
+    /// Send-after-write.
+    Saw,
+    /// write_with_imm.
+    Imm,
+    /// Erda (client-side CRC).
+    Erda,
+    /// Forca (server-side CRC on reads).
+    Forca,
+    /// Client-active without persistence (Figure 1 baseline).
+    CaNoper,
+    /// Plain RPC store (Figure 1 baseline).
+    Rpc,
+}
+
+impl SystemKind {
+    /// Label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::EFactory => "eFactory",
+            SystemKind::EFactoryNoHr => "eFactory w/o hr",
+            SystemKind::Saw => "SAW",
+            SystemKind::Imm => "IMM",
+            SystemKind::Erda => "Erda",
+            SystemKind::Forca => "Forca",
+            SystemKind::CaNoper => "CA w/o persistence",
+            SystemKind::Rpc => "RPC",
+        }
+    }
+
+    /// The six systems of Figures 9/10, in the paper's legend order.
+    pub fn comparison() -> [SystemKind; 6] {
+        [
+            SystemKind::EFactory,
+            SystemKind::EFactoryNoHr,
+            SystemKind::Saw,
+            SystemKind::Imm,
+            SystemKind::Erda,
+            SystemKind::Forca,
+        ]
+    }
+}
+
+/// Log-cleaning configuration for eFactory runs.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub enum Cleaning {
+    /// Single pool sized for the whole workload; no cleaner process.
+    Disabled,
+    /// Dual pools of `pool_len` bytes each; clean at `threshold` fill.
+    Enabled {
+        /// Fill fraction that triggers cleaning.
+        threshold: f64,
+        /// Per-pool capacity in bytes.
+        pool_len: usize,
+    },
+}
+
+/// One experiment configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// System under test.
+    pub system: SystemKind,
+    /// Operation mix.
+    pub mix: Mix,
+    /// Value size in bytes.
+    pub value_len: usize,
+    /// Key size in bytes (the paper uses 32).
+    pub key_len: usize,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Measured operations per client.
+    pub ops_per_client: usize,
+    /// Distinct keys (preloaded before measurement).
+    pub record_count: u64,
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Cleaning mode (eFactory only; baselines never clean).
+    pub cleaning: Cleaning,
+    /// Force one cleaning pass right as measurement starts (Figure 11:
+    /// latency *during* cleaning). Requires `Cleaning::Enabled`.
+    pub force_clean: bool,
+}
+
+impl ExperimentSpec {
+    /// A paper-flavored spec: 32-byte keys, 4 K records, 8 clients.
+    pub fn paper(system: SystemKind, mix: Mix, value_len: usize) -> ExperimentSpec {
+        ExperimentSpec {
+            system,
+            mix,
+            value_len,
+            key_len: 32,
+            clients: 8,
+            ops_per_client: 2_000,
+            record_count: 4_096,
+            seed: 42,
+            cleaning: Cleaning::Disabled,
+            force_clean: false,
+        }
+    }
+}
+
+/// What a run produced.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct RunResult {
+    /// System label.
+    pub system: &'static str,
+    /// Measured operations (across all clients).
+    pub total_ops: u64,
+    /// Virtual time of the measurement window.
+    pub elapsed_ns: Nanos,
+    /// Throughput in million operations per virtual second.
+    pub mops: f64,
+    /// GET latencies.
+    pub get: LatencyStats,
+    /// PUT latencies.
+    pub put: LatencyStats,
+    /// All-op latencies (Figure 11 plots the combined average).
+    pub all: LatencyStats,
+    /// Server-side RPC GETs (eFactory: the fallback count).
+    pub server_rpc_gets: u64,
+    /// Objects persisted by the background verifier (eFactory).
+    pub bg_verified: u64,
+    /// Log cleanings completed (eFactory).
+    pub cleanings: u64,
+}
+
+#[derive(Default)]
+struct Collected {
+    get: Vec<Nanos>,
+    put: Vec<Nanos>,
+    end: Nanos,
+}
+
+enum AnyServer {
+    Ef(Server),
+    Saw(SawServer),
+    Imm(ImmServer),
+    Erda(ErdaServer),
+    Forca(ForcaServer),
+    CaNoper(CaNoperServer),
+    Rpc(RpcServer),
+}
+
+impl AnyServer {
+    fn desc(&self) -> efactory::server::StoreDesc {
+        match self {
+            AnyServer::Ef(s) => s.desc(),
+            AnyServer::Saw(s) => s.desc(),
+            AnyServer::Imm(s) => s.desc(),
+            AnyServer::Erda(s) => s.desc(),
+            AnyServer::Forca(s) => s.desc(),
+            AnyServer::CaNoper(s) => s.desc(),
+            AnyServer::Rpc(s) => s.desc(),
+        }
+    }
+
+    fn start(&self, fabric: &Arc<Fabric>) {
+        match self {
+            AnyServer::Ef(s) => {
+                s.start(fabric);
+            }
+            AnyServer::Saw(s) => s.start(fabric),
+            AnyServer::Imm(s) => s.start(fabric),
+            AnyServer::Erda(s) => s.start(fabric),
+            AnyServer::Forca(s) => s.start(fabric),
+            AnyServer::CaNoper(s) => s.start(fabric),
+            AnyServer::Rpc(s) => s.start(fabric),
+        }
+    }
+
+    fn shutdown(&self) {
+        match self {
+            AnyServer::Ef(s) => s.shutdown(),
+            AnyServer::Saw(s) => s.shutdown(),
+            AnyServer::Imm(s) => s.shutdown(),
+            AnyServer::Erda(s) => s.shutdown(),
+            AnyServer::Forca(s) => s.shutdown(),
+            AnyServer::CaNoper(s) => s.shutdown(),
+            AnyServer::Rpc(s) => s.shutdown(),
+        }
+    }
+
+    fn stats(&self) -> &efactory::server::ServerStats {
+        match self {
+            AnyServer::Ef(s) => &s.shared().stats,
+            AnyServer::Saw(s) => &s.base().stats,
+            AnyServer::Imm(s) => &s.base().stats,
+            AnyServer::Erda(s) => &s.base().stats,
+            AnyServer::Forca(s) => &s.base().stats,
+            AnyServer::CaNoper(s) => &s.base().stats,
+            AnyServer::Rpc(s) => &s.base().stats,
+        }
+    }
+}
+
+fn build_server(
+    fabric: &Fabric,
+    node: &Node,
+    spec: &ExperimentSpec,
+    cfg_tweak: Option<&(dyn Fn(&mut ServerConfig) + Send + Sync)>,
+) -> AnyServer {
+    // Size the store to hold preload + every measured PUT with slack.
+    let total_puts = ((spec.clients * spec.ops_per_client) as f64
+        * (1.0 - spec.mix.read_fraction()))
+    .ceil() as usize
+        + 16;
+    let sized = StoreLayout::for_workload(
+        spec.record_count as usize,
+        total_puts,
+        spec.key_len,
+        spec.value_len,
+        1.3,
+        false,
+    );
+    match spec.system {
+        SystemKind::EFactory | SystemKind::EFactoryNoHr => {
+            let (layout, mut cfg) = match spec.cleaning {
+                Cleaning::Disabled => (
+                    sized,
+                    ServerConfig {
+                        clean_enabled: false,
+                        ..ServerConfig::default()
+                    },
+                ),
+                Cleaning::Enabled {
+                    threshold,
+                    pool_len,
+                } => (
+                    StoreLayout::new((spec.record_count as usize * 4).max(1024), pool_len, true),
+                    ServerConfig {
+                        clean_enabled: true,
+                        clean_threshold: threshold,
+                        ..ServerConfig::default()
+                    },
+                ),
+            };
+            if let Some(tweak) = cfg_tweak {
+                tweak(&mut cfg);
+            }
+            AnyServer::Ef(Server::format(fabric, node, layout, cfg))
+        }
+        SystemKind::Saw => AnyServer::Saw(SawServer::format(fabric, node, sized)),
+        SystemKind::Imm => AnyServer::Imm(ImmServer::format(fabric, node, sized)),
+        SystemKind::Erda => AnyServer::Erda(ErdaServer::format(fabric, node, sized)),
+        SystemKind::Forca => AnyServer::Forca(ForcaServer::format(fabric, node, sized)),
+        SystemKind::CaNoper => AnyServer::CaNoper(CaNoperServer::format(fabric, node, sized)),
+        SystemKind::Rpc => AnyServer::Rpc(RpcServer::format(fabric, node, sized)),
+    }
+}
+
+fn make_client(
+    kind: SystemKind,
+    fabric: &Arc<Fabric>,
+    local: &Node,
+    server_node: &Node,
+    desc: efactory::server::StoreDesc,
+) -> Box<dyn RemoteKv> {
+    match kind {
+        SystemKind::EFactory => Box::new(
+            Client::connect(fabric, local, server_node, desc, ClientConfig::default())
+                .expect("connect"),
+        ),
+        SystemKind::EFactoryNoHr => Box::new(
+            Client::connect(
+                fabric,
+                local,
+                server_node,
+                desc,
+                ClientConfig {
+                    hybrid_read: false,
+                    ..ClientConfig::default()
+                },
+            )
+            .expect("connect"),
+        ),
+        SystemKind::Saw => Box::new(SawClient::connect(fabric, local, server_node, desc).expect("connect")),
+        SystemKind::Imm => Box::new(ImmClient::connect(fabric, local, server_node, desc).expect("connect")),
+        SystemKind::Erda => Box::new(ErdaClient::connect(fabric, local, server_node, desc).expect("connect")),
+        SystemKind::Forca => Box::new(ForcaClient::connect(fabric, local, server_node, desc).expect("connect")),
+        SystemKind::CaNoper => {
+            Box::new(CaNoperClient::connect(fabric, local, server_node, desc).expect("connect"))
+        }
+        SystemKind::Rpc => Box::new(RpcClient::connect(fabric, local, server_node, desc).expect("connect")),
+    }
+}
+
+/// Execute one experiment. Deterministic in `spec.seed`.
+pub fn run(spec: &ExperimentSpec) -> RunResult {
+    run_with_cost(spec, CostModel::default())
+}
+
+/// Execute one experiment with a custom cost model (ablations).
+pub fn run_with_cost(spec: &ExperimentSpec, cost: CostModel) -> RunResult {
+    run_inner(spec, cost, None)
+}
+
+/// Execute one experiment with a tweak applied to the eFactory
+/// `ServerConfig` (verifier/cleaner ablations). No effect on baselines.
+pub fn run_with_server_cfg(
+    spec: &ExperimentSpec,
+    cost: CostModel,
+    tweak: impl Fn(&mut ServerConfig) + Send + Sync + 'static,
+) -> RunResult {
+    run_inner(spec, cost, Some(Arc::new(tweak)))
+}
+
+type CfgTweak = Arc<dyn Fn(&mut ServerConfig) + Send + Sync>;
+
+fn run_inner(spec: &ExperimentSpec, cost: CostModel, tweak: Option<CfgTweak>) -> RunResult {
+    let mut simu = Sim::new(spec.seed);
+    let fabric = Fabric::new(cost);
+    let server_node = fabric.add_node("server");
+    let server = Arc::new(build_server(
+        &fabric,
+        &server_node,
+        spec,
+        tweak.as_deref(),
+    ));
+
+    let collected: Arc<Mutex<Collected>> = Arc::default();
+    let window: Arc<Mutex<(Nanos, Nanos)>> = Arc::default(); // (start, end)
+
+    let spec2 = spec.clone();
+    let f2 = Arc::clone(&fabric);
+    let server2 = Arc::clone(&server);
+    let collected2 = Arc::clone(&collected);
+    let window2 = Arc::clone(&window);
+    simu.spawn("orchestrator", move || {
+        server2.start(&f2);
+        let desc = server2.desc();
+
+        // ---- preload ------------------------------------------------------
+        let loader_node = f2.add_node("loader");
+        let loader = make_client(spec2.system, &f2, &loader_node, &server_node, desc);
+        let wl = WorkloadConfig {
+            mix: spec2.mix,
+            record_count: spec2.record_count,
+            key_len: spec2.key_len,
+            value_len: spec2.value_len,
+        };
+        for id in 0..spec2.record_count {
+            loader
+                .kv_put(&wl.key(id), &make_value(spec2.value_len, id, 0))
+                .expect("preload put");
+        }
+        // Forca verifies+persists on *first read*; sweep the keyspace once
+        // so measurement starts from the verified steady state (mirroring
+        // eFactory's drained-verifier start below).
+        if matches!(spec2.system, SystemKind::Forca) {
+            for id in 0..spec2.record_count {
+                loader.kv_get(&wl.key(id)).expect("preload warm get");
+            }
+        }
+        // Let eFactory's verifier drain so measurement starts from a clean,
+        // fully durable store (bounded wait).
+        if let AnyServer::Ef(s) = &*server2 {
+            let shared = Arc::clone(s.shared());
+            let deadline = sim::now() + sim::millis(500);
+            while shared.stats.bg_verified.load(Ordering::Relaxed)
+                + shared.stats.bg_timeouts.load(Ordering::Relaxed)
+                < spec2.record_count
+                && sim::now() < deadline
+            {
+                sim::sleep(sim::micros(200));
+            }
+        }
+
+        // ---- measured clients ----------------------------------------------
+        if spec2.force_clean {
+            if let AnyServer::Ef(s) = &*server2 {
+                s.shared().clean_request.store(true, Ordering::Relaxed);
+            }
+        }
+        let t_start = sim::now();
+        window2.lock().unwrap().0 = t_start;
+        let mut handles = Vec::new();
+        for cid in 0..spec2.clients {
+            let f3 = Arc::clone(&f2);
+            let sn = server_node.clone();
+            let spec3 = spec2.clone();
+            let wl = wl.clone();
+            let collected3 = Arc::clone(&collected2);
+            handles.push(sim::spawn(&format!("client-{cid}"), move || {
+                let node = f3.add_node(&format!("cnode-{cid}"));
+                let kv = make_client(spec3.system, &f3, &node, &sn, desc);
+                let mut stream = OpStream::new(wl, spec3.seed, cid as u64);
+                let mut get = Vec::with_capacity(spec3.ops_per_client);
+                let mut put = Vec::with_capacity(spec3.ops_per_client);
+                for _ in 0..spec3.ops_per_client {
+                    match stream.next_op() {
+                        Op::Get { key } => {
+                            let t0 = sim::now();
+                            kv.kv_get(&key).expect("get failed");
+                            get.push(sim::now() - t0);
+                        }
+                        Op::Put { key, value } => {
+                            let t0 = sim::now();
+                            // Under heavy cleaning pressure the pool can
+                            // momentarily run out of space; real clients
+                            // back off and retry, and the stall is part of
+                            // the measured latency.
+                            let mut tries = 0;
+                            loop {
+                                match kv.kv_put(&key, &value) {
+                                    Ok(()) => break,
+                                    Err(efactory::protocol::StoreError::Status(
+                                        efactory::protocol::Status::NoSpace
+                                        | efactory::protocol::Status::Busy,
+                                    )) if tries < 200 => {
+                                        tries += 1;
+                                        sim::sleep(sim::micros(50));
+                                    }
+                                    Err(e) => panic!("put failed: {e:?}"),
+                                }
+                            }
+                            put.push(sim::now() - t0);
+                        }
+                    }
+                }
+                let mut c = collected3.lock().unwrap();
+                c.get.extend_from_slice(&get);
+                c.put.extend_from_slice(&put);
+                c.end = c.end.max(sim::now());
+            }));
+        }
+        for h in &handles {
+            h.join();
+        }
+        window2.lock().unwrap().1 = collected2.lock().unwrap().end;
+        server2.shutdown();
+    });
+
+    let outcome = simu.run();
+    if let efactory_sim::RunOutcome::Failed { error, .. } = outcome {
+        panic!("experiment failed: {error}");
+    }
+
+    let mut c = collected.lock().unwrap();
+    let (start, end) = *window.lock().unwrap();
+    let elapsed = end.saturating_sub(start).max(1);
+    let total_ops = (c.get.len() + c.put.len()) as u64;
+    let mut all: Vec<Nanos> = c.get.iter().chain(c.put.iter()).copied().collect();
+    let stats = server.stats();
+    RunResult {
+        system: spec.system.label(),
+        total_ops,
+        elapsed_ns: elapsed,
+        mops: total_ops as f64 / (elapsed as f64 / 1e9) / 1e6,
+        get: LatencyStats::from_samples(&mut c.get),
+        put: LatencyStats::from_samples(&mut c.put),
+        all: LatencyStats::from_samples(&mut all),
+        server_rpc_gets: stats.gets.load(Ordering::Relaxed),
+        bg_verified: stats.bg_verified.load(Ordering::Relaxed),
+        cleanings: stats.cleanings.load(Ordering::Relaxed),
+    }
+}

@@ -1,0 +1,110 @@
+//! # efactory-harness — the experiment driver
+//!
+//! Reproduces the paper's evaluation methodology (§5): a server plus N
+//! closed-loop clients "issuing operations as fast as possible" over YCSB
+//! workloads, measured in the simulator's virtual time so results are
+//! deterministic and independent of the host machine.
+//!
+//! * [`cluster`] — build any of the six systems, preload records, run the
+//!   workload, collect latency histograms and throughput.
+//! * [`stats`] — percentile/mean summaries.
+//! * [`table`] — fixed-width table rendering for the per-figure binaries in
+//!   `efactory-bench`.
+
+pub mod cluster;
+pub mod stats;
+pub mod table;
+
+pub use cluster::{run, run_with_cost, Cleaning, ExperimentSpec, RunResult, SystemKind};
+pub use stats::LatencyStats;
+pub use table::Table;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efactory_ycsb::Mix;
+
+    fn tiny(system: SystemKind, mix: Mix) -> ExperimentSpec {
+        ExperimentSpec {
+            system,
+            mix,
+            value_len: 128,
+            key_len: 16,
+            clients: 2,
+            ops_per_client: 60,
+            record_count: 64,
+            seed: 7,
+            cleaning: Cleaning::Disabled,
+            force_clean: false,
+        }
+    }
+
+    #[test]
+    fn every_system_completes_a_mixed_workload() {
+        for system in SystemKind::comparison() {
+            let r = run(&tiny(system, Mix::A));
+            assert_eq!(r.total_ops, 120, "{system:?}");
+            assert!(r.mops > 0.0, "{system:?}");
+            assert!(r.get.count + r.put.count == 120, "{system:?}");
+            assert!(r.elapsed_ns > 0, "{system:?}");
+        }
+    }
+
+    #[test]
+    fn read_only_workload_measures_only_gets() {
+        let r = run(&tiny(SystemKind::EFactory, Mix::C));
+        assert_eq!(r.put.count, 0);
+        assert_eq!(r.get.count, 120);
+        // With a drained verifier, read-only traffic should never need the
+        // server (pure one-sided path).
+        assert_eq!(r.server_rpc_gets, 0, "unexpected RPC fallbacks");
+    }
+
+    #[test]
+    fn efactory_no_hr_routes_reads_through_server() {
+        let r = run(&tiny(SystemKind::EFactoryNoHr, Mix::C));
+        assert_eq!(r.server_rpc_gets, 120);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(&tiny(SystemKind::EFactory, Mix::B));
+        let b = run(&tiny(SystemKind::EFactory, Mix::B));
+        assert_eq!(a.elapsed_ns, b.elapsed_ns);
+        assert_eq!(a.get.p50_ns, b.get.p50_ns);
+        assert_eq!(a.put.p99_ns, b.put.p99_ns);
+        assert_eq!(a.mops, b.mops);
+    }
+
+    #[test]
+    fn update_only_exercises_puts_for_every_system() {
+        for system in [SystemKind::CaNoper, SystemKind::Rpc, SystemKind::Saw] {
+            let r = run(&tiny(system, Mix::UpdateOnly));
+            assert_eq!(r.get.count, 0, "{system:?}");
+            assert_eq!(r.put.count, 120, "{system:?}");
+        }
+    }
+
+    #[test]
+    fn cleaning_mode_triggers_cleanings() {
+        let spec = ExperimentSpec {
+            system: SystemKind::EFactory,
+            mix: Mix::UpdateOnly,
+            value_len: 512,
+            key_len: 16,
+            clients: 2,
+            ops_per_client: 200,
+            record_count: 32,
+            seed: 7,
+            // ~232 KB of writes through 64 KB pools: several cleanings.
+            cleaning: Cleaning::Enabled {
+                threshold: 0.5,
+                pool_len: 64 * 1024,
+            },
+            force_clean: false,
+        };
+        let r = run(&spec);
+        assert!(r.cleanings >= 1, "expected cleaning, got {r:?}");
+        assert_eq!(r.total_ops, 400);
+    }
+}

@@ -1,0 +1,96 @@
+//! Latency/throughput statistics for experiment runs.
+
+use efactory_sim::Nanos;
+
+/// Summary of a latency sample set (virtual nanoseconds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean_ns: f64,
+    /// Median.
+    pub p50_ns: Nanos,
+    /// 99th percentile.
+    pub p99_ns: Nanos,
+    /// Maximum.
+    pub max_ns: Nanos,
+}
+
+impl LatencyStats {
+    /// Summarize `samples` (sorted in place).
+    pub fn from_samples(samples: &mut [Nanos]) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len() as u64;
+        let sum: u128 = samples.iter().map(|&s| s as u128).sum();
+        LatencyStats {
+            count,
+            mean_ns: sum as f64 / count as f64,
+            p50_ns: percentile(samples, 50.0),
+            p99_ns: percentile(samples, 99.0),
+            max_ns: *samples.last().expect("non-empty"),
+        }
+    }
+
+    /// Median in microseconds (table rendering).
+    pub fn p50_us(&self) -> f64 {
+        self.p50_ns as f64 / 1000.0
+    }
+
+    /// p99 in microseconds (table rendering).
+    pub fn p99_us(&self) -> f64 {
+        self.p99_ns as f64 / 1000.0
+    }
+
+    /// Mean in microseconds (table rendering).
+    pub fn mean_us(&self) -> f64 {
+        self.mean_ns / 1000.0
+    }
+}
+
+/// Nearest-rank percentile of a **sorted** slice.
+pub fn percentile(sorted: &[Nanos], p: f64) -> Nanos {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=100.0).contains(&p));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_samples_give_zeroes() {
+        assert_eq!(LatencyStats::from_samples(&mut []), LatencyStats::default());
+    }
+
+    #[test]
+    fn percentiles_of_known_distribution() {
+        let mut v: Vec<Nanos> = (1..=100).collect();
+        let s = LatencyStats::from_samples(&mut v);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ns, 50);
+        assert_eq!(s.p99_ns, 99);
+        assert_eq!(s.max_ns, 100);
+        assert!((s.mean_ns - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_handles_small_sets() {
+        assert_eq!(percentile(&[7], 50.0), 7);
+        assert_eq!(percentile(&[7], 99.0), 7);
+        assert_eq!(percentile(&[1, 2], 99.0), 2);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_first() {
+        let mut v = vec![30, 10, 20];
+        let s = LatencyStats::from_samples(&mut v);
+        assert_eq!(s.p50_ns, 20);
+        assert_eq!(s.max_ns, 30);
+    }
+}

@@ -1,0 +1,698 @@
+//! # efactory-pmem — simulated persistent memory
+//!
+//! A byte-addressable memory pool with an explicit **volatility/persistence
+//! boundary**, standing in for the PMDK-emulated NVM of the paper's testbed.
+//!
+//! The pool keeps two images:
+//!
+//! * the **working image** — what CPU loads/stores and NIC DMA observe; this
+//!   models data sitting anywhere in the volatile domain (CPU caches, PCIe
+//!   buffers, the memory controller's write pending queue);
+//! * the **media image** — what survives a crash.
+//!
+//! A [`write`](PmemPool::write) touches only the working image and marks the
+//! affected 64-byte cache lines *dirty*. [`flush`](PmemPool::flush) (the
+//! CLWB/CLFLUSH analogue) copies dirty lines to media;
+//! [`drain`](PmemPool::drain) is the SFENCE analogue (flushes here are
+//! synchronous, so it only participates in the accounting — but call sites
+//! keep the `flush; drain` discipline of real pmem code).
+//!
+//! [`crash`](PmemPool::crash) models power failure: dirty lines either revert
+//! to media or — under a [`CrashSpec`] with survivors — persist partially, at
+//! **8-byte granularity**, the failure-atomicity unit the paper assumes for
+//! NVM. After a crash the working image equals the media image, exactly like
+//! a reboot.
+//!
+//! All words are `AtomicU64` so the pool is `Sync`; the discrete-event
+//! executor serializes process execution, so `Relaxed` ordering suffices —
+//! the atomics exist for soundness, and to make 8-byte stores indivisible by
+//! construction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::Rng;
+
+/// Cache-line size: flush and crash granularity for line-level decisions.
+pub const LINE: usize = 64;
+/// Words (8 B) per cache line.
+const WORDS_PER_LINE: usize = LINE / 8;
+
+/// How a crash treats dirty (unflushed) cache lines.
+///
+/// Flushed data always survives; the spec only governs the volatile domain.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CrashSpec {
+    /// No dirty data survives: every unflushed line reverts to media. The
+    /// most adversarial power failure.
+    DropAll,
+    /// Every dirty line survives (as if all caches were evicted just in
+    /// time). Models Erda's "dirty updates become durable through natural
+    /// eviction" best case.
+    KeepAll,
+    /// Each dirty *line* independently survives with probability `p`.
+    Lines(f64),
+    /// Each dirty *word* (8 B) independently survives with probability `p` —
+    /// the finest-grained torn write the 8-byte atomicity unit allows.
+    Words(f64),
+}
+
+/// Outcome of a [`PmemPool::crash`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CrashReport {
+    /// Dirty lines at the moment of the crash.
+    pub dirty_lines: usize,
+    /// Dirty words that survived (were promoted to media).
+    pub words_persisted: usize,
+    /// Dirty words that reverted to the media image.
+    pub words_lost: usize,
+}
+
+/// Running counters, readable at any time (benchmarks and tests).
+#[derive(Debug, Default)]
+pub struct PmemStats {
+    /// Bytes written to the working image.
+    pub bytes_written: AtomicU64,
+    /// `flush` calls.
+    pub flushes: AtomicU64,
+    /// Lines copied to media by flushes.
+    pub lines_flushed: AtomicU64,
+    /// `drain` calls.
+    pub drains: AtomicU64,
+    /// Crashes injected.
+    pub crashes: AtomicU64,
+}
+
+/// A simulated persistent-memory pool. See the [crate docs](crate).
+pub struct PmemPool {
+    len: usize,
+    working: Box<[AtomicU64]>,
+    media: Box<[AtomicU64]>,
+    /// One bit per cache line: working image diverges from media.
+    dirty: Box<[AtomicU64]>,
+    stats: PmemStats,
+}
+
+fn zeroed_words(n: usize) -> Box<[AtomicU64]> {
+    (0..n).map(|_| AtomicU64::new(0)).collect()
+}
+
+impl PmemPool {
+    /// Allocate a pool of `len` bytes (rounded up to a whole cache line),
+    /// zero-filled and fully persistent (no dirty lines).
+    pub fn new(len: usize) -> Self {
+        let len = len.div_ceil(LINE) * LINE;
+        let words = len / 8;
+        PmemPool {
+            len,
+            working: zeroed_words(words),
+            media: zeroed_words(words),
+            dirty: zeroed_words(len.div_ceil(LINE).div_ceil(64)),
+            stats: PmemStats::default(),
+        }
+    }
+
+    /// Pool size in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for a zero-sized pool (never in practice; `clippy` symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Access the counters.
+    pub fn stats(&self) -> &PmemStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn check_range(&self, off: usize, len: usize) {
+        assert!(
+            off.checked_add(len).is_some_and(|end| end <= self.len),
+            "pmem access out of range: off={off} len={len} pool={}",
+            self.len
+        );
+    }
+
+    #[inline]
+    fn mark_dirty_lines(&self, off: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = off / LINE;
+        let last = (off + len - 1) / LINE;
+        for line in first..=last {
+            self.dirty[line / 64].fetch_or(1 << (line % 64), Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the line containing byte `off` is dirty (unflushed).
+    pub fn is_dirty(&self, off: usize) -> bool {
+        let line = off / LINE;
+        self.dirty[line / 64].load(Ordering::Relaxed) & (1 << (line % 64)) != 0
+    }
+
+    /// Number of dirty lines.
+    pub fn dirty_line_count(&self) -> usize {
+        self.dirty
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    // -- byte-granularity access to the working image -----------------------
+
+    /// Read `buf.len()` bytes at `off` from the working image (a CPU load or
+    /// an inbound RDMA-read DMA).
+    pub fn read(&self, off: usize, buf: &mut [u8]) {
+        self.check_range(off, buf.len());
+        for (i, b) in buf.iter_mut().enumerate() {
+            let addr = off + i;
+            let word = self.working[addr / 8].load(Ordering::Relaxed);
+            *b = word.to_le_bytes()[addr % 8];
+        }
+    }
+
+    /// Write `data` at `off` into the working image (a CPU store or an
+    /// inbound RDMA-write DMA). Marks the touched lines dirty; does **not**
+    /// persist anything.
+    pub fn write(&self, off: usize, data: &[u8]) {
+        self.check_range(off, data.len());
+        self.stats
+            .bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        let mut i = 0;
+        // Head: partial word.
+        while i < data.len() && !(off + i).is_multiple_of(8) {
+            self.write_byte(off + i, data[i]);
+            i += 1;
+        }
+        // Body: whole words, each stored atomically (8-byte atomicity unit).
+        while data.len() - i >= 8 {
+            let addr = off + i;
+            let word = u64::from_le_bytes(data[i..i + 8].try_into().expect("8-byte chunk"));
+            self.working[addr / 8].store(word, Ordering::Relaxed);
+            i += 8;
+        }
+        // Tail: partial word.
+        while i < data.len() {
+            self.write_byte(off + i, data[i]);
+            i += 1;
+        }
+        self.mark_dirty_lines(off, data.len());
+    }
+
+    #[inline]
+    fn write_byte(&self, addr: usize, byte: u8) {
+        let word = &self.working[addr / 8];
+        let cur = word.load(Ordering::Relaxed);
+        let mut bytes = cur.to_le_bytes();
+        bytes[addr % 8] = byte;
+        word.store(u64::from_le_bytes(bytes), Ordering::Relaxed);
+    }
+
+    /// Atomically read the aligned u64 at `off` from the working image.
+    pub fn read_u64(&self, off: usize) -> u64 {
+        self.check_range(off, 8);
+        assert_eq!(off % 8, 0, "read_u64 requires 8-byte alignment");
+        self.working[off / 8].load(Ordering::Relaxed)
+    }
+
+    /// Atomically store the aligned u64 at `off` (8-byte failure-atomic once
+    /// flushed: a crash sees the old or new value, never a mix).
+    pub fn write_u64(&self, off: usize, value: u64) {
+        self.check_range(off, 8);
+        assert_eq!(off % 8, 0, "write_u64 requires 8-byte alignment");
+        self.working[off / 8].store(value, Ordering::Relaxed);
+        self.stats.bytes_written.fetch_add(8, Ordering::Relaxed);
+        self.mark_dirty_lines(off, 8);
+    }
+
+    // -- persistence ---------------------------------------------------------
+
+    /// Flush every cache line overlapping `[off, off+len)` to media
+    /// (CLWB loop). Lines that are not dirty are skipped. Returns the number
+    /// of lines actually copied, so callers can charge NVM write cost only
+    /// for real work (eFactory's "selective durability guarantee").
+    pub fn flush(&self, off: usize, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        self.check_range(off, len);
+        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        let first = off / LINE;
+        let last = (off + len - 1) / LINE;
+        let mut copied = 0;
+        for line in first..=last {
+            let mask = 1u64 << (line % 64);
+            let was = self.dirty[line / 64].fetch_and(!mask, Ordering::Relaxed);
+            if was & mask == 0 {
+                continue;
+            }
+            copied += 1;
+            self.stats.lines_flushed.fetch_add(1, Ordering::Relaxed);
+            let w0 = line * WORDS_PER_LINE;
+            for w in w0..w0 + WORDS_PER_LINE {
+                self.media[w].store(self.working[w].load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+        }
+        copied
+    }
+
+    /// Ordering fence (SFENCE analogue). Flushes are synchronous in this
+    /// model, so this only counts; call sites keep the real discipline.
+    pub fn drain(&self) {
+        self.stats.drains.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `flush` + `drain`.
+    pub fn persist(&self, off: usize, len: usize) {
+        self.flush(off, len);
+        self.drain();
+    }
+
+    /// Whether `[off, off+len)` is identical in working and media images —
+    /// i.e. guaranteed to survive a crash with its current contents.
+    pub fn is_persisted(&self, off: usize, len: usize) -> bool {
+        if len == 0 {
+            return true;
+        }
+        self.check_range(off, len);
+        for addr in off..off + len {
+            let w = addr / 8;
+            let working = self.working[w].load(Ordering::Relaxed).to_le_bytes()[addr % 8];
+            let media = self.media[w].load(Ordering::Relaxed).to_le_bytes()[addr % 8];
+            if working != media {
+                return false;
+            }
+        }
+        true
+    }
+
+    // -- crash ----------------------------------------------------------------
+
+    /// Simulate a power failure + reboot: dirty data survives according to
+    /// `spec`, then the working image is reset to the (new) media image and
+    /// all dirty bits clear.
+    pub fn crash<R: Rng>(&self, spec: CrashSpec, rng: &mut R) -> CrashReport {
+        self.stats.crashes.fetch_add(1, Ordering::Relaxed);
+        let mut report = CrashReport::default();
+        let lines = self.len / LINE;
+        for line in 0..lines {
+            let mask = 1u64 << (line % 64);
+            if self.dirty[line / 64].load(Ordering::Relaxed) & mask == 0 {
+                continue;
+            }
+            report.dirty_lines += 1;
+            let keep_line = match spec {
+                CrashSpec::DropAll => false,
+                CrashSpec::KeepAll => true,
+                CrashSpec::Lines(p) => rng.gen_bool(p),
+                CrashSpec::Words(_) => true, // decided per word below
+            };
+            let w0 = line * WORDS_PER_LINE;
+            for w in w0..w0 + WORDS_PER_LINE {
+                let keep = match spec {
+                    CrashSpec::Words(p) => rng.gen_bool(p),
+                    _ => keep_line,
+                };
+                let working = self.working[w].load(Ordering::Relaxed);
+                let media = self.media[w].load(Ordering::Relaxed);
+                if working == media {
+                    continue; // clean word inside a dirty line
+                }
+                if keep {
+                    self.media[w].store(working, Ordering::Relaxed);
+                    report.words_persisted += 1;
+                } else {
+                    report.words_lost += 1;
+                }
+            }
+        }
+        // Reboot: working := media, dirty cleared.
+        for w in 0..self.working.len() {
+            self.working[w].store(self.media[w].load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        for d in self.dirty.iter() {
+            d.store(0, Ordering::Relaxed);
+        }
+        report
+    }
+
+    /// Zero `[off, off+len)` in **both** images and clear the dirty bits —
+    /// models freeing/unmapping a region (log cleaning zeroes the retired
+    /// data pool). `off` and `len` must be cache-line aligned.
+    pub fn zero_region(&self, off: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        self.check_range(off, len);
+        assert_eq!(off % LINE, 0, "zero_region requires line alignment");
+        assert_eq!(len % LINE, 0, "zero_region requires line-sized length");
+        for w in off / 8..(off + len) / 8 {
+            self.working[w].store(0, Ordering::Relaxed);
+            self.media[w].store(0, Ordering::Relaxed);
+        }
+        for line in off / LINE..(off + len) / LINE {
+            self.dirty[line / 64].fetch_and(!(1 << (line % 64)), Ordering::Relaxed);
+        }
+    }
+
+    /// Copy of the working image (tests / recovery tooling).
+    pub fn working_snapshot(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.len];
+        self.read(0, &mut out);
+        out
+    }
+
+    /// Copy of the media image (what a crash right now would leave behind
+    /// under [`CrashSpec::DropAll`]).
+    pub fn media_snapshot(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.len];
+        for (i, chunk) in out.chunks_mut(8).enumerate() {
+            let bytes = self.media[i].load(Ordering::Relaxed).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for PmemPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PmemPool")
+            .field("len", &self.len)
+            .field("dirty_lines", &self.dirty_line_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn new_pool_is_zeroed_and_clean() {
+        let p = PmemPool::new(1024);
+        assert_eq!(p.len(), 1024);
+        assert_eq!(p.dirty_line_count(), 0);
+        let mut buf = [0xFFu8; 64];
+        p.read(0, &mut buf);
+        assert_eq!(buf, [0u8; 64]);
+    }
+
+    #[test]
+    fn len_rounds_up_to_cache_line() {
+        assert_eq!(PmemPool::new(1).len(), 64);
+        assert_eq!(PmemPool::new(65).len(), 128);
+    }
+
+    #[test]
+    fn write_read_roundtrip_unaligned() {
+        let p = PmemPool::new(4096);
+        let data: Vec<u8> = (0..=255u8).cycle().take(777).collect();
+        p.write(131, &data); // deliberately unaligned offset and length
+        let mut back = vec![0u8; 777];
+        p.read(131, &mut back);
+        assert_eq!(back, data);
+        // Neighbouring bytes untouched.
+        let mut edge = [0u8; 1];
+        p.read(130, &mut edge);
+        assert_eq!(edge[0], 0);
+        p.read(131 + 777, &mut edge);
+        assert_eq!(edge[0], 0);
+    }
+
+    #[test]
+    fn write_marks_exactly_the_touched_lines_dirty() {
+        let p = PmemPool::new(4096);
+        p.write(100, &[1u8; 30]); // spans lines 1 and 2 (bytes 100..130)
+        assert!(!p.is_dirty(0));
+        assert!(p.is_dirty(64));
+        assert!(p.is_dirty(128));
+        assert!(!p.is_dirty(192));
+        assert_eq!(p.dirty_line_count(), 2);
+    }
+
+    #[test]
+    fn unflushed_write_is_lost_on_drop_all_crash() {
+        let p = PmemPool::new(1024);
+        p.write(0, b"hello world");
+        assert!(!p.is_persisted(0, 11));
+        let report = p.crash(CrashSpec::DropAll, &mut rng());
+        assert_eq!(report.dirty_lines, 1);
+        assert_eq!(report.words_persisted, 0);
+        let mut buf = [0u8; 11];
+        p.read(0, &mut buf);
+        assert_eq!(&buf, &[0u8; 11], "unflushed write must not survive");
+    }
+
+    #[test]
+    fn flushed_write_survives_any_crash() {
+        let p = PmemPool::new(1024);
+        p.write(64, b"durable");
+        p.persist(64, 7);
+        assert!(p.is_persisted(64, 7));
+        p.crash(CrashSpec::DropAll, &mut rng());
+        let mut buf = [0u8; 7];
+        p.read(64, &mut buf);
+        assert_eq!(&buf, b"durable");
+    }
+
+    #[test]
+    fn keep_all_crash_persists_dirty_data() {
+        let p = PmemPool::new(1024);
+        p.write(0, b"evicted");
+        p.crash(CrashSpec::KeepAll, &mut rng());
+        let mut buf = [0u8; 7];
+        p.read(0, &mut buf);
+        assert_eq!(&buf, b"evicted");
+    }
+
+    #[test]
+    fn word_granular_crash_never_tears_inside_a_word() {
+        let p = PmemPool::new(4096);
+        // Old contents, persisted.
+        p.write(0, &[0x11u8; 256]);
+        p.persist(0, 256);
+        // New contents, unflushed.
+        p.write(0, &[0x22u8; 256]);
+        p.crash(CrashSpec::Words(0.5), &mut rng());
+        let mut buf = [0u8; 256];
+        p.read(0, &mut buf);
+        let mut saw_old = false;
+        let mut saw_new = false;
+        for word in buf.chunks(8) {
+            if word == [0x11u8; 8] {
+                saw_old = true;
+            } else if word == [0x22u8; 8] {
+                saw_new = true;
+            } else {
+                panic!("torn word: {word:?}");
+            }
+        }
+        assert!(saw_old && saw_new, "p=0.5 over 32 words should mix");
+    }
+
+    #[test]
+    fn line_granular_crash_keeps_lines_whole() {
+        let p = PmemPool::new(4096);
+        p.write(0, &[0x33u8; 1024]);
+        p.crash(CrashSpec::Lines(0.5), &mut rng());
+        let mut buf = [0u8; 1024];
+        p.read(0, &mut buf);
+        for line in buf.chunks(LINE) {
+            assert!(
+                line == [0x33u8; LINE] || line == [0u8; LINE],
+                "line must survive or revert as a unit"
+            );
+        }
+    }
+
+    #[test]
+    fn working_equals_media_after_crash() {
+        let p = PmemPool::new(2048);
+        p.write(0, &[9u8; 2048]);
+        p.flush(0, 512); // persist only the first quarter
+        p.crash(CrashSpec::DropAll, &mut rng());
+        assert_eq!(p.working_snapshot(), p.media_snapshot());
+        assert_eq!(p.dirty_line_count(), 0);
+        let snap = p.working_snapshot();
+        assert_eq!(&snap[..512], &[9u8; 512][..]);
+        assert_eq!(&snap[512..], &vec![0u8; 1536][..]);
+    }
+
+    #[test]
+    fn write_u64_is_word_atomic_across_crash() {
+        let p = PmemPool::new(128);
+        p.write_u64(8, 0x1111_1111_1111_1111);
+        p.persist(8, 8);
+        p.write_u64(8, 0x2222_2222_2222_2222);
+        // Not flushed: crash reverts the whole word (8B atomicity).
+        p.crash(CrashSpec::DropAll, &mut rng());
+        assert_eq!(p.read_u64(8), 0x1111_1111_1111_1111);
+    }
+
+    #[test]
+    fn flush_skips_clean_lines() {
+        let p = PmemPool::new(1024);
+        p.write(0, &[1u8; 64]);
+        p.flush(0, 1024); // only line 0 dirty
+        assert_eq!(p.stats().lines_flushed.load(Ordering::Relaxed), 1);
+        p.flush(0, 1024); // nothing dirty now
+        assert_eq!(p.stats().lines_flushed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn is_persisted_reflects_flush_state() {
+        let p = PmemPool::new(256);
+        p.write(0, &[5u8; 100]);
+        assert!(!p.is_persisted(0, 100));
+        p.flush(0, 50);
+        // flush works on whole lines: bytes 0..64 persisted, 64..100 not.
+        assert!(p.is_persisted(0, 64));
+        assert!(!p.is_persisted(0, 100));
+        p.flush(64, 36);
+        assert!(p.is_persisted(0, 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_read_panics() {
+        let p = PmemPool::new(64);
+        let mut buf = [0u8; 8];
+        p.read(60, &mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment")]
+    fn unaligned_read_u64_panics() {
+        let p = PmemPool::new(64);
+        p.read_u64(4);
+    }
+
+    #[test]
+    fn zero_region_clears_both_images_and_dirty_bits() {
+        let p = PmemPool::new(1024);
+        p.write(0, &[0xEEu8; 512]);
+        p.persist(0, 256); // half persisted, half dirty
+        p.zero_region(0, 512);
+        assert_eq!(p.dirty_line_count(), 0);
+        let snap = p.working_snapshot();
+        assert_eq!(&snap[..512], &[0u8; 512][..]);
+        assert_eq!(&p.media_snapshot()[..512], &[0u8; 512][..]);
+        // A crash after zeroing changes nothing.
+        p.crash(CrashSpec::KeepAll, &mut rng());
+        assert_eq!(p.working_snapshot()[..512], [0u8; 512][..]);
+    }
+
+    #[test]
+    fn zero_region_leaves_neighbours_untouched() {
+        let p = PmemPool::new(1024);
+        p.write(0, &[1u8; 1024]);
+        p.persist(0, 1024);
+        p.zero_region(256, 256);
+        let snap = p.working_snapshot();
+        assert_eq!(&snap[..256], &[1u8; 256][..]);
+        assert_eq!(&snap[256..512], &[0u8; 256][..]);
+        assert_eq!(&snap[512..], &[1u8; 512][..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "line alignment")]
+    fn zero_region_requires_alignment() {
+        PmemPool::new(256).zero_region(8, 64);
+    }
+
+    #[test]
+    fn stats_track_writes_flushes_and_crashes() {
+        let p = PmemPool::new(1024);
+        p.write(0, &[1u8; 100]);
+        p.persist(0, 100);
+        p.crash(CrashSpec::DropAll, &mut rng());
+        let s = p.stats();
+        assert_eq!(s.bytes_written.load(Ordering::Relaxed), 100);
+        assert_eq!(s.flushes.load(Ordering::Relaxed), 1);
+        assert_eq!(s.lines_flushed.load(Ordering::Relaxed), 2);
+        assert_eq!(s.drains.load(Ordering::Relaxed), 1);
+        assert_eq!(s.crashes.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn crash_report_counts_words() {
+        let p = PmemPool::new(1024);
+        p.write(0, &[7u8; 128]); // 16 dirty words in 2 lines
+        let report = p.crash(CrashSpec::KeepAll, &mut rng());
+        assert_eq!(report.dirty_lines, 2);
+        assert_eq!(report.words_persisted, 16);
+        assert_eq!(report.words_lost, 0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn roundtrip_arbitrary_writes(
+                ops in proptest::collection::vec(
+                    (0usize..4096, proptest::collection::vec(any::<u8>(), 1..128)),
+                    1..20
+                )
+            ) {
+                let p = PmemPool::new(8192);
+                let mut model = vec![0u8; 8192];
+                for (off, data) in &ops {
+                    let off = off % (8192 - data.len());
+                    p.write(off, data);
+                    model[off..off + data.len()].copy_from_slice(data);
+                }
+                prop_assert_eq!(p.working_snapshot(), model);
+            }
+
+            #[test]
+            fn flushed_ranges_survive_and_unflushed_revert(
+                seed in any::<u64>(),
+                flush_upto in 0usize..2048,
+            ) {
+                let p = PmemPool::new(2048);
+                p.write(0, &[0xAAu8; 2048]);
+                if flush_upto > 0 {
+                    p.flush(0, flush_upto);
+                }
+                let mut r = StdRng::seed_from_u64(seed);
+                p.crash(CrashSpec::DropAll, &mut r);
+                let snap = p.working_snapshot();
+                // Whole lines containing flushed bytes survive.
+                let flushed_lines = flush_upto.div_ceil(LINE);
+                for (i, &b) in snap.iter().enumerate() {
+                    if i < flushed_lines * LINE {
+                        prop_assert_eq!(b, 0xAA, "flushed byte {} lost", i);
+                    } else {
+                        prop_assert_eq!(b, 0, "unflushed byte {} survived", i);
+                    }
+                }
+            }
+
+            #[test]
+            fn word_crash_yields_old_or_new_per_word(seed in any::<u64>(), p_keep in 0.0f64..=1.0) {
+                let pool = PmemPool::new(1024);
+                pool.write(0, &[0x0Fu8; 1024]);
+                pool.persist(0, 1024);
+                pool.write(0, &[0xF0u8; 1024]);
+                let mut r = StdRng::seed_from_u64(seed);
+                pool.crash(CrashSpec::Words(p_keep), &mut r);
+                let snap = pool.working_snapshot();
+                for word in snap.chunks(8) {
+                    prop_assert!(word == [0x0Fu8; 8] || word == [0xF0u8; 8]);
+                }
+            }
+        }
+    }
+}

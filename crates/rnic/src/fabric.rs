@@ -1,0 +1,1163 @@
+//! Nodes, memory regions, listeners, and queue pairs.
+//!
+//! Faithfulness notes (the semantics the paper's designs depend on):
+//!
+//! * **One-sided RDMA write has no durability semantics.** The DMA applies
+//!   into the target pool's *working* image (volatile domain) at the virtual
+//!   instant the last byte arrives; the ack the client unblocks on only
+//!   means "NIC received". Nothing reaches media until somebody flushes.
+//! * **The server is unaware of one-sided completions.** No event reaches
+//!   the listener for plain `rdma_write`/`rdma_read`; only `send` and
+//!   `rdma_write_imm` do.
+//! * **Crashes tear in-flight writes.** If the target crashes mid-transfer,
+//!   the prefix of whole cache lines that had streamed in by the crash
+//!   instant lands in the working image and then takes part in the pool's
+//!   crash resolution (so an unflushed prefix still usually dies — unless
+//!   the crash spec lets dirty lines survive, modeling cache eviction).
+//! * **Simplification:** a DMA write becomes visible to *reads* atomically
+//!   at its completion instant rather than line-by-line during the
+//!   transfer. Concurrent readers therefore observe old-or-new per write
+//!   while the destination is live; partially-visible states still arise
+//!   from crashes and from multi-write objects. The stores' integrity
+//!   machinery (CRC + durability flag) is exercised by both.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use efactory_pmem::{CrashSpec, PmemPool, LINE};
+use efactory_sim as sim;
+use efactory_sim::Nanos;
+use parking_lot::Mutex;
+use rand::Rng;
+
+use crate::cost::CostModel;
+
+/// Identifier of a queue pair (one per client connection).
+pub type QpId = u64;
+/// Identifier of a fabric node.
+pub type NodeId = usize;
+
+/// Errors surfaced by fabric operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QpError {
+    /// The local or remote node has crashed; the operation got no ack.
+    Crashed,
+    /// The peer endpoint is gone (its process exited or it restarted).
+    Disconnected,
+    /// An RPC reply did not arrive before the deadline.
+    Timeout,
+    /// rkey/bounds check failed on a one-sided access.
+    AccessViolation,
+    /// `connect` found no listener on the target node.
+    NotListening,
+}
+
+impl std::fmt::Display for QpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            QpError::Crashed => "node crashed",
+            QpError::Disconnected => "peer disconnected",
+            QpError::Timeout => "rpc timeout",
+            QpError::AccessViolation => "remote access violation",
+            QpError::NotListening => "no listener on target node",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for QpError {}
+
+/// A message surfaced to a [`Listener`].
+#[derive(Debug)]
+pub enum Incoming {
+    /// Two-sided send (the request half of a SEND-based RPC).
+    Send {
+        /// Originating queue pair (use with [`Listener::reply`]).
+        from: QpId,
+        /// Request payload.
+        payload: Vec<u8>,
+    },
+    /// Completion notification of an `rdma_write_imm`: the payload has
+    /// already been DMA'd into the registered region; the server learns
+    /// `imm` and the length.
+    WriteImm {
+        /// Originating queue pair.
+        from: QpId,
+        /// The 32-bit immediate carried with the write.
+        imm: u32,
+        /// Bytes written.
+        len: usize,
+    },
+}
+
+/// Descriptor a client uses for one-sided access to a registered region.
+/// Obtained out-of-band (the stores hand it to clients at connection setup,
+/// as the paper's servers do at initialization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteMr {
+    node: NodeId,
+    index: usize,
+    rkey: u64,
+    /// Region length in bytes; one-sided offsets are relative to the region.
+    pub len: usize,
+}
+
+struct MrEntry {
+    rkey: u64,
+    pool: Arc<PmemPool>,
+    base: usize,
+    len: usize,
+}
+
+/// An in-flight one-sided write, tracked so a crash can tear it.
+struct Inflight {
+    pool: Arc<PmemPool>,
+    abs_off: usize,
+    data: Arc<Vec<u8>>,
+    /// Virtual time the first byte reaches the target memory system.
+    t_first: Nanos,
+    /// Virtual time the last byte lands (the apply instant).
+    t_last: Nanos,
+}
+
+/// Per-connection server→client channels: RPC replies plus an asynchronous
+/// event stream (unsolicited notifications, e.g. "log cleaning started").
+struct ConnTx {
+    reply: sim::Sender<Vec<u8>>,
+    event: sim::Sender<Vec<u8>>,
+}
+
+struct ListenerCore {
+    tx: sim::Sender<Incoming>,
+    conns: Arc<Mutex<HashMap<QpId, ConnTx>>>,
+}
+
+/// Fabric-wide operation counters (virtual hardware telemetry).
+#[derive(Debug, Default)]
+pub struct FabricStats {
+    /// Two-sided sends (requests + replies).
+    pub sends: AtomicU64,
+    /// One-sided reads.
+    pub rdma_reads: AtomicU64,
+    /// One-sided writes (including write-with-imm).
+    pub rdma_writes: AtomicU64,
+    /// Payload bytes moved by all verbs.
+    pub bytes_on_wire: AtomicU64,
+}
+
+pub(crate) struct NodeInner {
+    id: NodeId,
+    name: String,
+    crashed: AtomicBool,
+    /// Bumped on every crash; in-flight DMA applies check it.
+    epoch: AtomicU64,
+    mrs: Mutex<Vec<MrEntry>>,
+    listener: Mutex<Option<ListenerCore>>,
+    inflight: Mutex<HashMap<u64, Inflight>>,
+    next_inflight: AtomicU64,
+}
+
+/// A machine on the fabric. Server nodes register memory regions and listen;
+/// client nodes connect.
+#[derive(Clone)]
+pub struct Node {
+    inner: Arc<NodeInner>,
+}
+
+impl Node {
+    /// Node id.
+    pub fn id(&self) -> NodeId {
+        self.inner.id
+    }
+
+    /// Node name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Whether the node is currently crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.inner.crashed.load(Ordering::Relaxed)
+    }
+
+    /// Crash epoch: bumped on every crash, never reset. Server processes
+    /// capture it at startup and exit when it changes — so a process that
+    /// slept across a crash+restart window cannot resurrect and act on a
+    /// rebooted node's state.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Fail the operation if this node has crashed. Server code calls this
+    /// before acting on a request so a "ghost" process (one that was parked
+    /// when the crash hit) cannot mutate post-crash state.
+    pub fn guard(&self) -> Result<(), QpError> {
+        if self.is_crashed() {
+            Err(QpError::Crashed)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Register `[base, base+len)` of `pool` for remote one-sided access.
+    pub fn register_mr(&self, pool: &Arc<PmemPool>, base: usize, len: usize) -> RemoteMr {
+        assert!(base + len <= pool.len(), "MR outside pool");
+        let mut mrs = self.inner.mrs.lock();
+        let index = mrs.len();
+        // rkey derivation is arbitrary but unique per registration.
+        let rkey = 0x9E37_79B9_7F4A_7C15u64
+            .wrapping_mul(index as u64 + 1)
+            .wrapping_add(self.inner.id as u64);
+        mrs.push(MrEntry {
+            rkey,
+            pool: Arc::clone(pool),
+            base,
+            len,
+        });
+        RemoteMr {
+            node: self.inner.id,
+            index,
+            rkey,
+            len,
+        }
+    }
+
+    /// Start listening for connections. Must be called from within a
+    /// simulated process (it allocates simulation channels). Replaces any
+    /// previous listener (e.g. after [`Fabric::restart_node`]).
+    ///
+    /// `batched_recv` selects the batched receive-region ring (eFactory's
+    /// optimization; cheaper per-message receive posting).
+    pub fn listen(&self, fabric: &Fabric, batched_recv: bool) -> Listener {
+        let (tx, rx) = sim::channel::<Incoming>();
+        let conns = Arc::new(Mutex::new(HashMap::new()));
+        *self.inner.listener.lock() = Some(ListenerCore {
+            tx,
+            conns: Arc::clone(&conns),
+        });
+        Listener {
+            node: self.clone(),
+            cost: fabric.cost.clone(),
+            stats: Arc::clone(&fabric.stats),
+            rx,
+            conns,
+            batched: batched_recv,
+        }
+    }
+}
+
+/// The network: creates nodes, connects queue pairs, injects crashes.
+pub struct Fabric {
+    cost: CostModel,
+    stats: Arc<FabricStats>,
+    nodes: Mutex<Vec<Arc<NodeInner>>>,
+}
+
+impl Fabric {
+    /// A fabric with the given cost model.
+    pub fn new(cost: CostModel) -> Arc<Fabric> {
+        Arc::new(Fabric {
+            cost,
+            stats: Arc::new(FabricStats::default()),
+            nodes: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The cost model in effect.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &FabricStats {
+        &self.stats
+    }
+
+    /// Add a machine to the fabric.
+    pub fn add_node(&self, name: &str) -> Node {
+        let mut nodes = self.nodes.lock();
+        let id = nodes.len();
+        let inner = Arc::new(NodeInner {
+            id,
+            name: name.to_string(),
+            crashed: AtomicBool::new(false),
+            epoch: AtomicU64::new(0),
+            mrs: Mutex::new(Vec::new()),
+            listener: Mutex::new(None),
+            inflight: Mutex::new(HashMap::new()),
+            next_inflight: AtomicU64::new(0),
+        });
+        nodes.push(Arc::clone(&inner));
+        Node { inner }
+    }
+
+    /// Connect `local` to the listener on `remote`. Must be called from
+    /// within a simulated process.
+    pub fn connect(&self, local: &Node, remote: &Node) -> Result<ClientQp, QpError> {
+        if local.is_crashed() || remote.is_crashed() {
+            return Err(QpError::Crashed);
+        }
+        let listener = remote.inner.listener.lock();
+        let core = listener.as_ref().ok_or(QpError::NotListening)?;
+        static NEXT_QP: AtomicU64 = AtomicU64::new(1);
+        let id = NEXT_QP.fetch_add(1, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = sim::channel::<Vec<u8>>();
+        let (event_tx, event_rx) = sim::channel::<Vec<u8>>();
+        core.conns.lock().insert(
+            id,
+            ConnTx {
+                reply: reply_tx,
+                event: event_tx,
+            },
+        );
+        Ok(ClientQp {
+            id,
+            cost: self.cost.clone(),
+            stats: Arc::clone(&self.stats),
+            local: local.clone(),
+            remote: remote.clone(),
+            tx: core.tx.clone(),
+            rx: reply_rx,
+            events: event_rx,
+        })
+    }
+
+    /// Power-fail `node` at the current virtual instant (call from a
+    /// controller process): in-flight DMA writes tear at cache-line
+    /// granularity, every pool registered on the node resolves its dirty
+    /// lines per `spec`, and all endpoints stop acking.
+    pub fn crash_node<R: Rng>(&self, node: &Node, spec: CrashSpec, rng: &mut R) {
+        let t_crash = sim::now();
+        node.inner.crashed.store(true, Ordering::Relaxed);
+        node.inner.epoch.fetch_add(1, Ordering::Relaxed);
+        // Tear in-flight writes: the whole-line prefix that streamed in
+        // before the crash lands in the working image (and is then subject
+        // to the pool's crash resolution, like any other unflushed data).
+        let inflight: Vec<Inflight> = node.inner.inflight.lock().drain().map(|(_, v)| v).collect();
+        for w in &inflight {
+            let arrived = if t_crash <= w.t_first {
+                0
+            } else if t_crash >= w.t_last || w.t_last == w.t_first {
+                w.data.len()
+            } else {
+                let frac =
+                    (t_crash - w.t_first) as u128 * w.data.len() as u128 / (w.t_last - w.t_first) as u128;
+                // Whole cache lines only, relative to the write's start.
+                (frac as usize / LINE) * LINE
+            };
+            if arrived > 0 {
+                w.pool.write(w.abs_off, &w.data[..arrived]);
+            }
+        }
+        // Crash every distinct pool registered on this node.
+        let mrs = node.inner.mrs.lock();
+        let mut seen: Vec<*const PmemPool> = Vec::new();
+        for mr in mrs.iter() {
+            let ptr = Arc::as_ptr(&mr.pool);
+            if !seen.contains(&ptr) {
+                seen.push(ptr);
+                mr.pool.crash(spec, rng);
+            }
+        }
+    }
+
+    /// Bring a crashed node back up (reboot). Memory registrations and the
+    /// listener are gone — recovery code re-registers and re-listens, and
+    /// clients must reconnect.
+    pub fn restart_node(&self, node: &Node) {
+        node.inner.mrs.lock().clear();
+        *node.inner.listener.lock() = None;
+        node.inner.inflight.lock().clear();
+        node.inner.crashed.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Server-side receive endpoint: surfaces incoming sends and write-imm
+/// completions, and replies to clients by queue-pair id.
+pub struct Listener {
+    node: Node,
+    cost: CostModel,
+    stats: Arc<FabricStats>,
+    rx: sim::Receiver<Incoming>,
+    conns: Arc<Mutex<HashMap<QpId, ConnTx>>>,
+    batched: bool,
+}
+
+impl Listener {
+    /// Node this listener runs on.
+    pub fn node(&self) -> &Node {
+        &self.node
+    }
+
+    fn recv_cost(&self) -> Nanos {
+        if self.batched {
+            self.cost.cpu_recv_post_batched_ns
+        } else {
+            self.cost.cpu_recv_post_ns
+        }
+    }
+
+    /// Block until a message arrives. Charges the per-message receive-post
+    /// CPU cost. Returns `Disconnected` when every client sender is gone.
+    pub fn recv(&self) -> Result<Incoming, QpError> {
+        let msg = self.rx.recv().map_err(|_| QpError::Disconnected)?;
+        self.node.guard()?;
+        sim::work(self.recv_cost());
+        Ok(msg)
+    }
+
+    /// Like [`recv`](Self::recv) with an absolute virtual-time deadline.
+    pub fn recv_deadline(&self, deadline: Nanos) -> Result<Incoming, QpError> {
+        let msg = self.rx.recv_deadline(deadline).map_err(|e| match e {
+            sim::RecvTimeoutError::Timeout => QpError::Timeout,
+            sim::RecvTimeoutError::Disconnected => QpError::Disconnected,
+        })?;
+        self.node.guard()?;
+        sim::work(self.recv_cost());
+        Ok(msg)
+    }
+
+    /// Send a reply to the client behind `qp`.
+    pub fn reply(&self, qp: QpId, payload: Vec<u8>) -> Result<(), QpError> {
+        self.node.guard()?;
+        let delay = self.cost.one_way(payload.len());
+        self.stats.sends.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_on_wire
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        let conns = self.conns.lock();
+        let tx = conns.get(&qp).ok_or(QpError::Disconnected)?;
+        tx.reply.send(payload, delay).map_err(|_| QpError::Disconnected)
+    }
+
+    /// Push an unsolicited event (notification) to the client behind `qp`.
+    /// Clients read these with [`ClientQp::try_event`].
+    pub fn notify(&self, qp: QpId, payload: Vec<u8>) -> Result<(), QpError> {
+        self.node.guard()?;
+        let delay = self.cost.one_way(payload.len());
+        self.stats.sends.fetch_add(1, Ordering::Relaxed);
+        let conns = self.conns.lock();
+        let tx = conns.get(&qp).ok_or(QpError::Disconnected)?;
+        tx.event.send(payload, delay).map_err(|_| QpError::Disconnected)
+    }
+
+    /// Broadcast an event to every connected client (ignoring clients that
+    /// already went away).
+    pub fn notify_all(&self, payload: &[u8]) -> Result<(), QpError> {
+        self.node.guard()?;
+        let delay = self.cost.one_way(payload.len());
+        self.stats.sends.fetch_add(1, Ordering::Relaxed);
+        for tx in self.conns.lock().values() {
+            let _ = tx.event.send(payload.to_vec(), delay);
+        }
+        Ok(())
+    }
+
+    /// Drop the connection state for `qp` (client went away).
+    pub fn disconnect(&self, qp: QpId) {
+        self.conns.lock().remove(&qp);
+    }
+
+    /// A shareable handle that can push events to this listener's clients
+    /// from another process (e.g. the log-cleaning process notifying
+    /// clients while the request handler owns the `Listener`).
+    pub fn notifier(&self) -> Notifier {
+        Notifier {
+            node: self.node.clone(),
+            cost: self.cost.clone(),
+            conns: Arc::clone(&self.conns),
+        }
+    }
+
+    /// A shareable handle that can send replies from another process (e.g.
+    /// a completion-handling worker that offloads flush work from the
+    /// dispatch thread, as multi-core RDMA servers do).
+    pub fn replier(&self) -> Replier {
+        Replier {
+            node: self.node.clone(),
+            cost: self.cost.clone(),
+            stats: Arc::clone(&self.stats),
+            conns: Arc::clone(&self.conns),
+        }
+    }
+}
+
+/// Reply handle detached from the [`Listener`]; see [`Listener::replier`].
+#[derive(Clone)]
+pub struct Replier {
+    node: Node,
+    cost: CostModel,
+    stats: Arc<FabricStats>,
+    conns: Arc<Mutex<HashMap<QpId, ConnTx>>>,
+}
+
+impl Replier {
+    /// Send a reply to the client behind `qp`.
+    pub fn reply(&self, qp: QpId, payload: Vec<u8>) -> Result<(), QpError> {
+        self.node.guard()?;
+        let delay = self.cost.one_way(payload.len());
+        self.stats.sends.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_on_wire
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        let conns = self.conns.lock();
+        let tx = conns.get(&qp).ok_or(QpError::Disconnected)?;
+        tx.reply.send(payload, delay).map_err(|_| QpError::Disconnected)
+    }
+}
+
+/// Event-broadcast handle detached from the [`Listener`]; see
+/// [`Listener::notifier`].
+#[derive(Clone)]
+pub struct Notifier {
+    node: Node,
+    cost: CostModel,
+    conns: Arc<Mutex<HashMap<QpId, ConnTx>>>,
+}
+
+impl Notifier {
+    /// Broadcast an event to every connected client.
+    pub fn notify_all(&self, payload: &[u8]) -> Result<(), QpError> {
+        self.node.guard()?;
+        let delay = self.cost.one_way(payload.len());
+        for tx in self.conns.lock().values() {
+            let _ = tx.event.send(payload.to_vec(), delay);
+        }
+        Ok(())
+    }
+}
+
+/// Client-side endpoint: two-sided sends and one-sided verbs.
+pub struct ClientQp {
+    id: QpId,
+    cost: CostModel,
+    stats: Arc<FabricStats>,
+    local: Node,
+    remote: Node,
+    tx: sim::Sender<Incoming>,
+    rx: sim::Receiver<Vec<u8>>,
+    events: sim::Receiver<Vec<u8>>,
+}
+
+impl std::fmt::Debug for ClientQp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientQp")
+            .field("id", &self.id)
+            .field("local", &self.local.name())
+            .field("remote", &self.remote.name())
+            .finish()
+    }
+}
+
+impl ClientQp {
+    /// Queue-pair id (what the server sees as `from`).
+    pub fn id(&self) -> QpId {
+        self.id
+    }
+
+    fn guard_both(&self) -> Result<(), QpError> {
+        self.local.guard()?;
+        self.remote.guard()
+    }
+
+    /// Two-sided send of a request.
+    pub fn send(&self, payload: Vec<u8>) -> Result<(), QpError> {
+        self.guard_both()?;
+        let delay = self.cost.one_way(payload.len());
+        self.stats.sends.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_on_wire
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.tx
+            .send(
+                Incoming::Send {
+                    from: self.id,
+                    payload,
+                },
+                delay,
+            )
+            .map_err(|_| QpError::Disconnected)
+    }
+
+    /// Block for the next reply from the server.
+    pub fn recv_reply(&self) -> Result<Vec<u8>, QpError> {
+        self.rx.recv().map_err(|_| QpError::Disconnected)
+    }
+
+    /// Reply receive with an absolute virtual-time deadline.
+    pub fn recv_reply_deadline(&self, deadline: Nanos) -> Result<Vec<u8>, QpError> {
+        self.rx.recv_deadline(deadline).map_err(|e| match e {
+            sim::RecvTimeoutError::Timeout => QpError::Timeout,
+            sim::RecvTimeoutError::Disconnected => QpError::Disconnected,
+        })
+    }
+
+    /// Pop one pending server event (notification) if one has arrived.
+    pub fn try_event(&self) -> Option<Vec<u8>> {
+        self.events.try_recv().ok()
+    }
+
+    /// SEND-based RPC: send the request, wait for the reply (bounded by a
+    /// generous virtual timeout so a server crash surfaces as an error
+    /// instead of a hang).
+    pub fn rpc(&self, payload: Vec<u8>) -> Result<Vec<u8>, QpError> {
+        self.send(payload)?;
+        // 100 virtual milliseconds: far beyond any legitimate service time.
+        self.recv_reply_deadline(sim::now() + efactory_sim::millis(100))
+    }
+
+    fn resolve<'a>(
+        &self,
+        mrs: &'a [MrEntry],
+        mr: &RemoteMr,
+        off: usize,
+        len: usize,
+    ) -> Result<&'a MrEntry, QpError> {
+        if mr.node != self.remote.inner.id {
+            return Err(QpError::AccessViolation);
+        }
+        let entry = mrs.get(mr.index).ok_or(QpError::AccessViolation)?;
+        if entry.rkey != mr.rkey || off.checked_add(len).is_none_or(|end| end > entry.len) {
+            return Err(QpError::AccessViolation);
+        }
+        Ok(entry)
+    }
+
+    /// One-sided RDMA read of `[off, off+len)` within `mr`. The remote CPU
+    /// is not involved. Costs a full round trip plus payload serialization.
+    pub fn rdma_read(&self, mr: &RemoteMr, off: usize, len: usize) -> Result<Vec<u8>, QpError> {
+        self.guard_both()?;
+        self.stats.rdma_reads.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_on_wire
+            .fetch_add(len as u64, Ordering::Relaxed);
+        // Request reaches the remote NIC.
+        sim::sleep(self.cost.one_way(0));
+        self.remote.guard()?;
+        let data = {
+            let mrs = self.remote.inner.mrs.lock();
+            let entry = self.resolve(&mrs, mr, off, len)?;
+            let mut buf = vec![0u8; len];
+            entry.pool.read(entry.base + off, &mut buf);
+            buf
+        };
+        // Response streams back.
+        sim::sleep(self.cost.one_way(len));
+        self.local.guard()?;
+        Ok(data)
+    }
+
+    /// One-sided atomic compare-and-swap on the aligned u64 at `off`
+    /// (paper §2.1 lists atomics among the one-sided primitives; eFactory
+    /// itself does not use them, but the fabric is complete for extensions).
+    /// Returns the old value. Like all one-sided ops, the update lands in
+    /// the volatile domain.
+    pub fn rdma_cas(
+        &self,
+        mr: &RemoteMr,
+        off: usize,
+        expected: u64,
+        new: u64,
+    ) -> Result<u64, QpError> {
+        self.guard_both()?;
+        if !off.is_multiple_of(8) {
+            return Err(QpError::AccessViolation);
+        }
+        self.stats.rdma_writes.fetch_add(1, Ordering::Relaxed);
+        // Request reaches the remote NIC, which performs the atomic there.
+        sim::sleep(self.cost.one_way(8));
+        self.remote.guard()?;
+        let old = {
+            let mrs = self.remote.inner.mrs.lock();
+            let entry = self.resolve(&mrs, mr, off, 8)?;
+            let abs = entry.base + off;
+            let old = entry.pool.read_u64(abs);
+            if old == expected {
+                entry.pool.write_u64(abs, new);
+            }
+            old
+        };
+        sim::sleep(self.cost.one_way(8));
+        self.local.guard()?;
+        Ok(old)
+    }
+
+    /// One-sided atomic fetch-and-add on the aligned u64 at `off`. Returns
+    /// the pre-add value. Volatile-domain semantics as with `rdma_cas`.
+    pub fn rdma_faa(&self, mr: &RemoteMr, off: usize, add: u64) -> Result<u64, QpError> {
+        self.guard_both()?;
+        if !off.is_multiple_of(8) {
+            return Err(QpError::AccessViolation);
+        }
+        self.stats.rdma_writes.fetch_add(1, Ordering::Relaxed);
+        sim::sleep(self.cost.one_way(8));
+        self.remote.guard()?;
+        let old = {
+            let mrs = self.remote.inner.mrs.lock();
+            let entry = self.resolve(&mrs, mr, off, 8)?;
+            let abs = entry.base + off;
+            let old = entry.pool.read_u64(abs);
+            entry.pool.write_u64(abs, old.wrapping_add(add));
+            old
+        };
+        sim::sleep(self.cost.one_way(8));
+        self.local.guard()?;
+        Ok(old)
+    }
+
+    /// One-sided RDMA write. Returns when the ack arrives — which, per RDMA
+    /// semantics, only means the NIC received the data; the bytes sit in the
+    /// volatile domain (working image) until someone flushes them.
+    pub fn rdma_write(&self, mr: &RemoteMr, off: usize, data: Vec<u8>) -> Result<(), QpError> {
+        self.one_sided_write(mr, off, data, None)
+    }
+
+    /// RDMA write-with-immediate: like [`rdma_write`](Self::rdma_write) but
+    /// the remote listener receives a [`Incoming::WriteImm`] completion
+    /// carrying `imm` at the instant the payload lands.
+    pub fn rdma_write_imm(
+        &self,
+        mr: &RemoteMr,
+        off: usize,
+        data: Vec<u8>,
+        imm: u32,
+    ) -> Result<(), QpError> {
+        self.one_sided_write(mr, off, data, Some(imm))
+    }
+
+    fn one_sided_write(
+        &self,
+        mr: &RemoteMr,
+        off: usize,
+        data: Vec<u8>,
+        imm: Option<u32>,
+    ) -> Result<(), QpError> {
+        self.guard_both()?;
+        let len = data.len();
+        self.stats.rdma_writes.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_on_wire
+            .fetch_add(len as u64, Ordering::Relaxed);
+        let (pool, abs_off) = {
+            let mrs = self.remote.inner.mrs.lock();
+            let entry = self.resolve(&mrs, mr, off, len)?;
+            (Arc::clone(&entry.pool), entry.base + off)
+        };
+        let now = sim::now();
+        let t_first = now + self.cost.one_way(0);
+        let mut t_last = now + self.cost.one_way(len);
+        if !self.cost.ddio_enabled {
+            // DMA bypasses the cache and goes straight through the memory
+            // controller — slower per byte.
+            t_last += CostModel::per_kb_pub(self.cost.non_ddio_dma_ns_per_kb, len);
+        }
+        let t_last = t_last;
+        let data = Arc::new(data);
+        // Track as in-flight so a crash can tear it.
+        let token = self.remote.inner.next_inflight.fetch_add(1, Ordering::Relaxed);
+        self.remote.inner.inflight.lock().insert(
+            token,
+            Inflight {
+                pool: Arc::clone(&pool),
+                abs_off,
+                data: Arc::clone(&data),
+                t_first,
+                t_last,
+            },
+        );
+        let epoch0 = self.remote.inner.epoch.load(Ordering::Relaxed);
+        let remote = Arc::clone(&self.remote.inner);
+        let apply_data = Arc::clone(&data);
+        let ddio = self.cost.ddio_enabled;
+        sim::call_at(t_last, move || {
+            // If the node crashed since issue, the crash handler already
+            // applied the torn prefix and dropped the entry.
+            if remote.epoch.load(Ordering::Relaxed) == epoch0
+                && remote.inflight.lock().remove(&token).is_some()
+            {
+                pool.write(abs_off, &apply_data);
+                if !ddio {
+                    // Non-allocating DMA: the bytes land in media directly.
+                    pool.flush(abs_off, apply_data.len());
+                }
+            }
+        });
+        if let Some(imm) = imm {
+            // Completion surfaces at the listener exactly when the data has
+            // landed.
+            let _ = self.tx.send(
+                Incoming::WriteImm {
+                    from: self.id,
+                    imm,
+                    len,
+                },
+                t_last - now,
+            );
+        }
+        // Ack back to the client.
+        sim::sleep_until(t_last + self.cost.one_way(0));
+        self.guard_both()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efactory_sim::{RunOutcome, Sim};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pool_mr(node: &Node, bytes: usize) -> (Arc<PmemPool>, RemoteMr) {
+        let pool = Arc::new(PmemPool::new(bytes));
+        let mr = node.register_mr(&pool, 0, bytes);
+        (pool, mr)
+    }
+
+    #[test]
+    fn rdma_read_round_trip_time_and_data() {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new(CostModel::default());
+        let server = fabric.add_node("server");
+        let client = fabric.add_node("client");
+        let (pool, mr) = pool_mr(&server, 4096);
+        pool.write(100, b"remote data");
+        let f = Arc::clone(&fabric);
+        sim.spawn("server", {
+            let server = server.clone();
+            let f = Arc::clone(&fabric);
+            move || {
+                let _listener = server.listen(&f, true);
+                sim::sleep(efactory_sim::millis(1));
+            }
+        });
+        sim.spawn("client", move || {
+            sim::yield_now(); // let the server listen first
+            let qp = f.connect(&client, &server).unwrap();
+            let t0 = sim::now();
+            let data = qp.rdma_read(&mr, 100, 11).unwrap();
+            assert_eq!(&data, b"remote data");
+            let cost = CostModel::default();
+            assert_eq!(sim::now() - t0, cost.one_way(0) + cost.one_way(11));
+        });
+        sim.run().expect_ok();
+    }
+
+    #[test]
+    fn rdma_write_lands_in_volatile_domain_only() {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new(CostModel::default());
+        let server = fabric.add_node("server");
+        let client = fabric.add_node("client");
+        let (pool, mr) = pool_mr(&server, 4096);
+        let p2 = Arc::clone(&pool);
+        let f = Arc::clone(&fabric);
+        sim.spawn("server", {
+            let server = server.clone();
+            let f = Arc::clone(&fabric);
+            move || {
+                let _l = server.listen(&f, true);
+                sim::sleep(efactory_sim::millis(1));
+            }
+        });
+        sim.spawn("client", move || {
+            sim::yield_now();
+            let qp = f.connect(&client, &server).unwrap();
+            qp.rdma_write(&mr, 0, b"not durable yet".to_vec()).unwrap();
+            // Ack received — but the data must be dirty, not persisted.
+            let mut buf = vec![0u8; 15];
+            p2.read(0, &mut buf);
+            assert_eq!(&buf, b"not durable yet");
+            assert!(!p2.is_persisted(0, 15), "RDMA write must not persist");
+        });
+        sim.run().expect_ok();
+    }
+
+    #[test]
+    fn write_imm_notifies_listener_at_landing_instant() {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new(CostModel::default());
+        let server = fabric.add_node("server");
+        let client = fabric.add_node("client");
+        let (_pool, mr) = pool_mr(&server, 4096);
+        let f = Arc::clone(&fabric);
+        let f2 = Arc::clone(&fabric);
+        let server2 = server.clone();
+        sim.spawn("server", move || {
+            let l = server2.listen(&f2, false);
+            match l.recv().unwrap() {
+                Incoming::WriteImm { imm, len, .. } => {
+                    assert_eq!(imm, 0xDEAD);
+                    assert_eq!(len, 1024);
+                    let cost = CostModel::default();
+                    // Landed exactly at one_way(1024) after issue (t=0 area),
+                    // plus the recv-post CPU charge.
+                    assert_eq!(sim::now(), cost.one_way(1024) + cost.cpu_recv_post_ns);
+                }
+                other => panic!("expected WriteImm, got {other:?}"),
+            }
+        });
+        sim.spawn("client", move || {
+            sim::yield_now();
+            let qp = f.connect(&client, &server).unwrap();
+            qp.rdma_write_imm(&mr, 0, vec![7u8; 1024], 0xDEAD).unwrap();
+        });
+        sim.run().expect_ok();
+    }
+
+    #[test]
+    fn send_rpc_reply_round_trip() {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new(CostModel::default());
+        let server = fabric.add_node("server");
+        let client = fabric.add_node("client");
+        let f = Arc::clone(&fabric);
+        let f2 = Arc::clone(&fabric);
+        let server2 = server.clone();
+        sim.spawn("server", move || {
+            let l = server2.listen(&f2, true);
+            while let Ok(Incoming::Send { from, payload }) = l.recv() {
+                let mut resp = payload;
+                resp.reverse();
+                l.reply(from, resp).unwrap();
+            }
+        });
+        sim.spawn("client", move || {
+            sim::yield_now();
+            let qp = f.connect(&client, &server).unwrap();
+            let resp = qp.rpc(vec![1, 2, 3]).unwrap();
+            assert_eq!(resp, vec![3, 2, 1]);
+        });
+        sim.run().expect_ok();
+    }
+
+    #[test]
+    fn access_violations_are_rejected() {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new(CostModel::zero());
+        let server = fabric.add_node("server");
+        let client = fabric.add_node("client");
+        let (_pool, mr) = pool_mr(&server, 4096);
+        let f = Arc::clone(&fabric);
+        sim.spawn("server", {
+            let server = server.clone();
+            let f = Arc::clone(&fabric);
+            move || {
+                let _l = server.listen(&f, true);
+                sim::sleep(1_000);
+            }
+        });
+        sim.spawn("client", move || {
+            sim::yield_now();
+            let qp = f.connect(&client, &server).unwrap();
+            // Out of bounds.
+            assert_eq!(
+                qp.rdma_read(&mr, 4090, 100).unwrap_err(),
+                QpError::AccessViolation
+            );
+            // Bad rkey.
+            let forged = RemoteMr {
+                rkey: mr.rkey ^ 1,
+                ..mr
+            };
+            assert_eq!(
+                qp.rdma_read(&forged, 0, 8).unwrap_err(),
+                QpError::AccessViolation
+            );
+            // Write past the end.
+            assert_eq!(
+                qp.rdma_write(&mr, 4096, vec![0u8; 8]).unwrap_err(),
+                QpError::AccessViolation
+            );
+        });
+        sim.run().expect_ok();
+    }
+
+    #[test]
+    fn connect_without_listener_fails() {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new(CostModel::zero());
+        let server = fabric.add_node("server");
+        let client = fabric.add_node("client");
+        let f = Arc::clone(&fabric);
+        sim.spawn("client", move || {
+            assert_eq!(
+                f.connect(&client, &server).unwrap_err(),
+                QpError::NotListening
+            );
+        });
+        sim.run().expect_ok();
+    }
+
+    #[test]
+    fn crash_drops_unflushed_rdma_write() {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new(CostModel::default());
+        let server = fabric.add_node("server");
+        let client = fabric.add_node("client");
+        let (pool, mr) = pool_mr(&server, 4096);
+        let f = Arc::clone(&fabric);
+        let f2 = Arc::clone(&fabric);
+        let server2 = server.clone();
+        let server3 = server.clone();
+        let pool2 = Arc::clone(&pool);
+        sim.spawn("server", move || {
+            let _l = server2.listen(&f2, true);
+            sim::sleep(efactory_sim::millis(1));
+        });
+        sim.spawn("client", move || {
+            sim::yield_now();
+            let qp = f.connect(&client, &server).unwrap();
+            qp.rdma_write(&mr, 0, vec![0xAB; 512]).unwrap(); // acked, unflushed
+            // Sleep past the crash at t=10_000; the next op sees it.
+            sim::sleep(20_000);
+            assert_eq!(
+                qp.rdma_read(&mr, 0, 512).unwrap_err(),
+                QpError::Crashed
+            );
+        });
+        let fc = Arc::clone(&fabric);
+        sim.spawn("controller", move || {
+            sim::sleep(10_000); // well after the write completed
+            let mut rng = StdRng::seed_from_u64(1);
+            fc.crash_node(&server3, CrashSpec::DropAll, &mut rng);
+        });
+        sim.run().expect_ok();
+        // The acked-but-unflushed write is gone after the crash.
+        let mut buf = vec![0u8; 512];
+        pool.read(0, &mut buf);
+        assert_eq!(buf, vec![0u8; 512]);
+        drop(pool2);
+    }
+
+    #[test]
+    fn crash_mid_transfer_tears_write_at_line_granularity() {
+        // A 64 KiB write takes a while on the wire; crash halfway through
+        // the stream and check that only a whole-line prefix landed (and
+        // only if the crash spec lets dirty lines survive).
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new(CostModel::default());
+        let server = fabric.add_node("server");
+        let client = fabric.add_node("client");
+        let (pool, mr) = pool_mr(&server, 1 << 17);
+        let f = Arc::clone(&fabric);
+        let f2 = Arc::clone(&fabric);
+        let server2 = server.clone();
+        let server3 = server.clone();
+        sim.spawn("server", move || {
+            let _l = server2.listen(&f2, true);
+            sim::sleep(efactory_sim::millis(1));
+        });
+        let len = 1 << 16;
+        sim.spawn("client", move || {
+            sim::yield_now();
+            let qp = f.connect(&client, &server).unwrap();
+            assert_eq!(
+                qp.rdma_write(&mr, 0, vec![0xFF; len]).unwrap_err(),
+                QpError::Crashed,
+                "ack must not arrive from a crashed node"
+            );
+        });
+        let fc = Arc::clone(&fabric);
+        let cost = CostModel::default();
+        let t_crash = cost.one_way(0) + cost.wire(len) / 2; // mid-stream
+        sim.spawn("controller", move || {
+            sim::sleep_until(t_crash);
+            let mut rng = StdRng::seed_from_u64(2);
+            // KeepAll: dirty (arrived) lines survive, exposing the torn
+            // prefix — the hazard Erda/eFactory defend against.
+            fc.crash_node(&server3, CrashSpec::KeepAll, &mut rng);
+        });
+        sim.run().expect_ok();
+        let snap = pool.working_snapshot();
+        let arrived = snap.iter().take_while(|&&b| b == 0xFF).count();
+        assert!(arrived > 0 && arrived < len, "should be torn, got {arrived}");
+        assert_eq!(arrived % LINE, 0, "tear must align to cache lines");
+        assert!(
+            snap[arrived..len].iter().all(|&b| b == 0),
+            "no bytes beyond the torn prefix"
+        );
+    }
+
+    #[test]
+    fn ghost_server_cannot_reply_after_crash() {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new(CostModel::default());
+        let server = fabric.add_node("server");
+        let client = fabric.add_node("client");
+        let f = Arc::clone(&fabric);
+        let f2 = Arc::clone(&fabric);
+        let server2 = server.clone();
+        let server3 = server.clone();
+        sim.spawn("server", move || {
+            let l = server2.listen(&f2, true);
+            loop {
+                match l.recv() {
+                    Ok(Incoming::Send { from, payload }) => {
+                        if l.reply(from, payload).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(_) => {}
+                    Err(_) => break,
+                }
+            }
+        });
+        sim.spawn("client", move || {
+            sim::yield_now();
+            let qp = f.connect(&client, &server).unwrap();
+            // First RPC succeeds.
+            assert!(qp.rpc(vec![1]).is_ok());
+            sim::sleep(50_000); // crash happens at t=10_000
+            // The QP to a crashed server errors out; and even if a request
+            // were already queued, the ghost's listener.recv() guard stops
+            // it from replying.
+            assert_eq!(qp.rpc(vec![2]).unwrap_err(), QpError::Crashed);
+        });
+        let fc = Arc::clone(&fabric);
+        sim.spawn("controller", move || {
+            sim::sleep(10_000);
+            let mut rng = StdRng::seed_from_u64(3);
+            fc.crash_node(&server3, CrashSpec::DropAll, &mut rng);
+        });
+        match sim.run() {
+            RunOutcome::Completed { .. } | RunOutcome::Idle { .. } => {}
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restart_allows_relisten_and_reconnect() {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new(CostModel::zero());
+        let server = fabric.add_node("server");
+        let client = fabric.add_node("client");
+        let pool = Arc::new(PmemPool::new(4096));
+        let f = Arc::clone(&fabric);
+        let pool2 = Arc::clone(&pool);
+        let server2 = server.clone();
+        sim.spawn("controller", move || {
+            // Crash immediately, then restart and serve.
+            let mut rng = StdRng::seed_from_u64(4);
+            f.crash_node(&server2, CrashSpec::DropAll, &mut rng);
+            assert!(server2.is_crashed());
+            f.restart_node(&server2);
+            assert!(!server2.is_crashed());
+            let server3 = server2.clone();
+            let f2 = Arc::clone(&f);
+            let mr = server2.register_mr(&pool2, 0, 4096);
+            pool2.write(0, b"recovered");
+            sim::spawn("server", move || {
+                let _l = server3.listen(&f2, true);
+                sim::sleep(1_000);
+            });
+            sim::yield_now();
+            let client2 = f.add_node("client2");
+            let qp = f.connect(&client2, &server2).unwrap();
+            assert_eq!(qp.rdma_read(&mr, 0, 9).unwrap(), b"recovered");
+        });
+        drop(client);
+        sim.run().expect_ok();
+    }
+}

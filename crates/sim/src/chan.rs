@@ -1,0 +1,542 @@
+//! MPMC channels with per-send virtual latency.
+//!
+//! `tx.send(msg, delay)` makes `msg` visible to receivers `delay` virtual
+//! nanoseconds after the send. Messages become receivable in
+//! `(ready_time, send-sequence)` order, so two sends with different delays
+//! may be received out of send order — exactly like packets on a wire.
+//!
+//! Channels are the only inter-process communication primitive in the
+//! simulator; the RDMA fabric builds its send/recv queues and completion
+//! queues out of them.
+
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::kernel::{with_current, EventKind, Kernel, Pid};
+use crate::time::Nanos;
+
+struct QueuedMsg<T> {
+    ready_at: Nanos,
+    seq: u64,
+    msg: T,
+}
+
+// Min-heap by (ready_at, seq): invert ordering for BinaryHeap.
+impl<T> PartialEq for QueuedMsg<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.ready_at == other.ready_at && self.seq == other.seq
+    }
+}
+impl<T> Eq for QueuedMsg<T> {}
+impl<T> PartialOrd for QueuedMsg<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for QueuedMsg<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.ready_at, other.seq).cmp(&(self.ready_at, self.seq))
+    }
+}
+
+struct ChanState<T> {
+    queue: BinaryHeap<QueuedMsg<T>>,
+    next_seq: u64,
+    /// Parked receivers: `(pid, park ticket)`.
+    waiters: Vec<(Pid, u64)>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct ChanInner<T> {
+    state: Mutex<ChanState<T>>,
+}
+
+impl<T> ChanInner<T> {
+    /// Wake every currently parked receiver (they re-register if still
+    /// unsatisfied; stale tickets are discarded by the driver).
+    fn wake_waiters(state: &mut ChanState<T>, kernel: &Kernel, at: Nanos) {
+        for (pid, ticket) in state.waiters.drain(..) {
+            kernel.schedule(at, EventKind::Wake { pid, ticket });
+        }
+    }
+}
+
+/// Error returned by [`Sender::send`] when every receiver has been dropped.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and every
+/// sender has been dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message is ready at the current virtual time.
+    Empty,
+    /// Empty and all senders dropped.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_deadline`] / `recv_timeout`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with no ready message.
+    Timeout,
+    /// Empty and all senders dropped.
+    Disconnected,
+}
+
+/// Sending half of a virtual-latency channel. Cloneable (MPMC).
+pub struct Sender<T> {
+    kernel: Arc<Kernel>,
+    inner: Arc<ChanInner<T>>,
+}
+
+/// Receiving half of a virtual-latency channel. Cloneable (MPMC).
+pub struct Receiver<T> {
+    kernel: Arc<Kernel>,
+    inner: Arc<ChanInner<T>>,
+}
+
+impl<T: Send + 'static> Sender<T> {
+    /// Enqueue `msg`, receivable `delay` virtual nanoseconds from now.
+    ///
+    /// Fails only when every [`Receiver`] has been dropped.
+    pub fn send(&self, msg: T, delay: Nanos) -> Result<(), SendError<T>> {
+        let now = self.kernel.now();
+        let ready_at = now + delay;
+        let mut st = self.inner.state.lock();
+        if st.receivers == 0 {
+            return Err(SendError(msg));
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.queue.push(QueuedMsg { ready_at, seq, msg });
+        // Wake parked receivers at the instant the message becomes ready.
+        // Scheduling a Call (rather than draining waiters now) is essential:
+        // a later send with a *smaller* delay must be able to wake them
+        // earlier.
+        let inner = Arc::clone(&self.inner);
+        self.kernel.schedule(
+            ready_at,
+            EventKind::Call(Box::new(move |k| {
+                let mut st = inner.state.lock();
+                let at = k.now();
+                ChanInner::wake_waiters(&mut st, k, at);
+            })),
+        );
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().senders += 1;
+        Sender {
+            kernel: Arc::clone(&self.kernel),
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.inner.state.lock();
+        st.senders -= 1;
+        if st.senders == 0 {
+            // Wake parked receivers so they can observe disconnection.
+            let now = self.kernel.now();
+            ChanInner::wake_waiters(&mut st, &self.kernel, now);
+        }
+    }
+}
+
+impl<T: Send + 'static> Receiver<T> {
+    /// Pop a ready message if one exists at the current virtual time.
+    fn pop_ready(st: &mut ChanState<T>, now: Nanos) -> Option<T> {
+        if st.queue.peek().is_some_and(|m| m.ready_at <= now) {
+            Some(st.queue.pop().expect("peeked message vanished").msg)
+        } else {
+            None
+        }
+    }
+
+    /// Block (in virtual time) until a message is ready or the channel
+    /// disconnects. Must be called from within a simulated process.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let pid = with_current(|_, pid| pid);
+        loop {
+            let mut st = self.inner.state.lock();
+            let now = self.kernel.now();
+            if let Some(msg) = Self::pop_ready(&mut st, now) {
+                return Ok(msg);
+            }
+            if st.senders == 0 && st.queue.is_empty() {
+                return Err(RecvError);
+            }
+            let ticket = self.kernel.prepare_park(pid);
+            st.waiters.push((pid, ticket));
+            // An in-flight (not yet ready) message will not emit another
+            // wake Call for *this* waiter registration if its Call already
+            // fired... it cannot have: ready_at > now means the Call is
+            // still queued. So queued messages always wake us; only a
+            // deadline needs explicit scheduling (see recv_deadline).
+            drop(st);
+            self.kernel.park(pid);
+        }
+    }
+
+    /// Like [`recv`](Self::recv) but gives up at absolute virtual time
+    /// `deadline`.
+    pub fn recv_deadline(&self, deadline: Nanos) -> Result<T, RecvTimeoutError> {
+        let pid = with_current(|_, pid| pid);
+        loop {
+            let mut st = self.inner.state.lock();
+            let now = self.kernel.now();
+            if let Some(msg) = Self::pop_ready(&mut st, now) {
+                return Ok(msg);
+            }
+            if st.senders == 0 && st.queue.is_empty() {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let ticket = self.kernel.prepare_park(pid);
+            st.waiters.push((pid, ticket));
+            self.kernel
+                .schedule(deadline, EventKind::Wake { pid, ticket });
+            drop(st);
+            self.kernel.park(pid);
+        }
+    }
+
+    /// Like [`recv`](Self::recv) but gives up after `timeout` virtual
+    /// nanoseconds.
+    pub fn recv_timeout(&self, timeout: Nanos) -> Result<T, RecvTimeoutError> {
+        let deadline = self.kernel.now() + timeout;
+        self.recv_deadline(deadline)
+    }
+
+    /// Non-blocking receive of a message that is ready *now*.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.inner.state.lock();
+        let now = self.kernel.now();
+        if let Some(msg) = Self::pop_ready(&mut st, now) {
+            return Ok(msg);
+        }
+        if st.senders == 0 && st.queue.is_empty() {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Number of queued messages (ready or in flight). Diagnostic only.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().queue.len()
+    }
+
+    /// True when no messages are queued (ready or in flight).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().receivers += 1;
+        Receiver {
+            kernel: Arc::clone(&self.kernel),
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.inner.state.lock().receivers -= 1;
+    }
+}
+
+pub(crate) fn channel_on<T: Send + 'static>(kernel: &Arc<Kernel>) -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(ChanInner {
+        state: Mutex::new(ChanState {
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            waiters: Vec::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+    });
+    (
+        Sender {
+            kernel: Arc::clone(kernel),
+            inner: Arc::clone(&inner),
+        },
+        Receiver {
+            kernel: Arc::clone(kernel),
+            inner,
+        },
+    )
+}
+
+/// Create a channel from within a simulated process (driver-side creation
+/// goes through [`Sim::channel`](crate::Sim::channel)).
+pub fn channel<T: Send + 'static>() -> (Sender<T>, Receiver<T>) {
+    with_current(|k, _| channel_on(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{now, sleep, RunOutcome, Sim};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn message_arrives_after_delay() {
+        let mut sim = Sim::new(0);
+        let (tx, rx) = sim.channel::<u32>();
+        sim.spawn("tx", move || {
+            tx.send(1, 700).unwrap();
+        });
+        sim.spawn("rx", move || {
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(now(), 700);
+        });
+        sim.run().expect_ok();
+    }
+
+    #[test]
+    fn smaller_delay_overtakes_larger() {
+        let mut sim = Sim::new(0);
+        let (tx, rx) = sim.channel::<u32>();
+        sim.spawn("tx", move || {
+            tx.send(1, 1_000).unwrap(); // ready at 1000
+            tx.send(2, 100).unwrap(); // ready at 100 — overtakes
+        });
+        sim.spawn("rx", move || {
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(now(), 100);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(now(), 1_000);
+        });
+        sim.run().expect_ok();
+    }
+
+    #[test]
+    fn equal_ready_time_is_fifo_by_send_order() {
+        let mut sim = Sim::new(0);
+        let (tx, rx) = sim.channel::<u32>();
+        sim.spawn("tx", move || {
+            for i in 0..10 {
+                tx.send(i, 500).unwrap();
+            }
+        });
+        sim.spawn("rx", move || {
+            for i in 0..10 {
+                assert_eq!(rx.recv(), Ok(i));
+            }
+        });
+        sim.run().expect_ok();
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let mut sim = Sim::new(0);
+        let (tx, rx) = sim.channel::<&str>();
+        sim.spawn("rx", move || {
+            assert_eq!(rx.recv(), Ok("hello"));
+            assert_eq!(now(), 2_300);
+        });
+        sim.spawn("tx", move || {
+            sleep(2_000);
+            tx.send("hello", 300).unwrap();
+        });
+        sim.run().expect_ok();
+    }
+
+    #[test]
+    fn receiver_woken_for_queued_but_not_ready_message() {
+        // The receiver parks while a message is in flight; no other event
+        // exists, so only the delivery Call can wake it.
+        let mut sim = Sim::new(0);
+        let (tx, rx) = sim.channel::<u8>();
+        sim.spawn("both", move || {
+            tx.send(9, 5_000).unwrap();
+            assert_eq!(rx.recv(), Ok(9));
+            assert_eq!(now(), 5_000);
+        });
+        sim.run().expect_ok();
+    }
+
+    #[test]
+    fn disconnection_wakes_blocked_receiver() {
+        let mut sim = Sim::new(0);
+        let (tx, rx) = sim.channel::<u8>();
+        sim.spawn("rx", move || {
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(now(), 400);
+        });
+        sim.spawn("tx", move || {
+            sleep(400);
+            drop(tx);
+        });
+        sim.run().expect_ok();
+    }
+
+    #[test]
+    fn in_flight_messages_survive_sender_drop() {
+        let mut sim = Sim::new(0);
+        let (tx, rx) = sim.channel::<u8>();
+        sim.spawn("tx", move || {
+            tx.send(5, 1_000).unwrap();
+            // tx dropped at t=0; message still in flight.
+        });
+        sim.spawn("rx", move || {
+            assert_eq!(rx.recv(), Ok(5));
+            assert_eq!(rx.recv(), Err(RecvError));
+        });
+        sim.run().expect_ok();
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_succeeds() {
+        let mut sim = Sim::new(0);
+        let (tx, rx) = sim.channel::<u8>();
+        sim.spawn("rx", move || {
+            assert_eq!(rx.recv_timeout(100), Err(RecvTimeoutError::Timeout));
+            assert_eq!(now(), 100);
+            assert_eq!(rx.recv_timeout(10_000), Ok(3));
+            assert_eq!(now(), 500);
+        });
+        sim.spawn("tx", move || {
+            tx.send(3, 500).unwrap();
+        });
+        sim.run().expect_ok();
+    }
+
+    #[test]
+    fn try_recv_sees_only_ready_messages() {
+        let mut sim = Sim::new(0);
+        let (tx, rx) = sim.channel::<u8>();
+        sim.spawn("p", move || {
+            tx.send(1, 100).unwrap();
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            sleep(100);
+            assert_eq!(rx.try_recv(), Ok(1));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        });
+        sim.run().expect_ok();
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_fails() {
+        let mut sim = Sim::new(0);
+        let (tx, rx) = sim.channel::<u8>();
+        drop(rx);
+        sim.spawn("tx", move || {
+            assert_eq!(tx.send(1, 0), Err(SendError(1)));
+        });
+        sim.run().expect_ok();
+    }
+
+    #[test]
+    fn mpmc_each_message_delivered_exactly_once() {
+        let mut sim = Sim::new(0);
+        let (tx, rx) = sim.channel::<u64>();
+        let total = Arc::new(AtomicU64::new(0));
+        let count = Arc::new(AtomicU64::new(0));
+        for c in 0..3 {
+            let rx = rx.clone();
+            let total = total.clone();
+            let count = count.clone();
+            sim.spawn(&format!("rx{c}"), move || {
+                while let Ok(v) = rx.recv() {
+                    total.fetch_add(v, Ordering::SeqCst);
+                    count.fetch_add(1, Ordering::SeqCst);
+                    sleep(10);
+                }
+            });
+        }
+        drop(rx);
+        sim.spawn("tx", move || {
+            for i in 1..=100u64 {
+                tx.send(i, i % 7).unwrap();
+                sleep(3);
+            }
+        });
+        match sim.run() {
+            RunOutcome::Completed { .. } => {}
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 100);
+        assert_eq!(total.load(Ordering::SeqCst), 5050);
+    }
+
+    #[test]
+    fn rpc_round_trip_latency_adds_up() {
+        // Classic request/response: client -> server (one-way 900ns),
+        // server works 250ns, server -> client (900ns). Total 2050ns.
+        let mut sim = Sim::new(0);
+        let (req_tx, req_rx) = sim.channel::<u32>();
+        let (resp_tx, resp_rx) = sim.channel::<u32>();
+        sim.spawn("server", move || {
+            while let Ok(x) = req_rx.recv() {
+                sleep(250);
+                if resp_tx.send(x * 2, 900).is_err() {
+                    break;
+                }
+            }
+        });
+        sim.spawn("client", move || {
+            for i in 0..10 {
+                let t0 = now();
+                req_tx.send(i, 900).unwrap();
+                let r = resp_rx.recv().unwrap();
+                assert_eq!(r, i * 2);
+                assert_eq!(now() - t0, 2_050);
+            }
+        });
+        // The client drops req_tx on exit, the server observes the
+        // disconnect and exits too, so the whole run completes.
+        match sim.run() {
+            RunOutcome::Completed { now } => assert_eq!(now, 10 * 2_050),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_receivers_one_parked_stale_wake_goes_to_real_waiter() {
+        // Regression guard for the wake-all design: a receiver that already
+        // got a message must not swallow a wake destined for another.
+        let mut sim = Sim::new(0);
+        let (tx, rx) = sim.channel::<u8>();
+        let got = Arc::new(StdMutex::new(Vec::new()));
+        for i in 0..2 {
+            let rx = rx.clone();
+            let got = got.clone();
+            sim.spawn(&format!("rx{i}"), move || {
+                let v = rx.recv().unwrap();
+                got.lock().unwrap().push((i, v, now()));
+            });
+        }
+        drop(rx);
+        sim.spawn("tx", move || {
+            tx.send(10, 100).unwrap();
+            tx.send(20, 100).unwrap();
+        });
+        sim.run().expect_ok();
+        let got = got.lock().unwrap();
+        assert_eq!(got.len(), 2);
+        let vals: Vec<u8> = got.iter().map(|&(_, v, _)| v).collect();
+        assert!(vals.contains(&10) && vals.contains(&20));
+    }
+}

@@ -1,0 +1,38 @@
+//! Virtual time units.
+//!
+//! The simulation clock counts nanoseconds in a `u64`, which gives more than
+//! five centuries of virtual time — overflow is not a practical concern.
+
+/// Virtual nanoseconds — the unit of the simulation clock.
+pub type Nanos = u64;
+
+/// `n` microseconds in [`Nanos`].
+#[inline]
+pub const fn micros(n: u64) -> Nanos {
+    n * 1_000
+}
+
+/// `n` milliseconds in [`Nanos`].
+#[inline]
+pub const fn millis(n: u64) -> Nanos {
+    n * 1_000_000
+}
+
+/// `n` seconds in [`Nanos`].
+#[inline]
+pub const fn secs(n: u64) -> Nanos {
+    n * 1_000_000_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_compose() {
+        assert_eq!(micros(1), 1_000);
+        assert_eq!(millis(1), micros(1_000));
+        assert_eq!(secs(1), millis(1_000));
+        assert_eq!(secs(3), 3_000_000_000);
+    }
+}

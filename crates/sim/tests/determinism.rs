@@ -1,0 +1,155 @@
+//! Determinism is the kernel's core guarantee: identical setups must
+//! produce bit-identical traces, regardless of host scheduling. These tests
+//! stress that property with randomized (but seeded) process graphs.
+
+use std::sync::{Arc, Mutex};
+
+use efactory_sim::{self as sim, Nanos, RunOutcome, Sim};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+type Trace = Vec<(Nanos, String)>;
+
+/// A random mesh of processes exchanging messages over random-latency
+/// channels, logging every receive. Returns the full trace.
+fn run_mesh(seed: u64, procs: usize, msgs: usize) -> Trace {
+    let mut simu = Sim::new(seed);
+    let trace: Arc<Mutex<Trace>> = Arc::default();
+    // Fully connected ring of channels: process i sends to (i+1) % procs.
+    let mut channels = Vec::new();
+    for _ in 0..procs {
+        channels.push(simu.channel::<u64>());
+    }
+    let rxs: Vec<_> = channels.iter().map(|(_, rx)| rx.clone()).collect();
+    for i in 0..procs {
+        let tx_next = channels[(i + 1) % procs].0.clone();
+        let rx = rxs[i].clone();
+        let trace = Arc::clone(&trace);
+        let name = format!("p{i}");
+        simu.spawn(&name.clone(), move || {
+            let mut rng = StdRng::seed_from_u64(seed ^ (i as u64) << 8);
+            if i == 0 {
+                // Seed the ring with the first message.
+                let _ = tx_next.send(0, rng.gen_range(1..500));
+            }
+            loop {
+                match rx.recv_timeout(sim::micros(500)) {
+                    Ok(v) => {
+                        trace.lock().unwrap().push((sim::now(), format!("{name}:{v}")));
+                        if v as usize >= msgs {
+                            return;
+                        }
+                        sim::sleep(rng.gen_range(0..200));
+                        if tx_next.send(v + 1, rng.gen_range(1..500)).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            }
+        });
+    }
+    drop(channels);
+    match simu.run() {
+        RunOutcome::Completed { .. } | RunOutcome::Idle { .. } => {}
+        other => panic!("mesh run failed: {other:?}"),
+    }
+    let t = trace.lock().unwrap().clone();
+    t
+}
+
+#[test]
+fn message_ring_trace_is_reproducible() {
+    for seed in [1u64, 42, 12345] {
+        let a = run_mesh(seed, 5, 60);
+        let b = run_mesh(seed, 5, 60);
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "seed {seed}: traces diverged");
+    }
+}
+
+#[test]
+fn different_seeds_give_different_traces() {
+    let a = run_mesh(7, 4, 40);
+    let b = run_mesh(8, 4, 40);
+    assert_ne!(a, b, "different seeds should explore different interleavings");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn arbitrary_meshes_are_deterministic(
+        seed in any::<u64>(),
+        procs in 2usize..7,
+        msgs in 5usize..40,
+    ) {
+        prop_assert_eq!(run_mesh(seed, procs, msgs), run_mesh(seed, procs, msgs));
+    }
+}
+
+/// Virtual time is causally consistent: a receiver never observes a message
+/// before `send time + delay`.
+#[test]
+fn receive_times_respect_send_latency() {
+    let mut simu = Sim::new(3);
+    let (tx, rx) = simu.channel::<(Nanos, Nanos)>(); // (sent_at, delay)
+    simu.spawn("tx", move || {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let delay = rng.gen_range(0..2_000);
+            let _ = tx.send((sim::now(), delay), delay);
+            sim::sleep(rng.gen_range(0..300));
+        }
+    });
+    simu.spawn("rx", move || {
+        while let Ok((sent_at, delay)) = rx.recv() {
+            assert!(
+                sim::now() >= sent_at + delay,
+                "message received at {} but sent at {sent_at} with delay {delay}",
+                sim::now()
+            );
+        }
+    });
+    simu.run().expect_ok();
+}
+
+/// Heavy fan-in: many producers, one consumer; total count and per-producer
+/// FIFO order are preserved.
+#[test]
+fn fan_in_preserves_per_sender_order() {
+    let mut simu = Sim::new(5);
+    let (tx, rx) = simu.channel::<(usize, u32)>();
+    const PRODUCERS: usize = 8;
+    const PER: u32 = 50;
+    for p in 0..PRODUCERS {
+        let tx = tx.clone();
+        simu.spawn(&format!("prod{p}"), move || {
+            for i in 0..PER {
+                // Constant per-sender delay keeps each sender's stream FIFO.
+                tx.send((p, i), 100).unwrap();
+                sim::sleep(30);
+            }
+        });
+    }
+    drop(tx);
+    let got: Arc<Mutex<Vec<(usize, u32)>>> = Arc::default();
+    let got2 = Arc::clone(&got);
+    simu.spawn("consumer", move || {
+        while let Ok(m) = rx.recv() {
+            got2.lock().unwrap().push(m);
+        }
+    });
+    simu.run().expect_ok();
+    let got = got.lock().unwrap();
+    assert_eq!(got.len(), PRODUCERS * PER as usize);
+    let mut last = [0u32; PRODUCERS];
+    let mut started = [false; PRODUCERS];
+    for &(p, i) in got.iter() {
+        if started[p] {
+            assert!(i > last[p], "producer {p} reordered: {i} after {}", last[p]);
+        }
+        last[p] = i;
+        started[p] = true;
+    }
+}

@@ -1,0 +1,427 @@
+//! # efactory-ycsb — YCSB-style workload generation
+//!
+//! The paper evaluates with four YCSB workloads over a "long-tailed Zipfian
+//! distribution" (§5.2):
+//!
+//! * **YCSB-C** — read-only (100 % GET)
+//! * **YCSB-B** — read-intensive (95 % GET / 5 % PUT)
+//! * **YCSB-A** — write-intensive (50 % GET / 50 % PUT)
+//! * **Update-only** — 100 % PUT
+//!
+//! This crate reimplements the relevant parts of the YCSB core driver:
+//! Gray et al.'s bounded Zipfian generator with the standard
+//! `theta = 0.99`, the *scrambled* variant (FNV-1a hashing of the Zipfian
+//! rank so that popular keys are spread over the keyspace), and deterministic
+//! per-client operation streams.
+//!
+//! Everything is seeded: the same `(seed, client-id)` pair always produces
+//! the same operation sequence, which the deterministic simulator turns into
+//! bit-identical experiment runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One operation in a workload stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Read the value of a key.
+    Get {
+        /// The key to read.
+        key: Vec<u8>,
+    },
+    /// Insert or update a key with a value of the configured size.
+    Put {
+        /// The key to write.
+        key: Vec<u8>,
+        /// The value payload.
+        value: Vec<u8>,
+    },
+}
+
+/// The four operation mixes of the paper (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mix {
+    /// YCSB-A: 50 % GET / 50 % PUT (write-intensive).
+    A,
+    /// YCSB-B: 95 % GET / 5 % PUT (read-intensive).
+    B,
+    /// YCSB-C: 100 % GET (read-only).
+    C,
+    /// 100 % PUT (update-only).
+    UpdateOnly,
+}
+
+impl Mix {
+    /// Fraction of GETs in the mix.
+    pub fn read_fraction(self) -> f64 {
+        match self {
+            Mix::A => 0.5,
+            Mix::B => 0.95,
+            Mix::C => 1.0,
+            Mix::UpdateOnly => 0.0,
+        }
+    }
+
+    /// Human-readable label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mix::A => "YCSB-A (50% GET / 50% PUT)",
+            Mix::B => "YCSB-B (95% GET / 5% PUT)",
+            Mix::C => "YCSB-C (100% GET)",
+            Mix::UpdateOnly => "Update-only (100% PUT)",
+        }
+    }
+
+    /// All four mixes, in the order the paper's Figure 9 presents them.
+    pub fn all() -> [Mix; 4] {
+        [Mix::C, Mix::B, Mix::A, Mix::UpdateOnly]
+    }
+}
+
+/// Bounded Zipfian generator over `0..n` (Gray et al., as in YCSB's
+/// `ZipfianGenerator`), with the standard skew `theta = 0.99`.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// Standard YCSB skew.
+    pub const THETA: f64 = 0.99;
+
+    /// Generator over `0..n` with skew `theta`.
+    pub fn with_theta(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipfian over empty range");
+        let zetan = Self::zeta(n, theta);
+        let zeta2theta = Self::zeta(2, theta);
+        Zipfian {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan),
+        }
+    }
+
+    /// Generator over `0..n` with the standard YCSB skew.
+    pub fn new(n: u64) -> Self {
+        Self::with_theta(n, Self::THETA)
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Next rank in `0..n`; rank 0 is the most popular.
+    pub fn next<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+}
+
+/// FNV-1a 64-bit hash of the little-endian bytes of `x` (YCSB's scrambling
+/// function).
+pub fn fnv1a(mut x: u64) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for _ in 0..8 {
+        hash ^= x & 0xFF;
+        hash = hash.wrapping_mul(PRIME);
+        x >>= 8;
+    }
+    hash
+}
+
+/// Scrambled Zipfian over `0..n`: Zipfian ranks pushed through FNV so the
+/// popular items are scattered across the keyspace instead of clustered at
+/// the low ids (YCSB's `ScrambledZipfianGenerator`).
+#[derive(Debug, Clone)]
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+    n: u64,
+}
+
+impl ScrambledZipfian {
+    /// Scrambled generator over `0..n`.
+    pub fn new(n: u64) -> Self {
+        ScrambledZipfian {
+            inner: Zipfian::new(n),
+            n,
+        }
+    }
+
+    /// Next item id in `0..n`.
+    pub fn next<R: Rng>(&self, rng: &mut R) -> u64 {
+        fnv1a(self.inner.next(rng)) % self.n
+    }
+}
+
+/// Workload configuration: mix, key population, key/value sizes.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Operation mix.
+    pub mix: Mix,
+    /// Number of distinct keys.
+    pub record_count: u64,
+    /// Key size in bytes (padded decimal encoding; ≥ 8).
+    pub key_len: usize,
+    /// Value size in bytes.
+    pub value_len: usize,
+}
+
+impl WorkloadConfig {
+    /// The paper's key population scale and the 32 B keys used by the
+    /// scalability and log-cleaning experiments.
+    pub fn paper(mix: Mix, value_len: usize) -> Self {
+        WorkloadConfig {
+            mix,
+            record_count: 16 * 1024,
+            key_len: 32,
+            value_len,
+        }
+    }
+
+    /// Encode item id `id` as a fixed-width key.
+    pub fn key(&self, id: u64) -> Vec<u8> {
+        make_key(self.key_len, id)
+    }
+}
+
+/// Encode item id `id` as a fixed-width key of `len` bytes: `"user"` prefix +
+/// zero-padded decimal, truncated to `len`.
+pub fn make_key(len: usize, id: u64) -> Vec<u8> {
+    assert!(len >= 8, "keys shorter than 8 bytes are not supported");
+    let mut key = format!("user{id:0width$}", width = len - 4).into_bytes();
+    key.truncate(len);
+    key
+}
+
+/// Deterministic value bytes for `(id, version)` — recognizable in dumps and
+/// cheap to verify without storing a model copy.
+pub fn make_value(len: usize, id: u64, version: u64) -> Vec<u8> {
+    let mut v = vec![0u8; len];
+    let seed = fnv1a(id ^ version.rotate_left(17));
+    let mut state = seed | 1;
+    for b in v.iter_mut() {
+        // xorshift64 keeps this cheap; the content just has to be
+        // deterministic and version-distinguishing.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        *b = state as u8;
+    }
+    v
+}
+
+/// A deterministic per-client operation stream.
+pub struct OpStream {
+    cfg: WorkloadConfig,
+    keys: ScrambledZipfian,
+    rng: StdRng,
+    puts_issued: u64,
+}
+
+impl OpStream {
+    /// Stream for `client_id` under `seed`. Different clients get
+    /// uncorrelated, reproducible streams.
+    pub fn new(cfg: WorkloadConfig, seed: u64, client_id: u64) -> Self {
+        OpStream {
+            keys: ScrambledZipfian::new(cfg.record_count),
+            rng: StdRng::seed_from_u64(seed ^ fnv1a(client_id.wrapping_add(1))),
+            cfg,
+            puts_issued: 0,
+        }
+    }
+
+    /// The workload configuration.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.cfg
+    }
+
+    /// Produce the next operation.
+    pub fn next_op(&mut self) -> Op {
+        let id = self.keys.next(&mut self.rng);
+        let is_get = self.rng.gen_bool(self.cfg.mix.read_fraction());
+        if is_get {
+            Op::Get {
+                key: self.cfg.key(id),
+            }
+        } else {
+            self.puts_issued += 1;
+            Op::Put {
+                key: self.cfg.key(id),
+                value: make_value(self.cfg.value_len, id, self.puts_issued),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn zipfian_stays_in_range() {
+        let z = Zipfian::new(1000);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(z.next(&mut r) < 1000);
+        }
+    }
+
+    #[test]
+    fn zipfian_rank0_is_most_popular() {
+        let z = Zipfian::new(1000);
+        let mut r = rng();
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..100_000 {
+            counts[z.next(&mut r) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert_eq!(counts[0], max, "rank 0 must dominate");
+        // Long tail: rank 0 far above mid-rank items.
+        assert!(counts[0] > 20 * counts[500].max(1));
+    }
+
+    #[test]
+    fn zipfian_skew_matches_theory_for_head() {
+        // P(rank 0) = 1/zeta(n). For n=100, theta=0.99: zeta ≈ 5.19 ⇒ ~19 %.
+        let z = Zipfian::new(100);
+        let mut r = rng();
+        let trials = 200_000;
+        let hits = (0..trials).filter(|_| z.next(&mut r) == 0).count();
+        let p = hits as f64 / trials as f64;
+        assert!((p - 0.192).abs() < 0.01, "P(rank0) = {p}");
+    }
+
+    #[test]
+    fn scrambled_zipfian_spreads_hot_keys() {
+        let sz = ScrambledZipfian::new(1000);
+        let mut r = rng();
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..100_000 {
+            *counts.entry(sz.next(&mut r)).or_default() += 1;
+        }
+        // Still skewed (one key dominates): P(rank 0) = 1/zeta(1000) ≈ 13 %.
+        let (&hot, &hot_count) = counts.iter().max_by_key(|(_, &c)| c).unwrap();
+        assert!(hot_count > 10_000, "hot key only drew {hot_count}/100000");
+        // ...but the hot key is not id 0 (scrambling moved it).
+        assert_ne!(hot, 0);
+    }
+
+    #[test]
+    fn fnv_matches_known_vector() {
+        // FNV-1a over the 8 little-endian bytes of the input (YCSB's
+        // FNVhash64 convention). Reference value computed independently:
+        // h = offset_basis; 8 × { h ^= 0; h *= prime }.
+        assert_eq!(fnv1a(0), 0xA8C7_F832_281A_39C5);
+        // One step from a known byte: FNV-1a("a") prefix property.
+        assert_ne!(fnv1a(1), fnv1a(0));
+    }
+
+    #[test]
+    fn keys_are_fixed_width_and_unique() {
+        let cfg = WorkloadConfig::paper(Mix::A, 64);
+        let a = cfg.key(0);
+        let b = cfg.key(123456);
+        assert_eq!(a.len(), 32);
+        assert_eq!(b.len(), 32);
+        assert_ne!(a, b);
+        assert!(a.starts_with(b"user"));
+    }
+
+    #[test]
+    fn values_differ_by_version() {
+        let v1 = make_value(128, 7, 1);
+        let v2 = make_value(128, 7, 2);
+        assert_eq!(v1.len(), 128);
+        assert_ne!(v1, v2);
+        assert_eq!(v1, make_value(128, 7, 1), "deterministic");
+    }
+
+    #[test]
+    fn mixes_have_documented_read_fractions() {
+        let mut s = OpStream::new(WorkloadConfig::paper(Mix::B, 64), 1, 0);
+        let gets = (0..10_000)
+            .filter(|_| matches!(s.next_op(), Op::Get { .. }))
+            .count();
+        let frac = gets as f64 / 10_000.0;
+        assert!((frac - 0.95).abs() < 0.01, "YCSB-B GET fraction = {frac}");
+
+        let mut s = OpStream::new(WorkloadConfig::paper(Mix::C, 64), 1, 0);
+        assert!((0..1000).all(|_| matches!(s.next_op(), Op::Get { .. })));
+
+        let mut s = OpStream::new(WorkloadConfig::paper(Mix::UpdateOnly, 64), 1, 0);
+        assert!((0..1000).all(|_| matches!(s.next_op(), Op::Put { .. })));
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_client_distinct() {
+        let ops1: Vec<Op> = {
+            let mut s = OpStream::new(WorkloadConfig::paper(Mix::A, 32), 42, 3);
+            (0..50).map(|_| s.next_op()).collect()
+        };
+        let ops2: Vec<Op> = {
+            let mut s = OpStream::new(WorkloadConfig::paper(Mix::A, 32), 42, 3);
+            (0..50).map(|_| s.next_op()).collect()
+        };
+        assert_eq!(ops1, ops2);
+        let ops3: Vec<Op> = {
+            let mut s = OpStream::new(WorkloadConfig::paper(Mix::A, 32), 42, 4);
+            (0..50).map(|_| s.next_op()).collect()
+        };
+        assert_ne!(ops1, ops3, "different clients must differ");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn zipfian_in_range_any_n(n in 1u64..5000, seed in any::<u64>()) {
+                let z = Zipfian::new(n);
+                let mut r = StdRng::seed_from_u64(seed);
+                for _ in 0..200 {
+                    prop_assert!(z.next(&mut r) < n);
+                }
+            }
+
+            #[test]
+            fn scrambled_in_range_any_n(n in 1u64..5000, seed in any::<u64>()) {
+                let z = ScrambledZipfian::new(n);
+                let mut r = StdRng::seed_from_u64(seed);
+                for _ in 0..200 {
+                    prop_assert!(z.next(&mut r) < n);
+                }
+            }
+
+            #[test]
+            fn keys_roundtrip_width(len in 8usize..64, id in any::<u64>()) {
+                prop_assert_eq!(make_key(len, id).len(), len);
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Mini benchmark: run a YCSB-A workload against all six systems of the
+//! paper's comparison and print a throughput/latency table — a pocket
+//! version of the paper's Figure 9(c).
+//!
+//! Run with: `cargo run --release --example ycsb_bench`
+
+use efactory_harness::{cluster, ExperimentSpec, SystemKind, Table};
+use efactory_ycsb::Mix;
+
+fn main() {
+    println!("YCSB-A (50% GET / 50% PUT), 1KB values, 8 clients, 1K keys\n");
+    let mut table = Table::new(vec![
+        "system",
+        "Mops/s",
+        "GET p50 (us)",
+        "PUT p50 (us)",
+        "rpc-fallback GETs",
+    ]);
+    for system in SystemKind::comparison() {
+        let spec = ExperimentSpec {
+            ops_per_client: 1_000,
+            record_count: 1_024,
+            ..ExperimentSpec::paper(system, Mix::A, 1024)
+        };
+        let r = cluster::run(&spec);
+        table.row(vec![
+            r.system.to_string(),
+            format!("{:.3}", r.mops),
+            format!("{:.2}", r.get.p50_us()),
+            format!("{:.2}", r.put.p50_us()),
+            r.server_rpc_gets.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nNote: 'rpc-fallback GETs' counts reads that needed the server — for eFactory\n\
+         these are hybrid-read fallbacks (object not yet persisted by the background\n\
+         verifier); for Forca and eFactory w/o hr, every read goes through the server."
+    );
+}

@@ -1,0 +1,14 @@
+//! Workspace root crate for the eFactory reproduction.
+//!
+//! This crate only hosts the cross-crate integration tests (`tests/`) and the
+//! runnable examples (`examples/`); the library surface re-exports the
+//! member crates for convenience in those targets.
+
+pub use efactory;
+pub use efactory_baselines as baselines;
+pub use efactory_checksum as checksum;
+pub use efactory_harness as harness;
+pub use efactory_pmem as pmem;
+pub use efactory_rnic as rnic;
+pub use efactory_sim as sim;
+pub use efactory_ycsb as ycsb;

@@ -1,0 +1,177 @@
+//! Property-based crash consistency over random multi-key workloads:
+//! run an arbitrary seeded op sequence against eFactory, crash at an
+//! arbitrary virtual instant under an arbitrary survival spec, recover, and
+//! check the global contract:
+//!
+//! 1. the recovered store passes the structural consistency check;
+//! 2. every surviving key's value is *some* value that was written for that
+//!    key (never torn, never cross-key);
+//! 3. every key whose value was **read back** before the crash still exists
+//!    (monotonic reads — reading forced durability);
+//! 4. the store accepts writes afterwards.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+
+use efactory::client::{Client, ClientConfig};
+use efactory::log::StoreLayout;
+use efactory::recovery;
+use efactory::server::{Server, ServerConfig};
+use efactory_pmem::CrashSpec;
+use efactory_rnic::{CostModel, Fabric};
+use efactory_sim as sim;
+use efactory_sim::Sim;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const KEYS: u8 = 10;
+
+fn key_bytes(k: u8) -> Vec<u8> {
+    format!("prop-key-{k:02}").into_bytes()
+}
+
+fn value_bytes(k: u8, ver: u32) -> Vec<u8> {
+    // Distinct per (key, version) and long enough to tear.
+    let mut v = format!("k{k:02}v{ver:06}").into_bytes();
+    v.resize(200, k ^ ver as u8);
+    v
+}
+
+#[derive(Debug, Clone, Default)]
+struct WrittenLog {
+    /// All values ever written per key.
+    written: HashMap<u8, HashSet<Vec<u8>>>,
+    /// Keys read back (observed) before the crash.
+    observed: HashSet<u8>,
+}
+
+fn run_case(seed: u64, ops: u32, crash_at_us: u64, spec: CrashSpec) {
+    let mut simu = Sim::new(seed);
+    let fabric = Fabric::new(CostModel::default());
+    let server_node = fabric.add_node("server");
+    let layout = StoreLayout::new(256, 1 << 20, true);
+    let cfg = ServerConfig::default();
+    let server = Server::format(&fabric, &server_node, layout, cfg.clone());
+    let pool = Arc::clone(&server.shared().pool);
+    let log: Arc<Mutex<WrittenLog>> = Arc::default();
+    let log2 = Arc::clone(&log);
+    let f = Arc::clone(&fabric);
+    simu.spawn("main", move || {
+        server.start(&f);
+        let c = Client::connect(
+            &f,
+            &f.add_node("c"),
+            &server_node,
+            server.desc(),
+            ClientConfig::default(),
+        )
+        .unwrap();
+        // Crash controller.
+        let f2 = Arc::clone(&f);
+        let sn = server_node.clone();
+        let controller = sim::spawn("controller", move || {
+            sim::sleep(sim::micros(crash_at_us));
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xFACE);
+            f2.crash_node(&sn, spec, &mut rng);
+        });
+        // Workload until the crash kills the connection.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut vers = [0u32; KEYS as usize];
+        for _ in 0..ops {
+            let k = rng.gen_range(0..KEYS);
+            if rng.gen_bool(0.6) {
+                vers[k as usize] += 1;
+                let v = value_bytes(k, vers[k as usize]);
+                // Log before issuing: a PUT the crash interrupts *after* the
+                // value landed but *before* the ack is unacked yet may
+                // legally survive — "some attempted value" is the contract.
+                log2.lock().unwrap().written.entry(k).or_default().insert(v.clone());
+                if c.put(&key_bytes(k), &v).is_err() {
+                    break; // crash landed mid-op
+                }
+            } else {
+                match c.get(&key_bytes(k)) {
+                    Ok(Some(_)) => {
+                        log2.lock().unwrap().observed.insert(k);
+                    }
+                    Ok(None) => {}
+                    Err(_) => break,
+                }
+            }
+        }
+        controller.join();
+        sim::sleep(sim::millis(1));
+
+        // Recover and check the contract.
+        f.restart_node(&server_node);
+        let (server2, _report) = recovery::recover(&f, &server_node, pool, layout, cfg);
+        recovery::check_consistency(&server2.shared().pool, &layout);
+        server2.start(&f);
+        let c2 = Client::connect(
+            &f,
+            &f.add_node("c2"),
+            &server_node,
+            server2.desc(),
+            ClientConfig::default(),
+        )
+        .unwrap();
+        let log = log2.lock().unwrap().clone();
+        for k in 0..KEYS {
+            let got = c2.get(&key_bytes(k)).unwrap();
+            match got {
+                Some(v) => {
+                    let legal = log
+                        .written
+                        .get(&k)
+                        .map(|set| set.contains(&v))
+                        .unwrap_or(false);
+                    assert!(
+                        legal,
+                        "seed {seed} crash@{crash_at_us}us: key {k} recovered a value \
+                         that was never written for it"
+                    );
+                }
+                None => {
+                    assert!(
+                        !log.observed.contains(&k),
+                        "seed {seed} crash@{crash_at_us}us: key {k} was READ before \
+                         the crash but vanished (non-monotonic read)"
+                    );
+                }
+            }
+        }
+        // Still writable.
+        c2.put(b"post-crash", b"alive").unwrap();
+        assert_eq!(c2.get(b"post-crash").unwrap().as_deref(), Some(&b"alive"[..]));
+        server2.shutdown();
+    });
+    simu.run().expect_ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn random_workload_random_crash_recovers_consistently(
+        seed in any::<u64>(),
+        ops in 5u32..80,
+        crash_at_us in 1u64..600,
+        spec_sel in 0u8..4,
+    ) {
+        let spec = match spec_sel {
+            0 => CrashSpec::DropAll,
+            1 => CrashSpec::KeepAll,
+            2 => CrashSpec::Lines(0.5),
+            _ => CrashSpec::Words(0.5),
+        };
+        run_case(seed, ops, crash_at_us, spec);
+    }
+}
+
+/// A fixed regression grid on top of the random exploration.
+#[test]
+fn crash_grid_regression() {
+    for (i, &at) in [3u64, 17, 42, 99, 180, 333, 480].iter().enumerate() {
+        run_case(1000 + i as u64, 40, at, CrashSpec::Words(0.5));
+    }
+}
