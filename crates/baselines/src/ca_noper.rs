@@ -82,23 +82,21 @@ impl CaNoperServer {
                 // Mutation block: stage + link, no flushes anywhere.
                 let (_, prev) = b.peek_prev(fp);
                 let resp = match b.stage_object(&key, vlen, crc, prev, flags::VALID) {
-                    Ok((off, hdr)) => {
-                        match b.link_entry(fp, off, hdr.klen, hdr.vlen, false) {
-                            Ok(_) => {
-                                b.stats.puts.fetch_add(1, Ordering::Relaxed);
-                                Response::Put {
-                                    status: Status::Ok,
-                                    obj_off: off as u64,
-                                    value_off: (off + hdr.value_off()) as u64,
-                                }
+                    Ok((off, hdr)) => match b.link_entry(fp, off, hdr.klen, hdr.vlen, false) {
+                        Ok(_) => {
+                            b.stats.puts.fetch_add(1, Ordering::Relaxed);
+                            Response::Put {
+                                status: Status::Ok,
+                                obj_off: off as u64,
+                                value_off: (off + hdr.value_off()) as u64,
                             }
-                            Err(status) => Response::Put {
-                                status,
-                                obj_off: 0,
-                                value_off: 0,
-                            },
                         }
-                    }
+                        Err(status) => Response::Put {
+                            status,
+                            obj_off: 0,
+                            value_off: 0,
+                        },
+                    },
                     Err(status) => Response::Put {
                         status,
                         obj_off: 0,

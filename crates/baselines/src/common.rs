@@ -193,7 +193,11 @@ impl BaseServer {
     /// Handler-loop skeleton: ticks a deadline so `stop`/crash are observed
     /// promptly, decodes nothing (systems differ), hands each message to
     /// `f`. `f` returns `false` to stop serving.
-    pub fn serve(self: &Arc<Self>, listener: &Listener, mut f: impl FnMut(&Listener, Incoming) -> bool) {
+    pub fn serve(
+        self: &Arc<Self>,
+        listener: &Listener,
+        mut f: impl FnMut(&Listener, Incoming) -> bool,
+    ) {
         loop {
             let msg = match listener.recv_deadline(sim::now() + sim::micros(100)) {
                 Ok(m) => m,

@@ -196,8 +196,7 @@ impl ErdaClient {
         vlen: usize,
         key: &[u8],
     ) -> Result<Option<Vec<u8>>, StoreError> {
-        let Some((hdr, obj)) =
-            read_path::fetch_object(&self.qp, &self.desc, off, klen, vlen, key)?
+        let Some((hdr, obj)) = read_path::fetch_object(&self.qp, &self.desc, off, klen, vlen, key)?
         else {
             return Ok(None);
         };

@@ -117,9 +117,7 @@ impl ImmServer {
                             return true;
                         };
                         sim::work(
-                            b.cost.cpu_req_handle_ns
-                                + b.cost.cpu_hash_ns
-                                + b.cost.cpu_alloc_ns,
+                            b.cost.cpu_req_handle_ns + b.cost.cpu_hash_ns + b.cost.cpu_alloc_ns,
                         );
                         let resp = stage_put(&b, &mut pending.lock(), &key, vlen, crc);
                         l.reply(from, resp.encode()).is_ok()
@@ -233,9 +231,7 @@ impl ImmClient {
             obj_off as u32,
         )?;
         // Wait for the server's durability ack.
-        let raw = self
-            .qp
-            .recv_reply_deadline(sim::now() + sim::millis(100))?;
+        let raw = self.qp.recv_reply_deadline(sim::now() + sim::millis(100))?;
         match Response::decode(&raw).ok_or(StoreError::Protocol)? {
             Response::Ack { status: Status::Ok } => Ok(()),
             Response::Ack { status } => Err(StoreError::Status(status)),

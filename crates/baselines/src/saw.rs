@@ -111,9 +111,7 @@ impl SawServer {
                 match Request::decode(&payload) {
                     Some(Request::Put { key, vlen, crc }) => {
                         sim::work(
-                            b.cost.cpu_req_handle_ns
-                                + b.cost.cpu_hash_ns
-                                + b.cost.cpu_alloc_ns,
+                            b.cost.cpu_req_handle_ns + b.cost.cpu_hash_ns + b.cost.cpu_alloc_ns,
                         );
                         let resp = stage_put(&b, &mut pending.lock(), &key, vlen, crc);
                         l.reply(from, resp.encode()).is_ok()

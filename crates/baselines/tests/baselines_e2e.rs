@@ -249,8 +249,8 @@ fn forca_unread_puts_are_lost_but_never_torn() {
         let cn2 = f.add_node("client2");
         let c2 = ForcaClient::connect(f, &cn2, &sn, srv2.desc()).unwrap();
         match c2.get(b"k").unwrap() {
-            None => {}                                // torn, detected by CRC
-            Some(v) => assert_eq!(v, b"never-read"),  // survived eviction
+            None => {}                               // torn, detected by CRC
+            Some(v) => assert_eq!(v, b"never-read"), // survived eviction
         }
         srv2.shutdown();
     });
@@ -274,7 +274,8 @@ fn erda_concurrent_writers_same_key() {
                 let cn = f2.add_node(&format!("cn{w}"));
                 let c = ErdaClient::connect(&f2, &cn, &sn2, desc).unwrap();
                 for i in 0..20 {
-                    c.put(b"contested", format!("w{w}i{i}xxxxxxxx").as_bytes()).unwrap();
+                    c.put(b"contested", format!("w{w}i{i}xxxxxxxx").as_bytes())
+                        .unwrap();
                 }
             }));
         }

@@ -12,15 +12,19 @@ fn bench_crc(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("slice_by_8", size), &data, |b, d| {
             b.iter(|| crc32c(std::hint::black_box(d)))
         });
-        group.bench_with_input(BenchmarkId::new("incremental_64B_chunks", size), &data, |b, d| {
-            b.iter(|| {
-                let mut h = Crc32c::new();
-                for chunk in d.chunks(64) {
-                    h.update(chunk);
-                }
-                h.finalize()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("incremental_64B_chunks", size),
+            &data,
+            |b, d| {
+                b.iter(|| {
+                    let mut h = Crc32c::new();
+                    for chunk in d.chunks(64) {
+                        h.update(chunk);
+                    }
+                    h.finalize()
+                })
+            },
+        );
     }
     // The reference only at one size (it is slow by design).
     let data = vec![0xA5u8; 1024];

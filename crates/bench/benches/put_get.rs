@@ -34,7 +34,10 @@ fn spec(system: SystemKind, mix: Mix, value_len: usize) -> ExperimentSpec {
 
 fn print_virtual_latency_table() {
     println!("\nvirtual-time p50 latencies (deterministic; Figure 1/2 cross-check)");
-    println!("{:<22} {:>12} {:>12}", "system", "PUT 64B (us)", "PUT 4KB (us)");
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "system", "PUT 64B (us)", "PUT 4KB (us)"
+    );
     for system in [
         SystemKind::CaNoper,
         SystemKind::EFactory,
@@ -51,7 +54,10 @@ fn print_virtual_latency_table() {
             l.put.p50_us()
         );
     }
-    println!("{:<22} {:>12} {:>12}", "system", "GET 64B (us)", "GET 4KB (us)");
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "system", "GET 64B (us)", "GET 4KB (us)"
+    );
     for system in [SystemKind::EFactory, SystemKind::Erda, SystemKind::Forca] {
         let s = cluster::run(&spec(system, Mix::C, 64));
         let l = cluster::run(&spec(system, Mix::C, 4096));

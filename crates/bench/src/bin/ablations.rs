@@ -11,7 +11,7 @@
 //! 4. **Cleaning threshold** — how eagerly log cleaning fires vs its
 //!    latency interference (update-heavy churn).
 
-use efactory_bench::scaled_ops;
+use efactory_bench::{scaled_ops, ReportSink};
 use efactory_harness::{cluster, Cleaning, ExperimentSpec, SystemKind, Table};
 use efactory_rnic::CostModel;
 use efactory_sim as sim;
@@ -32,7 +32,7 @@ fn base(system: SystemKind, mix: Mix) -> ExperimentSpec {
     }
 }
 
-fn ablate_recv_batching() {
+fn ablate_recv_batching(sink: &mut ReportSink) {
     println!("--- ablation 1: receive-region batching (update-only, 256B) ---");
     let spec = base(SystemKind::EFactory, Mix::UpdateOnly);
     let batched = cluster::run(&spec);
@@ -43,9 +43,17 @@ fn ablate_recv_batching() {
         ..base_cost
     };
     let unbatched = cluster::run_with_cost(&spec, cost);
+    sink.add("recv_batching/batched", &spec, &batched);
+    sink.add("recv_batching/unbatched", &spec, &unbatched);
     let mut t = Table::new(vec!["config", "Mops/s"]);
-    t.row(vec!["batched recv ring (eFactory)".to_string(), format!("{:.3}", batched.mops)]);
-    t.row(vec!["per-message recv posting".to_string(), format!("{:.3}", unbatched.mops)]);
+    t.row(vec![
+        "batched recv ring (eFactory)".to_string(),
+        format!("{:.3}", batched.mops),
+    ]);
+    t.row(vec![
+        "per-message recv posting".to_string(),
+        format!("{:.3}", unbatched.mops),
+    ]);
     t.print();
     println!(
         "batching gain: {:+.1}%  (paper attributes a 5-22% PUT edge over Erda to this)\n",
@@ -53,15 +61,21 @@ fn ablate_recv_batching() {
     );
 }
 
-fn ablate_verifier_cadence() {
+fn ablate_verifier_cadence(sink: &mut ReportSink) {
     println!("--- ablation 2: background-verifier cadence (YCSB-B, 256B) ---");
-    let mut t = Table::new(vec!["verify_idle", "Mops/s", "rpc fallbacks", "bg verified"]);
+    let mut t = Table::new(vec![
+        "verify_idle",
+        "Mops/s",
+        "rpc fallbacks",
+        "bg verified",
+    ]);
     for idle_us in [1u64, 2, 10, 50, 200] {
         // Reach into the server config via a custom run: the harness uses
         // ServerConfig::default(), so sweep through the cost-model-free
         // path by rebuilding the spec each time.
         let spec = base(SystemKind::EFactory, Mix::B);
         let r = run_with_verify_idle(&spec, sim::micros(idle_us));
+        sink.add(&format!("verifier_cadence/{idle_us}us"), &spec, &r);
         t.row(vec![
             format!("{idle_us} us"),
             format!("{:.3}", r.mops),
@@ -86,7 +100,7 @@ fn run_with_verify_idle(
     })
 }
 
-fn ablate_ddio() {
+fn ablate_ddio(sink: &mut ReportSink) {
     println!("--- ablation 3: DDIO on/off (IMM, update-only, 1KB) ---");
     let mut spec = base(SystemKind::Imm, Mix::UpdateOnly);
     spec.value_len = 1024;
@@ -96,6 +110,8 @@ fn ablate_ddio() {
         ..CostModel::default()
     };
     let off = cluster::run_with_cost(&spec, cost);
+    sink.add("ddio/on", &spec, &on);
+    sink.add("ddio/off", &spec, &off);
     let mut t = Table::new(vec!["config", "Mops/s", "put p50 (us)"]);
     t.row(vec![
         "DDIO on (DMA → cache, flush required)".to_string(),
@@ -108,10 +124,12 @@ fn ablate_ddio() {
         format!("{:.2}", off.put.p50_us()),
     ]);
     t.print();
-    println!("with DDIO off the server-side flush finds clean lines (data DMA'd straight to media)\n");
+    println!(
+        "with DDIO off the server-side flush finds clean lines (data DMA'd straight to media)\n"
+    );
 }
 
-fn ablate_clean_threshold() {
+fn ablate_clean_threshold(sink: &mut ReportSink) {
     println!("--- ablation 4: cleaning threshold (update-only churn, 512B) ---");
     let mut t = Table::new(vec!["threshold", "Mops/s", "cleanings", "avg latency (us)"]);
     for threshold in [0.4f64, 0.6, 0.8] {
@@ -123,6 +141,7 @@ fn ablate_clean_threshold() {
             pool_len: 2 << 20,
         };
         let r = cluster::run(&spec);
+        sink.add(&format!("clean_threshold/{threshold:.1}"), &spec, &r);
         t.row(vec![
             format!("{threshold:.1}"),
             format!("{:.3}", r.mops),
@@ -136,8 +155,10 @@ fn ablate_clean_threshold() {
 
 fn main() {
     println!("Design ablations (beyond the paper's figures)\n");
-    ablate_recv_batching();
-    ablate_verifier_cadence();
-    ablate_ddio();
-    ablate_clean_threshold();
+    let mut sink = ReportSink::from_args("ablations");
+    ablate_recv_batching(&mut sink);
+    ablate_verifier_cadence(&mut sink);
+    ablate_ddio(&mut sink);
+    ablate_clean_threshold(&mut sink);
+    sink.write();
 }

@@ -8,12 +8,13 @@
 //! * SAW is *worse* than RPC at every size;
 //! * IMM is slightly (≈5 %) better than RPC.
 
-use efactory_bench::{size_label, spec, VALUE_SIZES};
+use efactory_bench::{size_label, spec, ReportSink, VALUE_SIZES};
 use efactory_harness::{cluster, SystemKind, Table};
 use efactory_ycsb::Mix;
 
 fn main() {
     println!("Figure 1: durable remote PUT latency (single client, update-only)\n");
+    let mut sink = ReportSink::from_args("fig1");
     let systems = [
         SystemKind::CaNoper,
         SystemKind::Saw,
@@ -35,7 +36,9 @@ fn main() {
             let mut s = spec(system, Mix::UpdateOnly, size);
             s.clients = 1;
             s.ops_per_client = efactory_bench::scaled_ops(500);
-            results.push((system, cluster::run(&s)));
+            let r = cluster::run(&s);
+            sink.add(&format!("{}/{}", system.label(), size_label(size)), &s, &r);
+            results.push((system, r));
         }
         let rpc_p50 = results
             .iter()
@@ -55,4 +58,5 @@ fn main() {
     table.print();
     println!();
     println!("expected shape (paper): CA-noper ~0.64x RPC; SAW >1x RPC; IMM ~0.95x RPC");
+    sink.write();
 }

@@ -11,7 +11,7 @@
 //!   adds another 11–24 %; overall ≈24 %/50 % over Erda/Forca at 16
 //!   clients.
 
-use efactory_bench::{mix_tag, scaled_ops, spec};
+use efactory_bench::{mix_tag, scaled_ops, spec, ReportSink};
 use efactory_harness::{cluster, SystemKind, Table};
 use efactory_ycsb::Mix;
 
@@ -19,6 +19,7 @@ const CLIENTS: [usize; 5] = [1, 2, 4, 8, 16];
 
 fn main() {
     println!("Figure 10: throughput vs number of clients (32B keys, 2048B values)\n");
+    let mut sink = ReportSink::from_args("fig10");
     for mix in [Mix::C, Mix::B, Mix::A, Mix::UpdateOnly] {
         println!("--- {} ---", mix_tag(mix));
         let mut table = Table::new(vec!["system", "clients", "Mops/s", "scale vs 1"]);
@@ -30,6 +31,11 @@ fn main() {
                 // Keep total measured ops roughly constant across points.
                 s.ops_per_client = scaled_ops(16_000 / clients.max(1));
                 let r = cluster::run(&s);
+                sink.add(
+                    &format!("{}/{}/{}c", mix_tag(mix), system.label(), clients),
+                    &s,
+                    &r,
+                );
                 let b = *base.get_or_insert(r.mops);
                 table.row(vec![
                     system.label().to_string(),
@@ -42,4 +48,5 @@ fn main() {
         table.print();
         println!();
     }
+    sink.write();
 }

@@ -8,12 +8,13 @@
 //! go through the server), ≈21 % for 100 % GET, while 100 % PUT barely
 //! moves.
 
-use efactory_bench::{mix_tag, scaled_ops};
+use efactory_bench::{mix_tag, scaled_ops, ReportSink};
 use efactory_harness::{cluster, Cleaning, ExperimentSpec, SystemKind, Table};
 use efactory_ycsb::Mix;
 
 fn main() {
     println!("Figure 11: eFactory latency with vs without log cleaning\n");
+    let mut sink = ReportSink::from_args("fig11");
     let mut table = Table::new(vec![
         "workload",
         "avg (us) normal",
@@ -40,9 +41,18 @@ fn main() {
         };
         let normal = cluster::run(&base_spec(false));
         let cleaning = cluster::run(&base_spec(true));
+        sink.add(
+            &format!("{}/normal", mix_tag(mix)),
+            &base_spec(false),
+            &normal,
+        );
+        sink.add(
+            &format!("{}/cleaning", mix_tag(mix)),
+            &base_spec(true),
+            &cleaning,
+        );
         assert!(cleaning.cleanings >= 1, "forced cleaning did not run");
-        let overhead =
-            (cleaning.all.mean_ns - normal.all.mean_ns) / normal.all.mean_ns * 100.0;
+        let overhead = (cleaning.all.mean_ns - normal.all.mean_ns) / normal.all.mean_ns * 100.0;
         table.row(vec![
             mix_tag(mix).to_string(),
             format!("{:.2}", normal.all.mean_us()),
@@ -53,4 +63,5 @@ fn main() {
     table.print();
     println!();
     println!("expected shape (paper): 1-21% overhead; largest for 100% GET (~21%), smallest for 100% PUT");
+    sink.write();
 }

@@ -14,7 +14,7 @@ use std::sync::{Arc, Mutex};
 
 use efactory_baselines::common::baseline_layout;
 use efactory_baselines::{ErdaClient, ErdaServer, ForcaClient, ForcaServer};
-use efactory_bench::{scaled_ops, size_label, VALUE_SIZES};
+use efactory_bench::{scaled_ops, size_label, ReportSink, VALUE_SIZES};
 use efactory_harness::{LatencyStats, Table};
 use efactory_rnic::{CostModel, Fabric};
 use efactory_sim as sim;
@@ -75,14 +75,21 @@ fn read_after_write(system: &'static str, value_len: usize, ops: usize) -> Laten
 
 fn main() {
     println!("Figure 2: GET latency breakdown (read-after-write, single client)\n");
+    let mut sink = ReportSink::from_args("fig2");
     let cost = CostModel::default();
     let ops = scaled_ops(400);
     let mut table = Table::new(vec![
-        "system", "size", "total p50 (us)", "crc (us)", "other (us)", "crc share",
+        "system",
+        "size",
+        "total p50 (us)",
+        "crc (us)",
+        "other (us)",
+        "crc share",
     ]);
     for system in ["Erda", "Forca"] {
         for &size in &VALUE_SIZES {
             let stats = read_after_write(system, size, ops);
+            sink.add_latency(&format!("{}/{}", system, size_label(size)), &stats);
             let total = stats.p50_us();
             let crc = cost.crc(size) as f64 / 1000.0;
             table.row(vec![
@@ -98,4 +105,5 @@ fn main() {
     table.print();
     println!();
     println!("expected shape (paper): at 4KB, CRC ~= 4.4us; ~45% of Erda's and ~35% of Forca's read latency");
+    sink.write();
 }

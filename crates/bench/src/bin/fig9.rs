@@ -16,18 +16,24 @@
 //!
 //! Pass `--workload {a|b|c|u}` to run one panel; default runs all four.
 
-use efactory_bench::{mix_tag, size_label, spec, VALUE_SIZES};
+use efactory_bench::{mix_tag, size_label, spec, ReportSink, VALUE_SIZES};
 use efactory_harness::{cluster, RunResult, SystemKind, Table};
 use efactory_ycsb::Mix;
 
-fn run_panel(mix: Mix) {
+fn run_panel(mix: Mix, sink: &mut ReportSink) {
     println!("--- Figure 9 panel: {} (8 clients) ---", mix_tag(mix));
     let mut table = Table::new(vec!["system", "size", "Mops/s", "vs eFactory"]);
     for &size in &VALUE_SIZES {
         let mut results: Vec<(SystemKind, RunResult)> = Vec::new();
         for system in SystemKind::comparison() {
             let s = spec(system, mix, size);
-            results.push((system, cluster::run(&s)));
+            let r = cluster::run(&s);
+            sink.add(
+                &format!("{}/{}/{}", mix_tag(mix), system.label(), size_label(size)),
+                &s,
+                &r,
+            );
+            results.push((system, r));
         }
         let ef = results
             .iter()
@@ -62,8 +68,10 @@ fn main() {
         Some("u") => vec![Mix::UpdateOnly],
         _ => vec![Mix::C, Mix::B, Mix::A, Mix::UpdateOnly],
     };
+    let mut sink = ReportSink::from_args("fig9");
     for mix in panels {
-        run_panel(mix);
+        run_panel(mix, &mut sink);
     }
     println!("factor analysis: compare 'eFactory' vs 'eFactory w/o hr' rows (the hybrid-read contribution).");
+    sink.write();
 }

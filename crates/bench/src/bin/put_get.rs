@@ -1,0 +1,39 @@
+//! **put_get** — the perf-trajectory probe: a small, fixed put/get workload
+//! matrix on eFactory, emitted as JSON (`BENCH_put_get.json` by default,
+//! `--json <path>` to override). Unlike the `fig*` binaries this one always
+//! writes its report, so CI can archive one file per commit and diff
+//! throughput/latency across history. Fully deterministic: fixed seed,
+//! virtual-time measurement.
+
+use efactory_bench::{mix_tag, size_label, spec, ReportSink};
+use efactory_harness::{cluster, SystemKind, Table};
+use efactory_ycsb::Mix;
+
+fn main() {
+    println!("put_get: eFactory perf trajectory (8 clients)\n");
+    let mut sink = ReportSink::with_default_path("put_get", Some("BENCH_put_get.json"));
+    let mut table = Table::new(vec![
+        "mix",
+        "size",
+        "Mops/s",
+        "get p50 (us)",
+        "put p50 (us)",
+    ]);
+    for mix in [Mix::C, Mix::A, Mix::UpdateOnly] {
+        for &size in &[256usize, 4096] {
+            let s = spec(SystemKind::EFactory, mix, size);
+            let r = cluster::run(&s);
+            sink.add(&format!("{}/{}", mix_tag(mix), size_label(size)), &s, &r);
+            table.row(vec![
+                mix_tag(mix).to_string(),
+                size_label(size),
+                format!("{:.3}", r.mops),
+                format!("{:.2}", r.get.p50_us()),
+                format!("{:.2}", r.put.p50_us()),
+            ]);
+        }
+    }
+    table.print();
+    println!();
+    sink.write();
+}

@@ -7,21 +7,38 @@
 //!   where CRC matters, i.e. excluding 64 B — see the paper's footnote 2)
 //!   and 1.24–1.67× Forca's.
 
-use efactory_bench::{size_label, spec, VALUE_SIZES};
+use efactory_bench::{size_label, spec, ReportSink, VALUE_SIZES};
 use efactory_harness::{cluster, SystemKind, Table};
 use efactory_ycsb::Mix;
 
 fn main() {
     println!("Headline ratios (derived from Figure 9 runs)\n");
+    let mut sink = ReportSink::from_args("summary");
 
     // Update-only panel.
-    let mut tw = Table::new(vec!["size", "eF/IMM - 1", "eF/SAW - 1", "eF/Erda", "eF/Forca"]);
+    let mut tw = Table::new(vec![
+        "size",
+        "eF/IMM - 1",
+        "eF/SAW - 1",
+        "eF/Erda",
+        "eF/Forca",
+    ]);
     for &size in &VALUE_SIZES {
-        let ef = cluster::run(&spec(SystemKind::EFactory, Mix::UpdateOnly, size)).mops;
-        let imm = cluster::run(&spec(SystemKind::Imm, Mix::UpdateOnly, size)).mops;
-        let saw = cluster::run(&spec(SystemKind::Saw, Mix::UpdateOnly, size)).mops;
-        let erda = cluster::run(&spec(SystemKind::Erda, Mix::UpdateOnly, size)).mops;
-        let forca = cluster::run(&spec(SystemKind::Forca, Mix::UpdateOnly, size)).mops;
+        let mut go = |system: SystemKind, mix: Mix, tag: &str| {
+            let s = spec(system, mix, size);
+            let r = cluster::run(&s);
+            sink.add(
+                &format!("{tag}/{}/{}", system.label(), size_label(size)),
+                &s,
+                &r,
+            );
+            r.mops
+        };
+        let ef = go(SystemKind::EFactory, Mix::UpdateOnly, "write");
+        let imm = go(SystemKind::Imm, Mix::UpdateOnly, "write");
+        let saw = go(SystemKind::Saw, Mix::UpdateOnly, "write");
+        let erda = go(SystemKind::Erda, Mix::UpdateOnly, "write");
+        let forca = go(SystemKind::Forca, Mix::UpdateOnly, "write");
         tw.row(vec![
             size_label(size),
             format!("{:+.2}x", ef / imm - 1.0),
@@ -37,11 +54,21 @@ fn main() {
     // Read-only panel.
     let mut tr = Table::new(vec!["size", "eF/Erda", "eF/Forca", "eF/IMM", "eF/SAW"]);
     for &size in &VALUE_SIZES {
-        let ef = cluster::run(&spec(SystemKind::EFactory, Mix::C, size)).mops;
-        let erda = cluster::run(&spec(SystemKind::Erda, Mix::C, size)).mops;
-        let forca = cluster::run(&spec(SystemKind::Forca, Mix::C, size)).mops;
-        let imm = cluster::run(&spec(SystemKind::Imm, Mix::C, size)).mops;
-        let saw = cluster::run(&spec(SystemKind::Saw, Mix::C, size)).mops;
+        let mut go = |system: SystemKind, tag: &str| {
+            let s = spec(system, Mix::C, size);
+            let r = cluster::run(&s);
+            sink.add(
+                &format!("{tag}/{}/{}", system.label(), size_label(size)),
+                &s,
+                &r,
+            );
+            r.mops
+        };
+        let ef = go(SystemKind::EFactory, "read");
+        let erda = go(SystemKind::Erda, "read");
+        let forca = go(SystemKind::Forca, "read");
+        let imm = go(SystemKind::Imm, "read");
+        let saw = go(SystemKind::Saw, "read");
         tr.row(vec![
             size_label(size),
             format!("{:.2}x", ef / erda),
@@ -53,4 +80,5 @@ fn main() {
     println!("read (read-only, 8 clients):");
     tr.print();
     println!("paper: vs Erda 1.3-1.96x (beyond 64B); vs Forca 1.24-1.67x; ~= IMM/SAW (gap ~2%)");
+    sink.write();
 }

@@ -13,7 +13,9 @@
 //! The `EF_OPS_SCALE` environment variable scales the per-client operation
 //! counts of the figure binaries (default 1.0; smaller = faster, noisier).
 
-use efactory_harness::{ExperimentSpec, SystemKind};
+use efactory_harness::{
+    json_path_from_args, ExperimentSpec, LatencyStats, Report, RunResult, SystemKind,
+};
 use efactory_ycsb::Mix;
 
 /// The value sizes the paper sweeps in Figures 1, 2, and 9.
@@ -33,6 +35,71 @@ pub fn spec(system: SystemKind, mix: Mix, value_len: usize) -> ExperimentSpec {
     let mut s = ExperimentSpec::paper(system, mix, value_len);
     s.ops_per_client = scaled_ops(s.ops_per_client);
     s
+}
+
+/// A `--json <path>` report sink shared by every figure binary: records
+/// entries only when a path was requested, and writes the rendered
+/// [`Report`] on [`ReportSink::write`]. Pass `--json <path>` (or
+/// `--json=<path>`) to any `fig*` binary to emit its runs as JSON next to
+/// the rendered table (schema: `EXPERIMENTS.md`).
+pub struct ReportSink {
+    report: Report,
+    path: Option<String>,
+}
+
+impl ReportSink {
+    /// Sink for `figure`, enabled iff `--json <path>` is on the command
+    /// line.
+    pub fn from_args(figure: &str) -> ReportSink {
+        ReportSink::with_default_path(figure, None)
+    }
+
+    /// Like [`ReportSink::from_args`], but falls back to `default_path`
+    /// when no `--json` flag is given (perf-trajectory binaries that should
+    /// always emit).
+    pub fn with_default_path(figure: &str, default_path: Option<&str>) -> ReportSink {
+        let path =
+            json_path_from_args(std::env::args()).or_else(|| default_path.map(str::to_string));
+        // Reject a valueless `--json` before the benchmark runs, not at
+        // write time minutes later.
+        if path.as_deref() == Some("") {
+            eprintln!("error: --json requires a path (use --json <path> or --json=<path>)");
+            std::process::exit(2);
+        }
+        ReportSink {
+            report: Report::new(figure),
+            path,
+        }
+    }
+
+    /// Whether entries are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Record one cluster run (no-op when disabled).
+    pub fn add(&mut self, label: &str, spec: &ExperimentSpec, result: &RunResult) {
+        if self.enabled() {
+            self.report.add(label, spec, result);
+        }
+    }
+
+    /// Record a latency-only measurement (no-op when disabled).
+    pub fn add_latency(&mut self, label: &str, stats: &LatencyStats) {
+        if self.enabled() {
+            self.report.add_latency(label, stats);
+        }
+    }
+
+    /// Write the report if a path was requested.
+    pub fn write(&self) {
+        if let Some(p) = &self.path {
+            self.report
+                .write_to(p)
+                .unwrap_or_else(|e| panic!("failed to write {p}: {e}"));
+            println!("json report written to {p}");
+        }
+    }
 }
 
 /// Pretty size label (64B / 1KB / ...).

@@ -29,6 +29,7 @@
 use std::collections::HashSet;
 use std::sync::atomic::Ordering;
 
+use efactory_obs::Subsystem;
 use efactory_rnic::Notifier;
 use efactory_sim as sim;
 
@@ -61,9 +62,12 @@ pub fn clean(shared: &ServerShared, notifier: &Notifier) {
     if shared.logs[new].is_empty() {
         return; // single-pool deployment: nowhere to clean into
     }
-    shared.stats.cleanings.fetch_add(1, Ordering::Relaxed);
+    shared.stats.cleanings.inc();
+    let tracer = &shared.cfg.obs.tracer;
+    let _sp = tracer.span(Subsystem::Cleaner, "clean");
 
     // ---- Stage 1: log compressing -----------------------------------------
+    tracer.event(Subsystem::Cleaner, "clean_start");
     let _ = notifier.notify_all(&Event::CleanStart.encode());
     shared
         .clean_phase
@@ -80,13 +84,14 @@ pub fn clean(shared: &ServerShared, notifier: &Notifier) {
         let key = layout::read_key(&shared.pool, off, &hdr);
         let fp = crate::hashtable::fingerprint(&key);
         if !seen.insert(fp) {
-            shared.stats.reclaimed_versions.fetch_add(1, Ordering::Relaxed);
+            shared.stats.reclaimed_versions.inc();
             continue;
         }
         relocate(shared, off, fp, new, CleanPhase::Compress);
     }
 
     // ---- Stage 2: log merging ---------------------------------------------
+    tracer.event(Subsystem::Cleaner, "clean_merge");
     shared
         .clean_phase
         .store(CleanPhase::Merge as u8, Ordering::Relaxed);
@@ -107,7 +112,7 @@ pub fn clean(shared: &ServerShared, notifier: &Notifier) {
         let key = layout::read_key(&shared.pool, off, &hdr);
         let fp = crate::hashtable::fingerprint(&key);
         if !seen2.insert(fp) {
-            shared.stats.reclaimed_versions.fetch_add(1, Ordering::Relaxed);
+            shared.stats.reclaimed_versions.inc();
             continue;
         }
         relocate(shared, off, fp, new, CleanPhase::Merge);
@@ -133,9 +138,11 @@ pub fn clean(shared: &ServerShared, notifier: &Notifier) {
         if e.ctl.new_valid() {
             debug_assert_ne!(e.slot[new], 0, "new_valid without a new-pool offset");
             shared.ht.set_slot(&shared.pool, idx, old, 0);
-            shared
-                .ht
-                .set_ctl(&shared.pool, idx, e.ctl.with_mark(new).with_new_valid(false).bumped());
+            shared.ht.set_ctl(
+                &shared.pool,
+                idx,
+                e.ctl.with_mark(new).with_new_valid(false).bumped(),
+            );
         } else {
             // No intact version made it to the new pool: the key's chain
             // was entirely torn/invalid, so the key was never durably
@@ -151,9 +158,7 @@ pub fn clean(shared: &ServerShared, notifier: &Notifier) {
     shared
         .clean_phase
         .store(CleanPhase::Normal as u8, Ordering::Relaxed);
-    shared
-        .cursor_pool
-        .store(new, Ordering::Relaxed);
+    shared.cursor_pool.store(new, Ordering::Relaxed);
     shared
         .cursor
         .store(shared.logs[new].base() as u64, Ordering::Relaxed);
@@ -161,6 +166,7 @@ pub fn clean(shared: &ServerShared, notifier: &Notifier) {
     let (obase, olen) = (shared.logs[old].base(), shared.logs[old].len());
     shared.pool.zero_region(obase, olen);
     shared.logs[old].reset();
+    tracer.event(Subsystem::Cleaner, "clean_finish");
     let _ = notifier.notify_all(&Event::CleanEnd.encode());
 }
 
@@ -181,7 +187,7 @@ fn relocate(shared: &ServerShared, head_off: usize, fp: u64, dst: usize, stage: 
             let new_hdr = ObjHeader::read_from(&shared.pool, new_off as usize);
             let head_hdr = ObjHeader::read_from(&shared.pool, head_off);
             if new_hdr.seq >= head_hdr.seq && ensure_intact(shared, new_off as usize).is_some() {
-                shared.stats.reclaimed_versions.fetch_add(1, Ordering::Relaxed);
+                shared.stats.reclaimed_versions.inc();
                 return;
             }
         }
@@ -215,7 +221,12 @@ fn relocate(shared: &ServerShared, head_off: usize, fp: u64, dst: usize, stage: 
             layout::update_flags(&shared.pool, head_off, 0, flags::VALID);
             shared.pool.flush(head_off, 8);
             shared.pool.drain();
-            shared.stats.bg_timeouts.fetch_add(1, Ordering::Relaxed);
+            shared.stats.bg_timeouts.inc();
+            shared.cfg.obs.tracer.event_args(
+                Subsystem::Cleaner,
+                "invalidate",
+                &[("off", head_off as u64)],
+            );
         }
         // Fall back along the chain for the newest intact ancestor.
         break walk_chain(shared, hdr.pre_ptr);
@@ -231,7 +242,7 @@ fn relocate(shared: &ServerShared, head_off: usize, fp: u64, dst: usize, stage: 
         if shared.current_off(&e) == head_off as u64 {
             shared.ht.clear(&shared.pool, idx);
             shared.ht.persist_entry(&shared.pool, idx);
-            shared.stats.reclaimed_versions.fetch_add(1, Ordering::Relaxed);
+            shared.stats.reclaimed_versions.inc();
         }
         return;
     }
@@ -266,7 +277,9 @@ fn relocate(shared: &ServerShared, head_off: usize, fp: u64, dst: usize, stage: 
     let e = shared.ht.read(&shared.pool, idx);
     if shared.current_off(&e) == head_off as u64 {
         shared.ht.set_slot(&shared.pool, idx, dst, noff as u64);
-        shared.ht.set_sizes(&shared.pool, idx, src_hdr.klen, src_hdr.vlen);
+        shared
+            .ht
+            .set_sizes(&shared.pool, idx, src_hdr.klen, src_hdr.vlen);
         shared
             .ht
             .set_ctl(&shared.pool, idx, e.ctl.with_new_valid(true).bumped());
@@ -278,7 +291,7 @@ fn relocate(shared: &ServerShared, head_off: usize, fp: u64, dst: usize, stage: 
         shared.pool.flush(succ, 24);
         shared.pool.drain();
     }
-    shared.stats.relocated.fetch_add(1, Ordering::Relaxed);
+    shared.stats.relocated.inc();
     sim::work(shared.cost.cpu_hash_ns);
 }
 

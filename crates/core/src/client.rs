@@ -18,6 +18,7 @@ use std::cell::Cell;
 use std::sync::Arc;
 
 use efactory_checksum::crc32c;
+use efactory_obs::{Obs, Subsystem};
 use efactory_rnic::{ClientQp, Fabric, Node};
 
 use crate::hashtable::{find_in_window, fingerprint, BUCKET_LEN, NPROBE};
@@ -44,6 +45,9 @@ pub struct ClientConfig {
     pub hybrid_read: bool,
     /// Bounded retries for the RPC read path (validation hiccups).
     pub max_rpc_retries: usize,
+    /// Observability context; the harness passes the same one the server
+    /// uses so client and server phases land in a single trace.
+    pub obs: Obs,
 }
 
 impl Default for ClientConfig {
@@ -51,6 +55,7 @@ impl Default for ClientConfig {
         ClientConfig {
             hybrid_read: true,
             max_rpc_retries: 3,
+            obs: Obs::new(),
         }
     }
 }
@@ -147,6 +152,8 @@ impl Client {
                 ..
             } => {
                 if !value.is_empty() {
+                    let mut sp = self.cfg.obs.tracer.span(Subsystem::Client, "rdma_write");
+                    sp.arg("vlen", value.len() as u64);
                     self.qp
                         .rdma_write(&self.desc.mr, value_off as usize, value.to_vec())?;
                 }
@@ -178,7 +185,11 @@ impl Client {
         self.poll_events();
         if self.cfg.hybrid_read && !self.cleaning.get() {
             // Step 1-4 of Figure 6: the optimistic pure RDMA read path.
-            match self.try_pure_get(key)? {
+            let pure = {
+                let _sp = self.cfg.obs.tracer.span(Subsystem::Client, "pure_read");
+                self.try_pure_get(key)?
+            };
+            match pure {
                 PureOutcome::Hit(v) => {
                     self.stats.pure_hits.set(self.stats.pure_hits.get() + 1);
                     return Ok((v, GetOutcome::Pure));
@@ -189,12 +200,14 @@ impl Client {
                 }
                 PureOutcome::Fallback => {
                     self.stats.fallbacks.set(self.stats.fallbacks.get() + 1);
+                    let _sp = self.cfg.obs.tracer.span(Subsystem::Client, "fallback_rpc");
                     let v = self.rpc_get(key)?;
                     return Ok((v, GetOutcome::Fallback));
                 }
             }
         }
         self.stats.rpc_only.set(self.stats.rpc_only.get() + 1);
+        let _sp = self.cfg.obs.tracer.span(Subsystem::Client, "rpc_read");
         let v = self.rpc_get(key)?;
         Ok((v, GetOutcome::RpcOnly))
     }

@@ -36,8 +36,8 @@
 //! `efactory-pmem`, `efactory-rnic`) — see `DESIGN.md` at the repository
 //! root for the substitution rationale.
 
-pub mod client;
 pub mod cleaner;
+pub mod client;
 pub mod hashtable;
 pub mod inspect;
 pub mod layout;

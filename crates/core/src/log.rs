@@ -139,7 +139,12 @@ impl LogRegion {
 
     /// Like [`scan_objects`](Self::scan_objects) but scans the whole region
     /// (recovery does not know the head yet) and returns the rebuilt head.
-    pub fn scan_for_recovery(&self, pool: &PmemPool, max_klen: usize, max_vlen: usize) -> (Vec<usize>, usize) {
+    pub fn scan_for_recovery(
+        &self,
+        pool: &PmemPool,
+        max_klen: usize,
+        max_vlen: usize,
+    ) -> (Vec<usize>, usize) {
         let mut offs = Vec::new();
         let mut cur = self.base;
         let end = self.base + self.len;

@@ -123,7 +123,11 @@ pub fn recover(
                 // Re-anchor the entry at the intact version, in slot 0
                 // semantics... keep the slot that already holds it when
                 // possible; otherwise rewrite slot 0.
-                let slot = if regions[0].contains(off as usize) { 0 } else { 1 };
+                let slot = if regions[0].contains(off as usize) {
+                    0
+                } else {
+                    1
+                };
                 ht.set_slot(&pool, idx, slot, off);
                 ht.set_slot(&pool, idx, 1 - slot, 0);
                 ht.set_sizes(&pool, idx, hdr.klen, hdr.vlen);
@@ -151,7 +155,9 @@ pub fn recover(
     }
     // Everything reachable is durable post-recovery; park the verifier at
     // the heads. New writes append beyond them.
-    let active = if heads[1] > shared.logs[1].base() && heads[1] - shared.logs[1].base() > heads[0] - shared.logs[0].base() {
+    let active = if heads[1] > shared.logs[1].base()
+        && heads[1] - shared.logs[1].base() > heads[0] - shared.logs[0].base()
+    {
         1
     } else {
         0

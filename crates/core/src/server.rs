@@ -27,6 +27,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use efactory_checksum::crc32c;
+use efactory_obs::{Counter, Obs, Registry, Subsystem};
 use efactory_pmem::PmemPool;
 use efactory_rnic::{CostModel, Fabric, Incoming, Listener, Node, RemoteMr};
 use efactory_sim as sim;
@@ -84,6 +85,9 @@ pub struct ServerConfig {
     pub max_klen: usize,
     /// Recovery scan sanity bounds.
     pub max_vlen: usize,
+    /// Observability context (tracer + metrics registry). The default is a
+    /// private fully-enabled context; the harness injects one per run.
+    pub obs: Obs,
 }
 
 impl Default for ServerConfig {
@@ -98,38 +102,66 @@ impl Default for ServerConfig {
             batched_recv: true,
             max_klen: 256,
             max_vlen: 16 << 20,
+            obs: Obs::new(),
         }
     }
 }
 
-/// Counters exposed by the server (all monotonically increasing).
+/// Counters exposed by the server (all monotonically increasing). Each field
+/// is a shareable [`Counter`] so the same values can be read through a
+/// metrics [`Registry`] (see [`ServerStats::register`]).
 #[derive(Debug, Default)]
 pub struct ServerStats {
     /// PUT requests handled.
-    pub puts: AtomicU64,
+    pub puts: Counter,
     /// DELETE requests handled.
-    pub dels: AtomicU64,
+    pub dels: Counter,
     /// GET requests handled via RPC (the fallback path).
-    pub gets: AtomicU64,
+    pub gets: Counter,
     /// RPC GETs that found the object already durable (fast durability
     /// check — the "selective durability guarantee").
-    pub gets_already_durable: AtomicU64,
+    pub gets_already_durable: Counter,
     /// RPC GETs where the handler verified + persisted on demand.
-    pub gets_persisted_on_demand: AtomicU64,
+    pub gets_persisted_on_demand: Counter,
     /// RPC GETs served from a previous version (torn head).
-    pub gets_from_previous_version: AtomicU64,
+    pub gets_from_previous_version: Counter,
     /// Objects verified + persisted by the background process.
-    pub bg_verified: AtomicU64,
+    pub bg_verified: Counter,
     /// Objects invalidated after the verify timeout.
-    pub bg_timeouts: AtomicU64,
+    pub bg_timeouts: Counter,
     /// Log cleanings completed.
-    pub cleanings: AtomicU64,
+    pub cleanings: Counter,
     /// Objects relocated by cleaning (compress + merge).
-    pub relocated: AtomicU64,
+    pub relocated: Counter,
     /// Stale versions skipped by cleaning.
-    pub reclaimed_versions: AtomicU64,
-    /// PUT failures (table full / no space).
-    pub put_failures: AtomicU64,
+    pub reclaimed_versions: Counter,
+    /// Allocation failures (table full / no space), PUT or DEL.
+    pub put_failures: Counter,
+}
+
+impl ServerStats {
+    /// Attach every counter to `reg` under `server.*` names (sharing the
+    /// underlying values, so the registry always reads live).
+    pub fn register(&self, reg: &Registry) {
+        reg.attach_counter("server.puts", &self.puts);
+        reg.attach_counter("server.dels", &self.dels);
+        reg.attach_counter("server.gets", &self.gets);
+        reg.attach_counter("server.gets_already_durable", &self.gets_already_durable);
+        reg.attach_counter(
+            "server.gets_persisted_on_demand",
+            &self.gets_persisted_on_demand,
+        );
+        reg.attach_counter(
+            "server.gets_from_previous_version",
+            &self.gets_from_previous_version,
+        );
+        reg.attach_counter("server.bg_verified", &self.bg_verified);
+        reg.attach_counter("server.bg_timeouts", &self.bg_timeouts);
+        reg.attach_counter("server.cleanings", &self.cleanings);
+        reg.attach_counter("server.relocated", &self.relocated);
+        reg.attach_counter("server.reclaimed_versions", &self.reclaimed_versions);
+        reg.attach_counter("server.put_failures", &self.put_failures);
+    }
 }
 
 /// State shared by the handler, verifier, and cleaner processes.
@@ -241,26 +273,23 @@ impl ServerShared {
                 // guarantee that distinguishes eFactory from Forca.
                 if hdr.has(flags::DURABLE) {
                     if first {
-                        self.stats.gets_already_durable.fetch_add(1, Ordering::Relaxed);
+                        self.stats.gets_already_durable.inc();
                     } else {
-                        self.stats
-                            .gets_from_previous_version
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.stats.gets_from_previous_version.inc();
                     }
                     return Some((off, hdr));
                 }
                 sim::work(self.cost.crc_hw(hdr.vlen as usize));
                 if self.crc_matches(off as usize, &hdr) {
+                    let mut sp = self.cfg.obs.tracer.span(Subsystem::Pmem, "flush_drain");
                     let lines = self.persist_object(off as usize, &hdr);
                     sim::work(self.cost.flush(lines * efactory_pmem::LINE));
+                    sp.arg("lines", lines as u64);
+                    drop(sp);
                     if first {
-                        self.stats
-                            .gets_persisted_on_demand
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.stats.gets_persisted_on_demand.inc();
                     } else {
-                        self.stats
-                            .gets_from_previous_version
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.stats.gets_from_previous_version.inc();
                     }
                     return Some((off, hdr));
                 }
@@ -325,6 +354,7 @@ impl Server {
             clean_request: AtomicBool::new(false),
             born_epoch: node.epoch(),
         });
+        shared.stats.register(&shared.cfg.obs.registry);
         Server {
             shared,
             desc: StoreDesc { mr, layout },
@@ -420,10 +450,29 @@ fn run_handler(shared: &ServerShared, listener: &Listener) {
 /// offset. The client then RDMA-writes the value with **no** durability
 /// wait — the background verifier takes over.
 fn handle_put(shared: &ServerShared, key: &[u8], vlen: u32, crc: u32) -> Response {
+    let mut sp = shared.cfg.obs.tracer.span(Subsystem::Server, "rpc_alloc");
+    sp.arg("vlen", vlen as u64);
+    let resp = insert_version(shared, key, vlen, crc);
+    if matches!(
+        resp,
+        Response::Put {
+            status: Status::Ok,
+            ..
+        }
+    ) {
+        shared.stats.puts.inc();
+    }
+    resp
+}
+
+/// Shared PUT/DEL insert path: allocate a new version in the log, persist
+/// its metadata + key, and link the hash entry. Does not bump the
+/// per-operation counters — `handle_put`/`handle_del` own those.
+fn insert_version(shared: &ServerShared, key: &[u8], vlen: u32, crc: u32) -> Response {
     sim::work(shared.cost.cpu_req_handle_ns + shared.cost.cpu_hash_ns + shared.cost.cpu_alloc_ns);
 
     let fail = |status: Status| {
-        shared.stats.put_failures.fetch_add(1, Ordering::Relaxed);
+        shared.stats.put_failures.inc();
         Response::Put {
             status,
             obj_off: 0,
@@ -463,7 +512,9 @@ fn handle_put(shared: &ServerShared, key: &[u8], vlen: u32, crc: u32) -> Respons
     }
     // Persist object metadata + key before exposing the object (§4.3.1
     // step 4: "after all the metadata has been updated and persisted ...").
-    let mut lines = shared.pool.flush(off, layout::HDR_LEN + layout::pad8(key.len()));
+    let mut lines = shared
+        .pool
+        .flush(off, layout::HDR_LEN + layout::pad8(key.len()));
     shared.pool.drain();
     // Link the hash entry. Slots correspond to pools 1:1; the new-valid
     // bit flags a current version living in the non-mark slot (merge-phase
@@ -480,13 +531,14 @@ fn handle_put(shared: &ServerShared, key: &[u8], vlen: u32, crc: u32) -> Respons
         entry.ctl.bumped().with_new_valid(true)
     };
     shared.ht.set_slot(&shared.pool, idx, slot, off as u64);
-    shared.ht.set_sizes(&shared.pool, idx, key.len() as u16, vlen);
+    shared
+        .ht
+        .set_sizes(&shared.pool, idx, key.len() as u16, vlen);
     shared.ht.set_ctl(&shared.pool, idx, ctl);
     lines += shared.ht.persist_entry(&shared.pool, idx);
     // ---- end mutation block ----
 
     sim::work(shared.cost.flush(lines * efactory_pmem::LINE));
-    shared.stats.puts.fetch_add(1, Ordering::Relaxed);
     Response::Put {
         status: Status::Ok,
         obj_off: off as u64,
@@ -498,8 +550,9 @@ fn handle_put(shared: &ServerShared, key: &[u8], vlen: u32, crc: u32) -> Respons
 /// durability check / durability guarantee, and return the offset of an
 /// intact version for the client to RDMA-read.
 fn handle_get(shared: &ServerShared, key: &[u8]) -> Response {
+    let _sp = shared.cfg.obs.tracer.span(Subsystem::Server, "rpc_get");
     sim::work(shared.cost.cpu_req_handle_ns + shared.cost.cpu_hash_ns);
-    shared.stats.gets.fetch_add(1, Ordering::Relaxed);
+    shared.stats.gets.inc();
     let not_found = Response::Get {
         status: Status::NotFound,
         obj_off: 0,
@@ -529,10 +582,12 @@ fn handle_get(shared: &ServerShared, key: &[u8]) -> Response {
 }
 
 /// DELETE: append a tombstone version. Tombstones carry no client value, so
-/// they are made durable immediately.
+/// they are made durable immediately. Shares the insert path with PUT but
+/// has its own dispatch and counter — `puts` never sees a DEL.
 fn handle_del(shared: &ServerShared, key: &[u8]) -> Response {
+    let _sp = shared.cfg.obs.tracer.span(Subsystem::Server, "rpc_del");
     // A tombstone is a PUT of an empty value whose CRC is crc32c(b"") == 0.
-    let resp = handle_put(shared, key, 0, crc32c(b""));
+    let resp = insert_version(shared, key, 0, crc32c(b""));
     let Response::Put {
         status: Status::Ok,
         obj_off,
@@ -549,7 +604,6 @@ fn handle_del(shared: &ServerShared, key: &[u8]) -> Response {
     let lines = shared.pool.flush(off, 8);
     shared.pool.drain();
     sim::work(shared.cost.flush(lines * efactory_pmem::LINE));
-    shared.stats.dels.fetch_add(1, Ordering::Relaxed);
-    shared.stats.puts.fetch_sub(1, Ordering::Relaxed); // counted as del, not put
+    shared.stats.dels.inc();
     Response::Ack { status: Status::Ok }
 }

@@ -23,6 +23,7 @@
 
 use std::sync::atomic::Ordering;
 
+use efactory_obs::Subsystem;
 use efactory_sim as sim;
 
 use crate::layout::{flags, ObjHeader};
@@ -87,12 +88,18 @@ pub fn step(shared: &ServerShared) -> StepOutcome {
     // eFactory's own verifier uses the ISA-accelerated CRC and issues its
     // CLWBs asynchronously (they drain while the next object is checked),
     // so only the fence's base cost lands on this thread.
+    let mut sp = shared
+        .cfg
+        .obs
+        .tracer
+        .span(Subsystem::Verifier, "crc_verify");
+    sp.arg("off", cur as u64);
     sim::work(shared.cfg.verify_step_cost + shared.cost.crc_hw(hdr.vlen as usize));
     if shared.crc_matches(cur, &hdr) {
         let lines = shared.persist_object(cur, &hdr);
         let _ = lines;
         sim::work(shared.cost.flush_base_ns);
-        shared.stats.bg_verified.fetch_add(1, Ordering::Relaxed);
+        shared.stats.bg_verified.inc();
         advance(shared);
         return StepOutcome::Persisted;
     }
@@ -103,7 +110,12 @@ pub fn step(shared: &ServerShared) -> StepOutcome {
         let lines = shared.pool.flush(cur, 8);
         shared.pool.drain();
         sim::work(shared.cost.flush(lines * efactory_pmem::LINE));
-        shared.stats.bg_timeouts.fetch_add(1, Ordering::Relaxed);
+        shared.stats.bg_timeouts.inc();
+        shared
+            .cfg
+            .obs
+            .tracer
+            .event_args(Subsystem::Verifier, "invalidate", &[("off", cur as u64)]);
         advance(shared);
         return StepOutcome::Invalidated;
     }

@@ -18,7 +18,14 @@ use rand::SeedableRng;
 
 fn connect(fabric: &Arc<Fabric>, server_node: &Node, server: &Server) -> Client {
     let cnode = fabric.add_node("client");
-    Client::connect(fabric, &cnode, server_node, server.desc(), ClientConfig::default()).unwrap()
+    Client::connect(
+        fabric,
+        &cnode,
+        server_node,
+        server.desc(),
+        ClientConfig::default(),
+    )
+    .unwrap()
 }
 
 /// Tombstoned keys are fully reclaimed by cleaning: bucket freed, space
@@ -40,7 +47,8 @@ fn cleaning_reclaims_tombstones_and_frees_buckets() {
         let shared = server.start(&f);
         let c = connect(&f, &server_node, &server);
         for k in 0..10u32 {
-            c.put(format!("key-{k}").as_bytes(), b"some-value-here").unwrap();
+            c.put(format!("key-{k}").as_bytes(), b"some-value-here")
+                .unwrap();
         }
         // Delete the even keys.
         for k in (0..10u32).step_by(2) {
@@ -109,7 +117,10 @@ fn two_consecutive_cleanings_round_trip_pools() {
                 round + 1,
                 "cleaning {round} did not run"
             );
-            assert_eq!(shared.active.load(Ordering::Relaxed), (1 - round % 2) as usize);
+            assert_eq!(
+                shared.active.load(Ordering::Relaxed),
+                (1 - round % 2) as usize
+            );
             for k in 0..12u32 {
                 assert_eq!(
                     c.get(format!("key-{k}").as_bytes()).unwrap().as_deref(),
@@ -143,11 +154,14 @@ fn crash_during_cleaning_recovers_consistently() {
             let shared = server.start(&f);
             let c = connect(&f, &server_node, &server);
             for k in 0..30u32 {
-                c.put(format!("key-{k:02}").as_bytes(), vec![k as u8 + 1; 512].as_slice())
-                    .unwrap();
+                c.put(
+                    format!("key-{k:02}").as_bytes(),
+                    vec![k as u8 + 1; 512].as_slice(),
+                )
+                .unwrap();
             }
             sim::sleep(sim::micros(500)); // all durable
-            // Kick off cleaning and crash somewhere inside it.
+                                          // Kick off cleaning and crash somewhere inside it.
             shared.clean_request.store(true, Ordering::Relaxed);
             sim::sleep(sim::micros(crash_delay_us));
             let mut rng = StdRng::seed_from_u64(crash_delay_us);
@@ -230,7 +244,7 @@ fn recovery_walks_long_version_chains() {
         let c = connect(&f, &server_node, &server);
         c.put(b"deep", b"anchor-version").unwrap();
         assert!(c.get(b"deep").unwrap().is_some()); // durable via read path
-        // 20 newer versions, none durable.
+                                                    // 20 newer versions, none durable.
         for i in 0..20u32 {
             c.put(b"deep", format!("volatile-{i}").as_bytes()).unwrap();
         }
@@ -242,7 +256,10 @@ fn recovery_walks_long_version_chains() {
         assert!(report.versions_discarded >= 20, "{report:?}");
         server2.start(&f);
         let c2 = connect(&f, &server_node, &server2);
-        assert_eq!(c2.get(b"deep").unwrap().as_deref(), Some(&b"anchor-version"[..]));
+        assert_eq!(
+            c2.get(b"deep").unwrap().as_deref(),
+            Some(&b"anchor-version"[..])
+        );
         server2.shutdown();
     });
     simu.run().expect_ok();
@@ -270,12 +287,16 @@ fn repeated_crash_recover_cycles() {
             let mut rng = StdRng::seed_from_u64(generation as u64);
             f.crash_node(&server_node, CrashSpec::Words(0.4), &mut rng);
             f.restart_node(&server_node);
-            let (srv, _report) = recovery::recover(&f, &server_node, Arc::clone(&pool), layout, cfg.clone());
+            let (srv, _report) =
+                recovery::recover(&f, &server_node, Arc::clone(&pool), layout, cfg.clone());
             recovery::check_consistency(&srv.shared().pool, &layout);
             pool = Arc::clone(&srv.shared().pool);
             srv.start(&f);
             let c2 = connect(&f, &server_node, &srv);
-            let v = c2.get(b"gen").unwrap().expect("key must survive every cycle");
+            let v = c2
+                .get(b"gen")
+                .unwrap()
+                .expect("key must survive every cycle");
             assert!(v.starts_with(b"gen-"), "garbage after cycle {generation}");
             let newv = format!("gen-{generation}");
             c2.put(b"gen", newv.as_bytes()).unwrap();

@@ -42,63 +42,90 @@ fn small_layout() -> StoreLayout {
 
 fn connect(fabric: &Arc<Fabric>, server_node: &Node, server: &Server) -> Client {
     let cnode = fabric.add_node("client");
-    Client::connect(fabric, &cnode, server_node, server.desc(), ClientConfig::default()).unwrap()
+    Client::connect(
+        fabric,
+        &cnode,
+        server_node,
+        server.desc(),
+        ClientConfig::default(),
+    )
+    .unwrap()
 }
 
 #[test]
 fn put_get_roundtrip() {
-    with_store(CostModel::zero(), small_layout(), ServerConfig::default(), |f, sn, srv| {
-        let c = connect(f, sn, srv);
-        c.put(b"alpha", b"value-1").unwrap();
-        assert_eq!(c.get(b"alpha").unwrap().as_deref(), Some(&b"value-1"[..]));
-        assert_eq!(c.get(b"missing").unwrap(), None);
-    });
+    with_store(
+        CostModel::zero(),
+        small_layout(),
+        ServerConfig::default(),
+        |f, sn, srv| {
+            let c = connect(f, sn, srv);
+            c.put(b"alpha", b"value-1").unwrap();
+            assert_eq!(c.get(b"alpha").unwrap().as_deref(), Some(&b"value-1"[..]));
+            assert_eq!(c.get(b"missing").unwrap(), None);
+        },
+    );
 }
 
 #[test]
 fn overwrite_returns_latest() {
-    with_store(CostModel::zero(), small_layout(), ServerConfig::default(), |f, sn, srv| {
-        let c = connect(f, sn, srv);
-        for i in 0..10u32 {
-            let v = format!("version-{i}");
-            c.put(b"key", v.as_bytes()).unwrap();
-            assert_eq!(c.get(b"key").unwrap().as_deref(), Some(v.as_bytes()));
-        }
-    });
+    with_store(
+        CostModel::zero(),
+        small_layout(),
+        ServerConfig::default(),
+        |f, sn, srv| {
+            let c = connect(f, sn, srv);
+            for i in 0..10u32 {
+                let v = format!("version-{i}");
+                c.put(b"key", v.as_bytes()).unwrap();
+                assert_eq!(c.get(b"key").unwrap().as_deref(), Some(v.as_bytes()));
+            }
+        },
+    );
 }
 
 #[test]
 fn delete_hides_key_and_reput_revives_it() {
-    with_store(CostModel::zero(), small_layout(), ServerConfig::default(), |f, sn, srv| {
-        let c = connect(f, sn, srv);
-        c.put(b"k", b"v").unwrap();
-        c.del(b"k").unwrap();
-        assert_eq!(c.get(b"k").unwrap(), None);
-        c.put(b"k", b"v2").unwrap();
-        assert_eq!(c.get(b"k").unwrap().as_deref(), Some(&b"v2"[..]));
-    });
+    with_store(
+        CostModel::zero(),
+        small_layout(),
+        ServerConfig::default(),
+        |f, sn, srv| {
+            let c = connect(f, sn, srv);
+            c.put(b"k", b"v").unwrap();
+            c.del(b"k").unwrap();
+            assert_eq!(c.get(b"k").unwrap(), None);
+            c.put(b"k", b"v2").unwrap();
+            assert_eq!(c.get(b"k").unwrap().as_deref(), Some(&b"v2"[..]));
+        },
+    );
 }
 
 #[test]
 fn many_keys_many_sizes() {
     let layout = StoreLayout::new(2048, 8 << 20, true);
-    with_store(CostModel::zero(), layout, ServerConfig::default(), |f, sn, srv| {
-        let c = connect(f, sn, srv);
-        let sizes = [0usize, 1, 7, 8, 63, 64, 255, 1024, 4096];
-        for (i, &s) in sizes.iter().enumerate() {
-            let key = format!("key-{i:04}");
-            let val = vec![i as u8 + 1; s];
-            c.put(key.as_bytes(), &val).unwrap();
-        }
-        for (i, &s) in sizes.iter().enumerate() {
-            let key = format!("key-{i:04}");
-            assert_eq!(
-                c.get(key.as_bytes()).unwrap().as_deref(),
-                Some(&vec![i as u8 + 1; s][..]),
-                "size {s}"
-            );
-        }
-    });
+    with_store(
+        CostModel::zero(),
+        layout,
+        ServerConfig::default(),
+        |f, sn, srv| {
+            let c = connect(f, sn, srv);
+            let sizes = [0usize, 1, 7, 8, 63, 64, 255, 1024, 4096];
+            for (i, &s) in sizes.iter().enumerate() {
+                let key = format!("key-{i:04}");
+                let val = vec![i as u8 + 1; s];
+                c.put(key.as_bytes(), &val).unwrap();
+            }
+            for (i, &s) in sizes.iter().enumerate() {
+                let key = format!("key-{i:04}");
+                assert_eq!(
+                    c.get(key.as_bytes()).unwrap().as_deref(),
+                    Some(&vec![i as u8 + 1; s][..]),
+                    "size {s}"
+                );
+            }
+        },
+    );
 }
 
 #[test]
@@ -120,40 +147,60 @@ fn read_immediately_after_put_falls_back_then_turns_pure() {
         let (v2, outcome2) = c.get_traced(b"hot").unwrap();
         assert_eq!(v2.as_deref(), Some(&b"fresh-value"[..]));
         assert_eq!(outcome2, GetOutcome::Pure, "on-demand persist set the flag");
-        assert_eq!(srv.shared().stats.gets_persisted_on_demand.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            srv.shared()
+                .stats
+                .gets_persisted_on_demand
+                .load(Ordering::Relaxed),
+            1
+        );
     });
 }
 
 #[test]
 fn background_verifier_persists_without_reads() {
-    with_store(CostModel::default(), small_layout(), ServerConfig::default(), |f, sn, srv| {
-        let c = connect(f, sn, srv);
-        c.put(b"idle", b"will-persist-in-background").unwrap();
-        // Give the verifier time to scan.
-        sim::sleep(sim::micros(100));
-        let (v, outcome) = c.get_traced(b"idle").unwrap();
-        assert_eq!(v.as_deref(), Some(&b"will-persist-in-background"[..]));
-        assert_eq!(outcome, GetOutcome::Pure);
-        assert_eq!(srv.shared().stats.bg_verified.load(Ordering::Relaxed), 1);
-        assert_eq!(srv.shared().stats.gets.load(Ordering::Relaxed), 0, "no RPC needed");
-    });
+    with_store(
+        CostModel::default(),
+        small_layout(),
+        ServerConfig::default(),
+        |f, sn, srv| {
+            let c = connect(f, sn, srv);
+            c.put(b"idle", b"will-persist-in-background").unwrap();
+            // Give the verifier time to scan.
+            sim::sleep(sim::micros(100));
+            let (v, outcome) = c.get_traced(b"idle").unwrap();
+            assert_eq!(v.as_deref(), Some(&b"will-persist-in-background"[..]));
+            assert_eq!(outcome, GetOutcome::Pure);
+            assert_eq!(srv.shared().stats.bg_verified.load(Ordering::Relaxed), 1);
+            assert_eq!(
+                srv.shared().stats.gets.load(Ordering::Relaxed),
+                0,
+                "no RPC needed"
+            );
+        },
+    );
 }
 
 #[test]
 fn without_hybrid_read_every_get_is_rpc() {
-    with_store(CostModel::default(), small_layout(), ServerConfig::default(), |f, sn, srv| {
-        let cnode = f.add_node("client");
-        let cfg = ClientConfig {
-            hybrid_read: false,
-            ..ClientConfig::default()
-        };
-        let c = Client::connect(f, &cnode, sn, srv.desc(), cfg).unwrap();
-        c.put(b"k", b"v").unwrap();
-        sim::sleep(sim::micros(100));
-        let (_, outcome) = c.get_traced(b"k").unwrap();
-        assert_eq!(outcome, GetOutcome::RpcOnly);
-        assert_eq!(srv.shared().stats.gets.load(Ordering::Relaxed), 1);
-    });
+    with_store(
+        CostModel::default(),
+        small_layout(),
+        ServerConfig::default(),
+        |f, sn, srv| {
+            let cnode = f.add_node("client");
+            let cfg = ClientConfig {
+                hybrid_read: false,
+                ..ClientConfig::default()
+            };
+            let c = Client::connect(f, &cnode, sn, srv.desc(), cfg).unwrap();
+            c.put(b"k", b"v").unwrap();
+            sim::sleep(sim::micros(100));
+            let (_, outcome) = c.get_traced(b"k").unwrap();
+            assert_eq!(outcome, GetOutcome::RpcOnly);
+            assert_eq!(srv.shared().stats.gets.load(Ordering::Relaxed), 1);
+        },
+    );
 }
 
 #[test]
@@ -161,7 +208,12 @@ fn concurrent_writers_same_key_builds_version_chain() {
     let mut simu = Sim::new(3);
     let fabric = Fabric::new(CostModel::default());
     let server_node = fabric.add_node("server");
-    let server = Server::format(&fabric, &server_node, small_layout(), ServerConfig::default());
+    let server = Server::format(
+        &fabric,
+        &server_node,
+        small_layout(),
+        ServerConfig::default(),
+    );
     let f2 = Arc::clone(&fabric);
     simu.spawn("main", move || {
         let shared = server.start(&f2);
@@ -174,7 +226,8 @@ fn concurrent_writers_same_key_builds_version_chain() {
                 let cn = f3.add_node(&format!("cn{w}"));
                 let c = Client::connect(&f3, &cn, &sn, desc, ClientConfig::default()).unwrap();
                 for i in 0..25 {
-                    c.put(b"shared-key", format!("w{w}-v{i}").as_bytes()).unwrap();
+                    c.put(b"shared-key", format!("w{w}-v{i}").as_bytes())
+                        .unwrap();
                 }
             }));
         }
@@ -182,13 +235,23 @@ fn concurrent_writers_same_key_builds_version_chain() {
             h.join();
         }
         sim::sleep(sim::micros(500)); // let the verifier drain
-        // The chain head must be durable and hold one of the written values.
+                                      // The chain head must be durable and hold one of the written values.
         let reader_node = f2.add_node("reader");
-        let c = Client::connect(&f2, &reader_node, &server_node, server.desc(), ClientConfig::default()).unwrap();
+        let c = Client::connect(
+            &f2,
+            &reader_node,
+            &server_node,
+            server.desc(),
+            ClientConfig::default(),
+        )
+        .unwrap();
         let (v, outcome) = c.get_traced(b"shared-key").unwrap();
         let v = v.expect("key must exist");
         let s = String::from_utf8(v).unwrap();
-        assert!(s.starts_with('w') && s.contains("-v"), "unexpected value {s}");
+        assert!(
+            s.starts_with('w') && s.contains("-v"),
+            "unexpected value {s}"
+        );
         assert_eq!(outcome, GetOutcome::Pure);
         // 100 versions were written; chain traversal must find them.
         assert_eq!(shared.stats.puts.load(Ordering::Relaxed), 100);
@@ -230,7 +293,10 @@ fn crash_before_background_persist_recovers_previous_version() {
         // Reboot + recover.
         f2.restart_node(&server_node);
         let (server2, report) = recovery::recover(&f2, &server_node, pool, layout, cfg);
-        assert_eq!(report.keys_rolled_back, 1, "v2 must be discarded: {report:?}");
+        assert_eq!(
+            report.keys_rolled_back, 1,
+            "v2 must be discarded: {report:?}"
+        );
         assert_eq!(report.keys_lost, 0);
         recovery::check_consistency(&server2.shared().pool, &layout);
 
@@ -243,7 +309,10 @@ fn crash_before_background_persist_recovers_previous_version() {
         );
         // The store stays writable after recovery.
         c2.put(b"key", b"version-three").unwrap();
-        assert_eq!(c2.get(b"key").unwrap().as_deref(), Some(&b"version-three"[..]));
+        assert_eq!(
+            c2.get(b"key").unwrap().as_deref(),
+            Some(&b"version-three"[..])
+        );
         server2.shutdown();
     });
     simu.run().expect_ok();
@@ -402,7 +471,13 @@ fn get_serves_previous_version_while_head_is_in_flight() {
         let (v, outcome) = c.get_traced(b"r").unwrap();
         assert_eq!(v.as_deref(), Some(&b"stable"[..]));
         assert_eq!(outcome, GetOutcome::Fallback);
-        assert!(shared.stats.gets_from_previous_version.load(Ordering::Relaxed) >= 1);
+        assert!(
+            shared
+                .stats
+                .gets_from_previous_version
+                .load(Ordering::Relaxed)
+                >= 1
+        );
         server.shutdown();
     });
     simu.run().expect_ok();
@@ -444,7 +519,10 @@ fn log_cleaning_under_load_preserves_data() {
         );
         for k in 0..40u32 {
             let key = format!("key-{k:02}");
-            let v = c.get(key.as_bytes()).unwrap().expect("key lost by cleaning");
+            let v = c
+                .get(key.as_bytes())
+                .unwrap()
+                .expect("key lost by cleaning");
             let s = String::from_utf8(v).unwrap();
             assert!(s.starts_with("round-15-"), "stale value {}", &s[..12]);
         }
@@ -483,8 +561,11 @@ fn reads_during_cleaning_use_rpc_and_stay_consistent() {
             for round in 0..20u32 {
                 for k in 0..30u32 {
                     let key = format!("wkey-{k:02}");
-                    c.put(key.as_bytes(), format!("r{round}-{}", "y".repeat(400)).as_bytes())
-                        .unwrap();
+                    c.put(
+                        key.as_bytes(),
+                        format!("r{round}-{}", "y".repeat(400)).as_bytes(),
+                    )
+                    .unwrap();
                 }
             }
         });

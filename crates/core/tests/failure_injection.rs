@@ -55,10 +55,7 @@ fn lost_clients_are_timed_out_and_reclaimed() {
                     crc: 0xBAD0BAD0,
                 };
                 let raw = zombie_qp.rpc(req.encode()).unwrap();
-                assert!(matches!(
-                    Response::decode(&raw),
-                    Some(Response::Put { .. })
-                ));
+                assert!(matches!(Response::decode(&raw), Some(Response::Put { .. })));
             }
             sim::sleep(sim::micros(30));
         }
@@ -77,7 +74,10 @@ fn lost_clients_are_timed_out_and_reclaimed() {
             );
         }
         let timeouts = shared.stats.bg_timeouts.load(Ordering::Relaxed);
-        assert!(timeouts >= 60, "verifier only timed out {timeouts}/80 zombies");
+        assert!(
+            timeouts >= 60,
+            "verifier only timed out {timeouts}/80 zombies"
+        );
 
         // Cleaning reclaims the invalid corpses.
         let used_before = shared.logs[0].used();
@@ -93,7 +93,10 @@ fn lost_clients_are_timed_out_and_reclaimed() {
         // And the data is still all there.
         for k in 0..8u32 {
             let key = format!("key-{k}");
-            assert!(live.get(key.as_bytes()).unwrap().is_some(), "{key} lost by cleaning");
+            assert!(
+                live.get(key.as_bytes()).unwrap().is_some(),
+                "{key} lost by cleaning"
+            );
         }
         server.shutdown();
     });

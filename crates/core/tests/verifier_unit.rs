@@ -36,14 +36,19 @@ fn stage(
     };
     hdr.write_to(&shared.pool, off);
     shared.pool.write(off + hdr.key_off(), key);
-    shared.pool.persist(off, layout::HDR_LEN + layout::pad8(key.len()));
+    shared
+        .pool
+        .persist(off, layout::HDR_LEN + layout::pad8(key.len()));
     if write_value {
         shared.pool.write(off + hdr.value_off(), value);
     }
     off
 }
 
-fn in_sim(cfg: ServerConfig, body: impl FnOnce(Arc<efactory::server::ServerShared>) + Send + 'static) {
+fn in_sim(
+    cfg: ServerConfig,
+    body: impl FnOnce(Arc<efactory::server::ServerShared>) + Send + 'static,
+) {
     let mut simu = Sim::new(71);
     let fabric = Fabric::new(CostModel::default());
     let node = fabric.add_node("server");

@@ -12,6 +12,8 @@ use efactory_baselines::{
     CaNoperClient, CaNoperServer, ErdaClient, ErdaServer, ForcaClient, ForcaServer, ImmClient,
     ImmServer, RpcClient, RpcServer, SawClient, SawServer,
 };
+use efactory_obs::{Obs, Subsystem};
+use efactory_pmem::PmemPool;
 use efactory_rnic::{CostModel, Fabric, Node};
 use efactory_sim as sim;
 use efactory_sim::{Nanos, Sim};
@@ -149,6 +151,11 @@ pub struct RunResult {
     pub bg_verified: u64,
     /// Log cleanings completed (eFactory).
     pub cleanings: u64,
+    /// Seed the run was driven by (determinism provenance).
+    pub seed: u64,
+    /// End-of-run metric registry snapshot, sorted by name
+    /// (`server.*`, `pmem.*`, `fabric.*`).
+    pub counters: Vec<(String, u64)>,
 }
 
 #[derive(Default)]
@@ -218,12 +225,25 @@ impl AnyServer {
             AnyServer::Rpc(s) => &s.base().stats,
         }
     }
+
+    fn pool(&self) -> &Arc<PmemPool> {
+        match self {
+            AnyServer::Ef(s) => &s.shared().pool,
+            AnyServer::Saw(s) => &s.base().pool,
+            AnyServer::Imm(s) => &s.base().pool,
+            AnyServer::Erda(s) => &s.base().pool,
+            AnyServer::Forca(s) => &s.base().pool,
+            AnyServer::CaNoper(s) => &s.base().pool,
+            AnyServer::Rpc(s) => &s.base().pool,
+        }
+    }
 }
 
 fn build_server(
     fabric: &Fabric,
     node: &Node,
     spec: &ExperimentSpec,
+    obs: &Obs,
     cfg_tweak: Option<&(dyn Fn(&mut ServerConfig) + Send + Sync)>,
 ) -> AnyServer {
     // Size the store to hold preload + every measured PUT with slack.
@@ -261,6 +281,7 @@ fn build_server(
                     },
                 ),
             };
+            cfg.obs = obs.clone();
             if let Some(tweak) = cfg_tweak {
                 tweak(&mut cfg);
             }
@@ -281,11 +302,21 @@ fn make_client(
     local: &Node,
     server_node: &Node,
     desc: efactory::server::StoreDesc,
+    obs: &Obs,
 ) -> Box<dyn RemoteKv> {
     match kind {
         SystemKind::EFactory => Box::new(
-            Client::connect(fabric, local, server_node, desc, ClientConfig::default())
-                .expect("connect"),
+            Client::connect(
+                fabric,
+                local,
+                server_node,
+                desc,
+                ClientConfig {
+                    obs: obs.clone(),
+                    ..ClientConfig::default()
+                },
+            )
+            .expect("connect"),
         ),
         SystemKind::EFactoryNoHr => Box::new(
             Client::connect(
@@ -295,19 +326,30 @@ fn make_client(
                 desc,
                 ClientConfig {
                     hybrid_read: false,
+                    obs: obs.clone(),
                     ..ClientConfig::default()
                 },
             )
             .expect("connect"),
         ),
-        SystemKind::Saw => Box::new(SawClient::connect(fabric, local, server_node, desc).expect("connect")),
-        SystemKind::Imm => Box::new(ImmClient::connect(fabric, local, server_node, desc).expect("connect")),
-        SystemKind::Erda => Box::new(ErdaClient::connect(fabric, local, server_node, desc).expect("connect")),
-        SystemKind::Forca => Box::new(ForcaClient::connect(fabric, local, server_node, desc).expect("connect")),
+        SystemKind::Saw => {
+            Box::new(SawClient::connect(fabric, local, server_node, desc).expect("connect"))
+        }
+        SystemKind::Imm => {
+            Box::new(ImmClient::connect(fabric, local, server_node, desc).expect("connect"))
+        }
+        SystemKind::Erda => {
+            Box::new(ErdaClient::connect(fabric, local, server_node, desc).expect("connect"))
+        }
+        SystemKind::Forca => {
+            Box::new(ForcaClient::connect(fabric, local, server_node, desc).expect("connect"))
+        }
         SystemKind::CaNoper => {
             Box::new(CaNoperClient::connect(fabric, local, server_node, desc).expect("connect"))
         }
-        SystemKind::Rpc => Box::new(RpcClient::connect(fabric, local, server_node, desc).expect("connect")),
+        SystemKind::Rpc => {
+            Box::new(RpcClient::connect(fabric, local, server_node, desc).expect("connect"))
+        }
     }
 }
 
@@ -318,7 +360,15 @@ pub fn run(spec: &ExperimentSpec) -> RunResult {
 
 /// Execute one experiment with a custom cost model (ablations).
 pub fn run_with_cost(spec: &ExperimentSpec, cost: CostModel) -> RunResult {
-    run_inner(spec, cost, None)
+    run_inner(spec, cost, None, None)
+}
+
+/// Execute one experiment against a caller-supplied observability handle:
+/// the run's metrics land in `obs.registry` and its spans/events in
+/// `obs.tracer`, so the caller can export a trace or inspect counters after
+/// the run. Deterministic in `spec.seed` — same seed, same trace.
+pub fn run_observed(spec: &ExperimentSpec, cost: CostModel, obs: &Obs) -> RunResult {
+    run_inner(spec, cost, None, Some(obs.clone()))
 }
 
 /// Execute one experiment with a tweak applied to the eFactory
@@ -328,21 +378,38 @@ pub fn run_with_server_cfg(
     cost: CostModel,
     tweak: impl Fn(&mut ServerConfig) + Send + Sync + 'static,
 ) -> RunResult {
-    run_inner(spec, cost, Some(Arc::new(tweak)))
+    run_inner(spec, cost, Some(Arc::new(tweak)), None)
 }
 
 type CfgTweak = Arc<dyn Fn(&mut ServerConfig) + Send + Sync>;
 
-fn run_inner(spec: &ExperimentSpec, cost: CostModel, tweak: Option<CfgTweak>) -> RunResult {
+fn run_inner(
+    spec: &ExperimentSpec,
+    cost: CostModel,
+    tweak: Option<CfgTweak>,
+    obs: Option<Obs>,
+) -> RunResult {
+    let obs = obs.unwrap_or_default();
     let mut simu = Sim::new(spec.seed);
     let fabric = Fabric::new(cost);
+    // NIC verb completions become instant events on the trace's nic lane.
+    let nic_tracer = obs.tracer.clone();
+    fabric.set_verb_probe(move |verb, bytes| {
+        nic_tracer.event_args(Subsystem::Nic, verb, &[("bytes", bytes as u64)]);
+    });
     let server_node = fabric.add_node("server");
     let server = Arc::new(build_server(
         &fabric,
         &server_node,
         spec,
+        &obs,
         tweak.as_deref(),
     ));
+    // eFactory registers its stats at construction (through `cfg.obs`);
+    // baselines share the same `ServerStats` type, so attach them here.
+    server.stats().register(&obs.registry);
+    server.pool().stats().register(&obs.registry);
+    server.pool().set_tracer(obs.tracer.clone());
 
     let collected: Arc<Mutex<Collected>> = Arc::default();
     let window: Arc<Mutex<(Nanos, Nanos)>> = Arc::default(); // (start, end)
@@ -352,13 +419,14 @@ fn run_inner(spec: &ExperimentSpec, cost: CostModel, tweak: Option<CfgTweak>) ->
     let server2 = Arc::clone(&server);
     let collected2 = Arc::clone(&collected);
     let window2 = Arc::clone(&window);
+    let obs2 = obs.clone();
     simu.spawn("orchestrator", move || {
         server2.start(&f2);
         let desc = server2.desc();
 
         // ---- preload ------------------------------------------------------
         let loader_node = f2.add_node("loader");
-        let loader = make_client(spec2.system, &f2, &loader_node, &server_node, desc);
+        let loader = make_client(spec2.system, &f2, &loader_node, &server_node, desc, &obs2);
         let wl = WorkloadConfig {
             mix: spec2.mix,
             record_count: spec2.record_count,
@@ -407,9 +475,10 @@ fn run_inner(spec: &ExperimentSpec, cost: CostModel, tweak: Option<CfgTweak>) ->
             let spec3 = spec2.clone();
             let wl = wl.clone();
             let collected3 = Arc::clone(&collected2);
+            let obs3 = obs2.clone();
             handles.push(sim::spawn(&format!("client-{cid}"), move || {
                 let node = f3.add_node(&format!("cnode-{cid}"));
-                let kv = make_client(spec3.system, &f3, &node, &sn, desc);
+                let kv = make_client(spec3.system, &f3, &node, &sn, desc, &obs3);
                 let mut stream = OpStream::new(wl, spec3.seed, cid as u64);
                 let mut get = Vec::with_capacity(spec3.ops_per_client);
                 let mut put = Vec::with_capacity(spec3.ops_per_client);
@@ -468,6 +537,19 @@ fn run_inner(spec: &ExperimentSpec, cost: CostModel, tweak: Option<CfgTweak>) ->
     let total_ops = (c.get.len() + c.put.len()) as u64;
     let mut all: Vec<Nanos> = c.get.iter().chain(c.put.iter()).copied().collect();
     let stats = server.stats();
+    // Mirror the fabric's raw telemetry into the registry so the final
+    // snapshot carries the full server/pmem/fabric picture.
+    let fstats = fabric.stats();
+    for (name, v) in [
+        ("fabric.sends", &fstats.sends),
+        ("fabric.rdma_reads", &fstats.rdma_reads),
+        ("fabric.rdma_writes", &fstats.rdma_writes),
+        ("fabric.bytes_on_wire", &fstats.bytes_on_wire),
+    ] {
+        obs.registry
+            .counter(name)
+            .store(v.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
     RunResult {
         system: spec.system.label(),
         total_ops,
@@ -479,5 +561,7 @@ fn run_inner(spec: &ExperimentSpec, cost: CostModel, tweak: Option<CfgTweak>) ->
         server_rpc_gets: stats.gets.load(Ordering::Relaxed),
         bg_verified: stats.bg_verified.load(Ordering::Relaxed),
         cleanings: stats.cleanings.load(Ordering::Relaxed),
+        seed: spec.seed,
+        counters: obs.registry.snapshot(),
     }
 }

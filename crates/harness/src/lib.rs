@@ -7,15 +7,22 @@
 //!
 //! * [`cluster`] — build any of the six systems, preload records, run the
 //!   workload, collect latency histograms and throughput.
-//! * [`stats`] — percentile/mean summaries.
+//! * [`stats`] — percentile/mean summaries (exact below a threshold,
+//!   streaming log-bucketed histogram above it).
 //! * [`table`] — fixed-width table rendering for the per-figure binaries in
 //!   `efactory-bench`.
+//! * [`report`] — versioned JSON run reports (`--json <path>` on every
+//!   bench binary).
 
 pub mod cluster;
+pub mod report;
 pub mod stats;
 pub mod table;
 
-pub use cluster::{run, run_with_cost, Cleaning, ExperimentSpec, RunResult, SystemKind};
+pub use cluster::{
+    run, run_observed, run_with_cost, Cleaning, ExperimentSpec, RunResult, SystemKind,
+};
+pub use report::{json_path_from_args, Report};
 pub use stats::LatencyStats;
 pub use table::Table;
 

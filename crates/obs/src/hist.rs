@@ -1,0 +1,270 @@
+//! Streaming log-bucketed latency histogram (HDR-histogram style).
+//!
+//! Values below [`EXACT_LIMIT`] land in unit-width buckets (exact). Above
+//! that, each power-of-two octave is split into [`SUBBUCKETS`] sub-buckets,
+//! bounding the relative quantile error by `1/SUBBUCKETS` ≈ 1.6 % — inside
+//! the 2 % budget the harness promises — while memory stays constant
+//! (~3.8 K buckets for the full `u64` range) and `record` is O(1).
+//!
+//! Reported quantiles use each bucket's *upper* edge, so a streaming
+//! percentile never under-reports the exact one.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Sub-buckets per octave (2^6): bounds relative error by 1/64.
+pub const SUBBUCKETS: u64 = 64;
+const SUB_BITS: u32 = 6;
+/// Values below this are recorded exactly (unit buckets).
+pub const EXACT_LIMIT: u64 = SUBBUCKETS;
+/// Octaves covering values from `EXACT_LIMIT` up to `u64::MAX`.
+const OCTAVES: usize = 58; // msb 6..=63
+const BUCKETS: usize = EXACT_LIMIT as usize + OCTAVES * SUBBUCKETS as usize;
+
+struct Inner {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A shareable streaming histogram. Cloning is cheap (an `Arc`); all clones
+/// record into the same buckets.
+#[derive(Clone)]
+pub struct Histogram(Arc<Inner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram(Arc::new(Inner {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    fn index(v: u64) -> usize {
+        if v < EXACT_LIMIT {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+        let octave = (msb - SUB_BITS) as usize;
+        let sub = ((v >> (msb - SUB_BITS)) & (SUBBUCKETS - 1)) as usize;
+        EXACT_LIMIT as usize + octave * SUBBUCKETS as usize + sub
+    }
+
+    /// Upper edge of bucket `idx` — the value reported for samples in it.
+    fn bucket_value(idx: usize) -> u64 {
+        if idx < EXACT_LIMIT as usize {
+            return idx as u64;
+        }
+        let rel = idx - EXACT_LIMIT as usize;
+        let octave = (rel / SUBBUCKETS as usize) as u32;
+        let sub = (rel % SUBBUCKETS as usize) as u64;
+        let low = (SUBBUCKETS + sub) << octave;
+        low + ((1u64 << octave) - 1)
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        self.0.buckets[Self::index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Arithmetic mean of the samples (0 when empty). Exact: the sum is
+    /// tracked directly, not reconstructed from buckets.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.0.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// Nearest-rank quantile (`q` in percent, e.g. `99.9`), matching the
+    /// harness's exact `percentile` convention. Returns the bucket upper
+    /// edge, clamped to the exact maximum. 0 when empty.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q / 100.0) * n as f64).ceil() as u64;
+        let rank = rank.clamp(1, n);
+        let mut seen = 0u64;
+        for (idx, b) in self.0.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_value(idx).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.value_at_quantile(50.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.value_at_quantile(99.0)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.value_at_quantile(99.9)
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p999(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..EXACT_LIMIT {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), 31); // nearest-rank ceil(0.5*64)=32nd sample = 31
+        assert_eq!(h.max(), 63);
+        assert_eq!(h.value_at_quantile(100.0), 63);
+    }
+
+    #[test]
+    fn quantiles_match_exact_within_error_bound() {
+        // Deterministic pseudo-random sample set spanning several octaves.
+        let mut v: Vec<u64> = Vec::new();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..10_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            v.push(1 + (x >> 33) % 5_000_000);
+        }
+        let h = Histogram::new();
+        for &s in &v {
+            h.record(s);
+        }
+        v.sort_unstable();
+        for q in [50.0, 90.0, 99.0, 99.9] {
+            let rank = ((q / 100.0) * v.len() as f64).ceil() as usize;
+            let exact = v[rank.clamp(1, v.len()) - 1];
+            let approx = h.value_at_quantile(q);
+            assert!(approx >= exact, "q{q}: {approx} < exact {exact}");
+            let err = (approx - exact) as f64 / exact as f64;
+            assert!(
+                err <= 0.02,
+                "q{q}: error {err} above 2% ({approx} vs {exact})"
+            );
+        }
+        assert_eq!(h.count(), 10_000);
+        let exact_mean = v.iter().sum::<u64>() as f64 / v.len() as f64;
+        assert!((h.mean() - exact_mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_is_exact_and_caps_quantiles() {
+        let h = Histogram::new();
+        h.record(1_000_003);
+        assert_eq!(h.max(), 1_000_003);
+        assert_eq!(h.p999(), 1_000_003);
+    }
+
+    #[test]
+    fn bucket_roundtrip_bounds() {
+        for v in [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            127,
+            128,
+            1_000,
+            1 << 20,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let idx = Histogram::index(v);
+            let upper = Histogram::bucket_value(idx);
+            assert!(upper >= v, "upper edge below value for {v}");
+            if v >= EXACT_LIMIT {
+                // Relative width within the 1/64 design bound.
+                assert!(
+                    (upper - v) as f64 <= v as f64 / 64.0 + 1.0,
+                    "{v} -> {upper}"
+                );
+            } else {
+                assert_eq!(upper, v);
+            }
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn streaming_quantiles_track_exact(
+                samples in proptest::collection::vec(1u64..100_000_000, 100..800),
+                q in 1.0f64..100.0,
+            ) {
+                let h = Histogram::new();
+                for &s in &samples {
+                    h.record(s);
+                }
+                let mut sorted = samples.clone();
+                sorted.sort_unstable();
+                let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+                let exact = sorted[rank.clamp(1, sorted.len()) - 1];
+                let approx = h.value_at_quantile(q);
+                prop_assert!(approx >= exact);
+                prop_assert!((approx - exact) as f64 <= exact as f64 * 0.02);
+            }
+        }
+    }
+}

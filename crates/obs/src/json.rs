@@ -1,0 +1,172 @@
+//! A tiny, dependency-free JSON writer.
+//!
+//! The repository has no serde_json; this module provides the few pieces the
+//! exporters need: string escaping and incremental object/array builders.
+//! Output is deterministic — field order is insertion order and all numeric
+//! formatting goes through Rust's standard (locale-independent) formatter.
+
+/// Escape `s` as the *contents* of a JSON string (no surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental JSON object builder.
+pub struct Obj {
+    buf: String,
+    first: bool,
+}
+
+impl Obj {
+    /// Start `{`.
+    pub fn new() -> Obj {
+        Obj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        self.buf.push_str(&escape(k));
+        self.buf.push_str("\":");
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, k: &str, v: &str) -> Obj {
+        self.key(k);
+        self.buf.push('"');
+        self.buf.push_str(&escape(v));
+        self.buf.push('"');
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(mut self, k: &str, v: u64) -> Obj {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(mut self, k: &str, v: bool) -> Obj {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Add a float field rendered with `decimals` fractional digits
+    /// (fixed-point, so output is stable across platforms).
+    pub fn f64(mut self, k: &str, v: f64, decimals: usize) -> Obj {
+        self.key(k);
+        self.buf.push_str(&format!("{v:.decimals$}"));
+        self
+    }
+
+    /// Add a pre-rendered JSON value verbatim.
+    pub fn raw(mut self, k: &str, v: &str) -> Obj {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Close `}` and return the rendered object.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for Obj {
+    fn default() -> Self {
+        Obj::new()
+    }
+}
+
+/// Incremental JSON array builder.
+pub struct Arr {
+    buf: String,
+    first: bool,
+}
+
+impl Arr {
+    /// Start `[`.
+    pub fn new() -> Arr {
+        Arr {
+            buf: String::from("["),
+            first: true,
+        }
+    }
+
+    /// Append a pre-rendered JSON value.
+    pub fn raw(mut self, v: &str) -> Arr {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Close `]` and return the rendered array.
+    pub fn finish(mut self) -> String {
+        self.buf.push(']');
+        self.buf
+    }
+}
+
+impl Default for Arr {
+    fn default() -> Self {
+        Arr::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_controls_and_quotes() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn object_and_array_render() {
+        let inner = Obj::new().u64("n", 3).finish();
+        let arr = Arr::new().raw("1").raw("2").finish();
+        let s = Obj::new()
+            .str("name", "x\"y")
+            .f64("rate", 1.5, 3)
+            .bool("ok", true)
+            .raw("inner", &inner)
+            .raw("list", &arr)
+            .finish();
+        assert_eq!(
+            s,
+            r#"{"name":"x\"y","rate":1.500,"ok":true,"inner":{"n":3},"list":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn empty_builders() {
+        assert_eq!(Obj::new().finish(), "{}");
+        assert_eq!(Arr::new().finish(), "[]");
+    }
+}

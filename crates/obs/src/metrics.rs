@@ -1,0 +1,257 @@
+//! Named counters, gauges, and histograms in a deterministic registry.
+//!
+//! [`Counter`] deliberately mirrors the `AtomicU64` read/update surface
+//! (`fetch_add` / `load` with an ignored ordering argument), so stats
+//! structs migrating from ad-hoc atomics keep their call sites unchanged —
+//! the simulator serializes execution, making `Relaxed` semantics exact.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::Histogram;
+use crate::json::Obj;
+
+/// A monotonically increasing counter. Cloning is cheap and clones share
+/// the value, so a counter can live in a stats struct *and* a [`Registry`].
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh zeroed counter.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// `AtomicU64`-compatible increment (ordering ignored; execution is
+    /// serialized by the simulator).
+    pub fn fetch_add(&self, n: u64, _order: Ordering) -> u64 {
+        self.0.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// `AtomicU64`-compatible read (ordering ignored).
+    pub fn load(&self, _order: Ordering) -> u64 {
+        self.get()
+    }
+
+    /// `AtomicU64`-compatible overwrite (used when mirroring externally
+    /// maintained counters into a registry).
+    pub fn store(&self, v: u64, _order: Ordering) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.get())
+    }
+}
+
+/// A settable instantaneous value (same sharing semantics as [`Counter`]).
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A fresh zeroed gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Set the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.get())
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named-metric registry. Iteration order is lexicographic (`BTreeMap`),
+/// so snapshots and JSON output are deterministic.
+#[derive(Clone, Default)]
+pub struct Registry(Arc<Mutex<BTreeMap<String, Metric>>>);
+
+impl Registry {
+    /// A fresh empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.0.lock().unwrap().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.0.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric '{name}' is not a counter"),
+        }
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.0.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric '{name}' is not a gauge"),
+        }
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut m = self.0.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric '{name}' is not a histogram"),
+        }
+    }
+
+    /// Register an existing counter under `name` (sharing its value).
+    /// Re-attaching a name replaces the previous binding.
+    pub fn attach_counter(&self, name: &str, c: &Counter) {
+        self.0
+            .lock()
+            .unwrap()
+            .insert(name.to_string(), Metric::Counter(c.clone()));
+    }
+
+    /// Register an existing histogram under `name`.
+    pub fn attach_histogram(&self, name: &str, h: &Histogram) {
+        self.0
+            .lock()
+            .unwrap()
+            .insert(name.to_string(), Metric::Histogram(h.clone()));
+    }
+
+    /// Scalar snapshot: every counter and gauge as `(name, value)`, plus
+    /// each histogram's count as `<name>.count`. Lexicographic order.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.0
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, m)| match m {
+                Metric::Counter(c) => (name.clone(), c.get()),
+                Metric::Gauge(g) => (name.clone(), g.get()),
+                Metric::Histogram(h) => (format!("{name}.count"), h.count()),
+            })
+            .collect()
+    }
+
+    /// Render the scalar snapshot as one flat JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = Obj::new();
+        for (name, v) in self.snapshot() {
+            o = o.u64(&name, v);
+        }
+        o.finish()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.snapshot()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_state_across_clones() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.add(3);
+        c2.fetch_add(2, Ordering::Relaxed);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c2.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn registry_get_or_create_and_attach() {
+        let r = Registry::new();
+        let a = r.counter("z.second");
+        a.inc();
+        let pre = Counter::new();
+        pre.add(7);
+        r.attach_counter("a.first", &pre);
+        r.gauge("m.gauge").set(42);
+        let h = r.histogram("lat");
+        h.record(10);
+        assert_eq!(
+            r.snapshot(),
+            vec![
+                ("a.first".to_string(), 7),
+                ("lat.count".to_string(), 1),
+                ("m.gauge".to_string(), 42),
+                ("z.second".to_string(), 1),
+            ]
+        );
+        // Same name returns the same underlying counter.
+        r.counter("z.second").inc();
+        assert_eq!(a.get(), 2);
+    }
+
+    #[test]
+    fn snapshot_json_is_sorted_and_flat() {
+        let r = Registry::new();
+        r.counter("b").add(2);
+        r.counter("a").add(1);
+        assert_eq!(r.to_json(), r#"{"a":1,"b":2}"#);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.gauge("x");
+        r.counter("x");
+    }
+}

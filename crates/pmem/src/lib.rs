@@ -29,7 +29,9 @@
 //! construction.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
+use efactory_obs::{Counter, Registry, Subsystem, Tracer};
 use rand::Rng;
 
 /// Cache-line size: flush and crash granularity for line-level decisions.
@@ -67,19 +69,33 @@ pub struct CrashReport {
     pub words_lost: usize,
 }
 
-/// Running counters, readable at any time (benchmarks and tests).
+/// Running counters, readable at any time (benchmarks and tests). Each
+/// field is a shareable [`Counter`] so the same values can be surfaced
+/// through a metrics [`Registry`] (see [`PmemStats::register`]).
 #[derive(Debug, Default)]
 pub struct PmemStats {
     /// Bytes written to the working image.
-    pub bytes_written: AtomicU64,
+    pub bytes_written: Counter,
     /// `flush` calls.
-    pub flushes: AtomicU64,
+    pub flushes: Counter,
     /// Lines copied to media by flushes.
-    pub lines_flushed: AtomicU64,
+    pub lines_flushed: Counter,
     /// `drain` calls.
-    pub drains: AtomicU64,
+    pub drains: Counter,
     /// Crashes injected.
-    pub crashes: AtomicU64,
+    pub crashes: Counter,
+}
+
+impl PmemStats {
+    /// Attach every counter to `reg` under `pmem.*` names (sharing the
+    /// underlying values, so the registry always reads live).
+    pub fn register(&self, reg: &Registry) {
+        reg.attach_counter("pmem.bytes_written", &self.bytes_written);
+        reg.attach_counter("pmem.flushes", &self.flushes);
+        reg.attach_counter("pmem.lines_flushed", &self.lines_flushed);
+        reg.attach_counter("pmem.drains", &self.drains);
+        reg.attach_counter("pmem.crashes", &self.crashes);
+    }
 }
 
 /// A simulated persistent-memory pool. See the [crate docs](crate).
@@ -90,6 +106,8 @@ pub struct PmemPool {
     /// One bit per cache line: working image diverges from media.
     dirty: Box<[AtomicU64]>,
     stats: PmemStats,
+    /// Optional tracer for discrete device events (crash injection).
+    tracer: Mutex<Option<Tracer>>,
 }
 
 fn zeroed_words(n: usize) -> Box<[AtomicU64]> {
@@ -108,6 +126,7 @@ impl PmemPool {
             media: zeroed_words(words),
             dirty: zeroed_words(len.div_ceil(LINE).div_ceil(64)),
             stats: PmemStats::default(),
+            tracer: Mutex::new(None),
         }
     }
 
@@ -124,6 +143,12 @@ impl PmemPool {
     /// Access the counters.
     pub fn stats(&self) -> &PmemStats {
         &self.stats
+    }
+
+    /// Install a tracer; subsequent device events (crash injection) are
+    /// recorded under [`Subsystem::Pmem`].
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.tracer.lock().unwrap() = Some(tracer);
     }
 
     #[inline]
@@ -336,6 +361,16 @@ impl PmemPool {
         }
         for d in self.dirty.iter() {
             d.store(0, Ordering::Relaxed);
+        }
+        if let Some(t) = self.tracer.lock().unwrap().as_ref() {
+            t.event_args(
+                Subsystem::Pmem,
+                "crash",
+                &[
+                    ("dirty_lines", report.dirty_lines as u64),
+                    ("words_lost", report.words_lost as u64),
+                ],
+            );
         }
         report
     }

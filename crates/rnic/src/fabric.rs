@@ -144,6 +144,43 @@ pub struct FabricStats {
     pub rdma_writes: AtomicU64,
     /// Payload bytes moved by all verbs.
     pub bytes_on_wire: AtomicU64,
+    /// Optional verb-completion hook (see [`Fabric::set_verb_probe`]).
+    pub probe: VerbProbe,
+}
+
+type VerbProbeFn = Box<dyn Fn(&'static str, usize) + Send + Sync>;
+
+/// An optional callback fired on every verb the fabric issues, with the
+/// verb name (`"send"`, `"rdma_read"`, `"rdma_write"`, `"rdma_atomic"`) and
+/// the payload length. Lets an observability layer record NIC completions
+/// without this crate depending on it. Unset by default (zero overhead
+/// beyond one mutex probe per verb).
+pub struct VerbProbe(Mutex<Option<VerbProbeFn>>);
+
+impl Default for VerbProbe {
+    fn default() -> Self {
+        VerbProbe(Mutex::new(None))
+    }
+}
+
+impl VerbProbe {
+    /// Install the callback (replacing any previous one).
+    pub fn set(&self, f: impl Fn(&'static str, usize) + Send + Sync + 'static) {
+        *self.0.lock() = Some(Box::new(f));
+    }
+
+    fn fire(&self, verb: &'static str, bytes: usize) {
+        if let Some(f) = self.0.lock().as_ref() {
+            f(verb, bytes);
+        }
+    }
+}
+
+impl std::fmt::Debug for VerbProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let set = self.0.lock().is_some();
+        write!(f, "VerbProbe({})", if set { "set" } else { "unset" })
+    }
 }
 
 pub(crate) struct NodeInner {
@@ -274,6 +311,12 @@ impl Fabric {
         &self.stats
     }
 
+    /// Install a verb-completion probe: `f(verb, payload_len)` runs inline
+    /// on every send / one-sided verb issued over this fabric.
+    pub fn set_verb_probe(&self, f: impl Fn(&'static str, usize) + Send + Sync + 'static) {
+        self.stats.probe.set(f);
+    }
+
     /// Add a machine to the fabric.
     pub fn add_node(&self, name: &str) -> Node {
         let mut nodes = self.nodes.lock();
@@ -341,8 +384,8 @@ impl Fabric {
             } else if t_crash >= w.t_last || w.t_last == w.t_first {
                 w.data.len()
             } else {
-                let frac =
-                    (t_crash - w.t_first) as u128 * w.data.len() as u128 / (w.t_last - w.t_first) as u128;
+                let frac = (t_crash - w.t_first) as u128 * w.data.len() as u128
+                    / (w.t_last - w.t_first) as u128;
                 // Whole cache lines only, relative to the write's start.
                 (frac as usize / LINE) * LINE
             };
@@ -426,9 +469,12 @@ impl Listener {
         self.stats
             .bytes_on_wire
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.stats.probe.fire("send", payload.len());
         let conns = self.conns.lock();
         let tx = conns.get(&qp).ok_or(QpError::Disconnected)?;
-        tx.reply.send(payload, delay).map_err(|_| QpError::Disconnected)
+        tx.reply
+            .send(payload, delay)
+            .map_err(|_| QpError::Disconnected)
     }
 
     /// Push an unsolicited event (notification) to the client behind `qp`.
@@ -437,9 +483,12 @@ impl Listener {
         self.node.guard()?;
         let delay = self.cost.one_way(payload.len());
         self.stats.sends.fetch_add(1, Ordering::Relaxed);
+        self.stats.probe.fire("send", payload.len());
         let conns = self.conns.lock();
         let tx = conns.get(&qp).ok_or(QpError::Disconnected)?;
-        tx.event.send(payload, delay).map_err(|_| QpError::Disconnected)
+        tx.event
+            .send(payload, delay)
+            .map_err(|_| QpError::Disconnected)
     }
 
     /// Broadcast an event to every connected client (ignoring clients that
@@ -448,6 +497,7 @@ impl Listener {
         self.node.guard()?;
         let delay = self.cost.one_way(payload.len());
         self.stats.sends.fetch_add(1, Ordering::Relaxed);
+        self.stats.probe.fire("send", payload.len());
         for tx in self.conns.lock().values() {
             let _ = tx.event.send(payload.to_vec(), delay);
         }
@@ -501,9 +551,12 @@ impl Replier {
         self.stats
             .bytes_on_wire
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.stats.probe.fire("send", payload.len());
         let conns = self.conns.lock();
         let tx = conns.get(&qp).ok_or(QpError::Disconnected)?;
-        tx.reply.send(payload, delay).map_err(|_| QpError::Disconnected)
+        tx.reply
+            .send(payload, delay)
+            .map_err(|_| QpError::Disconnected)
     }
 }
 
@@ -569,6 +622,7 @@ impl ClientQp {
         self.stats
             .bytes_on_wire
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.stats.probe.fire("send", payload.len());
         self.tx
             .send(
                 Incoming::Send {
@@ -632,6 +686,7 @@ impl ClientQp {
         self.stats
             .bytes_on_wire
             .fetch_add(len as u64, Ordering::Relaxed);
+        self.stats.probe.fire("rdma_read", len);
         // Request reaches the remote NIC.
         sim::sleep(self.cost.one_way(0));
         self.remote.guard()?;
@@ -665,6 +720,7 @@ impl ClientQp {
             return Err(QpError::AccessViolation);
         }
         self.stats.rdma_writes.fetch_add(1, Ordering::Relaxed);
+        self.stats.probe.fire("rdma_atomic", 8);
         // Request reaches the remote NIC, which performs the atomic there.
         sim::sleep(self.cost.one_way(8));
         self.remote.guard()?;
@@ -691,6 +747,7 @@ impl ClientQp {
             return Err(QpError::AccessViolation);
         }
         self.stats.rdma_writes.fetch_add(1, Ordering::Relaxed);
+        self.stats.probe.fire("rdma_atomic", 8);
         sim::sleep(self.cost.one_way(8));
         self.remote.guard()?;
         let old = {
@@ -739,6 +796,7 @@ impl ClientQp {
         self.stats
             .bytes_on_wire
             .fetch_add(len as u64, Ordering::Relaxed);
+        self.stats.probe.fire("rdma_write", len);
         let (pool, abs_off) = {
             let mrs = self.remote.inner.mrs.lock();
             let entry = self.resolve(&mrs, mr, off, len)?;
@@ -755,7 +813,11 @@ impl ClientQp {
         let t_last = t_last;
         let data = Arc::new(data);
         // Track as in-flight so a crash can tear it.
-        let token = self.remote.inner.next_inflight.fetch_add(1, Ordering::Relaxed);
+        let token = self
+            .remote
+            .inner
+            .next_inflight
+            .fetch_add(1, Ordering::Relaxed);
         self.remote.inner.inflight.lock().insert(
             token,
             Inflight {
@@ -1010,12 +1072,9 @@ mod tests {
             sim::yield_now();
             let qp = f.connect(&client, &server).unwrap();
             qp.rdma_write(&mr, 0, vec![0xAB; 512]).unwrap(); // acked, unflushed
-            // Sleep past the crash at t=10_000; the next op sees it.
+                                                             // Sleep past the crash at t=10_000; the next op sees it.
             sim::sleep(20_000);
-            assert_eq!(
-                qp.rdma_read(&mr, 0, 512).unwrap_err(),
-                QpError::Crashed
-            );
+            assert_eq!(qp.rdma_read(&mr, 0, 512).unwrap_err(), QpError::Crashed);
         });
         let fc = Arc::clone(&fabric);
         sim.spawn("controller", move || {
@@ -1072,7 +1131,10 @@ mod tests {
         sim.run().expect_ok();
         let snap = pool.working_snapshot();
         let arrived = snap.iter().take_while(|&&b| b == 0xFF).count();
-        assert!(arrived > 0 && arrived < len, "should be torn, got {arrived}");
+        assert!(
+            arrived > 0 && arrived < len,
+            "should be torn, got {arrived}"
+        );
         assert_eq!(arrived % LINE, 0, "tear must align to cache lines");
         assert!(
             snap[arrived..len].iter().all(|&b| b == 0),
@@ -1110,9 +1172,9 @@ mod tests {
             // First RPC succeeds.
             assert!(qp.rpc(vec![1]).is_ok());
             sim::sleep(50_000); // crash happens at t=10_000
-            // The QP to a crashed server errors out; and even if a request
-            // were already queued, the ghost's listener.recv() guard stops
-            // it from replying.
+                                // The QP to a crashed server errors out; and even if a request
+                                // were already queued, the ghost's listener.recv() guard stops
+                                // it from replying.
             assert_eq!(qp.rpc(vec![2]).unwrap_err(), QpError::Crashed);
         });
         let fc = Arc::clone(&fabric);

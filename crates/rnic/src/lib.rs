@@ -28,5 +28,5 @@ mod fabric;
 pub use cost::CostModel;
 pub use fabric::{
     ClientQp, Fabric, FabricStats, Incoming, Listener, Node, NodeId, Notifier, QpError, QpId,
-    RemoteMr, Replier,
+    RemoteMr, Replier, VerbProbe,
 };

@@ -67,7 +67,11 @@ fn notifier_broadcasts_from_another_process() {
     for i in 0..3 {
         let f3 = Arc::clone(&f);
         let server3 = server.clone();
-        let client3 = if i == 0 { client.clone() } else { f.add_node(&format!("c{i}")) };
+        let client3 = if i == 0 {
+            client.clone()
+        } else {
+            f.add_node(&format!("c{i}"))
+        };
         let got3 = Arc::clone(&got2);
         simu.spawn(&format!("client{i}"), move || {
             sim::yield_now();
@@ -79,7 +83,11 @@ fn notifier_broadcasts_from_another_process() {
         });
     }
     simu.run().expect_ok();
-    assert_eq!(got.load(Ordering::Relaxed), 3, "all clients must see the broadcast");
+    assert_eq!(
+        got.load(Ordering::Relaxed),
+        3,
+        "all clients must see the broadcast"
+    );
 }
 
 #[test]
@@ -132,7 +140,11 @@ fn overlapping_writes_to_disjoint_regions_land_correctly() {
     for w in 0..2usize {
         let f3 = Arc::clone(&f);
         let server3 = server.clone();
-        let node = if w == 0 { client.clone() } else { f.add_node("client2") };
+        let node = if w == 0 {
+            client.clone()
+        } else {
+            f.add_node("client2")
+        };
         simu.spawn(&format!("writer{w}"), move || {
             sim::yield_now();
             let qp = f3.connect(&node, &server3).unwrap();
@@ -272,8 +284,15 @@ fn crash_tears_multiple_inflight_writes_independently() {
         let mut buf = vec![0u8; len];
         pool.read(w * 300 * 1024, &mut buf);
         let arrived = buf.iter().take_while(|&&b| b == w as u8 + 1).count();
-        assert!(arrived > 0 && arrived < len, "writer {w}: arrived={arrived}");
-        assert_eq!(arrived % efactory_pmem::LINE, 0, "writer {w}: unaligned tear");
+        assert!(
+            arrived > 0 && arrived < len,
+            "writer {w}: arrived={arrived}"
+        );
+        assert_eq!(
+            arrived % efactory_pmem::LINE,
+            0,
+            "writer {w}: unaligned tear"
+        );
         assert!(buf[arrived..].iter().all(|&b| b == 0), "writer {w}: holes");
     }
 }
@@ -307,8 +326,14 @@ fn atomic_cas_and_faa_have_rdma_semantics() {
         // Like all one-sided ops, atomics land in the volatile domain.
         assert!(!pool2.is_persisted(64, 8));
         // Alignment and bounds are enforced.
-        assert_eq!(qp.rdma_cas(&mr, 63, 0, 1).unwrap_err(), QpError::AccessViolation);
-        assert_eq!(qp.rdma_faa(&mr, 4096, 1).unwrap_err(), QpError::AccessViolation);
+        assert_eq!(
+            qp.rdma_cas(&mr, 63, 0, 1).unwrap_err(),
+            QpError::AccessViolation
+        );
+        assert_eq!(
+            qp.rdma_faa(&mr, 4096, 1).unwrap_err(),
+            QpError::AccessViolation
+        );
         // Each atomic costs one full round trip in virtual time.
         let t0 = sim::now();
         qp.rdma_faa(&mr, 64, 1).unwrap();

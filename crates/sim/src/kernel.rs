@@ -230,10 +230,7 @@ impl Kernel {
                 if let Err(payload) = result {
                     if payload.downcast_ref::<AbortToken>().is_none() {
                         let msg = payload_to_string(payload.as_ref());
-                        kernel.record_failure(format!(
-                            "process '{}' panicked: {msg}",
-                            proc.name
-                        ));
+                        kernel.record_failure(format!("process '{}' panicked: {msg}", proc.name));
                     }
                 }
                 // Mark exited and wake joiners at the current virtual time.
@@ -376,6 +373,13 @@ pub fn current_pid() -> Pid {
 /// (From the driver, use [`Sim::now`].)
 pub fn now() -> Nanos {
     with_current(|k, _| k.now())
+}
+
+/// Current virtual time, or `None` when called from outside a simulated
+/// process. Lets cross-cutting layers (tracing, metrics) stamp records
+/// without caring whether they run inside the simulation.
+pub fn try_now() -> Option<Nanos> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|(k, _)| k.now()))
 }
 
 /// Suspend the calling process for `d` virtual nanoseconds.
@@ -565,7 +569,8 @@ impl Sim {
     where
         F: FnOnce() + Send + 'static,
     {
-        self.kernel.schedule(at, EventKind::Call(Box::new(|_k| f())));
+        self.kernel
+            .schedule(at, EventKind::Call(Box::new(|_k| f())));
     }
 
     /// Drive the simulation until no events remain (or a process panics).

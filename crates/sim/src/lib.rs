@@ -54,11 +54,9 @@ mod chan;
 mod kernel;
 mod time;
 
-pub use chan::{
-    channel, Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
-};
+pub use chan::{channel, Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError};
 pub use kernel::{
-    call_at, current_pid, in_process, now, sleep, sleep_until, spawn, work, yield_now, Pid,
-    ProcessHandle, RunOutcome, Sim,
+    call_at, current_pid, in_process, now, sleep, sleep_until, spawn, try_now, work, yield_now,
+    Pid, ProcessHandle, RunOutcome, Sim,
 };
 pub use time::{micros, millis, secs, Nanos};

@@ -36,7 +36,10 @@ fn run_mesh(seed: u64, procs: usize, msgs: usize) -> Trace {
             loop {
                 match rx.recv_timeout(sim::micros(500)) {
                     Ok(v) => {
-                        trace.lock().unwrap().push((sim::now(), format!("{name}:{v}")));
+                        trace
+                            .lock()
+                            .unwrap()
+                            .push((sim::now(), format!("{name}:{v}")));
                         if v as usize >= msgs {
                             return;
                         }
@@ -73,7 +76,10 @@ fn message_ring_trace_is_reproducible() {
 fn different_seeds_give_different_traces() {
     let a = run_mesh(7, 4, 40);
     let b = run_mesh(8, 4, 40);
-    assert_ne!(a, b, "different seeds should explore different interleavings");
+    assert_ne!(
+        a, b,
+        "different seeds should explore different interleavings"
+    );
 }
 
 proptest! {

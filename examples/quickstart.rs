@@ -49,7 +49,10 @@ fn main() {
         // PUT: one allocation RPC + one one-sided RDMA write. Returns as
         // soon as the write is acked; durability happens asynchronously.
         client.put(b"hello", b"world").expect("put");
-        println!("[{:>8} ns] put hello=world (acked, durability async)", sim::now());
+        println!(
+            "[{:>8} ns] put hello=world (acked, durability async)",
+            sim::now()
+        );
 
         // GET right away: the background verifier may not have persisted
         // the object yet, so the hybrid read falls back to the RPC path,
@@ -74,7 +77,11 @@ fn main() {
 
         // DELETE writes a tombstone version.
         client.del(b"hello").expect("del");
-        println!("[{:>8} ns] del hello -> {:?}", sim::now(), client.get(b"hello").unwrap());
+        println!(
+            "[{:>8} ns] del hello -> {:?}",
+            sim::now(),
+            client.get(b"hello").unwrap()
+        );
 
         // Overwrites build a version list; reads always see the latest.
         for i in 1..=3 {

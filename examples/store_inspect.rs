@@ -54,7 +54,8 @@ fn main() {
 
         // 1. A burst of fresh writes: intact but unverified.
         for i in 0..8u32 {
-            c.put(format!("key-{i}").as_bytes(), &vec![i as u8; 256]).unwrap();
+            c.put(format!("key-{i}").as_bytes(), &vec![i as u8; 256])
+                .unwrap();
         }
         snapshot("right after 8 PUTs (verifier has not caught up)");
 

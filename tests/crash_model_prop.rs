@@ -86,7 +86,12 @@ fn run_case(seed: u64, ops: u32, crash_at_us: u64, spec: CrashSpec) {
                 // Log before issuing: a PUT the crash interrupts *after* the
                 // value landed but *before* the ack is unacked yet may
                 // legally survive — "some attempted value" is the contract.
-                log2.lock().unwrap().written.entry(k).or_default().insert(v.clone());
+                log2.lock()
+                    .unwrap()
+                    .written
+                    .entry(k)
+                    .or_default()
+                    .insert(v.clone());
                 if c.put(&key_bytes(k), &v).is_err() {
                     break; // crash landed mid-op
                 }
@@ -143,7 +148,10 @@ fn run_case(seed: u64, ops: u32, crash_at_us: u64, spec: CrashSpec) {
         }
         // Still writable.
         c2.put(b"post-crash", b"alive").unwrap();
-        assert_eq!(c2.get(b"post-crash").unwrap().as_deref(), Some(&b"alive"[..]));
+        assert_eq!(
+            c2.get(b"post-crash").unwrap().as_deref(),
+            Some(&b"alive"[..])
+        );
         server2.shutdown();
     });
     simu.run().expect_ok();

@@ -87,7 +87,14 @@ fn crash_at(t_crash: Nanos, spec: CrashSpec, seed: u64) -> Vec<u8> {
 
 fn connect(fabric: &Arc<Fabric>, server_node: &efactory_rnic::Node, server: &Server) -> Client {
     let cnode = fabric.add_node("client");
-    Client::connect(fabric, &cnode, server_node, server.desc(), ClientConfig::default()).unwrap()
+    Client::connect(
+        fabric,
+        &cnode,
+        server_node,
+        server.desc(),
+        ClientConfig::default(),
+    )
+    .unwrap()
 }
 
 fn sweep(spec: CrashSpec, seed: u64) {

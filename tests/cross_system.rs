@@ -63,7 +63,8 @@ fn replay(system: SystemKind) -> ReadLog {
             SystemKind::Erda => {
                 let srv = ErdaServer::format(&f, &server_node, layout);
                 srv.start(&f);
-                let c = ErdaClient::connect(&f, &f.add_node("c"), &server_node, srv.desc()).unwrap();
+                let c =
+                    ErdaClient::connect(&f, &f.add_node("c"), &server_node, srv.desc()).unwrap();
                 (Box::new(c), Box::new(move || srv.shutdown()))
             }
             SystemKind::Forca => {
@@ -216,7 +217,11 @@ fn cleaning_does_not_change_semantics() {
             }
             if clean {
                 assert!(
-                    shared.stats.cleanings.load(std::sync::atomic::Ordering::Relaxed) >= 1,
+                    shared
+                        .stats
+                        .cleanings
+                        .load(std::sync::atomic::Ordering::Relaxed)
+                        >= 1,
                     "cleaning never triggered in the cleaning run"
                 );
             }

@@ -15,11 +15,11 @@ use std::sync::{Arc, Mutex};
 use efactory::client::{Client, ClientConfig, RemoteKv};
 use efactory::log::StoreLayout;
 use efactory::server::{Server, ServerConfig};
+use efactory_baselines::common::baseline_layout;
 use efactory_baselines::{
     ErdaClient, ErdaServer, ForcaClient, ForcaServer, ImmClient, ImmServer, RpcClient, RpcServer,
     SawClient, SawServer,
 };
-use efactory_baselines::common::baseline_layout;
 use efactory_rnic::{CostModel, Fabric};
 use efactory_sim::Sim;
 use proptest::prelude::*;
@@ -61,8 +61,14 @@ fn check_efactory_against_model(ops: Vec<ModelOp>, seed: u64) {
     simu.spawn("main", move || {
         server.start(&f);
         let cnode = f.add_node("client");
-        let c = Client::connect(&f, &cnode, &server_node, server.desc(), ClientConfig::default())
-            .unwrap();
+        let c = Client::connect(
+            &f,
+            &cnode,
+            &server_node,
+            server.desc(),
+            ClientConfig::default(),
+        )
+        .unwrap();
         let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
         for (i, op) in ops.iter().enumerate() {
             match op {
@@ -126,8 +132,7 @@ macro_rules! baseline_model_test {
                     for _ in 0..120 {
                         let k = key_bytes(rng.gen_range(0..12u8));
                         if rng.gen_bool(0.5) {
-                            let v: Vec<u8> =
-                                (0..rng.gen_range(0..48)).map(|_| rng.gen()).collect();
+                            let v: Vec<u8> = (0..rng.gen_range(0..48)).map(|_| rng.gen()).collect();
                             c.kv_put(&k, &v).unwrap();
                             model.insert(k, v);
                         } else {
@@ -173,8 +178,7 @@ fn concurrent_clients_read_only_written_values() {
                 let desc = server.desc();
                 handles.push(efactory_sim::spawn(&format!("w{w}"), move || {
                     let cn = f2.add_node(&format!("cn{w}"));
-                    let c =
-                        Client::connect(&f2, &cn, &sn, desc, ClientConfig::default()).unwrap();
+                    let c = Client::connect(&f2, &cn, &sn, desc, ClientConfig::default()).unwrap();
                     let mut rng = StdRng::seed_from_u64(seed * 31 + w);
                     for i in 0..80 {
                         let k = key_bytes(rng.gen_range(0..8u8));
