@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-092a9e4f330ee19a.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-092a9e4f330ee19a: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

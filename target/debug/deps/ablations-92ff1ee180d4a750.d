@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-92ff1ee180d4a750.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-92ff1ee180d4a750: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

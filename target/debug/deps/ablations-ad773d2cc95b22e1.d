@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-ad773d2cc95b22e1.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-ad773d2cc95b22e1: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-f9a87c7c0d0505de.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-f9a87c7c0d0505de: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

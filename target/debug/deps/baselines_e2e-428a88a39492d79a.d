@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_e2e-428a88a39492d79a.d: crates/baselines/tests/baselines_e2e.rs
+
+/root/repo/target/debug/deps/baselines_e2e-428a88a39492d79a: crates/baselines/tests/baselines_e2e.rs
+
+crates/baselines/tests/baselines_e2e.rs:

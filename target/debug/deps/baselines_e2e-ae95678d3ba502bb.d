@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_e2e-ae95678d3ba502bb.d: crates/baselines/tests/baselines_e2e.rs
+
+/root/repo/target/debug/deps/baselines_e2e-ae95678d3ba502bb: crates/baselines/tests/baselines_e2e.rs
+
+crates/baselines/tests/baselines_e2e.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines_e2e-e9bc923c6e1f1b5c.d: crates/baselines/tests/baselines_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines_e2e-e9bc923c6e1f1b5c.rmeta: crates/baselines/tests/baselines_e2e.rs Cargo.toml
+
+crates/baselines/tests/baselines_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

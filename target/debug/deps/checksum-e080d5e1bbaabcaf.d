@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checksum-e080d5e1bbaabcaf.d: crates/bench/benches/checksum.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchecksum-e080d5e1bbaabcaf.rmeta: crates/bench/benches/checksum.rs Cargo.toml
+
+crates/bench/benches/checksum.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cleaning_recovery-1780fa0995912e6b.d: crates/core/tests/cleaning_recovery.rs
+
+/root/repo/target/debug/deps/cleaning_recovery-1780fa0995912e6b: crates/core/tests/cleaning_recovery.rs
+
+crates/core/tests/cleaning_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cleaning_recovery-39d182a9341377cc.d: crates/core/tests/cleaning_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcleaning_recovery-39d182a9341377cc.rmeta: crates/core/tests/cleaning_recovery.rs Cargo.toml
+
+crates/core/tests/cleaning_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cleaning_recovery-47f175725ddac820.d: crates/core/tests/cleaning_recovery.rs
+
+/root/repo/target/debug/deps/cleaning_recovery-47f175725ddac820: crates/core/tests/cleaning_recovery.rs
+
+crates/core/tests/cleaning_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_model_prop-02c03ab9d2ba7d42.d: tests/crash_model_prop.rs
+
+/root/repo/target/debug/deps/crash_model_prop-02c03ab9d2ba7d42: tests/crash_model_prop.rs
+
+tests/crash_model_prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crash_model_prop-0eb45da162ddfde2.d: tests/crash_model_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrash_model_prop-0eb45da162ddfde2.rmeta: tests/crash_model_prop.rs Cargo.toml
+
+tests/crash_model_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_model_prop-88bb66505fb0c833.d: tests/crash_model_prop.rs
+
+/root/repo/target/debug/deps/crash_model_prop-88bb66505fb0c833: tests/crash_model_prop.rs
+
+tests/crash_model_prop.rs:

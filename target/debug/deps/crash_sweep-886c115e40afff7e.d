@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_sweep-886c115e40afff7e.d: tests/crash_sweep.rs
+
+/root/repo/target/debug/deps/crash_sweep-886c115e40afff7e: tests/crash_sweep.rs
+
+tests/crash_sweep.rs:

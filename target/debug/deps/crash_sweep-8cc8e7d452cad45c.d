@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crash_sweep-8cc8e7d452cad45c.d: tests/crash_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrash_sweep-8cc8e7d452cad45c.rmeta: tests/crash_sweep.rs Cargo.toml
+
+tests/crash_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_sweep-eb097c61a77391e2.d: tests/crash_sweep.rs
+
+/root/repo/target/debug/deps/crash_sweep-eb097c61a77391e2: tests/crash_sweep.rs
+
+tests/crash_sweep.rs:

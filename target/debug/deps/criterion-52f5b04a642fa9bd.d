@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-52f5b04a642fa9bd.d: /root/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-52f5b04a642fa9bd.rlib: /root/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-52f5b04a642fa9bd.rmeta: /root/shims/criterion/src/lib.rs
+
+/root/shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-6f4e600c95611585.d: /root/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-6f4e600c95611585.rmeta: /root/shims/criterion/src/lib.rs
+
+/root/shims/criterion/src/lib.rs:

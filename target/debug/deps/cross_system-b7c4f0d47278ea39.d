@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_system-b7c4f0d47278ea39.d: tests/cross_system.rs
+
+/root/repo/target/debug/deps/cross_system-b7c4f0d47278ea39: tests/cross_system.rs
+
+tests/cross_system.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_system-b88019cf4a8d343c.d: tests/cross_system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_system-b88019cf4a8d343c.rmeta: tests/cross_system.rs Cargo.toml
+
+tests/cross_system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

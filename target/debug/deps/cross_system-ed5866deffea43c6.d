@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_system-ed5866deffea43c6.d: tests/cross_system.rs
+
+/root/repo/target/debug/deps/cross_system-ed5866deffea43c6: tests/cross_system.rs
+
+tests/cross_system.rs:

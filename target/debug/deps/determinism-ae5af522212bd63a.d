@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-ae5af522212bd63a.d: crates/sim/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-ae5af522212bd63a: crates/sim/tests/determinism.rs
+
+crates/sim/tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-debbaf2bc3bf0c3b.d: crates/sim/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-debbaf2bc3bf0c3b.rmeta: crates/sim/tests/determinism.rs Cargo.toml
+
+crates/sim/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/efactory-0c91ee6df37616f1.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/cleaner.rs crates/core/src/hashtable.rs crates/core/src/inspect.rs crates/core/src/layout.rs crates/core/src/log.rs crates/core/src/protocol.rs crates/core/src/recovery.rs crates/core/src/server.rs crates/core/src/verifier.rs
+
+/root/repo/target/debug/deps/efactory-0c91ee6df37616f1: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/cleaner.rs crates/core/src/hashtable.rs crates/core/src/inspect.rs crates/core/src/layout.rs crates/core/src/log.rs crates/core/src/protocol.rs crates/core/src/recovery.rs crates/core/src/server.rs crates/core/src/verifier.rs
+
+crates/core/src/lib.rs:
+crates/core/src/client.rs:
+crates/core/src/cleaner.rs:
+crates/core/src/hashtable.rs:
+crates/core/src/inspect.rs:
+crates/core/src/layout.rs:
+crates/core/src/log.rs:
+crates/core/src/protocol.rs:
+crates/core/src/recovery.rs:
+crates/core/src/server.rs:
+crates/core/src/verifier.rs:

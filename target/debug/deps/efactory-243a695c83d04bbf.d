@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/efactory-243a695c83d04bbf.d: crates/core/src/lib.rs crates/core/src/cleaner.rs crates/core/src/client.rs crates/core/src/hashtable.rs crates/core/src/inspect.rs crates/core/src/layout.rs crates/core/src/log.rs crates/core/src/protocol.rs crates/core/src/recovery.rs crates/core/src/server.rs crates/core/src/verifier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefactory-243a695c83d04bbf.rmeta: crates/core/src/lib.rs crates/core/src/cleaner.rs crates/core/src/client.rs crates/core/src/hashtable.rs crates/core/src/inspect.rs crates/core/src/layout.rs crates/core/src/log.rs crates/core/src/protocol.rs crates/core/src/recovery.rs crates/core/src/server.rs crates/core/src/verifier.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cleaner.rs:
+crates/core/src/client.rs:
+crates/core/src/hashtable.rs:
+crates/core/src/inspect.rs:
+crates/core/src/layout.rs:
+crates/core/src/log.rs:
+crates/core/src/protocol.rs:
+crates/core/src/recovery.rs:
+crates/core/src/server.rs:
+crates/core/src/verifier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

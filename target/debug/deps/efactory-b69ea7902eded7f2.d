@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/efactory-b69ea7902eded7f2.d: crates/core/src/lib.rs crates/core/src/cleaner.rs crates/core/src/client.rs crates/core/src/hashtable.rs crates/core/src/inspect.rs crates/core/src/layout.rs crates/core/src/log.rs crates/core/src/protocol.rs crates/core/src/recovery.rs crates/core/src/server.rs crates/core/src/verifier.rs
+
+/root/repo/target/debug/deps/libefactory-b69ea7902eded7f2.rlib: crates/core/src/lib.rs crates/core/src/cleaner.rs crates/core/src/client.rs crates/core/src/hashtable.rs crates/core/src/inspect.rs crates/core/src/layout.rs crates/core/src/log.rs crates/core/src/protocol.rs crates/core/src/recovery.rs crates/core/src/server.rs crates/core/src/verifier.rs
+
+/root/repo/target/debug/deps/libefactory-b69ea7902eded7f2.rmeta: crates/core/src/lib.rs crates/core/src/cleaner.rs crates/core/src/client.rs crates/core/src/hashtable.rs crates/core/src/inspect.rs crates/core/src/layout.rs crates/core/src/log.rs crates/core/src/protocol.rs crates/core/src/recovery.rs crates/core/src/server.rs crates/core/src/verifier.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cleaner.rs:
+crates/core/src/client.rs:
+crates/core/src/hashtable.rs:
+crates/core/src/inspect.rs:
+crates/core/src/layout.rs:
+crates/core/src/log.rs:
+crates/core/src/protocol.rs:
+crates/core/src/recovery.rs:
+crates/core/src/server.rs:
+crates/core/src/verifier.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/efactory-bac27b989b44893b.d: crates/core/src/lib.rs crates/core/src/cleaner.rs crates/core/src/client.rs crates/core/src/hashtable.rs crates/core/src/inspect.rs crates/core/src/layout.rs crates/core/src/log.rs crates/core/src/protocol.rs crates/core/src/recovery.rs crates/core/src/server.rs crates/core/src/verifier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefactory-bac27b989b44893b.rmeta: crates/core/src/lib.rs crates/core/src/cleaner.rs crates/core/src/client.rs crates/core/src/hashtable.rs crates/core/src/inspect.rs crates/core/src/layout.rs crates/core/src/log.rs crates/core/src/protocol.rs crates/core/src/recovery.rs crates/core/src/server.rs crates/core/src/verifier.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cleaner.rs:
+crates/core/src/client.rs:
+crates/core/src/hashtable.rs:
+crates/core/src/inspect.rs:
+crates/core/src/layout.rs:
+crates/core/src/log.rs:
+crates/core/src/protocol.rs:
+crates/core/src/recovery.rs:
+crates/core/src/server.rs:
+crates/core/src/verifier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/efactory_baselines-428ad8d736c576a0.d: crates/baselines/src/lib.rs crates/baselines/src/ca_noper.rs crates/baselines/src/common.rs crates/baselines/src/erda.rs crates/baselines/src/forca.rs crates/baselines/src/imm.rs crates/baselines/src/rpc_store.rs crates/baselines/src/saw.rs
+
+/root/repo/target/debug/deps/efactory_baselines-428ad8d736c576a0: crates/baselines/src/lib.rs crates/baselines/src/ca_noper.rs crates/baselines/src/common.rs crates/baselines/src/erda.rs crates/baselines/src/forca.rs crates/baselines/src/imm.rs crates/baselines/src/rpc_store.rs crates/baselines/src/saw.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ca_noper.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/erda.rs:
+crates/baselines/src/forca.rs:
+crates/baselines/src/imm.rs:
+crates/baselines/src/rpc_store.rs:
+crates/baselines/src/saw.rs:

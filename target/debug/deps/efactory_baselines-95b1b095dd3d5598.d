@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/efactory_baselines-95b1b095dd3d5598.d: crates/baselines/src/lib.rs crates/baselines/src/ca_noper.rs crates/baselines/src/common.rs crates/baselines/src/erda.rs crates/baselines/src/forca.rs crates/baselines/src/imm.rs crates/baselines/src/rpc_store.rs crates/baselines/src/saw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefactory_baselines-95b1b095dd3d5598.rmeta: crates/baselines/src/lib.rs crates/baselines/src/ca_noper.rs crates/baselines/src/common.rs crates/baselines/src/erda.rs crates/baselines/src/forca.rs crates/baselines/src/imm.rs crates/baselines/src/rpc_store.rs crates/baselines/src/saw.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ca_noper.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/erda.rs:
+crates/baselines/src/forca.rs:
+crates/baselines/src/imm.rs:
+crates/baselines/src/rpc_store.rs:
+crates/baselines/src/saw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

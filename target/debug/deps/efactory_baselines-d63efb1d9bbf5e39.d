@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/efactory_baselines-d63efb1d9bbf5e39.d: crates/baselines/src/lib.rs crates/baselines/src/ca_noper.rs crates/baselines/src/common.rs crates/baselines/src/erda.rs crates/baselines/src/forca.rs crates/baselines/src/imm.rs crates/baselines/src/rpc_store.rs crates/baselines/src/saw.rs
+
+/root/repo/target/debug/deps/libefactory_baselines-d63efb1d9bbf5e39.rlib: crates/baselines/src/lib.rs crates/baselines/src/ca_noper.rs crates/baselines/src/common.rs crates/baselines/src/erda.rs crates/baselines/src/forca.rs crates/baselines/src/imm.rs crates/baselines/src/rpc_store.rs crates/baselines/src/saw.rs
+
+/root/repo/target/debug/deps/libefactory_baselines-d63efb1d9bbf5e39.rmeta: crates/baselines/src/lib.rs crates/baselines/src/ca_noper.rs crates/baselines/src/common.rs crates/baselines/src/erda.rs crates/baselines/src/forca.rs crates/baselines/src/imm.rs crates/baselines/src/rpc_store.rs crates/baselines/src/saw.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ca_noper.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/erda.rs:
+crates/baselines/src/forca.rs:
+crates/baselines/src/imm.rs:
+crates/baselines/src/rpc_store.rs:
+crates/baselines/src/saw.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/efactory_baselines-e1b172b85d8b6a6b.d: crates/baselines/src/lib.rs crates/baselines/src/ca_noper.rs crates/baselines/src/common.rs crates/baselines/src/erda.rs crates/baselines/src/forca.rs crates/baselines/src/imm.rs crates/baselines/src/rpc_store.rs crates/baselines/src/saw.rs
+
+/root/repo/target/debug/deps/efactory_baselines-e1b172b85d8b6a6b: crates/baselines/src/lib.rs crates/baselines/src/ca_noper.rs crates/baselines/src/common.rs crates/baselines/src/erda.rs crates/baselines/src/forca.rs crates/baselines/src/imm.rs crates/baselines/src/rpc_store.rs crates/baselines/src/saw.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ca_noper.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/erda.rs:
+crates/baselines/src/forca.rs:
+crates/baselines/src/imm.rs:
+crates/baselines/src/rpc_store.rs:
+crates/baselines/src/saw.rs:

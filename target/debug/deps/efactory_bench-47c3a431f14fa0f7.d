@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/efactory_bench-47c3a431f14fa0f7.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefactory_bench-47c3a431f14fa0f7.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

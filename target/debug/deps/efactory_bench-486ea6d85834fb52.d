@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/efactory_bench-486ea6d85834fb52.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/efactory_bench-486ea6d85834fb52: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

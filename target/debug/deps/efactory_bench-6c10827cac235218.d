@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/efactory_bench-6c10827cac235218.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/efactory_bench-6c10827cac235218: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

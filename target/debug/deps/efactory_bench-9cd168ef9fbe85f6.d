@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/efactory_bench-9cd168ef9fbe85f6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libefactory_bench-9cd168ef9fbe85f6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libefactory_bench-9cd168ef9fbe85f6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/efactory_bench-a922510ee8a836bb.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefactory_bench-a922510ee8a836bb.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/efactory_bench-d1d4d5bd7023b9e5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libefactory_bench-d1d4d5bd7023b9e5.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libefactory_bench-d1d4d5bd7023b9e5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/efactory_bench-e2d76711667a807f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libefactory_bench-e2d76711667a807f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libefactory_bench-e2d76711667a807f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/efactory_checksum-847389930cc62339.d: crates/checksum/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefactory_checksum-847389930cc62339.rmeta: crates/checksum/src/lib.rs Cargo.toml
+
+crates/checksum/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/efactory_checksum-bb3fe813d7c0d1c7.d: crates/checksum/src/lib.rs
+
+/root/repo/target/debug/deps/libefactory_checksum-bb3fe813d7c0d1c7.rlib: crates/checksum/src/lib.rs
+
+/root/repo/target/debug/deps/libefactory_checksum-bb3fe813d7c0d1c7.rmeta: crates/checksum/src/lib.rs
+
+crates/checksum/src/lib.rs:

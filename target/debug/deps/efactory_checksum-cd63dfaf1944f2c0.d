@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/efactory_checksum-cd63dfaf1944f2c0.d: crates/checksum/src/lib.rs
+
+/root/repo/target/debug/deps/efactory_checksum-cd63dfaf1944f2c0: crates/checksum/src/lib.rs
+
+crates/checksum/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/efactory_checksum-fa47e62690101219.d: crates/checksum/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefactory_checksum-fa47e62690101219.rmeta: crates/checksum/src/lib.rs Cargo.toml
+
+crates/checksum/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

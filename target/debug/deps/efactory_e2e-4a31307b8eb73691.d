@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/efactory_e2e-4a31307b8eb73691.d: crates/core/tests/efactory_e2e.rs
+
+/root/repo/target/debug/deps/efactory_e2e-4a31307b8eb73691: crates/core/tests/efactory_e2e.rs
+
+crates/core/tests/efactory_e2e.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/efactory_e2e-52ae141d70db5e23.d: crates/core/tests/efactory_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefactory_e2e-52ae141d70db5e23.rmeta: crates/core/tests/efactory_e2e.rs Cargo.toml
+
+crates/core/tests/efactory_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/efactory_e2e-6b1474814562d705.d: crates/core/tests/efactory_e2e.rs
+
+/root/repo/target/debug/deps/efactory_e2e-6b1474814562d705: crates/core/tests/efactory_e2e.rs
+
+crates/core/tests/efactory_e2e.rs:

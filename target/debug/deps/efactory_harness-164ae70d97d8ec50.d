@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/efactory_harness-164ae70d97d8ec50.d: crates/harness/src/lib.rs crates/harness/src/cluster.rs crates/harness/src/report.rs crates/harness/src/stats.rs crates/harness/src/table.rs
+
+/root/repo/target/debug/deps/libefactory_harness-164ae70d97d8ec50.rlib: crates/harness/src/lib.rs crates/harness/src/cluster.rs crates/harness/src/report.rs crates/harness/src/stats.rs crates/harness/src/table.rs
+
+/root/repo/target/debug/deps/libefactory_harness-164ae70d97d8ec50.rmeta: crates/harness/src/lib.rs crates/harness/src/cluster.rs crates/harness/src/report.rs crates/harness/src/stats.rs crates/harness/src/table.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/cluster.rs:
+crates/harness/src/report.rs:
+crates/harness/src/stats.rs:
+crates/harness/src/table.rs:

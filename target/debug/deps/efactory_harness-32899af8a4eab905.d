@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/efactory_harness-32899af8a4eab905.d: crates/harness/src/lib.rs crates/harness/src/cluster.rs crates/harness/src/report.rs crates/harness/src/stats.rs crates/harness/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefactory_harness-32899af8a4eab905.rmeta: crates/harness/src/lib.rs crates/harness/src/cluster.rs crates/harness/src/report.rs crates/harness/src/stats.rs crates/harness/src/table.rs Cargo.toml
+
+crates/harness/src/lib.rs:
+crates/harness/src/cluster.rs:
+crates/harness/src/report.rs:
+crates/harness/src/stats.rs:
+crates/harness/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

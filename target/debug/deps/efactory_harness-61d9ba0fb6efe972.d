@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/efactory_harness-61d9ba0fb6efe972.d: crates/harness/src/lib.rs crates/harness/src/cluster.rs crates/harness/src/report.rs crates/harness/src/stats.rs crates/harness/src/table.rs
+
+/root/repo/target/debug/deps/efactory_harness-61d9ba0fb6efe972: crates/harness/src/lib.rs crates/harness/src/cluster.rs crates/harness/src/report.rs crates/harness/src/stats.rs crates/harness/src/table.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/cluster.rs:
+crates/harness/src/report.rs:
+crates/harness/src/stats.rs:
+crates/harness/src/table.rs:

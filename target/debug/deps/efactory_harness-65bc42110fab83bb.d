@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/efactory_harness-65bc42110fab83bb.d: crates/harness/src/lib.rs crates/harness/src/cluster.rs crates/harness/src/stats.rs crates/harness/src/table.rs
+
+/root/repo/target/debug/deps/libefactory_harness-65bc42110fab83bb.rlib: crates/harness/src/lib.rs crates/harness/src/cluster.rs crates/harness/src/stats.rs crates/harness/src/table.rs
+
+/root/repo/target/debug/deps/libefactory_harness-65bc42110fab83bb.rmeta: crates/harness/src/lib.rs crates/harness/src/cluster.rs crates/harness/src/stats.rs crates/harness/src/table.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/cluster.rs:
+crates/harness/src/stats.rs:
+crates/harness/src/table.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/efactory_harness-ab32c1d42ae63be3.d: crates/harness/src/lib.rs crates/harness/src/cluster.rs crates/harness/src/report.rs crates/harness/src/stats.rs crates/harness/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefactory_harness-ab32c1d42ae63be3.rmeta: crates/harness/src/lib.rs crates/harness/src/cluster.rs crates/harness/src/report.rs crates/harness/src/stats.rs crates/harness/src/table.rs Cargo.toml
+
+crates/harness/src/lib.rs:
+crates/harness/src/cluster.rs:
+crates/harness/src/report.rs:
+crates/harness/src/stats.rs:
+crates/harness/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

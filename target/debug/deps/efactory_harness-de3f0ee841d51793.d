@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/efactory_harness-de3f0ee841d51793.d: crates/harness/src/lib.rs crates/harness/src/cluster.rs crates/harness/src/stats.rs crates/harness/src/table.rs
+
+/root/repo/target/debug/deps/efactory_harness-de3f0ee841d51793: crates/harness/src/lib.rs crates/harness/src/cluster.rs crates/harness/src/stats.rs crates/harness/src/table.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/cluster.rs:
+crates/harness/src/stats.rs:
+crates/harness/src/table.rs:

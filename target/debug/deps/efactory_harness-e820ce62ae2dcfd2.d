@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/efactory_harness-e820ce62ae2dcfd2.d: crates/harness/src/lib.rs crates/harness/src/cluster.rs crates/harness/src/stats.rs crates/harness/src/table.rs
+
+/root/repo/target/debug/deps/libefactory_harness-e820ce62ae2dcfd2.rlib: crates/harness/src/lib.rs crates/harness/src/cluster.rs crates/harness/src/stats.rs crates/harness/src/table.rs
+
+/root/repo/target/debug/deps/libefactory_harness-e820ce62ae2dcfd2.rmeta: crates/harness/src/lib.rs crates/harness/src/cluster.rs crates/harness/src/stats.rs crates/harness/src/table.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/cluster.rs:
+crates/harness/src/stats.rs:
+crates/harness/src/table.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/efactory_obs-808e8cb33bfee8f2.d: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefactory_obs-808e8cb33bfee8f2.rmeta: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/efactory_pmem-4176d992bf178a80.d: crates/pmem/src/lib.rs
+
+/root/repo/target/debug/deps/libefactory_pmem-4176d992bf178a80.rlib: crates/pmem/src/lib.rs
+
+/root/repo/target/debug/deps/libefactory_pmem-4176d992bf178a80.rmeta: crates/pmem/src/lib.rs
+
+crates/pmem/src/lib.rs:

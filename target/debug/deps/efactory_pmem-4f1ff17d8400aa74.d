@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/efactory_pmem-4f1ff17d8400aa74.d: crates/pmem/src/lib.rs
+
+/root/repo/target/debug/deps/efactory_pmem-4f1ff17d8400aa74: crates/pmem/src/lib.rs
+
+crates/pmem/src/lib.rs:

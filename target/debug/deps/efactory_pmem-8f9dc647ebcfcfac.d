@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/efactory_pmem-8f9dc647ebcfcfac.d: crates/pmem/src/lib.rs
+
+/root/repo/target/debug/deps/efactory_pmem-8f9dc647ebcfcfac: crates/pmem/src/lib.rs
+
+crates/pmem/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/efactory_pmem-9f070177be680be1.d: crates/pmem/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefactory_pmem-9f070177be680be1.rmeta: crates/pmem/src/lib.rs Cargo.toml
+
+crates/pmem/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/efactory_pmem-b7e185697479c630.d: crates/pmem/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefactory_pmem-b7e185697479c630.rmeta: crates/pmem/src/lib.rs Cargo.toml
+
+crates/pmem/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

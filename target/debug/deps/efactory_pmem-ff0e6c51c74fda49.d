@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/efactory_pmem-ff0e6c51c74fda49.d: crates/pmem/src/lib.rs
+
+/root/repo/target/debug/deps/libefactory_pmem-ff0e6c51c74fda49.rlib: crates/pmem/src/lib.rs
+
+/root/repo/target/debug/deps/libefactory_pmem-ff0e6c51c74fda49.rmeta: crates/pmem/src/lib.rs
+
+crates/pmem/src/lib.rs:

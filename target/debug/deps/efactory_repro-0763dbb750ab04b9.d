@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/efactory_repro-0763dbb750ab04b9.d: src/lib.rs
+
+/root/repo/target/debug/deps/efactory_repro-0763dbb750ab04b9: src/lib.rs
+
+src/lib.rs:

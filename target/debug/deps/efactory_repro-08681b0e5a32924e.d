@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/efactory_repro-08681b0e5a32924e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libefactory_repro-08681b0e5a32924e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libefactory_repro-08681b0e5a32924e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/efactory_repro-3a2ab5e7b213e9dd.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefactory_repro-3a2ab5e7b213e9dd.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/efactory_repro-5a0a12c05ad2744b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libefactory_repro-5a0a12c05ad2744b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libefactory_repro-5a0a12c05ad2744b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/efactory_repro-5f7831e36751fe31.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefactory_repro-5f7831e36751fe31.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/efactory_repro-b0c648683fd34f35.d: src/lib.rs
+
+/root/repo/target/debug/deps/libefactory_repro-b0c648683fd34f35.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libefactory_repro-b0c648683fd34f35.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/efactory_repro-cf5dcb1df8e291ab.d: src/lib.rs
+
+/root/repo/target/debug/deps/efactory_repro-cf5dcb1df8e291ab: src/lib.rs
+
+src/lib.rs:

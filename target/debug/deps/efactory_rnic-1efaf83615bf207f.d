@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/efactory_rnic-1efaf83615bf207f.d: crates/rnic/src/lib.rs crates/rnic/src/cost.rs crates/rnic/src/fabric.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefactory_rnic-1efaf83615bf207f.rmeta: crates/rnic/src/lib.rs crates/rnic/src/cost.rs crates/rnic/src/fabric.rs Cargo.toml
+
+crates/rnic/src/lib.rs:
+crates/rnic/src/cost.rs:
+crates/rnic/src/fabric.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

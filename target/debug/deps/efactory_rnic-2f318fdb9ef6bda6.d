@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/efactory_rnic-2f318fdb9ef6bda6.d: crates/rnic/src/lib.rs crates/rnic/src/cost.rs crates/rnic/src/fabric.rs
+
+/root/repo/target/debug/deps/libefactory_rnic-2f318fdb9ef6bda6.rlib: crates/rnic/src/lib.rs crates/rnic/src/cost.rs crates/rnic/src/fabric.rs
+
+/root/repo/target/debug/deps/libefactory_rnic-2f318fdb9ef6bda6.rmeta: crates/rnic/src/lib.rs crates/rnic/src/cost.rs crates/rnic/src/fabric.rs
+
+crates/rnic/src/lib.rs:
+crates/rnic/src/cost.rs:
+crates/rnic/src/fabric.rs:

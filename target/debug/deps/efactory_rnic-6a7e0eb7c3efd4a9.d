@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/efactory_rnic-6a7e0eb7c3efd4a9.d: crates/rnic/src/lib.rs crates/rnic/src/cost.rs crates/rnic/src/fabric.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefactory_rnic-6a7e0eb7c3efd4a9.rmeta: crates/rnic/src/lib.rs crates/rnic/src/cost.rs crates/rnic/src/fabric.rs Cargo.toml
+
+crates/rnic/src/lib.rs:
+crates/rnic/src/cost.rs:
+crates/rnic/src/fabric.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

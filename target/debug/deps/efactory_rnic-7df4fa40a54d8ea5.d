@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/efactory_rnic-7df4fa40a54d8ea5.d: crates/rnic/src/lib.rs crates/rnic/src/cost.rs crates/rnic/src/fabric.rs
+
+/root/repo/target/debug/deps/efactory_rnic-7df4fa40a54d8ea5: crates/rnic/src/lib.rs crates/rnic/src/cost.rs crates/rnic/src/fabric.rs
+
+crates/rnic/src/lib.rs:
+crates/rnic/src/cost.rs:
+crates/rnic/src/fabric.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/efactory_rnic-d5b73e4d8cb651df.d: crates/rnic/src/lib.rs crates/rnic/src/cost.rs crates/rnic/src/fabric.rs
+
+/root/repo/target/debug/deps/libefactory_rnic-d5b73e4d8cb651df.rlib: crates/rnic/src/lib.rs crates/rnic/src/cost.rs crates/rnic/src/fabric.rs
+
+/root/repo/target/debug/deps/libefactory_rnic-d5b73e4d8cb651df.rmeta: crates/rnic/src/lib.rs crates/rnic/src/cost.rs crates/rnic/src/fabric.rs
+
+crates/rnic/src/lib.rs:
+crates/rnic/src/cost.rs:
+crates/rnic/src/fabric.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/efactory_sim-139c3c139ac8e633.d: crates/sim/src/lib.rs crates/sim/src/chan.rs crates/sim/src/kernel.rs crates/sim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefactory_sim-139c3c139ac8e633.rmeta: crates/sim/src/lib.rs crates/sim/src/chan.rs crates/sim/src/kernel.rs crates/sim/src/time.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/chan.rs:
+crates/sim/src/kernel.rs:
+crates/sim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

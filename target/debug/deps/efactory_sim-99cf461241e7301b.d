@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/efactory_sim-99cf461241e7301b.d: crates/sim/src/lib.rs crates/sim/src/chan.rs crates/sim/src/kernel.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/efactory_sim-99cf461241e7301b: crates/sim/src/lib.rs crates/sim/src/chan.rs crates/sim/src/kernel.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/chan.rs:
+crates/sim/src/kernel.rs:
+crates/sim/src/time.rs:

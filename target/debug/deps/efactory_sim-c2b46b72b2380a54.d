@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/efactory_sim-c2b46b72b2380a54.d: crates/sim/src/lib.rs crates/sim/src/chan.rs crates/sim/src/kernel.rs crates/sim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefactory_sim-c2b46b72b2380a54.rmeta: crates/sim/src/lib.rs crates/sim/src/chan.rs crates/sim/src/kernel.rs crates/sim/src/time.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/chan.rs:
+crates/sim/src/kernel.rs:
+crates/sim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

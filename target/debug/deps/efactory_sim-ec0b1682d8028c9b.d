@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/efactory_sim-ec0b1682d8028c9b.d: crates/sim/src/lib.rs crates/sim/src/chan.rs crates/sim/src/kernel.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libefactory_sim-ec0b1682d8028c9b.rlib: crates/sim/src/lib.rs crates/sim/src/chan.rs crates/sim/src/kernel.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libefactory_sim-ec0b1682d8028c9b.rmeta: crates/sim/src/lib.rs crates/sim/src/chan.rs crates/sim/src/kernel.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/chan.rs:
+crates/sim/src/kernel.rs:
+crates/sim/src/time.rs:

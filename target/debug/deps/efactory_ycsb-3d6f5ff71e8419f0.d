@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/efactory_ycsb-3d6f5ff71e8419f0.d: crates/ycsb/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefactory_ycsb-3d6f5ff71e8419f0.rmeta: crates/ycsb/src/lib.rs Cargo.toml
+
+crates/ycsb/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

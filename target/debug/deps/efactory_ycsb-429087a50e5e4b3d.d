@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/efactory_ycsb-429087a50e5e4b3d.d: crates/ycsb/src/lib.rs
+
+/root/repo/target/debug/deps/libefactory_ycsb-429087a50e5e4b3d.rlib: crates/ycsb/src/lib.rs
+
+/root/repo/target/debug/deps/libefactory_ycsb-429087a50e5e4b3d.rmeta: crates/ycsb/src/lib.rs
+
+crates/ycsb/src/lib.rs:

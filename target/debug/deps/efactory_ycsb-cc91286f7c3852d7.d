@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/efactory_ycsb-cc91286f7c3852d7.d: crates/ycsb/src/lib.rs
+
+/root/repo/target/debug/deps/efactory_ycsb-cc91286f7c3852d7: crates/ycsb/src/lib.rs
+
+crates/ycsb/src/lib.rs:

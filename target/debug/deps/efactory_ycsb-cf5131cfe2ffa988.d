@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/efactory_ycsb-cf5131cfe2ffa988.d: crates/ycsb/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libefactory_ycsb-cf5131cfe2ffa988.rmeta: crates/ycsb/src/lib.rs Cargo.toml
+
+crates/ycsb/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

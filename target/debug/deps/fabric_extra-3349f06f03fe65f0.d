@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fabric_extra-3349f06f03fe65f0.d: crates/rnic/tests/fabric_extra.rs
+
+/root/repo/target/debug/deps/fabric_extra-3349f06f03fe65f0: crates/rnic/tests/fabric_extra.rs
+
+crates/rnic/tests/fabric_extra.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fabric_extra-a1dcff43ec161d52.d: crates/rnic/tests/fabric_extra.rs
+
+/root/repo/target/debug/deps/fabric_extra-a1dcff43ec161d52: crates/rnic/tests/fabric_extra.rs
+
+crates/rnic/tests/fabric_extra.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fabric_extra-aee8e73500d95a63.d: crates/rnic/tests/fabric_extra.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfabric_extra-aee8e73500d95a63.rmeta: crates/rnic/tests/fabric_extra.rs Cargo.toml
+
+crates/rnic/tests/fabric_extra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

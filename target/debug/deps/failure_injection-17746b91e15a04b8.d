@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-17746b91e15a04b8.d: crates/core/tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-17746b91e15a04b8: crates/core/tests/failure_injection.rs
+
+crates/core/tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_injection-e203d3166247655e.d: crates/core/tests/failure_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_injection-e203d3166247655e.rmeta: crates/core/tests/failure_injection.rs Cargo.toml
+
+crates/core/tests/failure_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

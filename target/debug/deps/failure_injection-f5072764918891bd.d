@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-f5072764918891bd.d: crates/core/tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-f5072764918891bd: crates/core/tests/failure_injection.rs
+
+crates/core/tests/failure_injection.rs:

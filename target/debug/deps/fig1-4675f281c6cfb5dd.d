@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-4675f281c6cfb5dd.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-4675f281c6cfb5dd: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

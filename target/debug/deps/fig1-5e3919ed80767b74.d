@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-5e3919ed80767b74.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-5e3919ed80767b74: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1-61e161bd77669aa2.d: crates/bench/src/bin/fig1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1-61e161bd77669aa2.rmeta: crates/bench/src/bin/fig1.rs Cargo.toml
+
+crates/bench/src/bin/fig1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-b39359d75e6b6be7.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-b39359d75e6b6be7: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-f456d333a88623f1.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-f456d333a88623f1: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-6a5b6ce12c21f7ee.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-6a5b6ce12c21f7ee: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-7e75137237b44c05.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-7e75137237b44c05: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-b4416978505ff60a.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-b4416978505ff60a: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

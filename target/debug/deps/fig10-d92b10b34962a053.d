@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-d92b10b34962a053.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-d92b10b34962a053: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

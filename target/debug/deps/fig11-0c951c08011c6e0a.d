@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11-0c951c08011c6e0a.d: crates/bench/src/bin/fig11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11-0c951c08011c6e0a.rmeta: crates/bench/src/bin/fig11.rs Cargo.toml
+
+crates/bench/src/bin/fig11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-8e850542bbab2929.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-8e850542bbab2929: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

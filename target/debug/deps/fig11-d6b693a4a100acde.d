@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-d6b693a4a100acde.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-d6b693a4a100acde: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-edb18be5742e33b0.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-edb18be5742e33b0: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-fdd1f67a35c706bb.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-fdd1f67a35c706bb: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-2e61b5dbeb5dd194.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-2e61b5dbeb5dd194: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

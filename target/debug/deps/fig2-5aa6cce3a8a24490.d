@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-5aa6cce3a8a24490.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-5aa6cce3a8a24490: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-edb0c3c55d26508e.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-edb0c3c55d26508e: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-f65827f4751abb91.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-f65827f4751abb91: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-01366dfd82adff5e.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-01366dfd82adff5e: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-2c2df330f20e0ced.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-2c2df330f20e0ced: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

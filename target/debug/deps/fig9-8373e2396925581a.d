@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-8373e2396925581a.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-8373e2396925581a: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

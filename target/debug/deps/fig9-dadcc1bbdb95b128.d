@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-dadcc1bbdb95b128.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-dadcc1bbdb95b128: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hashtable-5ee5e6d60aeee115.d: crates/bench/benches/hashtable.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhashtable-5ee5e6d60aeee115.rmeta: crates/bench/benches/hashtable.rs Cargo.toml
+
+crates/bench/benches/hashtable.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_check-5ebedc8c32cc4a97.d: tests/model_check.rs
+
+/root/repo/target/debug/deps/model_check-5ebedc8c32cc4a97: tests/model_check.rs
+
+tests/model_check.rs:

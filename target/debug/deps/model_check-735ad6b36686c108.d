@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_check-735ad6b36686c108.d: tests/model_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_check-735ad6b36686c108.rmeta: tests/model_check.rs Cargo.toml
+
+tests/model_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_check-99ed18ed1f31e6e6.d: tests/model_check.rs
+
+/root/repo/target/debug/deps/model_check-99ed18ed1f31e6e6: tests/model_check.rs
+
+tests/model_check.rs:

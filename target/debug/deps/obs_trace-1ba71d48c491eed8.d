@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_trace-1ba71d48c491eed8.d: crates/core/tests/obs_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_trace-1ba71d48c491eed8.rmeta: crates/core/tests/obs_trace.rs Cargo.toml
+
+crates/core/tests/obs_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_trace-7a0443b1a0863844.d: crates/core/tests/obs_trace.rs
+
+/root/repo/target/debug/deps/obs_trace-7a0443b1a0863844: crates/core/tests/obs_trace.rs
+
+crates/core/tests/obs_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-5f674081be9cf136.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-5f674081be9cf136: tests/observability.rs
+
+tests/observability.rs:

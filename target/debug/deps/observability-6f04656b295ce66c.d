@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/observability-6f04656b295ce66c.d: tests/observability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobservability-6f04656b295ce66c.rmeta: tests/observability.rs Cargo.toml
+
+tests/observability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

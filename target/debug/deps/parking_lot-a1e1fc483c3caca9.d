@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-a1e1fc483c3caca9.d: /root/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-a1e1fc483c3caca9.rmeta: /root/shims/parking_lot/src/lib.rs
+
+/root/shims/parking_lot/src/lib.rs:

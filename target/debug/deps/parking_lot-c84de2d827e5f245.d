@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-c84de2d827e5f245.d: /root/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-c84de2d827e5f245.rlib: /root/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-c84de2d827e5f245.rmeta: /root/shims/parking_lot/src/lib.rs
+
+/root/shims/parking_lot/src/lib.rs:

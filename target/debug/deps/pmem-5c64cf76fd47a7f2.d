@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pmem-5c64cf76fd47a7f2.d: crates/bench/benches/pmem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpmem-5c64cf76fd47a7f2.rmeta: crates/bench/benches/pmem.rs Cargo.toml
+
+crates/bench/benches/pmem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-6ea2515b10ad01ba.d: crates/core/tests/props.rs
+
+/root/repo/target/debug/deps/props-6ea2515b10ad01ba: crates/core/tests/props.rs
+
+crates/core/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-9ed1f51875baa825.d: crates/core/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-9ed1f51875baa825.rmeta: crates/core/tests/props.rs Cargo.toml
+
+crates/core/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

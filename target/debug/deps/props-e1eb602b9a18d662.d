@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-e1eb602b9a18d662.d: crates/core/tests/props.rs
+
+/root/repo/target/debug/deps/props-e1eb602b9a18d662: crates/core/tests/props.rs
+
+crates/core/tests/props.rs:

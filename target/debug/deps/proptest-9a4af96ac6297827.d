@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-9a4af96ac6297827.d: /root/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9a4af96ac6297827.rmeta: /root/shims/proptest/src/lib.rs
+
+/root/shims/proptest/src/lib.rs:

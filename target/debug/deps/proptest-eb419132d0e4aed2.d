@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-eb419132d0e4aed2.d: /root/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-eb419132d0e4aed2.rlib: /root/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-eb419132d0e4aed2.rmeta: /root/shims/proptest/src/lib.rs
+
+/root/shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/put_get-5a40bca10bfb330c.d: crates/bench/src/bin/put_get.rs
+
+/root/repo/target/debug/deps/put_get-5a40bca10bfb330c: crates/bench/src/bin/put_get.rs
+
+crates/bench/src/bin/put_get.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/put_get-b6247fe03472b9a2.d: crates/bench/src/bin/put_get.rs Cargo.toml
+
+/root/repo/target/debug/deps/libput_get-b6247fe03472b9a2.rmeta: crates/bench/src/bin/put_get.rs Cargo.toml
+
+crates/bench/src/bin/put_get.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/put_get-c77176189a2cdc2d.d: crates/bench/benches/put_get.rs Cargo.toml
+
+/root/repo/target/debug/deps/libput_get-c77176189a2cdc2d.rmeta: crates/bench/benches/put_get.rs Cargo.toml
+
+crates/bench/benches/put_get.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

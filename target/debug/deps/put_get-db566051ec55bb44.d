@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/put_get-db566051ec55bb44.d: crates/bench/src/bin/put_get.rs Cargo.toml
+
+/root/repo/target/debug/deps/libput_get-db566051ec55bb44.rmeta: crates/bench/src/bin/put_get.rs Cargo.toml
+
+crates/bench/src/bin/put_get.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

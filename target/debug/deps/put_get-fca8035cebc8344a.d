@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/put_get-fca8035cebc8344a.d: crates/bench/src/bin/put_get.rs
+
+/root/repo/target/debug/deps/put_get-fca8035cebc8344a: crates/bench/src/bin/put_get.rs
+
+crates/bench/src/bin/put_get.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-dd1dcb99f7590c2b.d: /root/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-dd1dcb99f7590c2b.rmeta: /root/shims/rand/src/lib.rs
+
+/root/shims/rand/src/lib.rs:

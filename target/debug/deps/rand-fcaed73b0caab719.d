@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-fcaed73b0caab719.d: /root/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-fcaed73b0caab719.rlib: /root/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-fcaed73b0caab719.rmeta: /root/shims/rand/src/lib.rs
+
+/root/shims/rand/src/lib.rs:

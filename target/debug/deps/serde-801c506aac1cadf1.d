@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-801c506aac1cadf1.d: /root/shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-801c506aac1cadf1.rlib: /root/shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-801c506aac1cadf1.rmeta: /root/shims/serde/src/lib.rs
+
+/root/shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-f6e9bd32394f741e.d: /root/shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f6e9bd32394f741e.rmeta: /root/shims/serde/src/lib.rs
+
+/root/shims/serde/src/lib.rs:

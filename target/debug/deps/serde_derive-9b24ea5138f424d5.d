@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-9b24ea5138f424d5.d: /root/shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-9b24ea5138f424d5.so: /root/shims/serde_derive/src/lib.rs
+
+/root/shims/serde_derive/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simkernel-b8d3499cb3ec1388.d: crates/bench/benches/simkernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimkernel-b8d3499cb3ec1388.rmeta: crates/bench/benches/simkernel.rs Cargo.toml
+
+crates/bench/benches/simkernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

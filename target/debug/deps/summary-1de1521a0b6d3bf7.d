@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summary-1de1521a0b6d3bf7.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/debug/deps/summary-1de1521a0b6d3bf7: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

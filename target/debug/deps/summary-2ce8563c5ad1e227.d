@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summary-2ce8563c5ad1e227.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/debug/deps/summary-2ce8563c5ad1e227: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summary-a797932ff3d78b17.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/debug/deps/summary-a797932ff3d78b17: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summary-b75aabc378b6f115.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/debug/deps/summary-b75aabc378b6f115: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/summary-ed09595a3d16d277.d: crates/bench/src/bin/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsummary-ed09595a3d16d277.rmeta: crates/bench/src/bin/summary.rs Cargo.toml
+
+crates/bench/src/bin/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/summary-f3743ae4bdaafcc5.d: crates/bench/src/bin/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsummary-f3743ae4bdaafcc5.rmeta: crates/bench/src/bin/summary.rs Cargo.toml
+
+crates/bench/src/bin/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

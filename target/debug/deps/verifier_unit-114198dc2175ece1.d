@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verifier_unit-114198dc2175ece1.d: crates/core/tests/verifier_unit.rs
+
+/root/repo/target/debug/deps/verifier_unit-114198dc2175ece1: crates/core/tests/verifier_unit.rs
+
+crates/core/tests/verifier_unit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verifier_unit-6d2ee13dee203663.d: crates/core/tests/verifier_unit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverifier_unit-6d2ee13dee203663.rmeta: crates/core/tests/verifier_unit.rs Cargo.toml
+
+crates/core/tests/verifier_unit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

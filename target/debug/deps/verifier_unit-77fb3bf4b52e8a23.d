@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verifier_unit-77fb3bf4b52e8a23.d: crates/core/tests/verifier_unit.rs
+
+/root/repo/target/debug/deps/verifier_unit-77fb3bf4b52e8a23: crates/core/tests/verifier_unit.rs
+
+crates/core/tests/verifier_unit.rs:

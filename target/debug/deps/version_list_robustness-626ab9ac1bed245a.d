@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/version_list_robustness-626ab9ac1bed245a.d: tests/version_list_robustness.rs
+
+/root/repo/target/debug/deps/version_list_robustness-626ab9ac1bed245a: tests/version_list_robustness.rs
+
+tests/version_list_robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/version_list_robustness-aa419e4d857e2a90.d: tests/version_list_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libversion_list_robustness-aa419e4d857e2a90.rmeta: tests/version_list_robustness.rs Cargo.toml
+
+tests/version_list_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

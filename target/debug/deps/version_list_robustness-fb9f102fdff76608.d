@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/version_list_robustness-fb9f102fdff76608.d: tests/version_list_robustness.rs
+
+/root/repo/target/debug/deps/version_list_robustness-fb9f102fdff76608: tests/version_list_robustness.rs
+
+tests/version_list_robustness.rs:

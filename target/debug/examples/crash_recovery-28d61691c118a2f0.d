@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_recovery-28d61691c118a2f0.d: examples/crash_recovery.rs
+
+/root/repo/target/debug/examples/crash_recovery-28d61691c118a2f0: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

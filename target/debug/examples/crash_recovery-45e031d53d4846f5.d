@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/crash_recovery-45e031d53d4846f5.d: examples/crash_recovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcrash_recovery-45e031d53d4846f5.rmeta: examples/crash_recovery.rs Cargo.toml
+
+examples/crash_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_recovery-de0b84c4e5997444.d: examples/crash_recovery.rs
+
+/root/repo/target/debug/examples/crash_recovery-de0b84c4e5997444: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/log_cleaning-3a63ef0f2aa9228b.d: examples/log_cleaning.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblog_cleaning-3a63ef0f2aa9228b.rmeta: examples/log_cleaning.rs Cargo.toml
+
+examples/log_cleaning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/log_cleaning-b99bff832b494f94.d: examples/log_cleaning.rs
+
+/root/repo/target/debug/examples/log_cleaning-b99bff832b494f94: examples/log_cleaning.rs
+
+examples/log_cleaning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/log_cleaning-c4258b30ef22c9ba.d: examples/log_cleaning.rs
+
+/root/repo/target/debug/examples/log_cleaning-c4258b30ef22c9ba: examples/log_cleaning.rs
+
+examples/log_cleaning.rs:

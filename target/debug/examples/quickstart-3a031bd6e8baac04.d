@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3a031bd6e8baac04.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3a031bd6e8baac04: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d90a2f2ac45645fd.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d90a2f2ac45645fd: examples/quickstart.rs
+
+examples/quickstart.rs:

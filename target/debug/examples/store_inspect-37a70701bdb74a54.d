@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/store_inspect-37a70701bdb74a54.d: examples/store_inspect.rs
+
+/root/repo/target/debug/examples/store_inspect-37a70701bdb74a54: examples/store_inspect.rs
+
+examples/store_inspect.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/store_inspect-3a7de8a0c78900f4.d: examples/store_inspect.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstore_inspect-3a7de8a0c78900f4.rmeta: examples/store_inspect.rs Cargo.toml
+
+examples/store_inspect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

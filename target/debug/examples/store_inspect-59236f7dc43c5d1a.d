@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/store_inspect-59236f7dc43c5d1a.d: examples/store_inspect.rs
+
+/root/repo/target/debug/examples/store_inspect-59236f7dc43c5d1a: examples/store_inspect.rs
+
+examples/store_inspect.rs:

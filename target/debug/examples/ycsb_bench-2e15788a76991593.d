@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ycsb_bench-2e15788a76991593.d: examples/ycsb_bench.rs
+
+/root/repo/target/debug/examples/ycsb_bench-2e15788a76991593: examples/ycsb_bench.rs
+
+examples/ycsb_bench.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ycsb_bench-8b625c8d28f6b5ae.d: examples/ycsb_bench.rs Cargo.toml
+
+/root/repo/target/debug/examples/libycsb_bench-8b625c8d28f6b5ae.rmeta: examples/ycsb_bench.rs Cargo.toml
+
+examples/ycsb_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

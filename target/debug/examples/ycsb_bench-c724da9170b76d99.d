@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ycsb_bench-c724da9170b76d99.d: examples/ycsb_bench.rs
+
+/root/repo/target/debug/examples/ycsb_bench-c724da9170b76d99: examples/ycsb_bench.rs
+
+examples/ycsb_bench.rs:

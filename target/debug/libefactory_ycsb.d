@@ -1,0 +1,1 @@
+/root/repo/target/debug/libefactory_ycsb.rlib: /root/repo/crates/ycsb/src/lib.rs /root/shims/rand/src/lib.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-48c4b6ff77dbcbbd.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-48c4b6ff77dbcbbd: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

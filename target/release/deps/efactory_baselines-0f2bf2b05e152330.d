@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/efactory_baselines-0f2bf2b05e152330.d: crates/baselines/src/lib.rs crates/baselines/src/ca_noper.rs crates/baselines/src/common.rs crates/baselines/src/erda.rs crates/baselines/src/forca.rs crates/baselines/src/imm.rs crates/baselines/src/rpc_store.rs crates/baselines/src/saw.rs
+
+/root/repo/target/release/deps/libefactory_baselines-0f2bf2b05e152330.rlib: crates/baselines/src/lib.rs crates/baselines/src/ca_noper.rs crates/baselines/src/common.rs crates/baselines/src/erda.rs crates/baselines/src/forca.rs crates/baselines/src/imm.rs crates/baselines/src/rpc_store.rs crates/baselines/src/saw.rs
+
+/root/repo/target/release/deps/libefactory_baselines-0f2bf2b05e152330.rmeta: crates/baselines/src/lib.rs crates/baselines/src/ca_noper.rs crates/baselines/src/common.rs crates/baselines/src/erda.rs crates/baselines/src/forca.rs crates/baselines/src/imm.rs crates/baselines/src/rpc_store.rs crates/baselines/src/saw.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ca_noper.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/erda.rs:
+crates/baselines/src/forca.rs:
+crates/baselines/src/imm.rs:
+crates/baselines/src/rpc_store.rs:
+crates/baselines/src/saw.rs:

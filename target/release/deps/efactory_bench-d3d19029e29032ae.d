@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/efactory_bench-d3d19029e29032ae.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libefactory_bench-d3d19029e29032ae.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libefactory_bench-d3d19029e29032ae.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/efactory_checksum-18c43b3dd1c38c5a.d: crates/checksum/src/lib.rs
+
+/root/repo/target/release/deps/libefactory_checksum-18c43b3dd1c38c5a.rlib: crates/checksum/src/lib.rs
+
+/root/repo/target/release/deps/libefactory_checksum-18c43b3dd1c38c5a.rmeta: crates/checksum/src/lib.rs
+
+crates/checksum/src/lib.rs:

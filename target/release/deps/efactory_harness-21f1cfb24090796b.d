@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/efactory_harness-21f1cfb24090796b.d: crates/harness/src/lib.rs crates/harness/src/cluster.rs crates/harness/src/stats.rs crates/harness/src/table.rs
+
+/root/repo/target/release/deps/libefactory_harness-21f1cfb24090796b.rlib: crates/harness/src/lib.rs crates/harness/src/cluster.rs crates/harness/src/stats.rs crates/harness/src/table.rs
+
+/root/repo/target/release/deps/libefactory_harness-21f1cfb24090796b.rmeta: crates/harness/src/lib.rs crates/harness/src/cluster.rs crates/harness/src/stats.rs crates/harness/src/table.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/cluster.rs:
+crates/harness/src/stats.rs:
+crates/harness/src/table.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/efactory_harness-c1032dcc91d48f8f.d: crates/harness/src/lib.rs crates/harness/src/cluster.rs crates/harness/src/report.rs crates/harness/src/stats.rs crates/harness/src/table.rs
+
+/root/repo/target/release/deps/libefactory_harness-c1032dcc91d48f8f.rlib: crates/harness/src/lib.rs crates/harness/src/cluster.rs crates/harness/src/report.rs crates/harness/src/stats.rs crates/harness/src/table.rs
+
+/root/repo/target/release/deps/libefactory_harness-c1032dcc91d48f8f.rmeta: crates/harness/src/lib.rs crates/harness/src/cluster.rs crates/harness/src/report.rs crates/harness/src/stats.rs crates/harness/src/table.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/cluster.rs:
+crates/harness/src/report.rs:
+crates/harness/src/stats.rs:
+crates/harness/src/table.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/efactory_obs-0cbafece733af2d9.d: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libefactory_obs-0cbafece733af2d9.rlib: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libefactory_obs-0cbafece733af2d9.rmeta: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/trace.rs:

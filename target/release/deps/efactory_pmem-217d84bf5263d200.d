@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/efactory_pmem-217d84bf5263d200.d: crates/pmem/src/lib.rs
+
+/root/repo/target/release/deps/libefactory_pmem-217d84bf5263d200.rlib: crates/pmem/src/lib.rs
+
+/root/repo/target/release/deps/libefactory_pmem-217d84bf5263d200.rmeta: crates/pmem/src/lib.rs
+
+crates/pmem/src/lib.rs:

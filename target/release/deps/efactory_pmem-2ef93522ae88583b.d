@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/efactory_pmem-2ef93522ae88583b.d: crates/pmem/src/lib.rs
+
+/root/repo/target/release/deps/libefactory_pmem-2ef93522ae88583b.rlib: crates/pmem/src/lib.rs
+
+/root/repo/target/release/deps/libefactory_pmem-2ef93522ae88583b.rmeta: crates/pmem/src/lib.rs
+
+crates/pmem/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/efactory_repro-07f07fc233bcdb5e.d: src/lib.rs
+
+/root/repo/target/release/deps/libefactory_repro-07f07fc233bcdb5e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libefactory_repro-07f07fc233bcdb5e.rmeta: src/lib.rs
+
+src/lib.rs:

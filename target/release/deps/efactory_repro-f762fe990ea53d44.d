@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/efactory_repro-f762fe990ea53d44.d: src/lib.rs
+
+/root/repo/target/release/deps/libefactory_repro-f762fe990ea53d44.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libefactory_repro-f762fe990ea53d44.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/efactory_rnic-45e3bc1e87f0dd47.d: crates/rnic/src/lib.rs crates/rnic/src/cost.rs crates/rnic/src/fabric.rs
+
+/root/repo/target/release/deps/libefactory_rnic-45e3bc1e87f0dd47.rlib: crates/rnic/src/lib.rs crates/rnic/src/cost.rs crates/rnic/src/fabric.rs
+
+/root/repo/target/release/deps/libefactory_rnic-45e3bc1e87f0dd47.rmeta: crates/rnic/src/lib.rs crates/rnic/src/cost.rs crates/rnic/src/fabric.rs
+
+crates/rnic/src/lib.rs:
+crates/rnic/src/cost.rs:
+crates/rnic/src/fabric.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/efactory_rnic-9c61bf91212a8683.d: crates/rnic/src/lib.rs crates/rnic/src/cost.rs crates/rnic/src/fabric.rs
+
+/root/repo/target/release/deps/libefactory_rnic-9c61bf91212a8683.rlib: crates/rnic/src/lib.rs crates/rnic/src/cost.rs crates/rnic/src/fabric.rs
+
+/root/repo/target/release/deps/libefactory_rnic-9c61bf91212a8683.rmeta: crates/rnic/src/lib.rs crates/rnic/src/cost.rs crates/rnic/src/fabric.rs
+
+crates/rnic/src/lib.rs:
+crates/rnic/src/cost.rs:
+crates/rnic/src/fabric.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/efactory_sim-a87dfa25e6d6da1a.d: crates/sim/src/lib.rs crates/sim/src/chan.rs crates/sim/src/kernel.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libefactory_sim-a87dfa25e6d6da1a.rlib: crates/sim/src/lib.rs crates/sim/src/chan.rs crates/sim/src/kernel.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libefactory_sim-a87dfa25e6d6da1a.rmeta: crates/sim/src/lib.rs crates/sim/src/chan.rs crates/sim/src/kernel.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/chan.rs:
+crates/sim/src/kernel.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/efactory_ycsb-3db5e5dd55df709b.d: crates/ycsb/src/lib.rs
+
+/root/repo/target/release/deps/libefactory_ycsb-3db5e5dd55df709b.rlib: crates/ycsb/src/lib.rs
+
+/root/repo/target/release/deps/libefactory_ycsb-3db5e5dd55df709b.rmeta: crates/ycsb/src/lib.rs
+
+crates/ycsb/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-fd9c94eb6e508598.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-fd9c94eb6e508598: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

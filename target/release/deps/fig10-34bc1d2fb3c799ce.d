@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-34bc1d2fb3c799ce.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-34bc1d2fb3c799ce: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

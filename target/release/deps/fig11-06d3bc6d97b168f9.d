@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-06d3bc6d97b168f9.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-06d3bc6d97b168f9: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-79877c083072e6a8.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-79877c083072e6a8: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

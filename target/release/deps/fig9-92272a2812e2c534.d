@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-92272a2812e2c534.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-92272a2812e2c534: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

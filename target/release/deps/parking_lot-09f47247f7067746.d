@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-09f47247f7067746.d: /root/shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-09f47247f7067746.rlib: /root/shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-09f47247f7067746.rmeta: /root/shims/parking_lot/src/lib.rs
+
+/root/shims/parking_lot/src/lib.rs:

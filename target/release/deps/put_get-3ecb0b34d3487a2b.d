@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/put_get-3ecb0b34d3487a2b.d: crates/bench/src/bin/put_get.rs
+
+/root/repo/target/release/deps/put_get-3ecb0b34d3487a2b: crates/bench/src/bin/put_get.rs
+
+crates/bench/src/bin/put_get.rs:

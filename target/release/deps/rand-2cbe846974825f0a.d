@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-2cbe846974825f0a.d: /root/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2cbe846974825f0a.rlib: /root/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2cbe846974825f0a.rmeta: /root/shims/rand/src/lib.rs
+
+/root/shims/rand/src/lib.rs:

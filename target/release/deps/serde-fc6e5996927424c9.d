@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-fc6e5996927424c9.d: /root/shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-fc6e5996927424c9.rlib: /root/shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-fc6e5996927424c9.rmeta: /root/shims/serde/src/lib.rs
+
+/root/shims/serde/src/lib.rs:

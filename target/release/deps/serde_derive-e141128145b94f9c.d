@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-e141128145b94f9c.d: /root/shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-e141128145b94f9c.so: /root/shims/serde_derive/src/lib.rs
+
+/root/shims/serde_derive/src/lib.rs:

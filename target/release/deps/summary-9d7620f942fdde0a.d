@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/summary-9d7620f942fdde0a.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/release/deps/summary-9d7620f942fdde0a: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libefactory_checksum.rlib: /root/repo/crates/checksum/src/lib.rs
