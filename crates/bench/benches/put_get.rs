@@ -29,6 +29,8 @@ fn spec(system: SystemKind, mix: Mix, value_len: usize) -> ExperimentSpec {
         seed: 13,
         cleaning: Cleaning::Disabled,
         force_clean: false,
+        shards: 1,
+        doorbell_batch: 0,
     }
 }
 

@@ -29,6 +29,8 @@ fn base(system: SystemKind, mix: Mix) -> ExperimentSpec {
         seed: 21,
         cleaning: Cleaning::Disabled,
         force_clean: false,
+        shards: 1,
+        doorbell_batch: 0,
     }
 }
 

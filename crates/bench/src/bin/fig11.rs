@@ -38,6 +38,8 @@ fn main() {
                 pool_len: 96 << 20,
             },
             force_clean: force,
+            shards: 1,
+            doorbell_batch: 0,
         };
         let normal = cluster::run(&base_spec(false));
         let cleaning = cluster::run(&base_spec(true));

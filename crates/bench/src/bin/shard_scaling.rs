@@ -1,0 +1,58 @@
+//! Shard-scaling probe: eFactory throughput at 1/2/4/8 shards.
+//!
+//! The single-server store serializes every PUT allocation through one
+//! request-handler process, so update-heavy throughput saturates at one
+//! service loop. Sharding partitions the key space across independent
+//! servers (own node, pools, verifier, cleaner); this probe captures the
+//! resulting throughput trajectory on the paper's Update-only and YCSB-A
+//! mixes at 256 B values, with doorbell-batched recv rings.
+//!
+//! Always writes `BENCH_shard_scaling.json` (override with `--json`).
+//! 32 closed-loop clients: enough offered load to expose the 8-shard
+//! capacity (8 clients saturate a single server already).
+
+use efactory_bench::{mix_tag, scaled_ops, ReportSink};
+use efactory_harness::{cluster, ExperimentSpec, SystemKind};
+use efactory_ycsb::Mix;
+
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
+const DOORBELL: usize = 16;
+
+fn spec(mix: Mix, shards: usize) -> ExperimentSpec {
+    let mut s = ExperimentSpec::paper(SystemKind::EFactory, mix, 256);
+    s.clients = 32;
+    s.ops_per_client = scaled_ops(1_000);
+    s.shards = shards;
+    s.doorbell_batch = DOORBELL;
+    s
+}
+
+fn main() {
+    let mut sink = ReportSink::with_default_path("shard-scaling", Some("BENCH_shard_scaling.json"));
+    println!("eFactory shard scaling · 256B values · 32 clients · doorbell_batch={DOORBELL}");
+    println!(
+        "{:<22} {:>7} {:>9} {:>10} {:>10}",
+        "workload", "shards", "Mops", "p50 µs", "p99 µs"
+    );
+    for mix in [Mix::UpdateOnly, Mix::A] {
+        let mut base_mops = 0.0;
+        for shards in SHARDS {
+            let s = spec(mix, shards);
+            let r = cluster::run(&s);
+            if shards == 1 {
+                base_mops = r.mops;
+            }
+            println!(
+                "{:<22} {:>7} {:>9.3} {:>10.2} {:>10.2}  ({:.2}x)",
+                mix_tag(mix),
+                shards,
+                r.mops,
+                r.all.p50_ns as f64 / 1000.0,
+                r.all.p99_ns as f64 / 1000.0,
+                r.mops / base_mops,
+            );
+            sink.add(&format!("{}/256B/{}shards", mix_tag(mix), shards), &s, &r);
+        }
+    }
+    sink.write();
+}

@@ -45,8 +45,10 @@ pub mod log;
 pub mod protocol;
 pub mod recovery;
 pub mod server;
+pub mod shard;
 pub mod verifier;
 
 pub use client::{Client, ClientConfig, GetOutcome, RemoteKv};
 pub use protocol::{Status, StoreError};
 pub use server::{Server, ServerConfig, ServerStats, StoreDesc};
+pub use shard::{shard_of, ShardedClient, ShardedDesc, ShardedServer};

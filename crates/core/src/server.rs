@@ -81,10 +81,19 @@ pub struct ServerConfig {
     pub clean_poll: Nanos,
     /// Use the batched receive-region ring (eFactory's optimization).
     pub batched_recv: bool,
+    /// Doorbell batching: post recv WRs (and issue the verifier's flush
+    /// fences) in chains of this length, amortizing the per-post MMIO cost.
+    /// `0` or `1` keeps the flat per-message charging selected by
+    /// `batched_recv` and per-object verifier fences.
+    pub doorbell_batch: usize,
     /// Recovery scan sanity bounds.
     pub max_klen: usize,
     /// Recovery scan sanity bounds.
     pub max_vlen: usize,
+    /// Prefix for registry counter names (e.g. `"shard3."` in a
+    /// [`crate::shard::ShardedServer`]); empty for the plain `server.*`
+    /// names.
+    pub counter_prefix: String,
     /// Observability context (tracer + metrics registry). The default is a
     /// private fully-enabled context; the harness injects one per run.
     pub obs: Obs,
@@ -100,8 +109,10 @@ impl Default for ServerConfig {
             clean_enabled: true,
             clean_poll: sim::micros(20),
             batched_recv: true,
+            doorbell_batch: 0,
             max_klen: 256,
             max_vlen: 16 << 20,
+            counter_prefix: String::new(),
             obs: Obs::new(),
         }
     }
@@ -143,24 +154,36 @@ impl ServerStats {
     /// Attach every counter to `reg` under `server.*` names (sharing the
     /// underlying values, so the registry always reads live).
     pub fn register(&self, reg: &Registry) {
-        reg.attach_counter("server.puts", &self.puts);
-        reg.attach_counter("server.dels", &self.dels);
-        reg.attach_counter("server.gets", &self.gets);
-        reg.attach_counter("server.gets_already_durable", &self.gets_already_durable);
-        reg.attach_counter(
-            "server.gets_persisted_on_demand",
-            &self.gets_persisted_on_demand,
-        );
-        reg.attach_counter(
-            "server.gets_from_previous_version",
-            &self.gets_from_previous_version,
-        );
-        reg.attach_counter("server.bg_verified", &self.bg_verified);
-        reg.attach_counter("server.bg_timeouts", &self.bg_timeouts);
-        reg.attach_counter("server.cleanings", &self.cleanings);
-        reg.attach_counter("server.relocated", &self.relocated);
-        reg.attach_counter("server.reclaimed_versions", &self.reclaimed_versions);
-        reg.attach_counter("server.put_failures", &self.put_failures);
+        self.register_prefixed(reg, "");
+    }
+
+    /// Like [`register`](Self::register) but under `{prefix}server.*`
+    /// names — each shard of a sharded store registers its own counters
+    /// (e.g. `shard2.server.puts`) in the one shared registry.
+    pub fn register_prefixed(&self, reg: &Registry, prefix: &str) {
+        let pairs: [(&str, &Counter); 12] = [
+            ("server.puts", &self.puts),
+            ("server.dels", &self.dels),
+            ("server.gets", &self.gets),
+            ("server.gets_already_durable", &self.gets_already_durable),
+            (
+                "server.gets_persisted_on_demand",
+                &self.gets_persisted_on_demand,
+            ),
+            (
+                "server.gets_from_previous_version",
+                &self.gets_from_previous_version,
+            ),
+            ("server.bg_verified", &self.bg_verified),
+            ("server.bg_timeouts", &self.bg_timeouts),
+            ("server.cleanings", &self.cleanings),
+            ("server.relocated", &self.relocated),
+            ("server.reclaimed_versions", &self.reclaimed_versions),
+            ("server.put_failures", &self.put_failures),
+        ];
+        for (name, c) in pairs {
+            reg.attach_counter(&format!("{prefix}{name}"), c);
+        }
     }
 }
 
@@ -354,7 +377,9 @@ impl Server {
             clean_request: AtomicBool::new(false),
             born_epoch: node.epoch(),
         });
-        shared.stats.register(&shared.cfg.obs.registry);
+        shared
+            .stats
+            .register_prefixed(&shared.cfg.obs.registry, &shared.cfg.counter_prefix);
         Server {
             shared,
             desc: StoreDesc { mr, layout },
@@ -383,22 +408,33 @@ impl Server {
     /// returns, so clients may connect immediately after.
     pub fn start(&self, fabric: &Arc<Fabric>) -> Arc<ServerShared> {
         let shared = Arc::clone(&self.shared);
-        let listener = shared.node.listen(fabric, shared.cfg.batched_recv);
+        let listener =
+            shared
+                .node
+                .listen_with(fabric, shared.cfg.batched_recv, shared.cfg.doorbell_batch);
         let notifier = listener.notifier();
+        // Per-shard process names give each shard its own lane in the
+        // trace (the tracer keys spans by simulated process).
+        let tag = shared.cfg.counter_prefix.trim_end_matches('.');
+        let suffix = if tag.is_empty() {
+            String::new()
+        } else {
+            format!("-{tag}")
+        };
 
         let h_shared = Arc::clone(&shared);
-        sim::spawn("efactory-handler", move || {
+        sim::spawn(&format!("efactory-handler{suffix}"), move || {
             run_handler(&h_shared, &listener);
         });
 
         let v_shared = Arc::clone(&shared);
-        sim::spawn("efactory-verifier", move || {
+        sim::spawn(&format!("efactory-verifier{suffix}"), move || {
             crate::verifier::run(&v_shared);
         });
 
         if shared.cfg.clean_enabled && !shared.logs[1].is_empty() {
             let c_shared = Arc::clone(&shared);
-            sim::spawn("efactory-cleaner", move || {
+            sim::spawn(&format!("efactory-cleaner{suffix}"), move || {
                 crate::cleaner::run(&c_shared, &notifier);
             });
         }

@@ -45,10 +45,35 @@ pub enum StepOutcome {
 }
 
 /// Run the verifier until the server stops.
+///
+/// With `cfg.doorbell_batch > 1` the per-object flush fence is batched:
+/// the CLWBs of each persisted object still issue per object (inside
+/// `persist_object`, which is what makes the data durable in this model),
+/// but the fence's base cost is charged once per batch — one drain covers
+/// the whole chain of flushes, mirroring the doorbell-batched recv ring.
+/// The fence is forced before the verifier sleeps, so no persisted-but-
+/// unfenced object outlives an idle period.
 pub fn run(shared: &ServerShared) {
+    let batch = shared.cfg.doorbell_batch.max(1);
+    let mut unfenced = 0usize;
+    let fence = |unfenced: &mut usize| {
+        if *unfenced > 0 {
+            sim::work(shared.cost.flush_base_ns);
+            *unfenced = 0;
+        }
+    };
     while !shared.stopping() {
-        match step(shared) {
-            StepOutcome::Idle | StepOutcome::Waiting => sim::sleep(shared.cfg.verify_idle),
+        match step_inner(shared, batch > 1) {
+            StepOutcome::Idle | StepOutcome::Waiting => {
+                fence(&mut unfenced);
+                sim::sleep(shared.cfg.verify_idle)
+            }
+            StepOutcome::Persisted if batch > 1 => {
+                unfenced += 1;
+                if unfenced >= batch {
+                    fence(&mut unfenced);
+                }
+            }
             StepOutcome::Skipped | StepOutcome::Persisted | StepOutcome::Invalidated => {
                 // `step` charged simulated work, which already yielded.
             }
@@ -57,8 +82,13 @@ pub fn run(shared: &ServerShared) {
 }
 
 /// Execute one verifier step. Public so tests can drive the verifier
-/// deterministically without the surrounding loop.
+/// deterministically without the surrounding loop. Always charges the
+/// per-object fence (the unbatched behavior).
 pub fn step(shared: &ServerShared) -> StepOutcome {
+    step_inner(shared, false)
+}
+
+fn step_inner(shared: &ServerShared, defer_fence: bool) -> StepOutcome {
     let epoch = shared.clean_epoch.load(Ordering::Relaxed);
     let pool_idx = shared.cursor_pool.load(Ordering::Relaxed);
     let cur = shared.cursor.load(Ordering::Relaxed) as usize;
@@ -98,7 +128,9 @@ pub fn step(shared: &ServerShared) -> StepOutcome {
     if shared.crc_matches(cur, &hdr) {
         let lines = shared.persist_object(cur, &hdr);
         let _ = lines;
-        sim::work(shared.cost.flush_base_ns);
+        if !defer_fence {
+            sim::work(shared.cost.flush_base_ns);
+        }
         shared.stats.bg_verified.inc();
         advance(shared);
         return StepOutcome::Persisted;

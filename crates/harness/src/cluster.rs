@@ -108,6 +108,13 @@ pub struct ExperimentSpec {
     /// Force one cleaning pass right as measurement starts (Figure 11:
     /// latency *during* cleaning). Requires `Cleaning::Enabled`.
     pub force_clean: bool,
+    /// Shard count (eFactory only; baselines require 1). With more than
+    /// one shard the key space is hash-partitioned across independent
+    /// servers, each on its own node with its own verifier and cleaner.
+    pub shards: usize,
+    /// Doorbell batch length for recv-ring refills and verifier flush
+    /// fences (eFactory only; 0 = flat per-message charging).
+    pub doorbell_batch: usize,
 }
 
 impl ExperimentSpec {
@@ -124,6 +131,8 @@ impl ExperimentSpec {
             seed: 42,
             cleaning: Cleaning::Disabled,
             force_clean: false,
+            shards: 1,
+            doorbell_batch: 0,
         }
     }
 }
@@ -165,8 +174,16 @@ struct Collected {
     end: Nanos,
 }
 
+/// Connection info handed to clients: a single store or a shard set.
+#[derive(Clone)]
+enum AnyDesc {
+    Single(efactory::server::StoreDesc),
+    Sharded(efactory::shard::ShardedDesc),
+}
+
 enum AnyServer {
     Ef(Server),
+    EfSharded(efactory::shard::ShardedServer),
     Saw(SawServer),
     Imm(ImmServer),
     Erda(ErdaServer),
@@ -176,15 +193,16 @@ enum AnyServer {
 }
 
 impl AnyServer {
-    fn desc(&self) -> efactory::server::StoreDesc {
+    fn desc(&self) -> AnyDesc {
         match self {
-            AnyServer::Ef(s) => s.desc(),
-            AnyServer::Saw(s) => s.desc(),
-            AnyServer::Imm(s) => s.desc(),
-            AnyServer::Erda(s) => s.desc(),
-            AnyServer::Forca(s) => s.desc(),
-            AnyServer::CaNoper(s) => s.desc(),
-            AnyServer::Rpc(s) => s.desc(),
+            AnyServer::Ef(s) => AnyDesc::Single(s.desc()),
+            AnyServer::EfSharded(s) => AnyDesc::Sharded(s.desc()),
+            AnyServer::Saw(s) => AnyDesc::Single(s.desc()),
+            AnyServer::Imm(s) => AnyDesc::Single(s.desc()),
+            AnyServer::Erda(s) => AnyDesc::Single(s.desc()),
+            AnyServer::Forca(s) => AnyDesc::Single(s.desc()),
+            AnyServer::CaNoper(s) => AnyDesc::Single(s.desc()),
+            AnyServer::Rpc(s) => AnyDesc::Single(s.desc()),
         }
     }
 
@@ -193,6 +211,7 @@ impl AnyServer {
             AnyServer::Ef(s) => {
                 s.start(fabric);
             }
+            AnyServer::EfSharded(s) => s.start(fabric),
             AnyServer::Saw(s) => s.start(fabric),
             AnyServer::Imm(s) => s.start(fabric),
             AnyServer::Erda(s) => s.start(fabric),
@@ -205,6 +224,7 @@ impl AnyServer {
     fn shutdown(&self) {
         match self {
             AnyServer::Ef(s) => s.shutdown(),
+            AnyServer::EfSharded(s) => s.shutdown(),
             AnyServer::Saw(s) => s.shutdown(),
             AnyServer::Imm(s) => s.shutdown(),
             AnyServer::Erda(s) => s.shutdown(),
@@ -214,9 +234,21 @@ impl AnyServer {
         }
     }
 
-    fn stats(&self) -> &efactory::server::ServerStats {
+    /// Sum a server counter across shards (a single server is one shard).
+    fn stat_sum(
+        &self,
+        pick: impl Fn(&efactory::server::ServerStats) -> &efactory_obs::Counter,
+    ) -> u64 {
+        match self {
+            AnyServer::EfSharded(s) => s.stat_sum(pick),
+            other => pick(other.single_stats()).get(),
+        }
+    }
+
+    fn single_stats(&self) -> &efactory::server::ServerStats {
         match self {
             AnyServer::Ef(s) => &s.shared().stats,
+            AnyServer::EfSharded(_) => unreachable!("sharded stats go through stat_sum"),
             AnyServer::Saw(s) => &s.base().stats,
             AnyServer::Imm(s) => &s.base().stats,
             AnyServer::Erda(s) => &s.base().stats,
@@ -226,9 +258,43 @@ impl AnyServer {
         }
     }
 
-    fn pool(&self) -> &Arc<PmemPool> {
+    /// Attach server + pool counters (per-shard prefixed for a sharded
+    /// store) and the pmem tracer to the run's observability context.
+    /// eFactory servers register their server counters at construction
+    /// through `cfg.obs`; baselines share the same `ServerStats` type and
+    /// attach here.
+    fn attach_obs(&self, obs: &Obs) {
+        match self {
+            AnyServer::Ef(s) => {
+                s.shared().pool.stats().register(&obs.registry);
+                s.shared().pool.set_tracer(obs.tracer.clone());
+            }
+            AnyServer::EfSharded(s) => {
+                for (i, shared) in s.shared_all().into_iter().enumerate() {
+                    let prefix = if s.shards() > 1 {
+                        format!("shard{i}.")
+                    } else {
+                        String::new()
+                    };
+                    shared
+                        .pool
+                        .stats()
+                        .register_prefixed(&obs.registry, &prefix);
+                    shared.pool.set_tracer(obs.tracer.clone());
+                }
+            }
+            other => {
+                other.single_stats().register(&obs.registry);
+                other.single_pool().stats().register(&obs.registry);
+                other.single_pool().set_tracer(obs.tracer.clone());
+            }
+        }
+    }
+
+    fn single_pool(&self) -> &Arc<PmemPool> {
         match self {
             AnyServer::Ef(s) => &s.shared().pool,
+            AnyServer::EfSharded(_) => unreachable!("sharded pools go through attach_obs"),
             AnyServer::Saw(s) => &s.base().pool,
             AnyServer::Imm(s) => &s.base().pool,
             AnyServer::Erda(s) => &s.base().pool,
@@ -259,6 +325,7 @@ fn build_server(
         1.3,
         false,
     );
+    assert!(spec.shards >= 1, "a store has at least one shard");
     match spec.system {
         SystemKind::EFactory | SystemKind::EFactoryNoHr => {
             let (layout, mut cfg) = match spec.cleaning {
@@ -282,11 +349,35 @@ fn build_server(
                 ),
             };
             cfg.obs = obs.clone();
+            cfg.doorbell_batch = spec.doorbell_batch;
             if let Some(tweak) = cfg_tweak {
                 tweak(&mut cfg);
             }
-            AnyServer::Ef(Server::format(fabric, node, layout, cfg))
+            if spec.shards > 1 {
+                // Each shard keeps the full-workload layout: the router
+                // spreads keys, but Zipf skew makes the hottest shard's
+                // share unpredictable, and simulated bytes are cheap.
+                AnyServer::EfSharded(efactory::shard::ShardedServer::format(
+                    fabric,
+                    "server",
+                    layout,
+                    cfg,
+                    spec.shards,
+                ))
+            } else {
+                AnyServer::Ef(Server::format(fabric, node, layout, cfg))
+            }
         }
+        other => {
+            assert_eq!(spec.shards, 1, "{other:?} does not support sharding");
+            build_baseline(fabric, node, other, sized)
+        }
+    }
+}
+
+fn build_baseline(fabric: &Fabric, node: &Node, kind: SystemKind, sized: StoreLayout) -> AnyServer {
+    match kind {
+        SystemKind::EFactory | SystemKind::EFactoryNoHr => unreachable!(),
         SystemKind::Saw => AnyServer::Saw(SawServer::format(fabric, node, sized)),
         SystemKind::Imm => AnyServer::Imm(ImmServer::format(fabric, node, sized)),
         SystemKind::Erda => AnyServer::Erda(ErdaServer::format(fabric, node, sized)),
@@ -301,36 +392,34 @@ fn make_client(
     fabric: &Arc<Fabric>,
     local: &Node,
     server_node: &Node,
-    desc: efactory::server::StoreDesc,
+    any_desc: &AnyDesc,
     obs: &Obs,
 ) -> Box<dyn RemoteKv> {
+    let ef_cfg = |hybrid_read: bool| ClientConfig {
+        hybrid_read,
+        obs: obs.clone(),
+        ..ClientConfig::default()
+    };
+    if let AnyDesc::Sharded(sharded) = any_desc {
+        let hybrid = match kind {
+            SystemKind::EFactory => true,
+            SystemKind::EFactoryNoHr => false,
+            other => panic!("{other:?} does not support sharding"),
+        };
+        return Box::new(
+            efactory::shard::ShardedClient::connect(fabric, local, sharded, ef_cfg(hybrid))
+                .expect("connect"),
+        );
+    }
+    let AnyDesc::Single(desc) = any_desc.clone() else {
+        unreachable!()
+    };
     match kind {
         SystemKind::EFactory => Box::new(
-            Client::connect(
-                fabric,
-                local,
-                server_node,
-                desc,
-                ClientConfig {
-                    obs: obs.clone(),
-                    ..ClientConfig::default()
-                },
-            )
-            .expect("connect"),
+            Client::connect(fabric, local, server_node, desc, ef_cfg(true)).expect("connect"),
         ),
         SystemKind::EFactoryNoHr => Box::new(
-            Client::connect(
-                fabric,
-                local,
-                server_node,
-                desc,
-                ClientConfig {
-                    hybrid_read: false,
-                    obs: obs.clone(),
-                    ..ClientConfig::default()
-                },
-            )
-            .expect("connect"),
+            Client::connect(fabric, local, server_node, desc, ef_cfg(false)).expect("connect"),
         ),
         SystemKind::Saw => {
             Box::new(SawClient::connect(fabric, local, server_node, desc).expect("connect"))
@@ -405,11 +494,7 @@ fn run_inner(
         &obs,
         tweak.as_deref(),
     ));
-    // eFactory registers its stats at construction (through `cfg.obs`);
-    // baselines share the same `ServerStats` type, so attach them here.
-    server.stats().register(&obs.registry);
-    server.pool().stats().register(&obs.registry);
-    server.pool().set_tracer(obs.tracer.clone());
+    server.attach_obs(&obs);
 
     let collected: Arc<Mutex<Collected>> = Arc::default();
     let window: Arc<Mutex<(Nanos, Nanos)>> = Arc::default(); // (start, end)
@@ -426,7 +511,7 @@ fn run_inner(
 
         // ---- preload ------------------------------------------------------
         let loader_node = f2.add_node("loader");
-        let loader = make_client(spec2.system, &f2, &loader_node, &server_node, desc, &obs2);
+        let loader = make_client(spec2.system, &f2, &loader_node, &server_node, &desc, &obs2);
         let wl = WorkloadConfig {
             mix: spec2.mix,
             record_count: spec2.record_count,
@@ -446,13 +531,11 @@ fn run_inner(
                 loader.kv_get(&wl.key(id)).expect("preload warm get");
             }
         }
-        // Let eFactory's verifier drain so measurement starts from a clean,
-        // fully durable store (bounded wait).
-        if let AnyServer::Ef(s) = &*server2 {
-            let shared = Arc::clone(s.shared());
+        // Let eFactory's verifier(s) drain so measurement starts from a
+        // clean, fully durable store (bounded wait).
+        if matches!(&*server2, AnyServer::Ef(_) | AnyServer::EfSharded(_)) {
             let deadline = sim::now() + sim::millis(500);
-            while shared.stats.bg_verified.load(Ordering::Relaxed)
-                + shared.stats.bg_timeouts.load(Ordering::Relaxed)
+            while server2.stat_sum(|s| &s.bg_verified) + server2.stat_sum(|s| &s.bg_timeouts)
                 < spec2.record_count
                 && sim::now() < deadline
             {
@@ -462,8 +545,14 @@ fn run_inner(
 
         // ---- measured clients ----------------------------------------------
         if spec2.force_clean {
-            if let AnyServer::Ef(s) = &*server2 {
-                s.shared().clean_request.store(true, Ordering::Relaxed);
+            match &*server2 {
+                AnyServer::Ef(s) => s.shared().clean_request.store(true, Ordering::Relaxed),
+                AnyServer::EfSharded(s) => {
+                    for shared in s.shared_all() {
+                        shared.clean_request.store(true, Ordering::Relaxed);
+                    }
+                }
+                _ => {}
             }
         }
         let t_start = sim::now();
@@ -476,9 +565,10 @@ fn run_inner(
             let wl = wl.clone();
             let collected3 = Arc::clone(&collected2);
             let obs3 = obs2.clone();
+            let desc3 = desc.clone();
             handles.push(sim::spawn(&format!("client-{cid}"), move || {
                 let node = f3.add_node(&format!("cnode-{cid}"));
-                let kv = make_client(spec3.system, &f3, &node, &sn, desc, &obs3);
+                let kv = make_client(spec3.system, &f3, &node, &sn, &desc3, &obs3);
                 let mut stream = OpStream::new(wl, spec3.seed, cid as u64);
                 let mut get = Vec::with_capacity(spec3.ops_per_client);
                 let mut put = Vec::with_capacity(spec3.ops_per_client);
@@ -536,7 +626,6 @@ fn run_inner(
     let elapsed = end.saturating_sub(start).max(1);
     let total_ops = (c.get.len() + c.put.len()) as u64;
     let mut all: Vec<Nanos> = c.get.iter().chain(c.put.iter()).copied().collect();
-    let stats = server.stats();
     // Mirror the fabric's raw telemetry into the registry so the final
     // snapshot carries the full server/pmem/fabric picture.
     let fstats = fabric.stats();
@@ -558,9 +647,9 @@ fn run_inner(
         get: LatencyStats::from_samples(&mut c.get),
         put: LatencyStats::from_samples(&mut c.put),
         all: LatencyStats::from_samples(&mut all),
-        server_rpc_gets: stats.gets.load(Ordering::Relaxed),
-        bg_verified: stats.bg_verified.load(Ordering::Relaxed),
-        cleanings: stats.cleanings.load(Ordering::Relaxed),
+        server_rpc_gets: server.stat_sum(|s| &s.gets),
+        bg_verified: server.stat_sum(|s| &s.bg_verified),
+        cleanings: server.stat_sum(|s| &s.cleanings),
         seed: spec.seed,
         counters: obs.registry.snapshot(),
     }

@@ -43,6 +43,8 @@ mod tests {
             seed: 7,
             cleaning: Cleaning::Disabled,
             force_clean: false,
+            shards: 1,
+            doorbell_batch: 0,
         }
     }
 
@@ -109,6 +111,8 @@ mod tests {
                 pool_len: 64 * 1024,
             },
             force_clean: false,
+            shards: 1,
+            doorbell_batch: 0,
         };
         let r = run(&spec);
         assert!(r.cleanings >= 1, "expected cleaning, got {r:?}");

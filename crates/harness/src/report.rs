@@ -56,6 +56,8 @@ impl Report {
             .u64("seed", result.seed)
             .str("cleaning", &format!("{:?}", spec.cleaning))
             .bool("force_clean", spec.force_clean)
+            .u64("shards", spec.shards as u64)
+            .u64("doorbell_batch", spec.doorbell_batch as u64)
             .finish();
         let mut counters = Obj::new();
         for (name, v) in &result.counters {
@@ -178,6 +180,8 @@ mod tests {
             seed: 11,
             cleaning: Cleaning::Disabled,
             force_clean: false,
+            shards: 1,
+            doorbell_batch: 0,
         }
     }
 

@@ -90,11 +90,18 @@ impl PmemStats {
     /// Attach every counter to `reg` under `pmem.*` names (sharing the
     /// underlying values, so the registry always reads live).
     pub fn register(&self, reg: &Registry) {
-        reg.attach_counter("pmem.bytes_written", &self.bytes_written);
-        reg.attach_counter("pmem.flushes", &self.flushes);
-        reg.attach_counter("pmem.lines_flushed", &self.lines_flushed);
-        reg.attach_counter("pmem.drains", &self.drains);
-        reg.attach_counter("pmem.crashes", &self.crashes);
+        self.register_prefixed(reg, "");
+    }
+
+    /// Like [`register`](Self::register) but under `{prefix}pmem.*` names,
+    /// so each pool of a sharded store gets its own counters (e.g.
+    /// `shard1.pmem.flushes`) in one shared registry.
+    pub fn register_prefixed(&self, reg: &Registry, prefix: &str) {
+        reg.attach_counter(&format!("{prefix}pmem.bytes_written"), &self.bytes_written);
+        reg.attach_counter(&format!("{prefix}pmem.flushes"), &self.flushes);
+        reg.attach_counter(&format!("{prefix}pmem.lines_flushed"), &self.lines_flushed);
+        reg.attach_counter(&format!("{prefix}pmem.drains"), &self.drains);
+        reg.attach_counter(&format!("{prefix}pmem.crashes"), &self.crashes);
     }
 }
 

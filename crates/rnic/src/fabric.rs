@@ -267,6 +267,22 @@ impl Node {
     /// `batched_recv` selects the batched receive-region ring (eFactory's
     /// optimization; cheaper per-message receive posting).
     pub fn listen(&self, fabric: &Fabric, batched_recv: bool) -> Listener {
+        self.listen_with(fabric, batched_recv, 0)
+    }
+
+    /// Like [`listen`](Self::listen), with doorbell batching of the
+    /// receive-ring refill: `doorbell_batch > 1` posts recv WRs in chains
+    /// of that length, so one doorbell (the full `cpu_recv_post_ns` MMIO
+    /// charge) covers the first WR and each chained WR costs only
+    /// `cpu_recv_post_batched_ns`. The chain is charged when the ring is
+    /// refilled — every `doorbell_batch`-th receive. `doorbell_batch <= 1`
+    /// keeps the flat per-message charge selected by `batched_recv`.
+    pub fn listen_with(
+        &self,
+        fabric: &Fabric,
+        batched_recv: bool,
+        doorbell_batch: usize,
+    ) -> Listener {
         let (tx, rx) = sim::channel::<Incoming>();
         let conns = Arc::new(Mutex::new(HashMap::new()));
         *self.inner.listener.lock() = Some(ListenerCore {
@@ -280,6 +296,8 @@ impl Node {
             rx,
             conns,
             batched: batched_recv,
+            doorbell: doorbell_batch,
+            ring_credit: std::cell::Cell::new(0),
         }
     }
 }
@@ -425,6 +443,10 @@ pub struct Listener {
     rx: sim::Receiver<Incoming>,
     conns: Arc<Mutex<HashMap<QpId, ConnTx>>>,
     batched: bool,
+    /// Doorbell chain length for recv-ring refills (<= 1: flat charging).
+    doorbell: usize,
+    /// Posted recv WRs still unconsumed from the last chained refill.
+    ring_credit: std::cell::Cell<usize>,
 }
 
 impl Listener {
@@ -441,12 +463,34 @@ impl Listener {
         }
     }
 
+    /// Charge the receive-post CPU cost for one consumed message. With
+    /// doorbell batching the ring is refilled with one chained post every
+    /// `doorbell` messages: the first WR of the chain pays the doorbell
+    /// MMIO (`cpu_recv_post_ns`), each chained WR only the amortized rate
+    /// (`cpu_recv_post_batched_ns`). A chain of 1 degenerates exactly to
+    /// the unbatched per-message charge.
+    fn charge_recv(&self) {
+        if self.doorbell > 1 {
+            let mut credit = self.ring_credit.get();
+            if credit == 0 {
+                sim::work(
+                    self.cost.cpu_recv_post_ns
+                        + (self.doorbell as Nanos - 1) * self.cost.cpu_recv_post_batched_ns,
+                );
+                credit = self.doorbell;
+            }
+            self.ring_credit.set(credit - 1);
+        } else {
+            sim::work(self.recv_cost());
+        }
+    }
+
     /// Block until a message arrives. Charges the per-message receive-post
     /// CPU cost. Returns `Disconnected` when every client sender is gone.
     pub fn recv(&self) -> Result<Incoming, QpError> {
         let msg = self.rx.recv().map_err(|_| QpError::Disconnected)?;
         self.node.guard()?;
-        sim::work(self.recv_cost());
+        self.charge_recv();
         Ok(msg)
     }
 
@@ -457,7 +501,7 @@ impl Listener {
             sim::RecvTimeoutError::Disconnected => QpError::Disconnected,
         })?;
         self.node.guard()?;
-        sim::work(self.recv_cost());
+        self.charge_recv();
         Ok(msg)
     }
 
@@ -966,6 +1010,52 @@ mod tests {
             qp.rdma_write_imm(&mr, 0, vec![7u8; 1024], 0xDEAD).unwrap();
         });
         sim.run().expect_ok();
+    }
+
+    #[test]
+    fn doorbell_chain_amortizes_recv_post_cost() {
+        // Four sends queued at the same arrival instant. Unbatched, each
+        // recv charges the full post cost; with a doorbell chain of 4, one
+        // refill (doorbell + 3 chained WRs) covers all four messages.
+        let drain = |doorbell: usize| -> Nanos {
+            let mut sim = Sim::new(0);
+            let fabric = Fabric::new(CostModel::default());
+            let server = fabric.add_node("server");
+            let client = fabric.add_node("client");
+            let out = Arc::new(AtomicU64::new(0));
+            let out2 = Arc::clone(&out);
+            let f = Arc::clone(&fabric);
+            let f2 = Arc::clone(&fabric);
+            let server2 = server.clone();
+            sim.spawn("server", move || {
+                let l = server2.listen_with(&f2, false, doorbell);
+                let t0 = sim::now();
+                for _ in 0..4 {
+                    l.recv().unwrap();
+                }
+                out2.store(sim::now() - t0, Ordering::Relaxed);
+            });
+            sim.spawn("client", move || {
+                sim::yield_now();
+                let qp = f.connect(&client, &server).unwrap();
+                for _ in 0..4 {
+                    qp.send(vec![7u8; 16]).unwrap();
+                }
+            });
+            sim.run().expect_ok();
+            out.load(Ordering::Relaxed)
+        };
+        let cost = CostModel::default();
+        let arrival = cost.one_way(16);
+        // Flat charging: 4 x cpu_recv_post_ns after the last arrival.
+        assert_eq!(drain(0), arrival + 4 * cost.cpu_recv_post_ns);
+        // A chain of 1 is exactly the unbatched charge.
+        assert_eq!(drain(1), arrival + 4 * cost.cpu_recv_post_ns);
+        // A chain of 4: one doorbell + 3 chained WRs for all four recvs.
+        assert_eq!(
+            drain(4),
+            arrival + cost.cpu_recv_post_ns + 3 * cost.cpu_recv_post_batched_ns
+        );
     }
 
     #[test]

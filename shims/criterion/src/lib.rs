@@ -1,0 +1,121 @@
+//! Minimal criterion facade (offline dev shim): API-compatible no-op
+//! benchmark harness — `cargo bench` compiles and runs each closure once.
+
+use std::time::Duration;
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+pub struct Bencher {
+    _priv: (),
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+    }
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), param))
+    }
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _id: impl IdLike, mut f: F) -> &mut Self {
+        f(&mut Bencher { _priv: () });
+        self
+    }
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        _id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        f(&mut Bencher { _priv: () }, input);
+        self
+    }
+    pub fn finish(&mut self) {}
+}
+
+pub trait IdLike {}
+impl IdLike for &str {}
+impl IdLike for String {}
+impl IdLike for BenchmarkId {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, _name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self }
+    }
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _name: impl IdLike, mut f: F) -> &mut Self {
+        f(&mut Bencher { _priv: () });
+        self
+    }
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,72 @@
+//! Minimal std-backed stand-in for parking_lot (offline dev shim).
+
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdGuard};
+
+pub struct Mutex<T: ?Sized>(StdMutex<T>);
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<StdGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(t: T) -> Self {
+        Mutex(StdMutex::new(t))
+    }
+    pub fn into_inner(self) -> T {
+        match self.0.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let g = match self.0.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        MutexGuard { inner: Some(g) }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().unwrap()
+    }
+}
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().unwrap()
+    }
+}
+
+pub struct Condvar(StdCondvar);
+
+impl Condvar {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Condvar(StdCondvar::new())
+    }
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().unwrap();
+        let g = match self.0.wait(g) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        guard.inner = Some(g);
+    }
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}

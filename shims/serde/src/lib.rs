@@ -1,0 +1,4 @@
+//! Minimal serde facade (offline dev shim): the derive expands to nothing,
+//! so `Serialize` here is only a marker attribute target.
+
+pub use serde_derive::{Deserialize, Serialize};

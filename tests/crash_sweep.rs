@@ -143,3 +143,177 @@ fn sweep_with_full_eviction() {
     // per crash instant.
     sweep(CrashSpec::KeepAll, 4);
 }
+
+// ---------------------------------------------------------------- sharded
+//
+// The same contract, per shard: power-fail EVERY shard node at a swept
+// instant while NEW versions are being written across all shards, recover
+// each shard independently (its own pool, its own recovery pass, its own
+// structural check), and require each shard's key to read OLD or NEW —
+// never torn — with the whole sharded store writable afterwards.
+
+use efactory::shard::{shard_of, ShardedClient, ShardedDesc, ShardedServer};
+
+/// Shard counts under test: `EF_TEST_SHARDS` env (comma-separated) or the
+/// acceptance sweep's default.
+fn test_shards() -> Vec<usize> {
+    match std::env::var("EF_TEST_SHARDS") {
+        Ok(s) => s
+            .split(',')
+            .map(|t| t.trim().parse().expect("EF_TEST_SHARDS: bad count"))
+            .collect(),
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+/// The first probe key owned by shard `i` (deterministic — same on every
+/// client and every run, which is the router contract the sweep leans on).
+fn key_for_shard(i: usize, shards: usize) -> Vec<u8> {
+    (0u32..)
+        .map(|n| format!("swept-{n:04}"))
+        .find(|k| shard_of(k.as_bytes(), shards) == i)
+        .unwrap()
+        .into_bytes()
+}
+
+/// One sharded sweep point: crash every shard at `t_crash`, recover every
+/// shard, return what each shard's key reads afterwards.
+fn sharded_crash_at(shards: usize, t_crash: Nanos, spec: CrashSpec, seed: u64) -> Vec<Vec<u8>> {
+    let mut simu = Sim::new(seed);
+    let fabric = Fabric::new(CostModel::default());
+    let layout = StoreLayout::new(256, 256 * 1024, true);
+    let cfg = ServerConfig {
+        doorbell_batch: 16, // the batched fence path must be crash-safe too
+        ..ServerConfig::default()
+    };
+    let out: Arc<std::sync::Mutex<Vec<Vec<u8>>>> = Arc::default();
+    let out2 = Arc::clone(&out);
+    let f = Arc::clone(&fabric);
+    let cfg2 = cfg.clone();
+    simu.spawn("main", move || {
+        let server = ShardedServer::format(&f, "server", layout, cfg2.clone(), shards);
+        let nodes: Vec<_> = (0..shards).map(|i| server.node(i).clone()).collect();
+        let pools: Vec<_> = server
+            .shared_all()
+            .iter()
+            .map(|s| Arc::clone(&s.pool))
+            .collect();
+        server.start(&f);
+        let c = ShardedClient::connect(
+            &f,
+            &f.add_node("client"),
+            &server.desc(),
+            ClientConfig::default(),
+        )
+        .unwrap();
+
+        let keys: Vec<_> = (0..shards).map(|i| key_for_shard(i, shards)).collect();
+        for k in &keys {
+            c.put(k, OLD).unwrap();
+            c.get(k).unwrap().unwrap(); // read-back forces durability
+        }
+        let t0 = sim::now();
+        let f2 = Arc::clone(&f);
+        let nodes2 = nodes.clone();
+        let controller = sim::spawn("controller", move || {
+            sim::sleep_until(t0 + t_crash);
+            for (i, n) in nodes2.iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE ^ (i as u64) << 17);
+                f2.crash_node(n, spec, &mut rng);
+            }
+        });
+        // NEW versions across all shards; the crash lands somewhere inside
+        // the sequence (or after it). Any put the crash interrupts may fail.
+        for k in &keys {
+            let _ = c.put(k, NEW);
+        }
+        controller.join();
+        sim::sleep(sim::millis(1));
+
+        // Per-shard reboot + recovery: no cross-shard state, so each shard
+        // recovers from its own pool alone.
+        let mut rnodes = Vec::new();
+        let mut rdescs = Vec::new();
+        let mut rservers = Vec::new();
+        for (i, node) in nodes.iter().enumerate() {
+            f.restart_node(node);
+            let mut scfg = cfg2.clone();
+            if shards > 1 {
+                scfg.counter_prefix = format!("shard{i}.");
+            }
+            let (srv, _report) = recovery::recover(&f, node, Arc::clone(&pools[i]), layout, scfg);
+            recovery::check_consistency(&srv.shared().pool, &layout);
+            srv.start(&f);
+            rnodes.push(node.clone());
+            rdescs.push(srv.desc());
+            rservers.push(srv);
+        }
+        let c2 = ShardedClient::connect(
+            &f,
+            &f.add_node("client2"),
+            &ShardedDesc {
+                nodes: rnodes,
+                descs: rdescs,
+            },
+            ClientConfig::default(),
+        )
+        .unwrap();
+        let mut vals = Vec::new();
+        for k in &keys {
+            vals.push(
+                c2.get(k)
+                    .unwrap()
+                    .expect("OLD was durable on this shard before the crash"),
+            );
+        }
+        // The whole sharded store stays writable post-recovery.
+        c2.put(b"post", b"alive").unwrap();
+        assert_eq!(c2.get(b"post").unwrap().as_deref(), Some(&b"alive"[..]));
+        for srv in &rservers {
+            srv.shutdown();
+        }
+        *out2.lock().unwrap() = vals;
+    });
+    simu.run().expect_ok();
+    let v = out.lock().unwrap().clone();
+    v
+}
+
+fn sharded_sweep(shards: usize, spec: CrashSpec, seed: u64) {
+    // The NEW puts run sequentially, one per shard (~6 µs each); sweep the
+    // whole write burst plus the background-verification tail, holding the
+    // point count roughly constant so debug-mode runtime stays bounded.
+    let window = sim::micros(6 * shards as u64 + 12);
+    let step = (window / 24).max(400);
+    let mut saw_old = false;
+    let mut saw_new = false;
+    let mut t = 0;
+    while t <= window {
+        for v in sharded_crash_at(shards, t, spec, seed) {
+            if v == OLD {
+                saw_old = true;
+            } else if v == NEW {
+                saw_new = true;
+            } else {
+                panic!("{shards} shards, crash at t={t}: torn/garbage value {v:?}");
+            }
+        }
+        t += step;
+    }
+    assert!(saw_old, "{shards} shards: sweep never rolled back");
+    assert!(saw_new, "{shards} shards: sweep never kept the new value");
+}
+
+#[test]
+fn sharded_sweep_all_dirty_lines_lost() {
+    for shards in test_shards() {
+        sharded_sweep(shards, CrashSpec::DropAll, 20 + shards as u64);
+    }
+}
+
+#[test]
+fn sharded_sweep_word_granular_survival() {
+    for shards in test_shards() {
+        sharded_sweep(shards, CrashSpec::Words(0.5), 40 + shards as u64);
+    }
+}

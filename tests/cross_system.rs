@@ -82,24 +82,73 @@ fn replay(system: SystemKind) -> ReadLog {
             }
             other => panic!("not in this test: {other:?}"),
         };
-        let wl = WorkloadConfig {
-            mix: Mix::A,
-            record_count: 64,
-            key_len: 16,
-            value_len: 96,
-        };
-        let mut stream = OpStream::new(wl, 77, 0);
-        let mut results = Vec::new();
-        for _ in 0..300 {
-            match stream.next_op() {
-                Op::Put { key, value } => kv.kv_put(&key, &value).unwrap(),
-                Op::Get { key } => {
-                    let v = kv.kv_get(&key).unwrap();
-                    results.push((key, v));
-                }
+        let results = drive_stream(kv.as_ref());
+        shutdown();
+        *out2.lock().unwrap() = results;
+    });
+    simu.run().expect_ok();
+    let v = out.lock().unwrap().clone();
+    v
+}
+
+/// The shared workload: the seeded YCSB-A stream, logging every GET, then
+/// one final GET per record — the store's final KV image. Every system
+/// under comparison replays exactly this.
+fn drive_stream(kv: &dyn RemoteKv) -> ReadLog {
+    let wl = WorkloadConfig {
+        mix: Mix::A,
+        record_count: 64,
+        key_len: 16,
+        value_len: 96,
+    };
+    let mut stream = OpStream::new(wl.clone(), 77, 0);
+    let mut results = Vec::new();
+    for _ in 0..300 {
+        match stream.next_op() {
+            Op::Put { key, value } => kv.kv_put(&key, &value).unwrap(),
+            Op::Get { key } => {
+                let v = kv.kv_get(&key).unwrap();
+                results.push((key, v));
             }
         }
-        shutdown();
+    }
+    for id in 0..wl.record_count {
+        let key = wl.key(id);
+        let v = kv.kv_get(&key).unwrap();
+        results.push((key, v));
+    }
+    results
+}
+
+/// Replay the same stream through a sharded eFactory store.
+fn replay_sharded(shards: usize, doorbell: usize) -> ReadLog {
+    use efactory::client::ClientConfig;
+    use efactory::log::StoreLayout;
+    use efactory::server::ServerConfig;
+    use efactory::shard::{ShardedClient, ShardedServer};
+    use efactory_rnic::{CostModel, Fabric};
+
+    let mut simu = Sim::new(5);
+    let fabric = Fabric::new(CostModel::default());
+    let out: Arc<Mutex<ReadLog>> = Arc::default();
+    let out2 = Arc::clone(&out);
+    let f = Arc::clone(&fabric);
+    simu.spawn("main", move || {
+        let srv = ShardedServer::format(
+            &f,
+            "server",
+            StoreLayout::new(1024, 4 << 20, true),
+            ServerConfig {
+                doorbell_batch: doorbell,
+                ..ServerConfig::default()
+            },
+            shards,
+        );
+        srv.start(&f);
+        let c = ShardedClient::connect(&f, &f.add_node("c"), &srv.desc(), ClientConfig::default())
+            .unwrap();
+        let results = drive_stream(&c);
+        srv.shutdown();
         *out2.lock().unwrap() = results;
     });
     simu.run().expect_ok();
@@ -131,6 +180,76 @@ fn all_systems_agree_on_failure_free_reads() {
     }
 }
 
+/// Sharding must not change semantics either: eFactory at every shard
+/// count in the sweep (doorbell batching on and off) converges to the same
+/// mid-stream reads AND the same final KV image as the unsharded server —
+/// which `all_systems_agree_on_failure_free_reads` already ties to every
+/// baseline.
+#[test]
+fn sharded_efactory_converges_with_all_systems() {
+    let shard_counts: Vec<usize> = match std::env::var("EF_TEST_SHARDS") {
+        Ok(s) => s
+            .split(',')
+            .map(|t| t.trim().parse().expect("EF_TEST_SHARDS: bad count"))
+            .collect(),
+        Err(_) => vec![1, 2, 4, 8],
+    };
+    let reference = replay(SystemKind::EFactory);
+    assert!(!reference.is_empty());
+    for shards in shard_counts {
+        for doorbell in [0usize, 16] {
+            let got = replay_sharded(shards, doorbell);
+            assert_eq!(
+                got.len(),
+                reference.len(),
+                "{shards} shards (doorbell {doorbell}): different op interleaving?"
+            );
+            for (i, (r, g)) in reference.iter().zip(&got).enumerate() {
+                assert_eq!(r.0, g.0, "{shards} shards: op {i} reads different key");
+                assert_eq!(
+                    r.1, g.1,
+                    "{shards} shards (doorbell {doorbell}): op {i} value mismatch"
+                );
+            }
+        }
+    }
+}
+
+/// The simulation is deterministic down to the wire: two identical sharded
+/// runs must produce *exactly* the same `fabric.*` counters (sends, RDMA
+/// verbs, bytes on the wire) — and, in fact, the same full counter
+/// snapshot.
+#[test]
+fn fabric_counters_reproducible_across_identical_runs() {
+    let spec = ExperimentSpec {
+        system: SystemKind::EFactory,
+        mix: Mix::A,
+        value_len: 64,
+        key_len: 16,
+        clients: 3,
+        ops_per_client: 40,
+        record_count: 32,
+        seed: 9,
+        cleaning: Cleaning::Disabled,
+        force_clean: false,
+        shards: 4,
+        doorbell_batch: 16,
+    };
+    let a = cluster::run(&spec);
+    let b = cluster::run(&spec);
+    let fabric_only = |r: &cluster::RunResult| -> Vec<(String, u64)> {
+        r.counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("fabric."))
+            .cloned()
+            .collect()
+    };
+    let fa = fabric_only(&a);
+    assert!(!fa.is_empty(), "no fabric.* counters in the snapshot");
+    assert_eq!(fa, fabric_only(&b), "fabric counters diverged across runs");
+    assert_eq!(a.counters, b.counters, "full counter snapshot diverged");
+}
+
 /// The harness end-to-end across mixed workloads and all systems, with
 /// op-count accounting.
 #[test]
@@ -148,6 +267,8 @@ fn harness_accounting_is_exact_for_all_mixes() {
             seed: 9,
             cleaning: Cleaning::Disabled,
             force_clean: false,
+            shards: 1,
+            doorbell_batch: 0,
         };
         let r = cluster::run(&spec);
         assert_eq!(r.total_ops, 120);

@@ -18,6 +18,8 @@ fn tiny_spec() -> ExperimentSpec {
         seed: 9,
         cleaning: Cleaning::Disabled,
         force_clean: false,
+        shards: 1,
+        doorbell_batch: 0,
     }
 }
 
