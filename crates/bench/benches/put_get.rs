@@ -31,6 +31,8 @@ fn spec(system: SystemKind, mix: Mix, value_len: usize) -> ExperimentSpec {
         force_clean: false,
         shards: 1,
         doorbell_batch: 0,
+        replicas: 0,
+        fault_at: None,
     }
 }
 

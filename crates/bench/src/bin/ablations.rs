@@ -31,6 +31,8 @@ fn base(system: SystemKind, mix: Mix) -> ExperimentSpec {
         force_clean: false,
         shards: 1,
         doorbell_batch: 0,
+        replicas: 0,
+        fault_at: None,
     }
 }
 

@@ -40,6 +40,8 @@ fn main() {
             force_clean: force,
             shards: 1,
             doorbell_batch: 0,
+            replicas: 0,
+            fault_at: None,
         };
         let normal = cluster::run(&base_spec(false));
         let cleaning = cluster::run(&base_spec(true));

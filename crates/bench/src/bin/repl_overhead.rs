@@ -1,0 +1,77 @@
+//! Replication-overhead probe: eFactory with and without a backup replica.
+//!
+//! Mirroring rides behind the background verifier — one doorbell-batched
+//! `rdma_write_imm` per verified run — so it must stay **off the client
+//! critical path**: a PUT still completes at RDMA-write ack, and the only
+//! client-visible costs are second-order (extra fabric traffic, the
+//! verifier spending cycles shipping runs). This probe measures that
+//! overhead on the paper's Update-only and YCSB-A mixes at 256 B values,
+//! plus one failover run (primary power-failed mid-window, clients ride
+//! through to the promoted backup) so the trajectory records the cost of
+//! the fault path too.
+//!
+//! Always writes `BENCH_repl.json` (override with `--json`).
+
+use efactory_bench::{mix_tag, scaled_ops, ReportSink};
+use efactory_harness::{cluster, ExperimentSpec, SystemKind};
+use efactory_sim as sim;
+use efactory_ycsb::Mix;
+
+const DOORBELL: usize = 16;
+
+fn spec(mix: Mix, replicas: usize) -> ExperimentSpec {
+    let mut s = ExperimentSpec::paper(SystemKind::EFactory, mix, 256);
+    s.ops_per_client = scaled_ops(2_000);
+    s.doorbell_batch = DOORBELL;
+    s.replicas = replicas;
+    s
+}
+
+fn main() {
+    let mut sink = ReportSink::with_default_path("repl-overhead", Some("BENCH_repl.json"));
+    println!("eFactory replication overhead · 256B values · 8 clients · doorbell_batch={DOORBELL}");
+    println!(
+        "{:<22} {:>9} {:>9} {:>10} {:>10} {:>10}",
+        "workload", "replicas", "Mops", "p50 µs", "p99 µs", "overhead"
+    );
+    for mix in [Mix::UpdateOnly, Mix::A] {
+        let mut base_mops = 0.0;
+        for replicas in [0usize, 1] {
+            let s = spec(mix, replicas);
+            let r = cluster::run(&s);
+            if replicas == 0 {
+                base_mops = r.mops;
+            }
+            let overhead = (base_mops - r.mops) / base_mops * 100.0;
+            println!(
+                "{:<22} {:>9} {:>9.3} {:>10.2} {:>10.2} {:>9.2}%",
+                mix_tag(mix),
+                replicas,
+                r.mops,
+                r.all.p50_ns as f64 / 1000.0,
+                r.all.p99_ns as f64 / 1000.0,
+                overhead,
+            );
+            sink.add(
+                &format!("{}/256B/replicas{}", mix_tag(mix), replicas),
+                &s,
+                &r,
+            );
+        }
+    }
+    // Failover run: the primary dies mid-window; clients fail over to the
+    // promoted backup and finish the workload there.
+    let mut s = spec(Mix::UpdateOnly, 1);
+    s.fault_at = Some(sim::micros(200));
+    let r = cluster::run(&s);
+    println!(
+        "{:<22} {:>9} {:>9.3} {:>10.2} {:>10.2}   (failover mid-window)",
+        "Update-only+fault",
+        1,
+        r.mops,
+        r.all.p50_ns as f64 / 1000.0,
+        r.all.p99_ns as f64 / 1000.0,
+    );
+    sink.add("Update-only/256B/failover", &s, &r);
+    sink.write();
+}

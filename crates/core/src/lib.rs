@@ -44,11 +44,16 @@ pub mod layout;
 pub mod log;
 pub mod protocol;
 pub mod recovery;
+pub mod repl;
 pub mod server;
 pub mod shard;
 pub mod verifier;
 
 pub use client::{Client, ClientConfig, GetOutcome, RemoteKv};
 pub use protocol::{Status, StoreError};
+pub use repl::{
+    ReplClient, ReplShardedClient, ReplStats, ReplTarget, ReplicatedCluster, ReplicatedDesc,
+    ReplicatedServer,
+};
 pub use server::{Server, ServerConfig, ServerStats, StoreDesc};
 pub use shard::{shard_of, ShardedClient, ShardedDesc, ShardedServer};

@@ -1,0 +1,198 @@
+//! Failover-aware clients for replicated stores.
+
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+
+use efactory_rnic::{Fabric, Node, QpError};
+use efactory_sim as sim;
+
+use super::ReplicatedDesc;
+use crate::client::{Client, ClientConfig, RemoteKv};
+use crate::protocol::StoreError;
+use crate::shard::shard_of;
+
+/// A client that talks to a [`super::ReplicatedServer`]: it behaves exactly
+/// like [`Client`] until the primary stops answering (RPC deadline,
+/// one-sided verb error), then re-resolves through the replication handle —
+/// the simulated metadata service — to the promoted backup, reconnects, and
+/// retries the operation.
+pub struct ReplClient {
+    fabric: Arc<Fabric>,
+    local: Node,
+    rdesc: ReplicatedDesc,
+    cfg: ClientConfig,
+    cur: RefCell<Client>,
+    on_backup: Cell<bool>,
+    failovers: Cell<u64>,
+}
+
+/// How long a client polls the handle for a promotion before giving up.
+/// Comfortably covers crash detection (the backup's 100 µs receive
+/// deadline) plus drain and replay.
+const FAILOVER_DEADLINE: sim::Nanos = 200_000_000; // 200 virtual ms
+
+impl ReplClient {
+    /// Connect to the replicated store — to the primary, or directly to the
+    /// promoted backup if failover already happened.
+    pub fn connect(
+        fabric: &Arc<Fabric>,
+        local: &Node,
+        rdesc: &ReplicatedDesc,
+        cfg: ClientConfig,
+    ) -> Result<ReplClient, StoreError> {
+        let (cur, on_backup) = match rdesc.handle.promoted() {
+            Some(p) => (
+                Client::connect(fabric, local, &p.node, p.desc, cfg.clone())?,
+                true,
+            ),
+            None => (
+                Client::connect(fabric, local, &rdesc.primary_node, rdesc.desc, cfg.clone())?,
+                false,
+            ),
+        };
+        Ok(ReplClient {
+            fabric: Arc::clone(fabric),
+            local: local.clone(),
+            rdesc: rdesc.clone(),
+            cfg,
+            cur: RefCell::new(cur),
+            on_backup: Cell::new(on_backup),
+            failovers: Cell::new(0),
+        })
+    }
+
+    /// Whether this client has failed over to the backup.
+    pub fn on_backup(&self) -> bool {
+        self.on_backup.get()
+    }
+
+    /// How many times this client re-resolved to a promoted backup.
+    pub fn failovers(&self) -> u64 {
+        self.failovers.get()
+    }
+
+    /// Wait (bounded) for the backup to finish promoting, then reconnect.
+    fn failover(&self) -> Result<(), StoreError> {
+        let deadline = sim::now() + FAILOVER_DEADLINE;
+        loop {
+            if let Some(p) = self.rdesc.handle.promoted() {
+                let c =
+                    Client::connect(&self.fabric, &self.local, &p.node, p.desc, self.cfg.clone())?;
+                *self.cur.borrow_mut() = c;
+                self.on_backup.set(true);
+                self.failovers.set(self.failovers.get() + 1);
+                return Ok(());
+            }
+            if sim::now() >= deadline {
+                return Err(StoreError::Qp(QpError::Timeout));
+            }
+            sim::sleep(sim::micros(100));
+        }
+    }
+
+    fn with_retry<T>(
+        &self,
+        op: impl Fn(&Client) -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        let mut failovers = 0;
+        loop {
+            let r = {
+                let c = self.cur.borrow();
+                op(&c)
+            };
+            match r {
+                Err(StoreError::Qp(
+                    QpError::Crashed | QpError::Timeout | QpError::Disconnected,
+                )) if failovers < 2 => {
+                    failovers += 1;
+                    self.failover()?;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// PUT with transparent failover.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        self.with_retry(|c| c.put(key, value))
+    }
+
+    /// GET with transparent failover.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        self.with_retry(|c| c.get(key))
+    }
+
+    /// DELETE with transparent failover.
+    pub fn del(&self, key: &[u8]) -> Result<(), StoreError> {
+        self.with_retry(|c| c.del(key))
+    }
+}
+
+impl RemoteKv for ReplClient {
+    fn kv_put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        self.put(key, value)
+    }
+    fn kv_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        self.get(key)
+    }
+}
+
+/// [`ReplClient`] per shard, routed by the same hash router as
+/// [`crate::shard::ShardedClient`].
+pub struct ReplShardedClient {
+    clients: Vec<ReplClient>,
+}
+
+impl ReplShardedClient {
+    /// Connect one failover-aware client per shard.
+    pub fn connect(
+        fabric: &Arc<Fabric>,
+        local: &Node,
+        descs: &[ReplicatedDesc],
+        cfg: ClientConfig,
+    ) -> Result<ReplShardedClient, StoreError> {
+        assert!(
+            !descs.is_empty(),
+            "a replicated store has at least one shard"
+        );
+        let mut clients = Vec::with_capacity(descs.len());
+        for d in descs {
+            clients.push(ReplClient::connect(fabric, local, d, cfg.clone())?);
+        }
+        Ok(ReplShardedClient { clients })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The shard client owning `key`.
+    pub fn route(&self, key: &[u8]) -> &ReplClient {
+        &self.clients[shard_of(key, self.clients.len())]
+    }
+
+    /// PUT routed to the owning shard.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        self.route(key).put(key, value)
+    }
+
+    /// GET routed to the owning shard.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        self.route(key).get(key)
+    }
+
+    /// DELETE routed to the owning shard.
+    pub fn del(&self, key: &[u8]) -> Result<(), StoreError> {
+        self.route(key).del(key)
+    }
+}
+
+impl RemoteKv for ReplShardedClient {
+    fn kv_put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        self.put(key, value)
+    }
+    fn kv_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        self.get(key)
+    }
+}

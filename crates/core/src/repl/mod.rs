@@ -1,0 +1,401 @@
+//! Primary–backup replication: synchronous mirroring of durable objects
+//! with deterministic failover.
+//!
+//! eFactory makes a single server crash-*consistent*; this module makes it
+//! *available*: each server gets a *backup node* on the same simulated
+//! fabric, holding a byte-identical copy of the primary's log in its own
+//! NVM pool, indexed by its own hash table.
+//!
+//! # Replication point: the verifier
+//!
+//! The background verifier is already the place where an object becomes
+//! durable (CRC verified + flushed), so it doubles as the replication
+//! point. Every object the verifier's cursor advances past is pushed into a
+//! [`Mirror`]: contiguous objects coalesce into runs, and each run ships to
+//! the backup with a single doorbell-batched `rdma_write_imm` whose
+//! immediate carries the run's log offset. Mirroring therefore sits
+//! entirely **off the client's critical path** — a PUT still completes at
+//! RDMA-write ack, and the mirror rides behind the verifier exactly like
+//! durability does.
+//!
+//! The backup runs its own apply loop ([`backup`]): on each `WriteImm`
+//! completion it walks the mirrored run object by object, *re-verifies the
+//! CRC*, flushes the bytes to its own media, and only then links its own
+//! hash entry — so an object is indexed on the backup only after **remote
+//! persistence**, mirroring the primary's durability-flag discipline.
+//!
+//! # Failover
+//!
+//! A fault-injection hook ([`efactory_rnic::Fabric::schedule_crash`]) kills
+//! the primary's node at a chosen virtual instant. The backup's apply loop
+//! notices (its receive deadline fires with the primary marked crashed),
+//! drains the in-flight mirror tail, and **promotes**: it runs the ordinary
+//! [`crate::recovery`] replay over its mirrored log — the same code path a
+//! rebooted primary would run — and starts serving as a full server.
+//! Clients detect the failure (RPC deadline / one-sided read error),
+//! re-resolve through the shared [`ReplHandle`] (the simulated metadata
+//! service), and reconnect to the promoted store ([`ReplClient`]).
+//!
+//! # Consistency contract
+//!
+//! The mirrored log is a **hole-free prefix** of the primary's log (every
+//! advanced object is mirrored, including invalidated ones, so the backup's
+//! recovery scan never stops early). Failover therefore preserves the
+//! paper's old-or-new guarantee per key: a version is readable on the
+//! promoted backup iff it was mirrored and intact — never torn. Versions
+//! the primary acknowledged but had not yet verified+mirrored roll back to
+//! the previous durable version, the same contract a primary-local crash
+//! gives.
+//!
+//! # Constraints
+//!
+//! Log cleaning is incompatible with mirroring-by-offset (the cleaner
+//! relocates live objects, which would invalidate the backup's copy), so
+//! [`ReplicatedServer::format`] forces `clean_enabled = false`. Replicated
+//! stores run with cleaning disabled and a log sized for the workload.
+
+mod backup;
+mod client;
+mod mirror;
+
+pub use client::{ReplClient, ReplShardedClient};
+pub use mirror::Mirror;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use efactory_obs::{Counter, Registry};
+use efactory_pmem::PmemPool;
+use efactory_rnic::{Fabric, Node, RemoteMr};
+use efactory_sim as sim;
+
+use crate::log::StoreLayout;
+use crate::server::{Server, ServerConfig, ServerShared, StoreDesc};
+
+/// Counters exposed by the replication tier (primary-side mirroring,
+/// backup-side apply, promotion). All monotonically increasing.
+#[derive(Debug, Default)]
+pub struct ReplStats {
+    /// Mirror batches shipped (one `rdma_write_imm` each).
+    pub mirror_batches: Counter,
+    /// Objects mirrored to the backup.
+    pub mirror_objects: Counter,
+    /// Log bytes mirrored to the backup.
+    pub mirror_bytes: Counter,
+    /// Mirror writes that failed (backup unreachable; mirroring degrades
+    /// to unreplicated operation).
+    pub mirror_failures: Counter,
+    /// Objects the backup verified, persisted, and indexed.
+    pub applied_objects: Counter,
+    /// Mirrored bytes the backup persisted.
+    pub applied_bytes: Counter,
+    /// Apply-side rejections (CRC mismatch on an invalidated object is
+    /// expected; table-full is not).
+    pub apply_failures: Counter,
+    /// Backup promotions completed (0 or 1 per backup).
+    pub promotions: Counter,
+}
+
+impl ReplStats {
+    /// Attach every counter to `reg` under `{prefix}repl.*` names.
+    pub fn register_prefixed(&self, reg: &Registry, prefix: &str) {
+        let pairs: [(&str, &Counter); 8] = [
+            ("repl.mirror_batches", &self.mirror_batches),
+            ("repl.mirror_objects", &self.mirror_objects),
+            ("repl.mirror_bytes", &self.mirror_bytes),
+            ("repl.mirror_failures", &self.mirror_failures),
+            ("repl.applied_objects", &self.applied_objects),
+            ("repl.applied_bytes", &self.applied_bytes),
+            ("repl.apply_failures", &self.apply_failures),
+            ("repl.promotions", &self.promotions),
+        ];
+        for (name, c) in pairs {
+            reg.attach_counter(&format!("{prefix}{name}"), c);
+        }
+    }
+}
+
+/// Where a primary's verifier mirrors to. Handed to
+/// [`Server::start_with`]; the verifier process connects its own QP to the
+/// backup at startup.
+#[derive(Clone)]
+pub struct ReplTarget {
+    /// The backup's fabric node (must be listening).
+    pub backup: Node,
+    /// Registration covering the backup's whole pool (offsets line up 1:1
+    /// with the primary's, since both pools share one layout).
+    pub mr: RemoteMr,
+    /// Shared replication counters.
+    pub stats: Arc<ReplStats>,
+    /// Mirror batch length in objects (doorbell batching; >= 1).
+    pub batch: usize,
+}
+
+/// A promoted backup, published through [`ReplHandle`] for clients to
+/// re-resolve to.
+#[derive(Clone)]
+pub struct PromotedStore {
+    /// The backup's node (now serving).
+    pub node: Node,
+    /// Connection descriptor of the promoted store.
+    pub desc: StoreDesc,
+    /// Shared state of the promoted server (shutdown, stats, tests).
+    pub shared: Arc<ServerShared>,
+}
+
+/// The failover rendezvous — a stand-in for the metadata service a real
+/// deployment would query: the backup publishes itself here after
+/// promotion, and clients poll it when the primary stops answering.
+#[derive(Default)]
+pub struct ReplHandle {
+    promoted: Mutex<Option<PromotedStore>>,
+}
+
+impl ReplHandle {
+    /// The promoted backup, if promotion has happened.
+    pub fn promoted(&self) -> Option<PromotedStore> {
+        self.promoted.lock().unwrap().clone()
+    }
+
+    pub(crate) fn publish(&self, p: PromotedStore) {
+        *self.promoted.lock().unwrap() = Some(p);
+    }
+}
+
+/// Everything a client needs to talk to a replicated store: the primary's
+/// connection info plus the failover handle.
+#[derive(Clone)]
+pub struct ReplicatedDesc {
+    /// The primary's fabric node.
+    pub primary_node: Node,
+    /// The primary's store descriptor.
+    pub desc: StoreDesc,
+    /// Failover rendezvous (shared with the backup).
+    pub handle: Arc<ReplHandle>,
+}
+
+/// A primary [`Server`] plus its backup replica on a second fabric node.
+pub struct ReplicatedServer {
+    primary: Server,
+    primary_node: Node,
+    backup_node: Node,
+    backup_pool: Arc<PmemPool>,
+    backup_mr: RemoteMr,
+    layout: StoreLayout,
+    cfg: ServerConfig,
+    stats: Arc<ReplStats>,
+    handle: Arc<ReplHandle>,
+    stop: Arc<AtomicBool>,
+}
+
+impl ReplicatedServer {
+    /// Create a fresh primary on `node` plus a backup on a new node named
+    /// `{node}-backup`, with an identical layout over its own pool.
+    ///
+    /// Log cleaning is forced off: the cleaner relocates live objects,
+    /// which would invalidate the backup's mirrored offsets. Replicated
+    /// stores run with a log sized for the workload instead.
+    pub fn format(
+        fabric: &Fabric,
+        node: &Node,
+        layout: StoreLayout,
+        mut cfg: ServerConfig,
+    ) -> ReplicatedServer {
+        cfg.clean_enabled = false;
+        let primary = Server::format(fabric, node, layout, cfg.clone());
+        let backup_node = fabric.add_node(&format!("{}-backup", node.name()));
+        let backup_pool = Arc::new(PmemPool::new(layout.total_len()));
+        let backup_mr = backup_node.register_mr(&backup_pool, 0, layout.total_len());
+        let stats = Arc::new(ReplStats::default());
+        stats.register_prefixed(&cfg.obs.registry, &cfg.counter_prefix);
+        ReplicatedServer {
+            primary,
+            primary_node: node.clone(),
+            backup_node,
+            backup_pool,
+            backup_mr,
+            layout,
+            cfg,
+            stats,
+            handle: Arc::new(ReplHandle::default()),
+            stop: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// The primary server.
+    pub fn primary(&self) -> &Server {
+        &self.primary
+    }
+
+    /// The primary's shared state (drain checks, stats).
+    pub fn shared(&self) -> &Arc<ServerShared> {
+        self.primary.shared()
+    }
+
+    /// The primary's fabric node.
+    pub fn primary_node(&self) -> &Node {
+        &self.primary_node
+    }
+
+    /// The backup's fabric node.
+    pub fn backup_node(&self) -> &Node {
+        &self.backup_node
+    }
+
+    /// The backup's NVM pool (tests, double-fault recovery).
+    pub fn backup_pool(&self) -> &Arc<PmemPool> {
+        &self.backup_pool
+    }
+
+    /// Replication counters.
+    pub fn stats(&self) -> &Arc<ReplStats> {
+        &self.stats
+    }
+
+    /// Failover rendezvous handle.
+    pub fn handle(&self) -> &Arc<ReplHandle> {
+        &self.handle
+    }
+
+    /// The geometry shared by primary and backup.
+    pub fn layout(&self) -> StoreLayout {
+        self.layout
+    }
+
+    /// What clients connect with.
+    pub fn desc(&self) -> ReplicatedDesc {
+        ReplicatedDesc {
+            primary_node: self.primary_node.clone(),
+            desc: self.primary.desc(),
+            handle: Arc::clone(&self.handle),
+        }
+    }
+
+    /// Start the backup's apply loop and the primary's processes (with the
+    /// verifier mirroring). Must run inside a simulated process; the
+    /// backup's listener exists when the primary's verifier connects.
+    pub fn start(&self, fabric: &Arc<Fabric>) -> Arc<ServerShared> {
+        let listener =
+            self.backup_node
+                .listen_with(fabric, self.cfg.batched_recv, self.cfg.doorbell_batch);
+        let ctx = backup::BackupCtx {
+            fabric: Arc::clone(fabric),
+            primary: self.primary_node.clone(),
+            node: self.backup_node.clone(),
+            pool: Arc::clone(&self.backup_pool),
+            layout: self.layout,
+            cfg: self.cfg.clone(),
+            cost: fabric.cost().clone(),
+            stats: Arc::clone(&self.stats),
+            handle: Arc::clone(&self.handle),
+            stop: Arc::clone(&self.stop),
+        };
+        let tag = self.cfg.counter_prefix.trim_end_matches('.');
+        let suffix = if tag.is_empty() {
+            String::new()
+        } else {
+            format!("-{tag}")
+        };
+        sim::spawn(&format!("efactory-backup{suffix}"), move || {
+            backup::run(ctx, listener);
+        });
+        self.primary.start_with(
+            fabric,
+            Some(ReplTarget {
+                backup: self.backup_node.clone(),
+                mr: self.backup_mr,
+                stats: Arc::clone(&self.stats),
+                batch: self.cfg.doorbell_batch.max(1),
+            }),
+        )
+    }
+
+    /// Wind down the primary, the backup applier, and (if promotion
+    /// happened) the promoted server.
+    pub fn shutdown(&self) {
+        self.primary.shutdown();
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(p) = self.handle.promoted() {
+            p.shared.stop.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// N independent [`ReplicatedServer`] shards over one fabric — the
+/// replicated analog of [`crate::shard::ShardedServer`]: same hash router,
+/// same per-shard isolation, plus one backup per shard.
+pub struct ReplicatedCluster {
+    servers: Vec<ReplicatedServer>,
+}
+
+impl ReplicatedCluster {
+    /// Create `shards` replicated shards. Primary nodes are named
+    /// `{name}-shard{i}`, backups `{name}-shard{i}-backup`; counters get a
+    /// `shard{i}.` prefix when `shards > 1` (matching `ShardedServer`).
+    pub fn format(
+        fabric: &Fabric,
+        name: &str,
+        layout: StoreLayout,
+        cfg: ServerConfig,
+        shards: usize,
+    ) -> ReplicatedCluster {
+        assert!(shards >= 1, "a store has at least one shard");
+        let mut servers = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let node = fabric.add_node(&format!("{name}-shard{i}"));
+            let mut scfg = cfg.clone();
+            if shards > 1 {
+                scfg.counter_prefix = format!("{}shard{i}.", cfg.counter_prefix);
+            }
+            servers.push(ReplicatedServer::format(fabric, &node, layout, scfg));
+        }
+        ReplicatedCluster { servers }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Shard `i`'s replicated server.
+    pub fn server(&self, i: usize) -> &ReplicatedServer {
+        &self.servers[i]
+    }
+
+    /// Per-shard connection info for [`ReplShardedClient`].
+    pub fn descs(&self) -> Vec<ReplicatedDesc> {
+        self.servers.iter().map(|s| s.desc()).collect()
+    }
+
+    /// Every shard's primary shared state.
+    pub fn shared_all(&self) -> Vec<&Arc<ServerShared>> {
+        self.servers.iter().map(|s| s.shared()).collect()
+    }
+
+    /// Start every shard (backup applier + mirrored primary).
+    pub fn start(&self, fabric: &Arc<Fabric>) {
+        for s in &self.servers {
+            s.start(fabric);
+        }
+    }
+
+    /// Wind down every shard.
+    pub fn shutdown(&self) {
+        for s in &self.servers {
+            s.shutdown();
+        }
+    }
+
+    /// Sum a primary server counter across shards.
+    pub fn stat_sum(&self, pick: impl Fn(&crate::server::ServerStats) -> &Counter) -> u64 {
+        self.servers
+            .iter()
+            .map(|s| pick(&s.shared().stats).get())
+            .sum()
+    }
+
+    /// Sum a replication counter across shards.
+    pub fn repl_stat_sum(&self, pick: impl Fn(&ReplStats) -> &Counter) -> u64 {
+        self.servers.iter().map(|s| pick(s.stats()).get()).sum()
+    }
+}

@@ -407,6 +407,17 @@ impl Server {
     /// listener channels can be created. The listener exists when this
     /// returns, so clients may connect immediately after.
     pub fn start(&self, fabric: &Arc<Fabric>) -> Arc<ServerShared> {
+        self.start_with(fabric, None)
+    }
+
+    /// Like [`start`](Self::start), with an optional replication target:
+    /// the verifier connects to the backup and mirrors every object it
+    /// advances past (see [`crate::repl`]).
+    pub fn start_with(
+        &self,
+        fabric: &Arc<Fabric>,
+        repl: Option<crate::repl::ReplTarget>,
+    ) -> Arc<ServerShared> {
         let shared = Arc::clone(&self.shared);
         let listener =
             shared
@@ -428,8 +439,12 @@ impl Server {
         });
 
         let v_shared = Arc::clone(&shared);
+        let v_fabric = Arc::clone(fabric);
         sim::spawn(&format!("efactory-verifier{suffix}"), move || {
-            crate::verifier::run(&v_shared);
+            let mirror = repl
+                .as_ref()
+                .and_then(|t| crate::repl::Mirror::connect(&v_fabric, &v_shared, t));
+            crate::verifier::run_with_mirror(&v_shared, mirror);
         });
 
         if shared.cfg.clean_enabled && !shared.logs[1].is_empty() {

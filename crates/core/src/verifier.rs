@@ -27,6 +27,7 @@ use efactory_obs::Subsystem;
 use efactory_sim as sim;
 
 use crate::layout::{flags, ObjHeader};
+use crate::repl::Mirror;
 use crate::server::ServerShared;
 
 /// Outcome of one verifier step (exposed for tests).
@@ -54,6 +55,18 @@ pub enum StepOutcome {
 /// The fence is forced before the verifier sleeps, so no persisted-but-
 /// unfenced object outlives an idle period.
 pub fn run(shared: &ServerShared) {
+    run_with_mirror(shared, None)
+}
+
+/// Run the verifier, optionally mirroring the log to a backup replica.
+///
+/// The verifier is the replication point: every object it advances past —
+/// persisted, already durable, or invalidated — is pushed to the mirror,
+/// which coalesces contiguous runs and ships them to the backup with one
+/// doorbell-batched `rdma_write_imm` per run (see [`crate::repl`]). The
+/// mirror is flushed before every idle sleep, so a quiescent primary never
+/// sits on an unshipped tail.
+pub fn run_with_mirror(shared: &ServerShared, mut mirror: Option<Mirror>) {
     let batch = shared.cfg.doorbell_batch.max(1);
     let mut unfenced = 0usize;
     let fence = |unfenced: &mut usize| {
@@ -63,9 +76,16 @@ pub fn run(shared: &ServerShared) {
         }
     };
     while !shared.stopping() {
-        match step_inner(shared, batch > 1) {
+        let (outcome, mirrored) = step_inner(shared, batch > 1);
+        if let (Some(m), Some((off, size))) = (mirror.as_mut(), mirrored) {
+            m.push(shared, off, size);
+        }
+        match outcome {
             StepOutcome::Idle | StepOutcome::Waiting => {
                 fence(&mut unfenced);
+                if let Some(m) = mirror.as_mut() {
+                    m.flush(shared);
+                }
                 sim::sleep(shared.cfg.verify_idle)
             }
             StepOutcome::Persisted if batch > 1 => {
@@ -85,16 +105,21 @@ pub fn run(shared: &ServerShared) {
 /// deterministically without the surrounding loop. Always charges the
 /// per-object fence (the unbatched behavior).
 pub fn step(shared: &ServerShared) -> StepOutcome {
-    step_inner(shared, false)
+    step_inner(shared, false).0
 }
 
-fn step_inner(shared: &ServerShared, defer_fence: bool) -> StepOutcome {
+/// One verifier step plus the mirror candidate: `(outcome, Some((off,
+/// size)))` whenever the cursor advanced past an object. Every advanced
+/// object is a candidate — including invalidated ones — so the mirrored
+/// backup log is a hole-free prefix of the primary's (recovery scans stop
+/// at the first hole, so a gap would truncate the backup's replay).
+fn step_inner(shared: &ServerShared, defer_fence: bool) -> (StepOutcome, Option<(usize, usize)>) {
     let epoch = shared.clean_epoch.load(Ordering::Relaxed);
     let pool_idx = shared.cursor_pool.load(Ordering::Relaxed);
     let cur = shared.cursor.load(Ordering::Relaxed) as usize;
     let region = &shared.logs[pool_idx];
     if cur >= region.head() {
-        return StepOutcome::Idle;
+        return (StepOutcome::Idle, None);
     }
 
     let hdr = ObjHeader::read_from(&shared.pool, cur);
@@ -111,7 +136,7 @@ fn step_inner(shared: &ServerShared, defer_fence: bool) -> StepOutcome {
     if !hdr.has(flags::VALID) || hdr.has(flags::DURABLE) {
         sim::work(shared.cfg.verify_step_cost);
         advance(shared);
-        return StepOutcome::Skipped;
+        return (StepOutcome::Skipped, Some((cur, size)));
     }
 
     // CRC over the value (tombstones have vlen == 0 and match trivially).
@@ -133,7 +158,7 @@ fn step_inner(shared: &ServerShared, defer_fence: bool) -> StepOutcome {
         }
         shared.stats.bg_verified.inc();
         advance(shared);
-        return StepOutcome::Persisted;
+        return (StepOutcome::Persisted, Some((cur, size)));
     }
 
     // Incomplete: wait for the write to land, bounded by the timeout.
@@ -149,7 +174,7 @@ fn step_inner(shared: &ServerShared, defer_fence: bool) -> StepOutcome {
             .tracer
             .event_args(Subsystem::Verifier, "invalidate", &[("off", cur as u64)]);
         advance(shared);
-        return StepOutcome::Invalidated;
+        return (StepOutcome::Invalidated, Some((cur, size)));
     }
-    StepOutcome::Waiting
+    (StepOutcome::Waiting, None)
 }

@@ -115,6 +115,15 @@ pub struct ExperimentSpec {
     /// Doorbell batch length for recv-ring refills and verifier flush
     /// fences (eFactory only; 0 = flat per-message charging).
     pub doorbell_batch: usize,
+    /// Backup replicas per server (eFactory only; 0 = unreplicated, 1 =
+    /// primary–backup mirroring with one backup node per shard). Requires
+    /// `Cleaning::Disabled` — the cleaner relocates objects, which would
+    /// invalidate the backup's mirrored offsets.
+    pub replicas: usize,
+    /// Fault injection: power-fail every shard's primary this many virtual
+    /// nanoseconds after the measurement window opens. Requires
+    /// `replicas > 0`; clients ride through via transparent failover.
+    pub fault_at: Option<Nanos>,
 }
 
 impl ExperimentSpec {
@@ -133,6 +142,8 @@ impl ExperimentSpec {
             force_clean: false,
             shards: 1,
             doorbell_batch: 0,
+            replicas: 0,
+            fault_at: None,
         }
     }
 }
@@ -179,11 +190,13 @@ struct Collected {
 enum AnyDesc {
     Single(efactory::server::StoreDesc),
     Sharded(efactory::shard::ShardedDesc),
+    Replicated(Vec<efactory::repl::ReplicatedDesc>),
 }
 
 enum AnyServer {
     Ef(Server),
     EfSharded(efactory::shard::ShardedServer),
+    EfRepl(efactory::repl::ReplicatedCluster),
     Saw(SawServer),
     Imm(ImmServer),
     Erda(ErdaServer),
@@ -197,6 +210,7 @@ impl AnyServer {
         match self {
             AnyServer::Ef(s) => AnyDesc::Single(s.desc()),
             AnyServer::EfSharded(s) => AnyDesc::Sharded(s.desc()),
+            AnyServer::EfRepl(s) => AnyDesc::Replicated(s.descs()),
             AnyServer::Saw(s) => AnyDesc::Single(s.desc()),
             AnyServer::Imm(s) => AnyDesc::Single(s.desc()),
             AnyServer::Erda(s) => AnyDesc::Single(s.desc()),
@@ -212,6 +226,7 @@ impl AnyServer {
                 s.start(fabric);
             }
             AnyServer::EfSharded(s) => s.start(fabric),
+            AnyServer::EfRepl(s) => s.start(fabric),
             AnyServer::Saw(s) => s.start(fabric),
             AnyServer::Imm(s) => s.start(fabric),
             AnyServer::Erda(s) => s.start(fabric),
@@ -225,6 +240,7 @@ impl AnyServer {
         match self {
             AnyServer::Ef(s) => s.shutdown(),
             AnyServer::EfSharded(s) => s.shutdown(),
+            AnyServer::EfRepl(s) => s.shutdown(),
             AnyServer::Saw(s) => s.shutdown(),
             AnyServer::Imm(s) => s.shutdown(),
             AnyServer::Erda(s) => s.shutdown(),
@@ -241,6 +257,7 @@ impl AnyServer {
     ) -> u64 {
         match self {
             AnyServer::EfSharded(s) => s.stat_sum(pick),
+            AnyServer::EfRepl(s) => s.stat_sum(pick),
             other => pick(other.single_stats()).get(),
         }
     }
@@ -248,7 +265,9 @@ impl AnyServer {
     fn single_stats(&self) -> &efactory::server::ServerStats {
         match self {
             AnyServer::Ef(s) => &s.shared().stats,
-            AnyServer::EfSharded(_) => unreachable!("sharded stats go through stat_sum"),
+            AnyServer::EfSharded(_) | AnyServer::EfRepl(_) => {
+                unreachable!("multi-server stats go through stat_sum")
+            }
             AnyServer::Saw(s) => &s.base().stats,
             AnyServer::Imm(s) => &s.base().stats,
             AnyServer::Erda(s) => &s.base().stats,
@@ -283,6 +302,24 @@ impl AnyServer {
                     shared.pool.set_tracer(obs.tracer.clone());
                 }
             }
+            AnyServer::EfRepl(s) => {
+                for i in 0..s.shards() {
+                    let prefix = if s.shards() > 1 {
+                        format!("shard{i}.")
+                    } else {
+                        String::new()
+                    };
+                    let srv = s.server(i);
+                    let primary = &srv.shared().pool;
+                    primary.stats().register_prefixed(&obs.registry, &prefix);
+                    primary.set_tracer(obs.tracer.clone());
+                    let backup = srv.backup_pool();
+                    backup
+                        .stats()
+                        .register_prefixed(&obs.registry, &format!("{prefix}backup."));
+                    backup.set_tracer(obs.tracer.clone());
+                }
+            }
             other => {
                 other.single_stats().register(&obs.registry);
                 other.single_pool().stats().register(&obs.registry);
@@ -294,7 +331,9 @@ impl AnyServer {
     fn single_pool(&self) -> &Arc<PmemPool> {
         match self {
             AnyServer::Ef(s) => &s.shared().pool,
-            AnyServer::EfSharded(_) => unreachable!("sharded pools go through attach_obs"),
+            AnyServer::EfSharded(_) | AnyServer::EfRepl(_) => {
+                unreachable!("multi-server pools go through attach_obs")
+            }
             AnyServer::Saw(s) => &s.base().pool,
             AnyServer::Imm(s) => &s.base().pool,
             AnyServer::Erda(s) => &s.base().pool,
@@ -353,6 +392,23 @@ fn build_server(
             if let Some(tweak) = cfg_tweak {
                 tweak(&mut cfg);
             }
+            if spec.replicas > 0 {
+                assert_eq!(
+                    spec.replicas, 1,
+                    "primary–backup replication supports exactly one backup per shard"
+                );
+                assert!(
+                    matches!(spec.cleaning, Cleaning::Disabled),
+                    "replication requires Cleaning::Disabled (mirrored offsets must be stable)"
+                );
+                return AnyServer::EfRepl(efactory::repl::ReplicatedCluster::format(
+                    fabric,
+                    "server",
+                    layout,
+                    cfg,
+                    spec.shards,
+                ));
+            }
             if spec.shards > 1 {
                 // Each shard keeps the full-workload layout: the router
                 // spreads keys, but Zipf skew makes the hottest shard's
@@ -387,6 +443,80 @@ fn build_baseline(fabric: &Fabric, node: &Node, kind: SystemKind, sized: StoreLa
     }
 }
 
+/// Connect a workload client for `kind`. Fallible — any transport error
+/// propagates so the caller can say *which* system failed to connect
+/// instead of panicking with a bare `expect("connect")` at each site.
+fn connect_client(
+    kind: SystemKind,
+    fabric: &Arc<Fabric>,
+    local: &Node,
+    server_node: &Node,
+    any_desc: &AnyDesc,
+    obs: &Obs,
+) -> Result<Box<dyn RemoteKv>, efactory::StoreError> {
+    let ef_cfg = |hybrid_read: bool| ClientConfig {
+        hybrid_read,
+        obs: obs.clone(),
+        ..ClientConfig::default()
+    };
+    let ef_hybrid = |kind: SystemKind| match kind {
+        SystemKind::EFactory => true,
+        SystemKind::EFactoryNoHr => false,
+        other => panic!("{other:?} supports neither sharding nor replication"),
+    };
+    match any_desc {
+        AnyDesc::Sharded(sharded) => {
+            let c = efactory::shard::ShardedClient::connect(
+                fabric,
+                local,
+                sharded,
+                ef_cfg(ef_hybrid(kind)),
+            )?;
+            Ok(Box::new(c))
+        }
+        AnyDesc::Replicated(descs) => {
+            let c = efactory::repl::ReplShardedClient::connect(
+                fabric,
+                local,
+                descs,
+                ef_cfg(ef_hybrid(kind)),
+            )?;
+            Ok(Box::new(c))
+        }
+        AnyDesc::Single(desc) => {
+            let desc = *desc;
+            Ok(match kind {
+                SystemKind::EFactory => Box::new(Client::connect(
+                    fabric,
+                    local,
+                    server_node,
+                    desc,
+                    ef_cfg(true),
+                )?),
+                SystemKind::EFactoryNoHr => Box::new(Client::connect(
+                    fabric,
+                    local,
+                    server_node,
+                    desc,
+                    ef_cfg(false),
+                )?),
+                SystemKind::Saw => Box::new(SawClient::connect(fabric, local, server_node, desc)?),
+                SystemKind::Imm => Box::new(ImmClient::connect(fabric, local, server_node, desc)?),
+                SystemKind::Erda => {
+                    Box::new(ErdaClient::connect(fabric, local, server_node, desc)?)
+                }
+                SystemKind::Forca => {
+                    Box::new(ForcaClient::connect(fabric, local, server_node, desc)?)
+                }
+                SystemKind::CaNoper => {
+                    Box::new(CaNoperClient::connect(fabric, local, server_node, desc)?)
+                }
+                SystemKind::Rpc => Box::new(RpcClient::connect(fabric, local, server_node, desc)?),
+            })
+        }
+    }
+}
+
 fn make_client(
     kind: SystemKind,
     fabric: &Arc<Fabric>,
@@ -395,51 +525,8 @@ fn make_client(
     any_desc: &AnyDesc,
     obs: &Obs,
 ) -> Box<dyn RemoteKv> {
-    let ef_cfg = |hybrid_read: bool| ClientConfig {
-        hybrid_read,
-        obs: obs.clone(),
-        ..ClientConfig::default()
-    };
-    if let AnyDesc::Sharded(sharded) = any_desc {
-        let hybrid = match kind {
-            SystemKind::EFactory => true,
-            SystemKind::EFactoryNoHr => false,
-            other => panic!("{other:?} does not support sharding"),
-        };
-        return Box::new(
-            efactory::shard::ShardedClient::connect(fabric, local, sharded, ef_cfg(hybrid))
-                .expect("connect"),
-        );
-    }
-    let AnyDesc::Single(desc) = any_desc.clone() else {
-        unreachable!()
-    };
-    match kind {
-        SystemKind::EFactory => Box::new(
-            Client::connect(fabric, local, server_node, desc, ef_cfg(true)).expect("connect"),
-        ),
-        SystemKind::EFactoryNoHr => Box::new(
-            Client::connect(fabric, local, server_node, desc, ef_cfg(false)).expect("connect"),
-        ),
-        SystemKind::Saw => {
-            Box::new(SawClient::connect(fabric, local, server_node, desc).expect("connect"))
-        }
-        SystemKind::Imm => {
-            Box::new(ImmClient::connect(fabric, local, server_node, desc).expect("connect"))
-        }
-        SystemKind::Erda => {
-            Box::new(ErdaClient::connect(fabric, local, server_node, desc).expect("connect"))
-        }
-        SystemKind::Forca => {
-            Box::new(ForcaClient::connect(fabric, local, server_node, desc).expect("connect"))
-        }
-        SystemKind::CaNoper => {
-            Box::new(CaNoperClient::connect(fabric, local, server_node, desc).expect("connect"))
-        }
-        SystemKind::Rpc => {
-            Box::new(RpcClient::connect(fabric, local, server_node, desc).expect("connect"))
-        }
-    }
+    connect_client(kind, fabric, local, server_node, any_desc, obs)
+        .unwrap_or_else(|e| panic!("{}: client connect failed: {e}", kind.label()))
 }
 
 /// Execute one experiment. Deterministic in `spec.seed`.
@@ -533,10 +620,24 @@ fn run_inner(
         }
         // Let eFactory's verifier(s) drain so measurement starts from a
         // clean, fully durable store (bounded wait).
-        if matches!(&*server2, AnyServer::Ef(_) | AnyServer::EfSharded(_)) {
+        if matches!(
+            &*server2,
+            AnyServer::Ef(_) | AnyServer::EfSharded(_) | AnyServer::EfRepl(_)
+        ) {
             let deadline = sim::now() + sim::millis(500);
             while server2.stat_sum(|s| &s.bg_verified) + server2.stat_sum(|s| &s.bg_timeouts)
                 < spec2.record_count
+                && sim::now() < deadline
+            {
+                sim::sleep(sim::micros(200));
+            }
+        }
+        // With replication, also wait for the backups to catch up so the
+        // measurement (and any injected fault) starts from a fully
+        // mirrored store.
+        if let AnyServer::EfRepl(cluster) = &*server2 {
+            let deadline = sim::now() + sim::millis(500);
+            while cluster.repl_stat_sum(|s| &s.applied_objects) < spec2.record_count
                 && sim::now() < deadline
             {
                 sim::sleep(sim::micros(200));
@@ -557,6 +658,22 @@ fn run_inner(
         }
         let t_start = sim::now();
         window2.lock().unwrap().0 = t_start;
+        // Fault injection: power-fail every shard's primary at the chosen
+        // instant. Clients ride through via `ReplClient` failover; the
+        // stall is part of the measured latency.
+        if let Some(fault_at) = spec2.fault_at {
+            let AnyServer::EfRepl(cluster) = &*server2 else {
+                panic!("fault_at requires replicas > 0");
+            };
+            for i in 0..cluster.shards() {
+                f2.schedule_crash(
+                    cluster.server(i).primary_node(),
+                    t_start + fault_at,
+                    efactory_pmem::CrashSpec::DropAll,
+                    spec2.seed ^ 0x0FAB_u64 ^ ((i as u64) << 17),
+                );
+            }
+        }
         let mut handles = Vec::new();
         for cid in 0..spec2.clients {
             let f3 = Arc::clone(&f2);

@@ -45,6 +45,8 @@ mod tests {
             force_clean: false,
             shards: 1,
             doorbell_batch: 0,
+            replicas: 0,
+            fault_at: None,
         }
     }
 
@@ -113,6 +115,8 @@ mod tests {
             force_clean: false,
             shards: 1,
             doorbell_batch: 0,
+            replicas: 0,
+            fault_at: None,
         };
         let r = run(&spec);
         assert!(r.cleanings >= 1, "expected cleaning, got {r:?}");

@@ -45,7 +45,7 @@ impl Report {
 
     /// Record one experiment's spec + result under `label`.
     pub fn add(&mut self, label: &str, spec: &ExperimentSpec, result: &RunResult) {
-        let params = Obj::new()
+        let mut params = Obj::new()
             .str("system", result.system)
             .str("mix", &format!("{:?}", spec.mix))
             .u64("value_len", spec.value_len as u64)
@@ -58,7 +58,13 @@ impl Report {
             .bool("force_clean", spec.force_clean)
             .u64("shards", spec.shards as u64)
             .u64("doorbell_batch", spec.doorbell_batch as u64)
-            .finish();
+            .u64("replicas", spec.replicas as u64);
+        // The fault-injection instant appears only when set, so replicated
+        // steady-state runs and failover runs are distinguishable.
+        if let Some(fault_at) = spec.fault_at {
+            params = params.u64("fault_at_ns", fault_at);
+        }
+        let params = params.finish();
         let mut counters = Obj::new();
         for (name, v) in &result.counters {
             counters = counters.u64(name, *v);
@@ -182,6 +188,8 @@ mod tests {
             force_clean: false,
             shards: 1,
             doorbell_batch: 0,
+            replicas: 0,
+            fault_at: None,
         }
     }
 
@@ -228,5 +236,38 @@ mod tests {
         assert!(a.contains("\"server.puts\":"));
         assert!(a.contains("\"pmem.flushes\":"));
         assert!(a.contains("\"fabric.sends\":"));
+        assert!(a.contains("\"replicas\":0"));
+        assert!(!a.contains("\"fault_at_ns\""), "unset fault omitted");
+    }
+
+    #[test]
+    fn replicated_faulted_run_stamps_fault_instant() {
+        let s = ExperimentSpec {
+            replicas: 1,
+            fault_at: Some(5_000),
+            ..spec()
+        };
+        let mut rep = Report::new("test");
+        let r = run_with_cost(&s, CostModel::default());
+        rep.add("run-f", &s, &r);
+        let json = rep.to_json();
+        assert!(json.contains("\"replicas\":1"));
+        assert!(json.contains("\"fault_at_ns\":5000"));
+    }
+
+    #[test]
+    fn zero_op_run_reports_zero_summary() {
+        // A run with no measured operations must still produce a report
+        // (explicit zero summary) rather than aborting.
+        let s = ExperimentSpec {
+            ops_per_client: 0,
+            ..spec()
+        };
+        let mut rep = Report::new("test");
+        let r = run_with_cost(&s, CostModel::default());
+        rep.add("run-z", &s, &r);
+        let json = rep.to_json();
+        assert!(json.contains("\"total_ops\":0"));
+        assert!(json.contains("\"count\":0"));
     }
 }

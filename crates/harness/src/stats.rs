@@ -54,7 +54,7 @@ impl LatencyStats {
             p50_ns: percentile(samples, 50.0),
             p99_ns: percentile(samples, 99.0),
             p999_ns: percentile(samples, 99.9),
-            max_ns: *samples.last().expect("non-empty"),
+            max_ns: samples.last().copied().unwrap_or(0),
         }
     }
 
@@ -92,10 +92,14 @@ impl LatencyStats {
     }
 }
 
-/// Nearest-rank percentile of a **sorted** slice.
+/// Nearest-rank percentile of a **sorted** slice. An empty slice yields 0 —
+/// total by design, so zero-op runs summarize to an explicit zero report
+/// instead of aborting.
 pub fn percentile(sorted: &[Nanos], p: f64) -> Nanos {
-    assert!(!sorted.is_empty());
     assert!((0.0..=100.0).contains(&p));
+    if sorted.is_empty() {
+        return 0;
+    }
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
@@ -126,6 +130,7 @@ mod tests {
         assert_eq!(percentile(&[7], 50.0), 7);
         assert_eq!(percentile(&[7], 99.0), 7);
         assert_eq!(percentile(&[1, 2], 99.0), 2);
+        assert_eq!(percentile(&[], 50.0), 0, "empty set summarizes to zero");
     }
 
     #[test]

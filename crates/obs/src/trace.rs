@@ -37,17 +37,20 @@ pub enum Subsystem {
     Pmem,
     /// NIC / fabric verbs.
     Nic,
+    /// Replication tier (mirroring, backup apply, promotion).
+    Repl,
 }
 
 impl Subsystem {
     /// All subsystems, in trace-lane order.
-    pub const ALL: [Subsystem; 6] = [
+    pub const ALL: [Subsystem; 7] = [
         Subsystem::Server,
         Subsystem::Client,
         Subsystem::Verifier,
         Subsystem::Cleaner,
         Subsystem::Pmem,
         Subsystem::Nic,
+        Subsystem::Repl,
     ];
 
     /// Stable lane index (used as the Chrome-trace `tid`).
@@ -59,6 +62,7 @@ impl Subsystem {
             Subsystem::Cleaner => 3,
             Subsystem::Pmem => 4,
             Subsystem::Nic => 5,
+            Subsystem::Repl => 6,
         }
     }
 
@@ -75,6 +79,7 @@ impl Subsystem {
             Subsystem::Cleaner => "cleaner",
             Subsystem::Pmem => "pmem",
             Subsystem::Nic => "nic",
+            Subsystem::Repl => "repl",
         }
     }
 }

@@ -21,7 +21,7 @@
 //!   from crashes and from multi-write objects. The stores' integrity
 //!   machinery (CRC + durability flag) is exercised by both.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -29,7 +29,7 @@ use efactory_pmem::{CrashSpec, PmemPool, LINE};
 use efactory_sim as sim;
 use efactory_sim::Nanos;
 use parking_lot::Mutex;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 use crate::cost::CostModel;
 
@@ -302,11 +302,19 @@ impl Node {
     }
 }
 
+/// Canonical (unordered) key for the link between two nodes.
+fn link_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    (a.min(b), a.max(b))
+}
+
 /// The network: creates nodes, connects queue pairs, injects crashes.
 pub struct Fabric {
     cost: CostModel,
     stats: Arc<FabricStats>,
     nodes: Mutex<Vec<Arc<NodeInner>>>,
+    /// Links currently partitioned (see [`Fabric::fail_link`]). Shared with
+    /// every `ClientQp` so faults injected mid-run affect live connections.
+    links_down: Arc<Mutex<HashSet<(NodeId, NodeId)>>>,
 }
 
 impl Fabric {
@@ -316,6 +324,7 @@ impl Fabric {
             cost,
             stats: Arc::new(FabricStats::default()),
             nodes: Mutex::new(Vec::new()),
+            links_down: Arc::new(Mutex::new(HashSet::new())),
         })
     }
 
@@ -378,6 +387,7 @@ impl Fabric {
             stats: Arc::clone(&self.stats),
             local: local.clone(),
             remote: remote.clone(),
+            links_down: Arc::clone(&self.links_down),
             tx: core.tx.clone(),
             rx: reply_rx,
             events: event_rx,
@@ -431,6 +441,37 @@ impl Fabric {
         *node.inner.listener.lock() = None;
         node.inner.inflight.lock().clear();
         node.inner.crashed.store(false, Ordering::Relaxed);
+    }
+
+    /// Schedule a deterministic power-failure of `node` at absolute virtual
+    /// instant `at`. Must be called from within a simulated process. The
+    /// crash runs exactly like [`crash_node`](Self::crash_node), with an RNG
+    /// seeded from `seed` at fire time — so the same `(at, spec, seed)`
+    /// triple tears the same cache lines on every run.
+    pub fn schedule_crash(self: &Arc<Self>, node: &Node, at: Nanos, spec: CrashSpec, seed: u64) {
+        let fabric = Arc::clone(self);
+        let name = format!("crash-controller-{}", node.name());
+        let node = node.clone();
+        sim::spawn(&name, move || {
+            sim::sleep_until(at);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            fabric.crash_node(&node, spec, &mut rng);
+        });
+    }
+
+    /// Partition the (bidirectional) link between `a` and `b`: requests a
+    /// client issues across the cut are silently swallowed, so SEND-based
+    /// RPCs run into their deadline and one-sided verbs report `Timeout`
+    /// after a wasted round trip — the failure mode a real lossy fabric
+    /// presents to the requester. Enforced at the client endpoint (the
+    /// requester's view of the partition); both nodes stay alive.
+    pub fn fail_link(&self, a: &Node, b: &Node) {
+        self.links_down.lock().insert(link_key(a.id(), b.id()));
+    }
+
+    /// Heal a partition created by [`fail_link`](Self::fail_link).
+    pub fn heal_link(&self, a: &Node, b: &Node) {
+        self.links_down.lock().remove(&link_key(a.id(), b.id()));
     }
 }
 
@@ -632,6 +673,7 @@ pub struct ClientQp {
     stats: Arc<FabricStats>,
     local: Node,
     remote: Node,
+    links_down: Arc<Mutex<HashSet<(NodeId, NodeId)>>>,
     tx: sim::Sender<Incoming>,
     rx: sim::Receiver<Vec<u8>>,
     events: sim::Receiver<Vec<u8>>,
@@ -658,9 +700,31 @@ impl ClientQp {
         self.remote.guard()
     }
 
+    /// True when the link to the remote is partitioned (see
+    /// [`Fabric::fail_link`]).
+    fn link_down(&self) -> bool {
+        self.links_down
+            .lock()
+            .contains(&link_key(self.local.id(), self.remote.id()))
+    }
+
+    /// A one-sided verb across a partitioned link: the request leaves the
+    /// NIC, vanishes, and the QP retries until it gives up — modeled as one
+    /// wasted round trip ending in `Timeout`.
+    fn one_sided_partition_timeout(&self) -> QpError {
+        sim::sleep(self.cost.one_way(0) * 2);
+        QpError::Timeout
+    }
+
     /// Two-sided send of a request.
     pub fn send(&self, payload: Vec<u8>) -> Result<(), QpError> {
         self.guard_both()?;
+        if self.link_down() {
+            // The partition swallows the packet: the WQE completes locally
+            // but nothing arrives, and the caller's RPC deadline converts
+            // the silence into a Timeout.
+            return Ok(());
+        }
         let delay = self.cost.one_way(payload.len());
         self.stats.sends.fetch_add(1, Ordering::Relaxed);
         self.stats
@@ -726,6 +790,9 @@ impl ClientQp {
     /// is not involved. Costs a full round trip plus payload serialization.
     pub fn rdma_read(&self, mr: &RemoteMr, off: usize, len: usize) -> Result<Vec<u8>, QpError> {
         self.guard_both()?;
+        if self.link_down() {
+            return Err(self.one_sided_partition_timeout());
+        }
         self.stats.rdma_reads.fetch_add(1, Ordering::Relaxed);
         self.stats
             .bytes_on_wire
@@ -763,6 +830,9 @@ impl ClientQp {
         if !off.is_multiple_of(8) {
             return Err(QpError::AccessViolation);
         }
+        if self.link_down() {
+            return Err(self.one_sided_partition_timeout());
+        }
         self.stats.rdma_writes.fetch_add(1, Ordering::Relaxed);
         self.stats.probe.fire("rdma_atomic", 8);
         // Request reaches the remote NIC, which performs the atomic there.
@@ -789,6 +859,9 @@ impl ClientQp {
         self.guard_both()?;
         if !off.is_multiple_of(8) {
             return Err(QpError::AccessViolation);
+        }
+        if self.link_down() {
+            return Err(self.one_sided_partition_timeout());
         }
         self.stats.rdma_writes.fetch_add(1, Ordering::Relaxed);
         self.stats.probe.fire("rdma_atomic", 8);
@@ -835,6 +908,9 @@ impl ClientQp {
         imm: Option<u32>,
     ) -> Result<(), QpError> {
         self.guard_both()?;
+        if self.link_down() {
+            return Err(self.one_sided_partition_timeout());
+        }
         let len = data.len();
         self.stats.rdma_writes.fetch_add(1, Ordering::Relaxed);
         self.stats
@@ -1310,6 +1386,73 @@ mod tests {
             assert_eq!(qp.rdma_read(&mr, 0, 9).unwrap(), b"recovered");
         });
         drop(client);
+        sim.run().expect_ok();
+    }
+
+    #[test]
+    fn scheduled_crash_fires_at_chosen_instant() {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new(CostModel::default());
+        let server = fabric.add_node("server");
+        let (pool, _mr) = pool_mr(&server, 4096);
+        pool.write(0, b"dirty");
+        let f = Arc::clone(&fabric);
+        let server2 = server.clone();
+        sim.spawn("controller", move || {
+            f.schedule_crash(&server2, 5_000, CrashSpec::DropAll, 99);
+            assert!(!server2.is_crashed(), "must not fire before the instant");
+            sim::sleep_until(4_999);
+            assert!(!server2.is_crashed());
+            sim::sleep_until(5_001);
+            assert!(server2.is_crashed(), "scheduled crash must have fired");
+        });
+        sim.run().expect_ok();
+        // DropAll resolved the pool's dirty lines at the crash instant.
+        let mut buf = vec![0u8; 5];
+        pool.read(0, &mut buf);
+        assert_eq!(buf, vec![0u8; 5]);
+    }
+
+    #[test]
+    fn link_fault_times_out_requests_until_healed() {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new(CostModel::default());
+        let server = fabric.add_node("server");
+        let client = fabric.add_node("client");
+        let (_pool, mr) = pool_mr(&server, 4096);
+        let f = Arc::clone(&fabric);
+        let f2 = Arc::clone(&fabric);
+        let server2 = server.clone();
+        sim.spawn("server", move || {
+            let l = server2.listen(&f2, true);
+            loop {
+                match l.recv_deadline(sim::now() + efactory_sim::millis(400)) {
+                    Ok(Incoming::Send { from, payload }) => {
+                        let _ = l.reply(from, payload);
+                    }
+                    Ok(_) => {}
+                    Err(QpError::Timeout) => return,
+                    Err(_) => return,
+                }
+            }
+        });
+        sim.spawn("client", move || {
+            sim::yield_now();
+            let qp = f.connect(&client, &server).unwrap();
+            assert!(qp.rpc(vec![1]).is_ok(), "link starts healthy");
+            f.fail_link(&client, &server);
+            // Two-sided: the request is swallowed, the deadline fires.
+            assert_eq!(qp.rpc(vec![2]).unwrap_err(), QpError::Timeout);
+            // One-sided: a wasted round trip then Timeout, data untouched.
+            assert_eq!(qp.rdma_read(&mr, 0, 8).unwrap_err(), QpError::Timeout);
+            assert_eq!(
+                qp.rdma_write(&mr, 0, vec![9u8; 8]).unwrap_err(),
+                QpError::Timeout
+            );
+            f.heal_link(&client, &server);
+            assert!(qp.rpc(vec![3]).is_ok(), "healed link must work again");
+            assert!(qp.rdma_read(&mr, 0, 8).is_ok());
+        });
         sim.run().expect_ok();
     }
 }

@@ -234,6 +234,8 @@ fn fabric_counters_reproducible_across_identical_runs() {
         force_clean: false,
         shards: 4,
         doorbell_batch: 16,
+        replicas: 0,
+        fault_at: None,
     };
     let a = cluster::run(&spec);
     let b = cluster::run(&spec);
@@ -269,6 +271,8 @@ fn harness_accounting_is_exact_for_all_mixes() {
             force_clean: false,
             shards: 1,
             doorbell_batch: 0,
+            replicas: 0,
+            fault_at: None,
         };
         let r = cluster::run(&spec);
         assert_eq!(r.total_ops, 120);

@@ -20,6 +20,8 @@ fn tiny_spec() -> ExperimentSpec {
         force_clean: false,
         shards: 1,
         doorbell_batch: 0,
+        replicas: 0,
+        fault_at: None,
     }
 }
 

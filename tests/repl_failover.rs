@@ -1,0 +1,232 @@
+//! Replication + failover acceptance tests.
+//!
+//! * **Promoted equivalence**: a client that never observes the failure
+//!   reads the same values from the promoted backup as from a never-failed
+//!   primary.
+//! * **Transparent failover**: a `ReplClient` mid-workload rides through
+//!   the primary's death — its operations succeed against the promoted
+//!   backup with no application-visible error.
+//! * **Determinism**: two identical replicated runs (fault injection
+//!   included) produce byte-equal `fabric.*`/`repl.*` counter snapshots.
+
+use std::sync::Arc;
+
+use efactory::client::{Client, ClientConfig};
+use efactory::log::StoreLayout;
+use efactory::repl::{ReplClient, ReplicatedServer};
+use efactory::server::ServerConfig;
+use efactory_pmem::CrashSpec;
+use efactory_rnic::{CostModel, Fabric};
+use efactory_sim as sim;
+use efactory_sim::Sim;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const KEYS: usize = 24;
+
+fn key(i: usize) -> Vec<u8> {
+    format!("repl-key-{i:04}").into_bytes()
+}
+
+fn value(i: usize) -> Vec<u8> {
+    format!("repl-value-{i:04}-abcdefghijklmnopqrstuvwxyz").into_bytes()
+}
+
+fn layout() -> StoreLayout {
+    StoreLayout::new(256, 256 * 1024, false)
+}
+
+fn cfg() -> ServerConfig {
+    ServerConfig {
+        clean_enabled: false,
+        ..ServerConfig::default()
+    }
+}
+
+/// Run the workload and read every key back at the end. With `fail: true`
+/// the primary is power-failed after the backup caught up and the final
+/// reads go to the promoted backup; with `fail: false` they go to the
+/// never-failed primary.
+fn read_after_optional_failover(fail: bool, seed: u64) -> Vec<Option<Vec<u8>>> {
+    let mut simu = Sim::new(seed);
+    let fabric = Fabric::new(CostModel::default());
+    let node = fabric.add_node("server");
+    let server = ReplicatedServer::format(&fabric, &node, layout(), cfg());
+
+    let out: Arc<std::sync::Mutex<Vec<Option<Vec<u8>>>>> = Arc::default();
+    let out2 = Arc::clone(&out);
+    let f = Arc::clone(&fabric);
+    simu.spawn("main", move || {
+        server.start(&f);
+        let c = Client::connect(
+            &f,
+            &f.add_node("client"),
+            server.primary_node(),
+            server.desc().desc,
+            ClientConfig::default(),
+        )
+        .unwrap();
+        for i in 0..KEYS {
+            c.put(&key(i), &value(i)).unwrap();
+            c.get(&key(i)).unwrap().unwrap(); // read-back forces durability
+        }
+        // Wait until the backup has verified + persisted every object.
+        let deadline = sim::now() + sim::millis(50);
+        while server.stats().applied_objects.get() < KEYS as u64 {
+            assert!(sim::now() < deadline, "backup never caught up");
+            sim::sleep(sim::micros(50));
+        }
+
+        type ReadFn = Box<dyn Fn(&[u8]) -> Option<Vec<u8>>>;
+        let reads: ReadFn = if fail {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xFA11);
+            f.crash_node(server.primary_node(), CrashSpec::DropAll, &mut rng);
+            // Promotion is autonomous: the backup notices the dead primary
+            // and replays its mirrored log. Wait for it to publish.
+            let deadline = sim::now() + sim::millis(200);
+            let promoted = loop {
+                if let Some(p) = server.handle().promoted() {
+                    break p;
+                }
+                assert!(sim::now() < deadline, "backup never promoted");
+                sim::sleep(sim::micros(100));
+            };
+            assert_eq!(server.stats().promotions.get(), 1);
+            let c2 = Client::connect(
+                &f,
+                &f.add_node("client2"),
+                &promoted.node,
+                promoted.desc,
+                ClientConfig::default(),
+            )
+            .unwrap();
+            Box::new(move |k| c2.get(k).unwrap())
+        } else {
+            Box::new(move |k| c.get(k).unwrap())
+        };
+        let mut vals = Vec::new();
+        for i in 0..KEYS {
+            vals.push(reads(&key(i)));
+        }
+        server.shutdown();
+        *out2.lock().unwrap() = vals;
+    });
+    simu.run().expect_ok();
+    let v = out.lock().unwrap().clone();
+    v
+}
+
+#[test]
+fn promoted_backup_reads_equal_never_failed_primary() {
+    let promoted = read_after_optional_failover(true, 7);
+    let primary = read_after_optional_failover(false, 7);
+    assert_eq!(promoted, primary, "promotion changed observable values");
+    for (i, v) in promoted.iter().enumerate() {
+        assert_eq!(
+            v.as_deref(),
+            Some(&value(i)[..]),
+            "key {i} wrong after promotion"
+        );
+    }
+}
+
+#[test]
+fn repl_client_rides_through_primary_death() {
+    let seed = 11u64;
+    let mut simu = Sim::new(seed);
+    let fabric = Fabric::new(CostModel::default());
+    let node = fabric.add_node("server");
+    let server = ReplicatedServer::format(&fabric, &node, layout(), cfg());
+
+    let f = Arc::clone(&fabric);
+    simu.spawn("main", move || {
+        server.start(&f);
+        let c = ReplClient::connect(
+            &f,
+            &f.add_node("client"),
+            &server.desc(),
+            ClientConfig::default(),
+        )
+        .unwrap();
+        // First half of the workload against the live primary.
+        for i in 0..KEYS / 2 {
+            c.put(&key(i), &value(i)).unwrap();
+            c.get(&key(i)).unwrap().unwrap();
+        }
+        let deadline = sim::now() + sim::millis(50);
+        while server.stats().applied_objects.get() < (KEYS / 2) as u64 {
+            assert!(sim::now() < deadline, "backup never caught up");
+            sim::sleep(sim::micros(50));
+        }
+        // Kill the primary at a chosen instant while the client keeps
+        // operating — the fault-injection hook runs in its own process.
+        f.schedule_crash(
+            server.primary_node(),
+            sim::now() + sim::micros(3),
+            CrashSpec::DropAll,
+            seed ^ 0xDEAD,
+        );
+        // Second half: some of these hit the dying primary and must fail
+        // over transparently to the promoted backup.
+        for i in KEYS / 2..KEYS {
+            c.put(&key(i), &value(i)).unwrap();
+        }
+        assert!(c.on_backup(), "client never failed over");
+        assert!(c.failovers() >= 1);
+        assert_eq!(server.stats().promotions.get(), 1);
+        // Everything readable after failover: pre-crash keys were mirrored,
+        // post-crash keys were written to the promoted backup.
+        for i in 0..KEYS {
+            assert_eq!(
+                c.get(&key(i)).unwrap().as_deref(),
+                Some(&value(i)[..]),
+                "key {i} lost across failover"
+            );
+        }
+        server.shutdown();
+    });
+    simu.run().expect_ok();
+}
+
+#[test]
+fn replicated_runs_are_byte_identical() {
+    use efactory_harness::cluster::{run, Cleaning, ExperimentSpec, SystemKind};
+    use efactory_ycsb::Mix;
+
+    // A full replicated harness run with mid-window fault injection: same
+    // spec twice must produce byte-equal counter snapshots — fabric.*,
+    // repl.*, server.*, everything.
+    let spec = ExperimentSpec {
+        system: SystemKind::EFactory,
+        mix: Mix::A,
+        value_len: 128,
+        key_len: 16,
+        clients: 4,
+        ops_per_client: 80,
+        record_count: 64,
+        seed: 23,
+        cleaning: Cleaning::Disabled,
+        force_clean: false,
+        shards: 1,
+        doorbell_batch: 8,
+        replicas: 1,
+        fault_at: Some(sim::micros(40)),
+    };
+    let a = run(&spec);
+    let b = run(&spec);
+    assert_eq!(
+        a.counters, b.counters,
+        "replicated runs with fault injection must replay byte-identically"
+    );
+    let get = |name: &str| {
+        a.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("counter {name} missing from snapshot"))
+    };
+    assert!(get("repl.mirror_objects") >= 64, "preload was not mirrored");
+    assert_eq!(get("repl.promotions"), 1, "fault must promote the backup");
+    assert_eq!(a.total_ops, b.total_ops);
+    assert_eq!(a.elapsed_ns, b.elapsed_ns);
+}
