@@ -33,6 +33,8 @@ fn spec(system: SystemKind, mix: Mix, value_len: usize) -> ExperimentSpec {
         doorbell_batch: 0,
         replicas: 0,
         fault_at: None,
+        fault_plan: None,
+        scrub: false,
     }
 }
 

@@ -33,6 +33,8 @@ fn base(system: SystemKind, mix: Mix) -> ExperimentSpec {
         doorbell_batch: 0,
         replicas: 0,
         fault_at: None,
+        fault_plan: None,
+        scrub: false,
     }
 }
 

@@ -42,6 +42,8 @@ fn main() {
             doorbell_batch: 0,
             replicas: 0,
             fault_at: None,
+            fault_plan: None,
+            scrub: false,
         };
         let normal = cluster::run(&base_spec(false));
         let cleaning = cluster::run(&base_spec(true));

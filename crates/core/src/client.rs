@@ -13,13 +13,27 @@
 //!   exposing the offset.
 //! * During **log cleaning** the server broadcasts `CleanStart`/`CleanEnd`
 //!   events and the client pins itself to the RPC+RDMA scheme (§4.4).
+//!
+//! **End-to-end retry (chaos hardening).** The fabric may drop, duplicate,
+//! or delay messages (see `efactory_rnic::FaultPlan`). Every SEND-based RPC
+//! therefore carries a monotonic per-client request id and runs under a
+//! per-attempt deadline with bounded, deterministic exponential backoff
+//! (virtual time). Retries of one logical operation reuse the *same* id, so
+//! the server can execute at most once and resend the recorded reply —
+//! exactly-once effects over an at-least-once fabric. Stale replies (from
+//! an attempt whose deadline already fired) are discarded by id. One-sided
+//! reads additionally verify the value CRC embedded in the object header:
+//! a mismatch (mid-clean or bit-rotted object) degrades to the RPC path
+//! instead of returning corrupt data.
 
 use std::cell::Cell;
 use std::sync::Arc;
 
 use efactory_checksum::crc32c;
-use efactory_obs::{Obs, Subsystem};
-use efactory_rnic::{ClientQp, Fabric, Node};
+use efactory_obs::{Counter, Obs, Subsystem};
+use efactory_rnic::{ClientQp, Fabric, Node, QpError};
+use efactory_sim as sim;
+use efactory_sim::Nanos;
 
 use crate::hashtable::{find_in_window, fingerprint, BUCKET_LEN, NPROBE};
 use crate::layout::{self, flags, ObjHeader};
@@ -45,6 +59,28 @@ pub struct ClientConfig {
     pub hybrid_read: bool,
     /// Bounded retries for the RPC read path (validation hiccups).
     pub max_rpc_retries: usize,
+    /// Send attempts per RPC (first try + retries). Retries reuse the same
+    /// request id, so the server dedups re-executions. With the default
+    /// per-attempt deadline, 6 attempts ride out ~5% message loss with a
+    /// residual failure probability around 1e-6 per operation.
+    pub rpc_attempts: usize,
+    /// Per-attempt reply deadline (virtual time). Service times are
+    /// microsecond-scale, so 1 ms comfortably covers a loaded server while
+    /// keeping loss recovery fast.
+    pub rpc_deadline: Nanos,
+    /// Initial retry backoff, doubled per attempt (deterministic
+    /// exponential backoff in virtual time; no randomized jitter, so runs
+    /// replay byte-identically).
+    pub retry_backoff: Nanos,
+    /// Bounded retries for an idempotent one-sided write that timed out
+    /// (transient partition ride-out).
+    pub op_retries: usize,
+    /// Initial backoff for those one-sided retries, doubled per attempt.
+    pub op_backoff: Nanos,
+    /// Verify the value CRC on one-sided GET paths; a mismatch falls back
+    /// to the RPC path (which re-validates server-side) instead of
+    /// returning silently corrupted bytes.
+    pub verify_value_crc: bool,
     /// Observability context; the harness passes the same one the server
     /// uses so client and server phases land in a single trace.
     pub obs: Obs,
@@ -55,6 +91,12 @@ impl Default for ClientConfig {
         ClientConfig {
             hybrid_read: true,
             max_rpc_retries: 3,
+            rpc_attempts: 6,
+            rpc_deadline: efactory_sim::millis(1),
+            retry_backoff: efactory_sim::micros(10),
+            op_retries: 5,
+            op_backoff: efactory_sim::micros(100),
+            verify_value_crc: true,
             obs: Obs::new(),
         }
     }
@@ -82,6 +124,14 @@ pub struct ClientStats {
     pub rpc_only: Cell<u64>,
     /// PUTs completed.
     pub puts: Cell<u64>,
+    /// RPC send attempts beyond the first (lost request/reply ride-out).
+    pub rpc_retries: Cell<u64>,
+    /// GET retries through the server (validation/CRC mismatch re-reads).
+    pub get_retries: Cell<u64>,
+    /// PUTs re-issued as fresh logical requests because the allocated
+    /// version was invalidated while the allocation reply was being
+    /// retried (verifier timeout raced a lossy fabric).
+    pub put_reissues: Cell<u64>,
 }
 
 /// A connected eFactory client. Not `Sync`: one client per simulated
@@ -92,7 +142,17 @@ pub struct Client {
     cfg: ClientConfig,
     /// Set between CleanStart and CleanEnd notifications.
     cleaning: Cell<bool>,
+    /// Monotonic request-id source; each logical RPC takes the next id and
+    /// reuses it across its retry attempts.
+    next_req_id: Cell<u64>,
     stats: ClientStats,
+    /// Registry counter mirroring [`ClientStats::get_retries`] (shared by
+    /// name across all clients of one run).
+    get_retry_ctr: Counter,
+    /// Registry counter mirroring [`ClientStats::rpc_retries`].
+    rpc_retry_ctr: Counter,
+    /// Registry counter mirroring [`ClientStats::put_reissues`].
+    put_reissue_ctr: Counter,
 }
 
 impl Client {
@@ -106,12 +166,19 @@ impl Client {
         cfg: ClientConfig,
     ) -> Result<Client, StoreError> {
         let qp = fabric.connect(local, server_node)?;
+        let get_retry_ctr = cfg.obs.registry.counter("client.get_retry");
+        let rpc_retry_ctr = cfg.obs.registry.counter("client.rpc_retry");
+        let put_reissue_ctr = cfg.obs.registry.counter("client.put_reissue");
         Ok(Client {
             qp,
             desc,
             cfg,
             cleaning: Cell::new(false),
+            next_req_id: Cell::new(1),
             stats: ClientStats::default(),
+            get_retry_ctr,
+            rpc_retry_ctr,
+            put_reissue_ctr,
         })
     }
 
@@ -131,38 +198,159 @@ impl Client {
         }
     }
 
+    /// One logical RPC: framed with a fresh request id, retried with
+    /// deterministic exponential backoff until an attempt's deadline is
+    /// answered. Every attempt reuses the id, so the server executes at
+    /// most once; replies carrying an older id (stragglers from a timed-out
+    /// attempt, or fault-injected duplicates) are discarded.
     fn rpc(&self, req: &Request) -> Result<Response, StoreError> {
-        let raw = self.qp.rpc(req.encode())?;
-        Response::decode(&raw).ok_or(StoreError::Protocol)
+        let id = self.next_req_id.get();
+        self.next_req_id.set(id + 1);
+        let payload = req.encode_framed(id);
+        let mut backoff = self.cfg.retry_backoff;
+        for attempt in 0..self.cfg.rpc_attempts.max(1) {
+            if attempt > 0 {
+                self.stats.rpc_retries.set(self.stats.rpc_retries.get() + 1);
+                self.rpc_retry_ctr.inc();
+                sim::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            self.qp.send(payload.clone())?;
+            let deadline = sim::now() + self.cfg.rpc_deadline;
+            loop {
+                match self.qp.recv_reply_deadline(deadline) {
+                    Ok(raw) => {
+                        let Some((rid, resp)) = Response::decode_any(&raw) else {
+                            return Err(StoreError::Protocol);
+                        };
+                        match rid {
+                            Some(rid) if rid == id => return Ok(resp),
+                            // A stale or duplicated reply for an earlier id:
+                            // keep draining until this attempt's deadline.
+                            Some(_) => continue,
+                            // Unframed reply: a server predating the
+                            // envelope; accept it as-is.
+                            None => return Ok(resp),
+                        }
+                    }
+                    Err(QpError::Timeout) => break,
+                    Err(e) => return Err(StoreError::Qp(e)),
+                }
+            }
+        }
+        Err(StoreError::Qp(QpError::Timeout))
+    }
+
+    /// Idempotent one-sided write with bounded timeout retries (rides out
+    /// transient partitions; re-writing the same bytes to the same offset
+    /// is harmless).
+    fn one_sided_write_retry(&self, off: usize, value: &[u8]) -> Result<(), StoreError> {
+        let mut backoff = self.cfg.op_backoff;
+        let mut attempt = 0;
+        loop {
+            match self.qp.rdma_write(&self.desc.mr, off, value.to_vec()) {
+                Ok(()) => return Ok(()),
+                Err(QpError::Timeout) if attempt < self.cfg.op_retries => {
+                    attempt += 1;
+                    self.rpc_retry_ctr.inc();
+                    sim::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                Err(e) => return Err(StoreError::Qp(e)),
+            }
+        }
     }
 
     /// Store `value` under `key`. Returns when the RDMA write is acked —
     /// durability is asynchronous (the paper's client-active scheme).
+    ///
+    /// If the allocation reply had to be retried long enough for the
+    /// verifier to time the still-empty version out (it invalidates
+    /// versions whose value never lands within `verify_timeout`), the
+    /// dedup-replayed reply points at a dead version and the value write
+    /// would be silently lost. `put` detects that case with a one-sided
+    /// re-read of the version's flag word and re-issues the whole
+    /// operation as a *fresh* logical request, bounded by `op_retries`.
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
         self.poll_events();
+        let mut backoff = self.cfg.op_backoff;
+        for attempt in 0..=self.cfg.op_retries {
+            if attempt > 0 {
+                self.stats
+                    .put_reissues
+                    .set(self.stats.put_reissues.get() + 1);
+                self.put_reissue_ctr.inc();
+                sim::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            if self.put_once(key, value)? {
+                self.stats.puts.set(self.stats.puts.get() + 1);
+                return Ok(());
+            }
+        }
+        Err(StoreError::Qp(QpError::Timeout))
+    }
+
+    /// One allocation RPC + value write. `Ok(false)` means the allocated
+    /// version was invalidated while the reply was being retried — the
+    /// caller must re-issue the PUT under a fresh request id.
+    fn put_once(&self, key: &[u8], value: &[u8]) -> Result<bool, StoreError> {
         let req = Request::Put {
             key: key.to_vec(),
             vlen: value.len() as u32,
             crc: crc32c(value),
         };
+        let retries_before = self.stats.rpc_retries.get();
         match self.rpc(&req)? {
             Response::Put {
                 status: Status::Ok,
+                obj_off,
                 value_off,
-                ..
             } => {
                 if !value.is_empty() {
                     let mut sp = self.cfg.obs.tracer.span(Subsystem::Client, "rdma_write");
                     sp.arg("vlen", value.len() as u64);
-                    self.qp
-                        .rdma_write(&self.desc.mr, value_off as usize, value.to_vec())?;
+                    self.one_sided_write_retry(value_off as usize, value)?;
                 }
-                self.stats.puts.set(self.stats.puts.get() + 1);
-                Ok(())
+                // Fast path: a first-try reply means the value landed well
+                // inside the verifier's window, so the version cannot have
+                // been timed out. Only a retried RPC can have raced the
+                // verifier — re-check the version's liveness then. (Once
+                // the write above is acked the check is race-free: the
+                // verifier only invalidates on a CRC mismatch at visit
+                // time, and a landed value always matches.)
+                if self.stats.rpc_retries.get() != retries_before
+                    && !self.version_still_valid(obj_off as usize)?
+                {
+                    return Ok(false);
+                }
+                Ok(true)
             }
             Response::Put { status, .. } => Err(StoreError::Status(status)),
             _ => Err(StoreError::Protocol),
         }
+    }
+
+    /// One-sided read of the object's flag word, with the same bounded
+    /// timeout retry as the value write. `false` when the verifier
+    /// invalidated the version before the value arrived.
+    fn version_still_valid(&self, obj_off: usize) -> Result<bool, StoreError> {
+        let mut backoff = self.cfg.op_backoff;
+        let mut attempt = 0;
+        let raw = loop {
+            match self.qp.rdma_read(&self.desc.mr, obj_off, 8) {
+                Ok(b) => break b,
+                Err(QpError::Timeout) if attempt < self.cfg.op_retries => {
+                    attempt += 1;
+                    sim::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                Err(e) => return Err(StoreError::Qp(e)),
+            }
+        };
+        let w0 = u64::from_le_bytes(raw[..8].try_into().unwrap());
+        let (_, _, fl) = ObjHeader::from_word0(w0);
+        Ok(fl & flags::VALID != 0)
     }
 
     /// Delete `key` (tombstone).
@@ -187,7 +375,13 @@ impl Client {
             // Step 1-4 of Figure 6: the optimistic pure RDMA read path.
             let pure = {
                 let _sp = self.cfg.obs.tracer.span(Subsystem::Client, "pure_read");
-                self.try_pure_get(key)?
+                match self.try_pure_get(key) {
+                    Ok(p) => p,
+                    // A transient partition timed the one-sided reads out;
+                    // the RPC path below rides it out with retries.
+                    Err(StoreError::Qp(QpError::Timeout)) => PureOutcome::Fallback,
+                    Err(e) => return Err(e),
+                }
             };
             match pure {
                 PureOutcome::Hit(v) => {
@@ -257,9 +451,21 @@ impl Client {
             return Ok(PureOutcome::NotFound);
         }
         let v_start = hdr.value_off();
-        Ok(PureOutcome::Hit(Some(
-            obj[v_start..v_start + hdr.vlen as usize].to_vec(),
-        )))
+        let value = &obj[v_start..v_start + hdr.vlen as usize];
+        if self.cfg.verify_value_crc && crc32c(value) != hdr.crc {
+            // Mid-clean, torn, or bit-rotted object: never hand unverified
+            // bytes to the application — degrade to the RPC path.
+            return Ok(PureOutcome::Fallback);
+        }
+        Ok(PureOutcome::Hit(Some(value.to_vec())))
+    }
+
+    /// Count one GET retry through the server (bounded by
+    /// `max_rpc_retries`), in both the per-client stats and the run-wide
+    /// `client.get_retry` registry counter.
+    fn note_get_retry(&self) {
+        self.stats.get_retries.set(self.stats.get_retries.get() + 1);
+        self.get_retry_ctr.inc();
     }
 
     /// Steps 5–9 of Figure 6: RPC to the server (which guarantees
@@ -278,13 +484,25 @@ impl Client {
             };
             match status {
                 Status::NotFound => return Ok(None),
-                Status::Busy => continue,
+                Status::Busy => {
+                    self.note_get_retry();
+                    continue;
+                }
                 Status::Ok => {}
                 s => return Err(StoreError::Status(s)),
             }
             let size = layout::object_size(klen as usize, vlen as usize);
-            let obj = self.qp.rdma_read(&self.desc.mr, obj_off as usize, size)?;
+            let obj = match self.qp.rdma_read(&self.desc.mr, obj_off as usize, size) {
+                Ok(obj) => obj,
+                Err(QpError::Timeout) => {
+                    // Transient partition: retry through the server.
+                    self.note_get_retry();
+                    continue;
+                }
+                Err(e) => return Err(StoreError::Qp(e)),
+            };
             let Some(hdr) = ObjHeader::decode(&obj) else {
+                self.note_get_retry();
                 continue;
             };
             // The server persisted before replying. The returned version's
@@ -296,17 +514,26 @@ impl Client {
                 || hdr.vlen != vlen
                 || hdr.klen as usize != key.len()
             {
+                self.note_get_retry();
                 continue;
             }
             let key_start = hdr.key_off();
             if &obj[key_start..key_start + key.len()] != key {
+                self.note_get_retry();
                 continue;
             }
             if hdr.has(flags::TOMBSTONE) {
                 return Ok(None);
             }
             let v_start = hdr.value_off();
-            return Ok(Some(obj[v_start..v_start + hdr.vlen as usize].to_vec()));
+            let value = &obj[v_start..v_start + hdr.vlen as usize];
+            if self.cfg.verify_value_crc && crc32c(value) != hdr.crc {
+                // The server's copy failed the end-to-end check (bit-rot
+                // not yet scrubbed, or a clean racing us): bounded retry.
+                self.note_get_retry();
+                continue;
+            }
+            return Ok(Some(value.to_vec()));
         }
         Err(StoreError::Protocol)
     }

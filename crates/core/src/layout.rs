@@ -45,6 +45,11 @@ pub mod flags {
     /// The previous version of this object has been relocated to the other
     /// pool by log cleaning (paper's `Trans` identifier).
     pub const TRANS: u8 = 1 << 3;
+    /// The scrubber found this (durable) object bit-rotted and could not
+    /// repair it: the version is dead (VALID is cleared alongside) and the
+    /// flag records *why* for diagnostics. Reads fall through to the
+    /// previous version; cleaning reclaims the space.
+    pub const QUARANTINED: u8 = 1 << 4;
 }
 
 /// Round `n` up to a multiple of 8 (layout padding).

@@ -45,6 +45,7 @@ pub mod log;
 pub mod protocol;
 pub mod recovery;
 pub mod repl;
+pub mod scrub;
 pub mod server;
 pub mod shard;
 pub mod verifier;

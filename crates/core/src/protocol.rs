@@ -156,6 +156,13 @@ const OP_R_GET: u8 = 0x82;
 const OP_R_ACK: u8 = 0x83;
 const OP_E_CLEAN_START: u8 = 0xC1;
 const OP_E_CLEAN_END: u8 = 0xC2;
+/// Framed envelope: `[OP_FRAME_REQ][req_id: u64 LE][legacy request bytes]`.
+/// The id is monotonic per client QP; a retry of the same logical operation
+/// reuses it, which is what lets the server dedup (at-most-once execution
+/// over an at-least-once fabric, Birrell–Nelson style).
+const OP_FRAME_REQ: u8 = 0x10;
+/// Framed reply envelope: `[OP_FRAME_RESP][req_id: u64 LE][legacy reply]`.
+const OP_FRAME_RESP: u8 = 0x90;
 
 fn put_key(buf: &mut Vec<u8>, key: &[u8]) {
     buf.extend_from_slice(&(key.len() as u16).to_le_bytes());
@@ -262,6 +269,30 @@ impl Request {
         };
         r.done().then_some(req)
     }
+
+    /// Encode wrapped in the request-id envelope (retry-capable clients).
+    pub fn encode_framed(&self, req_id: u64) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(41);
+        buf.push(OP_FRAME_REQ);
+        buf.extend_from_slice(&req_id.to_le_bytes());
+        buf.extend_from_slice(&self.encode());
+        buf
+    }
+
+    /// Decode either framing: returns `(Some(req_id), request)` for framed
+    /// bytes, `(None, request)` for the legacy unframed encoding (baseline
+    /// clients), `None` on malformed input.
+    pub fn decode_any(buf: &[u8]) -> Option<(Option<u64>, Request)> {
+        if buf.first() == Some(&OP_FRAME_REQ) {
+            if buf.len() < 9 {
+                return None;
+            }
+            let req_id = u64::from_le_bytes(buf[1..9].try_into().unwrap());
+            Some((Some(req_id), Request::decode(&buf[9..])?))
+        } else {
+            Some((None, Request::decode(buf)?))
+        }
+    }
 }
 
 impl Response {
@@ -320,6 +351,30 @@ impl Response {
             _ => return None,
         };
         r.done().then_some(resp)
+    }
+
+    /// Encode wrapped in the request-id envelope (mirrors the id of the
+    /// framed request being answered).
+    pub fn encode_framed(&self, req_id: u64) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(33);
+        buf.push(OP_FRAME_RESP);
+        buf.extend_from_slice(&req_id.to_le_bytes());
+        buf.extend_from_slice(&self.encode());
+        buf
+    }
+
+    /// Decode either framing: `(Some(req_id), reply)` for framed bytes,
+    /// `(None, reply)` for legacy unframed bytes, `None` on malformed input.
+    pub fn decode_any(buf: &[u8]) -> Option<(Option<u64>, Response)> {
+        if buf.first() == Some(&OP_FRAME_RESP) {
+            if buf.len() < 9 {
+                return None;
+            }
+            let req_id = u64::from_le_bytes(buf[1..9].try_into().unwrap());
+            Some((Some(req_id), Response::decode(&buf[9..])?))
+        } else {
+            Some((None, Response::decode(buf)?))
+        }
     }
 }
 
@@ -427,12 +482,51 @@ mod tests {
         assert_eq!(Response::decode(&[0x7F]), None);
     }
 
+    #[test]
+    fn framed_envelope_roundtrips_and_coexists_with_legacy() {
+        let req = Request::Del { key: b"k".to_vec() };
+        let framed = req.encode_framed(0xABCD_EF01_2345_6789);
+        assert_eq!(
+            Request::decode_any(&framed),
+            Some((Some(0xABCD_EF01_2345_6789), req.clone()))
+        );
+        // Unframed bytes still decode, with no id.
+        assert_eq!(Request::decode_any(&req.encode()), Some((None, req)));
+
+        let resp = Response::Ack { status: Status::Ok };
+        let framed = resp.encode_framed(7);
+        assert_eq!(Response::decode_any(&framed), Some((Some(7), resp)));
+        assert_eq!(Response::decode_any(&resp.encode()), Some((None, resp)));
+    }
+
+    #[test]
+    fn framed_envelope_rejects_truncation_and_garbage() {
+        let buf = Request::Get { key: b"k".to_vec() }.encode_framed(42);
+        for cut in 0..buf.len() {
+            assert_eq!(Request::decode_any(&buf[..cut]), None, "cut at {cut}");
+        }
+        let mut garbled = buf.clone();
+        garbled.push(0);
+        assert_eq!(Request::decode_any(&garbled), None);
+    }
+
     proptest! {
         #[test]
         fn decoder_never_panics_on_fuzz(buf in proptest::collection::vec(any::<u8>(), 0..128)) {
             let _ = Request::decode(&buf);
             let _ = Response::decode(&buf);
             let _ = Event::decode(&buf);
+            let _ = Request::decode_any(&buf);
+            let _ = Response::decode_any(&buf);
+        }
+
+        #[test]
+        fn framed_roundtrips_any_id(
+            key in proptest::collection::vec(any::<u8>(), 0..32),
+            id in any::<u64>(),
+        ) {
+            let req = Request::Get { key };
+            prop_assert_eq!(Request::decode_any(&req.encode_framed(id)), Some((Some(id), req)));
         }
 
         #[test]

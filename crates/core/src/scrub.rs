@@ -1,0 +1,247 @@
+//! Background CRC scrubber: detect and handle silent media corruption.
+//!
+//! NVM cells decay ("bit-rot"): a range that was durably persisted can
+//! later read back wrong, with no signal from the device — the failure
+//! class [`efactory_pmem::PmemPool::corrupt_range`] injects. The verifier
+//! never revisits an object once its durability flag is set, so rot on a
+//! durable object would otherwise go unnoticed until a client's end-to-end
+//! CRC check trips on it.
+//!
+//! The scrubber is a third background sibling of the verifier and cleaner:
+//! it repeatedly walks the active log, re-verifying every *durable* object
+//! against its recorded value CRC.
+//!
+//! * **Match** — the object is clean; move on.
+//! * **Mismatch, running replicated** — read the same offsets back from
+//!   the backup (the mirror keeps the two logs byte-identical at 1:1
+//!   offsets), validate the backup copy independently, and rewrite +
+//!   re-persist the local object: the rot is *repaired* in place.
+//! * **Mismatch, standalone (or backup copy also bad)** — the version is
+//!   *quarantined*: `VALID` is cleared and `QUARANTINED` is set in one
+//!   atomic flag update, so reads fall through to the previous intact
+//!   version (or report not-found) instead of ever returning rotted bytes.
+//!
+//! Non-durable objects are the verifier's domain and are skipped; so are
+//! already-quarantined ones. The walk only runs while no log cleaning is
+//! in progress and restarts if the clean epoch changes mid-pass — the
+//! cleaner rewrites the log under the scrubber's feet otherwise. A header
+//! so damaged the walk cannot even size the object halts the pass (with
+//! replication, the backup's intact header repairs it and the walk
+//! continues).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use efactory_checksum::crc32c;
+use efactory_obs::{Counter, Registry, Subsystem};
+use efactory_rnic::{ClientQp, Fabric, RemoteMr};
+use efactory_sim as sim;
+
+use crate::layout::{self, flags, ObjHeader};
+use crate::repl::ReplTarget;
+use crate::server::{CleanPhase, ServerShared};
+
+/// Scrubber counters (monotonic), registered under `{prefix}scrub.*`.
+#[derive(Debug, Default)]
+pub struct ScrubStats {
+    /// Objects the walk looked at (any flag state).
+    pub scanned: Counter,
+    /// Durable objects whose CRC matched.
+    pub clean: Counter,
+    /// Rotted objects rewritten from the backup replica.
+    pub repaired: Counter,
+    /// Rotted objects invalidated in place (no usable backup copy).
+    pub quarantined: Counter,
+    /// Repair attempts that failed (backup unreachable or its copy bad);
+    /// each such object was quarantined instead.
+    pub repair_failures: Counter,
+    /// Passes abandoned mid-walk (unsizable header, or cleaning started).
+    pub halted: Counter,
+    /// Complete passes over the active log.
+    pub passes: Counter,
+}
+
+impl ScrubStats {
+    /// Attach every counter to `reg` under `{prefix}scrub.*` names.
+    pub fn register_prefixed(&self, reg: &Registry, prefix: &str) {
+        let pairs: [(&str, &Counter); 7] = [
+            ("scrub.scanned", &self.scanned),
+            ("scrub.clean", &self.clean),
+            ("scrub.repaired", &self.repaired),
+            ("scrub.quarantined", &self.quarantined),
+            ("scrub.repair_failures", &self.repair_failures),
+            ("scrub.halted", &self.halted),
+            ("scrub.passes", &self.passes),
+        ];
+        for (name, c) in pairs {
+            reg.attach_counter(&format!("{prefix}{name}"), c);
+        }
+    }
+}
+
+/// The repair source: a QP to the backup plus its memory registration.
+struct RepairSource {
+    qp: ClientQp,
+    mr: RemoteMr,
+}
+
+enum Step {
+    /// Move past the object (`size` bytes).
+    Advance(usize),
+    /// The walk cannot continue (unsizable header).
+    Halt,
+}
+
+/// Run the scrubber until the server stops. Must be spawned as its own
+/// simulated process (it sleeps and charges CPU). With `repl`, corrupted
+/// objects are repaired from the backup; standalone they are quarantined.
+pub fn run(shared: &Arc<ServerShared>, fabric: &Arc<Fabric>, repl: Option<&ReplTarget>) {
+    let repair = repl.and_then(|t| match fabric.connect(&shared.node, &t.backup) {
+        Ok(qp) => Some(RepairSource { qp, mr: t.mr }),
+        Err(_) => None,
+    });
+    while !shared.stopping() {
+        if shared.phase() != CleanPhase::Normal {
+            sim::sleep(shared.cfg.scrub_interval);
+            continue;
+        }
+        let epoch0 = shared.clean_epoch.load(Ordering::Relaxed);
+        let pool_idx = shared.active.load(Ordering::Relaxed);
+        let region = &shared.logs[pool_idx];
+        let mut off = region.base();
+        let mut halted = false;
+        while off < region.head() {
+            if shared.stopping() {
+                return;
+            }
+            if shared.phase() != CleanPhase::Normal
+                || shared.clean_epoch.load(Ordering::Relaxed) != epoch0
+            {
+                // The cleaner is rewriting the log; abandon this pass.
+                halted = true;
+                break;
+            }
+            match scrub_object(shared, repair.as_ref(), off, region.head()) {
+                Step::Advance(size) => off += size,
+                Step::Halt => {
+                    shared.scrub.halted.inc();
+                    halted = true;
+                    break;
+                }
+            }
+            sim::work(shared.cfg.scrub_step_cost);
+        }
+        if !halted {
+            shared.scrub.passes.inc();
+        }
+        sim::sleep(shared.cfg.scrub_interval);
+    }
+}
+
+/// Whether a header can be trusted to size the object it heads.
+fn header_sane(shared: &ServerShared, hdr: &ObjHeader, off: usize, head: usize) -> bool {
+    hdr.klen as usize <= shared.cfg.max_klen
+        && hdr.vlen as usize <= shared.cfg.max_vlen
+        && off + hdr.object_size() <= head
+}
+
+/// Examine one object. Returns how far to advance, or `Halt` when the log
+/// is no longer walkable at `off`.
+fn scrub_object(
+    shared: &ServerShared,
+    repair: Option<&RepairSource>,
+    off: usize,
+    head: usize,
+) -> Step {
+    let hdr = ObjHeader::read_from(&shared.pool, off);
+    if !header_sane(shared, &hdr, off, head) {
+        // The header itself is rotted: the object cannot even be sized.
+        // Only a backup copy can rescue the walk.
+        if let Some(src) = repair {
+            if let Some(size) = try_repair(shared, src, off, head) {
+                shared.scrub.repaired.inc();
+                return Step::Advance(size);
+            }
+            shared.scrub.repair_failures.inc();
+        }
+        return Step::Halt;
+    }
+    let size = hdr.object_size();
+    shared.scrub.scanned.inc();
+    if !hdr.has(flags::VALID) || hdr.has(flags::QUARANTINED) || !hdr.has(flags::DURABLE) {
+        // Dead, already quarantined, or still the verifier's business.
+        return Step::Advance(size);
+    }
+    sim::work(shared.cost.crc_hw(hdr.vlen as usize));
+    if shared.crc_matches(off, &hdr) {
+        shared.scrub.clean.inc();
+        return Step::Advance(size);
+    }
+    // Silent bit-rot on a durable object — the exact hazard this process
+    // exists for.
+    let mut sp = shared.cfg.obs.tracer.span(Subsystem::Server, "scrub_rot");
+    sp.arg("off", off as u64);
+    if let Some(src) = repair {
+        if try_repair(shared, src, off, head).is_some() {
+            shared.scrub.repaired.inc();
+            return Step::Advance(size);
+        }
+        shared.scrub.repair_failures.inc();
+    }
+    quarantine(shared, off);
+    shared.scrub.quarantined.inc();
+    Step::Advance(size)
+}
+
+/// Fetch the object at `off` from the backup, validate the copy
+/// independently (sane header + matching value CRC), and rewrite +
+/// re-persist it locally. Returns the repaired object's size, or `None`
+/// when no trustworthy copy could be obtained.
+fn try_repair(shared: &ServerShared, src: &RepairSource, off: usize, head: usize) -> Option<usize> {
+    // The local header may be rotted too, so size the object from the
+    // *backup's* header (offsets are 1:1 by construction).
+    let hdr_bytes = src.qp.rdma_read(&src.mr, off, layout::HDR_LEN).ok()?;
+    let bhdr = ObjHeader::decode(&hdr_bytes)?;
+    if !header_sane(shared, &bhdr, off, head) || !bhdr.has(flags::VALID) {
+        return None;
+    }
+    let size = bhdr.object_size();
+    let obj = src.qp.rdma_read(&src.mr, off, size).ok()?;
+    let value = &obj[bhdr.value_off()..bhdr.value_off() + bhdr.vlen as usize];
+    if crc32c(value) != bhdr.crc {
+        // The backup's copy is rotted as well; don't spread it.
+        return None;
+    }
+    let mut sp = shared
+        .cfg
+        .obs
+        .tracer
+        .span(Subsystem::Server, "scrub_repair");
+    sp.arg("off", off as u64);
+    sp.arg("bytes", size as u64);
+    // ---- mutation block: rewrite + persist, no yields inside ----
+    shared.pool.write(off, &obj);
+    let lines = shared.pool.flush(off, size);
+    shared.pool.drain();
+    // ---- end mutation block ----
+    sim::work(shared.cost.flush(lines * efactory_pmem::LINE));
+    Some(size)
+}
+
+/// Kill the rotted version in place: clear `VALID`, set `QUARANTINED`
+/// (one atomic word-0 update), and persist the flag word. Readers fall
+/// through to the previous version via the `pre_ptr` chain.
+fn quarantine(shared: &ServerShared, off: usize) {
+    let mut sp = shared
+        .cfg
+        .obs
+        .tracer
+        .span(Subsystem::Server, "scrub_quarantine");
+    sp.arg("off", off as u64);
+    // ---- mutation block: flag flip + persist, no yields inside ----
+    layout::update_flags(&shared.pool, off, flags::QUARANTINED, flags::VALID);
+    let lines = shared.pool.flush(off, 8);
+    shared.pool.drain();
+    // ---- end mutation block ----
+    sim::work(shared.cost.flush(lines * efactory_pmem::LINE));
+}

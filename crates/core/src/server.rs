@@ -23,13 +23,14 @@
 //! or after a mutation block, never inside one. Violating this rule is the
 //! one way to corrupt this server — keep it in mind when editing.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use efactory_checksum::crc32c;
 use efactory_obs::{Counter, Obs, Registry, Subsystem};
 use efactory_pmem::PmemPool;
-use efactory_rnic::{CostModel, Fabric, Incoming, Listener, Node, RemoteMr};
+use efactory_rnic::{CostModel, Fabric, Incoming, Listener, Node, QpId, RemoteMr};
 use efactory_sim as sim;
 use efactory_sim::Nanos;
 
@@ -90,6 +91,15 @@ pub struct ServerConfig {
     pub max_klen: usize,
     /// Recovery scan sanity bounds.
     pub max_vlen: usize,
+    /// Run the background CRC scrubber ([`crate::scrub`]). Off by default:
+    /// it only earns its keep when media faults are being injected (or
+    /// modeled), and every experiment that wants it opts in.
+    pub scrub_enabled: bool,
+    /// Scrubber sleep between passes over the log (and while cleaning is
+    /// in progress).
+    pub scrub_interval: Nanos,
+    /// Fixed CPU charge per object the scrubber touches.
+    pub scrub_step_cost: Nanos,
     /// Prefix for registry counter names (e.g. `"shard3."` in a
     /// [`crate::shard::ShardedServer`]); empty for the plain `server.*`
     /// names.
@@ -112,6 +122,9 @@ impl Default for ServerConfig {
             doorbell_batch: 0,
             max_klen: 256,
             max_vlen: 16 << 20,
+            scrub_enabled: false,
+            scrub_interval: sim::micros(50),
+            scrub_step_cost: 50,
             counter_prefix: String::new(),
             obs: Obs::new(),
         }
@@ -148,6 +161,13 @@ pub struct ServerStats {
     pub reclaimed_versions: Counter,
     /// Allocation failures (table full / no space), PUT or DEL.
     pub put_failures: Counter,
+    /// Retried requests answered from the dedup table (the retry's request
+    /// id matched the last one executed for that connection, so the stored
+    /// reply was resent instead of re-executing).
+    pub dup_hits: Counter,
+    /// Retried requests older than the connection's dedup window (request
+    /// id below the last executed one) — dropped without a reply.
+    pub dup_stale: Counter,
 }
 
 impl ServerStats {
@@ -161,7 +181,7 @@ impl ServerStats {
     /// names — each shard of a sharded store registers its own counters
     /// (e.g. `shard2.server.puts`) in the one shared registry.
     pub fn register_prefixed(&self, reg: &Registry, prefix: &str) {
-        let pairs: [(&str, &Counter); 12] = [
+        let pairs: [(&str, &Counter); 14] = [
             ("server.puts", &self.puts),
             ("server.dels", &self.dels),
             ("server.gets", &self.gets),
@@ -180,6 +200,8 @@ impl ServerStats {
             ("server.relocated", &self.relocated),
             ("server.reclaimed_versions", &self.reclaimed_versions),
             ("server.put_failures", &self.put_failures),
+            ("server.dup_hits", &self.dup_hits),
+            ("server.dup_stale", &self.dup_stale),
         ];
         for (name, c) in pairs {
             reg.attach_counter(&format!("{prefix}{name}"), c);
@@ -216,6 +238,9 @@ pub struct ServerShared {
     pub cfg: ServerConfig,
     /// Counters.
     pub stats: ServerStats,
+    /// Scrubber counters (live even when the scrubber is disabled — they
+    /// just stay zero).
+    pub scrub: crate::scrub::ScrubStats,
     /// Cooperative shutdown flag (in addition to crash detection).
     pub stop: AtomicBool,
     /// One-shot manual cleaning trigger (experiments force cleaning at a
@@ -373,12 +398,16 @@ impl Server {
             cursor_pool: AtomicUsize::new(0),
             cfg,
             stats: ServerStats::default(),
+            scrub: crate::scrub::ScrubStats::default(),
             stop: AtomicBool::new(false),
             clean_request: AtomicBool::new(false),
             born_epoch: node.epoch(),
         });
         shared
             .stats
+            .register_prefixed(&shared.cfg.obs.registry, &shared.cfg.counter_prefix);
+        shared
+            .scrub
             .register_prefixed(&shared.cfg.obs.registry, &shared.cfg.counter_prefix);
         Server {
             shared,
@@ -438,6 +467,8 @@ impl Server {
             run_handler(&h_shared, &listener);
         });
 
+        let scrub_repl = shared.cfg.scrub_enabled.then(|| repl.clone()).flatten();
+
         let v_shared = Arc::clone(&shared);
         let v_fabric = Arc::clone(fabric);
         sim::spawn(&format!("efactory-verifier{suffix}"), move || {
@@ -446,6 +477,14 @@ impl Server {
                 .and_then(|t| crate::repl::Mirror::connect(&v_fabric, &v_shared, t));
             crate::verifier::run_with_mirror(&v_shared, mirror);
         });
+
+        if shared.cfg.scrub_enabled {
+            let s_shared = Arc::clone(&shared);
+            let s_fabric = Arc::clone(fabric);
+            sim::spawn(&format!("efactory-scrubber{suffix}"), move || {
+                crate::scrub::run(&s_shared, &s_fabric, scrub_repl.as_ref());
+            });
+        }
 
         if shared.cfg.clean_enabled && !shared.logs[1].is_empty() {
             let c_shared = Arc::clone(&shared);
@@ -458,7 +497,20 @@ impl Server {
 }
 
 /// The request-handler loop.
+///
+/// Requests arrive either in the legacy unframed encoding (baselines) or
+/// in the framed at-most-once envelope (the eFactory client): a per-QP
+/// monotonic request id the client *reuses across retries* of one logical
+/// operation. The handler keeps, per connection, the last executed id and
+/// its reply; a retry with the same id resends the stored reply instead of
+/// re-executing (a retried PUT must return the *same* allocation so the
+/// client rewrites the same offsets), and an id below the last executed
+/// one is a stale duplicate still bouncing around the fabric — dropped.
+/// This is what turns the lossy fabric's at-least-once delivery into
+/// exactly-once request execution.
 fn run_handler(shared: &ServerShared, listener: &Listener) {
+    // (last executed request id, its encoded framed reply) per connection.
+    let mut dedup: HashMap<QpId, (u64, Vec<u8>)> = HashMap::new();
     loop {
         // A periodic deadline lets the handler observe `stop` even when no
         // requests arrive.
@@ -478,9 +530,25 @@ fn run_handler(shared: &ServerShared, listener: &Listener) {
         let Incoming::Send { from, payload } = msg else {
             continue; // eFactory does not use write_with_imm
         };
-        let Some(req) = Request::decode(&payload) else {
+        let Some((req_id, req)) = Request::decode_any(&payload) else {
             continue;
         };
+        if let Some(id) = req_id {
+            match dedup.get(&from) {
+                Some((last, reply)) if *last == id => {
+                    shared.stats.dup_hits.inc();
+                    if listener.reply(from, reply.clone()).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                Some((last, _)) if *last > id => {
+                    shared.stats.dup_stale.inc();
+                    continue;
+                }
+                _ => {}
+            }
+        }
         let resp = match req {
             Request::Put { key, vlen, crc } => handle_put(shared, &key, vlen, crc),
             Request::Get { key } => handle_get(shared, &key),
@@ -490,7 +558,15 @@ fn run_handler(shared: &ServerShared, listener: &Listener) {
                 status: Status::Corrupt,
             },
         };
-        if listener.reply(from, resp.encode()).is_err() {
+        let encoded = match req_id {
+            Some(id) => {
+                let framed = resp.encode_framed(id);
+                dedup.insert(from, (id, framed.clone()));
+                framed
+            }
+            None => resp.encode(),
+        };
+        if listener.reply(from, encoded).is_err() {
             return;
         }
     }

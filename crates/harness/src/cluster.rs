@@ -14,7 +14,7 @@ use efactory_baselines::{
 };
 use efactory_obs::{Obs, Subsystem};
 use efactory_pmem::PmemPool;
-use efactory_rnic::{CostModel, Fabric, Node};
+use efactory_rnic::{CostModel, Fabric, FaultPlan, Node};
 use efactory_sim as sim;
 use efactory_sim::{Nanos, Sim};
 use efactory_ycsb::{make_value, Mix, Op, OpStream, WorkloadConfig};
@@ -124,6 +124,15 @@ pub struct ExperimentSpec {
     /// nanoseconds after the measurement window opens. Requires
     /// `replicas > 0`; clients ride through via transparent failover.
     pub fault_at: Option<Nanos>,
+    /// Fault injection: a lossy-fabric plan installed as the default for
+    /// every link (message drop/duplicate/delay — see
+    /// [`efactory_rnic::FaultPlan`]). Clients ride through via RPC
+    /// deadlines + idempotent retry; the stalls are part of the measured
+    /// latency. `None` = perfect fabric.
+    pub fault_plan: Option<FaultPlan>,
+    /// Run the background CRC scrubber on every eFactory server
+    /// (repairs/quarantines bit-rotted objects — see [`efactory::scrub`]).
+    pub scrub: bool,
 }
 
 impl ExperimentSpec {
@@ -144,6 +153,8 @@ impl ExperimentSpec {
             doorbell_batch: 0,
             replicas: 0,
             fault_at: None,
+            fault_plan: None,
+            scrub: false,
         }
     }
 }
@@ -389,6 +400,7 @@ fn build_server(
             };
             cfg.obs = obs.clone();
             cfg.doorbell_batch = spec.doorbell_batch;
+            cfg.scrub_enabled = spec.scrub;
             if let Some(tweak) = cfg_tweak {
                 tweak(&mut cfg);
             }
@@ -568,6 +580,9 @@ fn run_inner(
     let obs = obs.unwrap_or_default();
     let mut simu = Sim::new(spec.seed);
     let fabric = Fabric::new(cost);
+    if let Some(plan) = spec.fault_plan {
+        fabric.set_fault_plan(Some(plan));
+    }
     // NIC verb completions become instant events on the trace's nic lane.
     let nic_tracer = obs.tracer.clone();
     fabric.set_verb_probe(move |verb, bytes| {
@@ -751,11 +766,19 @@ fn run_inner(
         ("fabric.rdma_reads", &fstats.rdma_reads),
         ("fabric.rdma_writes", &fstats.rdma_writes),
         ("fabric.bytes_on_wire", &fstats.bytes_on_wire),
+        ("fabric.crashes", &fstats.crashes),
+        ("fabric.fault.dropped", &fstats.fault_dropped),
+        ("fabric.fault.duplicated", &fstats.fault_duplicated),
+        ("fabric.fault.delayed", &fstats.fault_delayed),
+        ("fabric.fault.retrans", &fstats.fault_retrans),
     ] {
         obs.registry
             .counter(name)
             .store(v.load(Ordering::Relaxed), Ordering::Relaxed);
     }
+    obs.registry
+        .counter("fabric.links_down")
+        .store(fabric.links_down_count() as u64, Ordering::Relaxed);
     RunResult {
         system: spec.system.label(),
         total_ops,

@@ -47,6 +47,8 @@ mod tests {
             doorbell_batch: 0,
             replicas: 0,
             fault_at: None,
+            fault_plan: None,
+            scrub: false,
         }
     }
 
@@ -117,6 +119,8 @@ mod tests {
             doorbell_batch: 0,
             replicas: 0,
             fault_at: None,
+            fault_plan: None,
+            scrub: false,
         };
         let r = run(&spec);
         assert!(r.cleanings >= 1, "expected cleaning, got {r:?}");

@@ -58,11 +58,23 @@ impl Report {
             .bool("force_clean", spec.force_clean)
             .u64("shards", spec.shards as u64)
             .u64("doorbell_batch", spec.doorbell_batch as u64)
-            .u64("replicas", spec.replicas as u64);
+            .u64("replicas", spec.replicas as u64)
+            .bool("scrub", spec.scrub);
         // The fault-injection instant appears only when set, so replicated
         // steady-state runs and failover runs are distinguishable.
         if let Some(fault_at) = spec.fault_at {
             params = params.u64("fault_at_ns", fault_at);
+        }
+        // Same for the lossy-fabric plan: its parameters are stamped only
+        // on chaos runs, so a report reader can tell a degraded-but-clean
+        // fabric from a faulted one at a glance.
+        if let Some(plan) = spec.fault_plan {
+            params = params
+                .f64("fault_drop_p", plan.drop_p, 6)
+                .f64("fault_dup_p", plan.dup_p, 6)
+                .f64("fault_delay_p", plan.delay_p, 6)
+                .u64("fault_delay_ns", plan.delay_ns)
+                .u64("fault_seed", plan.seed);
         }
         let params = params.finish();
         let mut counters = Obj::new();
@@ -190,6 +202,8 @@ mod tests {
             doorbell_batch: 0,
             replicas: 0,
             fault_at: None,
+            fault_plan: None,
+            scrub: false,
         }
     }
 
@@ -237,7 +251,12 @@ mod tests {
         assert!(a.contains("\"pmem.flushes\":"));
         assert!(a.contains("\"fabric.sends\":"));
         assert!(a.contains("\"replicas\":0"));
+        assert!(a.contains("\"scrub\":false"));
+        assert!(a.contains("\"fabric.crashes\":0"));
+        assert!(a.contains("\"fabric.links_down\":0"));
+        assert!(a.contains("\"fabric.fault.dropped\":0"));
         assert!(!a.contains("\"fault_at_ns\""), "unset fault omitted");
+        assert!(!a.contains("\"fault_drop_p\""), "unset plan omitted");
     }
 
     #[test]

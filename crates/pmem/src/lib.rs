@@ -84,6 +84,8 @@ pub struct PmemStats {
     pub drains: Counter,
     /// Crashes injected.
     pub crashes: Counter,
+    /// Bytes flipped by [`PmemPool::corrupt_range`] (media-fault injection).
+    pub corruptions: Counter,
 }
 
 impl PmemStats {
@@ -102,6 +104,7 @@ impl PmemStats {
         reg.attach_counter(&format!("{prefix}pmem.lines_flushed"), &self.lines_flushed);
         reg.attach_counter(&format!("{prefix}pmem.drains"), &self.drains);
         reg.attach_counter(&format!("{prefix}pmem.crashes"), &self.crashes);
+        reg.attach_counter(&format!("{prefix}pmem.corruptions"), &self.corruptions);
     }
 }
 
@@ -401,6 +404,38 @@ impl PmemPool {
         }
     }
 
+    /// Flip bits in `[off, off+len)` by XOR-ing each byte with `pattern` —
+    /// models a latent media error (silent bit-rot). The flip hits **both**
+    /// images: the device returns the rotted bytes now *and* after any
+    /// crash, exactly like real NVM whose cells decayed. Dirty bits are
+    /// untouched, so [`is_persisted`](Self::is_persisted) still reports
+    /// true — the corruption is invisible to the persistence machinery and
+    /// only detectable end-to-end (CRC verification / scrubbing).
+    ///
+    /// `pattern` must be non-zero (a zero XOR would corrupt nothing).
+    pub fn corrupt_range(&self, off: usize, len: usize, pattern: u8) {
+        if len == 0 {
+            return;
+        }
+        assert_ne!(pattern, 0, "corrupt_range needs a non-zero XOR pattern");
+        self.check_range(off, len);
+        for i in off..off + len {
+            let word = i / 8;
+            let shift = (i % 8) * 8;
+            let mask = (pattern as u64) << shift;
+            self.working[word].fetch_xor(mask, Ordering::Relaxed);
+            self.media[word].fetch_xor(mask, Ordering::Relaxed);
+        }
+        self.stats.corruptions.add(len as u64);
+        if let Some(t) = self.tracer.lock().unwrap().as_ref() {
+            t.event_args(
+                Subsystem::Pmem,
+                "corrupt",
+                &[("off", off as u64), ("len", len as u64)],
+            );
+        }
+    }
+
     /// Copy of the working image (tests / recovery tooling).
     pub fn working_snapshot(&self) -> Vec<u8> {
         let mut out = vec![0u8; self.len];
@@ -650,6 +685,36 @@ mod tests {
     #[should_panic(expected = "line alignment")]
     fn zero_region_requires_alignment() {
         PmemPool::new(256).zero_region(8, 64);
+    }
+
+    #[test]
+    fn corrupt_range_rots_both_images_silently() {
+        let p = PmemPool::new(1024);
+        p.write(0, &[0xAAu8; 256]);
+        p.persist(0, 256);
+        p.corrupt_range(100, 17, 0xFF);
+        // Reads return the rotted bytes, yet the range still looks persisted.
+        let snap = p.working_snapshot();
+        assert_eq!(&snap[..100], &[0xAAu8; 100][..]);
+        assert_eq!(&snap[100..117], &[0x55u8; 17][..]);
+        assert_eq!(&snap[117..256], &[0xAAu8; 139][..]);
+        assert!(p.is_persisted(0, 256), "bit-rot must be invisible to flush");
+        assert_eq!(p.dirty_line_count(), 0);
+        // The rot is in media too: a crash does not heal it.
+        p.crash(CrashSpec::DropAll, &mut rng());
+        assert_eq!(&p.working_snapshot()[100..117], &[0x55u8; 17][..]);
+        assert_eq!(p.stats().corruptions.load(Ordering::Relaxed), 17);
+    }
+
+    #[test]
+    fn corrupt_range_is_exactly_invertible() {
+        // XOR-ing the same pattern twice restores the original bytes —
+        // handy for tests that inject then repair.
+        let p = PmemPool::new(256);
+        p.write(0, &[0x12u8; 64]);
+        p.corrupt_range(0, 64, 0x80);
+        p.corrupt_range(0, 64, 0x80);
+        assert_eq!(&p.working_snapshot()[..64], &[0x12u8; 64][..]);
     }
 
     #[test]

@@ -32,6 +32,7 @@ use parking_lot::Mutex;
 use rand::{Rng, SeedableRng};
 
 use crate::cost::CostModel;
+use crate::fault::{Fate, FaultPlan, FaultTable};
 
 /// Identifier of a queue pair (one per client connection).
 pub type QpId = u64;
@@ -126,6 +127,9 @@ struct Inflight {
 struct ConnTx {
     reply: sim::Sender<Vec<u8>>,
     event: sim::Sender<Vec<u8>>,
+    /// The client node at the other end (for per-link fault lookup on the
+    /// reply path).
+    peer: NodeId,
 }
 
 struct ListenerCore {
@@ -144,6 +148,18 @@ pub struct FabricStats {
     pub rdma_writes: AtomicU64,
     /// Payload bytes moved by all verbs.
     pub bytes_on_wire: AtomicU64,
+    /// Node crashes injected (via [`Fabric::crash_node`] or
+    /// [`Fabric::schedule_crash`]).
+    pub crashes: AtomicU64,
+    /// Two-sided messages swallowed by an armed [`FaultPlan`].
+    pub fault_dropped: AtomicU64,
+    /// Two-sided messages delivered twice by an armed [`FaultPlan`].
+    pub fault_duplicated: AtomicU64,
+    /// Messages (any verb) that took a fault-injected extra delay.
+    pub fault_delayed: AtomicU64,
+    /// One-sided packets lost and retransmitted by the (reliable-transport)
+    /// NIC — surfaces as latency, never as an error.
+    pub fault_retrans: AtomicU64,
     /// Optional verb-completion hook (see [`Fabric::set_verb_probe`]).
     pub probe: VerbProbe,
 }
@@ -293,6 +309,7 @@ impl Node {
             node: self.clone(),
             cost: fabric.cost.clone(),
             stats: Arc::clone(&fabric.stats),
+            faults: Arc::clone(&fabric.faults),
             rx,
             conns,
             batched: batched_recv,
@@ -315,6 +332,36 @@ pub struct Fabric {
     /// Links currently partitioned (see [`Fabric::fail_link`]). Shared with
     /// every `ClientQp` so faults injected mid-run affect live connections.
     links_down: Arc<Mutex<HashSet<(NodeId, NodeId)>>>,
+    /// Armed probabilistic fault plans (see [`Fabric::set_fault_plan`]).
+    /// Shared with every endpoint, like `links_down`.
+    faults: Arc<FaultTable>,
+}
+
+/// Draw the fate of a two-sided message about to be queued. Returns the
+/// (possibly delayed) propagation time and whether to enqueue a duplicate
+/// copy, or `None` when the message is dropped on the wire.
+fn two_sided_fate(
+    faults: &FaultTable,
+    stats: &FabricStats,
+    a: NodeId,
+    b: NodeId,
+    delay: Nanos,
+) -> Option<(Nanos, bool)> {
+    match faults.draw(a, b) {
+        Fate::Deliver => Some((delay, false)),
+        Fate::Drop => {
+            stats.fault_dropped.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+        Fate::Duplicate => {
+            stats.fault_duplicated.fetch_add(1, Ordering::Relaxed);
+            Some((delay, true))
+        }
+        Fate::Delay(extra) => {
+            stats.fault_delayed.fetch_add(1, Ordering::Relaxed);
+            Some((delay + extra, false))
+        }
+    }
 }
 
 impl Fabric {
@@ -325,6 +372,7 @@ impl Fabric {
             stats: Arc::new(FabricStats::default()),
             nodes: Mutex::new(Vec::new()),
             links_down: Arc::new(Mutex::new(HashSet::new())),
+            faults: Arc::new(FaultTable::default()),
         })
     }
 
@@ -379,6 +427,7 @@ impl Fabric {
             ConnTx {
                 reply: reply_tx,
                 event: event_tx,
+                peer: local.id(),
             },
         );
         Ok(ClientQp {
@@ -388,6 +437,7 @@ impl Fabric {
             local: local.clone(),
             remote: remote.clone(),
             links_down: Arc::clone(&self.links_down),
+            faults: Arc::clone(&self.faults),
             tx: core.tx.clone(),
             rx: reply_rx,
             events: event_rx,
@@ -402,6 +452,7 @@ impl Fabric {
         let t_crash = sim::now();
         node.inner.crashed.store(true, Ordering::Relaxed);
         node.inner.epoch.fetch_add(1, Ordering::Relaxed);
+        self.stats.crashes.fetch_add(1, Ordering::Relaxed);
         // Tear in-flight writes: the whole-line prefix that streamed in
         // before the crash lands in the working image (and is then subject
         // to the pool's crash resolution, like any other unflushed data).
@@ -473,6 +524,33 @@ impl Fabric {
     pub fn heal_link(&self, a: &Node, b: &Node) {
         self.links_down.lock().remove(&link_key(a.id(), b.id()));
     }
+
+    /// Number of links currently partitioned by [`fail_link`](Self::fail_link).
+    pub fn links_down_count(&self) -> usize {
+        self.links_down.lock().len()
+    }
+
+    /// Install (or clear, with `None`) a fabric-wide default [`FaultPlan`]:
+    /// every two-sided message on every link without a per-link override
+    /// draws a fate from it. Affects live connections immediately; the
+    /// injected faults are counted under the `fault_*` fields of
+    /// [`FabricStats`].
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        self.faults.set_default(plan);
+    }
+
+    /// Arm the (bidirectional) `a`–`b` link with its own [`FaultPlan`],
+    /// overriding any fabric-wide default on that link.
+    pub fn set_link_fault(&self, a: &Node, b: &Node, plan: FaultPlan) {
+        self.faults.set_link(a.id(), b.id(), plan);
+    }
+
+    /// Disarm a per-link plan installed by
+    /// [`set_link_fault`](Self::set_link_fault); the link falls back to the
+    /// fabric-wide default, if any.
+    pub fn clear_link_fault(&self, a: &Node, b: &Node) {
+        self.faults.clear_link(a.id(), b.id());
+    }
 }
 
 /// Server-side receive endpoint: surfaces incoming sends and write-imm
@@ -481,6 +559,7 @@ pub struct Listener {
     node: Node,
     cost: CostModel,
     stats: Arc<FabricStats>,
+    faults: Arc<FaultTable>,
     rx: sim::Receiver<Incoming>,
     conns: Arc<Mutex<HashMap<QpId, ConnTx>>>,
     batched: bool,
@@ -557,6 +636,16 @@ impl Listener {
         self.stats.probe.fire("send", payload.len());
         let conns = self.conns.lock();
         let tx = conns.get(&qp).ok_or(QpError::Disconnected)?;
+        let Some((delay, dup)) =
+            two_sided_fate(&self.faults, &self.stats, self.node.id(), tx.peer, delay)
+        else {
+            // Reply lost on the wire: the client's RPC deadline fires and
+            // its retry (same request id) gets the deduped resend.
+            return Ok(());
+        };
+        if dup {
+            let _ = tx.reply.send(payload.clone(), delay);
+        }
         tx.reply
             .send(payload, delay)
             .map_err(|_| QpError::Disconnected)
@@ -613,6 +702,7 @@ impl Listener {
             node: self.node.clone(),
             cost: self.cost.clone(),
             stats: Arc::clone(&self.stats),
+            faults: Arc::clone(&self.faults),
             conns: Arc::clone(&self.conns),
         }
     }
@@ -624,6 +714,7 @@ pub struct Replier {
     node: Node,
     cost: CostModel,
     stats: Arc<FabricStats>,
+    faults: Arc<FaultTable>,
     conns: Arc<Mutex<HashMap<QpId, ConnTx>>>,
 }
 
@@ -639,6 +730,14 @@ impl Replier {
         self.stats.probe.fire("send", payload.len());
         let conns = self.conns.lock();
         let tx = conns.get(&qp).ok_or(QpError::Disconnected)?;
+        let Some((delay, dup)) =
+            two_sided_fate(&self.faults, &self.stats, self.node.id(), tx.peer, delay)
+        else {
+            return Ok(());
+        };
+        if dup {
+            let _ = tx.reply.send(payload.clone(), delay);
+        }
         tx.reply
             .send(payload, delay)
             .map_err(|_| QpError::Disconnected)
@@ -674,6 +773,7 @@ pub struct ClientQp {
     local: Node,
     remote: Node,
     links_down: Arc<Mutex<HashSet<(NodeId, NodeId)>>>,
+    faults: Arc<FaultTable>,
     tx: sim::Sender<Incoming>,
     rx: sim::Receiver<Vec<u8>>,
     events: sim::Receiver<Vec<u8>>,
@@ -716,6 +816,25 @@ impl ClientQp {
         QpError::Timeout
     }
 
+    /// Draw and apply a fault fate for a one-sided verb. RC transport
+    /// retransmits lost packets in hardware, so a `Drop` draw costs one
+    /// wasted round trip of latency (never an error or data loss); a
+    /// `Delay` draw adds its extra latency; a `Duplicate` draw is absorbed
+    /// by the responder NIC's sequence check (no observable effect).
+    fn one_sided_fault(&self) {
+        match self.faults.draw(self.local.id(), self.remote.id()) {
+            Fate::Deliver | Fate::Duplicate => {}
+            Fate::Drop => {
+                self.stats.fault_retrans.fetch_add(1, Ordering::Relaxed);
+                sim::sleep(self.cost.one_way(0) * 2);
+            }
+            Fate::Delay(extra) => {
+                self.stats.fault_delayed.fetch_add(1, Ordering::Relaxed);
+                sim::sleep(extra);
+            }
+        }
+    }
+
     /// Two-sided send of a request.
     pub fn send(&self, payload: Vec<u8>) -> Result<(), QpError> {
         self.guard_both()?;
@@ -731,6 +850,26 @@ impl ClientQp {
             .bytes_on_wire
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
         self.stats.probe.fire("send", payload.len());
+        let Some((delay, dup)) = two_sided_fate(
+            &self.faults,
+            &self.stats,
+            self.local.id(),
+            self.remote.id(),
+            delay,
+        ) else {
+            // Dropped on the wire: the WQE completed locally but nothing
+            // arrives, exactly like a partition-swallowed packet.
+            return Ok(());
+        };
+        if dup {
+            let _ = self.tx.send(
+                Incoming::Send {
+                    from: self.id,
+                    payload: payload.clone(),
+                },
+                delay,
+            );
+        }
         self.tx
             .send(
                 Incoming::Send {
@@ -793,6 +932,7 @@ impl ClientQp {
         if self.link_down() {
             return Err(self.one_sided_partition_timeout());
         }
+        self.one_sided_fault();
         self.stats.rdma_reads.fetch_add(1, Ordering::Relaxed);
         self.stats
             .bytes_on_wire
@@ -833,6 +973,7 @@ impl ClientQp {
         if self.link_down() {
             return Err(self.one_sided_partition_timeout());
         }
+        self.one_sided_fault();
         self.stats.rdma_writes.fetch_add(1, Ordering::Relaxed);
         self.stats.probe.fire("rdma_atomic", 8);
         // Request reaches the remote NIC, which performs the atomic there.
@@ -863,6 +1004,7 @@ impl ClientQp {
         if self.link_down() {
             return Err(self.one_sided_partition_timeout());
         }
+        self.one_sided_fault();
         self.stats.rdma_writes.fetch_add(1, Ordering::Relaxed);
         self.stats.probe.fire("rdma_atomic", 8);
         sim::sleep(self.cost.one_way(8));
@@ -911,6 +1053,7 @@ impl ClientQp {
         if self.link_down() {
             return Err(self.one_sided_partition_timeout());
         }
+        self.one_sided_fault();
         let len = data.len();
         self.stats.rdma_writes.fetch_add(1, Ordering::Relaxed);
         self.stats
@@ -1454,5 +1597,203 @@ mod tests {
             assert!(qp.rdma_read(&mr, 0, 8).is_ok());
         });
         sim.run().expect_ok();
+    }
+
+    /// Spawn an echo server + a client body, run to completion.
+    fn echo_rig(
+        fabric: &Arc<Fabric>,
+        sim: &mut Sim,
+        client_body: impl FnOnce(ClientQp) + Send + 'static,
+    ) {
+        let server = fabric.add_node("server");
+        let client = fabric.add_node("client");
+        let f = Arc::clone(fabric);
+        let f2 = Arc::clone(fabric);
+        let server2 = server.clone();
+        sim.spawn("server", move || {
+            let l = server2.listen(&f2, true);
+            loop {
+                match l.recv_deadline(sim::now() + efactory_sim::millis(400)) {
+                    Ok(Incoming::Send { from, payload }) => {
+                        let _ = l.reply(from, payload);
+                    }
+                    Ok(_) => {}
+                    Err(_) => return,
+                }
+            }
+        });
+        sim.spawn("client", move || {
+            sim::yield_now();
+            let qp = f.connect(&client, &server).unwrap();
+            client_body(qp);
+        });
+    }
+
+    #[test]
+    fn total_loss_plan_times_out_rpcs() {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new(CostModel::default());
+        fabric.set_fault_plan(Some(FaultPlan::lossy(1.0, 5)));
+        let fc = Arc::clone(&fabric);
+        echo_rig(&fabric, &mut sim, move |qp| {
+            assert_eq!(qp.rpc(vec![1]).unwrap_err(), QpError::Timeout);
+            fc.set_fault_plan(None);
+            assert!(qp.rpc(vec![2]).is_ok(), "disarmed plan must deliver");
+        });
+        sim.run().expect_ok();
+        assert!(fabric.stats().fault_dropped.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn duplicate_plan_delivers_request_twice() {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new(CostModel::default());
+        fabric.set_fault_plan(Some(FaultPlan::chaos(0.0, 1.0, 0.0, 0, 5)));
+        echo_rig(&fabric, &mut sim, move |qp| {
+            qp.send(vec![1]).unwrap();
+            // The duplicated request produces two (also duplicated) replies.
+            let deadline = sim::now() + efactory_sim::millis(10);
+            let mut replies = 0;
+            while qp.recv_reply_deadline(deadline).is_ok() {
+                replies += 1;
+            }
+            assert!(replies >= 2, "expected a duplicate, got {replies} replies");
+        });
+        sim.run().expect_ok();
+        assert!(fabric.stats().fault_duplicated.load(Ordering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn delay_plan_slows_but_delivers() {
+        let extra = efactory_sim::micros(30);
+        let elapsed = |armed: bool| -> Nanos {
+            let mut sim = Sim::new(0);
+            let fabric = Fabric::new(CostModel::default());
+            if armed {
+                fabric.set_fault_plan(Some(FaultPlan::chaos(0.0, 0.0, 1.0, extra, 5)));
+            }
+            let out = Arc::new(AtomicU64::new(0));
+            let out2 = Arc::clone(&out);
+            echo_rig(&fabric, &mut sim, move |qp| {
+                let t0 = sim::now();
+                qp.rpc(vec![1]).unwrap();
+                out2.store(sim::now() - t0, Ordering::Relaxed);
+            });
+            sim.run().expect_ok();
+            out.load(Ordering::Relaxed)
+        };
+        // Request and reply are each delayed once.
+        assert_eq!(elapsed(true), elapsed(false) + 2 * extra);
+    }
+
+    #[test]
+    fn one_sided_drop_costs_retransmission_round_trip() {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new(CostModel::default());
+        let server = fabric.add_node("server");
+        let client = fabric.add_node("client");
+        let (pool, mr) = pool_mr(&server, 4096);
+        pool.write(0, b"survives loss");
+        fabric.set_fault_plan(Some(FaultPlan::lossy(1.0, 5)));
+        let f = Arc::clone(&fabric);
+        sim.spawn("server", {
+            let server = server.clone();
+            let f = Arc::clone(&fabric);
+            move || {
+                let _l = server.listen(&f, true);
+                sim::sleep(efactory_sim::millis(1));
+            }
+        });
+        sim.spawn("client", move || {
+            sim::yield_now();
+            let qp = f.connect(&client, &server).unwrap();
+            let cost = CostModel::default();
+            let t0 = sim::now();
+            // Reliable transport: the read still succeeds, one RTT late.
+            assert_eq!(qp.rdma_read(&mr, 0, 13).unwrap(), b"survives loss");
+            assert_eq!(
+                sim::now() - t0,
+                cost.one_way(0) * 2 + cost.one_way(0) + cost.one_way(13)
+            );
+        });
+        sim.run().expect_ok();
+        assert_eq!(fabric.stats().fault_retrans.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn per_link_fault_leaves_other_links_clean() {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new(CostModel::default());
+        let server = fabric.add_node("server");
+        let lossy = fabric.add_node("lossy-client");
+        let clean = fabric.add_node("clean-client");
+        fabric.set_link_fault(&server, &lossy, FaultPlan::lossy(1.0, 5));
+        let f = Arc::clone(&fabric);
+        let f2 = Arc::clone(&fabric);
+        let server2 = server.clone();
+        sim.spawn("server", move || {
+            let l = server2.listen(&f2, true);
+            loop {
+                match l.recv_deadline(sim::now() + efactory_sim::millis(400)) {
+                    Ok(Incoming::Send { from, payload }) => {
+                        let _ = l.reply(from, payload);
+                    }
+                    Ok(_) => {}
+                    Err(_) => return,
+                }
+            }
+        });
+        sim.spawn("clients", move || {
+            sim::yield_now();
+            let qp_lossy = f.connect(&lossy, &server).unwrap();
+            let qp_clean = f.connect(&clean, &server).unwrap();
+            assert_eq!(qp_lossy.rpc(vec![1]).unwrap_err(), QpError::Timeout);
+            assert!(
+                qp_clean.rpc(vec![2]).is_ok(),
+                "clean link must be unaffected"
+            );
+            f.clear_link_fault(&lossy, &server);
+            assert!(qp_lossy.rpc(vec![3]).is_ok(), "cleared link must recover");
+        });
+        sim.run().expect_ok();
+    }
+
+    #[test]
+    fn fault_sequence_replays_identically_for_same_seed() {
+        let run = |seed: u64| -> (u64, u64, u64, u64) {
+            let mut sim = Sim::new(1);
+            let fabric = Fabric::new(CostModel::default());
+            fabric.set_fault_plan(Some(FaultPlan::chaos(0.1, 0.1, 0.1, 1_000, seed)));
+            echo_rig(&fabric, &mut sim, move |qp| {
+                for i in 0..40u8 {
+                    let _ = qp.rpc(vec![i]);
+                }
+            });
+            sim.run().expect_ok();
+            let s = fabric.stats();
+            (
+                s.fault_dropped.load(Ordering::Relaxed),
+                s.fault_duplicated.load(Ordering::Relaxed),
+                s.fault_delayed.load(Ordering::Relaxed),
+                s.sends.load(Ordering::Relaxed),
+            )
+        };
+        assert_eq!(run(11), run(11), "same seed must replay identically");
+        assert_ne!(run(11), run(12), "different seeds should diverge");
+    }
+
+    #[test]
+    fn crash_counter_tracks_injected_crashes() {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new(CostModel::zero());
+        let server = fabric.add_node("server");
+        let f = Arc::clone(&fabric);
+        sim.spawn("controller", move || {
+            let mut rng = StdRng::seed_from_u64(1);
+            f.crash_node(&server, CrashSpec::DropAll, &mut rng);
+        });
+        sim.run().expect_ok();
+        assert_eq!(fabric.stats().crashes.load(Ordering::Relaxed), 1);
+        assert_eq!(fabric.links_down_count(), 0);
     }
 }

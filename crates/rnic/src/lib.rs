@@ -24,9 +24,11 @@
 
 mod cost;
 mod fabric;
+mod fault;
 
 pub use cost::CostModel;
 pub use fabric::{
     ClientQp, Fabric, FabricStats, Incoming, Listener, Node, NodeId, Notifier, QpError, QpId,
     RemoteMr, Replier, VerbProbe,
 };
+pub use fault::FaultPlan;

@@ -1,0 +1,637 @@
+//! Chaos sweep: lossy-fabric + media-fault injection, end to end.
+//!
+//! The deterministic fault layer lets these tests subject a full store to
+//! the failure classes real deployments see — message loss, duplication,
+//! delay, network partitions, node crashes, and NVM bit-rot — and then
+//! make *exact* assertions, because the same seed replays the same chaos
+//! byte-for-byte:
+//!
+//! * **Convergence** — a workload run over a lossy fabric ends in exactly
+//!   the key→value state the operation list dictates, identical to a
+//!   fault-free run of the same list.
+//! * **Exactly-once** — every retried PUT/DEL was applied once: the
+//!   server-side `puts`/`dels` counters equal the number of *logical*
+//!   operations issued, no matter how many times the fabric forced a
+//!   resend (the dedup table absorbs the extras).
+//! * **Repair / quarantine** — bit-rot on durable objects is repaired
+//!   from the backup replica when one exists and quarantined (served from
+//!   the previous version) otherwise.
+//! * **Replay** — the same seed reproduces the identical final state and
+//!   counter snapshot.
+//!
+//! The default lanes keep the fault rates modest so every CI run exercises
+//! them; `EF_TEST_CHAOS=1` unlocks a heavier plan matrix.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use efactory::client::{Client, ClientConfig};
+use efactory::layout::{self, flags};
+use efactory::log::StoreLayout;
+use efactory::repl::{ReplClient, ReplicatedServer};
+use efactory::server::{Server, ServerConfig};
+use efactory_pmem::CrashSpec;
+use efactory_rnic::{CostModel, Fabric, FaultPlan};
+use efactory_sim as sim;
+use efactory_sim::Sim;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One logical operation of the scripted workload. The script is generated
+/// up front from the seed alone, so the *intended* final state is known
+/// independently of how the fabric mangles the run.
+#[derive(Debug, Clone, Copy)]
+enum ChaosOp {
+    Put { key: usize, tag: u32 },
+    Del { key: usize },
+    Get { key: usize },
+}
+
+/// Fixed-width key for client `cid`, key index `k` (uniform object size).
+fn key(cid: usize, k: usize) -> Vec<u8> {
+    format!("ck{cid:02}-{k:03}").into_bytes()
+}
+
+/// Deterministic value for one write.
+fn value(cid: usize, k: usize, tag: u32) -> Vec<u8> {
+    let mut v = format!("v{cid}-{k}-{tag}-").into_bytes();
+    while v.len() < 48 {
+        v.push(b'0' + ((v.len() as u32 + tag) % 10) as u8);
+    }
+    v
+}
+
+/// Generate each client's op list (disjoint key ranges — client `cid` only
+/// touches `key(cid, _)`, so the per-key last writer is script-defined).
+fn gen_scripts(clients: usize, ops: usize, keys: usize, seed: u64) -> Vec<Vec<ChaosOp>> {
+    (0..clients)
+        .map(|cid| {
+            let mut rng = StdRng::seed_from_u64(seed ^ ((cid as u64 + 1) << 32));
+            let mut tag = 0u32;
+            (0..ops)
+                .map(|_| {
+                    let k = rng.gen_range(0..keys);
+                    let roll: f64 = rng.gen();
+                    if roll < 0.55 {
+                        tag += 1;
+                        ChaosOp::Put { key: k, tag }
+                    } else if roll < 0.70 {
+                        ChaosOp::Del { key: k }
+                    } else {
+                        ChaosOp::Get { key: k }
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The key→value state the scripts dictate (keys absent after a last DEL).
+fn expected_state(scripts: &[Vec<ChaosOp>]) -> BTreeMap<Vec<u8>, Vec<u8>> {
+    let mut map = BTreeMap::new();
+    for (cid, script) in scripts.iter().enumerate() {
+        for op in script {
+            match *op {
+                ChaosOp::Put { key: k, tag } => {
+                    map.insert(key(cid, k), value(cid, k, tag));
+                }
+                ChaosOp::Del { key: k } => {
+                    map.remove(&key(cid, k));
+                }
+                ChaosOp::Get { .. } => {}
+            }
+        }
+    }
+    map
+}
+
+/// Count the logical PUTs/DELs a script set issues.
+fn logical_writes(scripts: &[Vec<ChaosOp>]) -> (u64, u64) {
+    let mut puts = 0;
+    let mut dels = 0;
+    for s in scripts {
+        for op in s {
+            match op {
+                ChaosOp::Put { .. } => puts += 1,
+                ChaosOp::Del { .. } => dels += 1,
+                ChaosOp::Get { .. } => {}
+            }
+        }
+    }
+    (puts, dels)
+}
+
+/// What one chaos run produced, for cross-run comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ChaosOutcome {
+    final_state: BTreeMap<Vec<u8>, Vec<u8>>,
+    server_puts: u64,
+    server_dels: u64,
+    dup_hits: u64,
+    rpc_retries: u64,
+    /// PUTs the clients re-issued as fresh logical ops after the verifier
+    /// timed out their first allocation (each adds one to `server_puts`).
+    put_reissues: u64,
+    fault_dropped: u64,
+    fault_duplicated: u64,
+}
+
+const CLIENTS: usize = 3;
+const OPS: usize = 50;
+const KEYS: usize = 8;
+
+/// Run the scripted workload on a standalone eFactory store under `plan`,
+/// then read the whole keyspace back over a clean fabric.
+fn run_chaos(seed: u64, plan: Option<FaultPlan>) -> ChaosOutcome {
+    let scripts = gen_scripts(CLIENTS, OPS, KEYS, seed);
+    let mut simu = Sim::new(seed);
+    let fabric = Fabric::new(CostModel::default());
+    if let Some(p) = plan {
+        fabric.set_fault_plan(Some(p));
+    }
+    let server_node = fabric.add_node("server");
+    let layout = StoreLayout::new(2048, 1 << 20, false);
+    let cfg = ServerConfig {
+        clean_enabled: false,
+        ..ServerConfig::default()
+    };
+    let server = Arc::new(Server::format(&fabric, &server_node, layout, cfg));
+
+    let out: Arc<Mutex<Option<ChaosOutcome>>> = Arc::default();
+    let out2 = Arc::clone(&out);
+    let f = Arc::clone(&fabric);
+    let server2 = Arc::clone(&server);
+    let scripts2 = scripts.clone();
+    simu.spawn("main", move || {
+        server2.start(&f);
+        let desc = server2.desc();
+        let retries_acc = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let reissues_acc = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for (cid, script) in scripts2.iter().cloned().enumerate() {
+            let f2 = Arc::clone(&f);
+            let sn = server_node.clone();
+            let retries_acc = Arc::clone(&retries_acc);
+            let reissues_acc = Arc::clone(&reissues_acc);
+            handles.push(sim::spawn(&format!("chaos-client-{cid}"), move || {
+                let node = f2.add_node(&format!("cnode-{cid}"));
+                let c = Client::connect(&f2, &node, &sn, desc, ClientConfig::default())
+                    .expect("connect");
+                for op in script {
+                    match op {
+                        ChaosOp::Put { key: k, tag } => {
+                            c.put(&key(cid, k), &value(cid, k, tag)).expect("chaos put")
+                        }
+                        ChaosOp::Del { key: k } => c.del(&key(cid, k)).expect("chaos del"),
+                        ChaosOp::Get { key: k } => {
+                            // The read may see any not-yet-overwritten
+                            // version; only transport success is asserted.
+                            c.get(&key(cid, k)).expect("chaos get");
+                        }
+                    }
+                }
+                use std::sync::atomic::Ordering;
+                retries_acc.fetch_add(c.stats().rpc_retries.get(), Ordering::Relaxed);
+                reissues_acc.fetch_add(c.stats().put_reissues.get(), Ordering::Relaxed);
+            }));
+        }
+        for h in &handles {
+            h.join();
+        }
+        // Heal the fabric for the verification sweep: the workload is
+        // over; what remains must be readable without interference.
+        f.set_fault_plan(None);
+        let checker_node = f.add_node("checker");
+        let checker = Client::connect(
+            &f,
+            &checker_node,
+            &server_node,
+            desc,
+            ClientConfig::default(),
+        )
+        .expect("checker connect");
+        let mut final_state = BTreeMap::new();
+        for cid in 0..CLIENTS {
+            for k in 0..KEYS {
+                if let Some(v) = checker.get(&key(cid, k)).expect("verify get") {
+                    final_state.insert(key(cid, k), v);
+                }
+            }
+        }
+        let stats = &server2.shared().stats;
+        let fs = f.stats();
+        *out2.lock().unwrap() = Some(ChaosOutcome {
+            final_state,
+            server_puts: stats.puts.get(),
+            server_dels: stats.dels.get(),
+            dup_hits: stats.dup_hits.get(),
+            rpc_retries: retries_acc.load(std::sync::atomic::Ordering::Relaxed),
+            put_reissues: reissues_acc.load(std::sync::atomic::Ordering::Relaxed),
+            fault_dropped: fs.fault_dropped.load(std::sync::atomic::Ordering::Relaxed),
+            fault_duplicated: fs
+                .fault_duplicated
+                .load(std::sync::atomic::Ordering::Relaxed),
+        });
+        server2.shutdown();
+    });
+    simu.run().expect_ok();
+    let o = out.lock().unwrap().take().expect("outcome collected");
+    o
+}
+
+/// Convergence + exactly-once under the default chaos plan. The faulted
+/// run must (a) suffer real faults, (b) end in the script-dictated state —
+/// identical to the fault-free run — and (c) have executed each logical
+/// PUT/DEL exactly once despite the retries.
+#[test]
+fn lossy_fabric_converges_and_applies_writes_exactly_once() {
+    let seed = 0xC4A0;
+    let scripts = gen_scripts(CLIENTS, OPS, KEYS, seed);
+    let expected = expected_state(&scripts);
+    let (puts, dels) = logical_writes(&scripts);
+
+    let plan = FaultPlan::chaos(0.04, 0.03, 0.02, sim::micros(3), seed ^ 0xFA);
+    let faulted = run_chaos(seed, Some(plan));
+    let clean = run_chaos(seed, None);
+
+    assert!(
+        faulted.fault_dropped > 0 && faulted.fault_duplicated > 0,
+        "chaos plan must actually fire: {faulted:?}"
+    );
+    assert_eq!(faulted.final_state, expected, "faulted run diverged");
+    assert_eq!(clean.final_state, expected, "fault-free run diverged");
+    // Exactly-once, modulo explicit re-issues: a PUT whose first allocation
+    // the verifier timed out (reply lost long enough) is re-executed as a
+    // *new* logical request — visible in `put_reissues` and adding exactly
+    // one server-side execution each. Everything else must dedup.
+    assert_eq!(
+        faulted.server_puts,
+        puts + faulted.put_reissues,
+        "retried PUTs must be deduplicated (exactly-once): {faulted:?}"
+    );
+    assert_eq!(
+        faulted.server_dels, dels,
+        "retried DELs must be deduplicated (exactly-once)"
+    );
+    assert_eq!(clean.server_puts, puts);
+    assert_eq!(clean.server_dels, dels);
+    assert_eq!(clean.put_reissues, 0, "clean fabric must not re-issue");
+    // The exactly-once guarantee had to do real work: at least one retry
+    // hit the dedup table (a reply was lost after execution).
+    assert!(
+        faulted.dup_hits > 0,
+        "expected at least one deduplicated retry: {faulted:?}"
+    );
+    assert_eq!(clean.dup_hits, 0, "clean fabric must not need dedup");
+}
+
+/// Identical seeds replay identical chaos, byte for byte: the entire
+/// outcome (final KV state + every counter sampled) must match.
+#[test]
+fn chaos_replay_is_deterministic() {
+    let plan = FaultPlan::chaos(0.05, 0.02, 0.03, sim::micros(2), 99);
+    let a = run_chaos(7, Some(plan));
+    let b = run_chaos(7, Some(plan));
+    assert_eq!(a, b, "same seed, same plan must replay identically");
+}
+
+/// Heavier plan matrix, gated on `EF_TEST_CHAOS=1`.
+#[test]
+fn chaos_plan_matrix() {
+    if std::env::var("EF_TEST_CHAOS").map(|v| v == "1") != Ok(true) {
+        return;
+    }
+    let plans = [
+        FaultPlan::lossy(0.05, 1),
+        FaultPlan::chaos(0.0, 0.08, 0.0, 0, 2),
+        FaultPlan::chaos(0.0, 0.0, 0.10, sim::micros(20), 3),
+        FaultPlan::chaos(0.08, 0.05, 0.05, sim::micros(10), 4),
+    ];
+    for (i, plan) in plans.into_iter().enumerate() {
+        for seed in [11, 23] {
+            let scripts = gen_scripts(CLIENTS, OPS, KEYS, seed);
+            let expected = expected_state(&scripts);
+            let (puts, dels) = logical_writes(&scripts);
+            let o = run_chaos(seed, Some(plan));
+            assert_eq!(o.final_state, expected, "plan {i} seed {seed} diverged");
+            assert_eq!(
+                o.server_puts,
+                puts + o.put_reissues,
+                "plan {i} seed {seed}: dup PUT"
+            );
+            assert_eq!(o.server_dels, dels, "plan {i} seed {seed}: dup DEL");
+        }
+    }
+}
+
+/// Satellite: a transient partition mid-workload, healed within the
+/// client's retry budget, costs latency but neither loses nor duplicates
+/// operations.
+#[test]
+fn heal_link_mid_workload_rides_out_partition() {
+    let mut simu = Sim::new(41);
+    let fabric = Fabric::new(CostModel::default());
+    let server_node = fabric.add_node("server");
+    let layout = StoreLayout::new(1024, 1 << 20, false);
+    let server = Arc::new(Server::format(
+        &fabric,
+        &server_node,
+        layout,
+        ServerConfig {
+            clean_enabled: false,
+            ..ServerConfig::default()
+        },
+    ));
+    const N: usize = 120;
+
+    let f = Arc::clone(&fabric);
+    let server2 = Arc::clone(&server);
+    let retries: Arc<Mutex<u64>> = Arc::default();
+    let retries2 = Arc::clone(&retries);
+    simu.spawn("main", move || {
+        server2.start(&f);
+        let desc = server2.desc();
+        let cnode = f.add_node("cnode");
+        let c = Client::connect(&f, &cnode, &server_node, desc, ClientConfig::default())
+            .expect("connect");
+        // Partition the client↔server link shortly into the workload and
+        // heal it well inside the ~6 ms RPC retry budget.
+        let f2 = Arc::clone(&f);
+        let sn = server_node.clone();
+        let cn = cnode.clone();
+        let controller = sim::spawn("partitioner", move || {
+            sim::sleep(sim::micros(120));
+            f2.fail_link(&cn, &sn);
+            sim::sleep(sim::millis(2));
+            f2.heal_link(&cn, &sn);
+        });
+        for i in 0..N {
+            let k = key(0, i % KEYS);
+            c.put(&k, &value(0, i % KEYS, i as u32)).expect("put");
+            let got = c.get(&k).expect("get").expect("key just written");
+            assert_eq!(got, value(0, i % KEYS, i as u32), "read own write");
+        }
+        controller.join();
+        *retries2.lock().unwrap() = c.stats().rpc_retries.get();
+        server2.shutdown();
+    });
+    simu.run().expect_ok();
+
+    // The partition must actually have been felt…
+    assert!(
+        *retries.lock().unwrap() > 0,
+        "workload never hit the partition — timing drifted"
+    );
+    // …yet every logical PUT executed exactly once: any resend the
+    // partition forced was either swallowed (never arrived) or absorbed
+    // by the dedup table, never re-executed.
+    assert_eq!(server.shared().stats.puts.get(), N as u64);
+}
+
+/// Media fault, standalone store: the scrubber quarantines a bit-rotted
+/// durable version and reads fall back to the previous intact one.
+#[test]
+fn bit_rot_standalone_quarantines_and_serves_previous_version() {
+    let mut simu = Sim::new(5);
+    let fabric = Fabric::new(CostModel::default());
+    let server_node = fabric.add_node("server");
+    let store_layout = StoreLayout::new(256, 256 * 1024, false);
+    let server = Arc::new(Server::format(
+        &fabric,
+        &server_node,
+        store_layout,
+        ServerConfig {
+            clean_enabled: false,
+            scrub_enabled: true,
+            ..ServerConfig::default()
+        },
+    ));
+
+    let f = Arc::clone(&fabric);
+    let server2 = Arc::clone(&server);
+    simu.spawn("main", move || {
+        server2.start(&f);
+        let desc = server2.desc();
+        let cnode = f.add_node("cnode");
+        let c = Client::connect(&f, &cnode, &server_node, desc, ClientConfig::default())
+            .expect("connect");
+        let k = b"rot-key-".to_vec();
+        let v1 = vec![0x11u8; 64];
+        let v2 = vec![0x22u8; 64];
+        c.put(&k, &v1).expect("put v1");
+        c.put(&k, &v2).expect("put v2");
+        // Both versions durable before injecting rot (the scrubber only
+        // polices DURABLE objects; fresh ones belong to the verifier).
+        let shared = server2.shared();
+        let deadline = sim::now() + sim::millis(100);
+        while shared.stats.bg_verified.get() < 2 && sim::now() < deadline {
+            sim::sleep(sim::micros(50));
+        }
+        assert!(
+            shared.stats.bg_verified.get() >= 2,
+            "versions never verified"
+        );
+
+        // v1 sits at the log base, v2 right after it (append order).
+        let base = shared.logs[0].base();
+        let obj_size = layout::object_size(k.len(), v1.len());
+        let v2_off = base + obj_size;
+        let v2_value_off = v2_off + layout::HDR_LEN + layout::pad8(k.len());
+        shared.pool.corrupt_range(v2_value_off, 8, 0x5A);
+
+        let deadline = sim::now() + sim::millis(200);
+        while shared.scrub.quarantined.get() == 0 && sim::now() < deadline {
+            sim::sleep(sim::micros(100));
+        }
+        assert_eq!(shared.scrub.quarantined.get(), 1, "rot never quarantined");
+        assert_eq!(shared.scrub.repaired.get(), 0, "standalone cannot repair");
+        let hdr = layout::ObjHeader::read_from(&shared.pool, v2_off);
+        assert!(hdr.has(flags::QUARANTINED) && !hdr.has(flags::VALID));
+
+        // Reads fall through to the previous intact version.
+        let got = c.get(&k).expect("get").expect("previous version survives");
+        assert_eq!(got, v1, "must serve the intact previous version");
+        server2.shutdown();
+    });
+    simu.run().expect_ok();
+}
+
+/// Media fault, replicated store: the scrubber repairs the rotted bytes
+/// from the backup in place — the newest version stays servable and
+/// nothing is quarantined.
+#[test]
+fn bit_rot_replicated_repairs_from_backup() {
+    let mut simu = Sim::new(6);
+    let fabric = Fabric::new(CostModel::default());
+    let server_node = fabric.add_node("server");
+    let store_layout = StoreLayout::new(256, 256 * 1024, false);
+    let server = Arc::new(ReplicatedServer::format(
+        &fabric,
+        &server_node,
+        store_layout,
+        ServerConfig {
+            scrub_enabled: true,
+            ..ServerConfig::default()
+        },
+    ));
+
+    let f = Arc::clone(&fabric);
+    let server2 = Arc::clone(&server);
+    simu.spawn("main", move || {
+        server2.start(&f);
+        let rdesc = server2.desc();
+        let cnode = f.add_node("cnode");
+        let c = ReplClient::connect(&f, &cnode, &rdesc, ClientConfig::default()).expect("connect");
+        let k = b"rot-key-".to_vec();
+        let v = vec![0x33u8; 64];
+        c.put(&k, &v).expect("put");
+        // Durable *and* mirrored before the rot lands.
+        let shared = server2.shared();
+        let deadline = sim::now() + sim::millis(100);
+        while (shared.stats.bg_verified.get() < 1 || server2.stats().applied_objects.get() < 1)
+            && sim::now() < deadline
+        {
+            sim::sleep(sim::micros(50));
+        }
+        assert!(server2.stats().applied_objects.get() >= 1, "never mirrored");
+
+        let obj_off = shared.logs[0].base();
+        let value_off = obj_off + layout::HDR_LEN + layout::pad8(k.len());
+        shared.pool.corrupt_range(value_off, 8, 0xA5);
+
+        let deadline = sim::now() + sim::millis(200);
+        while shared.scrub.repaired.get() == 0 && sim::now() < deadline {
+            sim::sleep(sim::micros(100));
+        }
+        assert_eq!(shared.scrub.repaired.get(), 1, "rot never repaired");
+        assert_eq!(shared.scrub.quarantined.get(), 0, "repair, not quarantine");
+
+        // The same (newest) version is intact again.
+        let got = c.get(&k).expect("get").expect("repaired key readable");
+        assert_eq!(got, v, "repaired value must match the original");
+        let hdr = layout::ObjHeader::read_from(&shared.pool, obj_off);
+        assert!(hdr.has(flags::VALID) && !hdr.has(flags::QUARANTINED));
+        server2.shutdown();
+    });
+    simu.run().expect_ok();
+}
+
+/// The full chaos combo of the issue's acceptance bar: lossy fabric
+/// (loss + duplication + delay) + bit-rot on the primary (repaired from
+/// the backup) + a primary crash mid-run — the replicated cluster still
+/// converges to exactly the script-dictated final state.
+#[test]
+fn full_chaos_replicated_cluster_converges() {
+    let seed = 0xF011_BEEF_u64;
+    let mut simu = Sim::new(seed);
+    let fabric = Fabric::new(CostModel::default());
+    fabric.set_fault_plan(Some(FaultPlan::chaos(
+        0.03,
+        0.02,
+        0.02,
+        sim::micros(3),
+        seed ^ 0xFA,
+    )));
+    let server_node = fabric.add_node("server");
+    let store_layout = StoreLayout::new(1024, 1 << 20, false);
+    let server = Arc::new(ReplicatedServer::format(
+        &fabric,
+        &server_node,
+        store_layout,
+        ServerConfig {
+            scrub_enabled: true,
+            ..ServerConfig::default()
+        },
+    ));
+
+    const PHASE_A: usize = 24; // distinct keys written before the crash
+    const PHASE_B: usize = 30; // ops issued across the failover
+    let f = Arc::clone(&fabric);
+    let server2 = Arc::clone(&server);
+    let out: Arc<Mutex<BTreeMap<Vec<u8>, Vec<u8>>>> = Arc::default();
+    let out2 = Arc::clone(&out);
+    simu.spawn("main", move || {
+        server2.start(&f);
+        let rdesc = server2.desc();
+        let cnode = f.add_node("cnode");
+        let c = ReplClient::connect(&f, &cnode, &rdesc, ClientConfig::default()).expect("connect");
+
+        // Phase A: seed the keyspace, then drain verification + mirroring
+        // so the crash window holds no acked-but-unmirrored write.
+        for i in 0..PHASE_A {
+            c.put(&key(0, i), &value(0, i, 1)).expect("phase A put");
+        }
+        let shared = server2.shared();
+        let deadline = sim::now() + sim::millis(200);
+        while (shared.stats.bg_verified.get() < PHASE_A as u64
+            || server2.stats().applied_objects.get() < PHASE_A as u64)
+            && sim::now() < deadline
+        {
+            sim::sleep(sim::micros(100));
+        }
+        assert!(
+            server2.stats().applied_objects.get() >= PHASE_A as u64,
+            "phase A never fully mirrored"
+        );
+
+        // Bit-rot two durable objects (≤ 4 corrupted cache lines); the
+        // scrubber must repair both from the backup.
+        let base = shared.logs[0].base();
+        let obj_size = layout::object_size(key(0, 0).len(), value(0, 0, 1).len());
+        for i in [2usize, 7] {
+            let value_off = base + i * obj_size + layout::HDR_LEN + layout::pad8(key(0, i).len());
+            shared.pool.corrupt_range(value_off, 8, 0x3C);
+        }
+        let deadline = sim::now() + sim::millis(200);
+        while shared.scrub.repaired.get() < 2 && sim::now() < deadline {
+            sim::sleep(sim::micros(100));
+        }
+        assert_eq!(shared.scrub.repaired.get(), 2, "rot never repaired");
+
+        // Crash the primary; phase B rides through the failover.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+        f.crash_node(&server_node, CrashSpec::DropAll, &mut rng);
+        for i in 0..PHASE_B {
+            let k = i % PHASE_A;
+            if i % 5 == 4 {
+                c.del(&key(0, k)).expect("phase B del");
+            } else {
+                c.put(&key(0, k), &value(0, k, 100 + i as u32))
+                    .expect("phase B put");
+            }
+        }
+        assert!(c.on_backup(), "phase B must have failed over");
+
+        // Heal the fabric and read the whole keyspace back.
+        f.set_fault_plan(None);
+        let mut final_state = BTreeMap::new();
+        for i in 0..PHASE_A {
+            if let Some(v) = c.get(&key(0, i)).expect("verify get") {
+                final_state.insert(key(0, i), v);
+            }
+        }
+        *out2.lock().unwrap() = final_state;
+        server2.shutdown();
+    });
+    simu.run().expect_ok();
+
+    // Compute the script-dictated expectation: phase A tag 1, overwritten
+    // by phase B (dels on every 5th op).
+    let mut expected: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    for i in 0..PHASE_A {
+        expected.insert(key(0, i), value(0, i, 1));
+    }
+    for i in 0..PHASE_B {
+        let k = i % PHASE_A;
+        if i % 5 == 4 {
+            expected.remove(&key(0, k));
+        } else {
+            expected.insert(key(0, k), value(0, k, 100 + i as u32));
+        }
+    }
+    assert_eq!(
+        *out.lock().unwrap(),
+        expected,
+        "replicated cluster diverged under full chaos"
+    );
+}

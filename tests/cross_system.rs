@@ -236,6 +236,8 @@ fn fabric_counters_reproducible_across_identical_runs() {
         doorbell_batch: 16,
         replicas: 0,
         fault_at: None,
+        fault_plan: None,
+        scrub: false,
     };
     let a = cluster::run(&spec);
     let b = cluster::run(&spec);
@@ -273,6 +275,8 @@ fn harness_accounting_is_exact_for_all_mixes() {
             doorbell_batch: 0,
             replicas: 0,
             fault_at: None,
+            fault_plan: None,
+            scrub: false,
         };
         let r = cluster::run(&spec);
         assert_eq!(r.total_ops, 120);

@@ -22,6 +22,8 @@ fn tiny_spec() -> ExperimentSpec {
         doorbell_batch: 0,
         replicas: 0,
         fault_at: None,
+        fault_plan: None,
+        scrub: false,
     }
 }
 

@@ -211,6 +211,8 @@ fn replicated_runs_are_byte_identical() {
         doorbell_batch: 8,
         replicas: 1,
         fault_at: Some(sim::micros(40)),
+        fault_plan: None,
+        scrub: false,
     };
     let a = run(&spec);
     let b = run(&spec);
