@@ -77,6 +77,14 @@ pub struct ClientConfig {
     pub op_retries: usize,
     /// Initial backoff for those one-sided retries, doubled per attempt.
     pub op_backoff: Nanos,
+    /// Client-side bound on the server's verifier timeout: when the
+    /// allocation-RPC-to-write-ack window of a PUT reaches this much
+    /// virtual time, the client re-reads the version's flag word to detect
+    /// a verifier invalidation before reporting success. Measured from
+    /// *before* the allocation request is sent, so it upper-bounds the
+    /// server-side time since allocation; must not exceed the server's
+    /// `verify_timeout` (the default is half of the server default).
+    pub verify_grace: Nanos,
     /// Verify the value CRC on one-sided GET paths; a mismatch falls back
     /// to the RPC path (which re-validates server-side) instead of
     /// returning silently corrupted bytes.
@@ -96,6 +104,7 @@ impl Default for ClientConfig {
             retry_backoff: efactory_sim::micros(10),
             op_retries: 5,
             op_backoff: efactory_sim::micros(100),
+            verify_grace: efactory_sim::micros(100),
             verify_value_crc: true,
             obs: Obs::new(),
         }
@@ -126,6 +135,10 @@ pub struct ClientStats {
     pub puts: Cell<u64>,
     /// RPC send attempts beyond the first (lost request/reply ride-out).
     pub rpc_retries: Cell<u64>,
+    /// One-sided verb retries after a timeout (transient-partition
+    /// ride-out of the value write / liveness re-read) — a different
+    /// failure signal than `rpc_retries`, kept separate.
+    pub op_retries: Cell<u64>,
     /// GET retries through the server (validation/CRC mismatch re-reads).
     pub get_retries: Cell<u64>,
     /// PUTs re-issued as fresh logical requests because the allocated
@@ -151,6 +164,8 @@ pub struct Client {
     get_retry_ctr: Counter,
     /// Registry counter mirroring [`ClientStats::rpc_retries`].
     rpc_retry_ctr: Counter,
+    /// Registry counter mirroring [`ClientStats::op_retries`].
+    op_retry_ctr: Counter,
     /// Registry counter mirroring [`ClientStats::put_reissues`].
     put_reissue_ctr: Counter,
 }
@@ -168,6 +183,7 @@ impl Client {
         let qp = fabric.connect(local, server_node)?;
         let get_retry_ctr = cfg.obs.registry.counter("client.get_retry");
         let rpc_retry_ctr = cfg.obs.registry.counter("client.rpc_retry");
+        let op_retry_ctr = cfg.obs.registry.counter("client.op_retry");
         let put_reissue_ctr = cfg.obs.registry.counter("client.put_reissue");
         Ok(Client {
             qp,
@@ -178,6 +194,7 @@ impl Client {
             stats: ClientStats::default(),
             get_retry_ctr,
             rpc_retry_ctr,
+            op_retry_ctr,
             put_reissue_ctr,
         })
     }
@@ -228,9 +245,12 @@ impl Client {
                             // A stale or duplicated reply for an earlier id:
                             // keep draining until this attempt's deadline.
                             Some(_) => continue,
-                            // Unframed reply: a server predating the
-                            // envelope; accept it as-is.
-                            None => return Ok(resp),
+                            // Unframed reply: this client always sends
+                            // framed requests and the server mirrors the
+                            // framing, so an id-less reply can only be
+                            // garbage or a foreign straggler — never the
+                            // answer to *this* request. Drain past it.
+                            None => continue,
                         }
                     }
                     Err(QpError::Timeout) => break,
@@ -239,6 +259,16 @@ impl Client {
             }
         }
         Err(StoreError::Qp(QpError::Timeout))
+    }
+
+    /// Count one one-sided retry (timeout ride-out), in both the
+    /// per-client stats and the run-wide `client.op_retry` registry
+    /// counter. Deliberately distinct from `rpc_retries`: an RPC resend
+    /// and a one-sided redo are different failure signals, and the former
+    /// gates PUT's liveness re-check.
+    fn note_op_retry(&self) {
+        self.stats.op_retries.set(self.stats.op_retries.get() + 1);
+        self.op_retry_ctr.inc();
     }
 
     /// Idempotent one-sided write with bounded timeout retries (rides out
@@ -252,7 +282,7 @@ impl Client {
                 Ok(()) => return Ok(()),
                 Err(QpError::Timeout) if attempt < self.cfg.op_retries => {
                     attempt += 1;
-                    self.rpc_retry_ctr.inc();
+                    self.note_op_retry();
                     sim::sleep(backoff);
                     backoff = backoff.saturating_mul(2);
                 }
@@ -264,13 +294,16 @@ impl Client {
     /// Store `value` under `key`. Returns when the RDMA write is acked —
     /// durability is asynchronous (the paper's client-active scheme).
     ///
-    /// If the allocation reply had to be retried long enough for the
-    /// verifier to time the still-empty version out (it invalidates
-    /// versions whose value never lands within `verify_timeout`), the
-    /// dedup-replayed reply points at a dead version and the value write
-    /// would be silently lost. `put` detects that case with a one-sided
-    /// re-read of the version's flag word and re-issues the whole
-    /// operation as a *fresh* logical request, bounded by `op_retries`.
+    /// If the value write lands after the verifier timed the still-empty
+    /// version out (it invalidates versions whose value never arrives
+    /// within `verify_timeout`) — because the allocation reply was being
+    /// retried, the write itself was retried across a partition, or a
+    /// fault-injected delay held the write in flight — the write lands in
+    /// a dead version and would be silently lost. `put` detects that case
+    /// with a one-sided re-read of the version's flag word whenever the
+    /// allocation-to-ack window could have crossed the timeout, and
+    /// re-issues the whole operation as a *fresh* logical request, bounded
+    /// by `op_retries`.
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
         self.poll_events();
         let mut backoff = self.cfg.op_backoff;
@@ -300,7 +333,12 @@ impl Client {
             vlen: value.len() as u32,
             crc: crc32c(value),
         };
-        let retries_before = self.stats.rpc_retries.get();
+        let rpc_retries_before = self.stats.rpc_retries.get();
+        let op_retries_before = self.stats.op_retries.get();
+        // Taken *before* the request leaves: the server allocates strictly
+        // later, so client-elapsed time from here upper-bounds the
+        // verifier's time-since-allocation.
+        let t_start = sim::now();
         match self.rpc(&req)? {
             Response::Put {
                 status: Status::Ok,
@@ -312,16 +350,21 @@ impl Client {
                     sp.arg("vlen", value.len() as u64);
                     self.one_sided_write_retry(value_off as usize, value)?;
                 }
-                // Fast path: a first-try reply means the value landed well
-                // inside the verifier's window, so the version cannot have
-                // been timed out. Only a retried RPC can have raced the
-                // verifier — re-check the version's liveness then. (Once
-                // the write above is acked the check is race-free: the
-                // verifier only invalidates on a CRC mismatch at visit
-                // time, and a landed value always matches.)
-                if self.stats.rpc_retries.get() != retries_before
-                    && !self.version_still_valid(obj_off as usize)?
-                {
+                // Fast path: when the whole allocation-to-write-ack window
+                // stayed inside `verify_grace` (≤ the server's
+                // `verify_timeout`), the verifier cannot have timed the
+                // version out. Anything that could have stretched it past
+                // the timeout — a retried RPC, a retried (partitioned)
+                // value write, or plain elapsed virtual time (a delayed
+                // write lands late without any retry) — forces a liveness
+                // re-check. (Once the write above is acked the check is
+                // race-free: the verifier only invalidates on a CRC
+                // mismatch at visit time, and a landed value always
+                // matches.)
+                let risky = self.stats.rpc_retries.get() != rpc_retries_before
+                    || self.stats.op_retries.get() != op_retries_before
+                    || sim::now().saturating_sub(t_start) >= self.cfg.verify_grace;
+                if risky && !self.version_still_valid(obj_off as usize)? {
                     return Ok(false);
                 }
                 Ok(true)
@@ -342,6 +385,7 @@ impl Client {
                 Ok(b) => break b,
                 Err(QpError::Timeout) if attempt < self.cfg.op_retries => {
                     attempt += 1;
+                    self.note_op_retry();
                     sim::sleep(backoff);
                     backoff = backoff.saturating_mul(2);
                 }

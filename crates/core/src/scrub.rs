@@ -24,10 +24,21 @@
 //! Non-durable objects are the verifier's domain and are skipped; so are
 //! already-quarantined ones. The walk only runs while no log cleaning is
 //! in progress and restarts if the clean epoch changes mid-pass — the
-//! cleaner rewrites the log under the scrubber's feet otherwise. A header
-//! so damaged the walk cannot even size the object halts the pass (with
-//! replication, the backup's intact header repairs it and the walk
-//! continues).
+//! cleaner rewrites the log under the scrubber's feet otherwise.
+//!
+//! A header so damaged the walk cannot even size the object is the worst
+//! case: with replication, the backup's intact copy repairs it in place
+//! and the walk continues. Standalone, the corpse is quarantined where it
+//! lies (its word-0 flag flip needs no sizing) and the walk *resumes* at
+//! the next object boundary still reachable through the hash index —
+//! every hash entry's version chain is followed to collect candidate
+//! offsets, and the smallest one past the corpse is the resume point.
+//! Whatever the jump skips is unreachable to readers (no index path leads
+//! into it), so no observable object ever escapes scrubbing; the skipped
+//! span is surfaced as `scrub.skipped_bytes` so experiments can see the
+//! coverage gap. If nothing reachable remains, the pass jumps to the log
+//! head and later passes retry the region (new allocations land past the
+//! head and are walked normally).
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -37,7 +48,8 @@ use efactory_obs::{Counter, Registry, Subsystem};
 use efactory_rnic::{ClientQp, Fabric, RemoteMr};
 use efactory_sim as sim;
 
-use crate::layout::{self, flags, ObjHeader};
+use crate::layout::{self, flags, ObjHeader, NIL};
+use crate::log::LogRegion;
 use crate::repl::ReplTarget;
 use crate::server::{CleanPhase, ServerShared};
 
@@ -55,8 +67,13 @@ pub struct ScrubStats {
     /// Repair attempts that failed (backup unreachable or its copy bad);
     /// each such object was quarantined instead.
     pub repair_failures: Counter,
-    /// Passes abandoned mid-walk (unsizable header, or cleaning started).
+    /// Passes abandoned mid-walk (cleaning started under the scrubber).
     pub halted: Counter,
+    /// Bytes jumped over because an unsizable (header-rotted, unrepaired)
+    /// object forced the walk to resume at the next index-reachable
+    /// boundary. Non-zero means part of the log went unscrubbed — by
+    /// construction a span no reader can reach.
+    pub skipped_bytes: Counter,
     /// Complete passes over the active log.
     pub passes: Counter,
 }
@@ -64,13 +81,14 @@ pub struct ScrubStats {
 impl ScrubStats {
     /// Attach every counter to `reg` under `{prefix}scrub.*` names.
     pub fn register_prefixed(&self, reg: &Registry, prefix: &str) {
-        let pairs: [(&str, &Counter); 7] = [
+        let pairs: [(&str, &Counter); 8] = [
             ("scrub.scanned", &self.scanned),
             ("scrub.clean", &self.clean),
             ("scrub.repaired", &self.repaired),
             ("scrub.quarantined", &self.quarantined),
             ("scrub.repair_failures", &self.repair_failures),
             ("scrub.halted", &self.halted),
+            ("scrub.skipped_bytes", &self.skipped_bytes),
             ("scrub.passes", &self.passes),
         ];
         for (name, c) in pairs {
@@ -85,12 +103,9 @@ struct RepairSource {
     mr: RemoteMr,
 }
 
-enum Step {
-    /// Move past the object (`size` bytes).
-    Advance(usize),
-    /// The walk cannot continue (unsizable header).
-    Halt,
-}
+/// Safety cap on version-chain walks in [`next_reachable`] — corruption
+/// could splice a chain into a cycle.
+const MAX_CHAIN_HOPS: usize = 256;
 
 /// Run the scrubber until the server stops. Must be spawned as its own
 /// simulated process (it sleeps and charges CPU). With `repl`, corrupted
@@ -118,17 +133,11 @@ pub fn run(shared: &Arc<ServerShared>, fabric: &Arc<Fabric>, repl: Option<&ReplT
                 || shared.clean_epoch.load(Ordering::Relaxed) != epoch0
             {
                 // The cleaner is rewriting the log; abandon this pass.
+                shared.scrub.halted.inc();
                 halted = true;
                 break;
             }
-            match scrub_object(shared, repair.as_ref(), off, region.head()) {
-                Step::Advance(size) => off += size,
-                Step::Halt => {
-                    shared.scrub.halted.inc();
-                    halted = true;
-                    break;
-                }
-            }
+            off += scrub_object(shared, repair.as_ref(), off, region);
             sim::work(shared.cfg.scrub_step_cost);
         }
         if !halted {
@@ -145,37 +154,52 @@ fn header_sane(shared: &ServerShared, hdr: &ObjHeader, off: usize, head: usize) 
         && off + hdr.object_size() <= head
 }
 
-/// Examine one object. Returns how far to advance, or `Halt` when the log
-/// is no longer walkable at `off`.
+/// Examine one object. Returns how far to advance the walk (always > 0:
+/// even an unsizable header yields a jump to the next reachable boundary
+/// or the log head).
 fn scrub_object(
     shared: &ServerShared,
     repair: Option<&RepairSource>,
     off: usize,
-    head: usize,
-) -> Step {
+    region: &LogRegion,
+) -> usize {
+    let head = region.head();
     let hdr = ObjHeader::read_from(&shared.pool, off);
     if !header_sane(shared, &hdr, off, head) {
         // The header itself is rotted: the object cannot even be sized.
-        // Only a backup copy can rescue the walk.
+        // A backup copy rescues it in place; otherwise quarantine the
+        // corpse (the word-0 flag flip needs no sizing — any reader
+        // reaching it through a version chain must not trust it) and
+        // resume at the next index-reachable boundary. The skipped span
+        // is unreachable to readers, so nothing observable goes
+        // unscrubbed; it is still accounted under `scrub.skipped_bytes`.
         if let Some(src) = repair {
             if let Some(size) = try_repair(shared, src, off, head) {
                 shared.scrub.repaired.inc();
-                return Step::Advance(size);
+                return size;
             }
             shared.scrub.repair_failures.inc();
         }
-        return Step::Halt;
+        // Idempotent across passes: the flag word is ours once written, so
+        // a corpse met again is only jumped over, not re-counted.
+        let resume = next_reachable(shared, region, off).unwrap_or(head);
+        if !hdr.has(flags::QUARANTINED) || hdr.has(flags::VALID) {
+            quarantine(shared, off);
+            shared.scrub.quarantined.inc();
+            shared.scrub.skipped_bytes.add((resume - off) as u64);
+        }
+        return resume - off;
     }
     let size = hdr.object_size();
     shared.scrub.scanned.inc();
     if !hdr.has(flags::VALID) || hdr.has(flags::QUARANTINED) || !hdr.has(flags::DURABLE) {
         // Dead, already quarantined, or still the verifier's business.
-        return Step::Advance(size);
+        return size;
     }
     sim::work(shared.cost.crc_hw(hdr.vlen as usize));
     if shared.crc_matches(off, &hdr) {
         shared.scrub.clean.inc();
-        return Step::Advance(size);
+        return size;
     }
     // Silent bit-rot on a durable object — the exact hazard this process
     // exists for.
@@ -184,13 +208,45 @@ fn scrub_object(
     if let Some(src) = repair {
         if try_repair(shared, src, off, head).is_some() {
             shared.scrub.repaired.inc();
-            return Step::Advance(size);
+            return size;
         }
         shared.scrub.repair_failures.inc();
     }
     quarantine(shared, off);
     shared.scrub.quarantined.inc();
-    Step::Advance(size)
+    size
+}
+
+/// Smallest object offset strictly past `after` (and below the head) that
+/// a reader could still reach: every occupied hash entry's slots, plus
+/// the version chains hanging off them, guarded hop by hop (a rotted
+/// `pre_ptr` must not lead the scan astray — chains stop at the first
+/// out-of-region or insane header, and at [`MAX_CHAIN_HOPS`]).
+fn next_reachable(shared: &ServerShared, region: &LogRegion, after: usize) -> Option<usize> {
+    let head = region.head();
+    let mut best: Option<usize> = None;
+    shared.ht.for_each_occupied(&shared.pool, |_, entry| {
+        for slot in entry.slot {
+            let mut cur = slot;
+            let mut hops = 0;
+            while cur != 0 && cur != NIL && hops < MAX_CHAIN_HOPS {
+                let off = cur as usize;
+                if !region.contains(off) || off >= head {
+                    break;
+                }
+                let hdr = ObjHeader::read_from(&shared.pool, off);
+                if !header_sane(shared, &hdr, off, head) {
+                    break;
+                }
+                if off > after && best.is_none_or(|b| off < b) {
+                    best = Some(off);
+                }
+                cur = hdr.pre_ptr;
+                hops += 1;
+            }
+        }
+    });
+    best
 }
 
 /// Fetch the object at `off` from the backup, validate the copy

@@ -129,11 +129,14 @@ struct ChaosOutcome {
     server_dels: u64,
     dup_hits: u64,
     rpc_retries: u64,
+    /// One-sided verb retries (distinct from RPC resends).
+    op_retries: u64,
     /// PUTs the clients re-issued as fresh logical ops after the verifier
     /// timed out their first allocation (each adds one to `server_puts`).
     put_reissues: u64,
     fault_dropped: u64,
     fault_duplicated: u64,
+    fault_delayed: u64,
 }
 
 const CLIENTS: usize = 3;
@@ -166,12 +169,14 @@ fn run_chaos(seed: u64, plan: Option<FaultPlan>) -> ChaosOutcome {
         server2.start(&f);
         let desc = server2.desc();
         let retries_acc = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let op_retries_acc = Arc::new(std::sync::atomic::AtomicU64::new(0));
         let reissues_acc = Arc::new(std::sync::atomic::AtomicU64::new(0));
         let mut handles = Vec::new();
         for (cid, script) in scripts2.iter().cloned().enumerate() {
             let f2 = Arc::clone(&f);
             let sn = server_node.clone();
             let retries_acc = Arc::clone(&retries_acc);
+            let op_retries_acc = Arc::clone(&op_retries_acc);
             let reissues_acc = Arc::clone(&reissues_acc);
             handles.push(sim::spawn(&format!("chaos-client-{cid}"), move || {
                 let node = f2.add_node(&format!("cnode-{cid}"));
@@ -192,6 +197,7 @@ fn run_chaos(seed: u64, plan: Option<FaultPlan>) -> ChaosOutcome {
                 }
                 use std::sync::atomic::Ordering;
                 retries_acc.fetch_add(c.stats().rpc_retries.get(), Ordering::Relaxed);
+                op_retries_acc.fetch_add(c.stats().op_retries.get(), Ordering::Relaxed);
                 reissues_acc.fetch_add(c.stats().put_reissues.get(), Ordering::Relaxed);
             }));
         }
@@ -226,11 +232,13 @@ fn run_chaos(seed: u64, plan: Option<FaultPlan>) -> ChaosOutcome {
             server_dels: stats.dels.get(),
             dup_hits: stats.dup_hits.get(),
             rpc_retries: retries_acc.load(std::sync::atomic::Ordering::Relaxed),
+            op_retries: op_retries_acc.load(std::sync::atomic::Ordering::Relaxed),
             put_reissues: reissues_acc.load(std::sync::atomic::Ordering::Relaxed),
             fault_dropped: fs.fault_dropped.load(std::sync::atomic::Ordering::Relaxed),
             fault_duplicated: fs
                 .fault_duplicated
                 .load(std::sync::atomic::Ordering::Relaxed),
+            fault_delayed: fs.fault_delayed.load(std::sync::atomic::Ordering::Relaxed),
         });
         server2.shutdown();
     });
@@ -293,6 +301,43 @@ fn chaos_replay_is_deterministic() {
     let a = run_chaos(7, Some(plan));
     let b = run_chaos(7, Some(plan));
     assert_eq!(a, b, "same seed, same plan must replay identically");
+}
+
+/// Regression for the silent-lost-update hazard: a fault-injected *delay*
+/// can hold the one-sided value write in flight past the verifier's
+/// timeout (200 µs at defaults) without a single RPC retry — the reply
+/// legs stay inside the 1 ms deadline, so the old "re-check only after a
+/// retried RPC" guard never fired, the write landed in a version the
+/// verifier had already invalidated, and the PUT reported success while
+/// the update was gone. The `verify_grace` elapsed-time guard must catch
+/// it: every such PUT is re-issued and the run still converges.
+#[test]
+fn delayed_value_write_past_verifier_timeout_is_reissued_not_lost() {
+    let seed = 0xDE1A;
+    let scripts = gen_scripts(CLIENTS, OPS, KEYS, seed);
+    let expected = expected_state(&scripts);
+    let (puts, dels) = logical_writes(&scripts);
+
+    // Delay-only plan: no drops, no dups. 300 µs crosses the verifier's
+    // 200 µs timeout, yet request + reply each delayed still fit the 1 ms
+    // RPC deadline — the RPC layer must see nothing to retry.
+    let plan = FaultPlan::chaos(0.0, 0.0, 0.25, sim::micros(300), seed ^ 0xD);
+    let o = run_chaos(seed, Some(plan));
+
+    assert!(o.fault_delayed > 0, "delay plan never fired: {o:?}");
+    assert_eq!(
+        o.rpc_retries, 0,
+        "nothing dropped: the RPC layer must not have retried: {o:?}"
+    );
+    assert_eq!(o.dup_hits, 0, "no retries, so nothing to dedup");
+    assert!(
+        o.put_reissues > 0,
+        "delays must have pushed some value write past the verifier \
+         timeout — the elapsed-time guard never fired: {o:?}"
+    );
+    assert_eq!(o.final_state, expected, "a delayed PUT was silently lost");
+    assert_eq!(o.server_puts, puts + o.put_reissues, "dup PUT: {o:?}");
+    assert_eq!(o.server_dels, dels, "dup DEL");
 }
 
 /// Heavier plan matrix, gated on `EF_TEST_CHAOS=1`.
@@ -451,6 +496,98 @@ fn bit_rot_standalone_quarantines_and_serves_previous_version() {
         // Reads fall through to the previous intact version.
         let got = c.get(&k).expect("get").expect("previous version survives");
         assert_eq!(got, v1, "must serve the intact previous version");
+        server2.shutdown();
+    });
+    simu.run().expect_ok();
+}
+
+/// Worst-case media fault, standalone: rot lands in an object *header*,
+/// so the scrubber cannot even size the object. The walk must not die at
+/// the corpse — it quarantines it in place, resumes at the next boundary
+/// reachable through the hash index (accounting the jump under
+/// `scrub.skipped_bytes`), and keeps completing passes so every object
+/// past the rot stays under scrub coverage.
+#[test]
+fn header_rot_standalone_skips_corpse_and_keeps_scrubbing() {
+    let mut simu = Sim::new(9);
+    let fabric = Fabric::new(CostModel::default());
+    let server_node = fabric.add_node("server");
+    let store_layout = StoreLayout::new(256, 256 * 1024, false);
+    let server = Arc::new(Server::format(
+        &fabric,
+        &server_node,
+        store_layout,
+        ServerConfig {
+            clean_enabled: false,
+            scrub_enabled: true,
+            ..ServerConfig::default()
+        },
+    ));
+
+    let f = Arc::clone(&fabric);
+    let server2 = Arc::clone(&server);
+    simu.spawn("main", move || {
+        server2.start(&f);
+        let desc = server2.desc();
+        let cnode = f.add_node("cnode");
+        let c = Client::connect(&f, &cnode, &server_node, desc, ClientConfig::default())
+            .expect("connect");
+        // Three distinct keys → three same-size objects, appended in order.
+        let keys: Vec<Vec<u8>> = (0..3).map(|i| format!("hdr-rot{i}").into_bytes()).collect();
+        let v = vec![0x44u8; 64];
+        for k in &keys {
+            c.put(k, &v).expect("put");
+        }
+        let shared = server2.shared();
+        let deadline = sim::now() + sim::millis(100);
+        while shared.stats.bg_verified.get() < 3 && sim::now() < deadline {
+            sim::sleep(sim::micros(50));
+        }
+        assert!(shared.stats.bg_verified.get() >= 3, "never verified");
+
+        // Rot the *middle* object's klen field into an unsizable value
+        // (0x0008 → 0xFFF7, far past max_klen).
+        let base = shared.logs[0].base();
+        let obj_size = layout::object_size(keys[0].len(), v.len());
+        let mid_off = base + obj_size;
+        shared.pool.corrupt_range(mid_off, 2, 0xFF);
+
+        let deadline = sim::now() + sim::millis(200);
+        while shared.scrub.quarantined.get() == 0 && sim::now() < deadline {
+            sim::sleep(sim::micros(100));
+        }
+        assert_eq!(
+            shared.scrub.quarantined.get(),
+            1,
+            "corpse never quarantined"
+        );
+        // The jump skipped exactly the unsizable object: the next hash-
+        // reachable boundary is the third object, one `obj_size` later.
+        assert_eq!(
+            shared.scrub.skipped_bytes.get(),
+            obj_size as u64,
+            "resume point must be the next index-reachable boundary"
+        );
+        let hdr0 = layout::ObjHeader::read_from(&shared.pool, mid_off);
+        assert!(hdr0.has(flags::QUARANTINED) && !hdr0.has(flags::VALID));
+
+        // The scrubber must stay alive: later passes still walk the
+        // objects around the corpse (clean keeps counting) and complete.
+        let passes0 = shared.scrub.passes.get();
+        let clean0 = shared.scrub.clean.get();
+        sim::sleep(sim::millis(1));
+        assert!(
+            shared.scrub.passes.get() > passes0,
+            "scrubber died at the corpse: no pass completed after the rot"
+        );
+        assert!(
+            shared.scrub.clean.get() > clean0,
+            "objects past the corpse are no longer being scrubbed"
+        );
+
+        // Untouched neighbours stay servable.
+        assert_eq!(c.get(&keys[0]).expect("get k0"), Some(v.clone()));
+        assert_eq!(c.get(&keys[2]).expect("get k2"), Some(v.clone()));
         server2.shutdown();
     });
     simu.run().expect_ok();
