@@ -35,6 +35,8 @@ fn spec(system: SystemKind, mix: Mix, value_len: usize) -> ExperimentSpec {
         fault_at: None,
         fault_plan: None,
         scrub: false,
+        window: 1,
+        loc_cache: false,
     }
 }
 

@@ -35,6 +35,8 @@ fn base(system: SystemKind, mix: Mix) -> ExperimentSpec {
         fault_at: None,
         fault_plan: None,
         scrub: false,
+        window: 1,
+        loc_cache: false,
     }
 }
 

@@ -44,6 +44,8 @@ fn main() {
             fault_at: None,
             fault_plan: None,
             scrub: false,
+            window: 1,
+            loc_cache: false,
         };
         let normal = cluster::run(&base_spec(false));
         let cleaning = cluster::run(&base_spec(true));

@@ -1,0 +1,644 @@
+//! Perf-regression gate over committed `BENCH_*.json` baselines.
+//!
+//! The simulator is deterministic, so the committed reports are exact:
+//! any drift between a fresh run and the baseline is a *code* change, not
+//! noise. The gate re-derives a small set of key metrics from freshly
+//! generated reports and compares them against the committed ones at a
+//! ±10% band (derived percentages use an absolute band instead — a 0.00%
+//! replication overhead baseline has no meaningful relative tolerance):
+//!
+//! * a metric **worse** than baseline beyond tolerance is a regression →
+//!   the gate fails;
+//! * a metric **better** than baseline beyond tolerance means the
+//!   committed baseline is stale → the gate also fails, with instructions
+//!   to refresh it (run the bench bins at full scale and commit the new
+//!   JSON). This keeps the checked-in trajectory honest.
+//!
+//! Hard floors are acceptance criteria that must hold regardless of what
+//! the baseline says (e.g. pipeline window=16 speedup ≥ 2×).
+//!
+//! The reports are parsed with the tiny recursive-descent JSON reader
+//! below — the repo's JSON *writer* lives in `efactory-obs` and the
+//! offline shims are stubs, so the gate carries its own reader rather
+//! than depending on one.
+
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// minimal JSON reader
+// ---------------------------------------------------------------------------
+
+/// Parsed JSON value. Numbers are kept as `f64`, which is lossless for
+/// every quantity the reports carry (counters stay well under 2^53).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a complete JSON document; trailing whitespace is allowed,
+    /// trailing garbage is not.
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let b = s.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Dotted-path lookup (`"all.p99_ns"`).
+    pub fn path(&self, dotted: &str) -> Option<&Json> {
+        dotted.split('.').try_fold(self, |v, k| v.get(k))
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Find the `entries` element whose `"label"` equals `label`.
+    pub fn entry(&self, label: &str) -> Option<&Json> {
+        match self.get("entries")? {
+            Json::Arr(entries) => entries
+                .iter()
+                .find(|e| e.get("label").and_then(Json::as_str) == Some(label)),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                members.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected '\"' at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_string())?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(format!("bad escape '\\{}'", esc as char)),
+                }
+            }
+            _ => {
+                // Reports are ASCII-labelled, but stay UTF-8 correct anyway:
+                // back up and take the full code point.
+                *pos -= 1;
+                let s = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid utf-8")?;
+                let ch = s.chars().next().ok_or("unterminated string")?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+// ---------------------------------------------------------------------------
+// metric extraction
+// ---------------------------------------------------------------------------
+
+/// Which direction is an improvement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Better {
+    Higher,
+    Lower,
+}
+
+/// Comparison band. Throughput/latency use a relative band; derived
+/// percentages (replication overhead) use an absolute band in the
+/// metric's own unit, since their baselines can legitimately be 0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tolerance {
+    Rel(f64),
+    Abs(f64),
+}
+
+/// One gated quantity extracted from a report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricValue {
+    pub name: String,
+    pub value: f64,
+    pub better: Better,
+    pub tol: Tolerance,
+    /// Acceptance-criterion floor (in the metric's own unit, with
+    /// [`Better`] orientation): a fresh value on the wrong side fails the
+    /// gate even if it matches the baseline.
+    pub floor: Option<f64>,
+}
+
+/// Default relative band: ±10%.
+pub const REL_TOL: f64 = 0.10;
+/// Default absolute band for derived percentages: ±2 percentage points.
+pub const ABS_TOL_PCT: f64 = 2.0;
+
+fn field(report: &Json, label: &str, path: &str) -> Result<f64, String> {
+    report
+        .entry(label)
+        .ok_or_else(|| format!("entry {label:?} missing"))?
+        .path(path)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("field {path:?} missing on entry {label:?}"))
+}
+
+fn metric(name: &str, value: f64, better: Better, tol: Tolerance) -> MetricValue {
+    MetricValue {
+        name: name.to_string(),
+        value,
+        better,
+        tol,
+        floor: None,
+    }
+}
+
+/// Extract the gated metrics from a parsed report, keyed by the baseline
+/// file's stem (`"BENCH_put_get"`, ...). Unknown stems gate nothing.
+pub fn extract_metrics(stem: &str, report: &Json) -> Result<Vec<MetricValue>, String> {
+    let mut out = Vec::new();
+    match stem {
+        "BENCH_put_get" => {
+            out.push(metric(
+                "update_only_256B_mops",
+                field(report, "Update-only/256B", "mops")?,
+                Better::Higher,
+                Tolerance::Rel(REL_TOL),
+            ));
+            out.push(metric(
+                "ycsb_a_256B_p99_ns",
+                field(report, "YCSB-A 50%GET/256B", "all.p99_ns")?,
+                Better::Lower,
+                Tolerance::Rel(REL_TOL),
+            ));
+            out.push(metric(
+                "ycsb_c_256B_mops",
+                field(report, "YCSB-C 100%GET/256B", "mops")?,
+                Better::Higher,
+                Tolerance::Rel(REL_TOL),
+            ));
+        }
+        "BENCH_repl" => {
+            for mix in ["Update-only", "YCSB-A 50%GET"] {
+                let base = field(report, &format!("{mix}/256B/replicas0"), "mops")?;
+                let repl = field(report, &format!("{mix}/256B/replicas1"), "mops")?;
+                let overhead_pct = (base - repl) / base * 100.0;
+                let tag = if mix == "Update-only" {
+                    "update_only"
+                } else {
+                    "ycsb_a"
+                };
+                out.push(metric(
+                    &format!("repl_overhead_{tag}_pct"),
+                    overhead_pct,
+                    Better::Lower,
+                    Tolerance::Abs(ABS_TOL_PCT),
+                ));
+            }
+        }
+        "BENCH_pipeline" => {
+            let w1 = field(report, "Update-only/256B/window1", "mops")?;
+            let w16 = field(report, "Update-only/256B/window16", "mops")?;
+            out.push(metric(
+                "pipeline_window1_mops",
+                w1,
+                Better::Higher,
+                Tolerance::Rel(REL_TOL),
+            ));
+            // Acceptance criterion from the PR that introduced the
+            // pipelined client: window=16 must hold ≥ 2× window=1.
+            let mut speedup = metric(
+                "pipeline_window16_speedup",
+                w16 / w1,
+                Better::Higher,
+                Tolerance::Rel(REL_TOL),
+            );
+            speedup.floor = Some(2.0);
+            out.push(speedup);
+            out.push(metric(
+                "loc_cache_ycsb_c_mops",
+                field(report, "YCSB-C/256B/loc_cache1", "mops")?,
+                Better::Higher,
+                Tolerance::Rel(REL_TOL),
+            ));
+        }
+        _ => {}
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// comparison
+// ---------------------------------------------------------------------------
+
+/// Outcome of comparing one fresh metric against its baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within tolerance (and above any floor).
+    Ok,
+    /// Worse than baseline beyond tolerance.
+    Regressed,
+    /// Better than baseline beyond tolerance — the committed baseline is
+    /// stale and must be refreshed alongside the change.
+    StaleBaseline,
+    /// Below the hard acceptance floor, regardless of baseline.
+    FloorViolation,
+    /// Metric present in the baseline but absent fresh (or vice versa).
+    Missing,
+}
+
+impl Verdict {
+    pub fn failing(self) -> bool {
+        self != Verdict::Ok
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Regressed => "regressed",
+            Verdict::StaleBaseline => "stale-baseline",
+            Verdict::FloorViolation => "floor-violation",
+            Verdict::Missing => "missing",
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One row of the gate's diff output.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    pub name: String,
+    pub baseline: f64,
+    pub fresh: f64,
+    pub delta_pct: f64,
+    pub verdict: Verdict,
+}
+
+/// Compare one metric pair. Orientation: `delta_pct > 0` always means
+/// "fresh is better", whatever the metric's direction.
+pub fn compare(baseline: &MetricValue, fresh: &MetricValue) -> Comparison {
+    let improvement = match baseline.better {
+        Better::Higher => fresh.value - baseline.value,
+        Better::Lower => baseline.value - fresh.value,
+    };
+    let delta_pct = if baseline.value.abs() > f64::EPSILON {
+        improvement / baseline.value.abs() * 100.0
+    } else {
+        0.0
+    };
+    let beyond = match baseline.tol {
+        Tolerance::Rel(t) => improvement.abs() > baseline.value.abs() * t,
+        Tolerance::Abs(t) => improvement.abs() > t,
+    };
+    let floor_violated = match (fresh.floor, fresh.better) {
+        (Some(floor), Better::Higher) => fresh.value < floor,
+        (Some(floor), Better::Lower) => fresh.value > floor,
+        (None, _) => false,
+    };
+    let verdict = if floor_violated {
+        Verdict::FloorViolation
+    } else if beyond && improvement < 0.0 {
+        Verdict::Regressed
+    } else if beyond {
+        Verdict::StaleBaseline
+    } else {
+        Verdict::Ok
+    };
+    Comparison {
+        name: baseline.name.clone(),
+        baseline: baseline.value,
+        fresh: fresh.value,
+        delta_pct,
+        verdict,
+    }
+}
+
+/// Compare full metric sets by name; metrics present on only one side
+/// yield [`Verdict::Missing`] rows (value 0 on the absent side).
+pub fn compare_all(baseline: &[MetricValue], fresh: &[MetricValue]) -> Vec<Comparison> {
+    let mut rows = Vec::new();
+    for b in baseline {
+        match fresh.iter().find(|f| f.name == b.name) {
+            Some(f) => rows.push(compare(b, f)),
+            None => rows.push(Comparison {
+                name: b.name.clone(),
+                baseline: b.value,
+                fresh: 0.0,
+                delta_pct: 0.0,
+                verdict: Verdict::Missing,
+            }),
+        }
+    }
+    for f in fresh {
+        if !baseline.iter().any(|b| b.name == f.name) {
+            rows.push(Comparison {
+                name: f.name.clone(),
+                baseline: 0.0,
+                fresh: f.value,
+                delta_pct: 0.0,
+                verdict: Verdict::Missing,
+            });
+        }
+    }
+    rows
+}
+
+/// Render the comparison rows as the diff-artifact JSON.
+pub fn diff_json(rows: &[Comparison]) -> String {
+    use efactory_obs::json::{Arr, Obj};
+    let mut arr = Arr::new();
+    for row in rows {
+        arr = arr.raw(
+            &Obj::new()
+                .str("metric", &row.name)
+                .f64("baseline", row.baseline, 6)
+                .f64("fresh", row.fresh, 6)
+                .f64("delta_pct", row.delta_pct, 2)
+                .str("verdict", row.verdict.as_str())
+                .finish(),
+        );
+    }
+    Obj::new()
+        .str("schema", "efactory-bench-gate/v1")
+        .bool("pass", rows.iter().all(|r| !r.verdict.failing()))
+        .raw("comparisons", &arr.finish())
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_reader_round_trips_report_shapes() {
+        let doc = r#"{"schema":"efactory-run-report/v1","entries":[
+            {"label":"Update-only/256B","mops":1.225547,
+             "all":{"p99_ns":7649,"count":10},"neg":-2.5e1,"flag":true,
+             "none":null,"esc":"a\"b\\c\ndA"}]}"#;
+        let v = Json::parse(doc).unwrap();
+        let e = v.entry("Update-only/256B").unwrap();
+        assert_eq!(e.path("mops").unwrap().as_f64(), Some(1.225547));
+        assert_eq!(e.path("all.p99_ns").unwrap().as_f64(), Some(7649.0));
+        assert_eq!(e.path("neg").unwrap().as_f64(), Some(-25.0));
+        assert_eq!(e.get("flag"), Some(&Json::Bool(true)));
+        assert_eq!(e.get("none"), Some(&Json::Null));
+        assert_eq!(e.get("esc").unwrap().as_str(), Some("a\"b\\c\ndA"));
+        assert!(v.entry("nope").is_none());
+        assert!(Json::parse("{\"a\":1} junk").is_err());
+        assert!(Json::parse("[1,2").is_err());
+    }
+
+    fn report(mops_update: f64, p99_a: f64, mops_c: f64) -> Json {
+        let doc = format!(
+            r#"{{"entries":[
+                {{"label":"Update-only/256B","mops":{mops_update},"all":{{"p99_ns":1}}}},
+                {{"label":"YCSB-A 50%GET/256B","mops":1.0,"all":{{"p99_ns":{p99_a}}}}},
+                {{"label":"YCSB-C 100%GET/256B","mops":{mops_c},"all":{{"p99_ns":1}}}}]}}"#
+        );
+        Json::parse(&doc).unwrap()
+    }
+
+    #[test]
+    fn synthetic_20pct_regression_fails_the_gate() {
+        // The contract this module exists for: a 20% throughput loss (or a
+        // 20% p99 blowup) on a key metric must produce a failing verdict.
+        let baseline = extract_metrics("BENCH_put_get", &report(1.0, 1000.0, 2.0)).unwrap();
+        let slow_puts = extract_metrics("BENCH_put_get", &report(0.8, 1000.0, 2.0)).unwrap();
+        let rows = compare_all(&baseline, &slow_puts);
+        let row = rows
+            .iter()
+            .find(|r| r.name == "update_only_256B_mops")
+            .unwrap();
+        assert_eq!(row.verdict, Verdict::Regressed);
+        assert!(rows.iter().any(|r| r.verdict.failing()));
+        assert!(!diff_json(&rows).contains("\"pass\":true"));
+
+        let slow_tail = extract_metrics("BENCH_put_get", &report(1.0, 1200.0, 2.0)).unwrap();
+        let rows = compare_all(&baseline, &slow_tail);
+        let row = rows
+            .iter()
+            .find(|r| r.name == "ycsb_a_256B_p99_ns")
+            .unwrap();
+        assert_eq!(row.verdict, Verdict::Regressed);
+    }
+
+    #[test]
+    fn within_band_passes_and_big_gain_flags_stale_baseline() {
+        let baseline = extract_metrics("BENCH_put_get", &report(1.0, 1000.0, 2.0)).unwrap();
+        // ±10% band: a 5% dip and a 9% p99 gain both pass.
+        let wobble = extract_metrics("BENCH_put_get", &report(0.95, 910.0, 2.0)).unwrap();
+        let rows = compare_all(&baseline, &wobble);
+        assert!(rows.iter().all(|r| !r.verdict.failing()), "{rows:?}");
+        assert!(diff_json(&rows).contains("\"pass\":true"));
+        // A 50% gain means the committed baseline no longer describes the
+        // code — that fails too, pointing at a refresh.
+        let faster = extract_metrics("BENCH_put_get", &report(1.5, 1000.0, 2.0)).unwrap();
+        let rows = compare_all(&baseline, &faster);
+        let row = rows
+            .iter()
+            .find(|r| r.name == "update_only_256B_mops")
+            .unwrap();
+        assert_eq!(row.verdict, Verdict::StaleBaseline);
+    }
+
+    #[test]
+    fn repl_overhead_uses_absolute_band() {
+        let repl = |base: f64, repl: f64| {
+            let doc = format!(
+                r#"{{"entries":[
+                    {{"label":"Update-only/256B/replicas0","mops":{base}}},
+                    {{"label":"Update-only/256B/replicas1","mops":{repl}}},
+                    {{"label":"YCSB-A 50%GET/256B/replicas0","mops":{base}}},
+                    {{"label":"YCSB-A 50%GET/256B/replicas1","mops":{repl}}}]}}"#
+            );
+            extract_metrics("BENCH_repl", &Json::parse(&doc).unwrap()).unwrap()
+        };
+        // Baseline overhead 0%: a relative band would reject any change;
+        // the absolute ±2pp band accepts 1.5pp and rejects 8pp.
+        let baseline = repl(1.0, 1.0);
+        assert_eq!(baseline[0].value, 0.0);
+        let rows = compare_all(&baseline, &repl(1.0, 0.985));
+        assert!(rows.iter().all(|r| !r.verdict.failing()), "{rows:?}");
+        let rows = compare_all(&baseline, &repl(1.0, 0.92));
+        assert_eq!(rows[0].verdict, Verdict::Regressed);
+    }
+
+    #[test]
+    fn pipeline_speedup_floor_is_enforced() {
+        let pipe = |w1: f64, w16: f64| {
+            let doc = format!(
+                r#"{{"entries":[
+                    {{"label":"Update-only/256B/window1","mops":{w1}}},
+                    {{"label":"Update-only/256B/window16","mops":{w16}}},
+                    {{"label":"YCSB-C/256B/loc_cache1","mops":3.0}}]}}"#
+            );
+            extract_metrics("BENCH_pipeline", &Json::parse(&doc).unwrap()).unwrap()
+        };
+        // Baseline itself at 1.9× would let a matching fresh run slide on
+        // tolerance alone; the acceptance floor still fails it.
+        let rows = compare_all(&pipe(1.0, 1.9), &pipe(1.0, 1.9));
+        let row = rows
+            .iter()
+            .find(|r| r.name == "pipeline_window16_speedup")
+            .unwrap();
+        assert_eq!(row.verdict, Verdict::FloorViolation);
+        let rows = compare_all(&pipe(1.0, 4.0), &pipe(1.0, 4.1));
+        assert!(rows.iter().all(|r| !r.verdict.failing()), "{rows:?}");
+    }
+
+    #[test]
+    fn missing_metrics_fail() {
+        let baseline = extract_metrics("BENCH_put_get", &report(1.0, 1000.0, 2.0)).unwrap();
+        let rows = compare_all(&baseline, &[]);
+        assert!(rows.iter().all(|r| r.verdict == Verdict::Missing));
+        assert!(rows.iter().any(|r| r.verdict.failing()));
+        // And an entry disappearing from the report is a load error, not a
+        // silent pass.
+        let half = Json::parse(r#"{"entries":[{"label":"Update-only/256B","mops":1.0}]}"#).unwrap();
+        assert!(extract_metrics("BENCH_put_get", &half).is_err());
+    }
+
+    #[test]
+    fn unknown_stem_gates_nothing() {
+        let v = Json::parse(r#"{"entries":[]}"#).unwrap();
+        assert!(extract_metrics("BENCH_other", &v).unwrap().is_empty());
+    }
+}

@@ -18,6 +18,8 @@ use efactory_harness::{
 };
 use efactory_ycsb::Mix;
 
+pub mod gate;
+
 /// The value sizes the paper sweeps in Figures 1, 2, and 9.
 pub const VALUE_SIZES: [usize; 4] = [64, 256, 1024, 4096];
 

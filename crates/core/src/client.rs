@@ -26,7 +26,8 @@
 //! a mismatch (mid-clean or bit-rotted object) degrades to the RPC path
 //! instead of returning corrupt data.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use efactory_checksum::crc32c;
@@ -89,6 +90,21 @@ pub struct ClientConfig {
     /// to the RPC path (which re-validates server-side) instead of
     /// returning silently corrupted bytes.
     pub verify_value_crc: bool,
+    /// Keep a client-side **location cache** (key → object offset +
+    /// lengths + version floor) so repeat GETs skip the bucket-probe RDMA
+    /// read and go straight to the optimistic object read. Entries are
+    /// validated by the same embedded durability-flag/CRC checks as the
+    /// pure path — any mismatch falls through to the normal probe (and on
+    /// a *structural* mismatch evicts the entry) — and the whole cache is
+    /// flushed on `CleanStart`/`CleanEnd` since cleaning relocates
+    /// objects. The cache trades strict freshness for latency: a cached
+    /// read may return the last version *this client* located even after
+    /// another client overwrote the key (reads stay monotonic per client;
+    /// the next probe or RPC read refreshes the entry).
+    pub loc_cache: bool,
+    /// Entry cap for the location cache; at capacity, new keys are simply
+    /// not cached (deterministic, no eviction order to replay).
+    pub loc_cache_cap: usize,
     /// Observability context; the harness passes the same one the server
     /// uses so client and server phases land in a single trace.
     pub obs: Obs,
@@ -106,6 +122,8 @@ impl Default for ClientConfig {
             op_backoff: efactory_sim::micros(100),
             verify_grace: efactory_sim::micros(100),
             verify_value_crc: true,
+            loc_cache: false,
+            loc_cache_cap: 65_536,
             obs: Obs::new(),
         }
     }
@@ -145,6 +163,16 @@ pub struct ClientStats {
     /// version was invalidated while the allocation reply was being
     /// retried (verifier timeout raced a lossy fabric).
     pub put_reissues: Cell<u64>,
+    /// GETs served straight from a location-cache entry (probe skipped).
+    pub loc_hits: Cell<u64>,
+    /// Location-cache lookups that missed or failed validation and fell
+    /// through to the normal probe.
+    pub loc_misses: Cell<u64>,
+    /// Location-cache entries written (new or refreshed).
+    pub loc_fills: Cell<u64>,
+    /// Location-cache entries evicted on a structural mismatch (stale
+    /// offset after cleaning/invalidation, CRC rot, wrong key bytes).
+    pub loc_invalidations: Cell<u64>,
 }
 
 /// A connected eFactory client. Not `Sync`: one client per simulated
@@ -168,6 +196,35 @@ pub struct Client {
     op_retry_ctr: Counter,
     /// Registry counter mirroring [`ClientStats::put_reissues`].
     put_reissue_ctr: Counter,
+    /// Location cache: key → last located object version. Only consulted
+    /// when `cfg.loc_cache` is set; flushed whenever cleaning starts or
+    /// ends (cleaning is the only thing that *moves* objects).
+    loc_cache: RefCell<HashMap<Vec<u8>, LocEntry>>,
+    /// Registry counters mirroring the `loc_*` fields of [`ClientStats`].
+    loc_hit_ctr: Counter,
+    loc_miss_ctr: Counter,
+    loc_fill_ctr: Counter,
+    loc_inval_ctr: Counter,
+}
+
+/// One location-cache entry: where this client last found a key's object,
+/// and the minimum version sequence a cached read may accept (guards
+/// against a recycled offset presenting an older-but-well-formed version
+/// of the same key).
+#[derive(Clone, Copy, Debug)]
+struct LocEntry {
+    off: u64,
+    klen: u16,
+    vlen: u32,
+    min_seq: u32,
+}
+
+/// What a cached one-sided read produced.
+enum CachedOutcome {
+    /// Entry validated; value (or tombstone ⇒ `None`) served.
+    Hit(Option<Vec<u8>>),
+    /// No entry, or the entry failed validation — take the normal probe.
+    Miss,
 }
 
 impl Client {
@@ -185,6 +242,10 @@ impl Client {
         let rpc_retry_ctr = cfg.obs.registry.counter("client.rpc_retry");
         let op_retry_ctr = cfg.obs.registry.counter("client.op_retry");
         let put_reissue_ctr = cfg.obs.registry.counter("client.put_reissue");
+        let loc_hit_ctr = cfg.obs.registry.counter("client.loc_cache.hits");
+        let loc_miss_ctr = cfg.obs.registry.counter("client.loc_cache.misses");
+        let loc_fill_ctr = cfg.obs.registry.counter("client.loc_cache.fills");
+        let loc_inval_ctr = cfg.obs.registry.counter("client.loc_cache.invalidations");
         Ok(Client {
             qp,
             desc,
@@ -196,6 +257,11 @@ impl Client {
             rpc_retry_ctr,
             op_retry_ctr,
             put_reissue_ctr,
+            loc_cache: RefCell::new(HashMap::new()),
+            loc_hit_ctr,
+            loc_miss_ctr,
+            loc_fill_ctr,
+            loc_inval_ctr,
         })
     }
 
@@ -204,15 +270,122 @@ impl Client {
         &self.stats
     }
 
-    /// Drain pending server notifications (cleaning state).
+    /// Drain pending server notifications (cleaning state). Cleaning
+    /// relocates objects, so both edges flush the location cache — every
+    /// cached offset may be stale the moment the cleaner runs.
     fn poll_events(&self) {
         while let Some(ev) = self.qp.try_event() {
             match Event::decode(&ev) {
-                Some(Event::CleanStart) => self.cleaning.set(true),
-                Some(Event::CleanEnd) => self.cleaning.set(false),
+                Some(Event::CleanStart) => {
+                    self.cleaning.set(true);
+                    self.loc_cache.borrow_mut().clear();
+                }
+                Some(Event::CleanEnd) => {
+                    self.cleaning.set(false);
+                    self.loc_cache.borrow_mut().clear();
+                }
                 None => {}
             }
         }
+    }
+
+    /// Record (or refresh) the location of `key`'s current version. At
+    /// capacity new keys are simply not cached — deterministic, and the
+    /// default cap is far above the paper's working-set sizes.
+    fn loc_fill(&self, key: &[u8], off: u64, klen: u16, vlen: u32, min_seq: u32) {
+        if !self.cfg.loc_cache {
+            return;
+        }
+        let mut cache = self.loc_cache.borrow_mut();
+        if cache.len() >= self.cfg.loc_cache_cap && !cache.contains_key(key) {
+            return;
+        }
+        cache.insert(
+            key.to_vec(),
+            LocEntry {
+                off,
+                klen,
+                vlen,
+                min_seq,
+            },
+        );
+        self.stats.loc_fills.set(self.stats.loc_fills.get() + 1);
+        self.loc_fill_ctr.inc();
+    }
+
+    /// Evict `key`'s entry after a structural validation failure.
+    fn loc_invalidate(&self, key: &[u8]) {
+        if self.loc_cache.borrow_mut().remove(key).is_some() {
+            self.stats
+                .loc_invalidations
+                .set(self.stats.loc_invalidations.get() + 1);
+            self.loc_inval_ctr.inc();
+        }
+    }
+
+    fn note_loc_miss(&self) {
+        self.stats.loc_misses.set(self.stats.loc_misses.get() + 1);
+        self.loc_miss_ctr.inc();
+    }
+
+    /// Try to serve a GET from the location cache with a single one-sided
+    /// object read — no bucket probe. The read is validated exactly like
+    /// the pure path (lengths, key bytes, VALID+DURABLE, CRC) plus a
+    /// version floor (`min_seq`); any failure falls through to the probe,
+    /// evicting the entry when the failure is structural (the offset no
+    /// longer holds what it held — cleaning or invalidation) rather than
+    /// transient (not yet durable).
+    fn try_cached_get(&self, key: &[u8]) -> Result<CachedOutcome, StoreError> {
+        let Some(entry) = self.loc_cache.borrow().get(key).copied() else {
+            self.note_loc_miss();
+            return Ok(CachedOutcome::Miss);
+        };
+        let _sp = self.cfg.obs.tracer.span(Subsystem::Client, "cached_read");
+        let size = layout::object_size(entry.klen as usize, entry.vlen as usize);
+        let obj = self.qp.rdma_read(&self.desc.mr, entry.off as usize, size)?;
+        let Some(hdr) = ObjHeader::decode(&obj) else {
+            self.loc_invalidate(key);
+            self.note_loc_miss();
+            return Ok(CachedOutcome::Miss);
+        };
+        if hdr.klen != entry.klen
+            || hdr.vlen != entry.vlen
+            || hdr.klen as usize != key.len()
+            || hdr.seq < entry.min_seq
+            || !hdr.has(flags::VALID)
+        {
+            // The offset no longer holds the cached version.
+            self.loc_invalidate(key);
+            self.note_loc_miss();
+            return Ok(CachedOutcome::Miss);
+        }
+        let key_start = hdr.key_off();
+        if &obj[key_start..key_start + key.len()] != key {
+            self.loc_invalidate(key);
+            self.note_loc_miss();
+            return Ok(CachedOutcome::Miss);
+        }
+        if !hdr.has(flags::DURABLE) {
+            // Transient: the verifier hasn't reached this version yet.
+            // Keep the entry — it will validate once durable.
+            self.note_loc_miss();
+            return Ok(CachedOutcome::Miss);
+        }
+        if hdr.has(flags::TOMBSTONE) {
+            self.stats.loc_hits.set(self.stats.loc_hits.get() + 1);
+            self.loc_hit_ctr.inc();
+            return Ok(CachedOutcome::Hit(None));
+        }
+        let v_start = hdr.value_off();
+        let value = &obj[v_start..v_start + hdr.vlen as usize];
+        if self.cfg.verify_value_crc && crc32c(value) != hdr.crc {
+            self.loc_invalidate(key);
+            self.note_loc_miss();
+            return Ok(CachedOutcome::Miss);
+        }
+        self.stats.loc_hits.set(self.stats.loc_hits.get() + 1);
+        self.loc_hit_ctr.inc();
+        Ok(CachedOutcome::Hit(Some(value.to_vec())))
     }
 
     /// One logical RPC: framed with a fresh request id, retried with
@@ -367,6 +540,11 @@ impl Client {
                 if risky && !self.version_still_valid(obj_off as usize)? {
                     return Ok(false);
                 }
+                // The freshest location this client can know: its own
+                // write. Sequence floor 0 — the server assigned the seq and
+                // the offset is version-unique until cleaning (which
+                // flushes the cache).
+                self.loc_fill(key, obj_off, key.len() as u16, value.len() as u32, 0);
                 Ok(true)
             }
             Response::Put { status, .. } => Err(StoreError::Status(status)),
@@ -400,6 +578,10 @@ impl Client {
     /// Delete `key` (tombstone).
     pub fn del(&self, key: &[u8]) -> Result<(), StoreError> {
         self.poll_events();
+        // The cached location now points at a superseded version; drop it
+        // (not counted as an invalidation — nothing went stale underneath
+        // us, we made it stale).
+        self.loc_cache.borrow_mut().remove(key);
         match self.rpc(&Request::Del { key: key.to_vec() })? {
             Response::Ack { status: Status::Ok } => Ok(()),
             Response::Ack { status } => Err(StoreError::Status(status)),
@@ -451,6 +633,14 @@ impl Client {
     }
 
     fn try_pure_get(&self, key: &[u8]) -> Result<PureOutcome, StoreError> {
+        if self.cfg.loc_cache {
+            if let CachedOutcome::Hit(v) = self.try_cached_get(key)? {
+                return Ok(match v {
+                    Some(v) => PureOutcome::Hit(Some(v)),
+                    None => PureOutcome::NotFound,
+                });
+            }
+        }
         let ht = self.desc.layout.hashtable();
         let fp = fingerprint(key);
         let home = ht.home(fp);
@@ -492,6 +682,9 @@ impl Client {
             return Ok(PureOutcome::Fallback);
         }
         if hdr.has(flags::TOMBSTONE) {
+            // Cache the tombstone too: repeat reads of a deleted key are
+            // then a single validated object read.
+            self.loc_fill(key, off, hdr.klen, hdr.vlen, hdr.seq);
             return Ok(PureOutcome::NotFound);
         }
         let v_start = hdr.value_off();
@@ -501,6 +694,7 @@ impl Client {
             // bytes to the application — degrade to the RPC path.
             return Ok(PureOutcome::Fallback);
         }
+        self.loc_fill(key, off, hdr.klen, hdr.vlen, hdr.seq);
         Ok(PureOutcome::Hit(Some(value.to_vec())))
     }
 
@@ -567,6 +761,7 @@ impl Client {
                 continue;
             }
             if hdr.has(flags::TOMBSTONE) {
+                self.loc_fill(key, obj_off, hdr.klen, hdr.vlen, hdr.seq);
                 return Ok(None);
             }
             let v_start = hdr.value_off();
@@ -577,6 +772,7 @@ impl Client {
                 self.note_get_retry();
                 continue;
             }
+            self.loc_fill(key, obj_off, hdr.klen, hdr.vlen, hdr.seq);
             return Ok(Some(value.to_vec()));
         }
         Err(StoreError::Protocol)

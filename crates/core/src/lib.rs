@@ -42,6 +42,7 @@ pub mod hashtable;
 pub mod inspect;
 pub mod layout;
 pub mod log;
+pub mod pipeline;
 pub mod protocol;
 pub mod recovery;
 pub mod repl;
@@ -51,6 +52,7 @@ pub mod shard;
 pub mod verifier;
 
 pub use client::{Client, ClientConfig, GetOutcome, RemoteKv};
+pub use pipeline::{OpCompletion, OpKind, PipelineConfig, PipelinedClient};
 pub use protocol::{Status, StoreError};
 pub use repl::{
     ReplClient, ReplShardedClient, ReplStats, ReplTarget, ReplicatedCluster, ReplicatedDesc,

@@ -1,0 +1,464 @@
+//! Pipelined client: a bounded window of K in-flight operations.
+//!
+//! The paper's client-active write scheme keeps the server CPU off the
+//! critical path, but the plain [`Client`] still runs one operation at a
+//! time — a full allocation-RPC round trip per PUT, a bucket-probe RDMA
+//! read per cold GET — so a single client's throughput is capped by latency
+//! rather than by what the fabric or the server can sustain. The
+//! [`PipelinedClient`] lifts that cap the way real RDMA clients do: it
+//! keeps up to `window` operations in flight at once, each on its **own
+//! queue pair** with its own request-id space, and doorbell-batches the
+//! send posts ([`efactory_rnic::SendDoorbell`]) the way PR 2's server
+//! batched its receive-ring refills.
+//!
+//! ## Why one QP per slot
+//!
+//! The exactly-once envelope (framed request ids + per-QP server dedup)
+//! assumes ids on a QP are issued and retired in order: the server records
+//! only the *last* executed id per QP and drops anything older as stale.
+//! Interleaving several outstanding ids on one QP would break that
+//! contract — a retry of an older id would be discarded while a newer id
+//! executed, starving the older operation. Giving every pipeline slot a
+//! full [`Client`] (own QP, own monotonic ids, own retry/backoff/
+//! `verify_grace` machinery) composes concurrency with PR 4's retry,
+//! dedup, and lost-update guards *without touching their semantics* — the
+//! server sees `window` perfectly ordinary clients.
+//!
+//! ## Per-slot state machine
+//!
+//! Each in-flight operation advances through the same states the serial
+//! client does — alloc-RPC sent → value written → ack'd (or reissued under
+//! `client.put_reissue` when the verifier raced a lossy fabric) — the slot
+//! simply runs that machine concurrently with its siblings. The submitter
+//! enforces **per-key hazards** so concurrency never reorders conflicting
+//! effects: a write (PUT/DEL) waits until no operation on the same key is
+//! in flight, a read waits only for in-flight writers of its key. With the
+//! same seed and window, replay is byte-identical (slot selection is
+//! lowest-free-first, all waits are deterministic channel receives).
+//!
+//! `window == 1` bypasses the machinery entirely and executes on a single
+//! inner [`Client`], op for op exactly like today's serial client.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use efactory_obs::{Counter, Subsystem};
+use efactory_rnic::{Fabric, Node, SendDoorbell};
+use efactory_sim as sim;
+use efactory_sim::Nanos;
+
+use crate::client::{Client, ClientConfig};
+use crate::protocol::{Status, StoreError};
+use crate::server::StoreDesc;
+
+/// Pipeline knobs.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Maximum operations in flight (= pipeline slots = QPs). `1` executes
+    /// serially on a single inner [`Client`].
+    pub window: usize,
+    /// Doorbell chain length for client-side send posts (`<= 1`: one MMIO
+    /// per post). Only the pipelined path charges send-post CPU; the
+    /// serial `window == 1` path stays cost-identical to the plain client.
+    pub doorbell_batch: usize,
+    /// Configuration for every slot's inner client.
+    pub client: ClientConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            window: 16,
+            doorbell_batch: 16,
+            client: ClientConfig::default(),
+        }
+    }
+}
+
+/// Operation kind, for completions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Store (value carried in the job).
+    Put,
+    /// Read (value carried in the completion).
+    Get,
+    /// Tombstone.
+    Del,
+}
+
+/// One finished operation, reported back to the submitter.
+#[derive(Debug)]
+pub struct OpCompletion {
+    /// Submission sequence number (0-based, per pipelined client).
+    pub seq: u64,
+    /// What the operation was.
+    pub kind: OpKind,
+    /// The key it operated on.
+    pub key: Vec<u8>,
+    /// Virtual time the operation was handed to the pipeline.
+    pub submitted_at: Nanos,
+    /// Virtual time the slot finished it.
+    pub done_at: Nanos,
+    /// `Ok(Some(v))` for a GET hit; `Ok(None)` for PUT/DEL success or a
+    /// GET miss.
+    pub result: Result<Option<Vec<u8>>, StoreError>,
+}
+
+impl OpCompletion {
+    /// End-to-end latency of this operation (submit → completion),
+    /// including any time it spent waiting behind the window or a hazard.
+    pub fn latency(&self) -> Nanos {
+        self.done_at.saturating_sub(self.submitted_at)
+    }
+}
+
+#[derive(Debug)]
+enum Job {
+    Op {
+        seq: u64,
+        kind: OpKind,
+        key: Vec<u8>,
+        value: Vec<u8>,
+        submitted_at: Nanos,
+    },
+    Shutdown,
+}
+
+struct SlotDone {
+    slot: usize,
+    completion: OpCompletion,
+}
+
+/// A client that keeps up to `window` operations in flight. Not `Sync`:
+/// one pipelined client per simulated process, like the plain [`Client`].
+pub struct PipelinedClient {
+    /// Serial fast path (`window == 1`).
+    sync: Option<Client>,
+    job_txs: Vec<sim::Sender<Job>>,
+    comp_rx: Option<sim::Receiver<SlotDone>>,
+    handles: Vec<sim::ProcessHandle>,
+    /// Idle slots; the lowest index is always dispatched first so replay
+    /// never depends on map iteration order.
+    free: BTreeSet<usize>,
+    inflight: usize,
+    /// In-flight readers per key (writers must wait for these).
+    readers: HashMap<Vec<u8>, usize>,
+    /// In-flight writers per key (everything must wait for these).
+    writers: HashMap<Vec<u8>, usize>,
+    doorbell: SendDoorbell,
+    next_seq: u64,
+    cfg: PipelineConfig,
+    submitted_ctr: Counter,
+    completed_ctr: Counter,
+    hazard_wait_ctr: Counter,
+    window_wait_ctr: Counter,
+    doorbell_ctr: Counter,
+}
+
+impl PipelinedClient {
+    /// Connect a pipelined client: `window` slots, each a full [`Client`]
+    /// on its own QP from `local` to the server. Must run inside a
+    /// simulated process. `name` seeds the slot process names (determinism
+    /// requires stable names).
+    pub fn connect(
+        fabric: &Arc<Fabric>,
+        local: &Node,
+        server_node: &Node,
+        desc: StoreDesc,
+        cfg: PipelineConfig,
+        name: &str,
+    ) -> Result<PipelinedClient, StoreError> {
+        assert!(cfg.window >= 1, "pipeline window must be at least 1");
+        let registry = &cfg.client.obs.registry;
+        let submitted_ctr = registry.counter("client.pipeline.submitted");
+        let completed_ctr = registry.counter("client.pipeline.completed");
+        let hazard_wait_ctr = registry.counter("client.pipeline.hazard_waits");
+        let window_wait_ctr = registry.counter("client.pipeline.window_waits");
+        let doorbell_ctr = registry.counter("client.pipeline.doorbells");
+        let doorbell = SendDoorbell::new(fabric.cost(), cfg.doorbell_batch);
+        if cfg.window == 1 {
+            let sync = Client::connect(fabric, local, server_node, desc, cfg.client.clone())?;
+            return Ok(PipelinedClient {
+                sync: Some(sync),
+                job_txs: Vec::new(),
+                comp_rx: None,
+                handles: Vec::new(),
+                free: BTreeSet::new(),
+                inflight: 0,
+                readers: HashMap::new(),
+                writers: HashMap::new(),
+                doorbell,
+                next_seq: 0,
+                cfg,
+                submitted_ctr,
+                completed_ctr,
+                hazard_wait_ctr,
+                window_wait_ctr,
+                doorbell_ctr,
+            });
+        }
+        let (comp_tx, comp_rx) = sim::channel::<SlotDone>();
+        let mut job_txs = Vec::with_capacity(cfg.window);
+        let mut handles = Vec::with_capacity(cfg.window);
+        for slot in 0..cfg.window {
+            let (tx, rx) = sim::channel::<Job>();
+            job_txs.push(tx);
+            let comp_tx = comp_tx.clone();
+            let fabric = Arc::clone(fabric);
+            let local = local.clone();
+            let server_node = server_node.clone();
+            let client_cfg = cfg.client.clone();
+            handles.push(sim::spawn(&format!("{name}-slot{slot}"), move || {
+                let client = match Client::connect(&fabric, &local, &server_node, desc, client_cfg)
+                {
+                    Ok(c) => c,
+                    Err(e) => panic!("pipeline slot {slot}: connect failed: {e:?}"),
+                };
+                while let Ok(job) = rx.recv() {
+                    match job {
+                        Job::Op {
+                            seq,
+                            kind,
+                            key,
+                            value,
+                            submitted_at,
+                        } => {
+                            let result = run_op(&client, kind, &key, &value);
+                            let done = SlotDone {
+                                slot,
+                                completion: OpCompletion {
+                                    seq,
+                                    kind,
+                                    key,
+                                    submitted_at,
+                                    done_at: sim::now(),
+                                    result,
+                                },
+                            };
+                            if comp_tx.send(done, 0).is_err() {
+                                break;
+                            }
+                        }
+                        Job::Shutdown => break,
+                    }
+                }
+            }));
+        }
+        Ok(PipelinedClient {
+            sync: None,
+            job_txs,
+            comp_rx: Some(comp_rx),
+            handles,
+            free: (0..cfg.window).collect(),
+            inflight: 0,
+            readers: HashMap::new(),
+            writers: HashMap::new(),
+            doorbell,
+            next_seq: 0,
+            cfg,
+            submitted_ctr,
+            completed_ctr,
+            hazard_wait_ctr,
+            window_wait_ctr,
+            doorbell_ctr,
+        })
+    }
+
+    /// Window this client was built with.
+    pub fn window(&self) -> usize {
+        self.cfg.window
+    }
+
+    /// Submit a PUT. Returns every completion reaped while making room
+    /// (possibly none).
+    pub fn submit_put(&mut self, key: &[u8], value: &[u8]) -> Vec<OpCompletion> {
+        self.submit(OpKind::Put, key, value.to_vec())
+    }
+
+    /// Submit a GET.
+    pub fn submit_get(&mut self, key: &[u8]) -> Vec<OpCompletion> {
+        self.submit(OpKind::Get, key, Vec::new())
+    }
+
+    /// Submit a DEL.
+    pub fn submit_del(&mut self, key: &[u8]) -> Vec<OpCompletion> {
+        self.submit(OpKind::Del, key, Vec::new())
+    }
+
+    fn submit(&mut self, kind: OpKind, key: &[u8], value: Vec<u8>) -> Vec<OpCompletion> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.submitted_ctr.inc();
+        let submitted_at = sim::now();
+        if let Some(sync) = &self.sync {
+            // Serial fast path: execute inline, op for op like the plain
+            // client — no doorbell charge, no slot machinery.
+            let result = run_op(sync, kind, key, &value);
+            self.completed_ctr.inc();
+            return vec![OpCompletion {
+                seq,
+                kind,
+                key: key.to_vec(),
+                submitted_at,
+                done_at: sim::now(),
+                result,
+            }];
+        }
+        let mut reaped = self.reap_ready();
+        // Block (reaping) until a slot is free *and* the key is hazard-
+        // clear: writers exclude everything on the key, readers exclude
+        // only writers. This keeps per-key effect order equal to program
+        // order, so the final store state matches serial execution.
+        loop {
+            if self.free.is_empty() {
+                self.window_wait_ctr.inc();
+            } else if self.hazard(kind, key) {
+                self.hazard_wait_ctr.inc();
+            } else {
+                break;
+            }
+            reaped.push(self.reap_blocking());
+        }
+        let slot = *self.free.iter().next().expect("free slot");
+        self.free.remove(&slot);
+        self.inflight += 1;
+        match kind {
+            OpKind::Put | OpKind::Del => {
+                *self.writers.entry(key.to_vec()).or_insert(0) += 1;
+            }
+            OpKind::Get => {
+                *self.readers.entry(key.to_vec()).or_insert(0) += 1;
+            }
+        }
+        // Posting the work request: one doorbell chain across up to
+        // `doorbell_batch` submissions.
+        self.doorbell.charge();
+        self.doorbell_ctr.inc();
+        let sp = self
+            .cfg
+            .client
+            .obs
+            .tracer
+            .span(Subsystem::Client, "pipeline_dispatch");
+        drop(sp);
+        self.job_txs[slot]
+            .send(
+                Job::Op {
+                    seq,
+                    kind,
+                    key: key.to_vec(),
+                    value,
+                    submitted_at,
+                },
+                0,
+            )
+            .expect("pipeline slot hung up");
+        reaped
+    }
+
+    fn hazard(&self, kind: OpKind, key: &[u8]) -> bool {
+        let writers = self.writers.get(key).copied().unwrap_or(0);
+        match kind {
+            OpKind::Put | OpKind::Del => {
+                writers > 0 || self.readers.get(key).copied().unwrap_or(0) > 0
+            }
+            OpKind::Get => writers > 0,
+        }
+    }
+
+    fn note_done(&mut self, done: &SlotDone) {
+        self.free.insert(done.slot);
+        self.inflight -= 1;
+        self.completed_ctr.inc();
+        let book = match done.completion.kind {
+            OpKind::Put | OpKind::Del => &mut self.writers,
+            OpKind::Get => &mut self.readers,
+        };
+        match book.get_mut(&done.completion.key) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                book.remove(&done.completion.key);
+            }
+            None => unreachable!("completion for untracked key"),
+        }
+    }
+
+    /// Drain every completion that is already available, without blocking.
+    fn reap_ready(&mut self) -> Vec<OpCompletion> {
+        let mut dones = Vec::new();
+        if let Some(rx) = &self.comp_rx {
+            while let Ok(done) = rx.try_recv() {
+                dones.push(done);
+            }
+        }
+        dones
+            .into_iter()
+            .map(|done| {
+                self.note_done(&done);
+                done.completion
+            })
+            .collect()
+    }
+
+    /// Block for the next completion.
+    fn reap_blocking(&mut self) -> OpCompletion {
+        let done = self
+            .comp_rx
+            .as_ref()
+            .expect("pipelined mode")
+            .recv()
+            .expect("pipeline slots gone");
+        self.note_done(&done);
+        done.completion
+    }
+
+    /// Wait for every in-flight operation to finish.
+    pub fn drain(&mut self) -> Vec<OpCompletion> {
+        let mut out = self.reap_ready();
+        while self.inflight > 0 {
+            out.push(self.reap_blocking());
+        }
+        out
+    }
+
+    /// Drain, stop every slot, and join their processes. Returns the
+    /// completions reaped during the final drain.
+    pub fn finish(mut self) -> Vec<OpCompletion> {
+        let out = self.drain();
+        for tx in &self.job_txs {
+            let _ = tx.send(Job::Shutdown, 0);
+        }
+        for h in self.handles.drain(..) {
+            h.join();
+        }
+        out
+    }
+}
+
+/// Execute one operation on a slot's inner client. PUTs ride out transient
+/// `NoSpace`/`Busy` rejections with the same bounded backoff the serial
+/// harness loop uses — the stall is part of the operation's latency.
+fn run_op(
+    client: &Client,
+    kind: OpKind,
+    key: &[u8],
+    value: &[u8],
+) -> Result<Option<Vec<u8>>, StoreError> {
+    match kind {
+        OpKind::Put => {
+            let mut tries = 0;
+            loop {
+                match client.put(key, value) {
+                    Ok(()) => return Ok(None),
+                    Err(StoreError::Status(Status::NoSpace | Status::Busy)) if tries < 200 => {
+                        tries += 1;
+                        sim::sleep(sim::micros(50));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        OpKind::Get => client.get(key),
+        OpKind::Del => client.del(key).map(|()| None),
+    }
+}

@@ -7,6 +7,7 @@ use std::sync::{Arc, Mutex};
 
 use efactory::client::{Client, ClientConfig, RemoteKv};
 use efactory::log::StoreLayout;
+use efactory::pipeline::{OpCompletion, OpKind, PipelineConfig, PipelinedClient};
 use efactory::server::{Server, ServerConfig};
 use efactory_baselines::{
     CaNoperClient, CaNoperServer, ErdaClient, ErdaServer, ForcaClient, ForcaServer, ImmClient,
@@ -133,6 +134,16 @@ pub struct ExperimentSpec {
     /// Run the background CRC scrubber on every eFactory server
     /// (repairs/quarantines bit-rotted objects — see [`efactory::scrub`]).
     pub scrub: bool,
+    /// Pipeline window per client: each client keeps up to this many
+    /// operations in flight through [`efactory::PipelinedClient`] (one QP
+    /// per slot, per-key hazards, doorbell-batched send posts). `1` (the
+    /// default) drives the plain serial client, op for op identical to the
+    /// pre-pipeline harness. Values above 1 require eFactory with
+    /// `shards == 1` and `replicas == 0`.
+    pub window: usize,
+    /// Enable the client-side location cache (key → object offset), so
+    /// repeat GETs skip the bucket-probe RDMA read (eFactory only).
+    pub loc_cache: bool,
 }
 
 impl ExperimentSpec {
@@ -155,6 +166,8 @@ impl ExperimentSpec {
             fault_at: None,
             fault_plan: None,
             scrub: false,
+            window: 1,
+            loc_cache: false,
         }
     }
 }
@@ -465,9 +478,11 @@ fn connect_client(
     server_node: &Node,
     any_desc: &AnyDesc,
     obs: &Obs,
+    loc_cache: bool,
 ) -> Result<Box<dyn RemoteKv>, efactory::StoreError> {
     let ef_cfg = |hybrid_read: bool| ClientConfig {
         hybrid_read,
+        loc_cache,
         obs: obs.clone(),
         ..ClientConfig::default()
     };
@@ -536,9 +551,76 @@ fn make_client(
     server_node: &Node,
     any_desc: &AnyDesc,
     obs: &Obs,
+    loc_cache: bool,
 ) -> Box<dyn RemoteKv> {
-    connect_client(kind, fabric, local, server_node, any_desc, obs)
+    connect_client(kind, fabric, local, server_node, any_desc, obs, loc_cache)
         .unwrap_or_else(|e| panic!("{}: client connect failed: {e}", kind.label()))
+}
+
+/// Drive one client's workload through a [`PipelinedClient`]
+/// (`spec.window > 1`). Op latencies run submit → completion. Must run
+/// inside the client's simulated process.
+#[allow(clippy::too_many_arguments)]
+fn run_pipelined(
+    spec: &ExperimentSpec,
+    fabric: &Arc<Fabric>,
+    node: &Node,
+    server_node: &Node,
+    desc: &AnyDesc,
+    obs: &Obs,
+    cid: usize,
+    stream: &mut OpStream,
+    get: &mut Vec<Nanos>,
+    put: &mut Vec<Nanos>,
+) {
+    let AnyDesc::Single(desc) = desc else {
+        panic!("window > 1 requires an unsharded, unreplicated eFactory store");
+    };
+    let hybrid = match spec.system {
+        SystemKind::EFactory => true,
+        SystemKind::EFactoryNoHr => false,
+        other => panic!("{other:?} does not support a pipelined client"),
+    };
+    let pcfg = PipelineConfig {
+        window: spec.window,
+        doorbell_batch: spec.doorbell_batch,
+        client: ClientConfig {
+            hybrid_read: hybrid,
+            loc_cache: spec.loc_cache,
+            obs: obs.clone(),
+            ..ClientConfig::default()
+        },
+    };
+    let mut pc = PipelinedClient::connect(
+        fabric,
+        node,
+        server_node,
+        *desc,
+        pcfg,
+        &format!("client-{cid}"),
+    )
+    .unwrap_or_else(|e| panic!("{}: pipelined connect failed: {e}", spec.system.label()));
+    let record = |comps: Vec<OpCompletion>, get: &mut Vec<Nanos>, put: &mut Vec<Nanos>| {
+        for comp in comps {
+            match &comp.result {
+                Ok(_) => {}
+                Err(e) => panic!("{:?} failed: {e:?}", comp.kind),
+            }
+            match comp.kind {
+                OpKind::Get => get.push(comp.latency()),
+                OpKind::Put => put.push(comp.latency()),
+                OpKind::Del => {}
+            }
+        }
+    };
+    for _ in 0..spec.ops_per_client {
+        let comps = match stream.next_op() {
+            Op::Get { key } => pc.submit_get(&key),
+            Op::Put { key, value } => pc.submit_put(&key, &value),
+        };
+        record(comps, get, put);
+    }
+    record(pc.finish(), get, put);
 }
 
 /// Execute one experiment. Deterministic in `spec.seed`.
@@ -613,7 +695,15 @@ fn run_inner(
 
         // ---- preload ------------------------------------------------------
         let loader_node = f2.add_node("loader");
-        let loader = make_client(spec2.system, &f2, &loader_node, &server_node, &desc, &obs2);
+        let loader = make_client(
+            spec2.system,
+            &f2,
+            &loader_node,
+            &server_node,
+            &desc,
+            &obs2,
+            spec2.loc_cache,
+        );
         let wl = WorkloadConfig {
             mix: spec2.mix,
             record_count: spec2.record_count,
@@ -700,38 +790,66 @@ fn run_inner(
             let desc3 = desc.clone();
             handles.push(sim::spawn(&format!("client-{cid}"), move || {
                 let node = f3.add_node(&format!("cnode-{cid}"));
-                let kv = make_client(spec3.system, &f3, &node, &sn, &desc3, &obs3);
                 let mut stream = OpStream::new(wl, spec3.seed, cid as u64);
                 let mut get = Vec::with_capacity(spec3.ops_per_client);
                 let mut put = Vec::with_capacity(spec3.ops_per_client);
-                for _ in 0..spec3.ops_per_client {
-                    match stream.next_op() {
-                        Op::Get { key } => {
-                            let t0 = sim::now();
-                            kv.kv_get(&key).expect("get failed");
-                            get.push(sim::now() - t0);
-                        }
-                        Op::Put { key, value } => {
-                            let t0 = sim::now();
-                            // Under heavy cleaning pressure the pool can
-                            // momentarily run out of space; real clients
-                            // back off and retry, and the stall is part of
-                            // the measured latency.
-                            let mut tries = 0;
-                            loop {
-                                match kv.kv_put(&key, &value) {
-                                    Ok(()) => break,
-                                    Err(efactory::protocol::StoreError::Status(
-                                        efactory::protocol::Status::NoSpace
-                                        | efactory::protocol::Status::Busy,
-                                    )) if tries < 200 => {
-                                        tries += 1;
-                                        sim::sleep(sim::micros(50));
-                                    }
-                                    Err(e) => panic!("put failed: {e:?}"),
-                                }
+                if spec3.window > 1 {
+                    // Pipelined closed loop: up to `window` operations in
+                    // flight; the latency of an op runs submit → completion
+                    // (including any wait behind the window or a per-key
+                    // hazard), and slot-level NoSpace/Busy backoff is part
+                    // of it just like the serial loop below.
+                    run_pipelined(
+                        &spec3,
+                        &f3,
+                        &node,
+                        &sn,
+                        &desc3,
+                        &obs3,
+                        cid,
+                        &mut stream,
+                        &mut get,
+                        &mut put,
+                    );
+                } else {
+                    let kv = make_client(
+                        spec3.system,
+                        &f3,
+                        &node,
+                        &sn,
+                        &desc3,
+                        &obs3,
+                        spec3.loc_cache,
+                    );
+                    for _ in 0..spec3.ops_per_client {
+                        match stream.next_op() {
+                            Op::Get { key } => {
+                                let t0 = sim::now();
+                                kv.kv_get(&key).expect("get failed");
+                                get.push(sim::now() - t0);
                             }
-                            put.push(sim::now() - t0);
+                            Op::Put { key, value } => {
+                                let t0 = sim::now();
+                                // Under heavy cleaning pressure the pool can
+                                // momentarily run out of space; real clients
+                                // back off and retry, and the stall is part of
+                                // the measured latency.
+                                let mut tries = 0;
+                                loop {
+                                    match kv.kv_put(&key, &value) {
+                                        Ok(()) => break,
+                                        Err(efactory::protocol::StoreError::Status(
+                                            efactory::protocol::Status::NoSpace
+                                            | efactory::protocol::Status::Busy,
+                                        )) if tries < 200 => {
+                                            tries += 1;
+                                            sim::sleep(sim::micros(50));
+                                        }
+                                        Err(e) => panic!("put failed: {e:?}"),
+                                    }
+                                }
+                                put.push(sim::now() - t0);
+                            }
                         }
                     }
                 }

@@ -49,6 +49,8 @@ mod tests {
             fault_at: None,
             fault_plan: None,
             scrub: false,
+            window: 1,
+            loc_cache: false,
         }
     }
 
@@ -121,6 +123,8 @@ mod tests {
             fault_at: None,
             fault_plan: None,
             scrub: false,
+            window: 1,
+            loc_cache: false,
         };
         let r = run(&spec);
         assert!(r.cleanings >= 1, "expected cleaning, got {r:?}");

@@ -59,7 +59,9 @@ impl Report {
             .u64("shards", spec.shards as u64)
             .u64("doorbell_batch", spec.doorbell_batch as u64)
             .u64("replicas", spec.replicas as u64)
-            .bool("scrub", spec.scrub);
+            .bool("scrub", spec.scrub)
+            .u64("window", spec.window as u64)
+            .bool("loc_cache", spec.loc_cache);
         // The fault-injection instant appears only when set, so replicated
         // steady-state runs and failover runs are distinguishable.
         if let Some(fault_at) = spec.fault_at {
@@ -146,6 +148,8 @@ fn cost_model_json(c: &CostModel) -> String {
         .u64("net_ns_per_kb", c.net_ns_per_kb)
         .u64("cpu_recv_post_ns", c.cpu_recv_post_ns)
         .u64("cpu_recv_post_batched_ns", c.cpu_recv_post_batched_ns)
+        .u64("cpu_send_post_ns", c.cpu_send_post_ns)
+        .u64("cpu_send_post_batched_ns", c.cpu_send_post_batched_ns)
         .u64("cpu_req_handle_ns", c.cpu_req_handle_ns)
         .u64("cpu_hash_ns", c.cpu_hash_ns)
         .u64("cpu_alloc_ns", c.cpu_alloc_ns)
@@ -204,6 +208,8 @@ mod tests {
             fault_at: None,
             fault_plan: None,
             scrub: false,
+            window: 1,
+            loc_cache: false,
         }
     }
 

@@ -37,6 +37,15 @@ pub struct CostModel {
     /// Same, when the listener uses a batched ring of receive regions
     /// (eFactory's "multiple receiving regions" optimization).
     pub cpu_recv_post_batched_ns: Nanos,
+
+    // ---- client CPU --------------------------------------------------------
+    /// Fixed cost of posting one send WQE when every work request rings its
+    /// own doorbell (one MMIO per post).
+    pub cpu_send_post_ns: Nanos,
+    /// Same, for a WQE that rides an already-rung doorbell chain: the
+    /// pipelined client links up to `doorbell_batch` sends behind one MMIO,
+    /// mirroring the server's batched receive-ring refill.
+    pub cpu_send_post_batched_ns: Nanos,
     /// Parsing + dispatching one RPC.
     pub cpu_req_handle_ns: Nanos,
     /// One hash-table lookup or update.
@@ -100,6 +109,8 @@ impl Default for CostModel {
             net_ns_per_kb: 80,
             cpu_recv_post_ns: 150,
             cpu_recv_post_batched_ns: 30,
+            cpu_send_post_ns: 150,
+            cpu_send_post_batched_ns: 30,
             cpu_req_handle_ns: 250,
             cpu_hash_ns: 120,
             cpu_alloc_ns: 180,
@@ -127,6 +138,8 @@ impl CostModel {
             net_ns_per_kb: 0,
             cpu_recv_post_ns: 0,
             cpu_recv_post_batched_ns: 0,
+            cpu_send_post_ns: 0,
+            cpu_send_post_batched_ns: 0,
             cpu_req_handle_ns: 0,
             cpu_hash_ns: 0,
             cpu_alloc_ns: 0,

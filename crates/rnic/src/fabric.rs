@@ -765,6 +765,54 @@ impl Notifier {
     }
 }
 
+/// Client-side doorbell batching for send posts — the WQE-posting mirror of
+/// the [`Listener`]'s chained receive-ring refill. A pipelined client links
+/// up to `batch` send WQEs behind a single doorbell: the first post of a
+/// chain pays the MMIO (`cpu_send_post_ns`) plus the amortized rate
+/// (`cpu_send_post_batched_ns`) for each chained WQE, and the rest of the
+/// chain posts for free until the credit runs out. `batch <= 1` degenerates
+/// exactly to the flat per-post charge. This is purely a CPU-cost account —
+/// the verbs themselves still go out through [`ClientQp`] as usual.
+pub struct SendDoorbell {
+    cost: CostModel,
+    batch: usize,
+    credit: std::cell::Cell<usize>,
+}
+
+impl SendDoorbell {
+    /// A doorbell chain of `batch` send WQEs charged per `cost`.
+    pub fn new(cost: &CostModel, batch: usize) -> SendDoorbell {
+        SendDoorbell {
+            cost: cost.clone(),
+            batch,
+            credit: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Chain length this doorbell was built with.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Charge the CPU cost of posting one send WQE. Must run inside a
+    /// simulated process (the charge advances that process's clock).
+    pub fn charge(&self) {
+        if self.batch > 1 {
+            let mut credit = self.credit.get();
+            if credit == 0 {
+                sim::work(
+                    self.cost.cpu_send_post_ns
+                        + (self.batch as Nanos - 1) * self.cost.cpu_send_post_batched_ns,
+                );
+                credit = self.batch;
+            }
+            self.credit.set(credit - 1);
+        } else {
+            sim::work(self.cost.cpu_send_post_ns);
+        }
+    }
+}
+
 /// Client-side endpoint: two-sided sends and one-sided verbs.
 pub struct ClientQp {
     id: QpId,
@@ -1795,5 +1843,34 @@ mod tests {
         sim.run().expect_ok();
         assert_eq!(fabric.stats().crashes.load(Ordering::Relaxed), 1);
         assert_eq!(fabric.links_down_count(), 0);
+    }
+
+    #[test]
+    fn send_doorbell_amortizes_post_cost() {
+        // A chain of B posts costs one doorbell MMIO + (B-1) amortized
+        // rates, charged up front when the chain is rung; batch <= 1
+        // degenerates to the flat per-post charge.
+        let mut sim = Sim::new(0);
+        sim.spawn("poster", || {
+            let cost = CostModel::default();
+            let flat = SendDoorbell::new(&cost, 1);
+            let t0 = sim::now();
+            for _ in 0..8 {
+                flat.charge();
+            }
+            assert_eq!(sim::now() - t0, 8 * cost.cpu_send_post_ns);
+
+            let chained = SendDoorbell::new(&cost, 4);
+            let t1 = sim::now();
+            for _ in 0..8 {
+                chained.charge();
+            }
+            // Two chains of 4: 2 * (150 + 3*30).
+            assert_eq!(
+                sim::now() - t1,
+                2 * (cost.cpu_send_post_ns + 3 * cost.cpu_send_post_batched_ns)
+            );
+        });
+        sim.run().expect_ok();
     }
 }

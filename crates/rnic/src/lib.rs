@@ -29,6 +29,6 @@ mod fault;
 pub use cost::CostModel;
 pub use fabric::{
     ClientQp, Fabric, FabricStats, Incoming, Listener, Node, NodeId, Notifier, QpError, QpId,
-    RemoteMr, Replier, VerbProbe,
+    RemoteMr, Replier, SendDoorbell, VerbProbe,
 };
 pub use fault::FaultPlan;

@@ -238,6 +238,8 @@ fn fabric_counters_reproducible_across_identical_runs() {
         fault_at: None,
         fault_plan: None,
         scrub: false,
+        window: 1,
+        loc_cache: false,
     };
     let a = cluster::run(&spec);
     let b = cluster::run(&spec);
@@ -277,6 +279,8 @@ fn harness_accounting_is_exact_for_all_mixes() {
             fault_at: None,
             fault_plan: None,
             scrub: false,
+            window: 1,
+            loc_cache: false,
         };
         let r = cluster::run(&spec);
         assert_eq!(r.total_ops, 120);

@@ -24,6 +24,8 @@ fn tiny_spec() -> ExperimentSpec {
         fault_at: None,
         fault_plan: None,
         scrub: false,
+        window: 1,
+        loc_cache: false,
     }
 }
 

@@ -213,6 +213,8 @@ fn replicated_runs_are_byte_identical() {
         fault_at: Some(sim::micros(40)),
         fault_plan: None,
         scrub: false,
+        window: 1,
+        loc_cache: false,
     };
     let a = run(&spec);
     let b = run(&spec);
