@@ -15,9 +15,10 @@
 //! comparing a scaled run against them would trip the band spuriously):
 //!
 //! ```text
-//! cargo run --release -p efactory-bench --bin put_get          -- --json fresh/BENCH_put_get.json
-//! cargo run --release -p efactory-bench --bin repl_overhead    -- --json fresh/BENCH_repl.json
-//! cargo run --release -p efactory-bench --bin pipeline_scaling -- --json fresh/BENCH_pipeline.json
+//! cargo run --release -p efactory-bench --bin put_get            -- --json fresh/BENCH_put_get.json
+//! cargo run --release -p efactory-bench --bin repl_overhead      -- --json fresh/BENCH_repl.json
+//! cargo run --release -p efactory-bench --bin pipeline_scaling   -- --json fresh/BENCH_pipeline.json
+//! cargo run --release -p efactory-bench --bin latency_breakdown  -- --json fresh/BENCH_breakdown.json
 //! ```
 //!
 //! On a `stale-baseline` verdict the fix is to refresh the committed
@@ -30,10 +31,11 @@ use std::process::ExitCode;
 use efactory_bench::gate::{compare_all, diff_json, extract_metrics, Json};
 
 /// The gated report files, by repo-root baseline name.
-const GATED: [&str; 3] = [
+const GATED: [&str; 4] = [
     "BENCH_put_get.json",
     "BENCH_repl.json",
     "BENCH_pipeline.json",
+    "BENCH_breakdown.json",
 ];
 
 fn load(path: &Path) -> Result<Json, String> {

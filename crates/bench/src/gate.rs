@@ -266,6 +266,16 @@ pub struct MetricValue {
 pub const REL_TOL: f64 = 0.10;
 /// Default absolute band for derived percentages: ±2 percentage points.
 pub const ABS_TOL_PCT: f64 = 2.0;
+/// Tail-attribution band: a subsystem's share of the p99.9 cohort's
+/// latency may move by at most ±5 percentage points before the gate flags
+/// it — a tail whose ownership shifts is a behavior change even when the
+/// headline numbers hold.
+pub const TAIL_SHARE_TOL_PP: f64 = 5.0;
+
+/// Subsystem lanes of the breakdown's `shares` object, in lane order.
+const BREAKDOWN_SUBS: [&str; 7] = [
+    "server", "client", "verifier", "cleaner", "pmem", "nic", "repl",
+];
 
 fn field(report: &Json, label: &str, path: &str) -> Result<f64, String> {
     report
@@ -274,6 +284,25 @@ fn field(report: &Json, label: &str, path: &str) -> Result<f64, String> {
         .path(path)
         .and_then(Json::as_f64)
         .ok_or_else(|| format!("field {path:?} missing on entry {label:?}"))
+}
+
+/// A subsystem's share (percent) of the given percentile cohort's latency,
+/// read out of an entry's `breakdown.percentiles` array.
+fn tail_share(report: &Json, label: &str, pctl: &str, sub: &str) -> Result<f64, String> {
+    let rows = report
+        .entry(label)
+        .ok_or_else(|| format!("entry {label:?} missing"))?
+        .path("breakdown.percentiles")
+        .ok_or_else(|| format!("breakdown.percentiles missing on entry {label:?}"))?;
+    let Json::Arr(rows) = rows else {
+        return Err(format!("breakdown.percentiles not an array on {label:?}"));
+    };
+    rows.iter()
+        .find(|r| r.get("label").and_then(Json::as_str) == Some(pctl))
+        .ok_or_else(|| format!("percentile {pctl:?} missing on entry {label:?}"))?
+        .path(&format!("shares.{sub}"))
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("share {sub:?} missing on {label:?} {pctl}"))
 }
 
 fn metric(name: &str, value: f64, better: Better, tol: Tolerance) -> MetricValue {
@@ -354,6 +383,24 @@ pub fn extract_metrics(stem: &str, report: &Json) -> Result<Vec<MetricValue>, St
                 Better::Higher,
                 Tolerance::Rel(REL_TOL),
             ));
+        }
+        "BENCH_breakdown" => {
+            // Which subsystem owns the tail, per mix: each lane's share of
+            // the p99.9 cohort's latency is gated on an absolute band, so
+            // attribution drift is caught even when totals stay in band.
+            for (label, tag) in [
+                ("Update-only/256B", "update_only"),
+                ("YCSB-A 50%GET/256B", "ycsb_a"),
+            ] {
+                for sub in BREAKDOWN_SUBS {
+                    out.push(metric(
+                        &format!("{tag}_p999_{sub}_share_pct"),
+                        tail_share(report, label, "p999", sub)?,
+                        Better::Lower,
+                        Tolerance::Abs(TAIL_SHARE_TOL_PP),
+                    ));
+                }
+            }
         }
         _ => {}
     }
@@ -622,6 +669,49 @@ mod tests {
         assert_eq!(row.verdict, Verdict::FloorViolation);
         let rows = compare_all(&pipe(1.0, 4.0), &pipe(1.0, 4.1));
         assert!(rows.iter().all(|r| !r.verdict.failing()), "{rows:?}");
+    }
+
+    #[test]
+    fn tail_share_shift_beyond_5pp_is_flagged() {
+        let breakdown = |server: f64, nic: f64| {
+            let row = |s: f64, n: f64| {
+                format!(
+                    r#"{{"label":"p999","threshold_ns":9000,"cohort":2,
+                        "shares":{{"server":{s},"client":10.0,"verifier":0.0,
+                                  "cleaner":0.0,"pmem":0.0,"nic":{n},"repl":0.0}},
+                        "dominant":"server"}}"#
+                )
+            };
+            let doc = format!(
+                r#"{{"entries":[
+                    {{"label":"Update-only/256B","breakdown":{{"percentiles":[{}]}}}},
+                    {{"label":"YCSB-A 50%GET/256B","breakdown":{{"percentiles":[{}]}}}}]}}"#,
+                row(server, nic),
+                row(server, nic),
+            );
+            extract_metrics("BENCH_breakdown", &Json::parse(&doc).unwrap()).unwrap()
+        };
+        let baseline = breakdown(60.0, 30.0);
+        assert_eq!(baseline.len(), 14, "7 lanes × 2 mixes");
+        // A 4pp wobble in tail ownership stays in band; an 8pp shift from
+        // nic to server is an attribution change and fails.
+        let rows = compare_all(&baseline, &breakdown(64.0, 26.0));
+        assert!(rows.iter().all(|r| !r.verdict.failing()), "{rows:?}");
+        let rows = compare_all(&baseline, &breakdown(68.0, 22.0));
+        let server = rows
+            .iter()
+            .find(|r| r.name == "update_only_p999_server_share_pct")
+            .unwrap();
+        assert_eq!(server.verdict, Verdict::Regressed);
+        let nic = rows
+            .iter()
+            .find(|r| r.name == "update_only_p999_nic_share_pct")
+            .unwrap();
+        assert_eq!(nic.verdict, Verdict::StaleBaseline, "shrink flags too");
+        // A percentile row going missing is a load error, not a pass.
+        let half =
+            Json::parse(r#"{"entries":[{"label":"Update-only/256B","breakdown":{}}]}"#).unwrap();
+        assert!(extract_metrics("BENCH_breakdown", &half).is_err());
     }
 
     #[test]

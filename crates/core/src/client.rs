@@ -31,7 +31,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use efactory_checksum::crc32c;
-use efactory_obs::{Counter, Obs, Subsystem};
+use efactory_obs::trace::current_op;
+use efactory_obs::{Counter, Obs, OpScope, SpanGuard, Subsystem};
 use efactory_rnic::{ClientQp, Fabric, Node, QpError};
 use efactory_sim as sim;
 use efactory_sim::Nanos;
@@ -105,6 +106,9 @@ pub struct ClientConfig {
     /// Entry cap for the location cache; at capacity, new keys are simply
     /// not cached (deterministic, no eviction order to replay).
     pub loc_cache_cap: usize,
+    /// Shard index this client routes to; recorded on every op's root
+    /// trace span so the latency decomposition can attribute per shard.
+    pub shard: u32,
     /// Observability context; the harness passes the same one the server
     /// uses so client and server phases land in a single trace.
     pub obs: Obs,
@@ -124,6 +128,7 @@ impl Default for ClientConfig {
             verify_value_crc: true,
             loc_cache: false,
             loc_cache_cap: 65_536,
+            shard: 0,
             obs: Obs::new(),
         }
     }
@@ -196,6 +201,13 @@ pub struct Client {
     op_retry_ctr: Counter,
     /// Registry counter mirroring [`ClientStats::put_reissues`].
     put_reissue_ctr: Counter,
+    /// Registry counters mirroring the GET-path outcome fields and
+    /// [`ClientStats::puts`], so the run report covers every client
+    /// counter without reaching into per-client stats.
+    pure_hit_ctr: Counter,
+    fallback_ctr: Counter,
+    rpc_only_ctr: Counter,
+    put_ctr: Counter,
     /// Location cache: key → last located object version. Only consulted
     /// when `cfg.loc_cache` is set; flushed whenever cleaning starts or
     /// ends (cleaning is the only thing that *moves* objects).
@@ -227,6 +239,26 @@ enum CachedOutcome {
     Miss,
 }
 
+/// RAII context for one logical client operation: owns the root `"op"`
+/// trace span and the thread's op-id attribution scope. When an outer
+/// scope already owns the op (the pipelined client measures its own
+/// submit→completion window), the context records an `"exec"` child span
+/// instead of a second root.
+struct OpCtx {
+    root: Option<SpanGuard>,
+    _scope: Option<OpScope>,
+}
+
+impl OpCtx {
+    /// Attach the op's observed retry count to the root span (set just
+    /// before the context drops and the span records).
+    fn set_retries(&mut self, retries: u64) {
+        if let Some(sp) = &mut self.root {
+            sp.arg("retries", retries);
+        }
+    }
+}
+
 impl Client {
     /// Connect `local` to the server on `server_node` described by `desc`.
     /// Must run inside a simulated process.
@@ -242,6 +274,10 @@ impl Client {
         let rpc_retry_ctr = cfg.obs.registry.counter("client.rpc_retry");
         let op_retry_ctr = cfg.obs.registry.counter("client.op_retry");
         let put_reissue_ctr = cfg.obs.registry.counter("client.put_reissue");
+        let pure_hit_ctr = cfg.obs.registry.counter("client.pure_hits");
+        let fallback_ctr = cfg.obs.registry.counter("client.fallbacks");
+        let rpc_only_ctr = cfg.obs.registry.counter("client.rpc_only");
+        let put_ctr = cfg.obs.registry.counter("client.puts");
         let loc_hit_ctr = cfg.obs.registry.counter("client.loc_cache.hits");
         let loc_miss_ctr = cfg.obs.registry.counter("client.loc_cache.misses");
         let loc_fill_ctr = cfg.obs.registry.counter("client.loc_cache.fills");
@@ -257,6 +293,10 @@ impl Client {
             rpc_retry_ctr,
             op_retry_ctr,
             put_reissue_ctr,
+            pure_hit_ctr,
+            fallback_ctr,
+            rpc_only_ctr,
+            put_ctr,
             loc_cache: RefCell::new(HashMap::new()),
             loc_hit_ctr,
             loc_miss_ctr,
@@ -268,6 +308,45 @@ impl Client {
     /// Counters.
     pub fn stats(&self) -> &ClientStats {
         &self.stats
+    }
+
+    /// Open the per-op attribution context. `kind`: 0 = GET, 1 = PUT,
+    /// 2 = DEL (the `critical_path` encoding).
+    fn op_root(&self, kind: u64, key: &[u8]) -> OpCtx {
+        if current_op() != 0 {
+            // Already inside an op (pipelined slot): record execution as a
+            // child phase of the owning op instead of opening a new root.
+            return OpCtx {
+                root: Some(self.cfg.obs.tracer.span(Subsystem::Client, "exec")),
+                _scope: None,
+            };
+        }
+        let scope = OpScope::enter(self.cfg.obs.next_op_id());
+        let mut sp = self.cfg.obs.tracer.span(Subsystem::Client, "op");
+        sp.arg("kind", kind);
+        sp.arg("shard", self.cfg.shard as u64);
+        sp.arg("key_fp", fingerprint(key));
+        OpCtx {
+            root: Some(sp),
+            _scope: Some(scope),
+        }
+    }
+
+    /// Sum of every retry counter; deltas across an op give its root
+    /// span's `retries` arg. `pub(crate)` so the pipelined client can
+    /// compute the same delta around a slot execution.
+    pub(crate) fn retry_total(&self) -> u64 {
+        self.stats.rpc_retries.get()
+            + self.stats.op_retries.get()
+            + self.stats.get_retries.get()
+            + self.stats.put_reissues.get()
+    }
+
+    /// A backoff sleep, recorded as a retry-classified phase of the
+    /// current op.
+    fn backoff_sleep(&self, backoff: Nanos) {
+        let _sp = self.cfg.obs.tracer.span(Subsystem::Client, "backoff");
+        sim::sleep(backoff);
     }
 
     /// Drain pending server notifications (cleaning state). Cleaning
@@ -396,13 +475,18 @@ impl Client {
     fn rpc(&self, req: &Request) -> Result<Response, StoreError> {
         let id = self.next_req_id.get();
         self.next_req_id.set(id + 1);
+        // The span covers all attempts; its (qp, req) args join it to the
+        // server's handler span in the critical-path fold.
+        let mut rpc_sp = self.cfg.obs.tracer.span(Subsystem::Client, "rpc");
+        rpc_sp.arg("qp", self.qp.id());
+        rpc_sp.arg("req", id);
         let payload = req.encode_framed(id);
         let mut backoff = self.cfg.retry_backoff;
         for attempt in 0..self.cfg.rpc_attempts.max(1) {
             if attempt > 0 {
                 self.stats.rpc_retries.set(self.stats.rpc_retries.get() + 1);
                 self.rpc_retry_ctr.inc();
-                sim::sleep(backoff);
+                self.backoff_sleep(backoff);
                 backoff = backoff.saturating_mul(2);
             }
             self.qp.send(payload.clone())?;
@@ -456,7 +540,7 @@ impl Client {
                 Err(QpError::Timeout) if attempt < self.cfg.op_retries => {
                     attempt += 1;
                     self.note_op_retry();
-                    sim::sleep(backoff);
+                    self.backoff_sleep(backoff);
                     backoff = backoff.saturating_mul(2);
                 }
                 Err(e) => return Err(StoreError::Qp(e)),
@@ -479,6 +563,14 @@ impl Client {
     /// by `op_retries`.
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
         self.poll_events();
+        let mut ctx = self.op_root(1, key);
+        let retries_before = self.retry_total();
+        let result = self.put_inner(key, value);
+        ctx.set_retries(self.retry_total() - retries_before);
+        result
+    }
+
+    fn put_inner(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
         let mut backoff = self.cfg.op_backoff;
         for attempt in 0..=self.cfg.op_retries {
             if attempt > 0 {
@@ -486,11 +578,12 @@ impl Client {
                     .put_reissues
                     .set(self.stats.put_reissues.get() + 1);
                 self.put_reissue_ctr.inc();
-                sim::sleep(backoff);
+                self.backoff_sleep(backoff);
                 backoff = backoff.saturating_mul(2);
             }
             if self.put_once(key, value)? {
                 self.stats.puts.set(self.stats.puts.get() + 1);
+                self.put_ctr.inc();
                 return Ok(());
             }
         }
@@ -518,6 +611,12 @@ impl Client {
                 obj_off,
                 value_off,
             } => {
+                // Join key for the op's off-path durable-ization work
+                // (verifier CRC/flush, replication mirror).
+                self.cfg
+                    .obs
+                    .tracer
+                    .event_args(Subsystem::Client, "alloc_off", &[("off", obj_off)]);
                 if !value.is_empty() {
                     let mut sp = self.cfg.obs.tracer.span(Subsystem::Client, "rdma_write");
                     sp.arg("vlen", value.len() as u64);
@@ -564,7 +663,7 @@ impl Client {
                 Err(QpError::Timeout) if attempt < self.cfg.op_retries => {
                     attempt += 1;
                     self.note_op_retry();
-                    sim::sleep(backoff);
+                    self.backoff_sleep(backoff);
                     backoff = backoff.saturating_mul(2);
                 }
                 Err(e) => return Err(StoreError::Qp(e)),
@@ -578,15 +677,20 @@ impl Client {
     /// Delete `key` (tombstone).
     pub fn del(&self, key: &[u8]) -> Result<(), StoreError> {
         self.poll_events();
+        let mut ctx = self.op_root(2, key);
+        let retries_before = self.retry_total();
         // The cached location now points at a superseded version; drop it
         // (not counted as an invalidation — nothing went stale underneath
         // us, we made it stale).
         self.loc_cache.borrow_mut().remove(key);
-        match self.rpc(&Request::Del { key: key.to_vec() })? {
-            Response::Ack { status: Status::Ok } => Ok(()),
-            Response::Ack { status } => Err(StoreError::Status(status)),
-            _ => Err(StoreError::Protocol),
-        }
+        let result = match self.rpc(&Request::Del { key: key.to_vec() }) {
+            Ok(Response::Ack { status: Status::Ok }) => Ok(()),
+            Ok(Response::Ack { status }) => Err(StoreError::Status(status)),
+            Ok(_) => Err(StoreError::Protocol),
+            Err(e) => Err(e),
+        };
+        ctx.set_retries(self.retry_total() - retries_before);
+        result
     }
 
     /// Read `key`. `Ok(None)` means not found (or deleted).
@@ -597,6 +701,14 @@ impl Client {
     /// Like [`get`](Self::get), also reporting which path served the read.
     pub fn get_traced(&self, key: &[u8]) -> Result<(Option<Vec<u8>>, GetOutcome), StoreError> {
         self.poll_events();
+        let mut ctx = self.op_root(0, key);
+        let retries_before = self.retry_total();
+        let result = self.get_inner(key);
+        ctx.set_retries(self.retry_total() - retries_before);
+        result
+    }
+
+    fn get_inner(&self, key: &[u8]) -> Result<(Option<Vec<u8>>, GetOutcome), StoreError> {
         if self.cfg.hybrid_read && !self.cleaning.get() {
             // Step 1-4 of Figure 6: the optimistic pure RDMA read path.
             let pure = {
@@ -612,14 +724,17 @@ impl Client {
             match pure {
                 PureOutcome::Hit(v) => {
                     self.stats.pure_hits.set(self.stats.pure_hits.get() + 1);
+                    self.pure_hit_ctr.inc();
                     return Ok((v, GetOutcome::Pure));
                 }
                 PureOutcome::NotFound => {
                     self.stats.pure_hits.set(self.stats.pure_hits.get() + 1);
+                    self.pure_hit_ctr.inc();
                     return Ok((None, GetOutcome::Pure));
                 }
                 PureOutcome::Fallback => {
                     self.stats.fallbacks.set(self.stats.fallbacks.get() + 1);
+                    self.fallback_ctr.inc();
                     let _sp = self.cfg.obs.tracer.span(Subsystem::Client, "fallback_rpc");
                     let v = self.rpc_get(key)?;
                     return Ok((v, GetOutcome::Fallback));
@@ -627,6 +742,7 @@ impl Client {
             }
         }
         self.stats.rpc_only.set(self.stats.rpc_only.get() + 1);
+        self.rpc_only_ctr.inc();
         let _sp = self.cfg.obs.tracer.span(Subsystem::Client, "rpc_read");
         let v = self.rpc_get(key)?;
         Ok((v, GetOutcome::RpcOnly))

@@ -42,12 +42,13 @@
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
-use efactory_obs::{Counter, Subsystem};
+use efactory_obs::{Counter, OpScope, Subsystem};
 use efactory_rnic::{Fabric, Node, SendDoorbell};
 use efactory_sim as sim;
 use efactory_sim::Nanos;
 
 use crate::client::{Client, ClientConfig};
+use crate::hashtable::fingerprint;
 use crate::protocol::{Status, StoreError};
 use crate::server::StoreDesc;
 
@@ -116,6 +117,9 @@ impl OpCompletion {
 enum Job {
     Op {
         seq: u64,
+        /// Trace op id: the slot executes under this attribution scope so
+        /// every span the inner client records folds into one breakdown.
+        op: u64,
         kind: OpKind,
         key: Vec<u8>,
         value: Vec<u8>,
@@ -208,6 +212,8 @@ impl PipelinedClient {
             let local = local.clone();
             let server_node = server_node.clone();
             let client_cfg = cfg.client.clone();
+            let tracer = client_cfg.obs.tracer.clone();
+            let shard = client_cfg.shard as u64;
             handles.push(sim::spawn(&format!("{name}-slot{slot}"), move || {
                 let client = match Client::connect(&fabric, &local, &server_node, desc, client_cfg)
                 {
@@ -218,12 +224,39 @@ impl PipelinedClient {
                     match job {
                         Job::Op {
                             seq,
+                            op,
                             kind,
                             key,
                             value,
                             submitted_at,
                         } => {
+                            // The slot owns the op's root span: its window
+                            // is submit→completion, so time spent queued
+                            // behind the pipeline window shows up as
+                            // unattributed client gap in the breakdown.
+                            let scope = OpScope::enter(op);
+                            let retries_before = client.retry_total();
                             let result = run_op(&client, kind, &key, &value);
+                            let retries = client.retry_total() - retries_before;
+                            let done_at = sim::now();
+                            let kind_code = match kind {
+                                OpKind::Get => 0u64,
+                                OpKind::Put => 1,
+                                OpKind::Del => 2,
+                            };
+                            tracer.record_span_at(
+                                Subsystem::Client,
+                                "op",
+                                submitted_at,
+                                done_at.saturating_sub(submitted_at),
+                                &[
+                                    ("kind", kind_code),
+                                    ("shard", shard),
+                                    ("key_fp", fingerprint(&key)),
+                                    ("retries", retries),
+                                ],
+                            );
+                            drop(scope);
                             let done = SlotDone {
                                 slot,
                                 completion: OpCompletion {
@@ -231,7 +264,7 @@ impl PipelinedClient {
                                     kind,
                                     key,
                                     submitted_at,
-                                    done_at: sim::now(),
+                                    done_at,
                                     result,
                                 },
                             };
@@ -331,7 +364,10 @@ impl PipelinedClient {
             }
         }
         // Posting the work request: one doorbell chain across up to
-        // `doorbell_batch` submissions.
+        // `doorbell_batch` submissions. The dispatch span runs under the
+        // op's attribution scope so the post shows up in its breakdown.
+        let op = self.cfg.client.obs.next_op_id();
+        let scope = OpScope::enter(op);
         self.doorbell.charge();
         self.doorbell_ctr.inc();
         let sp = self
@@ -341,10 +377,12 @@ impl PipelinedClient {
             .tracer
             .span(Subsystem::Client, "pipeline_dispatch");
         drop(sp);
+        drop(scope);
         self.job_txs[slot]
             .send(
                 Job::Op {
                     seq,
+                    op,
                     kind,
                     key: key.to_vec(),
                     value,

@@ -156,8 +156,10 @@ impl ReplShardedClient {
             "a replicated store has at least one shard"
         );
         let mut clients = Vec::with_capacity(descs.len());
-        for d in descs {
-            clients.push(ReplClient::connect(fabric, local, d, cfg.clone())?);
+        for (i, d) in descs.iter().enumerate() {
+            let mut cfg = cfg.clone();
+            cfg.shard = i as u32;
+            clients.push(ReplClient::connect(fabric, local, d, cfg)?);
         }
         Ok(ReplShardedClient { clients })
     }

@@ -332,6 +332,7 @@ impl ServerShared {
                     let mut sp = self.cfg.obs.tracer.span(Subsystem::Pmem, "flush_drain");
                     let lines = self.persist_object(off as usize, &hdr);
                     sim::work(self.cost.flush(lines * efactory_pmem::LINE));
+                    sp.arg("off", off);
                     sp.arg("lines", lines as u64);
                     drop(sp);
                     if first {
@@ -549,10 +550,13 @@ fn run_handler(shared: &ServerShared, listener: &Listener) {
                 _ => {}
             }
         }
+        // (qp, request-id) args on the handler spans join server-side
+        // handling to the issuing client op in the critical-path fold.
+        let rpc = (from, req_id.unwrap_or(0));
         let resp = match req {
-            Request::Put { key, vlen, crc } => handle_put(shared, &key, vlen, crc),
-            Request::Get { key } => handle_get(shared, &key),
-            Request::Del { key } => handle_del(shared, &key),
+            Request::Put { key, vlen, crc } => handle_put(shared, rpc, &key, vlen, crc),
+            Request::Get { key } => handle_get(shared, rpc, &key),
+            Request::Del { key } => handle_del(shared, rpc, &key),
             // SAW/RPC-baseline opcodes are not part of eFactory.
             Request::Persist { .. } | Request::RpcPut { .. } => Response::Ack {
                 status: Status::Corrupt,
@@ -576,9 +580,17 @@ fn run_handler(shared: &ServerShared, listener: &Listener) {
 /// metadata + key, persist them, link the hash entry, and return the value
 /// offset. The client then RDMA-writes the value with **no** durability
 /// wait — the background verifier takes over.
-fn handle_put(shared: &ServerShared, key: &[u8], vlen: u32, crc: u32) -> Response {
+fn handle_put(
+    shared: &ServerShared,
+    rpc: (QpId, u64),
+    key: &[u8],
+    vlen: u32,
+    crc: u32,
+) -> Response {
     let mut sp = shared.cfg.obs.tracer.span(Subsystem::Server, "rpc_alloc");
     sp.arg("vlen", vlen as u64);
+    sp.arg("qp", rpc.0);
+    sp.arg("req", rpc.1);
     let resp = insert_version(shared, key, vlen, crc);
     if matches!(
         resp,
@@ -676,8 +688,10 @@ fn insert_version(shared: &ServerShared, key: &[u8], vlen: u32, crc: u32) -> Res
 /// GET fallback (paper §4.3.3, steps 5–8): look up the entry, run the
 /// durability check / durability guarantee, and return the offset of an
 /// intact version for the client to RDMA-read.
-fn handle_get(shared: &ServerShared, key: &[u8]) -> Response {
-    let _sp = shared.cfg.obs.tracer.span(Subsystem::Server, "rpc_get");
+fn handle_get(shared: &ServerShared, rpc: (QpId, u64), key: &[u8]) -> Response {
+    let mut sp = shared.cfg.obs.tracer.span(Subsystem::Server, "rpc_get");
+    sp.arg("qp", rpc.0);
+    sp.arg("req", rpc.1);
     sim::work(shared.cost.cpu_req_handle_ns + shared.cost.cpu_hash_ns);
     shared.stats.gets.inc();
     let not_found = Response::Get {
@@ -711,8 +725,10 @@ fn handle_get(shared: &ServerShared, key: &[u8]) -> Response {
 /// DELETE: append a tombstone version. Tombstones carry no client value, so
 /// they are made durable immediately. Shares the insert path with PUT but
 /// has its own dispatch and counter — `puts` never sees a DEL.
-fn handle_del(shared: &ServerShared, key: &[u8]) -> Response {
-    let _sp = shared.cfg.obs.tracer.span(Subsystem::Server, "rpc_del");
+fn handle_del(shared: &ServerShared, rpc: (QpId, u64), key: &[u8]) -> Response {
+    let mut sp = shared.cfg.obs.tracer.span(Subsystem::Server, "rpc_del");
+    sp.arg("qp", rpc.0);
+    sp.arg("req", rpc.1);
     // A tombstone is a PUT of an empty value whose CRC is crc32c(b"") == 0.
     let resp = insert_version(shared, key, 0, crc32c(b""));
     let Response::Put {

@@ -169,7 +169,12 @@ impl ShardedClient {
             .nodes
             .iter()
             .zip(&desc.descs)
-            .map(|(node, d)| Client::connect(fabric, local, node, *d, cfg.clone()))
+            .enumerate()
+            .map(|(i, (node, d))| {
+                let mut cfg = cfg.clone();
+                cfg.shard = i as u32;
+                Client::connect(fabric, local, node, *d, cfg)
+            })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(ShardedClient { clients })
     }

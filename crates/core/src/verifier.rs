@@ -150,12 +150,17 @@ fn step_inner(shared: &ServerShared, defer_fence: bool) -> (StepOutcome, Option<
         .span(Subsystem::Verifier, "crc_verify");
     sp.arg("off", cur as u64);
     sim::work(shared.cfg.verify_step_cost + shared.cost.crc_hw(hdr.vlen as usize));
-    if shared.crc_matches(cur, &hdr) {
+    let matched = shared.crc_matches(cur, &hdr);
+    drop(sp);
+    if matched {
+        let mut fl = shared.cfg.obs.tracer.span(Subsystem::Verifier, "flush");
+        fl.arg("off", cur as u64);
         let lines = shared.persist_object(cur, &hdr);
-        let _ = lines;
+        fl.arg("lines", lines as u64);
         if !defer_fence {
             sim::work(shared.cost.flush_base_ns);
         }
+        drop(fl);
         shared.stats.bg_verified.inc();
         advance(shared);
         return (StepOutcome::Persisted, Some((cur, size)));

@@ -13,7 +13,7 @@ use efactory_baselines::{
     CaNoperClient, CaNoperServer, ErdaClient, ErdaServer, ForcaClient, ForcaServer, ImmClient,
     ImmServer, RpcClient, RpcServer, SawClient, SawServer,
 };
-use efactory_obs::{Obs, Subsystem};
+use efactory_obs::{Breakdown, FoldConfig, Obs, Subsystem};
 use efactory_pmem::PmemPool;
 use efactory_rnic::{CostModel, Fabric, FaultPlan, Node};
 use efactory_sim as sim;
@@ -200,6 +200,11 @@ pub struct RunResult {
     /// End-of-run metric registry snapshot, sorted by name
     /// (`server.*`, `pmem.*`, `fabric.*`).
     pub counters: Vec<(String, u64)>,
+    /// Per-op critical-path breakdown folded from the trace over the
+    /// measurement window (None when the trace captured no attributed
+    /// ops — e.g. baseline systems that don't emit `"op"` root spans).
+    /// Serialized separately by the report writer, not via serde.
+    pub breakdown: Option<Breakdown>,
 }
 
 #[derive(Default)]
@@ -665,10 +670,19 @@ fn run_inner(
     if let Some(plan) = spec.fault_plan {
         fabric.set_fault_plan(Some(plan));
     }
-    // NIC verb completions become instant events on the trace's nic lane.
+    // NIC verbs become spans on the trace's nic lane, covering the verb's
+    // full start→completion window (retransmissions and fault delays
+    // included). The probe fires on the issuing thread, so the record
+    // inherits the active op id for critical-path attribution.
     let nic_tracer = obs.tracer.clone();
-    fabric.set_verb_probe(move |verb, bytes| {
-        nic_tracer.event_args(Subsystem::Nic, verb, &[("bytes", bytes as u64)]);
+    fabric.set_verb_probe(move |verb, bytes, start, end| {
+        nic_tracer.record_span_at(
+            Subsystem::Nic,
+            verb,
+            start,
+            end.saturating_sub(start),
+            &[("bytes", bytes as u64)],
+        );
     });
     let server_node = fabric.add_node("server");
     let server = Arc::new(build_server(
@@ -897,6 +911,22 @@ fn run_inner(
     obs.registry
         .counter("fabric.links_down")
         .store(fabric.links_down_count() as u64, Ordering::Relaxed);
+    obs.registry
+        .counter("obs.trace_dropped")
+        .store(obs.tracer.dropped(), Ordering::Relaxed);
+    // Fold the trace into the per-op critical-path breakdown, clipped to
+    // the measurement window (preload ops start before `start` and are
+    // excluded by min_start).
+    let breakdown = {
+        let b = efactory_obs::critical_path::fold(
+            &obs.tracer.records(),
+            &FoldConfig {
+                min_start: start,
+                exemplars: 4,
+            },
+        );
+        (b.ops > 0).then_some(b)
+    };
     RunResult {
         system: spec.system.label(),
         total_ops,
@@ -910,5 +940,6 @@ fn run_inner(
         cleanings: server.stat_sum(|s| &s.cleanings),
         seed: spec.seed,
         counters: obs.registry.snapshot(),
+        breakdown,
     }
 }

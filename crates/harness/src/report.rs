@@ -2,10 +2,15 @@
 //!
 //! Every bench binary can emit its results as JSON (`--json <path>`) so
 //! perf trajectories can be tracked across commits without scraping the
-//! rendered tables. The schema is versioned (`"schema": "efactory-run-report/v1"`)
+//! rendered tables. The schema is versioned (`"schema": "efactory-run-report/v2"`)
 //! and documented in `EXPERIMENTS.md`; rendering is deterministic — entries
 //! appear in insertion order, counters in lexicographic order, and all
 //! numbers use fixed-point formatting — so same seed ⇒ byte-identical file.
+//!
+//! v2 adds two per-entry sections, present whenever the run folded a
+//! critical-path breakdown (eFactory runs with attributed ops): `breakdown`
+//! (per-subsystem phase totals, off-path work, and percentile attribution)
+//! and `tail_exemplars` (the K slowest ops with their full phase timeline).
 
 use std::io;
 use std::path::Path;
@@ -17,7 +22,7 @@ use crate::cluster::{ExperimentSpec, RunResult};
 use crate::stats::LatencyStats;
 
 /// Schema identifier stamped into every report.
-pub const SCHEMA: &str = "efactory-run-report/v1";
+pub const SCHEMA: &str = "efactory-run-report/v2";
 
 /// A JSON run report: one entry per experiment plus the cost-model
 /// constants the runs were charged with.
@@ -83,7 +88,7 @@ impl Report {
         for (name, v) in &result.counters {
             counters = counters.u64(name, *v);
         }
-        let entry = Obj::new()
+        let mut entry = Obj::new()
             .str("label", label)
             .raw("params", &params)
             .u64("total_ops", result.total_ops)
@@ -95,9 +100,15 @@ impl Report {
             .u64("server_rpc_gets", result.server_rpc_gets)
             .u64("bg_verified", result.bg_verified)
             .u64("cleanings", result.cleanings)
-            .raw("counters", &counters.finish())
-            .finish();
-        self.entries.push(entry);
+            .raw("counters", &counters.finish());
+        // v2: the critical-path sections, present only when the run folded
+        // attributed ops (baseline systems emit no "op" roots).
+        if let Some(b) = &result.breakdown {
+            entry = entry
+                .raw("breakdown", &b.to_json())
+                .raw("tail_exemplars", &b.exemplars_json());
+        }
+        self.entries.push(entry.finish());
     }
 
     /// Record a latency-only measurement (micro-drivers that bypass the
@@ -263,6 +274,12 @@ mod tests {
         assert!(a.contains("\"fabric.fault.dropped\":0"));
         assert!(!a.contains("\"fault_at_ns\""), "unset fault omitted");
         assert!(!a.contains("\"fault_drop_p\""), "unset plan omitted");
+        // v2 sections: an eFactory run with measured ops folds a breakdown
+        // whose conservation invariant holds exactly, plus tail exemplars.
+        assert!(a.contains("\"breakdown\":{\"ops\":"));
+        assert!(a.contains("\"conservation_max_err_ns\":0"));
+        assert!(a.contains("\"tail_exemplars\":[{\"op\":"));
+        assert!(a.contains("\"obs.trace_dropped\":0"));
     }
 
     #[test]
@@ -294,5 +311,8 @@ mod tests {
         let json = rep.to_json();
         assert!(json.contains("\"total_ops\":0"));
         assert!(json.contains("\"count\":0"));
+        // No measured ops ⇒ no attributed roots in the window ⇒ the v2
+        // sections are omitted rather than rendered empty.
+        assert!(!json.contains("\"breakdown\""));
     }
 }

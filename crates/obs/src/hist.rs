@@ -135,6 +135,27 @@ impl Histogram {
     pub fn p999(&self) -> u64 {
         self.value_at_quantile(99.9)
     }
+
+    /// Fold `other`'s samples into `self` (bucket-wise add; count/sum add,
+    /// max folds with `max`). Merging is associative and commutative, so
+    /// per-shard histograms can be combined in any order.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.0.buckets.iter().zip(other.0.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.0
+            .count
+            .fetch_add(other.0.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.0
+            .sum
+            .fetch_add(other.0.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.0
+            .max
+            .fetch_max(other.0.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
 }
 
 impl std::fmt::Debug for Histogram {
@@ -203,6 +224,82 @@ mod tests {
         assert_eq!(h.count(), 10_000);
         let exact_mean = v.iter().sum::<u64>() as f64 / v.len() as f64;
         assert!((h.mean() - exact_mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_merge_is_identity_both_ways() {
+        let h = Histogram::new();
+        h.record(100);
+        h.record(2_000);
+        let (count, p50, p999, max, mean) = (h.count(), h.p50(), h.p999(), h.max(), h.mean());
+        // Merging an empty histogram in changes nothing...
+        h.merge(&Histogram::new());
+        assert_eq!(
+            (h.count(), h.p50(), h.p999(), h.max(), h.mean()),
+            (count, p50, p999, max, mean)
+        );
+        // ...and merging into an empty histogram reproduces the source.
+        let empty = Histogram::new();
+        empty.merge(&h);
+        assert_eq!(
+            (empty.count(), empty.p50(), empty.p999(), empty.max()),
+            (count, p50, p999, max)
+        );
+        // Empty ∪ empty stays empty.
+        let e2 = Histogram::new();
+        e2.merge(&Histogram::new());
+        assert_eq!((e2.count(), e2.p999(), e2.max()), (0, 0, 0));
+    }
+
+    #[test]
+    fn single_bucket_merge_matches_repeated_record() {
+        // All samples land in one bucket: quantiles collapse to that value
+        // and the merged count is the sum.
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for _ in 0..3 {
+            a.record(42);
+        }
+        for _ in 0..5 {
+            b.record(42);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 8);
+        assert_eq!(a.p50(), 42);
+        assert_eq!(a.value_at_quantile(100.0), 42);
+        assert_eq!(a.max(), 42);
+        assert_eq!(a.mean(), 42.0);
+    }
+
+    #[test]
+    fn cross_octave_merge_is_associative() {
+        // Samples spanning the exact region and several octaves, split three
+        // ways: (a ∪ b) ∪ c must equal a ∪ (b ∪ c) on every quantile.
+        let mk = |seed: u64, n: u64| {
+            let h = Histogram::new();
+            let mut x = seed;
+            for _ in 0..n {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                h.record(1 + (x >> 33) % 3_000_000);
+            }
+            h
+        };
+        let (a1, b1, c1) = (mk(1, 500), mk(2, 700), mk(3, 90));
+        let (a2, b2, c2) = (mk(1, 500), mk(2, 700), mk(3, 90));
+        // left-assoc into a1
+        a1.merge(&b1);
+        a1.merge(&c1);
+        // right-assoc: b2 ∪ c2 first, then into a2
+        b2.merge(&c2);
+        a2.merge(&b2);
+        assert_eq!(a1.count(), a2.count());
+        assert_eq!(a1.max(), a2.max());
+        assert_eq!(a1.mean(), a2.mean());
+        for q in [1.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            assert_eq!(a1.value_at_quantile(q), a2.value_at_quantile(q), "q{q}");
+        }
     }
 
     #[test]

@@ -24,14 +24,19 @@
 //! `Default` is fully enabled, so existing `..Default::default()` call sites
 //! pick up observability without changes.
 
+pub mod critical_path;
 pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod trace;
 
+pub use critical_path::{Breakdown, FoldConfig};
 pub use hist::Histogram;
 pub use metrics::{Counter, Gauge, Registry};
-pub use trace::{RecordKind, SpanGuard, Subsystem, TraceRecord, Tracer};
+pub use trace::{OpScope, RecordKind, SpanGuard, Subsystem, TraceRecord, Tracer};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One observability context: a metrics registry plus a tracer. Threaded
 /// through `ServerConfig`/`ClientConfig` and created per experiment by the
@@ -42,12 +47,30 @@ pub struct Obs {
     pub registry: Registry,
     /// Span/event recorder.
     pub tracer: Tracer,
+    /// Monotonic op-id source shared by all clones; ids start at 1 (0 is
+    /// "unattributed" in trace records).
+    op_source: Arc<AtomicU64>,
 }
 
 impl Obs {
     /// A fresh, fully enabled context.
     pub fn new() -> Obs {
         Obs::default()
+    }
+
+    /// A context whose tracer ring holds up to `capacity` records — used by
+    /// the breakdown bench, whose folds need every per-op span retained.
+    pub fn with_trace_capacity(capacity: usize) -> Obs {
+        Obs {
+            tracer: Tracer::with_capacity(capacity),
+            ..Obs::default()
+        }
+    }
+
+    /// Allocate the next operation id (deterministic: ids are handed out in
+    /// program order, which the simulator serializes).
+    pub fn next_op_id(&self) -> u64 {
+        self.op_source.fetch_add(1, Ordering::Relaxed) + 1
     }
 }
 

@@ -14,6 +14,7 @@
 //! subsystems at record time. Everything is deterministic — the export is
 //! byte-identical across same-seed runs.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
@@ -106,8 +107,43 @@ pub struct TraceRecord {
     pub sub: Subsystem,
     /// Phase/event name.
     pub name: &'static str,
+    /// Operation id the record belongs to (0 = unattributed). Captured
+    /// from the recording thread's [`OpScope`] when the span/event opens.
+    pub op: u64,
     /// Optional numeric attributes.
     pub args: Vec<(&'static str, u64)>,
+}
+
+thread_local! {
+    static CURRENT_OP: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The op id active on this thread (0 when none). Simulated processes are
+/// OS threads that run one at a time, so a thread-local is exactly
+/// per-process context.
+pub fn current_op() -> u64 {
+    CURRENT_OP.with(|c| c.get())
+}
+
+/// Marks the current thread as executing op `op` until dropped; spans and
+/// events recorded meanwhile inherit the id. Nests: the previous id is
+/// restored on drop.
+pub struct OpScope {
+    prev: u64,
+}
+
+impl OpScope {
+    /// Enter op `op` on this thread.
+    pub fn enter(op: u64) -> OpScope {
+        let prev = CURRENT_OP.with(|c| c.replace(op));
+        OpScope { prev }
+    }
+}
+
+impl Drop for OpScope {
+    fn drop(&mut self) {
+        CURRENT_OP.with(|c| c.set(self.prev));
+    }
 }
 
 struct Ring {
@@ -136,6 +172,16 @@ impl Default for Tracer {
 
 fn clock() -> Nanos {
     efactory_sim::try_now().unwrap_or(0)
+}
+
+/// Chrome-trace lane (`tid`) used for overlay events appended via
+/// [`Tracer::to_chrome_json_with_overlay`], one past the last subsystem.
+pub const OVERLAY_LANE: u32 = 7;
+
+/// Virtual nanoseconds rendered as Chrome-trace microseconds with integer
+/// math (byte-identical across same-seed runs).
+pub fn chrome_us(ns: Nanos) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
 }
 
 impl Tracer {
@@ -184,8 +230,35 @@ impl Tracer {
             sub,
             name,
             start: clock(),
+            op: current_op(),
             args: Vec::new(),
         }
+    }
+
+    /// Record an already-measured span directly (explicit start + duration),
+    /// attributed to the current thread's op. Used where the span window is
+    /// known only after the fact, e.g. the pipelined client's per-op root
+    /// spans ([submit, completion]) and NIC verb windows.
+    pub fn record_span_at(
+        &self,
+        sub: Subsystem,
+        name: &'static str,
+        ts: Nanos,
+        dur: Nanos,
+        args: &[(&'static str, u64)],
+    ) {
+        if !self.enabled(sub) {
+            return;
+        }
+        self.push(TraceRecord {
+            ts,
+            dur,
+            kind: RecordKind::Span,
+            sub,
+            name,
+            op: current_op(),
+            args: args.to_vec(),
+        });
     }
 
     /// Record an instant event.
@@ -204,6 +277,7 @@ impl Tracer {
             kind: RecordKind::Instant,
             sub,
             name,
+            op: current_op(),
             args: args.to_vec(),
         });
     }
@@ -240,9 +314,13 @@ impl Tracer {
     /// Perfetto). Timestamps are virtual microseconds rendered with integer
     /// math, so same-seed runs export byte-identical bytes.
     pub fn to_chrome_json(&self) -> String {
-        fn us(ns: Nanos) -> String {
-            format!("{}.{:03}", ns / 1_000, ns % 1_000)
-        }
+        self.to_chrome_json_with_overlay(&[])
+    }
+
+    /// Chrome export with extra pre-rendered event objects appended after
+    /// the recorded ones — used for the tail-exemplar overlay lane
+    /// (`tid` [`OVERLAY_LANE`]) produced by `critical_path`.
+    pub fn to_chrome_json_with_overlay(&self, extra_events: &[String]) -> String {
         let mut events = Arr::new();
         for r in self.records() {
             let mut o = Obj::new()
@@ -255,20 +333,26 @@ impl Tracer {
                         RecordKind::Instant => "i",
                     },
                 )
-                .raw("ts", &us(r.ts));
+                .raw("ts", &chrome_us(r.ts));
             match r.kind {
-                RecordKind::Span => o = o.raw("dur", &us(r.dur)),
+                RecordKind::Span => o = o.raw("dur", &chrome_us(r.dur)),
                 RecordKind::Instant => o = o.str("s", "g"),
             }
             o = o.u64("pid", 0).u64("tid", r.sub.lane() as u64);
-            if !r.args.is_empty() {
+            if r.op != 0 || !r.args.is_empty() {
                 let mut args = Obj::new();
+                if r.op != 0 {
+                    args = args.u64("op", r.op);
+                }
                 for (k, v) in &r.args {
                     args = args.u64(k, *v);
                 }
                 o = o.raw("args", &args.finish());
             }
             events = events.raw(&o.finish());
+        }
+        for e in extra_events {
+            events = events.raw(e);
         }
         Obj::new()
             .raw("traceEvents", &events.finish())
@@ -294,6 +378,7 @@ pub struct SpanGuard {
     sub: Subsystem,
     name: &'static str,
     start: Nanos,
+    op: u64,
     args: Vec<(&'static str, u64)>,
 }
 
@@ -317,6 +402,7 @@ impl Drop for SpanGuard {
             kind: RecordKind::Span,
             sub: self.sub,
             name: self.name,
+            op: self.op,
             args: std::mem::take(&mut self.args),
         });
     }
@@ -381,5 +467,59 @@ mod tests {
         let t = Tracer::new();
         t.event(Subsystem::Nic, "e");
         assert_eq!(t.records()[0].ts, 0);
+    }
+
+    #[test]
+    fn op_scope_attributes_and_nests() {
+        let t = Tracer::new();
+        assert_eq!(current_op(), 0);
+        t.event(Subsystem::Client, "before");
+        {
+            let _outer = OpScope::enter(7);
+            assert_eq!(current_op(), 7);
+            t.span(Subsystem::Client, "outer_span");
+            {
+                let _inner = OpScope::enter(9);
+                t.event(Subsystem::Nic, "inner_event");
+            }
+            assert_eq!(current_op(), 7);
+        }
+        assert_eq!(current_op(), 0);
+        // The un-bound span guard drops (and records) immediately, before
+        // the nested event.
+        let recs = t.records();
+        assert_eq!(recs[0].op, 0);
+        assert_eq!(recs[1].name, "outer_span");
+        assert_eq!(recs[1].op, 7, "span captures op at open");
+        assert_eq!(recs[2].op, 9, "nested scope wins while active");
+    }
+
+    #[test]
+    fn record_span_at_is_direct_and_attributed() {
+        let t = Tracer::new();
+        let _scope = OpScope::enter(3);
+        t.record_span_at(Subsystem::Nic, "send", 100, 40, &[("bytes", 64)]);
+        let recs = t.records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!((recs[0].ts, recs[0].dur, recs[0].op), (100, 40, 3));
+        assert_eq!(recs[0].kind, RecordKind::Span);
+        t.filter(&[Subsystem::Client]);
+        t.record_span_at(Subsystem::Nic, "send", 0, 0, &[]);
+        assert_eq!(t.len(), 1, "filtered subsystem records nothing");
+    }
+
+    #[test]
+    fn op_ids_render_in_chrome_args_and_overlay_appends() {
+        let t = Tracer::new();
+        {
+            let _scope = OpScope::enter(5);
+            t.event(Subsystem::Client, "tick");
+        }
+        let json = t.to_chrome_json();
+        assert!(json.contains(r#""args":{"op":5}"#), "{json}");
+        let overlay =
+            t.to_chrome_json_with_overlay(&[r#"{"name":"exemplar","tid":7}"#.to_string()]);
+        assert!(overlay.contains(r#"{"name":"exemplar","tid":7}"#));
+        assert!(overlay.ends_with(r#""displayTimeUnit":"ns","droppedRecords":0}"#));
     }
 }

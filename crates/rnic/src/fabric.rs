@@ -164,13 +164,16 @@ pub struct FabricStats {
     pub probe: VerbProbe,
 }
 
-type VerbProbeFn = Box<dyn Fn(&'static str, usize) + Send + Sync>;
+type VerbProbeFn = Box<dyn Fn(&'static str, usize, Nanos, Nanos) + Send + Sync>;
 
 /// An optional callback fired on every verb the fabric issues, with the
-/// verb name (`"send"`, `"rdma_read"`, `"rdma_write"`, `"rdma_atomic"`) and
-/// the payload length. Lets an observability layer record NIC completions
-/// without this crate depending on it. Unset by default (zero overhead
-/// beyond one mutex probe per verb).
+/// verb name (`"send"`, `"rdma_read"`, `"rdma_write"`, `"rdma_atomic"`),
+/// the payload length, and the verb's virtual `[start, end)` window — for
+/// two-sided sends the window is issue → nominal arrival, for one-sided
+/// verbs it is issue → ack (including fault retransmit/delay time). Lets
+/// an observability layer record NIC completions without this crate
+/// depending on it. Unset by default (zero overhead beyond one mutex probe
+/// per verb).
 pub struct VerbProbe(Mutex<Option<VerbProbeFn>>);
 
 impl Default for VerbProbe {
@@ -179,15 +182,21 @@ impl Default for VerbProbe {
     }
 }
 
+/// Probe timestamps come from the virtual clock; records emitted from
+/// outside a simulated process are stamped 0, matching the tracer.
+fn probe_now() -> Nanos {
+    efactory_sim::try_now().unwrap_or(0)
+}
+
 impl VerbProbe {
     /// Install the callback (replacing any previous one).
-    pub fn set(&self, f: impl Fn(&'static str, usize) + Send + Sync + 'static) {
+    pub fn set(&self, f: impl Fn(&'static str, usize, Nanos, Nanos) + Send + Sync + 'static) {
         *self.0.lock() = Some(Box::new(f));
     }
 
-    fn fire(&self, verb: &'static str, bytes: usize) {
+    fn fire(&self, verb: &'static str, bytes: usize, start: Nanos, end: Nanos) {
         if let Some(f) = self.0.lock().as_ref() {
-            f(verb, bytes);
+            f(verb, bytes, start, end);
         }
     }
 }
@@ -332,6 +341,10 @@ pub struct Fabric {
     /// Links currently partitioned (see [`Fabric::fail_link`]). Shared with
     /// every `ClientQp` so faults injected mid-run affect live connections.
     links_down: Arc<Mutex<HashSet<(NodeId, NodeId)>>>,
+    /// QP id source. Per-fabric (not a process-global) so ids are
+    /// deterministic per run — they appear in trace span args, and a
+    /// counter shared across runs would break byte-identical replays.
+    next_qp: AtomicU64,
     /// Armed probabilistic fault plans (see [`Fabric::set_fault_plan`]).
     /// Shared with every endpoint, like `links_down`.
     faults: Arc<FaultTable>,
@@ -372,6 +385,7 @@ impl Fabric {
             stats: Arc::new(FabricStats::default()),
             nodes: Mutex::new(Vec::new()),
             links_down: Arc::new(Mutex::new(HashSet::new())),
+            next_qp: AtomicU64::new(1),
             faults: Arc::new(FaultTable::default()),
         })
     }
@@ -386,9 +400,12 @@ impl Fabric {
         &self.stats
     }
 
-    /// Install a verb-completion probe: `f(verb, payload_len)` runs inline
-    /// on every send / one-sided verb issued over this fabric.
-    pub fn set_verb_probe(&self, f: impl Fn(&'static str, usize) + Send + Sync + 'static) {
+    /// Install a verb-completion probe: `f(verb, payload_len, start, end)`
+    /// runs inline on every send / one-sided verb issued over this fabric.
+    pub fn set_verb_probe(
+        &self,
+        f: impl Fn(&'static str, usize, Nanos, Nanos) + Send + Sync + 'static,
+    ) {
         self.stats.probe.set(f);
     }
 
@@ -418,8 +435,7 @@ impl Fabric {
         }
         let listener = remote.inner.listener.lock();
         let core = listener.as_ref().ok_or(QpError::NotListening)?;
-        static NEXT_QP: AtomicU64 = AtomicU64::new(1);
-        let id = NEXT_QP.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_qp.fetch_add(1, Ordering::Relaxed);
         let (reply_tx, reply_rx) = sim::channel::<Vec<u8>>();
         let (event_tx, event_rx) = sim::channel::<Vec<u8>>();
         core.conns.lock().insert(
@@ -633,7 +649,10 @@ impl Listener {
         self.stats
             .bytes_on_wire
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
-        self.stats.probe.fire("send", payload.len());
+        let now = probe_now();
+        self.stats
+            .probe
+            .fire("send", payload.len(), now, now + delay);
         let conns = self.conns.lock();
         let tx = conns.get(&qp).ok_or(QpError::Disconnected)?;
         let Some((delay, dup)) =
@@ -657,7 +676,10 @@ impl Listener {
         self.node.guard()?;
         let delay = self.cost.one_way(payload.len());
         self.stats.sends.fetch_add(1, Ordering::Relaxed);
-        self.stats.probe.fire("send", payload.len());
+        let now = probe_now();
+        self.stats
+            .probe
+            .fire("send", payload.len(), now, now + delay);
         let conns = self.conns.lock();
         let tx = conns.get(&qp).ok_or(QpError::Disconnected)?;
         tx.event
@@ -671,7 +693,10 @@ impl Listener {
         self.node.guard()?;
         let delay = self.cost.one_way(payload.len());
         self.stats.sends.fetch_add(1, Ordering::Relaxed);
-        self.stats.probe.fire("send", payload.len());
+        let now = probe_now();
+        self.stats
+            .probe
+            .fire("send", payload.len(), now, now + delay);
         for tx in self.conns.lock().values() {
             let _ = tx.event.send(payload.to_vec(), delay);
         }
@@ -727,7 +752,10 @@ impl Replier {
         self.stats
             .bytes_on_wire
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
-        self.stats.probe.fire("send", payload.len());
+        let now = probe_now();
+        self.stats
+            .probe
+            .fire("send", payload.len(), now, now + delay);
         let conns = self.conns.lock();
         let tx = conns.get(&qp).ok_or(QpError::Disconnected)?;
         let Some((delay, dup)) =
@@ -897,7 +925,10 @@ impl ClientQp {
         self.stats
             .bytes_on_wire
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
-        self.stats.probe.fire("send", payload.len());
+        let now = probe_now();
+        self.stats
+            .probe
+            .fire("send", payload.len(), now, now + delay);
         let Some((delay, dup)) = two_sided_fate(
             &self.faults,
             &self.stats,
@@ -980,12 +1011,12 @@ impl ClientQp {
         if self.link_down() {
             return Err(self.one_sided_partition_timeout());
         }
+        let start = probe_now();
         self.one_sided_fault();
         self.stats.rdma_reads.fetch_add(1, Ordering::Relaxed);
         self.stats
             .bytes_on_wire
             .fetch_add(len as u64, Ordering::Relaxed);
-        self.stats.probe.fire("rdma_read", len);
         // Request reaches the remote NIC.
         sim::sleep(self.cost.one_way(0));
         self.remote.guard()?;
@@ -999,6 +1030,7 @@ impl ClientQp {
         // Response streams back.
         sim::sleep(self.cost.one_way(len));
         self.local.guard()?;
+        self.stats.probe.fire("rdma_read", len, start, probe_now());
         Ok(data)
     }
 
@@ -1021,9 +1053,9 @@ impl ClientQp {
         if self.link_down() {
             return Err(self.one_sided_partition_timeout());
         }
+        let start = probe_now();
         self.one_sided_fault();
         self.stats.rdma_writes.fetch_add(1, Ordering::Relaxed);
-        self.stats.probe.fire("rdma_atomic", 8);
         // Request reaches the remote NIC, which performs the atomic there.
         sim::sleep(self.cost.one_way(8));
         self.remote.guard()?;
@@ -1039,6 +1071,7 @@ impl ClientQp {
         };
         sim::sleep(self.cost.one_way(8));
         self.local.guard()?;
+        self.stats.probe.fire("rdma_atomic", 8, start, probe_now());
         Ok(old)
     }
 
@@ -1052,9 +1085,9 @@ impl ClientQp {
         if self.link_down() {
             return Err(self.one_sided_partition_timeout());
         }
+        let start = probe_now();
         self.one_sided_fault();
         self.stats.rdma_writes.fetch_add(1, Ordering::Relaxed);
-        self.stats.probe.fire("rdma_atomic", 8);
         sim::sleep(self.cost.one_way(8));
         self.remote.guard()?;
         let old = {
@@ -1067,6 +1100,7 @@ impl ClientQp {
         };
         sim::sleep(self.cost.one_way(8));
         self.local.guard()?;
+        self.stats.probe.fire("rdma_atomic", 8, start, probe_now());
         Ok(old)
     }
 
@@ -1101,13 +1135,13 @@ impl ClientQp {
         if self.link_down() {
             return Err(self.one_sided_partition_timeout());
         }
+        let start = probe_now();
         self.one_sided_fault();
         let len = data.len();
         self.stats.rdma_writes.fetch_add(1, Ordering::Relaxed);
         self.stats
             .bytes_on_wire
             .fetch_add(len as u64, Ordering::Relaxed);
-        self.stats.probe.fire("rdma_write", len);
         let (pool, abs_off) = {
             let mrs = self.remote.inner.mrs.lock();
             let entry = self.resolve(&mrs, mr, off, len)?;
@@ -1171,6 +1205,7 @@ impl ClientQp {
         // Ack back to the client.
         sim::sleep_until(t_last + self.cost.one_way(0));
         self.guard_both()?;
+        self.stats.probe.fire("rdma_write", len, start, probe_now());
         Ok(())
     }
 }

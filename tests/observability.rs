@@ -37,6 +37,9 @@ fn same_seed_runs_emit_byte_identical_traces() {
     let go = || {
         let obs = Obs::new();
         let r = cluster::run_observed(&tiny_spec(), CostModel::default(), &obs);
+        // Replay determinism only holds while the ring kept everything: a
+        // drop would shift which records survive and silently skew folds.
+        assert_eq!(obs.tracer.dropped(), 0, "tiny run must not drop records");
         (obs.tracer.to_chrome_json(), obs.registry.to_json(), r)
     };
     let (trace_a, reg_a, ra) = go();
@@ -106,7 +109,7 @@ fn json_report_is_schema_stamped_and_deterministic() {
     };
     let a = render();
     assert_eq!(a, render(), "same seed must render byte-identical reports");
-    assert!(a.starts_with("{\"schema\":\"efactory-run-report/v1\""));
+    assert!(a.starts_with("{\"schema\":\"efactory-run-report/v2\""));
     for field in [
         "\"cost_model\":",
         "\"net_one_way_ns\":",

@@ -1,0 +1,134 @@
+//! Report-completeness audit: every counter the subsystems register must
+//! land in the `--json` run report, and the families introduced by the
+//! retry/replication/scrub/pipeline PRs must actually be present in the
+//! registry snapshot their configurations exercise.
+//!
+//! The report embeds `RunResult::counters` verbatim, so the audit diffs
+//! the registry's key set against the rendered JSON — a counter someone
+//! registers but forgets to snapshot (or a snapshot the report drops)
+//! fails here, not in a downstream dashboard.
+
+use efactory_harness::{cluster, Cleaning, ExperimentSpec, Report, SystemKind};
+use efactory_obs::Obs;
+use efactory_rnic::{CostModel, FaultPlan};
+use efactory_ycsb::Mix;
+
+fn spec() -> ExperimentSpec {
+    ExperimentSpec {
+        system: SystemKind::EFactory,
+        mix: Mix::A,
+        value_len: 128,
+        key_len: 16,
+        clients: 2,
+        ops_per_client: 50,
+        record_count: 64,
+        seed: 5,
+        cleaning: Cleaning::Disabled,
+        force_clean: false,
+        shards: 1,
+        doorbell_batch: 0,
+        replicas: 0,
+        fault_at: None,
+        fault_plan: None,
+        scrub: false,
+        window: 1,
+        loc_cache: false,
+    }
+}
+
+/// Run `spec`, render its report entry, and check that every registry key
+/// appears in the JSON. Returns the snapshot's key set.
+fn audit(tag: &str, s: &ExperimentSpec) -> Vec<String> {
+    let obs = Obs::new();
+    let r = cluster::run_observed(s, CostModel::default(), &obs);
+    let mut rep = Report::new("completeness-test");
+    rep.add(tag, s, &r);
+    let json = rep.to_json();
+    for (name, _) in &r.counters {
+        assert!(
+            json.contains(&format!("\"{name}\":")),
+            "{tag}: counter {name} registered but missing from the report"
+        );
+    }
+    r.counters.into_iter().map(|(n, _)| n).collect()
+}
+
+#[test]
+fn every_registered_counter_lands_in_the_report() {
+    // Two configurations cover the whole counter surface: the pipelined
+    // window registers `client.pipeline.*` but excludes replication, and
+    // the replicated+scrubbed+chaos run registers everything else.
+    let mut repl = spec();
+    repl.replicas = 1;
+    repl.scrub = true;
+    repl.loc_cache = true;
+    repl.fault_plan = Some(FaultPlan {
+        drop_p: 0.02,
+        dup_p: 0.01,
+        delay_p: 0.02,
+        delay_ns: 1_500,
+        seed: 9,
+    });
+    let mut names = audit("repl-scrub-chaos", &repl);
+
+    let mut pipe = spec();
+    pipe.mix = Mix::UpdateOnly;
+    pipe.window = 16;
+    pipe.doorbell_batch = 16;
+    names.extend(audit("pipelined", &pipe));
+
+    // The audit list: every counter family PRs 3–5 introduced, by name.
+    // A rename or a dropped registration shows up as a failure here.
+    for required in [
+        // client core + hybrid-read outcome mirror
+        "client.puts",
+        "client.pure_hits",
+        "client.fallbacks",
+        "client.rpc_only",
+        "client.rpc_retry",
+        "client.op_retry",
+        "client.get_retry",
+        "client.put_reissue",
+        // location cache
+        "client.loc_cache.fills",
+        "client.loc_cache.hits",
+        "client.loc_cache.misses",
+        "client.loc_cache.invalidations",
+        // pipelined client
+        "client.pipeline.submitted",
+        "client.pipeline.completed",
+        "client.pipeline.hazard_waits",
+        "client.pipeline.window_waits",
+        "client.pipeline.doorbells",
+        // replication tier
+        "repl.mirror_objects",
+        "repl.mirror_bytes",
+        "repl.mirror_batches",
+        "repl.mirror_failures",
+        "repl.applied_objects",
+        "repl.applied_bytes",
+        "repl.apply_failures",
+        "repl.promotions",
+        // CRC scrubber
+        "scrub.passes",
+        "scrub.scanned",
+        "scrub.clean",
+        "scrub.repaired",
+        "scrub.repair_failures",
+        "scrub.quarantined",
+        "scrub.halted",
+        "scrub.skipped_bytes",
+        // fault injection
+        "fabric.fault.dropped",
+        "fabric.fault.duplicated",
+        "fabric.fault.delayed",
+        "fabric.fault.retrans",
+        // tracer health
+        "obs.trace_dropped",
+    ] {
+        assert!(
+            names.iter().any(|n| n == required),
+            "{required} missing from the registry snapshots"
+        );
+    }
+}
