@@ -37,6 +37,7 @@ fn spec(system: SystemKind, mix: Mix, value_len: usize) -> ExperimentSpec {
         scrub: false,
         window: 1,
         loc_cache: false,
+        snap_readers: 0,
     }
 }
 

@@ -37,6 +37,7 @@ fn base(system: SystemKind, mix: Mix) -> ExperimentSpec {
         scrub: false,
         window: 1,
         loc_cache: false,
+        snap_readers: 0,
     }
 }
 

@@ -19,6 +19,7 @@
 //! cargo run --release -p efactory-bench --bin repl_overhead      -- --json fresh/BENCH_repl.json
 //! cargo run --release -p efactory-bench --bin pipeline_scaling   -- --json fresh/BENCH_pipeline.json
 //! cargo run --release -p efactory-bench --bin latency_breakdown  -- --json fresh/BENCH_breakdown.json
+//! cargo run --release -p efactory-bench --bin txn_bench          -- --json fresh/BENCH_txn.json
 //! ```
 //!
 //! On a `stale-baseline` verdict the fix is to refresh the committed
@@ -31,11 +32,12 @@ use std::process::ExitCode;
 use efactory_bench::gate::{compare_all, diff_json, extract_metrics, Json};
 
 /// The gated report files, by repo-root baseline name.
-const GATED: [&str; 4] = [
+const GATED: [&str; 5] = [
     "BENCH_put_get.json",
     "BENCH_repl.json",
     "BENCH_pipeline.json",
     "BENCH_breakdown.json",
+    "BENCH_txn.json",
 ];
 
 fn load(path: &Path) -> Result<Json, String> {

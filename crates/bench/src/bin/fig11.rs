@@ -46,6 +46,7 @@ fn main() {
             scrub: false,
             window: 1,
             loc_cache: false,
+            snap_readers: 0,
         };
         let normal = cluster::run(&base_spec(false));
         let cleaning = cluster::run(&base_spec(true));

@@ -402,6 +402,53 @@ pub fn extract_metrics(stem: &str, report: &Json) -> Result<Vec<MetricValue>, St
                 }
             }
         }
+        "BENCH_txn" => {
+            let upd = field(report, "Update-only/256B/snap_readers0", "mops")?;
+            let txn = field(report, "Txn-only/256B", "mops")?;
+            out.push(metric(
+                "txn_only_mops",
+                txn,
+                Better::Higher,
+                Tolerance::Rel(REL_TOL),
+            ));
+            // Acceptance criterion from the transaction PR: 4-key atomic
+            // batches hold per-key throughput within 25% of singleton
+            // Update-only PUTs (Txn-only records one sample per key, so
+            // both mops figures are per-key).
+            let mut overhead = metric(
+                "txn_overhead_pct",
+                (upd - txn) / upd * 100.0,
+                Better::Lower,
+                Tolerance::Abs(ABS_TOL_PCT),
+            );
+            overhead.floor = Some(25.0);
+            out.push(overhead);
+            // Snapshot readers must not block writers: the writer-only
+            // throughput (PUT samples over the window — the background
+            // readers' ops are excluded) with 2 snapshot readers stays
+            // within 5% of the reader-free run.
+            let put_mops = |label: &str| -> Result<f64, String> {
+                let puts = field(report, label, "put.count")?;
+                let elapsed = field(report, label, "elapsed_ns")?;
+                Ok(puts / elapsed * 1e3)
+            };
+            let base = put_mops("Update-only/256B/snap_readers0")?;
+            let with = put_mops("Update-only/256B/snap_readers2")?;
+            let mut interference = metric(
+                "snap_interference_pct",
+                (base - with) / base * 100.0,
+                Better::Lower,
+                Tolerance::Abs(ABS_TOL_PCT),
+            );
+            interference.floor = Some(5.0);
+            out.push(interference);
+            out.push(metric(
+                "ycsb_t_mops",
+                field(report, "YCSB-T/256B", "mops")?,
+                Better::Higher,
+                Tolerance::Rel(REL_TOL),
+            ));
+        }
         _ => {}
     }
     Ok(out)
@@ -668,6 +715,44 @@ mod tests {
             .unwrap();
         assert_eq!(row.verdict, Verdict::FloorViolation);
         let rows = compare_all(&pipe(1.0, 4.0), &pipe(1.0, 4.1));
+        assert!(rows.iter().all(|r| !r.verdict.failing()), "{rows:?}");
+    }
+
+    #[test]
+    fn txn_overhead_and_interference_floors_are_enforced() {
+        // upd/txn in Mops; base_puts/with_puts are PUT sample counts over a
+        // fixed 1 ms window, so interference = (base-with)/base.
+        let txn = |upd: f64, txn_mops: f64, base_puts: u64, with_puts: u64| {
+            let doc = format!(
+                r#"{{"entries":[
+                    {{"label":"Update-only/256B/snap_readers0","mops":{upd},
+                      "put":{{"count":{base_puts}}},"elapsed_ns":1000000}},
+                    {{"label":"Txn-only/256B","mops":{txn_mops}}},
+                    {{"label":"Update-only/256B/snap_readers2","mops":{upd},
+                      "put":{{"count":{with_puts}}},"elapsed_ns":1000000}},
+                    {{"label":"YCSB-T/256B","mops":1.0}}]}}"#
+            );
+            extract_metrics("BENCH_txn", &Json::parse(&doc).unwrap()).unwrap()
+        };
+        // In-band: 20% commit overhead, 3% reader interference.
+        let good = txn(1.0, 0.8, 1000, 970);
+        let rows = compare_all(&good, &txn(1.0, 0.8, 1000, 970));
+        assert!(rows.iter().all(|r| !r.verdict.failing()), "{rows:?}");
+        // A baseline already past the floor must not let a matching fresh
+        // run slide on tolerance alone: 30% overhead fails the 25% floor,
+        // 10% interference fails the 5% floor.
+        let rows = compare_all(&txn(1.0, 0.7, 1000, 900), &txn(1.0, 0.7, 1000, 900));
+        let overhead = rows.iter().find(|r| r.name == "txn_overhead_pct").unwrap();
+        assert_eq!(overhead.verdict, Verdict::FloorViolation);
+        let interf = rows
+            .iter()
+            .find(|r| r.name == "snap_interference_pct")
+            .unwrap();
+        assert_eq!(interf.verdict, Verdict::FloorViolation);
+        // Negative overhead (batches amortize the allocation RPC) is
+        // legal: the floor is one-sided.
+        let fast = txn(1.0, 1.1, 1000, 1000);
+        let rows = compare_all(&fast, &txn(1.0, 1.1, 1000, 1000));
         assert!(rows.iter().all(|r| !r.verdict.failing()), "{rows:?}");
     }
 

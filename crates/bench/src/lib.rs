@@ -120,6 +120,8 @@ pub fn mix_tag(mix: Mix) -> &'static str {
         Mix::B => "YCSB-B 95%GET",
         Mix::A => "YCSB-A 50%GET",
         Mix::UpdateOnly => "Update-only",
+        Mix::T => "YCSB-T 50%TXN",
+        Mix::TxnOnly => "Txn-only",
     }
 }
 

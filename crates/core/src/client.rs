@@ -41,6 +41,7 @@ use crate::hashtable::{find_in_window, fingerprint, BUCKET_LEN, NPROBE};
 use crate::layout::{self, flags, ObjHeader};
 use crate::protocol::{Event, Request, Response, Status, StoreError};
 use crate::server::StoreDesc;
+use crate::txn::{self, SnapOutcome, TxnKv, TxnShard, TxnSnapshot};
 
 /// The uniform client interface the experiment harness drives. All six
 /// systems of the paper's comparison (eFactory and the five baselines)
@@ -217,6 +218,18 @@ pub struct Client {
     loc_miss_ctr: Counter,
     loc_fill_ctr: Counter,
     loc_inval_ctr: Counter,
+    /// Monotonic transaction-id source. Distinct from `next_req_id`: every
+    /// *attempt* of a transaction gets a fresh txn id (a retried commit is
+    /// a new transaction), while the RPCs inside one attempt reuse their
+    /// request ids across fabric retries as usual.
+    next_txn_id: Cell<u64>,
+    /// Registry counters for the transactional surface. `pub(crate)` so
+    /// the sharded/replicated wrappers count their own logical commits.
+    pub(crate) txn_commit_ctr: Counter,
+    pub(crate) txn_conflict_ctr: Counter,
+    pub(crate) snap_capture_ctr: Counter,
+    pub(crate) snap_get_ctr: Counter,
+    pub(crate) snap_retry_ctr: Counter,
 }
 
 /// One location-cache entry: where this client last found a key's object,
@@ -244,7 +257,7 @@ enum CachedOutcome {
 /// scope already owns the op (the pipelined client measures its own
 /// submit→completion window), the context records an `"exec"` child span
 /// instead of a second root.
-struct OpCtx {
+pub(crate) struct OpCtx {
     root: Option<SpanGuard>,
     _scope: Option<OpScope>,
 }
@@ -252,9 +265,17 @@ struct OpCtx {
 impl OpCtx {
     /// Attach the op's observed retry count to the root span (set just
     /// before the context drops and the span records).
-    fn set_retries(&mut self, retries: u64) {
+    pub(crate) fn set_retries(&mut self, retries: u64) {
         if let Some(sp) = &mut self.root {
             sp.arg("retries", retries);
+        }
+    }
+
+    /// Attach an arbitrary arg to the root span (e.g. the transaction's
+    /// commit timestamp, joining the op to the server's txn spans).
+    pub(crate) fn arg(&mut self, key: &'static str, value: u64) {
+        if let Some(sp) = &mut self.root {
+            sp.arg(key, value);
         }
     }
 }
@@ -282,6 +303,11 @@ impl Client {
         let loc_miss_ctr = cfg.obs.registry.counter("client.loc_cache.misses");
         let loc_fill_ctr = cfg.obs.registry.counter("client.loc_cache.fills");
         let loc_inval_ctr = cfg.obs.registry.counter("client.loc_cache.invalidations");
+        let txn_commit_ctr = cfg.obs.registry.counter("client.txn.commits");
+        let txn_conflict_ctr = cfg.obs.registry.counter("client.txn.conflicts");
+        let snap_capture_ctr = cfg.obs.registry.counter("client.txn.snap_captures");
+        let snap_get_ctr = cfg.obs.registry.counter("client.txn.snap_gets");
+        let snap_retry_ctr = cfg.obs.registry.counter("client.txn.snap_retries");
         Ok(Client {
             qp,
             desc,
@@ -302,6 +328,12 @@ impl Client {
             loc_miss_ctr,
             loc_fill_ctr,
             loc_inval_ctr,
+            next_txn_id: Cell::new(1),
+            txn_commit_ctr,
+            txn_conflict_ctr,
+            snap_capture_ctr,
+            snap_get_ctr,
+            snap_retry_ctr,
         })
     }
 
@@ -311,8 +343,10 @@ impl Client {
     }
 
     /// Open the per-op attribution context. `kind`: 0 = GET, 1 = PUT,
-    /// 2 = DEL (the `critical_path` encoding).
-    fn op_root(&self, kind: u64, key: &[u8]) -> OpCtx {
+    /// 2 = DEL, 3 = TXN, 4 = SNAP (the `critical_path` encoding).
+    /// `pub(crate)` so the sharded/replicated transactional wrappers can
+    /// open one root spanning their multi-shard fan-out.
+    pub(crate) fn op_root(&self, kind: u64, key: &[u8]) -> OpCtx {
         if current_op() != 0 {
             // Already inside an op (pipelined slot): record execution as a
             // child phase of the owning op instead of opening a new root.
@@ -444,9 +478,10 @@ impl Client {
             self.note_loc_miss();
             return Ok(CachedOutcome::Miss);
         }
-        if !hdr.has(flags::DURABLE) {
-            // Transient: the verifier hasn't reached this version yet.
-            // Keep the entry — it will validate once durable.
+        if !hdr.has(flags::DURABLE) || hdr.has(flags::PENDING) {
+            // Transient: the verifier hasn't reached this version yet, or
+            // an in-doubt transactional head was staged over it. Keep the
+            // entry — it will validate once durable/resolved.
             self.note_loc_miss();
             return Ok(CachedOutcome::Miss);
         }
@@ -790,7 +825,10 @@ impl Client {
             || hdr.klen as usize != key.len()
             || !hdr.has(flags::VALID)
             || !hdr.has(flags::DURABLE)
+            || hdr.has(flags::PENDING)
         {
+            // PENDING: an in-doubt transactional head — the RPC path walks
+            // back to the newest committed version.
             return Ok(PureOutcome::Fallback);
         }
         let key_start = hdr.key_off();
@@ -825,6 +863,14 @@ impl Client {
     /// Steps 5–9 of Figure 6: RPC to the server (which guarantees
     /// durability before answering), then a one-sided read of the object.
     fn rpc_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        Ok(self.rpc_get_seq(key)?.0)
+    }
+
+    /// The RPC read path, also reporting the served version's sequence
+    /// number — the read-set fingerprint a transactional read-modify-write
+    /// validates at commit. `0` means absent or tombstoned (matching the
+    /// server's read-set validation convention).
+    fn rpc_get_seq(&self, key: &[u8]) -> Result<(Option<Vec<u8>>, u32), StoreError> {
         for _ in 0..=self.cfg.max_rpc_retries {
             let resp = self.rpc(&Request::Get { key: key.to_vec() })?;
             let Response::Get {
@@ -837,7 +883,7 @@ impl Client {
                 return Err(StoreError::Protocol);
             };
             match status {
-                Status::NotFound => return Ok(None),
+                Status::NotFound => return Ok((None, 0)),
                 Status::Busy => {
                     self.note_get_retry();
                     continue;
@@ -862,8 +908,11 @@ impl Client {
             // The server persisted before replying. The returned version's
             // key must match, but it may be an *older* version with a
             // different value length; anything inconsistent is a race with
-            // cleaning — retry through the server.
+            // cleaning — retry through the server. (The server never
+            // returns an in-doubt PENDING version; seeing one means the
+            // offset was reused under us.)
             if !hdr.has(flags::DURABLE)
+                || hdr.has(flags::PENDING)
                 || hdr.klen != klen
                 || hdr.vlen != vlen
                 || hdr.klen as usize != key.len()
@@ -878,7 +927,7 @@ impl Client {
             }
             if hdr.has(flags::TOMBSTONE) {
                 self.loc_fill(key, obj_off, hdr.klen, hdr.vlen, hdr.seq);
-                return Ok(None);
+                return Ok((None, 0));
             }
             let v_start = hdr.value_off();
             let value = &obj[v_start..v_start + hdr.vlen as usize];
@@ -889,7 +938,7 @@ impl Client {
                 continue;
             }
             self.loc_fill(key, obj_off, hdr.klen, hdr.vlen, hdr.seq);
-            return Ok(Some(value.to_vec()));
+            return Ok((Some(value.to_vec()), hdr.seq));
         }
         Err(StoreError::Protocol)
     }
@@ -907,5 +956,191 @@ impl RemoteKv for Client {
     }
     fn kv_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
         self.get(key)
+    }
+}
+
+impl TxnShard for Client {
+    fn shard_txn_commit(
+        &self,
+        txn_id: u64,
+        reads: &[(Vec<u8>, u32)],
+        puts: &[(Vec<u8>, Vec<u8>)],
+    ) -> Result<(Status, u64), StoreError> {
+        match self.rpc(&Request::TxnCommit {
+            txn_id,
+            reads: reads.to_vec(),
+            puts: puts.to_vec(),
+        })? {
+            Response::TxnAck { status, commit_ts } => {
+                if status == Status::Conflict {
+                    self.txn_conflict_ctr.inc();
+                }
+                Ok((status, commit_ts))
+            }
+            _ => Err(StoreError::Protocol),
+        }
+    }
+
+    fn shard_txn_prepare(
+        &self,
+        txn_id: u64,
+        reads: &[(Vec<u8>, u32)],
+        puts: &[(Vec<u8>, Vec<u8>)],
+    ) -> Result<(Status, u64), StoreError> {
+        match self.rpc(&Request::TxnPrepare {
+            txn_id,
+            reads: reads.to_vec(),
+            puts: puts.to_vec(),
+        })? {
+            Response::TxnAck { status, commit_ts } => {
+                if status == Status::Conflict {
+                    self.txn_conflict_ctr.inc();
+                }
+                Ok((status, commit_ts))
+            }
+            _ => Err(StoreError::Protocol),
+        }
+    }
+
+    fn shard_txn_decide(
+        &self,
+        txn_id: u64,
+        commit: bool,
+        commit_ts: u64,
+    ) -> Result<Status, StoreError> {
+        match self.rpc(&Request::TxnDecide {
+            txn_id,
+            commit,
+            commit_ts,
+        })? {
+            Response::TxnAck { status, .. } => Ok(status),
+            _ => Err(StoreError::Protocol),
+        }
+    }
+
+    fn shard_snap_capture(&self) -> Result<(Status, u64), StoreError> {
+        match self.rpc(&Request::SnapCapture)? {
+            Response::Snap { status, watermark } => {
+                if status == Status::Ok {
+                    self.snap_capture_ctr.inc();
+                }
+                Ok((status, watermark))
+            }
+            _ => Err(StoreError::Protocol),
+        }
+    }
+
+    /// Snapshot read: RPC chooses the version visible at `snap_ts`, then a
+    /// validated one-sided read fetches it — the same two-step shape as
+    /// the RPC GET path, but a validation mismatch reports `Busy` instead
+    /// of falling forward to a fresher version (that would break the
+    /// snapshot cut).
+    fn shard_snap_get(&self, key: &[u8], snap_ts: u64) -> Result<SnapOutcome, StoreError> {
+        self.snap_get_ctr.inc();
+        let busy = |c: &Client| {
+            c.snap_retry_ctr.inc();
+            Ok(SnapOutcome::Busy)
+        };
+        let resp = self.rpc(&Request::SnapGet {
+            key: key.to_vec(),
+            snap_ts,
+        })?;
+        let Response::Get {
+            status,
+            obj_off,
+            klen,
+            vlen,
+        } = resp
+        else {
+            return Err(StoreError::Protocol);
+        };
+        match status {
+            Status::NotFound => return Ok(SnapOutcome::NotFound),
+            Status::Busy => return busy(self),
+            Status::Ok => {}
+            s => return Err(StoreError::Status(s)),
+        }
+        let size = layout::object_size(klen as usize, vlen as usize);
+        let obj = match self.qp.rdma_read(&self.desc.mr, obj_off as usize, size) {
+            Ok(obj) => obj,
+            Err(QpError::Timeout) => {
+                self.note_op_retry();
+                return busy(self);
+            }
+            Err(e) => return Err(StoreError::Qp(e)),
+        };
+        let Some(hdr) = ObjHeader::decode(&obj) else {
+            return busy(self);
+        };
+        if !hdr.has(flags::VALID)
+            || !hdr.has(flags::DURABLE)
+            || hdr.has(flags::PENDING)
+            || hdr.klen != klen
+            || hdr.vlen != vlen
+            || hdr.klen as usize != key.len()
+        {
+            return busy(self);
+        }
+        let key_start = hdr.key_off();
+        if &obj[key_start..key_start + key.len()] != key {
+            return busy(self);
+        }
+        let v_start = hdr.value_off();
+        let value = &obj[v_start..v_start + hdr.vlen as usize];
+        if self.cfg.verify_value_crc && crc32c(value) != hdr.crc {
+            return busy(self);
+        }
+        Ok(SnapOutcome::Value(value.to_vec()))
+    }
+
+    fn shard_get_with_seq(&self, key: &[u8]) -> Result<(Option<Vec<u8>>, u32), StoreError> {
+        self.rpc_get_seq(key)
+    }
+}
+
+impl TxnKv for Client {
+    fn txn_put_all(&self, puts: &[(Vec<u8>, Vec<u8>)]) -> Result<u64, StoreError> {
+        self.poll_events();
+        let first = puts.first().map(|(k, _)| k.as_slice()).unwrap_or(b"");
+        let mut ctx = self.op_root(3, first);
+        let retries_before = self.retry_total();
+        let result = txn::put_all_routed(std::slice::from_ref(self), &self.next_txn_id, puts);
+        ctx.set_retries(self.retry_total() - retries_before);
+        if let Ok(ts) = &result {
+            self.txn_commit_ctr.inc();
+            ctx.arg("commit_ts", *ts);
+        }
+        result
+    }
+
+    fn txn_rmw(
+        &self,
+        key: &[u8],
+        f: &mut dyn FnMut(Option<Vec<u8>>) -> Vec<u8>,
+    ) -> Result<u64, StoreError> {
+        self.poll_events();
+        let mut ctx = self.op_root(3, key);
+        let retries_before = self.retry_total();
+        let result = txn::rmw_routed(std::slice::from_ref(self), &self.next_txn_id, key, f);
+        ctx.set_retries(self.retry_total() - retries_before);
+        if let Ok(ts) = &result {
+            self.txn_commit_ctr.inc();
+            ctx.arg("commit_ts", *ts);
+        }
+        result
+    }
+
+    fn snapshot(&self) -> Result<TxnSnapshot, StoreError> {
+        self.poll_events();
+        txn::snapshot_all(std::slice::from_ref(self))
+    }
+
+    fn snap_get(&self, key: &[u8], snap: &TxnSnapshot) -> Result<Option<Vec<u8>>, StoreError> {
+        self.poll_events();
+        let mut ctx = self.op_root(4, key);
+        let retries_before = self.retry_total();
+        let result = txn::snap_get_routed(std::slice::from_ref(self), key, snap);
+        ctx.set_retries(self.retry_total() - retries_before);
+        result
     }
 }

@@ -50,6 +50,12 @@ pub mod flags {
     /// flag records *why* for diagnostics. Reads fall through to the
     /// previous version; cleaning reclaims the space.
     pub const QUARANTINED: u8 = 1 << 4;
+    /// Staged by an in-doubt transaction: the version is fully persisted
+    /// and linked into its chain but not yet published. Readers skip it
+    /// (or wait, for snapshot reads); writers back off. Publish clears the
+    /// bit in a single word-0 store; recovery clears it iff a durable
+    /// commit record names the object, else the version is dead.
+    pub const PENDING: u8 = 1 << 5;
 }
 
 /// Round `n` up to a multiple of 8 (layout padding).

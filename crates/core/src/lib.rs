@@ -49,6 +49,7 @@ pub mod repl;
 pub mod scrub;
 pub mod server;
 pub mod shard;
+pub mod txn;
 pub mod verifier;
 
 pub use client::{Client, ClientConfig, GetOutcome, RemoteKv};
@@ -60,3 +61,4 @@ pub use repl::{
 };
 pub use server::{Server, ServerConfig, ServerStats, StoreDesc};
 pub use shard::{shard_of, ShardedClient, ShardedDesc, ShardedServer};
+pub use txn::{SnapOutcome, TxnKv, TxnShard, TxnSnapshot};

@@ -51,6 +51,7 @@ use crate::client::{Client, ClientConfig};
 use crate::hashtable::fingerprint;
 use crate::protocol::{Status, StoreError};
 use crate::server::StoreDesc;
+use crate::txn::TxnKv;
 
 /// Pipeline knobs.
 #[derive(Debug, Clone)]
@@ -85,6 +86,8 @@ pub enum OpKind {
     Get,
     /// Tombstone.
     Del,
+    /// Multi-key atomic transaction (write set carried in the job).
+    Txn,
 }
 
 /// One finished operation, reported back to the submitter.
@@ -94,8 +97,12 @@ pub struct OpCompletion {
     pub seq: u64,
     /// What the operation was.
     pub kind: OpKind,
-    /// The key it operated on.
+    /// The key it operated on (for `Txn`: the write set's first key).
     pub key: Vec<u8>,
+    /// For `Txn`: every key in the write set, in submission order (hazard
+    /// bookkeeping and the checker's history need all of them). Empty for
+    /// single-key operations.
+    pub txn_keys: Vec<Vec<u8>>,
     /// Virtual time the operation was handed to the pipeline.
     pub submitted_at: Nanos,
     /// Virtual time the slot finished it.
@@ -103,6 +110,9 @@ pub struct OpCompletion {
     /// `Ok(Some(v))` for a GET hit; `Ok(None)` for PUT/DEL success or a
     /// GET miss.
     pub result: Result<Option<Vec<u8>>, StoreError>,
+    /// For a committed `Txn`: the MVCC commit timestamp (history checkers
+    /// order transactions by it). `None` for every other op.
+    pub commit_ts: Option<u64>,
 }
 
 impl OpCompletion {
@@ -123,6 +133,8 @@ enum Job {
         kind: OpKind,
         key: Vec<u8>,
         value: Vec<u8>,
+        /// `Txn` write set (empty for single-key ops).
+        puts: Vec<(Vec<u8>, Vec<u8>)>,
         submitted_at: Nanos,
     },
     Shutdown,
@@ -228,6 +240,7 @@ impl PipelinedClient {
                             kind,
                             key,
                             value,
+                            puts,
                             submitted_at,
                         } => {
                             // The slot owns the op's root span: its window
@@ -236,13 +249,14 @@ impl PipelinedClient {
                             // unattributed client gap in the breakdown.
                             let scope = OpScope::enter(op);
                             let retries_before = client.retry_total();
-                            let result = run_op(&client, kind, &key, &value);
+                            let (result, commit_ts) = run_op(&client, kind, &key, &value, &puts);
                             let retries = client.retry_total() - retries_before;
                             let done_at = sim::now();
                             let kind_code = match kind {
                                 OpKind::Get => 0u64,
                                 OpKind::Put => 1,
                                 OpKind::Del => 2,
+                                OpKind::Txn => 3,
                             };
                             tracer.record_span_at(
                                 Subsystem::Client,
@@ -263,9 +277,11 @@ impl PipelinedClient {
                                     seq,
                                     kind,
                                     key,
+                                    txn_keys: puts.into_iter().map(|(k, _)| k).collect(),
                                     submitted_at,
                                     done_at,
                                     result,
+                                    commit_ts,
                                 },
                             };
                             if comp_tx.send(done, 0).is_err() {
@@ -318,7 +334,28 @@ impl PipelinedClient {
         self.submit(OpKind::Del, key, Vec::new())
     }
 
+    /// Submit a multi-key atomic transaction (an all-or-nothing PUT
+    /// batch). The transaction is hazard-ordered against *every* key in
+    /// its write set — it waits for all in-flight readers and writers of
+    /// those keys, and later operations on any of them wait for it — so
+    /// transactions compose with the K-in-flight window without reordering
+    /// conflicting effects.
+    pub fn submit_txn(&mut self, puts: &[(Vec<u8>, Vec<u8>)]) -> Vec<OpCompletion> {
+        let key = puts.first().map(|(k, _)| k.clone()).unwrap_or_default();
+        self.submit_inner(OpKind::Txn, key, Vec::new(), puts.to_vec())
+    }
+
     fn submit(&mut self, kind: OpKind, key: &[u8], value: Vec<u8>) -> Vec<OpCompletion> {
+        self.submit_inner(kind, key.to_vec(), value, Vec::new())
+    }
+
+    fn submit_inner(
+        &mut self,
+        kind: OpKind,
+        key: Vec<u8>,
+        value: Vec<u8>,
+        puts: Vec<(Vec<u8>, Vec<u8>)>,
+    ) -> Vec<OpCompletion> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.submitted_ctr.inc();
@@ -326,15 +363,17 @@ impl PipelinedClient {
         if let Some(sync) = &self.sync {
             // Serial fast path: execute inline, op for op like the plain
             // client — no doorbell charge, no slot machinery.
-            let result = run_op(sync, kind, key, &value);
+            let (result, commit_ts) = run_op(sync, kind, &key, &value, &puts);
             self.completed_ctr.inc();
             return vec![OpCompletion {
                 seq,
                 kind,
-                key: key.to_vec(),
+                key,
+                txn_keys: puts.into_iter().map(|(k, _)| k).collect(),
                 submitted_at,
                 done_at: sim::now(),
                 result,
+                commit_ts,
             }];
         }
         let mut reaped = self.reap_ready();
@@ -345,7 +384,7 @@ impl PipelinedClient {
         loop {
             if self.free.is_empty() {
                 self.window_wait_ctr.inc();
-            } else if self.hazard(kind, key) {
+            } else if self.hazard(kind, &key, &puts) {
                 self.hazard_wait_ctr.inc();
             } else {
                 break;
@@ -357,10 +396,15 @@ impl PipelinedClient {
         self.inflight += 1;
         match kind {
             OpKind::Put | OpKind::Del => {
-                *self.writers.entry(key.to_vec()).or_insert(0) += 1;
+                *self.writers.entry(key.clone()).or_insert(0) += 1;
             }
             OpKind::Get => {
-                *self.readers.entry(key.to_vec()).or_insert(0) += 1;
+                *self.readers.entry(key.clone()).or_insert(0) += 1;
+            }
+            OpKind::Txn => {
+                for (k, _) in &puts {
+                    *self.writers.entry(k.clone()).or_insert(0) += 1;
+                }
             }
         }
         // Posting the work request: one doorbell chain across up to
@@ -384,8 +428,9 @@ impl PipelinedClient {
                     seq,
                     op,
                     kind,
-                    key: key.to_vec(),
+                    key,
                     value,
+                    puts,
                     submitted_at,
                 },
                 0,
@@ -394,13 +439,16 @@ impl PipelinedClient {
         reaped
     }
 
-    fn hazard(&self, kind: OpKind, key: &[u8]) -> bool {
-        let writers = self.writers.get(key).copied().unwrap_or(0);
+    fn hazard(&self, kind: OpKind, key: &[u8], puts: &[(Vec<u8>, Vec<u8>)]) -> bool {
+        let write_blocked = |k: &[u8]| {
+            self.writers.get(k).copied().unwrap_or(0) > 0
+                || self.readers.get(k).copied().unwrap_or(0) > 0
+        };
         match kind {
-            OpKind::Put | OpKind::Del => {
-                writers > 0 || self.readers.get(key).copied().unwrap_or(0) > 0
-            }
-            OpKind::Get => writers > 0,
+            OpKind::Put | OpKind::Del => write_blocked(key),
+            OpKind::Get => self.writers.get(key).copied().unwrap_or(0) > 0,
+            // A transaction writes its whole set: every key must be clear.
+            OpKind::Txn => puts.iter().any(|(k, _)| write_blocked(k)),
         }
     }
 
@@ -408,16 +456,23 @@ impl PipelinedClient {
         self.free.insert(done.slot);
         self.inflight -= 1;
         self.completed_ctr.inc();
-        let book = match done.completion.kind {
-            OpKind::Put | OpKind::Del => &mut self.writers,
-            OpKind::Get => &mut self.readers,
-        };
-        match book.get_mut(&done.completion.key) {
-            Some(n) if *n > 1 => *n -= 1,
-            Some(_) => {
-                book.remove(&done.completion.key);
+        fn dec(book: &mut HashMap<Vec<u8>, usize>, key: &[u8]) {
+            match book.get_mut(key) {
+                Some(n) if *n > 1 => *n -= 1,
+                Some(_) => {
+                    book.remove(key);
+                }
+                None => unreachable!("completion for untracked key"),
             }
-            None => unreachable!("completion for untracked key"),
+        }
+        match done.completion.kind {
+            OpKind::Put | OpKind::Del => dec(&mut self.writers, &done.completion.key),
+            OpKind::Get => dec(&mut self.readers, &done.completion.key),
+            OpKind::Txn => {
+                for k in &done.completion.txn_keys {
+                    dec(&mut self.writers, k);
+                }
+            }
         }
     }
 
@@ -481,22 +536,42 @@ fn run_op(
     kind: OpKind,
     key: &[u8],
     value: &[u8],
-) -> Result<Option<Vec<u8>>, StoreError> {
-    match kind {
+    puts: &[(Vec<u8>, Vec<u8>)],
+) -> (Result<Option<Vec<u8>>, StoreError>, Option<u64>) {
+    let result = match kind {
         OpKind::Put => {
             let mut tries = 0;
             loop {
                 match client.put(key, value) {
-                    Ok(()) => return Ok(None),
+                    Ok(()) => break Ok(None),
                     Err(StoreError::Status(Status::NoSpace | Status::Busy)) if tries < 200 => {
                         tries += 1;
                         sim::sleep(sim::micros(50));
                     }
-                    Err(e) => return Err(e),
+                    Err(e) => break Err(e),
                 }
             }
         }
         OpKind::Get => client.get(key),
         OpKind::Del => client.del(key).map(|()| None),
-    }
+        OpKind::Txn => {
+            // Conflicts join the transient-rejection retry set: the hazard
+            // bookkeeping serializes this client's own conflicting ops, but
+            // other clients' transactions can still collide with ours.
+            let mut tries = 0;
+            loop {
+                match client.txn_put_all(puts) {
+                    Ok(ts) => return (Ok(None), Some(ts)),
+                    Err(StoreError::Status(Status::NoSpace | Status::Busy | Status::Conflict))
+                        if tries < 200 =>
+                    {
+                        tries += 1;
+                        sim::sleep(sim::micros(50));
+                    }
+                    Err(e) => return (Err(e), None),
+                }
+            }
+        }
+    };
+    (result, None)
 }

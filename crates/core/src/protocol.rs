@@ -22,6 +22,10 @@ pub enum Status {
     Corrupt = 4,
     /// Transient condition (e.g. cleaning hiccup); retry.
     Busy = 5,
+    /// Transaction validation failed (read-set version moved, or a
+    /// conflicting transaction holds the key in-doubt): abort and retry
+    /// the whole transaction from a fresh read.
+    Conflict = 6,
 }
 
 impl Status {
@@ -34,6 +38,7 @@ impl Status {
             3 => Status::NoSpace,
             4 => Status::Corrupt,
             5 => Status::Busy,
+            6 => Status::Conflict,
             _ => return None,
         })
     }
@@ -105,6 +110,51 @@ pub enum Request {
         /// Value bytes.
         value: Vec<u8>,
     },
+    /// Phase 1 of a cross-shard transaction: validate the read set, stage
+    /// every put durably (linked into the version chains, marked PENDING),
+    /// and reply with the shard's commit clock. The staged writes stay
+    /// in-doubt until `TxnDecide`.
+    TxnPrepare {
+        /// Coordinator-chosen transaction id (unique per client QP).
+        txn_id: u64,
+        /// Read set: `(key, observed seq)` pairs; `seq == 0` means the key
+        /// was absent when read.
+        reads: Vec<(Vec<u8>, u32)>,
+        /// Write set: full values ride the RPC (two-sided), so staging
+        /// persists them server-side in one step.
+        puts: Vec<(Vec<u8>, Vec<u8>)>,
+    },
+    /// Phase 2: commit (publish every staged version at `commit_ts`) or
+    /// abort (unlink and invalidate the staged versions).
+    TxnDecide {
+        /// Transaction id from the matching `TxnPrepare`.
+        txn_id: u64,
+        /// `true` = commit, `false` = abort.
+        commit: bool,
+        /// Coordinator-chosen commit timestamp (ignored on abort).
+        commit_ts: u64,
+    },
+    /// One-shot single-shard transaction: validate, stage, commit-record,
+    /// and publish in one RPC. The handler runs it start-to-finish, so no
+    /// other RPC ever observes the intermediate state.
+    TxnCommit {
+        /// Transaction id (unique per client QP).
+        txn_id: u64,
+        /// Read set, as in `TxnPrepare`.
+        reads: Vec<(Vec<u8>, u32)>,
+        /// Write set, as in `TxnPrepare`.
+        puts: Vec<(Vec<u8>, Vec<u8>)>,
+    },
+    /// Capture this shard's snapshot clock (durable-commit watermark).
+    SnapCapture,
+    /// MVCC read at snapshot `snap_ts`: walk the version chain to the
+    /// newest committed version with `commit_ts <= snap_ts`.
+    SnapGet {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Snapshot timestamp from an earlier `SnapCapture` round.
+        snap_ts: u64,
+    },
 }
 
 /// Replies a server sends back.
@@ -135,6 +185,24 @@ pub enum Response {
         /// Outcome.
         status: Status,
     },
+    /// Reply to `TxnPrepare` / `TxnDecide` / `TxnCommit`.
+    TxnAck {
+        /// Outcome (`Conflict` = validation failed, retry from fresh reads).
+        status: Status,
+        /// For `TxnPrepare`: the shard's commit clock (the coordinator's
+        /// commit timestamp must exceed every prepare clock). For a
+        /// committed `TxnCommit` / `TxnDecide`: the commit timestamp.
+        commit_ts: u64,
+    },
+    /// Reply to `SnapCapture`: the shard's snapshot clock.
+    Snap {
+        /// Outcome.
+        status: Status,
+        /// Every transaction committed on this shard so far has
+        /// `commit_ts <= watermark`, and every later commit will get a
+        /// strictly larger timestamp.
+        watermark: u64,
+    },
 }
 
 /// Asynchronous server→client notifications (cleaning protocol, §4.4).
@@ -151,9 +219,16 @@ const OP_GET: u8 = 0x02;
 const OP_DEL: u8 = 0x03;
 const OP_PERSIST: u8 = 0x04;
 const OP_RPC_PUT: u8 = 0x05;
+const OP_TXN_PREPARE: u8 = 0x06;
+const OP_TXN_DECIDE: u8 = 0x07;
+const OP_TXN_COMMIT: u8 = 0x08;
+const OP_SNAP_CAPTURE: u8 = 0x09;
+const OP_SNAP_GET: u8 = 0x0A;
 const OP_R_PUT: u8 = 0x81;
 const OP_R_GET: u8 = 0x82;
 const OP_R_ACK: u8 = 0x83;
+const OP_R_TXN_ACK: u8 = 0x84;
+const OP_R_SNAP: u8 = 0x85;
 const OP_E_CLEAN_START: u8 = 0xC1;
 const OP_E_CLEAN_END: u8 = 0xC2;
 /// Framed envelope: `[OP_FRAME_REQ][req_id: u64 LE][legacy request bytes]`.
@@ -167,6 +242,23 @@ const OP_FRAME_RESP: u8 = 0x90;
 fn put_key(buf: &mut Vec<u8>, key: &[u8]) {
     buf.extend_from_slice(&(key.len() as u16).to_le_bytes());
     buf.extend_from_slice(key);
+}
+
+fn put_reads(buf: &mut Vec<u8>, reads: &[(Vec<u8>, u32)]) {
+    buf.extend_from_slice(&(reads.len() as u16).to_le_bytes());
+    for (key, seq) in reads {
+        put_key(buf, key);
+        buf.extend_from_slice(&seq.to_le_bytes());
+    }
+}
+
+fn put_puts(buf: &mut Vec<u8>, puts: &[(Vec<u8>, Vec<u8>)]) {
+    buf.extend_from_slice(&(puts.len() as u16).to_le_bytes());
+    for (key, value) in puts {
+        put_key(buf, key);
+        buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        buf.extend_from_slice(value);
+    }
 }
 
 struct Reader<'a> {
@@ -207,6 +299,27 @@ impl<'a> Reader<'a> {
         let n = self.u16()? as usize;
         self.bytes(n)
     }
+    fn reads(&mut self) -> Option<Vec<(Vec<u8>, u32)>> {
+        let n = self.u16()? as usize;
+        let mut out = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            let key = self.key()?;
+            let seq = self.u32()?;
+            out.push((key, seq));
+        }
+        Some(out)
+    }
+    fn puts(&mut self) -> Option<Vec<(Vec<u8>, Vec<u8>)>> {
+        let n = self.u16()? as usize;
+        let mut out = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            let key = self.key()?;
+            let vlen = self.u32()? as usize;
+            let value = self.bytes(vlen)?;
+            out.push((key, value));
+        }
+        Some(out)
+    }
     fn done(&self) -> bool {
         self.pos == self.buf.len()
     }
@@ -241,6 +354,42 @@ impl Request {
                 buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
                 buf.extend_from_slice(value);
             }
+            Request::TxnPrepare {
+                txn_id,
+                reads,
+                puts,
+            } => {
+                buf.push(OP_TXN_PREPARE);
+                buf.extend_from_slice(&txn_id.to_le_bytes());
+                put_reads(&mut buf, reads);
+                put_puts(&mut buf, puts);
+            }
+            Request::TxnDecide {
+                txn_id,
+                commit,
+                commit_ts,
+            } => {
+                buf.push(OP_TXN_DECIDE);
+                buf.extend_from_slice(&txn_id.to_le_bytes());
+                buf.push(u8::from(*commit));
+                buf.extend_from_slice(&commit_ts.to_le_bytes());
+            }
+            Request::TxnCommit {
+                txn_id,
+                reads,
+                puts,
+            } => {
+                buf.push(OP_TXN_COMMIT);
+                buf.extend_from_slice(&txn_id.to_le_bytes());
+                put_reads(&mut buf, reads);
+                put_puts(&mut buf, puts);
+            }
+            Request::SnapCapture => buf.push(OP_SNAP_CAPTURE),
+            Request::SnapGet { key, snap_ts } => {
+                buf.push(OP_SNAP_GET);
+                put_key(&mut buf, key);
+                buf.extend_from_slice(&snap_ts.to_le_bytes());
+            }
         }
         buf
     }
@@ -265,6 +414,30 @@ impl Request {
                     value: r.bytes(n)?,
                 }
             }
+            OP_TXN_PREPARE => Request::TxnPrepare {
+                txn_id: r.u64()?,
+                reads: r.reads()?,
+                puts: r.puts()?,
+            },
+            OP_TXN_DECIDE => Request::TxnDecide {
+                txn_id: r.u64()?,
+                commit: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                },
+                commit_ts: r.u64()?,
+            },
+            OP_TXN_COMMIT => Request::TxnCommit {
+                txn_id: r.u64()?,
+                reads: r.reads()?,
+                puts: r.puts()?,
+            },
+            OP_SNAP_CAPTURE => Request::SnapCapture,
+            OP_SNAP_GET => Request::SnapGet {
+                key: r.key()?,
+                snap_ts: r.u64()?,
+            },
             _ => return None,
         };
         r.done().then_some(req)
@@ -326,6 +499,16 @@ impl Response {
                 buf.push(OP_R_ACK);
                 buf.push(*status as u8);
             }
+            Response::TxnAck { status, commit_ts } => {
+                buf.push(OP_R_TXN_ACK);
+                buf.push(*status as u8);
+                buf.extend_from_slice(&commit_ts.to_le_bytes());
+            }
+            Response::Snap { status, watermark } => {
+                buf.push(OP_R_SNAP);
+                buf.push(*status as u8);
+                buf.extend_from_slice(&watermark.to_le_bytes());
+            }
         }
         buf
     }
@@ -347,6 +530,14 @@ impl Response {
             },
             OP_R_ACK => Response::Ack {
                 status: Status::from_u8(r.u8()?)?,
+            },
+            OP_R_TXN_ACK => Response::TxnAck {
+                status: Status::from_u8(r.u8()?)?,
+                commit_ts: r.u64()?,
+            },
+            OP_R_SNAP => Response::Snap {
+                status: Status::from_u8(r.u8()?)?,
+                watermark: r.u64()?,
             },
             _ => return None,
         };
@@ -419,6 +610,31 @@ mod tests {
                 key: b"key".to_vec(),
                 value: vec![9; 1000],
             },
+            Request::TxnPrepare {
+                txn_id: 0x1122_3344_5566_7788,
+                reads: vec![(b"r1".to_vec(), 7), (b"".to_vec(), 0)],
+                puts: vec![(b"w1".to_vec(), vec![1; 64]), (b"w2".to_vec(), vec![])],
+            },
+            Request::TxnDecide {
+                txn_id: 42,
+                commit: true,
+                commit_ts: u64::MAX,
+            },
+            Request::TxnDecide {
+                txn_id: 42,
+                commit: false,
+                commit_ts: 0,
+            },
+            Request::TxnCommit {
+                txn_id: 1,
+                reads: vec![],
+                puts: vec![(b"k".to_vec(), vec![3; 17])],
+            },
+            Request::SnapCapture,
+            Request::SnapGet {
+                key: b"snapkey".to_vec(),
+                snap_ts: 123_456_789,
+            },
         ];
         for req in cases {
             assert_eq!(Request::decode(&req.encode()), Some(req));
@@ -441,6 +657,14 @@ mod tests {
             },
             Response::Ack {
                 status: Status::NoSpace,
+            },
+            Response::TxnAck {
+                status: Status::Conflict,
+                commit_ts: 0xFACE_FEED,
+            },
+            Response::Snap {
+                status: Status::Ok,
+                watermark: 987_654_321,
             },
         ];
         for resp in cases {
@@ -474,6 +698,49 @@ mod tests {
         for cut in 0..buf.len() {
             assert_eq!(Request::decode(&buf[..cut]), None, "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn txn_requests_reject_truncation_and_garbage() {
+        let reqs = [
+            Request::TxnPrepare {
+                txn_id: 9,
+                reads: vec![(b"r".to_vec(), 3)],
+                puts: vec![(b"w".to_vec(), vec![5; 9])],
+            },
+            Request::TxnDecide {
+                txn_id: 9,
+                commit: true,
+                commit_ts: 77,
+            },
+            Request::TxnCommit {
+                txn_id: 9,
+                reads: vec![],
+                puts: vec![(b"w".to_vec(), vec![5; 9])],
+            },
+            Request::SnapGet {
+                key: b"k".to_vec(),
+                snap_ts: 11,
+            },
+        ];
+        for req in reqs {
+            let buf = req.encode();
+            for cut in 0..buf.len() {
+                assert_eq!(Request::decode(&buf[..cut]), None, "{req:?} cut at {cut}");
+            }
+            let mut garbled = buf.clone();
+            garbled.push(0);
+            assert_eq!(Request::decode(&garbled), None, "{req:?} + garbage");
+        }
+        // A decide byte other than 0/1 is malformed, not "truthy".
+        let mut buf = Request::TxnDecide {
+            txn_id: 1,
+            commit: true,
+            commit_ts: 2,
+        }
+        .encode();
+        buf[9] = 2;
+        assert_eq!(Request::decode(&buf), None);
     }
 
     #[test]
@@ -536,6 +803,21 @@ mod tests {
             crc in any::<u32>(),
         ) {
             let req = Request::Put { key, vlen, crc };
+            prop_assert_eq!(Request::decode(&req.encode()), Some(req));
+        }
+
+        #[test]
+        fn txn_roundtrips_any_fields(
+            txn_id in any::<u64>(),
+            reads in proptest::collection::vec(
+                (proptest::collection::vec(any::<u8>(), 0..16), any::<u32>()), 0..5),
+            puts in proptest::collection::vec(
+                (proptest::collection::vec(any::<u8>(), 0..16),
+                 proptest::collection::vec(any::<u8>(), 0..48)), 0..5),
+        ) {
+            let req = Request::TxnCommit { txn_id, reads: reads.clone(), puts: puts.clone() };
+            prop_assert_eq!(Request::decode(&req.encode()), Some(req));
+            let req = Request::TxnPrepare { txn_id, reads, puts };
             prop_assert_eq!(Request::decode(&req.encode()), Some(req));
         }
     }

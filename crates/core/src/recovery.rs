@@ -58,16 +58,25 @@ pub fn recover(
     let regions = layout.regions();
 
     // Rebuild allocation heads first so chain validation can bounds-check.
+    // Keep the scanned object offsets: durable transaction commit records
+    // among them decide the fate of in-doubt (PENDING) versions.
     let mut heads = [0usize; 2];
+    let mut objs: Vec<usize> = Vec::new();
     for (i, r) in regions.iter().enumerate() {
         if r.is_empty() {
             heads[i] = r.base();
             continue;
         }
-        let (_objs, head) = r.scan_for_recovery(&pool, cfg.max_klen, cfg.max_vlen);
+        let (region_objs, head) = r.scan_for_recovery(&pool, cfg.max_klen, cfg.max_vlen);
+        objs.extend(region_objs);
         heads[i] = head;
     }
     report.heads = heads;
+
+    // Offsets of staged versions named by a durable commit record: these
+    // transactions reached their commit point, so their versions are kept
+    // (all-or-nothing). Staged versions *not* named never committed.
+    let committed = crate::txn::committed_offsets(&pool, &objs);
 
     let in_bounds = |off: u64| -> bool {
         let off = off as usize;
@@ -100,10 +109,12 @@ pub fn recover(
                 if fingerprint(&key) != e.fp {
                     break; // chain walked into garbage
                 }
-                let intact = hdr.has(flags::VALID) && {
-                    let value = layout::read_value(&pool, off as usize, &hdr);
-                    crc32c(&value) == hdr.crc
-                };
+                let intact = hdr.has(flags::VALID)
+                    && (!hdr.has(flags::PENDING) || committed.contains(&off))
+                    && {
+                        let value = layout::read_value(&pool, off as usize, &hdr);
+                        crc32c(&value) == hdr.crc
+                    };
                 if intact {
                     found = Some((off, hdr));
                     break 'outer;
@@ -133,9 +144,15 @@ pub fn recover(
                 ht.set_sizes(&pool, idx, hdr.klen, hdr.vlen);
                 ht.set_ctl(&pool, idx, Ctl::default().with_mark(slot).bumped());
                 // The version is intact: mark it durable (its flag write
-                // may have been lost in the crash) and cut the stale
-                // forward link.
-                layout::update_flags(&pool, off as usize, flags::DURABLE, flags::TRANS);
+                // may have been lost in the crash), clear any leftover
+                // in-doubt bit (a commit record vouched for it), and cut
+                // the stale forward link.
+                layout::update_flags(
+                    &pool,
+                    off as usize,
+                    flags::DURABLE,
+                    flags::TRANS | flags::PENDING,
+                );
                 layout::set_next_ptr(&pool, off as usize, NIL);
                 pool.persist(off as usize, layout::HDR_LEN);
                 ht.persist_entry(&pool, idx);

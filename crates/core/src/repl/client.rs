@@ -8,8 +8,9 @@ use efactory_sim as sim;
 
 use super::ReplicatedDesc;
 use crate::client::{Client, ClientConfig, RemoteKv};
-use crate::protocol::StoreError;
+use crate::protocol::{Status, StoreError};
 use crate::shard::shard_of;
+use crate::txn::{self, SnapOutcome, TxnKv, TxnShard, TxnSnapshot};
 
 /// A client that talks to a [`super::ReplicatedServer`]: it behaves exactly
 /// like [`Client`] until the primary stops answering (RPC deadline,
@@ -24,6 +25,10 @@ pub struct ReplClient {
     cur: RefCell<Client>,
     on_backup: Cell<bool>,
     failovers: Cell<u64>,
+    /// Transaction-id source surviving reconnects (a fresh [`Client`] would
+    /// restart its ids, and a replayed txn id must never alias an earlier
+    /// in-doubt transaction on the promoted backup).
+    next_txn_id: Cell<u64>,
 }
 
 /// How long a client polls the handle for a promotion before giving up.
@@ -58,6 +63,7 @@ impl ReplClient {
             cur: RefCell::new(cur),
             on_backup: Cell::new(on_backup),
             failovers: Cell::new(0),
+            next_txn_id: Cell::new(1),
         })
     }
 
@@ -137,10 +143,89 @@ impl RemoteKv for ReplClient {
     }
 }
 
+/// Per-shard transactional RPCs with transparent failover. After a
+/// failover the retried attempt runs under a *new* QP, outside the old
+/// connection's exactly-once window: a blind-write transaction may
+/// re-execute (same values, new versions — like a replayed plain PUT),
+/// while read-modify-writes stay correct through read-set re-validation.
+impl TxnShard for ReplClient {
+    fn shard_txn_commit(
+        &self,
+        txn_id: u64,
+        reads: &[(Vec<u8>, u32)],
+        puts: &[(Vec<u8>, Vec<u8>)],
+    ) -> Result<(Status, u64), StoreError> {
+        self.with_retry(|c| c.shard_txn_commit(txn_id, reads, puts))
+    }
+
+    fn shard_txn_prepare(
+        &self,
+        txn_id: u64,
+        reads: &[(Vec<u8>, u32)],
+        puts: &[(Vec<u8>, Vec<u8>)],
+    ) -> Result<(Status, u64), StoreError> {
+        self.with_retry(|c| c.shard_txn_prepare(txn_id, reads, puts))
+    }
+
+    fn shard_txn_decide(
+        &self,
+        txn_id: u64,
+        commit: bool,
+        commit_ts: u64,
+    ) -> Result<Status, StoreError> {
+        self.with_retry(|c| c.shard_txn_decide(txn_id, commit, commit_ts))
+    }
+
+    fn shard_snap_capture(&self) -> Result<(Status, u64), StoreError> {
+        self.with_retry(|c| c.shard_snap_capture())
+    }
+
+    fn shard_snap_get(&self, key: &[u8], snap_ts: u64) -> Result<SnapOutcome, StoreError> {
+        self.with_retry(|c| c.shard_snap_get(key, snap_ts))
+    }
+
+    fn shard_get_with_seq(&self, key: &[u8]) -> Result<(Option<Vec<u8>>, u32), StoreError> {
+        self.with_retry(|c| c.shard_get_with_seq(key))
+    }
+}
+
+impl TxnKv for ReplClient {
+    fn txn_put_all(&self, puts: &[(Vec<u8>, Vec<u8>)]) -> Result<u64, StoreError> {
+        let result = txn::put_all_routed(std::slice::from_ref(self), &self.next_txn_id, puts);
+        if result.is_ok() {
+            self.cur.borrow().txn_commit_ctr.inc();
+        }
+        result
+    }
+
+    fn txn_rmw(
+        &self,
+        key: &[u8],
+        f: &mut dyn FnMut(Option<Vec<u8>>) -> Vec<u8>,
+    ) -> Result<u64, StoreError> {
+        let result = txn::rmw_routed(std::slice::from_ref(self), &self.next_txn_id, key, f);
+        if result.is_ok() {
+            self.cur.borrow().txn_commit_ctr.inc();
+        }
+        result
+    }
+
+    fn snapshot(&self) -> Result<TxnSnapshot, StoreError> {
+        txn::snapshot_all(std::slice::from_ref(self))
+    }
+
+    fn snap_get(&self, key: &[u8], snap: &TxnSnapshot) -> Result<Option<Vec<u8>>, StoreError> {
+        txn::snap_get_routed(std::slice::from_ref(self), key, snap)
+    }
+}
+
 /// [`ReplClient`] per shard, routed by the same hash router as
 /// [`crate::shard::ShardedClient`].
 pub struct ReplShardedClient {
     clients: Vec<ReplClient>,
+    /// Transaction-id source shared across shard connections (one id per
+    /// logical transaction, like [`crate::shard::ShardedClient`]).
+    next_txn_id: Cell<u64>,
 }
 
 impl ReplShardedClient {
@@ -161,7 +246,10 @@ impl ReplShardedClient {
             cfg.shard = i as u32;
             clients.push(ReplClient::connect(fabric, local, d, cfg)?);
         }
-        Ok(ReplShardedClient { clients })
+        Ok(ReplShardedClient {
+            clients,
+            next_txn_id: Cell::new(1),
+        })
     }
 
     /// Number of shards.
@@ -196,5 +284,35 @@ impl RemoteKv for ReplShardedClient {
     }
     fn kv_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
         self.get(key)
+    }
+}
+
+impl TxnKv for ReplShardedClient {
+    fn txn_put_all(&self, puts: &[(Vec<u8>, Vec<u8>)]) -> Result<u64, StoreError> {
+        let result = txn::put_all_routed(&self.clients, &self.next_txn_id, puts);
+        if result.is_ok() {
+            self.clients[0].cur.borrow().txn_commit_ctr.inc();
+        }
+        result
+    }
+
+    fn txn_rmw(
+        &self,
+        key: &[u8],
+        f: &mut dyn FnMut(Option<Vec<u8>>) -> Vec<u8>,
+    ) -> Result<u64, StoreError> {
+        let result = txn::rmw_routed(&self.clients, &self.next_txn_id, key, f);
+        if result.is_ok() {
+            self.clients[0].cur.borrow().txn_commit_ctr.inc();
+        }
+        result
+    }
+
+    fn snapshot(&self) -> Result<TxnSnapshot, StoreError> {
+        txn::snapshot_all(&self.clients)
+    }
+
+    fn snap_get(&self, key: &[u8], snap: &TxnSnapshot) -> Result<Option<Vec<u8>>, StoreError> {
+        txn::snap_get_routed(&self.clients, key, snap)
     }
 }

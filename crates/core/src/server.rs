@@ -100,6 +100,15 @@ pub struct ServerConfig {
     pub scrub_interval: Nanos,
     /// Fixed CPU charge per object the scrubber touches.
     pub scrub_step_cost: Nanos,
+    /// Presumed-abort timeout for prepared (in-doubt) transactions: a 2PC
+    /// participant whose coordinator has not decided within this window is
+    /// unilaterally aborted by the handler's sweep. Must exceed the
+    /// worst-case prepare→decide gap (including chaos retries).
+    pub txn_abort_timeout: Nanos,
+    /// **Test-only fault injection**: snapshot GETs skip the newest
+    /// eligible version and serve its predecessor — a deliberate
+    /// stale-read mutation the consistency checker must catch.
+    pub snap_serve_stale: bool,
     /// Prefix for registry counter names (e.g. `"shard3."` in a
     /// [`crate::shard::ShardedServer`]); empty for the plain `server.*`
     /// names.
@@ -125,6 +134,8 @@ impl Default for ServerConfig {
             scrub_enabled: false,
             scrub_interval: sim::micros(50),
             scrub_step_cost: 50,
+            txn_abort_timeout: sim::millis(5),
+            snap_serve_stale: false,
             counter_prefix: String::new(),
             obs: Obs::new(),
         }
@@ -168,6 +179,24 @@ pub struct ServerStats {
     /// Retried requests older than the connection's dedup window (request
     /// id below the last executed one) — dropped without a reply.
     pub dup_stale: Counter,
+    /// Transactions committed (fused or 2PC-decided) on this shard.
+    pub txn_commits: Counter,
+    /// Transactions aborted on this shard (explicit decide-abort, staging
+    /// failure, or presumed-abort sweep).
+    pub txn_aborts: Counter,
+    /// 2PC prepare requests handled.
+    pub txn_prepares: Counter,
+    /// 2PC decide requests handled.
+    pub txn_decides: Counter,
+    /// Transactional conflicts: read-set validation failures and in-doubt
+    /// write-write collisions.
+    pub txn_conflicts: Counter,
+    /// Snapshot-clock captures.
+    pub snap_captures: Counter,
+    /// Snapshot GETs handled.
+    pub snap_gets: Counter,
+    /// Snapshot GETs answered `Busy` (in-doubt head or in-flight value).
+    pub snap_busy: Counter,
 }
 
 impl ServerStats {
@@ -181,7 +210,7 @@ impl ServerStats {
     /// names — each shard of a sharded store registers its own counters
     /// (e.g. `shard2.server.puts`) in the one shared registry.
     pub fn register_prefixed(&self, reg: &Registry, prefix: &str) {
-        let pairs: [(&str, &Counter); 14] = [
+        let pairs: [(&str, &Counter); 22] = [
             ("server.puts", &self.puts),
             ("server.dels", &self.dels),
             ("server.gets", &self.gets),
@@ -202,6 +231,14 @@ impl ServerStats {
             ("server.put_failures", &self.put_failures),
             ("server.dup_hits", &self.dup_hits),
             ("server.dup_stale", &self.dup_stale),
+            ("server.txn.commits", &self.txn_commits),
+            ("server.txn.aborts", &self.txn_aborts),
+            ("server.txn.prepares", &self.txn_prepares),
+            ("server.txn.decides", &self.txn_decides),
+            ("server.txn.conflicts", &self.txn_conflicts),
+            ("server.txn.snap_captures", &self.snap_captures),
+            ("server.txn.snap_gets", &self.snap_gets),
+            ("server.txn.snap_busy", &self.snap_busy),
         ];
         for (name, c) in pairs {
             reg.attach_counter(&format!("{prefix}{name}"), c);
@@ -250,6 +287,11 @@ pub struct ServerShared {
     /// instance died with a crash and must never touch state again (even if
     /// the node was restarted for a recovered instance).
     pub born_epoch: u64,
+    /// Transactional state: commit watermark, per-offset commit
+    /// timestamps, in-doubt 2PC participants. A `std::sync` mutex is safe
+    /// here: only the handler process and recovery take it, never across a
+    /// simulated yield.
+    pub txn: std::sync::Mutex<crate::txn::TxnState>,
 }
 
 impl ServerShared {
@@ -316,7 +358,9 @@ impl ServerShared {
                 return None;
             }
             let hdr = ObjHeader::read_from(&self.pool, off as usize);
-            if hdr.has(flags::VALID) {
+            // In-doubt (PENDING) versions are not readable: serve the
+            // previous committed version, like plain readers do.
+            if hdr.has(flags::VALID) && !hdr.has(flags::PENDING) {
                 // Durability check first — the selective durability
                 // guarantee that distinguishes eFactory from Forca.
                 if hdr.has(flags::DURABLE) {
@@ -403,6 +447,7 @@ impl Server {
             stop: AtomicBool::new(false),
             clean_request: AtomicBool::new(false),
             born_epoch: node.epoch(),
+            txn: std::sync::Mutex::new(crate::txn::TxnState::default()),
         });
         shared
             .stats
@@ -512,6 +557,10 @@ impl Server {
 fn run_handler(shared: &ServerShared, listener: &Listener) {
     // (last executed request id, its encoded framed reply) per connection.
     let mut dedup: HashMap<QpId, (u64, Vec<u8>)> = HashMap::new();
+    // Presumed-abort sweep deadline for in-doubt 2PC transactions. The
+    // sweep is free (no virtual time) while no transaction is prepared, so
+    // non-transactional workloads replay byte-identically.
+    let mut next_sweep = sim::now() + shared.cfg.txn_abort_timeout;
     loop {
         // A periodic deadline lets the handler observe `stop` even when no
         // requests arrive.
@@ -521,12 +570,20 @@ fn run_handler(shared: &ServerShared, listener: &Listener) {
                 if shared.stopping() {
                     return;
                 }
+                if sim::now() >= next_sweep {
+                    crate::txn::sweep_expired(shared);
+                    next_sweep = sim::now() + shared.cfg.txn_abort_timeout;
+                }
                 continue;
             }
             Err(_) => return, // disconnected or crashed
         };
         if shared.stopping() {
             return;
+        }
+        if sim::now() >= next_sweep {
+            crate::txn::sweep_expired(shared);
+            next_sweep = sim::now() + shared.cfg.txn_abort_timeout;
         }
         let Incoming::Send { from, payload } = msg else {
             continue; // eFactory does not use write_with_imm
@@ -557,6 +614,25 @@ fn run_handler(shared: &ServerShared, listener: &Listener) {
             Request::Put { key, vlen, crc } => handle_put(shared, rpc, &key, vlen, crc),
             Request::Get { key } => handle_get(shared, rpc, &key),
             Request::Del { key } => handle_del(shared, rpc, &key),
+            Request::TxnCommit {
+                txn_id,
+                ref reads,
+                ref puts,
+            } => crate::txn::handle_txn_commit(shared, rpc, txn_id, reads, puts),
+            Request::TxnPrepare {
+                txn_id,
+                ref reads,
+                ref puts,
+            } => crate::txn::handle_txn_prepare(shared, rpc, txn_id, reads, puts),
+            Request::TxnDecide {
+                txn_id,
+                commit,
+                commit_ts,
+            } => crate::txn::handle_txn_decide(shared, rpc, txn_id, commit, commit_ts),
+            Request::SnapCapture => crate::txn::handle_snap_capture(shared, rpc),
+            Request::SnapGet { ref key, snap_ts } => {
+                crate::txn::handle_snap_get(shared, rpc, key, snap_ts)
+            }
             // SAW/RPC-baseline opcodes are not part of eFactory.
             Request::Persist { .. } | Request::RpcPut { .. } => Response::Ack {
                 status: Status::Corrupt,
@@ -627,11 +703,25 @@ fn insert_version(shared: &ServerShared, key: &[u8], vlen: u32, crc: u32) -> Res
         Ok(v) => v,
         Err(HtError::TableFull) => return fail(Status::TableFull),
     };
+    let prev = shared.current_off(&entry);
+    if prev != 0 && prev != NIL {
+        // An in-doubt transactional head: linking above it would break the
+        // chain-order == commit-timestamp-order invariant snapshots rely
+        // on. Back off until the transaction decides (no failure counter —
+        // the client retries, bounded by the presumed-abort timeout).
+        let ph = ObjHeader::read_from(&shared.pool, prev as usize);
+        if ph.has(flags::VALID) && ph.has(flags::PENDING) {
+            return Response::Put {
+                status: Status::Busy,
+                obj_off: 0,
+                value_off: 0,
+            };
+        }
+    }
     let pool_idx = shared.alloc_pool();
     let Some(off) = shared.logs[pool_idx].alloc(size) else {
         return fail(Status::NoSpace);
     };
-    let prev = shared.current_off(&entry);
     let hdr = ObjHeader {
         klen: key.len() as u16,
         vlen,
@@ -675,6 +765,9 @@ fn insert_version(shared: &ServerShared, key: &[u8], vlen: u32, crc: u32) -> Res
         .set_sizes(&shared.pool, idx, key.len() as u16, vlen);
     shared.ht.set_ctl(&shared.pool, idx, ctl);
     lines += shared.ht.persist_entry(&shared.pool, idx);
+    // Stamp the commit timestamp while still inside the no-yield block, so
+    // the version's visibility ordering matches its chain position.
+    crate::txn::note_plain_commit(shared, off as u64);
     // ---- end mutation block ----
 
     sim::work(shared.cost.flush(lines * efactory_pmem::LINE));

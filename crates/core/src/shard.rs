@@ -18,6 +18,7 @@
 //! [`fingerprint`] — routing on the fingerprint itself would leave each
 //! shard populating only every N-th bucket home.
 
+use std::cell::Cell;
 use std::sync::Arc;
 
 use efactory_rnic::{Fabric, Node};
@@ -27,6 +28,7 @@ use crate::hashtable::fingerprint;
 use crate::log::StoreLayout;
 use crate::protocol::StoreError;
 use crate::server::{Server, ServerConfig, ServerShared, StoreDesc};
+use crate::txn::{self, TxnKv, TxnSnapshot};
 
 /// Deterministic, total shard routing: `hash(key) % shards`.
 ///
@@ -153,6 +155,9 @@ impl ShardedServer {
 /// Implements [`RemoteKv`], so harness workloads are shard-agnostic.
 pub struct ShardedClient {
     clients: Vec<Client>,
+    /// Transaction-id source shared by all shard connections, so one
+    /// logical transaction carries one id across its 2PC participants.
+    next_txn_id: Cell<u64>,
 }
 
 impl ShardedClient {
@@ -176,7 +181,10 @@ impl ShardedClient {
                 Client::connect(fabric, local, node, *d, cfg)
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(ShardedClient { clients })
+        Ok(ShardedClient {
+            clients,
+            next_txn_id: Cell::new(1),
+        })
     }
 
     /// The client holding `key`'s shard connection.
@@ -211,6 +219,42 @@ impl RemoteKv for ShardedClient {
     }
     fn kv_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
         self.get(key)
+    }
+}
+
+impl TxnKv for ShardedClient {
+    fn txn_put_all(&self, puts: &[(Vec<u8>, Vec<u8>)]) -> Result<u64, StoreError> {
+        let first = puts.first().map(|(k, _)| k.as_slice()).unwrap_or(b"");
+        let mut ctx = self.clients[0].op_root(3, first);
+        let result = txn::put_all_routed(&self.clients, &self.next_txn_id, puts);
+        if let Ok(ts) = &result {
+            self.clients[0].txn_commit_ctr.inc();
+            ctx.arg("commit_ts", *ts);
+        }
+        result
+    }
+
+    fn txn_rmw(
+        &self,
+        key: &[u8],
+        f: &mut dyn FnMut(Option<Vec<u8>>) -> Vec<u8>,
+    ) -> Result<u64, StoreError> {
+        let mut ctx = self.clients[0].op_root(3, key);
+        let result = txn::rmw_routed(&self.clients, &self.next_txn_id, key, f);
+        if let Ok(ts) = &result {
+            self.clients[0].txn_commit_ctr.inc();
+            ctx.arg("commit_ts", *ts);
+        }
+        result
+    }
+
+    fn snapshot(&self) -> Result<TxnSnapshot, StoreError> {
+        txn::snapshot_all(&self.clients)
+    }
+
+    fn snap_get(&self, key: &[u8], snap: &TxnSnapshot) -> Result<Option<Vec<u8>>, StoreError> {
+        let _ctx = self.clients[0].op_root(4, key);
+        txn::snap_get_routed(&self.clients, key, snap)
     }
 }
 

@@ -1,0 +1,877 @@
+//! Multi-key atomic transactions and MVCC snapshot reads over the
+//! multi-version log.
+//!
+//! # Protocol
+//!
+//! A transaction is a read set (`(key, observed seq)` pairs) plus a write
+//! set (full key/value pairs). Values ride the two-sided RPC (like the RPC
+//! baseline's `RpcPut`), so the server stages them durably in one step —
+//! the client-active one-sided write scheme is not used for transactional
+//! writes, which keeps staging failure-atomic without a second round trip.
+//!
+//! **Staging** appends each write as a normal log version linked at the
+//! head of its key's chain, flagged `VALID | PENDING | DURABLE`. A
+//! `PENDING` head is *in-doubt*: plain reads serve the previous committed
+//! version, snapshot reads wait, and writers back off (`Busy` / `Conflict`)
+//! — which preserves the invariant that chain order equals commit-timestamp
+//! order.
+//!
+//! **Commit point** is a durable *commit record*: a normal log allocation
+//! (never linked into the hash table) whose key is a magic prefix + txn id
+//! and whose CRC-protected value lists the staged offsets. Recovery keeps a
+//! `PENDING` version iff a durable commit record names it — all-or-nothing
+//! visibility at every crash instant.
+//!
+//! **Publishing** clears the `PENDING` bits in one no-yield block (atomic
+//! as observed by every other process and by clients' one-sided reads) and
+//! assigns the transaction a single commit timestamp.
+//!
+//! Single-shard transactions use the fused one-RPC `TxnCommit`; cross-shard
+//! ones run client-coordinated two-phase commit (`TxnPrepare` per shard,
+//! then `TxnDecide`), with a presumed-abort sweep reclaiming prepares whose
+//! coordinator died.
+//!
+//! # Snapshots
+//!
+//! Each shard keeps a commit watermark `W`: every commit gets
+//! `ts = max(W+1, now)` and advances `W`. `SnapCapture` bumps `W` to `now`
+//! and returns it, so every *later* commit is strictly above the captured
+//! clock, and every commit acknowledged *before* the capture is at or
+//! below it. A multi-shard snapshot captures every shard's clock and reads
+//! at `S = min(vector)`: a version is visible iff its commit timestamp is
+//! `<= S`. Timestamps live in a per-shard in-memory map (rebuilt empty
+//! after a crash — recovered versions read as timestamp 0, i.e. visible in
+//! every snapshot, which is sound because recovery discards everything that
+//! was not durably committed).
+
+use std::cell::Cell;
+use std::collections::{HashMap, HashSet};
+
+use efactory_checksum::crc32c;
+use efactory_obs::Subsystem;
+use efactory_pmem::PmemPool;
+use efactory_rnic::QpId;
+use efactory_sim as sim;
+
+use crate::hashtable::{fingerprint, HtError};
+use crate::layout::{self, flags, ObjHeader, NIL};
+use crate::protocol::{Response, Status, StoreError};
+use crate::server::{CleanPhase, ServerShared};
+use crate::shard::shard_of;
+
+/// Magic key prefix identifying a commit record in the log. NUL-framed so
+/// it can never collide with workload keys (which are printable).
+pub const COMMIT_MAGIC: &[u8; 8] = b"\0efctxn\0";
+
+/// Key bytes of the commit record for `txn_id`.
+fn commit_record_key(txn_id: u64) -> [u8; 16] {
+    let mut k = [0u8; 16];
+    k[..8].copy_from_slice(COMMIT_MAGIC);
+    k[8..].copy_from_slice(&txn_id.to_le_bytes());
+    k
+}
+
+/// A transaction prepared on this shard, awaiting the coordinator's
+/// decision.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// Offsets of the staged (PENDING) versions, in write-set order.
+    pub offs: Vec<u64>,
+    /// Virtual time the prepare completed — the presumed-abort sweep
+    /// reclaims entries older than [`crate::server::ServerConfig::txn_abort_timeout`].
+    pub staged_at: sim::Nanos,
+}
+
+/// Per-shard transactional state (in-memory; rebuilt empty after a crash).
+#[derive(Debug, Default)]
+pub struct TxnState {
+    /// Commit watermark: every commit so far has `ts <= watermark`, every
+    /// future commit gets `ts >` any snapshot clock already handed out.
+    pub watermark: u64,
+    /// Commit timestamp per published version offset. Missing entries
+    /// (recovered versions, pre-txn-layer writes) read as 0: visible in
+    /// every snapshot.
+    pub commit_ts: HashMap<u64, u64>,
+    /// In-doubt two-phase-commit participants, keyed by (client QP, txn id).
+    pub prepared: HashMap<(QpId, u64), Prepared>,
+}
+
+/// Earliest deadline after which `sweep_expired` may have work to do; the
+/// handler calls it from its receive loop.
+pub(crate) fn sweep_expired(shared: &ServerShared) {
+    let now = sim::now();
+    let timeout = shared.cfg.txn_abort_timeout;
+    let expired: Vec<Prepared> = {
+        let mut txn = shared.txn.lock().unwrap();
+        if txn.prepared.is_empty() {
+            return;
+        }
+        let keys: Vec<(QpId, u64)> = txn
+            .prepared
+            .iter()
+            .filter(|(_, p)| p.staged_at + timeout <= now)
+            .map(|(k, _)| *k)
+            .collect();
+        keys.iter().filter_map(|k| txn.prepared.remove(k)).collect()
+    };
+    for p in expired {
+        abort_staged(shared, &p.offs);
+        shared.stats.txn_aborts.inc();
+        shared.cfg.obs.tracer.event_args(
+            Subsystem::Server,
+            "txn_presumed_abort",
+            &[("staged", p.offs.len() as u64)],
+        );
+    }
+}
+
+/// Validate a read set: each key's newest committed version must still
+/// carry the observed `seq` (0 = key absent or deleted). A `PENDING` head
+/// on a read key is a conflict — the in-doubt writer may commit first.
+fn validate_reads(shared: &ServerShared, reads: &[(Vec<u8>, u32)]) -> Status {
+    for (key, want) in reads {
+        let fp = fingerprint(key);
+        let cur_seq = match shared.ht.lookup(&shared.pool, fp) {
+            None => 0,
+            Some((_idx, entry)) => {
+                let mut off = shared.current_off(&entry);
+                let mut seq = 0u32;
+                while off != 0 && off != NIL {
+                    let hdr = ObjHeader::read_from(&shared.pool, off as usize);
+                    if hdr.has(flags::VALID) {
+                        if hdr.has(flags::PENDING) {
+                            return Status::Conflict;
+                        }
+                        if !hdr.has(flags::TOMBSTONE) {
+                            seq = hdr.seq;
+                        }
+                        break;
+                    }
+                    off = hdr.pre_ptr;
+                }
+                seq
+            }
+        };
+        if cur_seq != *want {
+            return Status::Conflict;
+        }
+    }
+    Status::Ok
+}
+
+/// Stage one transactional write: append a fully persisted
+/// `VALID | PENDING | DURABLE` version at the head of the key's chain.
+/// Mirrors the plain-PUT insert path, except the value is written and
+/// flushed server-side (it rode the RPC) and the version stays in-doubt
+/// until published.
+fn stage_put(shared: &ServerShared, key: &[u8], value: &[u8]) -> Result<u64, Status> {
+    let fp = fingerprint(key);
+    let size = layout::object_size(key.len(), value.len());
+    let crc = crc32c(value);
+
+    // ---- mutation block: no yields until the entry is linked ----
+    let (idx, entry) = match shared.ht.lookup_or_claim(&shared.pool, fp) {
+        Ok(v) => v,
+        Err(HtError::TableFull) => return Err(Status::TableFull),
+    };
+    let prev = shared.current_off(&entry);
+    if prev != 0 && prev != NIL {
+        let ph = ObjHeader::read_from(&shared.pool, prev as usize);
+        if ph.has(flags::VALID) && ph.has(flags::PENDING) {
+            return Err(Status::Conflict);
+        }
+    }
+    let pool_idx = shared.alloc_pool();
+    let Some(off) = shared.logs[pool_idx].alloc(size) else {
+        return Err(Status::NoSpace);
+    };
+    let hdr = ObjHeader {
+        klen: key.len() as u16,
+        vlen: value.len() as u32,
+        flags: flags::VALID | flags::PENDING,
+        pre_ptr: if prev == 0 { NIL } else { prev },
+        next_ptr: NIL,
+        crc,
+        seq: entry.ctl.seq() as u32 + 1,
+        alloc_time: sim::now(),
+    };
+    hdr.write_to(&shared.pool, off);
+    shared.pool.write(off + hdr.key_off(), key);
+    shared.pool.write(off + hdr.value_off(), value);
+    if prev != 0 && prev != NIL {
+        layout::set_next_ptr(&shared.pool, prev as usize, off as u64);
+    }
+    let mut lines = shared.pool.flush(off, size);
+    layout::update_flags(&shared.pool, off, flags::DURABLE, 0);
+    lines += shared.pool.flush(off, 8);
+    shared.pool.drain();
+    let slot = pool_idx;
+    let ctl = if slot == entry.ctl.mark() {
+        entry.ctl.bumped().with_new_valid(false)
+    } else if entry.current() == 0 {
+        entry.ctl.with_mark(slot).with_new_valid(false).bumped()
+    } else {
+        entry.ctl.bumped().with_new_valid(true)
+    };
+    shared.ht.set_slot(&shared.pool, idx, slot, off as u64);
+    shared
+        .ht
+        .set_sizes(&shared.pool, idx, key.len() as u16, value.len() as u32);
+    shared.ht.set_ctl(&shared.pool, idx, ctl);
+    lines += shared.ht.persist_entry(&shared.pool, idx);
+    // ---- end mutation block ----
+
+    sim::work(
+        shared.cost.cpu_hash_ns
+            + shared.cost.cpu_alloc_ns
+            + shared.cost.crc_hw(value.len())
+            + shared.cost.flush(lines * efactory_pmem::LINE),
+    );
+    Ok(off as u64)
+}
+
+/// Abort staged versions: clear `VALID | PENDING` (single word-0 store per
+/// version). The hash entries keep pointing at the dead heads; readers and
+/// later writers walk past them, exactly like verifier-invalidated heads.
+fn abort_staged(shared: &ServerShared, offs: &[u64]) {
+    if offs.is_empty() {
+        return;
+    }
+    let mut lines = 0;
+    for &off in offs {
+        layout::update_flags(&shared.pool, off as usize, 0, flags::VALID | flags::PENDING);
+        lines += shared.pool.flush(off as usize, 8);
+    }
+    shared.pool.drain();
+    sim::work(shared.cost.flush(lines * efactory_pmem::LINE));
+}
+
+/// Persist the commit record for `txn_id`: the transaction's durable
+/// commit point. A normal log allocation, never linked into the hash
+/// table; recovery scans the log for these.
+fn write_commit_record(shared: &ServerShared, txn_id: u64, offs: &[u64]) -> Result<(), Status> {
+    let key = commit_record_key(txn_id);
+    let mut value = Vec::with_capacity(offs.len() * 8);
+    for &off in offs {
+        value.extend_from_slice(&off.to_le_bytes());
+    }
+    let size = layout::object_size(key.len(), value.len());
+    let pool_idx = shared.alloc_pool();
+    let Some(off) = shared.logs[pool_idx].alloc(size) else {
+        return Err(Status::NoSpace);
+    };
+    let hdr = ObjHeader {
+        klen: key.len() as u16,
+        vlen: value.len() as u32,
+        flags: flags::VALID | flags::DURABLE,
+        pre_ptr: NIL,
+        next_ptr: NIL,
+        crc: crc32c(&value),
+        seq: 0,
+        alloc_time: sim::now(),
+    };
+    hdr.write_to(&shared.pool, off);
+    shared.pool.write(off + hdr.key_off(), &key);
+    shared.pool.write(off + hdr.value_off(), &value);
+    let lines = shared.pool.flush(off, size);
+    shared.pool.drain();
+    sim::work(shared.cost.cpu_alloc_ns + shared.cost.flush(lines * efactory_pmem::LINE));
+    Ok(())
+}
+
+/// Publish staged versions: clear every `PENDING` bit, record the commit
+/// timestamp, and advance the watermark — one no-yield block, so the whole
+/// transaction becomes visible atomically. `ts = None` assigns a fresh
+/// fused-commit timestamp; `Some` uses the 2PC coordinator's.
+fn publish(shared: &ServerShared, offs: &[u64], ts: Option<u64>) -> u64 {
+    let mut txn = shared.txn.lock().unwrap();
+    let ts = ts.unwrap_or_else(|| (txn.watermark + 1).max(sim::now()));
+    let mut lines = 0;
+    for &off in offs {
+        layout::update_flags(&shared.pool, off as usize, 0, flags::PENDING);
+        lines += shared.pool.flush(off as usize, 8);
+        txn.commit_ts.insert(off, ts);
+    }
+    txn.watermark = txn.watermark.max(ts);
+    drop(txn);
+    if !offs.is_empty() {
+        shared.pool.drain();
+        sim::work(shared.cost.flush(lines * efactory_pmem::LINE));
+    }
+    ts
+}
+
+/// Record the commit timestamp of a plain (non-transactional) PUT/DEL.
+/// Called by the insert path right after the version is linked, so plain
+/// writes order correctly against snapshots.
+pub(crate) fn note_plain_commit(shared: &ServerShared, off: u64) {
+    let mut txn = shared.txn.lock().unwrap();
+    let ts = (txn.watermark + 1).max(sim::now());
+    txn.watermark = ts;
+    txn.commit_ts.insert(off, ts);
+}
+
+fn txn_ack(status: Status, commit_ts: u64) -> Response {
+    Response::TxnAck { status, commit_ts }
+}
+
+/// Fused single-shard transaction: validate → stage → commit record →
+/// publish, all inside one RPC (the handler is a single process, so no
+/// other RPC observes the intermediate state — only crashes and one-sided
+/// reads can, and both are handled by `PENDING` + the commit record).
+pub(crate) fn handle_txn_commit(
+    shared: &ServerShared,
+    rpc: (QpId, u64),
+    txn_id: u64,
+    reads: &[(Vec<u8>, u32)],
+    puts: &[(Vec<u8>, Vec<u8>)],
+) -> Response {
+    let mut sp = shared.cfg.obs.tracer.span(Subsystem::Server, "rpc_txn");
+    sp.arg("qp", rpc.0);
+    sp.arg("req", rpc.1);
+    sp.arg("txn", txn_id);
+    sp.arg("puts", puts.len() as u64);
+    sim::work(shared.cost.cpu_req_handle_ns);
+    if shared.phase() != CleanPhase::Normal {
+        return txn_ack(Status::Busy, 0);
+    }
+    let v = validate_reads(shared, reads);
+    if v != Status::Ok {
+        shared.stats.txn_conflicts.inc();
+        return txn_ack(v, 0);
+    }
+    let mut offs = Vec::with_capacity(puts.len());
+    for (key, value) in puts {
+        match stage_put(shared, key, value) {
+            Ok(off) => offs.push(off),
+            Err(status) => {
+                abort_staged(shared, &offs);
+                if status == Status::Conflict {
+                    shared.stats.txn_conflicts.inc();
+                }
+                return txn_ack(status, 0);
+            }
+        }
+    }
+    if let Err(status) = write_commit_record(shared, txn_id, &offs) {
+        abort_staged(shared, &offs);
+        return txn_ack(status, 0);
+    }
+    let ts = publish(shared, &offs, None);
+    shared.stats.txn_commits.inc();
+    txn_ack(Status::Ok, ts)
+}
+
+/// 2PC phase 1: validate + stage, register the in-doubt transaction, and
+/// return the shard's commit clock (the coordinator's timestamp must
+/// exceed every participant's clock).
+pub(crate) fn handle_txn_prepare(
+    shared: &ServerShared,
+    rpc: (QpId, u64),
+    txn_id: u64,
+    reads: &[(Vec<u8>, u32)],
+    puts: &[(Vec<u8>, Vec<u8>)],
+) -> Response {
+    let mut sp = shared
+        .cfg
+        .obs
+        .tracer
+        .span(Subsystem::Server, "rpc_txn_prepare");
+    sp.arg("qp", rpc.0);
+    sp.arg("req", rpc.1);
+    sp.arg("txn", txn_id);
+    sim::work(shared.cost.cpu_req_handle_ns);
+    shared.stats.txn_prepares.inc();
+    if shared.phase() != CleanPhase::Normal {
+        return txn_ack(Status::Busy, 0);
+    }
+    if shared
+        .txn
+        .lock()
+        .unwrap()
+        .prepared
+        .contains_key(&(rpc.0, txn_id))
+    {
+        // A txn id is used for one attempt only; a duplicate prepare that
+        // escaped the request-id dedup window is a protocol error.
+        return txn_ack(Status::Conflict, 0);
+    }
+    let v = validate_reads(shared, reads);
+    if v != Status::Ok {
+        shared.stats.txn_conflicts.inc();
+        return txn_ack(v, 0);
+    }
+    let mut offs = Vec::with_capacity(puts.len());
+    for (key, value) in puts {
+        match stage_put(shared, key, value) {
+            Ok(off) => offs.push(off),
+            Err(status) => {
+                abort_staged(shared, &offs);
+                if status == Status::Conflict {
+                    shared.stats.txn_conflicts.inc();
+                }
+                return txn_ack(status, 0);
+            }
+        }
+    }
+    let clock = {
+        let mut txn = shared.txn.lock().unwrap();
+        txn.prepared.insert(
+            (rpc.0, txn_id),
+            Prepared {
+                offs,
+                staged_at: sim::now(),
+            },
+        );
+        txn.watermark.max(sim::now())
+    };
+    txn_ack(Status::Ok, clock)
+}
+
+/// 2PC phase 2: publish at the coordinator's timestamp, or abort. A
+/// commit decision for an unknown transaction means the presumed-abort
+/// sweep already reclaimed it — reported as `Conflict`.
+pub(crate) fn handle_txn_decide(
+    shared: &ServerShared,
+    rpc: (QpId, u64),
+    txn_id: u64,
+    commit: bool,
+    commit_ts: u64,
+) -> Response {
+    let mut sp = shared
+        .cfg
+        .obs
+        .tracer
+        .span(Subsystem::Server, "rpc_txn_decide");
+    sp.arg("qp", rpc.0);
+    sp.arg("req", rpc.1);
+    sp.arg("txn", txn_id);
+    sp.arg("commit", u64::from(commit));
+    sim::work(shared.cost.cpu_req_handle_ns);
+    shared.stats.txn_decides.inc();
+    let p = shared.txn.lock().unwrap().prepared.remove(&(rpc.0, txn_id));
+    match p {
+        None => {
+            if commit {
+                shared.stats.txn_conflicts.inc();
+                txn_ack(Status::Conflict, 0)
+            } else {
+                txn_ack(Status::Ok, 0)
+            }
+        }
+        Some(p) => {
+            if commit {
+                if let Err(status) = write_commit_record(shared, txn_id, &p.offs) {
+                    abort_staged(shared, &p.offs);
+                    shared.stats.txn_aborts.inc();
+                    return txn_ack(status, 0);
+                }
+                publish(shared, &p.offs, Some(commit_ts));
+                shared.stats.txn_commits.inc();
+                txn_ack(Status::Ok, commit_ts)
+            } else {
+                abort_staged(shared, &p.offs);
+                shared.stats.txn_aborts.inc();
+                txn_ack(Status::Ok, 0)
+            }
+        }
+    }
+}
+
+/// Capture this shard's snapshot clock: bump the watermark to `now` and
+/// return it. Every later commit gets a strictly larger timestamp, and
+/// every commit acknowledged before this call is at or below it.
+pub(crate) fn handle_snap_capture(shared: &ServerShared, rpc: (QpId, u64)) -> Response {
+    let mut sp = shared
+        .cfg
+        .obs
+        .tracer
+        .span(Subsystem::Server, "rpc_snap_capture");
+    sp.arg("qp", rpc.0);
+    sp.arg("req", rpc.1);
+    sim::work(shared.cost.cpu_req_handle_ns);
+    shared.stats.snap_captures.inc();
+    if shared.phase() != CleanPhase::Normal {
+        return Response::Snap {
+            status: Status::Busy,
+            watermark: 0,
+        };
+    }
+    let wm = {
+        let mut txn = shared.txn.lock().unwrap();
+        txn.watermark = txn.watermark.max(sim::now());
+        txn.watermark
+    };
+    Response::Snap {
+        status: Status::Ok,
+        watermark: wm,
+    }
+}
+
+/// MVCC snapshot read: serve the newest committed version with
+/// `commit_ts <= snap_ts`, without blocking writers. An in-doubt
+/// (`PENDING`) head returns `Busy` — Percolator-style read-blocks-on-lock,
+/// bounded by the decide RPC or the presumed-abort sweep. A chosen version
+/// that is not yet durable (plain PUT whose one-sided value write is still
+/// landing) is persisted on demand, or `Busy` while the bytes are in
+/// flight.
+pub(crate) fn handle_snap_get(
+    shared: &ServerShared,
+    rpc: (QpId, u64),
+    key: &[u8],
+    snap_ts: u64,
+) -> Response {
+    let mut sp = shared
+        .cfg
+        .obs
+        .tracer
+        .span(Subsystem::Server, "rpc_snap_get");
+    sp.arg("qp", rpc.0);
+    sp.arg("req", rpc.1);
+    sim::work(shared.cost.cpu_req_handle_ns + shared.cost.cpu_hash_ns);
+    shared.stats.snap_gets.inc();
+    let resp = |status: Status, obj_off: u64, klen: u16, vlen: u32| Response::Get {
+        status,
+        obj_off,
+        klen,
+        vlen,
+    };
+    let not_found = resp(Status::NotFound, 0, 0, 0);
+    let busy = resp(Status::Busy, 0, 0, 0);
+    if shared.phase() != CleanPhase::Normal {
+        shared.stats.snap_busy.inc();
+        return busy;
+    }
+    let fp = fingerprint(key);
+    let Some((_idx, entry)) = shared.ht.lookup(&shared.pool, fp) else {
+        return not_found;
+    };
+    let mut off = shared.current_off(&entry);
+    // Deliberate-stale-read mutation for the checker's negative test: skip
+    // the newest eligible version once, serving its predecessor.
+    let mut skip_newest = shared.cfg.snap_serve_stale;
+    // The walk holds the timestamp map's lock but never yields, so the
+    // chosen version is consistent with a single instant of the map.
+    let chosen = {
+        let txn = shared.txn.lock().unwrap();
+        let mut chosen = None;
+        while off != 0 && off != NIL {
+            let hdr = ObjHeader::read_from(&shared.pool, off as usize);
+            if !hdr.has(flags::VALID) {
+                off = hdr.pre_ptr;
+                continue;
+            }
+            if hdr.has(flags::PENDING) {
+                chosen = Some(Err(())); // in-doubt: wait for the decision
+                break;
+            }
+            let ts = txn.commit_ts.get(&off).copied().unwrap_or(0);
+            if ts > snap_ts {
+                off = hdr.pre_ptr;
+                continue;
+            }
+            if skip_newest {
+                skip_newest = false;
+                off = hdr.pre_ptr;
+                continue;
+            }
+            chosen = Some(Ok((off, hdr)));
+            break;
+        }
+        chosen
+    };
+    match chosen {
+        None => not_found,
+        Some(Err(())) => {
+            shared.stats.snap_busy.inc();
+            busy
+        }
+        Some(Ok((off, hdr))) => {
+            if hdr.has(flags::TOMBSTONE) {
+                return not_found;
+            }
+            if hdr.has(flags::DURABLE) {
+                return resp(Status::Ok, off, hdr.klen, hdr.vlen);
+            }
+            sim::work(shared.cost.crc_hw(hdr.vlen as usize));
+            if shared.crc_matches(off as usize, &hdr) {
+                let lines = shared.persist_object(off as usize, &hdr);
+                sim::work(shared.cost.flush(lines * efactory_pmem::LINE));
+                shared.stats.gets_persisted_on_demand.inc();
+                resp(Status::Ok, off, hdr.klen, hdr.vlen)
+            } else {
+                // Value bytes still in flight (or torn — the verifier will
+                // invalidate it within its timeout): retry.
+                shared.stats.snap_busy.inc();
+                busy
+            }
+        }
+    }
+}
+
+/// Scan recovered object offsets for durable commit records; returns the
+/// set of staged-version offsets those records name. Used by recovery to
+/// decide which `PENDING` versions committed.
+pub fn committed_offsets(pool: &PmemPool, objs: &[usize]) -> HashSet<u64> {
+    let mut committed = HashSet::new();
+    for &off in objs {
+        let hdr = ObjHeader::read_from(pool, off);
+        if hdr.klen as usize != commit_record_key(0).len() || !hdr.has(flags::VALID) {
+            continue;
+        }
+        let key = layout::read_key(pool, off, &hdr);
+        if &key[..8] != COMMIT_MAGIC {
+            continue;
+        }
+        let value = layout::read_value(pool, off, &hdr);
+        if crc32c(&value) != hdr.crc || !value.len().is_multiple_of(8) {
+            continue; // torn record: the transaction never committed
+        }
+        for chunk in value.chunks_exact(8) {
+            committed.insert(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+    }
+    committed
+}
+
+// ---------------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------------
+
+/// A captured snapshot: read timestamp plus the per-shard clock vector it
+/// was derived from (kept for diagnostics and the consistency checker).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnSnapshot {
+    /// Snapshot read timestamp: the minimum of `vector`.
+    pub ts: u64,
+    /// The captured per-shard clocks, indexed by shard.
+    pub vector: Vec<u64>,
+}
+
+/// Outcome of a raw per-shard snapshot read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapOutcome {
+    /// The value visible at the snapshot.
+    Value(Vec<u8>),
+    /// No version visible at the snapshot (absent or deleted).
+    NotFound,
+    /// In-doubt head or in-flight value — retry shortly.
+    Busy,
+}
+
+/// Raw per-shard transactional RPCs. Implemented by [`crate::Client`] and
+/// the failover-aware [`crate::ReplClient`]; the generic multi-shard
+/// drivers below are written against this trait so sharded and replicated
+/// clients share one coordinator.
+pub trait TxnShard {
+    /// Fused single-shard commit; returns `(status, commit_ts)`.
+    fn shard_txn_commit(
+        &self,
+        txn_id: u64,
+        reads: &[(Vec<u8>, u32)],
+        puts: &[(Vec<u8>, Vec<u8>)],
+    ) -> Result<(Status, u64), StoreError>;
+    /// 2PC prepare; returns `(status, shard clock)`.
+    fn shard_txn_prepare(
+        &self,
+        txn_id: u64,
+        reads: &[(Vec<u8>, u32)],
+        puts: &[(Vec<u8>, Vec<u8>)],
+    ) -> Result<(Status, u64), StoreError>;
+    /// 2PC decide.
+    fn shard_txn_decide(
+        &self,
+        txn_id: u64,
+        commit: bool,
+        commit_ts: u64,
+    ) -> Result<Status, StoreError>;
+    /// Capture the shard's snapshot clock.
+    fn shard_snap_capture(&self) -> Result<(Status, u64), StoreError>;
+    /// Snapshot read at `snap_ts`.
+    fn shard_snap_get(&self, key: &[u8], snap_ts: u64) -> Result<SnapOutcome, StoreError>;
+    /// Read a key together with the version sequence number the server
+    /// will validate a read-modify-write against (`0` = absent).
+    fn shard_get_with_seq(&self, key: &[u8]) -> Result<(Option<Vec<u8>>, u32), StoreError>;
+}
+
+/// The transactional client surface. Object-safe so the harness can drive
+/// any store through `Box<dyn TxnKv>`.
+pub trait TxnKv {
+    /// Atomically write every `(key, value)` pair (all-or-nothing, exactly
+    /// once). Returns the commit timestamp.
+    fn txn_put_all(&self, puts: &[(Vec<u8>, Vec<u8>)]) -> Result<u64, StoreError>;
+    /// CAS-style read-modify-write of one key: read, apply `f`, commit iff
+    /// the key is unchanged; retried on conflict. Returns the commit
+    /// timestamp.
+    fn txn_rmw(
+        &self,
+        key: &[u8],
+        f: &mut dyn FnMut(Option<Vec<u8>>) -> Vec<u8>,
+    ) -> Result<u64, StoreError>;
+    /// Capture a consistent snapshot across all shards.
+    fn snapshot(&self) -> Result<TxnSnapshot, StoreError>;
+    /// Read `key` as of `snap` — sees a consistent cut: a multi-key
+    /// transaction is either entirely visible or entirely invisible.
+    fn snap_get(&self, key: &[u8], snap: &TxnSnapshot) -> Result<Option<Vec<u8>>, StoreError>;
+}
+
+/// Bounded client-side retry budget for transactional conflicts/busy.
+const TXN_RETRY_LIMIT: usize = 512;
+/// Backoff between transactional retries.
+const TXN_BACKOFF: sim::Nanos = sim::micros(2);
+
+fn bump(next: &Cell<u64>) -> u64 {
+    let id = next.get();
+    next.set(id + 1);
+    id
+}
+
+/// Multi-shard `txn_put_all` driver: last-write-wins key dedup, group by
+/// shard, then either a fused single-shard commit or client-coordinated
+/// 2PC in deterministic shard order.
+pub fn put_all_routed<C: TxnShard>(
+    clients: &[C],
+    next_txn_id: &Cell<u64>,
+    puts: &[(Vec<u8>, Vec<u8>)],
+) -> Result<u64, StoreError> {
+    let shards = clients.len();
+    // Duplicate keys in one write set would self-conflict at staging:
+    // collapse to the last write per key.
+    let mut dedup: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(puts.len());
+    for (k, v) in puts {
+        if let Some(e) = dedup.iter_mut().find(|(dk, _)| dk == k) {
+            e.1 = v.clone();
+        } else {
+            dedup.push((k.clone(), v.clone()));
+        }
+    }
+    let mut groups: Vec<Vec<(Vec<u8>, Vec<u8>)>> = vec![Vec::new(); shards];
+    for (k, v) in dedup {
+        let s = shard_of(&k, shards);
+        groups[s].push((k, v));
+    }
+    let touched: Vec<usize> = (0..shards).filter(|&i| !groups[i].is_empty()).collect();
+    if touched.is_empty() {
+        return Ok(0);
+    }
+
+    for attempt in 0..TXN_RETRY_LIMIT {
+        let txn_id = bump(next_txn_id);
+        if touched.len() == 1 {
+            let i = touched[0];
+            match clients[i].shard_txn_commit(txn_id, &[], &groups[i])? {
+                (Status::Ok, ts) => return Ok(ts),
+                (Status::Busy | Status::Conflict, _) => {
+                    sim::sleep(TXN_BACKOFF << attempt.min(4));
+                    continue;
+                }
+                (status, _) => return Err(StoreError::Status(status)),
+            }
+        }
+        // 2PC: prepare every touched shard in index order, then decide.
+        let mut clocks = Vec::with_capacity(touched.len());
+        let mut prepared: Vec<usize> = Vec::with_capacity(touched.len());
+        let mut retry = false;
+        for &i in &touched {
+            match clients[i].shard_txn_prepare(txn_id, &[], &groups[i])? {
+                (Status::Ok, clock) => {
+                    clocks.push(clock);
+                    prepared.push(i);
+                }
+                (Status::Busy | Status::Conflict, _) => {
+                    retry = true;
+                    break;
+                }
+                (status, _) => {
+                    for &j in &prepared {
+                        clients[j].shard_txn_decide(txn_id, false, 0)?;
+                    }
+                    return Err(StoreError::Status(status));
+                }
+            }
+        }
+        if retry {
+            for &j in &prepared {
+                clients[j].shard_txn_decide(txn_id, false, 0)?;
+            }
+            sim::sleep(TXN_BACKOFF << attempt.min(4));
+            continue;
+        }
+        // Strictly above every participant's clock, so no shard's snapshot
+        // captured before its prepare can cover this commit.
+        let ts = (clocks.iter().copied().max().unwrap() + 1).max(sim::now());
+        for &i in &touched {
+            match clients[i].shard_txn_decide(txn_id, true, ts)? {
+                Status::Ok => {}
+                // Presumed abort fired on a participant after others
+                // committed — unreachable while the abort timeout exceeds
+                // the worst-case decide latency; surfaced, not masked.
+                status => return Err(StoreError::Status(status)),
+            }
+        }
+        return Ok(ts);
+    }
+    Err(StoreError::Status(Status::Busy))
+}
+
+/// Routed read-modify-write: single-key, so always a fused commit on the
+/// owning shard, retried on conflict with a fresh read.
+pub fn rmw_routed<C: TxnShard>(
+    clients: &[C],
+    next_txn_id: &Cell<u64>,
+    key: &[u8],
+    f: &mut dyn FnMut(Option<Vec<u8>>) -> Vec<u8>,
+) -> Result<u64, StoreError> {
+    let c = &clients[shard_of(key, clients.len())];
+    for attempt in 0..TXN_RETRY_LIMIT {
+        let (val, seq) = c.shard_get_with_seq(key)?;
+        let new = f(val);
+        let txn_id = bump(next_txn_id);
+        match c.shard_txn_commit(txn_id, &[(key.to_vec(), seq)], &[(key.to_vec(), new)])? {
+            (Status::Ok, ts) => return Ok(ts),
+            (Status::Conflict | Status::Busy, _) => {
+                sim::sleep(TXN_BACKOFF << attempt.min(4));
+            }
+            (status, _) => return Err(StoreError::Status(status)),
+        }
+    }
+    Err(StoreError::Status(Status::Conflict))
+}
+
+/// Capture every shard's clock; the snapshot reads at the minimum.
+pub fn snapshot_all<C: TxnShard>(clients: &[C]) -> Result<TxnSnapshot, StoreError> {
+    let mut vector = Vec::with_capacity(clients.len());
+    for c in clients {
+        let mut attempt = 0;
+        let wm = loop {
+            match c.shard_snap_capture()? {
+                (Status::Ok, wm) => break wm,
+                (Status::Busy, _) if attempt < TXN_RETRY_LIMIT => {
+                    attempt += 1;
+                    sim::sleep(TXN_BACKOFF);
+                }
+                (status, _) => return Err(StoreError::Status(status)),
+            }
+        };
+        vector.push(wm);
+    }
+    let ts = vector.iter().copied().min().unwrap_or(0);
+    Ok(TxnSnapshot { ts, vector })
+}
+
+/// Routed snapshot read with bounded retry on in-doubt/in-flight versions.
+pub fn snap_get_routed<C: TxnShard>(
+    clients: &[C],
+    key: &[u8],
+    snap: &TxnSnapshot,
+) -> Result<Option<Vec<u8>>, StoreError> {
+    let c = &clients[shard_of(key, clients.len())];
+    for _ in 0..TXN_RETRY_LIMIT {
+        match c.shard_snap_get(key, snap.ts)? {
+            SnapOutcome::Value(v) => return Ok(Some(v)),
+            SnapOutcome::NotFound => return Ok(None),
+            SnapOutcome::Busy => sim::sleep(TXN_BACKOFF),
+        }
+    }
+    Err(StoreError::Status(Status::Busy))
+}

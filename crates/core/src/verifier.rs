@@ -133,6 +133,15 @@ fn step_inner(shared: &ServerShared, defer_fence: bool) -> (StepOutcome, Option<
         }
     };
 
+    if hdr.has(flags::VALID) && hdr.has(flags::PENDING) {
+        // In-doubt transactional version: its resolution (publish vs
+        // abort) is a later word-0 flag change the mirror would miss once
+        // the cursor advances past it. Wait — resolution is bounded by the
+        // decide RPC or the presumed-abort sweep — so the backup only ever
+        // receives resolved bytes.
+        return (StepOutcome::Waiting, None);
+    }
+
     if !hdr.has(flags::VALID) || hdr.has(flags::DURABLE) {
         sim::work(shared.cfg.verify_step_cost);
         advance(shared);

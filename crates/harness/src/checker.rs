@@ -1,0 +1,756 @@
+//! Trace-based linearizability / snapshot-isolation checker.
+//!
+//! The deterministic simulator gives every operation exact virtual-time
+//! invoke/complete instants, and the transaction layer stamps every commit
+//! with an MVCC timestamp. This module folds those observations into a
+//! **history** and checks the consistency contract the transaction PR
+//! claims:
+//!
+//! * **No torn multi-key write** — a snapshot read covering several keys of
+//!   one transaction's write set observes the transaction's effects on all
+//!   of them or on none.
+//! * **No stale or future snapshot read** — under snapshot timestamp `S`, a
+//!   read of key `k` returns exactly the version with the greatest commit
+//!   timestamp `≤ S` (per shard), never one past `S`.
+//! * **Snapshot freshness** — a transaction acknowledged before the
+//!   snapshot capture began is covered by the snapshot (`ts ≤ S`).
+//! * **Plain-GET linearizability per key** — a GET observes a version at
+//!   least as new as every write acknowledged before the GET began, and
+//!   never one whose commit started after the GET ended.
+//! * **No serialization cycle** — the direct serialization graph (Adya's
+//!   DSG) over ww / wr / rw dependency edges plus real-time edges is
+//!   acyclic.
+//!
+//! Values double as version identifiers: the workload must write a unique
+//! value per (transaction, key), which the harness's versioned value
+//! generator guarantees. An observed value that maps to no registered
+//! write is itself a violation (torn/garbage bytes).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use efactory_sim::Nanos;
+
+/// One committed multi-key transaction, as the client observed it.
+#[derive(Debug, Clone)]
+pub struct TxnEvent {
+    /// Client-chosen label (diagnostics only).
+    pub client: usize,
+    /// Virtual time `txn_put_all` was invoked.
+    pub invoke: Nanos,
+    /// Virtual time the commit acknowledgement returned.
+    pub complete: Nanos,
+    /// The MVCC commit timestamp the store assigned.
+    pub commit_ts: u64,
+    /// The write set: `(key, value)`, values unique per (txn, key).
+    pub writes: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+/// One snapshot read: a capture followed by reads under it.
+#[derive(Debug, Clone)]
+pub struct SnapEvent {
+    /// Client-chosen label (diagnostics only).
+    pub client: usize,
+    /// Virtual time the snapshot capture was invoked.
+    pub capture_invoke: Nanos,
+    /// Virtual time the capture returned (the snapshot exists from here).
+    pub capture_complete: Nanos,
+    /// The snapshot timestamp `S` (min over the per-shard vector).
+    pub snap_ts: u64,
+    /// Virtual time the last read under this snapshot returned.
+    pub reads_complete: Nanos,
+    /// What each read returned: `(key, observed value or miss)`.
+    pub reads: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+}
+
+/// One plain (non-snapshot) GET.
+#[derive(Debug, Clone)]
+pub struct GetEvent {
+    /// Client-chosen label (diagnostics only).
+    pub client: usize,
+    /// Virtual time the GET was invoked.
+    pub invoke: Nanos,
+    /// Virtual time the GET returned.
+    pub complete: Nanos,
+    /// The key read.
+    pub key: Vec<u8>,
+    /// The observed value (None = miss).
+    pub value: Option<Vec<u8>>,
+}
+
+/// A complete run history to check.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// Key → value state preloaded before the measured window (an implicit
+    /// initial transaction with commit timestamp 0).
+    pub init: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Every committed transaction.
+    pub txns: Vec<TxnEvent>,
+    /// Every snapshot read.
+    pub snaps: Vec<SnapEvent>,
+    /// Every plain GET.
+    pub gets: Vec<GetEvent>,
+}
+
+/// Who wrote an observed version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Writer {
+    /// The preloaded initial state (commit timestamp 0).
+    Init,
+    /// `History::txns[i]`.
+    Txn(usize),
+}
+
+/// One consistency violation found in the history.
+#[derive(Debug, Clone)]
+pub enum Violation {
+    /// An observed value maps to no registered write of that key.
+    UnattributedValue { key: Vec<u8>, context: String },
+    /// Two writes registered the same (key, value) pair — the workload
+    /// broke the unique-version contract and the history is uncheckable.
+    AmbiguousValue { key: Vec<u8> },
+    /// Two transactions on one key share a commit timestamp.
+    DuplicateTimestamp { key: Vec<u8>, ts: u64 },
+    /// A snapshot read observed a version newer than its snapshot.
+    FutureRead {
+        key: Vec<u8>,
+        snap_ts: u64,
+        observed_ts: u64,
+    },
+    /// A snapshot read missed a version it must cover (`ts ≤ S` and no
+    /// newer covered version exists), or a plain GET missed an
+    /// acknowledged write.
+    StaleRead {
+        key: Vec<u8>,
+        context: String,
+        expected_ts: u64,
+        observed_ts: u64,
+    },
+    /// A snapshot observed some keys of a transaction's write set at (or
+    /// past) the transaction and others before it.
+    TornWrite { txn: usize, snap: usize },
+    /// A transaction acknowledged before a snapshot capture began is not
+    /// covered by the snapshot.
+    SnapshotTooOld {
+        snap: usize,
+        txn: usize,
+        snap_ts: u64,
+        txn_ts: u64,
+    },
+    /// The serialization graph has a cycle (node labels on the path).
+    Cycle { path: Vec<String> },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::UnattributedValue { key, context } => write!(
+                f,
+                "unattributed value for key {} ({context}): torn or garbage bytes",
+                String::from_utf8_lossy(key)
+            ),
+            Violation::AmbiguousValue { key } => write!(
+                f,
+                "two writes share one (key, value) pair on {} — history uncheckable",
+                String::from_utf8_lossy(key)
+            ),
+            Violation::DuplicateTimestamp { key, ts } => write!(
+                f,
+                "two transactions on {} share commit ts {ts}",
+                String::from_utf8_lossy(key)
+            ),
+            Violation::FutureRead {
+                key,
+                snap_ts,
+                observed_ts,
+            } => write!(
+                f,
+                "snapshot S={snap_ts} read key {} from the future (ts {observed_ts})",
+                String::from_utf8_lossy(key)
+            ),
+            Violation::StaleRead {
+                key,
+                context,
+                expected_ts,
+                observed_ts,
+            } => write!(
+                f,
+                "stale read of {} ({context}): expected version ts {expected_ts}, \
+                 observed ts {observed_ts}",
+                String::from_utf8_lossy(key)
+            ),
+            Violation::TornWrite { txn, snap } => write!(
+                f,
+                "snapshot #{snap} observed transaction #{txn} on some keys but not others \
+                 (torn multi-key write)"
+            ),
+            Violation::SnapshotTooOld {
+                snap,
+                txn,
+                snap_ts,
+                txn_ts,
+            } => write!(
+                f,
+                "snapshot #{snap} (S={snap_ts}) captured after txn #{txn} (ts={txn_ts}) \
+                 acknowledged, yet does not cover it"
+            ),
+            Violation::Cycle { path } => {
+                write!(f, "serialization cycle: {}", path.join(" -> "))
+            }
+        }
+    }
+}
+
+/// Per-key write index: version list sorted by commit timestamp.
+struct KeyIndex {
+    /// `(commit_ts, writer)`, ascending by ts. Init sits at ts 0.
+    versions: Vec<(u64, Writer)>,
+}
+
+struct Attribution {
+    /// `(key, value)` → writer.
+    by_value: HashMap<(Vec<u8>, Vec<u8>), Writer>,
+    /// key → ordered versions.
+    by_key: HashMap<Vec<u8>, KeyIndex>,
+}
+
+fn writer_ts(h: &History, w: Writer) -> u64 {
+    match w {
+        Writer::Init => 0,
+        Writer::Txn(i) => h.txns[i].commit_ts,
+    }
+}
+
+fn attribute(h: &History, out: &mut Vec<Violation>) -> Attribution {
+    let mut by_value = HashMap::new();
+    let mut by_key: HashMap<Vec<u8>, KeyIndex> = HashMap::new();
+    let mut note = |key: &[u8], value: &[u8], w: Writer, ts: u64, out: &mut Vec<Violation>| {
+        if by_value.insert((key.to_vec(), value.to_vec()), w).is_some() {
+            out.push(Violation::AmbiguousValue { key: key.to_vec() });
+        }
+        by_key
+            .entry(key.to_vec())
+            .or_insert_with(|| KeyIndex {
+                versions: Vec::new(),
+            })
+            .versions
+            .push((ts, w));
+    };
+    for (k, v) in &h.init {
+        note(k, v, Writer::Init, 0, out);
+    }
+    for (i, t) in h.txns.iter().enumerate() {
+        for (k, v) in &t.writes {
+            note(k, v, Writer::Txn(i), t.commit_ts, out);
+        }
+    }
+    for idx in by_key.values_mut() {
+        idx.versions.sort_by_key(|(ts, _)| *ts);
+    }
+    // A key's versions must carry distinct timestamps (per-shard commit
+    // timestamps strictly increase, and a key lives on exactly one shard).
+    for (k, idx) in &by_key {
+        for w in idx.versions.windows(2) {
+            if w[0].0 == w[1].0 {
+                out.push(Violation::DuplicateTimestamp {
+                    key: k.clone(),
+                    ts: w[0].0,
+                });
+            }
+        }
+    }
+    Attribution { by_value, by_key }
+}
+
+/// The newest version of `key` with `ts ≤ bound`, if any.
+fn version_at(attr: &Attribution, key: &[u8], bound: u64) -> Option<(u64, Writer)> {
+    let idx = attr.by_key.get(key)?;
+    idx.versions
+        .iter()
+        .take_while(|(ts, _)| *ts <= bound)
+        .last()
+        .copied()
+}
+
+fn check_snapshots(h: &History, attr: &Attribution, out: &mut Vec<Violation>) {
+    for (si, s) in h.snaps.iter().enumerate() {
+        // What each read resolves to, per observed writer, for the torn-
+        // write scan below: Writer -> did this snapshot observe it applied?
+        let mut saw: HashMap<Writer, bool> = HashMap::new();
+        for (key, val) in &s.reads {
+            let expected = version_at(attr, key, s.snap_ts);
+            match val {
+                None => {
+                    // A miss is legal only if no version is covered by S.
+                    if let Some((ts, _)) = expected {
+                        out.push(Violation::StaleRead {
+                            key: key.clone(),
+                            context: format!("snapshot #{si} S={}", s.snap_ts),
+                            expected_ts: ts,
+                            observed_ts: 0,
+                        });
+                    }
+                }
+                Some(v) => match attr.by_value.get(&(key.clone(), v.clone())) {
+                    None => out.push(Violation::UnattributedValue {
+                        key: key.clone(),
+                        context: format!("snapshot #{si}"),
+                    }),
+                    Some(&w) => {
+                        let ts = writer_ts(h, w);
+                        if ts > s.snap_ts {
+                            out.push(Violation::FutureRead {
+                                key: key.clone(),
+                                snap_ts: s.snap_ts,
+                                observed_ts: ts,
+                            });
+                        } else if let Some((ets, ew)) = expected {
+                            if ets != ts {
+                                out.push(Violation::StaleRead {
+                                    key: key.clone(),
+                                    context: format!("snapshot #{si} S={}", s.snap_ts),
+                                    expected_ts: ets,
+                                    observed_ts: ts,
+                                });
+                            }
+                            debug_assert!(ets != ts || ew == w);
+                        }
+                        // Record applied/not-applied per writer whose write
+                        // set covers this key (for the torn-write scan).
+                        if let Some(idx) = attr.by_key.get(key) {
+                            for &(wts, wtr) in &idx.versions {
+                                if let Writer::Txn(_) = wtr {
+                                    let applied = ts >= wts;
+                                    if let Some(prev) = saw.insert(wtr, applied) {
+                                        if prev != applied {
+                                            // Mixed observation of one
+                                            // writer across keys: torn.
+                                            if let Writer::Txn(t) = wtr {
+                                                out.push(Violation::TornWrite { txn: t, snap: si });
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                },
+            }
+        }
+        // Freshness: every transaction acknowledged before the capture
+        // began must be covered by the snapshot.
+        for (ti, t) in h.txns.iter().enumerate() {
+            if t.complete < s.capture_invoke && t.commit_ts > s.snap_ts {
+                out.push(Violation::SnapshotTooOld {
+                    snap: si,
+                    txn: ti,
+                    snap_ts: s.snap_ts,
+                    txn_ts: t.commit_ts,
+                });
+            }
+        }
+    }
+}
+
+fn check_plain_gets(h: &History, attr: &Attribution, out: &mut Vec<Violation>) {
+    for (gi, g) in h.gets.iter().enumerate() {
+        // The newest version acknowledged before the GET began: the floor
+        // any linearizable read must reach.
+        let floor = h
+            .txns
+            .iter()
+            .filter(|t| t.complete < g.invoke && t.writes.iter().any(|(k, _)| k == &g.key))
+            .map(|t| t.commit_ts)
+            .max()
+            .unwrap_or_else(|| {
+                if h.init.iter().any(|(k, _)| k == &g.key) {
+                    0
+                } else {
+                    u64::MAX // never written before the GET: a miss is fine
+                }
+            });
+        match &g.value {
+            None => {
+                if floor != u64::MAX {
+                    out.push(Violation::StaleRead {
+                        key: g.key.clone(),
+                        context: format!("plain GET #{gi} missed an acknowledged write"),
+                        expected_ts: floor,
+                        observed_ts: 0,
+                    });
+                }
+            }
+            Some(v) => match attr.by_value.get(&(g.key.clone(), v.clone())) {
+                None => out.push(Violation::UnattributedValue {
+                    key: g.key.clone(),
+                    context: format!("plain GET #{gi}"),
+                }),
+                Some(&w) => {
+                    let ts = writer_ts(h, w);
+                    if floor != u64::MAX && ts < floor {
+                        out.push(Violation::StaleRead {
+                            key: g.key.clone(),
+                            context: format!("plain GET #{gi}"),
+                            expected_ts: floor,
+                            observed_ts: ts,
+                        });
+                    }
+                    // The writer must have started before the GET ended.
+                    if let Writer::Txn(t) = w {
+                        if h.txns[t].invoke > g.complete {
+                            out.push(Violation::FutureRead {
+                                key: g.key.clone(),
+                                snap_ts: 0,
+                                observed_ts: ts,
+                            });
+                        }
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// Node ids in the serialization graph: transactions, then snapshots, then
+/// plain GETs (reads are their own nodes so rw antidependencies exist).
+fn check_cycles(h: &History, attr: &Attribution, out: &mut Vec<Violation>) {
+    let nt = h.txns.len();
+    let ns = h.snaps.len();
+    let n = nt + ns + h.gets.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let label = |i: usize| -> String {
+        if i < nt {
+            format!("txn#{i}(ts={})", h.txns[i].commit_ts)
+        } else if i < nt + ns {
+            format!("snap#{}(S={})", i - nt, h.snaps[i - nt].snap_ts)
+        } else {
+            format!("get#{}", i - nt - ns)
+        }
+    };
+    // ww edges: consecutive versions of each key, in ts order.
+    for idx in attr.by_key.values() {
+        for w in idx.versions.windows(2) {
+            if let (Writer::Txn(a), Writer::Txn(b)) = (w[0].1, w[1].1) {
+                adj[a].push(b);
+            }
+        }
+    }
+    // wr / rw edges from reads. A read node R observing version (ts, W) of
+    // key k gets W -> R, and R -> W' where W' is k's next version past ts.
+    let read_edges = |node: usize, key: &[u8], val: &Option<Vec<u8>>, adj: &mut Vec<Vec<usize>>| {
+        let observed = match val {
+            Some(v) => match attr.by_value.get(&(key.to_vec(), v.clone())) {
+                Some(&w) => Some(writer_ts(h, w)).map(|ts| (ts, w)),
+                None => None, // already reported as UnattributedValue
+            },
+            None => Some((0, Writer::Init)), // miss ~ before every version
+        };
+        let Some((ts, w)) = observed else { return };
+        if let Writer::Txn(t) = w {
+            adj[t].push(node);
+        }
+        if let Some(idx) = attr.by_key.get(key) {
+            if let Some(&(_, Writer::Txn(next))) = idx.versions.iter().find(|(vts, _)| *vts > ts) {
+                adj[node].push(next);
+            }
+        }
+    };
+    for (si, s) in h.snaps.iter().enumerate() {
+        for (k, v) in &s.reads {
+            read_edges(nt + si, k, v, &mut adj);
+        }
+    }
+    for (gi, g) in h.gets.iter().enumerate() {
+        read_edges(nt + ns + gi, &g.key, &g.value, &mut adj);
+    }
+    // Real-time edges: A completed before B began. All pairs, via a sweep
+    // over (time, event) points to keep it near-linear: for each node, an
+    // edge from the latest-completing node that still precedes its invoke
+    // would not give full reachability, so fall back to all pairs — test
+    // histories are small enough (n ≤ a few thousand).
+    let invoke = |i: usize| -> Nanos {
+        if i < nt {
+            h.txns[i].invoke
+        } else if i < nt + ns {
+            h.snaps[i - nt].capture_invoke
+        } else {
+            h.gets[i - nt - ns].invoke
+        }
+    };
+    let complete = |i: usize| -> Nanos {
+        if i < nt {
+            h.txns[i].complete
+        } else if i < nt + ns {
+            h.snaps[i - nt].reads_complete
+        } else {
+            h.gets[i - nt - ns].complete
+        }
+    };
+    for (a, out) in adj.iter_mut().enumerate() {
+        for b in 0..n {
+            if a != b && complete(a) < invoke(b) {
+                out.push(b);
+            }
+        }
+    }
+    // Iterative DFS cycle search (white/grey/black).
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Grey,
+        Black,
+    }
+    let mut color = vec![Color::White; n];
+    let mut parent: Vec<usize> = vec![usize::MAX; n];
+    for start in 0..n {
+        if color[start] != Color::White {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        color[start] = Color::Grey;
+        while let Some(&mut (v, ref mut ei)) = stack.last_mut() {
+            if *ei < adj[v].len() {
+                let u = adj[v][*ei];
+                *ei += 1;
+                match color[u] {
+                    Color::White => {
+                        color[u] = Color::Grey;
+                        parent[u] = v;
+                        stack.push((u, 0));
+                    }
+                    Color::Grey => {
+                        // Cycle: walk parents from v back to u.
+                        let mut path = vec![label(u)];
+                        let mut cur = v;
+                        while cur != u && cur != usize::MAX {
+                            path.push(label(cur));
+                            cur = parent[cur];
+                        }
+                        path.push(label(u));
+                        path.reverse();
+                        out.push(Violation::Cycle { path });
+                        return; // one cycle is diagnostic enough
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[v] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+}
+
+/// Check a history. Returns every violation found (empty = consistent).
+pub fn check(h: &History) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let attr = attribute(h, &mut out);
+    check_snapshots(h, &attr, &mut out);
+    check_plain_gets(h, &attr, &mut out);
+    if out.is_empty() {
+        // The cycle search assumes attributable reads and sane version
+        // orders; only run it on an otherwise-clean history.
+        check_cycles(h, &attr, &mut out);
+    }
+    out
+}
+
+/// Panic with a readable report if the history has violations.
+pub fn assert_consistent(h: &History) {
+    let v = check(h);
+    assert!(
+        v.is_empty(),
+        "history has {} violation(s):\n  {}",
+        v.len(),
+        v.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join("\n  ")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(ts: u64, invoke: Nanos, complete: Nanos, writes: &[(&[u8], &[u8])]) -> TxnEvent {
+        TxnEvent {
+            client: 0,
+            invoke,
+            complete,
+            commit_ts: ts,
+            writes: writes
+                .iter()
+                .map(|(k, v)| (k.to_vec(), v.to_vec()))
+                .collect(),
+        }
+    }
+
+    fn snap(
+        s: u64,
+        capture_invoke: Nanos,
+        capture_complete: Nanos,
+        reads: &[(&[u8], Option<&[u8]>)],
+    ) -> SnapEvent {
+        SnapEvent {
+            client: 0,
+            capture_invoke,
+            capture_complete,
+            snap_ts: s,
+            reads_complete: capture_complete + 10,
+            reads: reads
+                .iter()
+                .map(|(k, v)| (k.to_vec(), v.map(|x| x.to_vec())))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn clean_history_passes() {
+        let h = History {
+            init: vec![
+                (b"a".to_vec(), b"a0".to_vec()),
+                (b"b".to_vec(), b"b0".to_vec()),
+            ],
+            txns: vec![
+                txn(10, 100, 200, &[(b"a", b"a1"), (b"b", b"b1")]),
+                txn(20, 300, 400, &[(b"a", b"a2"), (b"b", b"b2")]),
+            ],
+            snaps: vec![
+                snap(15, 250, 260, &[(b"a", Some(b"a1")), (b"b", Some(b"b1"))]),
+                snap(25, 500, 510, &[(b"a", Some(b"a2")), (b"b", Some(b"b2"))]),
+            ],
+            gets: vec![GetEvent {
+                client: 0,
+                invoke: 450,
+                complete: 460,
+                key: b"a".to_vec(),
+                value: Some(b"a2".to_vec()),
+            }],
+        };
+        assert_consistent(&h);
+    }
+
+    #[test]
+    fn torn_write_is_caught() {
+        let h = History {
+            init: vec![
+                (b"a".to_vec(), b"a0".to_vec()),
+                (b"b".to_vec(), b"b0".to_vec()),
+            ],
+            txns: vec![txn(10, 100, 200, &[(b"a", b"a1"), (b"b", b"b1")])],
+            // S=15 covers the txn, yet key b still reads the init version.
+            snaps: vec![snap(
+                15,
+                250,
+                260,
+                &[(b"a", Some(b"a1")), (b"b", Some(b"b0"))],
+            )],
+            gets: vec![],
+        };
+        let v = check(&h);
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::StaleRead { .. } | Violation::TornWrite { .. })),
+            "torn write not caught: {v:?}"
+        );
+    }
+
+    #[test]
+    fn future_read_is_caught() {
+        let h = History {
+            init: vec![(b"a".to_vec(), b"a0".to_vec())],
+            txns: vec![txn(20, 300, 400, &[(b"a", b"a1")])],
+            // S=10 predates the txn, yet the read observes it.
+            snaps: vec![snap(10, 50, 60, &[(b"a", Some(b"a1"))])],
+            gets: vec![],
+        };
+        let v = check(&h);
+        assert!(
+            v.iter().any(|x| matches!(x, Violation::FutureRead { .. })),
+            "future read not caught: {v:?}"
+        );
+    }
+
+    #[test]
+    fn stale_snapshot_capture_is_caught() {
+        let h = History {
+            init: vec![(b"a".to_vec(), b"a0".to_vec())],
+            // Txn acked at t=200; capture begins at t=500 but S predates
+            // the txn and the read shows the old version.
+            txns: vec![txn(20, 100, 200, &[(b"a", b"a1")])],
+            snaps: vec![snap(10, 500, 510, &[(b"a", Some(b"a0"))])],
+            gets: vec![],
+        };
+        let v = check(&h);
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::SnapshotTooOld { .. })),
+            "stale capture not caught: {v:?}"
+        );
+    }
+
+    #[test]
+    fn stale_plain_get_is_caught() {
+        let h = History {
+            init: vec![(b"a".to_vec(), b"a0".to_vec())],
+            txns: vec![txn(20, 100, 200, &[(b"a", b"a1")])],
+            snaps: vec![],
+            gets: vec![GetEvent {
+                client: 0,
+                invoke: 400,
+                complete: 410,
+                key: b"a".to_vec(),
+                value: Some(b"a0".to_vec()),
+            }],
+        };
+        let v = check(&h);
+        assert!(
+            v.iter().any(|x| matches!(x, Violation::StaleRead { .. })),
+            "stale GET not caught: {v:?}"
+        );
+    }
+
+    #[test]
+    fn garbage_value_is_caught() {
+        let h = History {
+            init: vec![(b"a".to_vec(), b"a0".to_vec())],
+            txns: vec![],
+            snaps: vec![],
+            gets: vec![GetEvent {
+                client: 0,
+                invoke: 10,
+                complete: 20,
+                key: b"a".to_vec(),
+                value: Some(b"corrupted".to_vec()),
+            }],
+        };
+        let v = check(&h);
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::UnattributedValue { .. })),
+            "garbage value not caught: {v:?}"
+        );
+    }
+
+    #[test]
+    fn real_time_ts_inversion_is_a_cycle() {
+        // txn#0 completes before txn#1 begins, but the store handed txn#1
+        // the *smaller* timestamp on the same key: ww edge 1->0 plus rt
+        // edge 0->1 forms a cycle.
+        let h = History {
+            init: vec![],
+            txns: vec![
+                txn(20, 100, 200, &[(b"a", b"a-first")]),
+                txn(10, 300, 400, &[(b"a", b"a-second")]),
+            ],
+            snaps: vec![],
+            gets: vec![],
+        };
+        let v = check(&h);
+        assert!(
+            v.iter().any(|x| matches!(x, Violation::Cycle { .. })),
+            "ts/real-time inversion not caught: {v:?}"
+        );
+    }
+}

@@ -9,6 +9,7 @@ use efactory::client::{Client, ClientConfig, RemoteKv};
 use efactory::log::StoreLayout;
 use efactory::pipeline::{OpCompletion, OpKind, PipelineConfig, PipelinedClient};
 use efactory::server::{Server, ServerConfig};
+use efactory::TxnKv;
 use efactory_baselines::{
     CaNoperClient, CaNoperServer, ErdaClient, ErdaServer, ForcaClient, ForcaServer, ImmClient,
     ImmServer, RpcClient, RpcServer, SawClient, SawServer,
@@ -144,7 +145,23 @@ pub struct ExperimentSpec {
     /// Enable the client-side location cache (key → object offset), so
     /// repeat GETs skip the bucket-probe RDMA read (eFactory only).
     pub loc_cache: bool,
+    /// Background snapshot-reader processes running for the whole
+    /// measurement window: each captures an MVCC snapshot, reads a handful
+    /// of keys under it, and repeats until the workload clients finish.
+    /// Used to measure snapshot/writer interference (eFactory only;
+    /// requires `Cleaning::Disabled`).
+    pub snap_readers: usize,
 }
+
+/// Keys per multi-key transaction (and per snapshot read) in the
+/// transactional mixes — the YCSB-T write-set width.
+pub const TXN_KEYS: usize = 4;
+
+/// A workload client that serves both the plain KV surface and the
+/// transactional/snapshot surface. Implemented by every eFactory client
+/// flavor (single, sharded, replicated); baselines have no equivalent.
+pub trait TxnRemote: RemoteKv + TxnKv {}
+impl<T: RemoteKv + TxnKv> TxnRemote for T {}
 
 impl ExperimentSpec {
     /// A paper-flavored spec: 32-byte keys, 4 K records, 8 clients.
@@ -168,6 +185,7 @@ impl ExperimentSpec {
             scrub: false,
             window: 1,
             loc_cache: false,
+            snap_readers: 0,
         }
     }
 }
@@ -380,11 +398,29 @@ fn build_server(
     obs: &Obs,
     cfg_tweak: Option<&(dyn Fn(&mut ServerConfig) + Send + Sync)>,
 ) -> AnyServer {
-    // Size the store to hold preload + every measured PUT with slack.
-    let total_puts = ((spec.clients * spec.ops_per_client) as f64
-        * (1.0 - spec.mix.read_fraction()))
-    .ceil() as usize
+    // Size the store to hold preload + every measured PUT with slack. A
+    // transactional write op stages `TXN_KEYS` objects plus one (smaller)
+    // commit record, so count it as `TXN_KEYS + 1` puts.
+    let write_frac = (1.0 - spec.mix.read_fraction() - spec.mix.snap_fraction()).max(0.0);
+    let puts_per_write = if spec.mix.transactional() {
+        (TXN_KEYS + 1) as f64
+    } else {
+        1.0
+    };
+    let total_puts = ((spec.clients * spec.ops_per_client) as f64 * write_frac * puts_per_write)
+        .ceil() as usize
         + 16;
+    if spec.mix.transactional() || spec.snap_readers > 0 {
+        assert!(
+            matches!(spec.system, SystemKind::EFactory | SystemKind::EFactoryNoHr),
+            "transactional/snapshot workloads require eFactory"
+        );
+        assert!(
+            matches!(spec.cleaning, Cleaning::Disabled),
+            "transactional/snapshot workloads require Cleaning::Disabled \
+             (commit timestamps are keyed by stable log offsets)"
+        );
+    }
     let sized = StoreLayout::for_workload(
         spec.record_count as usize,
         total_puts,
@@ -562,6 +598,42 @@ fn make_client(
         .unwrap_or_else(|e| panic!("{}: client connect failed: {e}", kind.label()))
 }
 
+/// Connect a transactional workload client (plain KV **and** `TxnKv`
+/// surfaces). Only the eFactory flavors qualify; baselines panic.
+fn make_txn_client(
+    kind: SystemKind,
+    fabric: &Arc<Fabric>,
+    local: &Node,
+    server_node: &Node,
+    any_desc: &AnyDesc,
+    obs: &Obs,
+    loc_cache: bool,
+) -> Box<dyn TxnRemote> {
+    let cfg = ClientConfig {
+        hybrid_read: match kind {
+            SystemKind::EFactory => true,
+            SystemKind::EFactoryNoHr => false,
+            other => panic!("{other:?} has no transactional client"),
+        },
+        loc_cache,
+        obs: obs.clone(),
+        ..ClientConfig::default()
+    };
+    let connected: Result<Box<dyn TxnRemote>, efactory::StoreError> = match any_desc {
+        AnyDesc::Single(desc) => Client::connect(fabric, local, server_node, *desc, cfg)
+            .map(|c| Box::new(c) as Box<dyn TxnRemote>),
+        AnyDesc::Sharded(sharded) => {
+            efactory::shard::ShardedClient::connect(fabric, local, sharded, cfg)
+                .map(|c| Box::new(c) as Box<dyn TxnRemote>)
+        }
+        AnyDesc::Replicated(descs) => {
+            efactory::repl::ReplShardedClient::connect(fabric, local, descs, cfg)
+                .map(|c| Box::new(c) as Box<dyn TxnRemote>)
+        }
+    };
+    connected.unwrap_or_else(|e| panic!("{}: txn client connect failed: {e}", kind.label()))
+}
+
 /// Drive one client's workload through a [`PipelinedClient`]
 /// (`spec.window > 1`). Op latencies run submit → completion. Must run
 /// inside the client's simulated process.
@@ -615,6 +687,13 @@ fn run_pipelined(
                 OpKind::Get => get.push(comp.latency()),
                 OpKind::Put => put.push(comp.latency()),
                 OpKind::Del => {}
+                // One latency sample per written key, so transactional
+                // throughput counts key-writes like the serial driver.
+                OpKind::Txn => {
+                    for _ in 0..comp.txn_keys.len().max(1) {
+                        put.push(comp.latency());
+                    }
+                }
             }
         }
     };
@@ -622,10 +701,73 @@ fn run_pipelined(
         let comps = match stream.next_op() {
             Op::Get { key } => pc.submit_get(&key),
             Op::Put { key, value } => pc.submit_put(&key, &value),
+            Op::Txn { puts } => pc.submit_txn(&puts),
+            Op::SnapRead { .. } => {
+                panic!("pipelined driver has no snapshot-read lane; use spec.snap_readers")
+            }
         };
         record(comps, get, put);
     }
     record(pc.finish(), get, put);
+}
+
+/// Drive one client's transactional workload through the serial `TxnKv`
+/// client. Latencies: one sample per written key for a transaction (so
+/// throughput counts key-writes), one sample per read key for a snapshot
+/// read. Must run inside the client's simulated process.
+fn run_serial_txn(
+    kv: &dyn TxnRemote,
+    ops_per_client: usize,
+    stream: &mut OpStream,
+    get: &mut Vec<Nanos>,
+    put: &mut Vec<Nanos>,
+) {
+    use efactory::protocol::{Status, StoreError};
+    for _ in 0..ops_per_client {
+        match stream.next_op() {
+            Op::Get { key } => {
+                let t0 = sim::now();
+                kv.kv_get(&key).expect("get failed");
+                get.push(sim::now() - t0);
+            }
+            Op::Put { key, value } => {
+                let t0 = sim::now();
+                let mut tries = 0;
+                loop {
+                    match kv.kv_put(&key, &value) {
+                        Ok(()) => break,
+                        Err(StoreError::Status(Status::NoSpace | Status::Busy)) if tries < 200 => {
+                            tries += 1;
+                            sim::sleep(sim::micros(50));
+                        }
+                        Err(e) => panic!("put failed: {e:?}"),
+                    }
+                }
+                put.push(sim::now() - t0);
+            }
+            Op::Txn { puts } => {
+                let t0 = sim::now();
+                // The routed txn driver already retries Busy/Conflict with
+                // backoff; anything surviving that is a real failure.
+                kv.txn_put_all(&puts).expect("txn commit failed");
+                let dt = sim::now() - t0;
+                for _ in 0..puts.len() {
+                    put.push(dt);
+                }
+            }
+            Op::SnapRead { keys } => {
+                let t0 = sim::now();
+                let snap = kv.snapshot().expect("snapshot capture failed");
+                for k in &keys {
+                    kv.snap_get(k, &snap).expect("snap get failed");
+                }
+                let dt = sim::now() - t0;
+                for _ in 0..keys.len() {
+                    get.push(dt);
+                }
+            }
+        }
+    }
 }
 
 /// Execute one experiment. Deterministic in `spec.seed`.
@@ -723,6 +865,7 @@ fn run_inner(
             record_count: spec2.record_count,
             key_len: spec2.key_len,
             value_len: spec2.value_len,
+            txn_keys: TXN_KEYS,
         };
         for id in 0..spec2.record_count {
             loader
@@ -793,6 +936,54 @@ fn run_inner(
                 );
             }
         }
+        // Background snapshot readers: continuous capture + multi-key
+        // snapshot reads for the whole measurement window, stopped once
+        // the workload clients finish. Their point is interference
+        // measurement — they must not block (or be blocked by) writers.
+        let snap_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut snap_handles = Vec::new();
+        for rid in 0..spec2.snap_readers {
+            let f3 = Arc::clone(&f2);
+            let sn = server_node.clone();
+            let spec3 = spec2.clone();
+            let wl = wl.clone();
+            let obs3 = obs2.clone();
+            let desc3 = desc.clone();
+            let stop = Arc::clone(&snap_stop);
+            snap_handles.push(sim::spawn(&format!("snap-reader-{rid}"), move || {
+                let node = f3.add_node(&format!("snapnode-{rid}"));
+                let kv = make_txn_client(
+                    spec3.system,
+                    &f3,
+                    &node,
+                    &sn,
+                    &desc3,
+                    &obs3,
+                    spec3.loc_cache,
+                );
+                // Deterministic key picks: a per-reader xorshift stream.
+                let mut z = spec3.seed ^ ((rid as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut next_id = || {
+                    z ^= z << 13;
+                    z ^= z >> 7;
+                    z ^= z << 17;
+                    z % spec3.record_count
+                };
+                // Scan cadence: readers model periodic analytics scans
+                // (capture + 4 reads, then a 60 µs pause — ~12k scans/s
+                // per reader), not closed-loop stress. Every scan RPC
+                // still shares the server CPU with writer allocations, so
+                // the interference measurement stays honest; the cadence
+                // only bounds how much scan load the probe applies.
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = kv.snapshot().expect("snap capture");
+                    for _ in 0..TXN_KEYS {
+                        kv.snap_get(&wl.key(next_id()), &snap).expect("snap get");
+                    }
+                    sim::sleep(sim::micros(60));
+                }
+            }));
+        }
         let mut handles = Vec::new();
         for cid in 0..spec2.clients {
             let f3 = Arc::clone(&f2);
@@ -807,7 +998,18 @@ fn run_inner(
                 let mut stream = OpStream::new(wl, spec3.seed, cid as u64);
                 let mut get = Vec::with_capacity(spec3.ops_per_client);
                 let mut put = Vec::with_capacity(spec3.ops_per_client);
-                if spec3.window > 1 {
+                if spec3.mix.transactional() && spec3.window <= 1 {
+                    let kv = make_txn_client(
+                        spec3.system,
+                        &f3,
+                        &node,
+                        &sn,
+                        &desc3,
+                        &obs3,
+                        spec3.loc_cache,
+                    );
+                    run_serial_txn(&*kv, spec3.ops_per_client, &mut stream, &mut get, &mut put);
+                } else if spec3.window > 1 {
                     // Pipelined closed loop: up to `window` operations in
                     // flight; the latency of an op runs submit → completion
                     // (including any wait behind the window or a per-key
@@ -837,6 +1039,9 @@ fn run_inner(
                     );
                     for _ in 0..spec3.ops_per_client {
                         match stream.next_op() {
+                            Op::Txn { .. } | Op::SnapRead { .. } => {
+                                unreachable!("transactional ops route through run_serial_txn")
+                            }
                             Op::Get { key } => {
                                 let t0 = sim::now();
                                 kv.kv_get(&key).expect("get failed");
@@ -874,6 +1079,10 @@ fn run_inner(
             }));
         }
         for h in &handles {
+            h.join();
+        }
+        snap_stop.store(true, Ordering::Relaxed);
+        for h in &snap_handles {
             h.join();
         }
         window2.lock().unwrap().1 = collected2.lock().unwrap().end;

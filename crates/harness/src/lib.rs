@@ -14,6 +14,7 @@
 //! * [`report`] — versioned JSON run reports (`--json <path>` on every
 //!   bench binary).
 
+pub mod checker;
 pub mod cluster;
 pub mod report;
 pub mod stats;
@@ -51,6 +52,7 @@ mod tests {
             scrub: false,
             window: 1,
             loc_cache: false,
+            snap_readers: 0,
         }
     }
 
@@ -100,6 +102,67 @@ mod tests {
         }
     }
 
+    fn counter(r: &RunResult, name: &str) -> u64 {
+        r.counters
+            .iter()
+            .filter(|(n, _)| n == name || n.ends_with(&format!(".{name}")))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    #[test]
+    fn txn_only_mix_commits_every_transaction() {
+        let r = run(&tiny(SystemKind::EFactory, Mix::TxnOnly));
+        // 2 clients × 60 txns × 4 keys each: one latency sample per key.
+        assert_eq!(r.put.count, 480);
+        assert_eq!(r.get.count, 0);
+        assert_eq!(counter(&r, "client.txn.commits"), 120);
+        assert_eq!(counter(&r, "server.txn.commits"), 120);
+        assert_eq!(counter(&r, "server.txn.aborts"), 0);
+    }
+
+    #[test]
+    fn ycsb_t_mix_runs_all_three_op_classes() {
+        let r = run(&tiny(SystemKind::EFactory, Mix::T));
+        assert!(counter(&r, "client.txn.commits") > 0);
+        assert!(counter(&r, "client.txn.snap_captures") > 0);
+        assert!(counter(&r, "client.txn.snap_gets") > 0);
+        assert!(r.get.count > 0 && r.put.count > 0);
+    }
+
+    #[test]
+    fn txn_runs_are_deterministic() {
+        let a = run(&tiny(SystemKind::EFactory, Mix::T));
+        let b = run(&tiny(SystemKind::EFactory, Mix::T));
+        assert_eq!(a.elapsed_ns, b.elapsed_ns);
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn txn_mix_composes_with_shards_and_windows() {
+        let mut sharded = tiny(SystemKind::EFactory, Mix::TxnOnly);
+        sharded.shards = 4;
+        let r = run(&sharded);
+        assert_eq!(r.put.count, 480);
+        assert_eq!(counter(&r, "client.txn.commits"), 120);
+
+        let mut windowed = tiny(SystemKind::EFactory, Mix::TxnOnly);
+        windowed.window = 8;
+        let r = run(&windowed);
+        assert_eq!(r.put.count, 480);
+        assert_eq!(counter(&r, "client.txn.commits"), 120);
+    }
+
+    #[test]
+    fn snapshot_readers_ride_along_with_writers() {
+        let mut s = tiny(SystemKind::EFactory, Mix::UpdateOnly);
+        s.snap_readers = 2;
+        let r = run(&s);
+        assert_eq!(r.put.count, 120, "writer workload must be unaffected");
+        assert!(counter(&r, "client.txn.snap_captures") > 0);
+        assert!(counter(&r, "client.txn.snap_gets") > 0);
+    }
+
     #[test]
     fn cleaning_mode_triggers_cleanings() {
         let spec = ExperimentSpec {
@@ -125,6 +188,7 @@ mod tests {
             scrub: false,
             window: 1,
             loc_cache: false,
+            snap_readers: 0,
         };
         let r = run(&spec);
         assert!(r.cleanings >= 1, "expected cleaning, got {r:?}");

@@ -221,6 +221,7 @@ mod tests {
             scrub: false,
             window: 1,
             loc_cache: false,
+            snap_readers: 0,
         }
     }
 

@@ -791,3 +791,200 @@ fn full_chaos_replicated_cluster_converges() {
         "replicated cluster diverged under full chaos"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Transactional chaos lane: exactly-once multi-key commits under faults.
+// ---------------------------------------------------------------------------
+
+const TXN_CLIENTS: usize = 3;
+const TXN_OPS: usize = 25;
+const TXN_KEYSPACE: usize = 8;
+const TXN_WIDTH: usize = 3;
+
+/// Per-client transaction scripts: each entry is one commit's write set
+/// (distinct key indices into the client's own disjoint key range), so the
+/// script alone dictates the final per-key state.
+fn txn_scripts(seed: u64) -> Vec<Vec<Vec<usize>>> {
+    (0..TXN_CLIENTS)
+        .map(|cid| {
+            let mut rng = StdRng::seed_from_u64(seed ^ ((cid as u64 + 7) << 40));
+            (0..TXN_OPS)
+                .map(|_| {
+                    let mut set = Vec::with_capacity(TXN_WIDTH);
+                    while set.len() < TXN_WIDTH {
+                        let k = rng.gen_range(0..TXN_KEYSPACE);
+                        if !set.contains(&k) {
+                            set.push(k);
+                        }
+                    }
+                    set
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn txn_value(cid: usize, t: usize, slot: usize) -> Vec<u8> {
+    let mut v = format!("tv{cid}-{t:03}-{slot}-").into_bytes();
+    while v.len() < 40 {
+        v.push(b'x');
+    }
+    v
+}
+
+/// The key→value state the transaction scripts dictate.
+fn txn_expected(scripts: &[Vec<Vec<usize>>]) -> BTreeMap<Vec<u8>, Vec<u8>> {
+    let mut map = BTreeMap::new();
+    for (cid, script) in scripts.iter().enumerate() {
+        for (t, set) in script.iter().enumerate() {
+            for (slot, k) in set.iter().enumerate() {
+                map.insert(key(cid, *k), txn_value(cid, t, slot));
+            }
+        }
+    }
+    map
+}
+
+/// What one transactional chaos run produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TxnChaosOutcome {
+    final_state: BTreeMap<Vec<u8>, Vec<u8>>,
+    server_commits: u64,
+    server_aborts: u64,
+    dup_hits: u64,
+    client_commits: u64,
+    fault_dropped: u64,
+    fault_duplicated: u64,
+    fault_delayed: u64,
+}
+
+/// Run the scripted transactional workload on a standalone store under
+/// `plan`, then read the keyspace back over a healed fabric.
+fn run_txn_chaos(seed: u64, plan: Option<FaultPlan>) -> TxnChaosOutcome {
+    use efactory::txn::TxnKv;
+
+    let scripts = txn_scripts(seed);
+    let mut simu = Sim::new(seed);
+    let fabric = Fabric::new(CostModel::default());
+    if let Some(p) = plan {
+        fabric.set_fault_plan(Some(p));
+    }
+    let server_node = fabric.add_node("server");
+    let layout = StoreLayout::new(2048, 1 << 20, false);
+    let cfg = ServerConfig {
+        clean_enabled: false,
+        ..ServerConfig::default()
+    };
+    let server = Arc::new(Server::format(&fabric, &server_node, layout, cfg));
+
+    let out: Arc<Mutex<Option<TxnChaosOutcome>>> = Arc::default();
+    let out2 = Arc::clone(&out);
+    let f = Arc::clone(&fabric);
+    let server2 = Arc::clone(&server);
+    simu.spawn("main", move || {
+        server2.start(&f);
+        let desc = server2.desc();
+        let commits_acc = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for (cid, script) in scripts.iter().cloned().enumerate() {
+            let f2 = Arc::clone(&f);
+            let sn = server_node.clone();
+            let commits_acc = Arc::clone(&commits_acc);
+            handles.push(sim::spawn(&format!("txn-chaos-{cid}"), move || {
+                let node = f2.add_node(&format!("tnode-{cid}"));
+                let c = Client::connect(&f2, &node, &sn, desc, ClientConfig::default())
+                    .expect("connect");
+                for (t, set) in script.iter().enumerate() {
+                    let writes: Vec<(Vec<u8>, Vec<u8>)> = set
+                        .iter()
+                        .enumerate()
+                        .map(|(slot, k)| (key(cid, *k), txn_value(cid, t, slot)))
+                        .collect();
+                    c.txn_put_all(&writes).expect("chaos txn commit");
+                    commits_acc.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in &handles {
+            h.join();
+        }
+        // Heal the fabric for the verification sweep.
+        f.set_fault_plan(None);
+        let checker_node = f.add_node("checker");
+        let checker = Client::connect(
+            &f,
+            &checker_node,
+            &server_node,
+            desc,
+            ClientConfig::default(),
+        )
+        .expect("checker connect");
+        let mut final_state = BTreeMap::new();
+        for cid in 0..TXN_CLIENTS {
+            for k in 0..TXN_KEYSPACE {
+                if let Some(v) = checker.get(&key(cid, k)).expect("verify get") {
+                    final_state.insert(key(cid, k), v);
+                }
+            }
+        }
+        let stats = &server2.shared().stats;
+        let fs = f.stats();
+        use std::sync::atomic::Ordering;
+        *out2.lock().unwrap() = Some(TxnChaosOutcome {
+            final_state,
+            server_commits: stats.txn_commits.get(),
+            server_aborts: stats.txn_aborts.get(),
+            dup_hits: stats.dup_hits.get(),
+            client_commits: commits_acc.load(Ordering::Relaxed),
+            fault_dropped: fs.fault_dropped.load(Ordering::Relaxed),
+            fault_duplicated: fs.fault_duplicated.load(Ordering::Relaxed),
+            fault_delayed: fs.fault_delayed.load(Ordering::Relaxed),
+        });
+        server2.shutdown();
+    });
+    simu.run().expect_ok();
+    let o = out.lock().unwrap().take().expect("run finished");
+    o
+}
+
+/// Convergence + exactly-once for multi-key transactions under the default
+/// chaos plan: the faulted run ends in the script-dictated state, and the
+/// server committed each logical transaction exactly once — RPC resends
+/// land in the dedup table, never in a second physical commit.
+#[test]
+fn chaotic_fabric_commits_each_transaction_exactly_once() {
+    let seed = 0x7C59;
+    let expected = txn_expected(&txn_scripts(seed));
+    let logical = (TXN_CLIENTS * TXN_OPS) as u64;
+
+    let plan = FaultPlan::chaos(0.04, 0.03, 0.02, sim::micros(3), seed ^ 0xFA);
+    let faulted = run_txn_chaos(seed, Some(plan));
+    let clean = run_txn_chaos(seed, None);
+
+    assert!(
+        faulted.fault_dropped > 0 && faulted.fault_duplicated > 0,
+        "chaos plan must actually fire: {faulted:?}"
+    );
+    assert_eq!(faulted.final_state, expected, "faulted txn run diverged");
+    assert_eq!(clean.final_state, expected, "fault-free txn run diverged");
+    assert_eq!(faulted.client_commits, logical);
+    assert_eq!(
+        faulted.server_commits, logical,
+        "each logical transaction must commit exactly once: {faulted:?}"
+    );
+    assert_eq!(clean.server_commits, logical);
+    assert_eq!(
+        clean.server_aborts, 0,
+        "clean disjoint-key run never aborts"
+    );
+    assert_eq!(clean.dup_hits, 0, "clean fabric must not need dedup");
+}
+
+/// Identical seeds replay identical transactional chaos, byte for byte.
+#[test]
+fn txn_chaos_replay_is_deterministic() {
+    let plan = FaultPlan::chaos(0.05, 0.02, 0.03, sim::micros(2), 412);
+    let a = run_txn_chaos(19, Some(plan));
+    let b = run_txn_chaos(19, Some(plan));
+    assert_eq!(a, b, "same seed, same plan must replay identically");
+}

@@ -494,3 +494,141 @@ fn replicated_double_fault_sweep() {
     // power-fails as well and recovers from its own pool.
     replicated_sweep(CrashSpec::DropAll, 103, true);
 }
+
+// ------------------------------------------------------------- mid-commit
+//
+// Multi-key transaction crash sweep: power-fail the server at a grid of
+// instants spanning an entire fused TxnCommit (stage → link → commit
+// record → publish), recover, and require **all-or-nothing visibility**:
+// every key of the write set reads the OLD value or every key reads the
+// NEW value — a mixed read at any crash instant is a torn transaction.
+
+use efactory::txn::TxnKv;
+
+const TXN_SWEEP_KEYS: usize = 4;
+
+fn txn_key(i: usize) -> Vec<u8> {
+    format!("txnswept-{i}").into_bytes()
+}
+
+fn txn_old(i: usize) -> Vec<u8> {
+    format!("txn-old-{i}-0123456789abcdef").into_bytes()
+}
+
+fn txn_new(i: usize) -> Vec<u8> {
+    format!("txn-new-{i}-fedcba9876543210").into_bytes()
+}
+
+/// Crash at `t_crash` mid-commit, recover, and classify the recovered
+/// write set: `false` = all OLD, `true` = all NEW. Mixed panics.
+fn txn_crash_at(t_crash: Nanos, spec: CrashSpec, seed: u64) -> bool {
+    let mut simu = Sim::new(seed);
+    let fabric = Fabric::new(CostModel::default());
+    let server_node = fabric.add_node("server");
+    let layout = StoreLayout::new(256, 256 * 1024, false);
+    let cfg = ServerConfig {
+        clean_enabled: false,
+        ..ServerConfig::default()
+    };
+    let server = Server::format(&fabric, &server_node, layout, cfg.clone());
+    let pool = Arc::clone(&server.shared().pool);
+
+    let f = Arc::clone(&fabric);
+    let out: Arc<std::sync::Mutex<Option<bool>>> = Arc::default();
+    let out2 = Arc::clone(&out);
+    simu.spawn("main", move || {
+        server.start(&f);
+        let c = connect(&f, &server_node, &server);
+        // Make the OLD write set durable (write + read-back each key).
+        for i in 0..TXN_SWEEP_KEYS {
+            c.put(&txn_key(i), &txn_old(i)).unwrap();
+            c.get(&txn_key(i)).unwrap().unwrap();
+        }
+        let t0 = sim::now();
+        let sn = server_node.clone();
+        let f2 = Arc::clone(&f);
+        let controller = sim::spawn("controller", move || {
+            sim::sleep_until(t0 + t_crash);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+            f2.crash_node(&sn, spec, &mut rng);
+        });
+        // The commit may fail when the crash lands mid-operation — both
+        // outcomes are legal; atomicity is checked below either way.
+        let writes: Vec<(Vec<u8>, Vec<u8>)> = (0..TXN_SWEEP_KEYS)
+            .map(|i| (txn_key(i), txn_new(i)))
+            .collect();
+        let _ = c.txn_put_all(&writes);
+        controller.join();
+        sim::sleep(sim::millis(1));
+
+        // Reboot + recover.
+        f.restart_node(&server_node);
+        let (server2, _report) = recovery::recover(&f, &server_node, pool, layout, cfg);
+        recovery::check_consistency(&server2.shared().pool, &layout);
+        server2.start(&f);
+        let c2 = connect(&f, &server_node, &server2);
+        let mut news = 0usize;
+        for i in 0..TXN_SWEEP_KEYS {
+            let v = c2
+                .get(&txn_key(i))
+                .unwrap()
+                .expect("OLD was durable before the crash — key must survive");
+            if v == txn_new(i) {
+                news += 1;
+            } else if v != txn_old(i) {
+                panic!("crash at t={t_crash}: torn/garbage value {v:?} for key {i}");
+            }
+        }
+        assert!(
+            news == 0 || news == TXN_SWEEP_KEYS,
+            "crash at t={t_crash}: torn transaction — {news}/{TXN_SWEEP_KEYS} keys NEW"
+        );
+        // The recovered store stays transactional: a fresh multi-key
+        // commit must succeed and read back atomically.
+        let post: Vec<(Vec<u8>, Vec<u8>)> = (0..TXN_SWEEP_KEYS)
+            .map(|i| (txn_key(i), format!("txn-post-{i}").into_bytes()))
+            .collect();
+        c2.txn_put_all(&post).expect("post-recovery txn commit");
+        for (k, v) in &post {
+            assert_eq!(c2.get(k).unwrap().as_deref(), Some(v.as_slice()));
+        }
+        server2.shutdown();
+        *out2.lock().unwrap() = Some(news == TXN_SWEEP_KEYS);
+    });
+    simu.run().expect_ok();
+    let v = out.lock().unwrap().take().expect("sweep point finished");
+    v
+}
+
+fn txn_sweep(spec: CrashSpec, seed: u64) {
+    // A fused multi-key commit spans one RPC round-trip plus server-side
+    // staging/publish work; sweep well past it like the PUT sweep.
+    let mut saw_old = false;
+    let mut saw_new = false;
+    let mut t = 0;
+    while t <= sim::micros(12) {
+        if txn_crash_at(t, spec, seed) {
+            saw_new = true;
+        } else {
+            saw_old = true;
+        }
+        t += 400;
+    }
+    assert!(saw_old, "txn sweep never rolled back — window wrong?");
+    assert!(saw_new, "txn sweep never kept the new write set");
+}
+
+#[test]
+fn txn_sweep_with_all_dirty_lines_lost() {
+    txn_sweep(CrashSpec::DropAll, 201);
+}
+
+#[test]
+fn txn_sweep_with_word_granular_survival() {
+    txn_sweep(CrashSpec::Words(0.5), 202);
+}
+
+#[test]
+fn txn_sweep_with_line_granular_survival() {
+    txn_sweep(CrashSpec::Lines(0.3), 203);
+}

@@ -37,6 +37,7 @@ fn base(mix: Mix, seed: u64) -> ExperimentSpec {
         scrub: false,
         window: 1,
         loc_cache: false,
+        snap_readers: 0,
     }
 }
 

@@ -100,6 +100,7 @@ fn drive_stream(kv: &dyn RemoteKv) -> ReadLog {
         record_count: 64,
         key_len: 16,
         value_len: 96,
+        txn_keys: 4,
     };
     let mut stream = OpStream::new(wl.clone(), 77, 0);
     let mut results = Vec::new();
@@ -109,6 +110,9 @@ fn drive_stream(kv: &dyn RemoteKv) -> ReadLog {
             Op::Get { key } => {
                 let v = kv.kv_get(&key).unwrap();
                 results.push((key, v));
+            }
+            Op::Txn { .. } | Op::SnapRead { .. } => {
+                unreachable!("Mix::A never emits transactional ops")
             }
         }
     }
@@ -240,6 +244,7 @@ fn fabric_counters_reproducible_across_identical_runs() {
         scrub: false,
         window: 1,
         loc_cache: false,
+        snap_readers: 0,
     };
     let a = cluster::run(&spec);
     let b = cluster::run(&spec);
@@ -281,6 +286,7 @@ fn harness_accounting_is_exact_for_all_mixes() {
             scrub: false,
             window: 1,
             loc_cache: false,
+            snap_readers: 0,
         };
         let r = cluster::run(&spec);
         assert_eq!(r.total_ops, 120);

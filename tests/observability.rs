@@ -26,6 +26,7 @@ fn tiny_spec() -> ExperimentSpec {
         scrub: false,
         window: 1,
         loc_cache: false,
+        snap_readers: 0,
     }
 }
 

@@ -135,6 +135,7 @@ fn kind_tag(kind: OpKind) -> u8 {
         OpKind::Put => 0,
         OpKind::Get => 1,
         OpKind::Del => 2,
+        OpKind::Txn => 3,
     }
 }
 

@@ -215,6 +215,7 @@ fn replicated_runs_are_byte_identical() {
         scrub: false,
         window: 1,
         loc_cache: false,
+        snap_readers: 0,
     };
     let a = run(&spec);
     let b = run(&spec);

@@ -33,6 +33,7 @@ fn spec() -> ExperimentSpec {
         scrub: false,
         window: 1,
         loc_cache: false,
+        snap_readers: 0,
     }
 }
 
@@ -76,6 +77,13 @@ fn every_registered_counter_lands_in_the_report() {
     pipe.window = 16;
     pipe.doorbell_batch = 16;
     names.extend(audit("pipelined", &pipe));
+
+    // The transactional lane: multi-key commits, CAS-free snapshot reads,
+    // and the server-side txn/snapshot counter families.
+    let mut txn = spec();
+    txn.mix = Mix::T;
+    txn.snap_readers = 1;
+    names.extend(audit("transactional", &txn));
 
     // The audit list: every counter family PRs 3–5 introduced, by name.
     // A rename or a dropped registration shows up as a failure here.
@@ -125,6 +133,21 @@ fn every_registered_counter_lands_in_the_report() {
         "fabric.fault.retrans",
         // tracer health
         "obs.trace_dropped",
+        // transaction layer (client side)
+        "client.txn.commits",
+        "client.txn.conflicts",
+        "client.txn.snap_captures",
+        "client.txn.snap_gets",
+        "client.txn.snap_retries",
+        // transaction layer (server side)
+        "server.txn.commits",
+        "server.txn.aborts",
+        "server.txn.prepares",
+        "server.txn.decides",
+        "server.txn.conflicts",
+        "server.txn.snap_captures",
+        "server.txn.snap_gets",
+        "server.txn.snap_busy",
     ] {
         assert!(
             names.iter().any(|n| n == required),
