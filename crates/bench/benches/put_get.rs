@@ -38,6 +38,8 @@ fn spec(system: SystemKind, mix: Mix, value_len: usize) -> ExperimentSpec {
         window: 1,
         loc_cache: false,
         snap_readers: 0,
+        nodes: 1,
+        migrate_at: None,
     }
 }
 

@@ -38,6 +38,8 @@ fn base(system: SystemKind, mix: Mix) -> ExperimentSpec {
         window: 1,
         loc_cache: false,
         snap_readers: 0,
+        nodes: 1,
+        migrate_at: None,
     }
 }
 

@@ -32,12 +32,13 @@ use std::process::ExitCode;
 use efactory_bench::gate::{compare_all, diff_json, extract_metrics, Json};
 
 /// The gated report files, by repo-root baseline name.
-const GATED: [&str; 5] = [
+const GATED: [&str; 6] = [
     "BENCH_put_get.json",
     "BENCH_repl.json",
     "BENCH_pipeline.json",
     "BENCH_breakdown.json",
     "BENCH_txn.json",
+    "BENCH_cluster.json",
 ];
 
 fn load(path: &Path) -> Result<Json, String> {

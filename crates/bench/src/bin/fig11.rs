@@ -47,6 +47,8 @@ fn main() {
             window: 1,
             loc_cache: false,
             snap_readers: 0,
+            nodes: 1,
+            migrate_at: None,
         };
         let normal = cluster::run(&base_spec(false));
         let cleaning = cluster::run(&base_spec(true));

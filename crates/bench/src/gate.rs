@@ -271,6 +271,12 @@ pub const ABS_TOL_PCT: f64 = 2.0;
 /// it — a tail whose ownership shifts is a behavior change even when the
 /// headline numbers hold.
 pub const TAIL_SHARE_TOL_PP: f64 = 5.0;
+/// Hard ceiling on migration-induced client tail inflation: the p99.9 of
+/// a run with a live migration fired mid-window may be at most this many
+/// times the quiescent run's p99.9. The snapshot copy and the verify
+/// stream run off the client critical path; only the seal→flip window
+/// stalls ops, and it must stay short enough that the tail holds.
+pub const MIGRATE_P999_CEILING_X: f64 = 5.0;
 
 /// Subsystem lanes of the breakdown's `shares` object, in lane order.
 const BREAKDOWN_SUBS: [&str; 7] = [
@@ -448,6 +454,35 @@ pub fn extract_metrics(stem: &str, report: &Json) -> Result<Vec<MetricValue>, St
                 Better::Higher,
                 Tolerance::Rel(REL_TOL),
             ));
+        }
+        "BENCH_cluster" => {
+            for (label, tag) in [
+                ("Cluster/256B/nodes2", "cluster_nodes2_mops"),
+                ("Cluster/256B/nodes4", "cluster_nodes4_mops"),
+                ("Cluster/256B/nodes2/migrate", "cluster_migrate_mops"),
+            ] {
+                out.push(metric(
+                    tag,
+                    field(report, label, "mops")?,
+                    Better::Higher,
+                    Tolerance::Rel(REL_TOL),
+                ));
+            }
+            // Acceptance criterion from the cluster PR: a live migration
+            // fired mid-window inflates client p99.9 by at most
+            // MIGRATE_P999_CEILING_X over the quiescent run — the hard
+            // ceiling holds even when a (stale) baseline is already past
+            // it.
+            let quiet = field(report, "Cluster/256B/nodes2", "all.p999_ns")?;
+            let migrated = field(report, "Cluster/256B/nodes2/migrate", "all.p999_ns")?;
+            let mut inflation = metric(
+                "migrate_p999_inflation_x",
+                migrated / quiet.max(1.0),
+                Better::Lower,
+                Tolerance::Rel(REL_TOL),
+            );
+            inflation.floor = Some(MIGRATE_P999_CEILING_X);
+            out.push(inflation);
         }
         _ => {}
     }
@@ -754,6 +789,41 @@ mod tests {
         let fast = txn(1.0, 1.1, 1000, 1000);
         let rows = compare_all(&fast, &txn(1.0, 1.1, 1000, 1000));
         assert!(rows.iter().all(|r| !r.verdict.failing()), "{rows:?}");
+    }
+
+    #[test]
+    fn migration_tail_ceiling_is_enforced() {
+        let clu = |mops2: f64, quiet_p999: u64, mig_p999: u64| {
+            let doc = format!(
+                r#"{{"entries":[
+                    {{"label":"Cluster/256B/nodes2","mops":{mops2},
+                      "all":{{"p999_ns":{quiet_p999}}}}},
+                    {{"label":"Cluster/256B/nodes4","mops":1.5,
+                      "all":{{"p999_ns":9000}}}},
+                    {{"label":"Cluster/256B/nodes2/migrate","mops":{mops2},
+                      "all":{{"p999_ns":{mig_p999}}}}}]}}"#
+            );
+            extract_metrics("BENCH_cluster", &Json::parse(&doc).unwrap()).unwrap()
+        };
+        // In-ceiling: a 2× tail inflation under migration passes.
+        let good = clu(1.0, 10_000, 20_000);
+        let rows = compare_all(&good, &clu(1.0, 10_000, 20_000));
+        assert!(rows.iter().all(|r| !r.verdict.failing()), "{rows:?}");
+        // The ceiling is hard: a baseline already at 8× must not let a
+        // matching fresh run slide on tolerance alone.
+        let rows = compare_all(&clu(1.0, 10_000, 80_000), &clu(1.0, 10_000, 80_000));
+        let infl = rows
+            .iter()
+            .find(|r| r.name == "migrate_p999_inflation_x")
+            .unwrap();
+        assert_eq!(infl.verdict, Verdict::FloorViolation);
+        // And throughput under migration is banded like any other lane.
+        let rows = compare_all(&good, &clu(0.8, 10_000, 20_000));
+        let mops = rows
+            .iter()
+            .find(|r| r.name == "cluster_migrate_mops")
+            .unwrap();
+        assert_eq!(mops.verdict, Verdict::Regressed);
     }
 
     #[test]

@@ -213,6 +213,10 @@ pub struct Client {
     /// when `cfg.loc_cache` is set; flushed whenever cleaning starts or
     /// ends (cleaning is the only thing that *moves* objects).
     loc_cache: RefCell<HashMap<Vec<u8>, LocEntry>>,
+    /// Current placement epoch (cluster runs; 0 forever on single-node
+    /// topologies). Entries stamped with an older epoch are evicted on
+    /// lookup instead of dereferenced — see [`LocEntry::epoch`].
+    placement_epoch: Cell<u64>,
     /// Registry counters mirroring the `loc_*` fields of [`ClientStats`].
     loc_hit_ctr: Counter,
     loc_miss_ctr: Counter,
@@ -242,6 +246,10 @@ struct LocEntry {
     klen: u16,
     vlen: u32,
     min_seq: u32,
+    /// Placement epoch the entry was filled under. A shard move bumps the
+    /// client's epoch, so every pre-move offset — which would dereference
+    /// the **old node's** pool — fails the tag check and is evicted.
+    epoch: u64,
 }
 
 /// What a cached one-sided read produced.
@@ -324,6 +332,7 @@ impl Client {
             rpc_only_ctr,
             put_ctr,
             loc_cache: RefCell::new(HashMap::new()),
+            placement_epoch: Cell::new(0),
             loc_hit_ctr,
             loc_miss_ctr,
             loc_fill_ctr,
@@ -420,10 +429,23 @@ impl Client {
                 klen,
                 vlen,
                 min_seq,
+                epoch: self.placement_epoch.get(),
             },
         );
         self.stats.loc_fills.set(self.stats.loc_fills.get() + 1);
         self.loc_fill_ctr.inc();
+    }
+
+    /// Adopt a new placement epoch (the cluster client calls this after a
+    /// router flip). Entries filled under older epochs fail the tag check
+    /// and are evicted lazily on their next lookup.
+    pub fn set_placement_epoch(&self, epoch: u64) {
+        self.placement_epoch.set(epoch);
+    }
+
+    /// The placement epoch this connection currently trusts.
+    pub fn placement_epoch(&self) -> u64 {
+        self.placement_epoch.get()
     }
 
     /// Evict `key`'s entry after a structural validation failure.
@@ -453,6 +475,13 @@ impl Client {
             self.note_loc_miss();
             return Ok(CachedOutcome::Miss);
         };
+        if entry.epoch != self.placement_epoch.get() {
+            // Filled under an older placement: the offset belongs to a
+            // node that may no longer own the shard. Never dereference it.
+            self.loc_invalidate(key);
+            self.note_loc_miss();
+            return Ok(CachedOutcome::Miss);
+        }
         let _sp = self.cfg.obs.tracer.span(Subsystem::Client, "cached_read");
         let size = layout::object_size(entry.klen as usize, entry.vlen as usize);
         let obj = self.qp.rdma_read(&self.desc.mr, entry.off as usize, size)?;

@@ -1,0 +1,320 @@
+//! The cluster-aware client: placement-epoch-tagged routing with
+//! transparent retargeting.
+//!
+//! A [`ClusterClient`] learns the shard→node placement (and its epoch)
+//! from the metadata service, connects one [`Client`] per shard through
+//! the [`ClusterHandle`] rendezvous, and then routes exactly like the
+//! single-node [`ShardedClient`](crate::shard::ShardedClient). What's
+//! new is that placement can *change* underneath it:
+//!
+//! * a **live migration** commits: the old owner answers every data op
+//!   `WrongEpoch` (and its hash table is poisoned, so even the pure
+//!   one-sided GET path falls back to RPC and sees the rejection);
+//! * a **node restart** replaces a seat's serving instance: the old QP
+//!   dies with the old listener and ops fail with a transport error.
+//!
+//! Both surface as an `Err` on a data op; the client then **refreshes**
+//! — re-fetches the placement from the metadata service, reconnects
+//! every seat whose owner changed (or whose QP broke), stamps the new
+//! epoch into every per-shard connection's location cache (instantly
+//! invalidating entries cached under the old epoch, PR 5's cache made
+//! epoch-safe) — and retries. Retries are bounded; an unreachable
+//! metadata service or a persistently dead owner surfaces the last
+//! error to the caller.
+//!
+//! Transactions compose unchanged: a `WrongEpoch` from any 2PC
+//! participant aborts the attempt (prepared siblings are actively
+//! aborted by [`crate::txn::put_all_routed`]), and the retry runs with a
+//! fresh transaction id against the refreshed placement.
+
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+
+use efactory_rnic::{Fabric, Node};
+use efactory_sim as sim;
+use sim::Nanos;
+
+use super::meta::MetaClient;
+use super::placement::key_shard;
+use super::{ClusterHandle, ClusterStats};
+use crate::client::{Client, ClientConfig, GetOutcome, RemoteKv};
+use crate::protocol::{Status, StoreError};
+use crate::txn::{self, TxnKv, TxnSnapshot};
+
+/// Bounded data-op retries after a retarget/refresh. A migrating shard
+/// answers `WrongEpoch` for its whole sealed window (drain + fixup +
+/// verify + destination recovery), so the budget must outlast it: with
+/// the capped backoff below this rides out ~7 ms of rejections while
+/// still surfacing a persistently dead owner as an error.
+const MAX_RETRIES: usize = 32;
+
+/// Retry backoff cap (the budget above assumes this).
+const MAX_BACKOFF: Nanos = 250_000;
+
+/// Which seats [`ClusterClient::refresh`] reconnects even when the owner
+/// index is unchanged.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Force {
+    /// Only seats whose owner changed.
+    No,
+    /// One specific shard (its QP surfaced a transport error).
+    Shard(usize),
+    /// Every shard (a whole-placement op failed; the culprit is unknown).
+    All,
+}
+
+impl Force {
+    fn includes(self, g: usize) -> bool {
+        match self {
+            Force::No => false,
+            Force::Shard(s) => s == g,
+            Force::All => true,
+        }
+    }
+}
+
+/// A client connected to every shard of a [`Cluster`](super::Cluster),
+/// retargeting transparently when placement changes.
+pub struct ClusterClient {
+    fabric: Arc<Fabric>,
+    local: Node,
+    handle: Arc<ClusterHandle>,
+    stats: Arc<ClusterStats>,
+    cfg: ClientConfig,
+    meta: RefCell<MetaClient>,
+    /// Placement epoch the current connections were built under.
+    epoch: Cell<u64>,
+    /// Owner node index each per-shard connection targets.
+    owners: RefCell<Vec<usize>>,
+    /// One connection per shard, kept in shard order.
+    conns: RefCell<Vec<Client>>,
+    /// Transaction-id source shared by all shard connections (one
+    /// logical transaction = one id across its 2PC participants).
+    next_txn_id: Cell<u64>,
+}
+
+impl ClusterClient {
+    /// Connect `local` to every shard of the cluster behind `handle`,
+    /// learning placement from the metadata service at `meta_nodes`.
+    /// Must run inside a simulated process.
+    pub fn connect(
+        fabric: &Arc<Fabric>,
+        local: &Node,
+        meta_nodes: &[Node],
+        handle: &Arc<ClusterHandle>,
+        stats: &Arc<ClusterStats>,
+        cfg: ClientConfig,
+    ) -> Result<ClusterClient, StoreError> {
+        let mut meta = MetaClient::new(fabric, local, meta_nodes);
+        let state = meta
+            .get_map(sim::now() + sim::millis(5))
+            .ok_or(StoreError::Protocol)?;
+        let epoch = state.placement.epoch;
+
+        let shards = handle.shards();
+        let mut conns = Vec::with_capacity(shards);
+        let mut owners = Vec::with_capacity(shards);
+        for g in 0..shards {
+            let seat = handle.seat(g);
+            let mut ccfg = cfg.clone();
+            ccfg.shard = g as u32;
+            let c = Client::connect(fabric, local, &seat.node, seat.desc, ccfg)?;
+            c.set_placement_epoch(epoch);
+            conns.push(c);
+            owners.push(seat.owner);
+        }
+
+        Ok(ClusterClient {
+            fabric: Arc::clone(fabric),
+            local: local.clone(),
+            handle: Arc::clone(handle),
+            stats: Arc::clone(stats),
+            cfg,
+            meta: RefCell::new(meta),
+            epoch: Cell::new(epoch),
+            owners: RefCell::new(owners),
+            conns: RefCell::new(conns),
+            next_txn_id: Cell::new(1),
+        })
+    }
+
+    /// The placement epoch the current connections were built under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.get()
+    }
+
+    /// The shard `key` routes to.
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        key_shard(key, self.conns.borrow().len())
+    }
+
+    /// Re-learn placement from the metadata service and reconnect every
+    /// seat whose owner changed — plus whatever `force` names
+    /// unconditionally (its QP broke: a restarted owner has a fresh
+    /// listener and registration even though the owner index is
+    /// unchanged). Stamps the fresh epoch into every connection's
+    /// location cache. Returns `false` if the metadata service was
+    /// unreachable or a reconnect failed (caller backs off and retries).
+    fn refresh(&self, force: Force) -> bool {
+        self.stats.client_refreshes.inc();
+        let state = match self.meta.borrow_mut().get_map(sim::now() + sim::millis(2)) {
+            Some(s) => s,
+            None => return false,
+        };
+        self.epoch.set(state.placement.epoch);
+
+        let mut ok = true;
+        let mut conns = self.conns.borrow_mut();
+        let mut owners = self.owners.borrow_mut();
+        for g in 0..conns.len() {
+            let seat = self.handle.seat(g);
+            if seat.owner != owners[g] || force.includes(g) {
+                let mut ccfg = self.cfg.clone();
+                ccfg.shard = g as u32;
+                match Client::connect(&self.fabric, &self.local, &seat.node, seat.desc, ccfg) {
+                    Ok(c) => {
+                        conns[g] = c;
+                        owners[g] = seat.owner;
+                    }
+                    Err(_) => ok = false,
+                }
+            }
+        }
+        for c in conns.iter() {
+            c.set_placement_epoch(self.epoch.get());
+        }
+        ok
+    }
+
+    /// Run `op` against `key`'s owning shard, retargeting on
+    /// `WrongEpoch` and reconnecting on transport errors, bounded by
+    /// [`MAX_RETRIES`].
+    fn with_retry<T>(
+        &self,
+        key: &[u8],
+        mut op: impl FnMut(&Client) -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        let mut backoff = sim::micros(5);
+        let mut last = StoreError::Protocol;
+        for _ in 0..MAX_RETRIES {
+            let g = self.shard_of(key);
+            let result = op(&self.conns.borrow()[g]);
+            match result {
+                Ok(v) => return Ok(v),
+                Err(StoreError::Status(Status::WrongEpoch)) => {
+                    self.stats.client_retargets.inc();
+                    last = StoreError::Status(Status::WrongEpoch);
+                    self.refresh(Force::No);
+                }
+                Err(StoreError::Qp(e)) => {
+                    last = StoreError::Qp(e);
+                    self.refresh(Force::Shard(g));
+                }
+                Err(e) => return Err(e),
+            }
+            sim::sleep(backoff);
+            backoff = (backoff * 2).min(MAX_BACKOFF);
+        }
+        Err(last)
+    }
+
+    /// Store `value` under `key` on the owning shard.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        self.with_retry(key, |c| c.put(key, value))
+    }
+
+    /// Read `key` from the owning shard.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        self.with_retry(key, |c| c.get(key))
+    }
+
+    /// Like [`get`](Self::get), also reporting which path served it.
+    pub fn get_traced(&self, key: &[u8]) -> Result<(Option<Vec<u8>>, GetOutcome), StoreError> {
+        self.with_retry(key, |c| c.get_traced(key))
+    }
+
+    /// Delete `key` (tombstone) on the owning shard.
+    pub fn del(&self, key: &[u8]) -> Result<(), StoreError> {
+        self.with_retry(key, |c| c.del(key))
+    }
+
+    /// Run a whole-placement operation (transaction/snapshot), retrying
+    /// with refreshed placement on `WrongEpoch` or transport errors.
+    /// Each attempt sees a consistent connection set; retried
+    /// transactions get a fresh id automatically.
+    fn with_retry_all<T>(
+        &self,
+        mut op: impl FnMut(&[Client]) -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        let mut backoff = sim::micros(5);
+        let mut last = StoreError::Protocol;
+        for _ in 0..MAX_RETRIES {
+            let result = op(&self.conns.borrow());
+            match result {
+                Ok(v) => return Ok(v),
+                Err(StoreError::Status(Status::WrongEpoch)) => {
+                    self.stats.client_retargets.inc();
+                    last = StoreError::Status(Status::WrongEpoch);
+                    self.refresh(Force::No);
+                }
+                Err(StoreError::Qp(e)) => {
+                    // Transport failure: some participant's owner
+                    // restarted, but a multi-shard op doesn't say which
+                    // QP broke — rebuild them all.
+                    last = StoreError::Qp(e);
+                    self.refresh(Force::All);
+                }
+                Err(e) => return Err(e),
+            }
+            sim::sleep(backoff);
+            backoff = (backoff * 2).min(MAX_BACKOFF);
+        }
+        Err(last)
+    }
+}
+
+impl RemoteKv for ClusterClient {
+    fn kv_put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        self.put(key, value)
+    }
+    fn kv_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        self.get(key)
+    }
+}
+
+impl TxnKv for ClusterClient {
+    fn txn_put_all(&self, puts: &[(Vec<u8>, Vec<u8>)]) -> Result<u64, StoreError> {
+        let first = puts.first().map(|(k, _)| k.as_slice()).unwrap_or(b"");
+        let mut ctx = self.conns.borrow()[0].op_root(3, first);
+        let result =
+            self.with_retry_all(|conns| txn::put_all_routed(conns, &self.next_txn_id, puts));
+        if let Ok(ts) = &result {
+            self.conns.borrow()[0].txn_commit_ctr.inc();
+            ctx.arg("commit_ts", *ts);
+        }
+        result
+    }
+
+    fn txn_rmw(
+        &self,
+        key: &[u8],
+        f: &mut dyn FnMut(Option<Vec<u8>>) -> Vec<u8>,
+    ) -> Result<u64, StoreError> {
+        let mut ctx = self.conns.borrow()[0].op_root(3, key);
+        let result = self.with_retry_all(|conns| txn::rmw_routed(conns, &self.next_txn_id, key, f));
+        if let Ok(ts) = &result {
+            self.conns.borrow()[0].txn_commit_ctr.inc();
+            ctx.arg("commit_ts", *ts);
+        }
+        result
+    }
+
+    fn snapshot(&self) -> Result<TxnSnapshot, StoreError> {
+        self.with_retry_all(txn::snapshot_all)
+    }
+
+    fn snap_get(&self, key: &[u8], snap: &TxnSnapshot) -> Result<Option<Vec<u8>>, StoreError> {
+        let _ctx = self.conns.borrow()[0].op_root(4, key);
+        self.with_retry_all(|conns| txn::snap_get_routed(conns, key, snap))
+    }
+}

@@ -38,6 +38,7 @@
 
 pub mod cleaner;
 pub mod client;
+pub mod cluster;
 pub mod hashtable;
 pub mod inspect;
 pub mod layout;
@@ -53,6 +54,8 @@ pub mod txn;
 pub mod verifier;
 
 pub use client::{Client, ClientConfig, GetOutcome, RemoteKv};
+pub use cluster::placement::{key_shard, PlacementMap};
+pub use cluster::{Cluster, ClusterClient, ClusterConfig, MigrationReport};
 pub use pipeline::{OpCompletion, OpKind, PipelineConfig, PipelinedClient};
 pub use protocol::{Status, StoreError};
 pub use repl::{

@@ -26,6 +26,10 @@ pub enum Status {
     /// conflicting transaction holds the key in-doubt): abort and retry
     /// the whole transaction from a fresh read.
     Conflict = 6,
+    /// The server no longer owns the shard under the client's placement
+    /// epoch (sealed for migration, or already handed off): refresh the
+    /// placement map from the metadata service and retarget.
+    WrongEpoch = 7,
 }
 
 impl Status {
@@ -39,6 +43,7 @@ impl Status {
             4 => Status::Corrupt,
             5 => Status::Busy,
             6 => Status::Conflict,
+            7 => Status::WrongEpoch,
             _ => return None,
         })
     }

@@ -197,6 +197,9 @@ pub struct ServerStats {
     pub snap_gets: Counter,
     /// Snapshot GETs answered `Busy` (in-doubt head or in-flight value).
     pub snap_busy: Counter,
+    /// Client data ops rejected with `WrongEpoch` while the shard was
+    /// sealed for migration (the cluster client's retarget signal).
+    pub wrong_epoch: Counter,
 }
 
 impl ServerStats {
@@ -210,7 +213,7 @@ impl ServerStats {
     /// names — each shard of a sharded store registers its own counters
     /// (e.g. `shard2.server.puts`) in the one shared registry.
     pub fn register_prefixed(&self, reg: &Registry, prefix: &str) {
-        let pairs: [(&str, &Counter); 22] = [
+        let pairs: [(&str, &Counter); 23] = [
             ("server.puts", &self.puts),
             ("server.dels", &self.dels),
             ("server.gets", &self.gets),
@@ -239,6 +242,7 @@ impl ServerStats {
             ("server.txn.snap_captures", &self.snap_captures),
             ("server.txn.snap_gets", &self.snap_gets),
             ("server.txn.snap_busy", &self.snap_busy),
+            ("server.wrong_epoch", &self.wrong_epoch),
         ];
         for (name, c) in pairs {
             reg.attach_counter(&format!("{prefix}{name}"), c);
@@ -292,6 +296,41 @@ pub struct ServerShared {
     /// here: only the handler process and recovery take it, never across a
     /// simulated yield.
     pub txn: std::sync::Mutex<crate::txn::TxnState>,
+    /// Sealed for migration: the handler answers every client data op
+    /// with `WrongEpoch` (the retarget signal) while the verifier drains.
+    /// `TxnDecide` stays admissible — it resolves already-prepared 2PC
+    /// state, and rejecting it would break atomicity for transactions
+    /// whose other shards already committed.
+    pub sealed: AtomicBool,
+    /// Live-migration delta-stream rendezvous between the migration
+    /// driver and this server's verifier (see [`MigrateSlot`]).
+    pub migrate_out: std::sync::Mutex<MigrateSlot>,
+    /// Event-broadcast handle for this server's listener, stashed by
+    /// [`Server::start_with`] so the migration decommission step can push
+    /// a `CleanStart` to connected clients (pinning them off the pure
+    /// one-sided read path) without owning the handler's listener.
+    pub notifier: std::sync::Mutex<Option<efactory_rnic::Notifier>>,
+}
+
+/// Handshake cell for attaching a live-migration delta stream to the
+/// verifier. The driver parks a [`ReplTarget`](crate::repl::ReplTarget)
+/// aimed at the destination pool; the verifier (the only process that may
+/// own the connection) connects a second [`Mirror`](crate::repl::Mirror)
+/// and acks with its cursor at attach time — the exclusive upper bound of
+/// the snapshot copy, and the point from which the delta stream is
+/// hole-free.
+pub enum MigrateSlot {
+    /// No migration in progress.
+    Idle,
+    /// Driver request: connect a delta mirror to this target.
+    Attach(crate::repl::ReplTarget),
+    /// Verifier ack: delta stream live; `cursor` was the verifier position
+    /// at attach (everything below it is the snapshot copy's job).
+    Active { cursor: u64 },
+    /// Verifier could not connect to the destination; driver must abort.
+    Failed,
+    /// Driver request: flush and drop the delta mirror.
+    Detach,
 }
 
 impl ServerShared {
@@ -305,6 +344,23 @@ impl ServerShared {
         self.stop.load(Ordering::Relaxed)
             || self.node.is_crashed()
             || self.node.epoch() != self.born_epoch
+    }
+
+    /// Seal the shard for migration: every client data op is answered
+    /// `WrongEpoch` from here on (`TxnDecide` excepted — see [`Self::sealed`]).
+    pub fn seal(&self) {
+        self.sealed.store(true, Ordering::Relaxed);
+    }
+
+    /// Reopen a sealed shard (migration aborted; the source remains the
+    /// one owner).
+    pub fn unseal(&self) {
+        self.sealed.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether the shard is sealed.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed.load(Ordering::Relaxed)
     }
 
     /// Pool index new allocations go to, given the cleaning phase: the old
@@ -448,6 +504,9 @@ impl Server {
             clean_request: AtomicBool::new(false),
             born_epoch: node.epoch(),
             txn: std::sync::Mutex::new(crate::txn::TxnState::default()),
+            sealed: AtomicBool::new(false),
+            migrate_out: std::sync::Mutex::new(MigrateSlot::Idle),
+            notifier: std::sync::Mutex::new(None),
         });
         shared
             .stats
@@ -499,6 +558,7 @@ impl Server {
                 .node
                 .listen_with(fabric, shared.cfg.batched_recv, shared.cfg.doorbell_batch);
         let notifier = listener.notifier();
+        *shared.notifier.lock().unwrap() = Some(listener.notifier());
         // Per-shard process names give each shard its own lane in the
         // trace (the tracer keys spans by simulated process).
         let tag = shared.cfg.counter_prefix.trim_end_matches('.');
@@ -521,7 +581,7 @@ impl Server {
             let mirror = repl
                 .as_ref()
                 .and_then(|t| crate::repl::Mirror::connect(&v_fabric, &v_shared, t));
-            crate::verifier::run_with_mirror(&v_shared, mirror);
+            crate::verifier::run_with_mirror(&v_shared, Some(&v_fabric), mirror);
         });
 
         if shared.cfg.scrub_enabled {
@@ -610,34 +670,44 @@ fn run_handler(shared: &ServerShared, listener: &Listener) {
         // (qp, request-id) args on the handler spans join server-side
         // handling to the issuing client op in the critical-path fold.
         let rpc = (from, req_id.unwrap_or(0));
-        let resp = match req {
-            Request::Put { key, vlen, crc } => handle_put(shared, rpc, &key, vlen, crc),
-            Request::Get { key } => handle_get(shared, rpc, &key),
-            Request::Del { key } => handle_del(shared, rpc, &key),
-            Request::TxnCommit {
-                txn_id,
-                ref reads,
-                ref puts,
-            } => crate::txn::handle_txn_commit(shared, rpc, txn_id, reads, puts),
-            Request::TxnPrepare {
-                txn_id,
-                ref reads,
-                ref puts,
-            } => crate::txn::handle_txn_prepare(shared, rpc, txn_id, reads, puts),
-            Request::TxnDecide {
-                txn_id,
-                commit,
-                commit_ts,
-            } => crate::txn::handle_txn_decide(shared, rpc, txn_id, commit, commit_ts),
-            Request::SnapCapture => crate::txn::handle_snap_capture(shared, rpc),
-            Request::SnapGet { ref key, snap_ts } => {
-                crate::txn::handle_snap_get(shared, rpc, key, snap_ts)
-            }
-            // SAW/RPC-baseline opcodes are not part of eFactory.
-            Request::Persist { .. } | Request::RpcPut { .. } => Response::Ack {
-                status: Status::Corrupt,
-            },
-        };
+        let resp =
+            if shared.sealed.load(Ordering::Relaxed) && !matches!(req, Request::TxnDecide { .. }) {
+                // Sealed for migration: reject with the retarget signal, in
+                // the response shape the issuing op expects. TxnDecide passes
+                // through — it resolves already-prepared 2PC state.
+                sim::work(shared.cost.cpu_req_handle_ns);
+                shared.stats.wrong_epoch.inc();
+                reject_wrong_epoch(&req)
+            } else {
+                match req {
+                    Request::Put { key, vlen, crc } => handle_put(shared, rpc, &key, vlen, crc),
+                    Request::Get { key } => handle_get(shared, rpc, &key),
+                    Request::Del { key } => handle_del(shared, rpc, &key),
+                    Request::TxnCommit {
+                        txn_id,
+                        ref reads,
+                        ref puts,
+                    } => crate::txn::handle_txn_commit(shared, rpc, txn_id, reads, puts),
+                    Request::TxnPrepare {
+                        txn_id,
+                        ref reads,
+                        ref puts,
+                    } => crate::txn::handle_txn_prepare(shared, rpc, txn_id, reads, puts),
+                    Request::TxnDecide {
+                        txn_id,
+                        commit,
+                        commit_ts,
+                    } => crate::txn::handle_txn_decide(shared, rpc, txn_id, commit, commit_ts),
+                    Request::SnapCapture => crate::txn::handle_snap_capture(shared, rpc),
+                    Request::SnapGet { ref key, snap_ts } => {
+                        crate::txn::handle_snap_get(shared, rpc, key, snap_ts)
+                    }
+                    // SAW/RPC-baseline opcodes are not part of eFactory.
+                    Request::Persist { .. } | Request::RpcPut { .. } => Response::Ack {
+                        status: Status::Corrupt,
+                    },
+                }
+            };
         let encoded = match req_id {
             Some(id) => {
                 let framed = resp.encode_framed(id);
@@ -649,6 +719,36 @@ fn run_handler(shared: &ServerShared, listener: &Listener) {
         if listener.reply(from, encoded).is_err() {
             return;
         }
+    }
+}
+
+/// The `WrongEpoch` rejection for a sealed shard, shaped to match the
+/// response variant each request's client-side decode expects.
+fn reject_wrong_epoch(req: &Request) -> Response {
+    let status = Status::WrongEpoch;
+    match req {
+        Request::Put { .. } | Request::RpcPut { .. } => Response::Put {
+            status,
+            obj_off: 0,
+            value_off: 0,
+        },
+        Request::Get { .. } | Request::SnapGet { .. } => Response::Get {
+            status,
+            obj_off: 0,
+            klen: 0,
+            vlen: 0,
+        },
+        Request::TxnCommit { .. } | Request::TxnPrepare { .. } | Request::TxnDecide { .. } => {
+            Response::TxnAck {
+                status,
+                commit_ts: 0,
+            }
+        }
+        Request::SnapCapture => Response::Snap {
+            status,
+            watermark: 0,
+        },
+        Request::Del { .. } | Request::Persist { .. } => Response::Ack { status },
     }
 }
 

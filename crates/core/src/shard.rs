@@ -24,7 +24,6 @@ use std::sync::Arc;
 use efactory_rnic::{Fabric, Node};
 
 use crate::client::{Client, ClientConfig, GetOutcome, RemoteKv};
-use crate::hashtable::fingerprint;
 use crate::log::StoreLayout;
 use crate::protocol::StoreError;
 use crate::server::{Server, ServerConfig, ServerShared, StoreDesc};
@@ -32,19 +31,13 @@ use crate::txn::{self, TxnKv, TxnSnapshot};
 
 /// Deterministic, total shard routing: `hash(key) % shards`.
 ///
-/// The hash re-mixes the table [`fingerprint`] through a second splitmix64
-/// round with an odd salt, decorrelating the shard choice from the bucket
-/// choice inside each shard.
+/// Thin delegate to [`crate::cluster::placement::key_shard`] — the one
+/// routing implementation, shared with the cluster layer's
+/// [`PlacementMap`](crate::cluster::placement::PlacementMap). The legacy
+/// single-node topologies are the degenerate placement (every shard on
+/// node 0), so this wrapper keeps their call sites unchanged.
 pub fn shard_of(key: &[u8], shards: usize) -> usize {
-    assert!(shards >= 1, "a store has at least one shard");
-    if shards == 1 {
-        return 0;
-    }
-    let mut z = fingerprint(key) ^ 0xA076_1D64_78BD_642F;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^= z >> 31;
-    (z % shards as u64) as usize
+    crate::cluster::placement::key_shard(key, shards)
 }
 
 /// The client-side routing table: shard count + per-shard connection info.
@@ -261,6 +254,7 @@ impl TxnKv for ShardedClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hashtable::fingerprint;
 
     #[test]
     fn routing_is_total_and_spread() {

@@ -22,13 +22,15 @@
 //! observes a stale epoch abandons its cursor update.
 
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use efactory_obs::Subsystem;
+use efactory_rnic::Fabric;
 use efactory_sim as sim;
 
 use crate::layout::{flags, ObjHeader};
 use crate::repl::Mirror;
-use crate::server::ServerShared;
+use crate::server::{MigrateSlot, ServerShared};
 
 /// Outcome of one verifier step (exposed for tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,7 +57,7 @@ pub enum StepOutcome {
 /// The fence is forced before the verifier sleeps, so no persisted-but-
 /// unfenced object outlives an idle period.
 pub fn run(shared: &ServerShared) {
-    run_with_mirror(shared, None)
+    run_with_mirror(shared, None, None)
 }
 
 /// Run the verifier, optionally mirroring the log to a backup replica.
@@ -66,25 +68,44 @@ pub fn run(shared: &ServerShared) {
 /// doorbell-batched `rdma_write_imm` per run (see [`crate::repl`]). The
 /// mirror is flushed before every idle sleep, so a quiescent primary never
 /// sits on an unshipped tail.
-pub fn run_with_mirror(shared: &ServerShared, mut mirror: Option<Mirror>) {
+pub fn run_with_mirror(
+    shared: &ServerShared,
+    fabric: Option<&Arc<Fabric>>,
+    mut mirror: Option<Mirror>,
+) {
     let batch = shared.cfg.doorbell_batch.max(1);
     let mut unfenced = 0usize;
-    let fence = |unfenced: &mut usize| {
-        if *unfenced > 0 {
-            sim::work(shared.cost.flush_base_ns);
-            *unfenced = 0;
-        }
-    };
+    // Live-migration delta stream: attached mid-run through the
+    // `migrate_out` slot (see [`MigrateSlot`]); ships the same hole-free
+    // object stream as the replication mirror, aimed at the destination's
+    // copy pool. The slot poll is a plain mutex with no simulated-time
+    // cost, so runs that never migrate replay byte-identically.
+    let mut delta: Option<Mirror> = None;
     while !shared.stopping() {
+        poll_migrate_slot(shared, fabric, &mut delta);
+        let fence = |unfenced: &mut usize| {
+            if *unfenced > 0 {
+                sim::work(shared.cost.flush_base_ns);
+                *unfenced = 0;
+            }
+        };
         let (outcome, mirrored) = step_inner(shared, batch > 1);
-        if let (Some(m), Some((off, size))) = (mirror.as_mut(), mirrored) {
-            m.push(shared, off, size);
+        if let Some((off, size)) = mirrored {
+            if let Some(m) = mirror.as_mut() {
+                m.push(shared, off, size);
+            }
+            if let Some(d) = delta.as_mut() {
+                d.push(shared, off, size);
+            }
         }
         match outcome {
             StepOutcome::Idle | StepOutcome::Waiting => {
                 fence(&mut unfenced);
                 if let Some(m) = mirror.as_mut() {
                     m.flush(shared);
+                }
+                if let Some(d) = delta.as_mut() {
+                    d.flush(shared);
                 }
                 sim::sleep(shared.cfg.verify_idle)
             }
@@ -98,6 +119,39 @@ pub fn run_with_mirror(shared: &ServerShared, mut mirror: Option<Mirror>) {
                 // `step` charged simulated work, which already yielded.
             }
         }
+    }
+}
+
+/// Service the migration rendezvous slot: connect the delta mirror on
+/// `Attach` (acking with the cursor at attach — the snapshot copy's upper
+/// bound), flush and drop it on `Detach`.
+fn poll_migrate_slot(
+    shared: &ServerShared,
+    fabric: Option<&Arc<Fabric>>,
+    delta: &mut Option<Mirror>,
+) {
+    let mut slot = shared.migrate_out.lock().unwrap();
+    match &*slot {
+        MigrateSlot::Attach(target) => {
+            let connected = fabric.and_then(|f| Mirror::connect(f, shared, target));
+            *slot = match connected {
+                Some(m) => {
+                    *delta = Some(m);
+                    MigrateSlot::Active {
+                        cursor: shared.cursor.load(Ordering::Relaxed),
+                    }
+                }
+                None => MigrateSlot::Failed,
+            };
+        }
+        MigrateSlot::Detach => {
+            drop(slot);
+            if let Some(mut d) = delta.take() {
+                d.flush(shared);
+            }
+            *shared.migrate_out.lock().unwrap() = MigrateSlot::Idle;
+        }
+        _ => {}
     }
 }
 

@@ -151,6 +151,17 @@ pub struct ExperimentSpec {
     /// Used to measure snapshot/writer interference (eFactory only;
     /// requires `Cleaning::Disabled`).
     pub snap_readers: usize,
+    /// Data nodes hosting the shards. `1` (the default) runs the legacy
+    /// single-machine topologies; above 1 the run builds an
+    /// [`efactory::cluster::Cluster`] — shards placed round-robin across
+    /// nodes, a 3-replica metadata service, and cluster-aware clients
+    /// that retarget on placement changes. Requires eFactory with
+    /// `Cleaning::Disabled`, `replicas == 0`, and `window == 1`.
+    pub nodes: usize,
+    /// Live-migrate shard 0 to the next node (`(owner + 1) % nodes`)
+    /// this many virtual nanoseconds after the measurement window opens,
+    /// while the measured workload keeps flowing. Requires `nodes > 1`.
+    pub migrate_at: Option<Nanos>,
 }
 
 /// Keys per multi-key transaction (and per snapshot read) in the
@@ -186,6 +197,8 @@ impl ExperimentSpec {
             window: 1,
             loc_cache: false,
             snap_readers: 0,
+            nodes: 1,
+            migrate_at: None,
         }
     }
 }
@@ -238,12 +251,21 @@ enum AnyDesc {
     Single(efactory::server::StoreDesc),
     Sharded(efactory::shard::ShardedDesc),
     Replicated(Vec<efactory::repl::ReplicatedDesc>),
+    Cluster {
+        handle: Arc<efactory::cluster::ClusterHandle>,
+        meta_nodes: Vec<Node>,
+        stats: Arc<efactory::cluster::ClusterStats>,
+    },
 }
 
+// One AnyServer exists per run and lives behind an Arc; the size gap from
+// the cluster variant's seat tables is irrelevant.
+#[allow(clippy::large_enum_variant)]
 enum AnyServer {
     Ef(Server),
     EfSharded(efactory::shard::ShardedServer),
     EfRepl(efactory::repl::ReplicatedCluster),
+    EfCluster(efactory::cluster::Cluster),
     Saw(SawServer),
     Imm(ImmServer),
     Erda(ErdaServer),
@@ -258,6 +280,11 @@ impl AnyServer {
             AnyServer::Ef(s) => AnyDesc::Single(s.desc()),
             AnyServer::EfSharded(s) => AnyDesc::Sharded(s.desc()),
             AnyServer::EfRepl(s) => AnyDesc::Replicated(s.descs()),
+            AnyServer::EfCluster(c) => AnyDesc::Cluster {
+                handle: Arc::clone(c.handle()),
+                meta_nodes: c.meta_nodes().to_vec(),
+                stats: Arc::clone(c.stats()),
+            },
             AnyServer::Saw(s) => AnyDesc::Single(s.desc()),
             AnyServer::Imm(s) => AnyDesc::Single(s.desc()),
             AnyServer::Erda(s) => AnyDesc::Single(s.desc()),
@@ -274,6 +301,7 @@ impl AnyServer {
             }
             AnyServer::EfSharded(s) => s.start(fabric),
             AnyServer::EfRepl(s) => s.start(fabric),
+            AnyServer::EfCluster(c) => c.start(),
             AnyServer::Saw(s) => s.start(fabric),
             AnyServer::Imm(s) => s.start(fabric),
             AnyServer::Erda(s) => s.start(fabric),
@@ -288,6 +316,7 @@ impl AnyServer {
             AnyServer::Ef(s) => s.shutdown(),
             AnyServer::EfSharded(s) => s.shutdown(),
             AnyServer::EfRepl(s) => s.shutdown(),
+            AnyServer::EfCluster(c) => c.shutdown(),
             AnyServer::Saw(s) => s.shutdown(),
             AnyServer::Imm(s) => s.shutdown(),
             AnyServer::Erda(s) => s.shutdown(),
@@ -305,6 +334,7 @@ impl AnyServer {
         match self {
             AnyServer::EfSharded(s) => s.stat_sum(pick),
             AnyServer::EfRepl(s) => s.stat_sum(pick),
+            AnyServer::EfCluster(c) => c.stat_sum(pick),
             other => pick(other.single_stats()).get(),
         }
     }
@@ -312,7 +342,7 @@ impl AnyServer {
     fn single_stats(&self) -> &efactory::server::ServerStats {
         match self {
             AnyServer::Ef(s) => &s.shared().stats,
-            AnyServer::EfSharded(_) | AnyServer::EfRepl(_) => {
+            AnyServer::EfSharded(_) | AnyServer::EfRepl(_) | AnyServer::EfCluster(_) => {
                 unreachable!("multi-server stats go through stat_sum")
             }
             AnyServer::Saw(s) => &s.base().stats,
@@ -367,6 +397,17 @@ impl AnyServer {
                     backup.set_tracer(obs.tracer.clone());
                 }
             }
+            AnyServer::EfCluster(c) => {
+                for g in 0..c.handle().shards() {
+                    let owner = c.owner_of(g);
+                    let pool = c.shard_pool(g);
+                    pool.stats().register_prefixed(
+                        &obs.registry,
+                        &format!("{}.", efactory::cluster::Cluster::seat_name(owner, g)),
+                    );
+                    pool.set_tracer(obs.tracer.clone());
+                }
+            }
             other => {
                 other.single_stats().register(&obs.registry);
                 other.single_pool().stats().register(&obs.registry);
@@ -378,7 +419,7 @@ impl AnyServer {
     fn single_pool(&self) -> &Arc<PmemPool> {
         match self {
             AnyServer::Ef(s) => &s.shared().pool,
-            AnyServer::EfSharded(_) | AnyServer::EfRepl(_) => {
+            AnyServer::EfSharded(_) | AnyServer::EfRepl(_) | AnyServer::EfCluster(_) => {
                 unreachable!("multi-server pools go through attach_obs")
             }
             AnyServer::Saw(s) => &s.base().pool,
@@ -392,7 +433,7 @@ impl AnyServer {
 }
 
 fn build_server(
-    fabric: &Fabric,
+    fabric: &Arc<Fabric>,
     node: &Node,
     spec: &ExperimentSpec,
     obs: &Obs,
@@ -475,6 +516,19 @@ fn build_server(
                     spec.shards,
                 ));
             }
+            if spec.nodes > 1 {
+                assert!(
+                    matches!(spec.cleaning, Cleaning::Disabled),
+                    "multi-node runs require Cleaning::Disabled (migration \
+                     mirrors by log offset)"
+                );
+                assert_eq!(spec.window, 1, "multi-node runs use the serial client");
+                // The fabric the cluster lives on is the caller's; the
+                // `node` arg ("server") stays unused in this topology.
+                let ccfg =
+                    efactory::cluster::ClusterConfig::new(spec.nodes, spec.shards, layout, cfg);
+                return AnyServer::EfCluster(efactory::cluster::Cluster::format(fabric, ccfg));
+            }
             if spec.shards > 1 {
                 // Each shard keeps the full-workload layout: the router
                 // spreads keys, but Zipf skew makes the hottest shard's
@@ -492,6 +546,7 @@ fn build_server(
         }
         other => {
             assert_eq!(spec.shards, 1, "{other:?} does not support sharding");
+            assert_eq!(spec.nodes, 1, "{other:?} does not support multi-node");
             build_baseline(fabric, node, other, sized)
         }
     }
@@ -547,6 +602,21 @@ fn connect_client(
                 fabric,
                 local,
                 descs,
+                ef_cfg(ef_hybrid(kind)),
+            )?;
+            Ok(Box::new(c))
+        }
+        AnyDesc::Cluster {
+            handle,
+            meta_nodes,
+            stats,
+        } => {
+            let c = efactory::cluster::ClusterClient::connect(
+                fabric,
+                local,
+                meta_nodes,
+                handle,
+                stats,
                 ef_cfg(ef_hybrid(kind)),
             )?;
             Ok(Box::new(c))
@@ -628,6 +698,14 @@ fn make_txn_client(
         }
         AnyDesc::Replicated(descs) => {
             efactory::repl::ReplShardedClient::connect(fabric, local, descs, cfg)
+                .map(|c| Box::new(c) as Box<dyn TxnRemote>)
+        }
+        AnyDesc::Cluster {
+            handle,
+            meta_nodes,
+            stats,
+        } => {
+            efactory::cluster::ClusterClient::connect(fabric, local, meta_nodes, handle, stats, cfg)
                 .map(|c| Box::new(c) as Box<dyn TxnRemote>)
         }
     };
@@ -884,7 +962,10 @@ fn run_inner(
         // clean, fully durable store (bounded wait).
         if matches!(
             &*server2,
-            AnyServer::Ef(_) | AnyServer::EfSharded(_) | AnyServer::EfRepl(_)
+            AnyServer::Ef(_)
+                | AnyServer::EfSharded(_)
+                | AnyServer::EfRepl(_)
+                | AnyServer::EfCluster(_)
         ) {
             let deadline = sim::now() + sim::millis(500);
             while server2.stat_sum(|s| &s.bg_verified) + server2.stat_sum(|s| &s.bg_timeouts)
@@ -935,6 +1016,29 @@ fn run_inner(
                     spec2.seed ^ 0x0FAB_u64 ^ ((i as u64) << 17),
                 );
             }
+        }
+        // Live migration mid-window: shard 0 moves to the next node
+        // while the measured clients keep operating. The driver runs in
+        // its own process; clients retarget on WrongEpoch. The handle is
+        // joined before shutdown: at reduced op scales the window can end
+        // before `migrate_at`, and the migration must still run against a
+        // live cluster rather than race the teardown.
+        let mut migrator = None;
+        if let Some(migrate_at) = spec2.migrate_at {
+            let AnyServer::EfCluster(_) = &*server2 else {
+                panic!("migrate_at requires nodes > 1");
+            };
+            let server3 = Arc::clone(&server2);
+            let t0 = t_start + migrate_at;
+            migrator = Some(sim::spawn("migrator", move || {
+                sim::sleep(t0.saturating_sub(sim::now()));
+                let AnyServer::EfCluster(c) = &*server3 else {
+                    unreachable!()
+                };
+                let from = c.owner_of(0);
+                let to = (from + 1) % c.config().nodes;
+                c.migrate(0, to).expect("mid-window migration failed");
+            }));
         }
         // Background snapshot readers: continuous capture + multi-key
         // snapshot reads for the whole measurement window, stopped once
@@ -1083,6 +1187,9 @@ fn run_inner(
         }
         snap_stop.store(true, Ordering::Relaxed);
         for h in &snap_handles {
+            h.join();
+        }
+        if let Some(h) = migrator {
             h.join();
         }
         window2.lock().unwrap().1 = collected2.lock().unwrap().end;

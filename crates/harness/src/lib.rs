@@ -53,6 +53,8 @@ mod tests {
             window: 1,
             loc_cache: false,
             snap_readers: 0,
+            nodes: 1,
+            migrate_at: None,
         }
     }
 
@@ -189,6 +191,8 @@ mod tests {
             window: 1,
             loc_cache: false,
             snap_readers: 0,
+            nodes: 1,
+            migrate_at: None,
         };
         let r = run(&spec);
         assert!(r.cleanings >= 1, "expected cleaning, got {r:?}");

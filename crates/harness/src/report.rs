@@ -222,6 +222,8 @@ mod tests {
             window: 1,
             loc_cache: false,
             snap_readers: 0,
+            nodes: 1,
+            migrate_at: None,
         }
     }
 

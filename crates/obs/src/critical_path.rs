@@ -97,7 +97,7 @@ pub struct OpSummary {
     /// Measured latency (root span duration).
     pub latency: Nanos,
     /// Attributed nanoseconds per subsystem lane (sums to `latency`).
-    pub sub_ns: [u64; 7],
+    pub sub_ns: [u64; 8],
 }
 
 impl OpSummary {
@@ -149,7 +149,7 @@ pub struct PercentileRow {
     pub cohort: u64,
     /// Per-lane share of the cohort's total latency, in hundredths of a
     /// percent (integer math; sums to ~10000).
-    pub share_hundredths: [u64; 7],
+    pub share_hundredths: [u64; 8],
     /// Subsystem with the largest share (ties break toward lower lane).
     pub dominant: Subsystem,
 }
@@ -386,7 +386,7 @@ pub fn fold(records: &[TraceRecord], cfg: &FoldConfig) -> Breakdown {
             }
         }
 
-        let mut sub_ns = [0u64; 7];
+        let mut sub_ns = [0u64; 8];
         let mut covered = 0u64;
         for seg in &segments {
             sub_ns[seg.sub.lane() as usize] += seg.dur;
@@ -505,7 +505,7 @@ pub fn fold(records: &[TraceRecord], cfg: &FoldConfig) -> Breakdown {
         let n = latencies.len() as u64;
         let rank = (q_num * n).div_ceil(q_den).clamp(1, n);
         let threshold = latencies[rank as usize - 1];
-        let mut lane_ns = [0u64; 7];
+        let mut lane_ns = [0u64; 8];
         let mut total = 0u64;
         let mut cohort = 0u64;
         for s in &summaries {
@@ -517,7 +517,7 @@ pub fn fold(records: &[TraceRecord], cfg: &FoldConfig) -> Breakdown {
                 }
             }
         }
-        let mut share_hundredths = [0u64; 7];
+        let mut share_hundredths = [0u64; 8];
         for (share, ns) in share_hundredths.iter_mut().zip(lane_ns) {
             *share = (ns * 10_000).checked_div(total).unwrap_or(0);
         }

@@ -40,11 +40,13 @@ pub enum Subsystem {
     Nic,
     /// Replication tier (mirroring, backup apply, promotion).
     Repl,
+    /// Cluster control plane: metadata service, membership, migration.
+    Cluster,
 }
 
 impl Subsystem {
     /// All subsystems, in trace-lane order.
-    pub const ALL: [Subsystem; 7] = [
+    pub const ALL: [Subsystem; 8] = [
         Subsystem::Server,
         Subsystem::Client,
         Subsystem::Verifier,
@@ -52,6 +54,7 @@ impl Subsystem {
         Subsystem::Pmem,
         Subsystem::Nic,
         Subsystem::Repl,
+        Subsystem::Cluster,
     ];
 
     /// Stable lane index (used as the Chrome-trace `tid`).
@@ -64,6 +67,7 @@ impl Subsystem {
             Subsystem::Pmem => 4,
             Subsystem::Nic => 5,
             Subsystem::Repl => 6,
+            Subsystem::Cluster => 7,
         }
     }
 
@@ -81,6 +85,7 @@ impl Subsystem {
             Subsystem::Pmem => "pmem",
             Subsystem::Nic => "nic",
             Subsystem::Repl => "repl",
+            Subsystem::Cluster => "cluster",
         }
     }
 }

@@ -427,6 +427,21 @@ impl Fabric {
         Node { inner }
     }
 
+    /// Resolve a node by name — the fabric's directory service. Cluster
+    /// placement maps carry node *names* (stable across crash/restart
+    /// cycles, unlike listeners or MRs); clients resolve them here at
+    /// connection setup. Names are unique by construction (the cluster
+    /// layer derives them from node/shard indices).
+    pub fn node_by_name(&self, name: &str) -> Option<Node> {
+        self.nodes
+            .lock()
+            .iter()
+            .find(|n| n.name == name)
+            .map(|inner| Node {
+                inner: Arc::clone(inner),
+            })
+    }
+
     /// Connect `local` to the listener on `remote`. Must be called from
     /// within a simulated process.
     pub fn connect(&self, local: &Node, remote: &Node) -> Result<ClientQp, QpError> {

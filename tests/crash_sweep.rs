@@ -623,6 +623,239 @@ fn txn_sweep_with_all_dirty_lines_lost() {
     txn_sweep(CrashSpec::DropAll, 201);
 }
 
+// ------------------------------------------------------------ mid-migration
+//
+// Live-migration crash sweep: power-fail the SOURCE machine, the
+// DESTINATION machine, or a METADATA replica at a grid of instants
+// spanning an entire live migration (start → delta attach → snapshot copy
+// → seal/drain → fixup/verify → adopt → commit), then converge, restart
+// the victim, reconcile, and require the cluster to settle on **exactly
+// one owner**: the metadata service and the seat table agree, every
+// pre-migration key reads its seeded value un-torn, and the shard stays
+// writable. A commit the driver observed must leave the destination the
+// owner; any other outcome must leave ownership consistent either way —
+// the commit point is the only instant ownership may change, and a fault
+// inside the commit window itself is settled by staging + reconciliation,
+// never by serving two owners.
+
+use efactory::cluster::{Cluster, ClusterClient, ClusterConfig, MetaClient};
+
+const MIG_KEYS: usize = 16;
+
+fn mig_key(i: usize) -> Vec<u8> {
+    format!("migswept-{i:04}").into_bytes()
+}
+
+fn mig_val(i: usize) -> Vec<u8> {
+    format!("mig-old-{i:04}-0123456789abcdef").into_bytes()
+}
+
+#[derive(Clone, Copy, Debug)]
+enum MigVictim {
+    /// The machine losing the shard: its agent endpoint and its seat.
+    Source,
+    /// The machine receiving the shard — which also lends the migration
+    /// driver its fabric identity, so killing it mid-commit is the
+    /// ambiguous-outcome case.
+    Dest,
+    /// Metadata replica 0 (the initial leader): the commit must ride out
+    /// the re-election on the surviving majority.
+    MetaReplica,
+}
+
+/// One sweep point: power-fail `victim` at `t_crash` into a live
+/// migration of shard 0 from node 0 to node 1, wait for the metadata
+/// service to converge, restart the victim, reconcile, and check the
+/// single-owner contract. Returns whether the migration committed from
+/// the driver's point of view.
+fn migration_crash_at(victim: MigVictim, t_crash: Nanos, seed: u64) -> bool {
+    let mut simu = Sim::new(seed);
+    let fabric = Fabric::new(CostModel::default());
+    let layout = StoreLayout::new(256, 256 * 1024, false);
+    let cluster = Arc::new(Cluster::format(
+        &fabric,
+        ClusterConfig::new(2, 1, layout, ServerConfig::default()),
+    ));
+    let out: Arc<std::sync::Mutex<Option<bool>>> = Arc::default();
+    let out2 = Arc::clone(&out);
+    let f = Arc::clone(&fabric);
+    let cl = Arc::clone(&cluster);
+    simu.spawn("main", move || {
+        cl.start();
+        sim::sleep(sim::millis(1)); // leader elected, heartbeats flowing
+        let seeder = ClusterClient::connect(
+            &f,
+            &f.add_node("seeder"),
+            cl.meta_nodes(),
+            cl.handle(),
+            cl.stats(),
+            ClientConfig::default(),
+        )
+        .unwrap();
+        for i in 0..MIG_KEYS {
+            seeder.put(&mig_key(i), &mig_val(i)).unwrap();
+            seeder.get(&mig_key(i)).unwrap().unwrap();
+        }
+
+        let t0 = sim::now();
+        let fc = Arc::clone(&f);
+        let cc = Arc::clone(&cl);
+        let controller = sim::spawn("controller", move || {
+            sim::sleep_until(t0 + t_crash);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_F00D);
+            match victim {
+                MigVictim::Source => {
+                    fc.crash_node(cc.agent_node(0), CrashSpec::DropAll, &mut rng);
+                    fc.crash_node(cc.seat_node(0, 0), CrashSpec::DropAll, &mut rng);
+                }
+                MigVictim::Dest => {
+                    fc.crash_node(cc.agent_node(1), CrashSpec::DropAll, &mut rng);
+                    fc.crash_node(cc.seat_node(1, 0), CrashSpec::DropAll, &mut rng);
+                }
+                MigVictim::MetaReplica => cc.crash_meta_replica(0, seed),
+            }
+        });
+        // Both outcomes are legal at any cut; consistency is checked below
+        // either way.
+        let result = cl.migrate(0, 1);
+        controller.join();
+
+        // Converge: the migration slot must clear — by the driver's own
+        // commit/abort or by the death sweep's auto-abort.
+        let probe = f.add_node("probe");
+        let mut mc = MetaClient::new(&f, &probe, cl.meta_nodes());
+        let deadline = sim::now() + sim::millis(20);
+        loop {
+            if let Some(s) = mc.get_map(sim::now() + sim::millis(2)) {
+                if s.migrating.is_none() {
+                    break;
+                }
+            }
+            assert!(
+                sim::now() < deadline,
+                "{victim:?} crash at t={t_crash}: cluster never converged"
+            );
+            sim::sleep(sim::micros(50));
+        }
+
+        // Reboot the victim and settle any staged destination copy.
+        match victim {
+            MigVictim::Source => {
+                cl.restart_data_node(0);
+            }
+            MigVictim::Dest => {
+                cl.restart_data_node(1);
+            }
+            MigVictim::MetaReplica => cl.restart_meta_replica(0),
+        }
+        cl.reconcile();
+
+        // Exactly one owner: the metadata service and the seat table must
+        // agree, and a driver-observed commit is binding.
+        let state = mc
+            .get_map(sim::now() + sim::millis(5))
+            .expect("metadata majority after restart");
+        assert!(state.migrating.is_none());
+        let owner = state.placement.node_of_shard(0);
+        assert_eq!(
+            owner,
+            cl.owner_of(0),
+            "{victim:?} crash at t={t_crash}: metadata and seat table disagree on the owner"
+        );
+        if let Ok(report) = &result {
+            assert_eq!(
+                owner, 1,
+                "{victim:?} crash at t={t_crash}: committed migration lost the flip"
+            );
+            assert_eq!(report.verify_diff_bytes, 0);
+        }
+
+        // The surviving owner serves every seeded key un-torn and accepts
+        // writes.
+        let checker = ClusterClient::connect(
+            &f,
+            &f.add_node("checker"),
+            cl.meta_nodes(),
+            cl.handle(),
+            cl.stats(),
+            ClientConfig::default(),
+        )
+        .unwrap();
+        for i in 0..MIG_KEYS {
+            let v = checker
+                .get(&mig_key(i))
+                .unwrap()
+                .unwrap_or_else(|| panic!("{victim:?} crash at t={t_crash}: key {i} lost"));
+            assert_eq!(
+                v,
+                mig_val(i),
+                "{victim:?} crash at t={t_crash}: torn/garbage value for key {i}"
+            );
+        }
+        checker.put(b"post", b"alive").unwrap();
+        assert_eq!(
+            checker.get(b"post").unwrap().as_deref(),
+            Some(&b"alive"[..])
+        );
+        cl.shutdown();
+        *out2.lock().unwrap() = Some(result.is_ok());
+    });
+    simu.run().expect_ok();
+    let v = out.lock().unwrap().take().expect("sweep point finished");
+    v
+}
+
+fn migration_sweep(victim: MigVictim, seed: u64) {
+    // The quiescent migration spans ~85 µs of virtual time; the coarse
+    // grid covers the whole protocol plus a post-commit tail, and the
+    // fine grid brackets the adopt/commit window where the ambiguous
+    // outcomes live.
+    let mut points: Vec<Nanos> = (0..=22).map(|i| sim::micros(5) * i).collect();
+    points.extend((78..=92).map(sim::micros));
+    let mut saw_commit = false;
+    let mut saw_fail = false;
+    for t in points {
+        if migration_crash_at(victim, t, seed) {
+            saw_commit = true;
+        } else {
+            saw_fail = true;
+        }
+    }
+    // The grid must exercise both outcomes where both are possible: early
+    // faults kill the migration, post-commit faults cannot un-commit it.
+    assert!(
+        saw_commit,
+        "{victim:?}: sweep never committed — late points should land after the flip"
+    );
+    match victim {
+        // Losing one of three metadata replicas must never kill the
+        // commit — the majority rides out the re-election.
+        MigVictim::MetaReplica => assert!(
+            !saw_fail,
+            "a single metadata replica loss aborted a migration"
+        ),
+        _ => assert!(
+            saw_fail,
+            "{victim:?}: sweep never aborted — early points should kill the migration"
+        ),
+    }
+}
+
+#[test]
+fn migration_sweep_source_power_fail() {
+    migration_sweep(MigVictim::Source, 301);
+}
+
+#[test]
+fn migration_sweep_dest_power_fail() {
+    migration_sweep(MigVictim::Dest, 302);
+}
+
+#[test]
+fn migration_sweep_meta_replica_power_fail() {
+    migration_sweep(MigVictim::MetaReplica, 303);
+}
+
 #[test]
 fn txn_sweep_with_word_granular_survival() {
     txn_sweep(CrashSpec::Words(0.5), 202);

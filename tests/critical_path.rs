@@ -38,6 +38,8 @@ fn base(mix: Mix, seed: u64) -> ExperimentSpec {
         window: 1,
         loc_cache: false,
         snap_readers: 0,
+        nodes: 1,
+        migrate_at: None,
     }
 }
 

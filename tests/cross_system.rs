@@ -245,6 +245,8 @@ fn fabric_counters_reproducible_across_identical_runs() {
         window: 1,
         loc_cache: false,
         snap_readers: 0,
+        nodes: 1,
+        migrate_at: None,
     };
     let a = cluster::run(&spec);
     let b = cluster::run(&spec);
@@ -287,6 +289,8 @@ fn harness_accounting_is_exact_for_all_mixes() {
             window: 1,
             loc_cache: false,
             snap_readers: 0,
+            nodes: 1,
+            migrate_at: None,
         };
         let r = cluster::run(&spec);
         assert_eq!(r.total_ops, 120);

@@ -27,6 +27,8 @@ fn tiny_spec() -> ExperimentSpec {
         window: 1,
         loc_cache: false,
         snap_readers: 0,
+        nodes: 1,
+        migrate_at: None,
     }
 }
 

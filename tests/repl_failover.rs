@@ -216,6 +216,8 @@ fn replicated_runs_are_byte_identical() {
         window: 1,
         loc_cache: false,
         snap_readers: 0,
+        nodes: 1,
+        migrate_at: None,
     };
     let a = run(&spec);
     let b = run(&spec);

@@ -34,6 +34,8 @@ fn spec() -> ExperimentSpec {
         window: 1,
         loc_cache: false,
         snap_readers: 0,
+        nodes: 1,
+        migrate_at: None,
     }
 }
 
@@ -84,6 +86,16 @@ fn every_registered_counter_lands_in_the_report() {
     txn.mix = Mix::T;
     txn.snap_readers = 1;
     names.extend(audit("transactional", &txn));
+
+    // The cluster lane: multi-node placement with a live migration fired
+    // mid-window, registering the cluster.*/meta.*/cluster.migrate.*
+    // families (including the migration delta stream's repl counters).
+    let mut clu = spec();
+    clu.nodes = 2;
+    clu.shards = 2;
+    clu.ops_per_client = 150;
+    clu.migrate_at = Some(50_000);
+    names.extend(audit("cluster-migrate", &clu));
 
     // The audit list: every counter family PRs 3–5 introduced, by name.
     // A rename or a dropped registration shows up as a failure here.
@@ -148,6 +160,36 @@ fn every_registered_counter_lands_in_the_report() {
         "server.txn.snap_captures",
         "server.txn.snap_gets",
         "server.txn.snap_busy",
+        // cluster layer: migration driver
+        "cluster.migrate.started",
+        "cluster.migrate.committed",
+        "cluster.migrate.aborted",
+        "cluster.migrate.snapshot_bytes",
+        "cluster.migrate.snapshot_chunks",
+        "cluster.migrate.fixup_bytes",
+        "cluster.migrate.verify_diff_bytes",
+        "cluster.migrate.drain_waits",
+        // cluster layer: membership + clients
+        "cluster.node_kills",
+        "cluster.node_restarts",
+        "cluster.client.retargets",
+        "cluster.client.refreshes",
+        // cluster layer: delta-stream mirror counters
+        "cluster.migrate.repl.mirror_objects",
+        "cluster.migrate.repl.mirror_bytes",
+        "cluster.migrate.repl.mirror_batches",
+        "cluster.migrate.repl.applied_objects",
+        // replicated metadata service
+        "meta.elections",
+        "meta.terms",
+        "meta.commits",
+        "meta.applies",
+        "meta.appends",
+        "meta.heartbeats",
+        "meta.node_downs",
+        "meta.node_ups",
+        "meta.rejects",
+        "meta.getmaps",
     ] {
         assert!(
             names.iter().any(|n| n == required),
