@@ -28,16 +28,32 @@
 //!   replicated facts, not per-replica opinions.
 //!
 //! Simplifications vs. full Raft, on purpose (and documented in
-//! DESIGN.md §10): full-log `Append` instead of per-follower nextIndex
-//! repair, no log compaction, and no commit-from-previous-term subtlety
-//! (full-log replacement makes the follower's log equal the leader's
-//! before the ack that commits). Replica memory is volatile: a
-//! power-failed replica rejoins empty and is re-filled by the next
-//! `Append` — safe with 3 replicas and majority commit, since any
-//! committed entry lives on at least one member of every majority.
+//! DESIGN.md §10): full-suffix `Append` instead of per-follower
+//! nextIndex repair (each `Append` ships the latest snapshot plus every
+//! entry above it, so a stale or divergent follower is simply
+//! overwritten), and no commit-from-previous-term subtlety (wholesale
+//! replacement makes the follower's log equal the leader's before the
+//! ack that commits). Two load-bearing rules the simplifications do NOT
+//! relax:
+//!
+//! * **Persistence.** Term, vote, snapshot, and log are written to the
+//!   replica's simulated stable storage before they are acted on over
+//!   the network, and a power-failed replica reboots *from* that
+//!   storage. Without this, a restarted replica could double-vote in a
+//!   term it already voted in, or grant a vote to a candidate missing a
+//!   committed entry — letting an acknowledged command be erased.
+//! * **Read-index + step-down.** The leader only answers `GetMap` after
+//!   a replication round confirms a majority still follows it, and any
+//!   round that loses its majority makes it step down — so a deposed
+//!   leader on the wrong side of a partition can never serve a stale
+//!   placement map as authoritative.
+//!
+//! The log is compacted: once the applied prefix passes a threshold it
+//! is folded into a `MetaState` snapshot and truncated, keeping
+//! heartbeat `Append`s O(recent history) instead of O(all history).
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use efactory_obs::{Counter, Registry};
 use efactory_rnic::{ClientQp, Fabric, Incoming, Listener, Node, QpError};
@@ -339,6 +355,41 @@ fn get_u64(b: &[u8], off: usize) -> Option<u64> {
         .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
 }
 
+/// Fold the applied prefix into the snapshot once this many applied
+/// entries sit above it (keeps every `Append` O(recent history)).
+const COMPACT_AT: usize = 32;
+
+/// A replica's simulated stable storage: exactly the state Raft requires
+/// to survive a power failure — current term, vote, and the log (here:
+/// snapshot + suffix). The [`MetaService`] owns one cell per replica; a
+/// restarted replica process reboots from it, so a vote it granted or an
+/// entry it acknowledged can never be un-acknowledged by a crash. The
+/// store is atomic (the sim's cooperative scheduling cannot preempt it),
+/// modelling an fsync'd write that completes before the next message is
+/// sent.
+#[derive(Clone)]
+struct Durable {
+    term: u64,
+    voted_for: Option<u32>,
+    snap_base: usize,
+    snap_last_term: u64,
+    snap_state: MetaState,
+    log: Vec<(u64, MetaCmd)>,
+}
+
+impl Durable {
+    fn fresh(init: &MetaState) -> Durable {
+        Durable {
+            term: 0,
+            voted_for: None,
+            snap_base: 0,
+            snap_last_term: 0,
+            snap_state: init.clone(),
+            log: Vec::new(),
+        }
+    }
+}
+
 /// One replica of the metadata service.
 struct Replica {
     r: usize,
@@ -348,12 +399,26 @@ struct Replica {
     fabric: Arc<Fabric>,
     peers: Vec<Option<ClientQp>>,
     peer_nodes: Vec<Node>,
+    /// Do not contact peer `p` again before this instant. A peer that
+    /// just timed out costs a full `peer_rpc` deadline of *blocking* per
+    /// attempt (a partitioned link swallows the request silently), so
+    /// probing it on every round would leave the leader wedged in dead
+    /// RPCs instead of serving — back off and re-probe periodically.
+    peer_backoff: Vec<Nanos>,
 
     term: u64,
     voted_for: Option<u32>,
     is_leader: bool,
     leader_hint: u32,
+    /// Entries compacted into `snap_state` (absolute count) and the term
+    /// of the last one — the log below this index no longer exists.
+    snap_base: usize,
+    snap_last_term: u64,
+    /// The applied state at exactly `snap_base` entries.
+    snap_state: MetaState,
+    /// Log suffix: entry `i` here has absolute index `snap_base + i`.
     log: Vec<(u64, MetaCmd)>,
+    /// Committed / applied prefixes, in absolute entry counts.
     commit: usize,
     applied: usize,
     state: MetaState,
@@ -362,6 +427,7 @@ struct Replica {
     next_heartbeat: Nanos,
     last_seen: Vec<Nanos>,
 
+    durable: Arc<Mutex<Durable>>,
     timing: MetaTiming,
     stats: Arc<MetaStats>,
     stop: Arc<AtomicBool>,
@@ -371,7 +437,8 @@ struct Replica {
 /// [`Cluster`](super::Cluster).
 pub struct MetaService {
     nodes: Vec<Node>,
-    init: MetaState,
+    /// Per-replica simulated stable storage (survives power failure).
+    durable: Vec<Arc<Mutex<Durable>>>,
     data_nodes: usize,
     timing: MetaTiming,
     stats: Arc<MetaStats>,
@@ -394,9 +461,12 @@ impl MetaService {
         let nodes = (0..replicas)
             .map(|r| fabric.add_node(&format!("meta{r}")))
             .collect();
+        let durable = (0..replicas)
+            .map(|_| Arc::new(Mutex::new(Durable::fresh(&init))))
+            .collect();
         MetaService {
             nodes,
-            init,
+            durable,
             data_nodes,
             timing,
             stats,
@@ -419,10 +489,14 @@ impl MetaService {
         }
     }
 
-    /// Re-admit a power-failed replica: restart its node and spawn a
-    /// fresh process with an **empty** log (replica memory is volatile).
-    /// The next leader `Append` re-fills it; committed entries are safe
-    /// because every commit lives on a majority.
+    /// Re-admit a power-failed replica: restart its node and reboot the
+    /// process from its simulated stable storage. Term, vote, snapshot,
+    /// and log survive the failure — the classic Raft requirement — so
+    /// the restarted replica can neither double-vote in a term it
+    /// already voted in nor elect a candidate missing a committed entry.
+    /// Only the commit/applied cursors are volatile; they are relearned
+    /// from the next leader `Append` (or re-established by winning an
+    /// election and replicating).
     pub fn restart_replica(&self, fabric: &Arc<Fabric>, r: usize) {
         fabric.restart_node(&self.nodes[r]);
         self.spawn_replica(fabric, r);
@@ -431,6 +505,7 @@ impl MetaService {
     fn spawn_replica(&self, fabric: &Arc<Fabric>, r: usize) {
         let node = &self.nodes[r];
         let listener = node.listen_with(fabric, false, 0);
+        let d = self.durable[r].lock().unwrap().clone();
         let mut rep = Replica {
             r,
             n_replicas: self.nodes.len(),
@@ -439,17 +514,25 @@ impl MetaService {
             fabric: Arc::clone(fabric),
             peers: (0..self.nodes.len()).map(|_| None).collect(),
             peer_nodes: self.nodes.clone(),
-            term: 0,
-            voted_for: None,
+            peer_backoff: vec![0; self.nodes.len()],
+            term: d.term,
+            voted_for: d.voted_for,
             is_leader: false,
             leader_hint: 0,
-            log: Vec::new(),
-            commit: 0,
-            applied: 0,
-            state: self.init.clone(),
+            snap_base: d.snap_base,
+            snap_last_term: d.snap_last_term,
+            // Commit knowledge is volatile: resume applied at the
+            // snapshot and relearn the commit point from the next leader
+            // round. Entries in the restored suffix re-apply then.
+            commit: d.snap_base,
+            applied: d.snap_base,
+            state: d.snap_state.clone(),
+            snap_state: d.snap_state,
+            log: d.log,
             last_contact: sim::now(),
             next_heartbeat: 0,
             last_seen: vec![sim::now(); self.data_nodes],
+            durable: Arc::clone(&self.durable[r]),
             timing: self.timing.clone(),
             stats: Arc::clone(&self.stats),
             stop: Arc::clone(&self.stop),
@@ -471,6 +554,30 @@ impl Replica {
         self.n_replicas / 2 + 1
     }
 
+    /// Absolute log length: snapshot-covered entries + live suffix.
+    fn abs_len(&self) -> usize {
+        self.snap_base + self.log.len()
+    }
+
+    /// Term of the last log entry (falling back to the snapshot's).
+    fn last_log_term(&self) -> u64 {
+        self.log.last().map_or(self.snap_last_term, |e| e.0)
+    }
+
+    /// Write the Raft-persistent state (term, vote, snapshot, log) to
+    /// stable storage. Must run after every mutation of those fields and
+    /// before the mutation is acted on over the network.
+    fn persist(&self) {
+        *self.durable.lock().unwrap() = Durable {
+            term: self.term,
+            voted_for: self.voted_for,
+            snap_base: self.snap_base,
+            snap_last_term: self.snap_last_term,
+            snap_state: self.snap_state.clone(),
+            log: self.log.clone(),
+        };
+    }
+
     fn run(&mut self, listener: Listener) {
         loop {
             if self.stopping() {
@@ -489,14 +596,17 @@ impl Replica {
     }
 
     /// Time-driven work: elections for followers, heartbeats + death
-    /// sweep for the leader.
+    /// sweep for the leader. A heartbeat round that loses its majority
+    /// steps the leader down (see [`replicate`](Self::replicate)), so the
+    /// death sweep never runs on deposed state.
     fn tick_duties(&mut self) {
         let now = sim::now();
         if self.is_leader {
             if now >= self.next_heartbeat {
                 self.next_heartbeat = now + self.timing.heartbeat_every;
-                self.replicate();
-                self.death_sweep();
+                if self.replicate() {
+                    self.death_sweep();
+                }
             }
         } else if now.saturating_sub(self.last_contact) > self.election_timeout() {
             self.campaign();
@@ -517,6 +627,7 @@ impl Replica {
             self.term = term;
             self.voted_for = None;
             self.is_leader = false;
+            self.persist();
             // Track the max term as a monotone counter.
             while self.stats.terms.get() < term {
                 self.stats.terms.inc();
@@ -527,8 +638,9 @@ impl Replica {
     fn campaign(&mut self) {
         self.adopt_term(self.term + 1);
         self.voted_for = Some(self.r as u32);
+        self.persist();
         self.last_contact = sim::now();
-        let (last_term, last_len) = (self.log.last().map_or(0, |e| e.0), self.log.len());
+        let (last_term, last_len) = (self.last_log_term(), self.abs_len());
         let mut req = vec![M_REQUEST_VOTE];
         put_u64(&mut req, self.term);
         req.extend_from_slice(&(self.r as u32).to_le_bytes());
@@ -564,6 +676,8 @@ impl Replica {
         if votes >= self.majority() {
             self.is_leader = true;
             self.leader_hint = self.r as u32;
+            // A fresh mandate probes every peer, whatever its history.
+            self.peer_backoff.iter_mut().for_each(|b| *b = 0);
             self.next_heartbeat = 0; // heartbeat immediately
                                      // Fresh grace for every data node so a new leader does not
                                      // instantly declare the world dead.
@@ -581,13 +695,23 @@ impl Replica {
         }
     }
 
-    /// Ship the full log to every peer; commit once a majority holds it.
-    /// Doubles as the heartbeat.
-    fn replicate(&mut self) {
+    /// Ship the snapshot + log suffix to every peer; commit once a
+    /// majority holds it. Doubles as the heartbeat AND as the leadership
+    /// confirmation: returns `true` iff a majority acked this round. A
+    /// round that loses its majority steps the leader down — a quorum on
+    /// the other side of a partition may already follow a newer leader,
+    /// so continuing to serve reads or validate proposals here would use
+    /// stale state.
+    fn replicate(&mut self) -> bool {
         let mut msg = vec![M_APPEND];
         put_u64(&mut msg, self.term);
         msg.extend_from_slice(&(self.r as u32).to_le_bytes());
         put_u64(&mut msg, self.commit as u64);
+        put_u64(&mut msg, self.snap_base as u64);
+        put_u64(&mut msg, self.snap_last_term);
+        let snap = self.snap_state.encode();
+        msg.extend_from_slice(&(snap.len() as u32).to_le_bytes());
+        msg.extend_from_slice(&snap);
         put_u64(&mut msg, self.log.len() as u64);
         for (term, cmd) in &self.log {
             put_u64(&mut msg, *term);
@@ -601,6 +725,12 @@ impl Replica {
             if p == self.r {
                 continue;
             }
+            // A backed-off peer counts as silent (no ack) this round —
+            // conservative for both the commit and the majority
+            // confirmation, never optimistic.
+            if sim::now() < self.peer_backoff[p] {
+                continue;
+            }
             self.stats.appends.inc();
             let deadline = sim::now() + self.timing.peer_rpc;
             let reply = (|| {
@@ -610,45 +740,82 @@ impl Replica {
             })();
             match reply {
                 Some(b) if b.first() == Some(&R_APPEND_ACK) => {
+                    self.peer_backoff[p] = 0;
                     let term = get_u64(&b, 1).unwrap_or(0);
                     if term > self.term {
                         self.adopt_term(term);
-                        return;
+                        return false;
                     }
                     if b.get(9) == Some(&1) {
                         acks += 1;
                     }
                 }
                 Some(_) => {}
-                None => self.peers[p] = None,
+                None => {
+                    self.peers[p] = None;
+                    self.peer_backoff[p] = sim::now() + 3 * self.timing.heartbeat_every;
+                }
             }
         }
-        if acks >= self.majority() && self.commit < self.log.len() {
-            let newly = self.log.len() - self.commit;
-            self.commit = self.log.len();
+        if acks < self.majority() {
+            self.is_leader = false;
+            self.last_contact = sim::now();
+            return false;
+        }
+        if self.commit < self.abs_len() {
+            let newly = self.abs_len() - self.commit;
+            self.commit = self.abs_len();
             self.stats.commits.add(newly as u64);
             self.apply_committed();
         }
+        true
     }
 
     fn apply_committed(&mut self) {
         while self.applied < self.commit {
-            let cmd = self.log[self.applied].1.clone();
+            let cmd = self.log[self.applied - self.snap_base].1.clone();
             match cmd {
                 MetaCmd::NodeDown(_) => self.stats.node_downs.inc(),
                 MetaCmd::NodeUp(_) => self.stats.node_ups.inc(),
                 _ => {}
             }
-            self.state.apply(&self.log[self.applied].1.clone());
+            self.state.apply(&cmd);
             self.applied += 1;
             self.stats.applies.inc();
         }
+        self.maybe_compact();
+    }
+
+    /// Fold the applied prefix into the snapshot once it outgrows the
+    /// threshold and truncate it from the log, so `Append` traffic stays
+    /// proportional to recent history rather than all history.
+    fn maybe_compact(&mut self) {
+        let applied_suffix = self.applied - self.snap_base;
+        if applied_suffix < COMPACT_AT {
+            return;
+        }
+        self.snap_last_term = self.log[applied_suffix - 1].0;
+        self.log.drain(..applied_suffix);
+        self.snap_base = self.applied;
+        self.snap_state = self.state.clone();
+        self.persist();
+    }
+
+    /// Is `cmd` already sitting in the uncommitted tail? Re-proposing an
+    /// identical command while one is in flight (e.g. a `NodeDown` per
+    /// sweep tick during a no-majority window) would only grow the log.
+    fn has_pending(&self, cmd: &MetaCmd) -> bool {
+        self.log[self.commit - self.snap_base..]
+            .iter()
+            .any(|(_, c)| c == cmd)
     }
 
     /// Leader-side proposal: validate against applied state, append,
     /// replicate synchronously. `true` iff committed.
     fn propose(&mut self, cmd: MetaCmd) -> bool {
-        debug_assert!(self.is_leader);
+        if !self.is_leader {
+            return false;
+        }
         // Leader-side validation keeps obviously-invalid commands out of
         // the log; apply() is still total for safety.
         let mut probe = self.state.clone();
@@ -659,17 +826,24 @@ impl Replica {
             return false;
         }
         self.log.push((self.term, cmd));
+        self.persist();
         self.replicate();
-        self.commit >= self.log.len()
+        self.commit >= self.abs_len()
     }
 
     fn death_sweep(&mut self) {
         let now = sim::now();
         for i in 0..self.data_nodes {
+            if !self.is_leader {
+                return; // a failed propose round deposed us mid-sweep
+            }
             if self.state.alive[i]
                 && now.saturating_sub(self.last_seen[i]) > self.timing.death_timeout
             {
-                self.propose(MetaCmd::NodeDown(i as u32));
+                let cmd = MetaCmd::NodeDown(i as u32);
+                if !self.has_pending(&cmd) {
+                    self.propose(cmd);
+                }
             }
         }
     }
@@ -695,13 +869,13 @@ impl Replica {
         let cand_last_term = get_u64(b, 13).unwrap_or(0);
         let cand_len = get_u64(b, 21).unwrap_or(0) as usize;
         self.adopt_term(term);
-        let my_last_term = self.log.last().map_or(0, |e| e.0);
-        let up_to_date = (cand_last_term, cand_len) >= (my_last_term, self.log.len());
+        let up_to_date = (cand_last_term, cand_len) >= (self.last_log_term(), self.abs_len());
         let grant = term == self.term
             && up_to_date
             && (self.voted_for.is_none() || self.voted_for == Some(cand));
         if grant {
             self.voted_for = Some(cand);
+            self.persist();
             self.last_contact = sim::now();
         }
         let mut r = vec![R_VOTE];
@@ -722,14 +896,23 @@ impl Replica {
             self.is_leader = false;
             self.leader_hint = leader;
             self.last_contact = sim::now();
-            if let Some((log, commit)) = decode_append_log(b) {
-                self.log = log;
-                // Our state machine may have applied entries the new log
-                // keeps (it always does — committed prefixes agree), so
-                // `applied` stays valid; clamp defensively anyway.
-                self.applied = self.applied.min(self.log.len());
-                self.commit = commit.min(self.log.len());
+            if let Some(m) = decode_append(b) {
+                self.snap_base = m.snap_base;
+                self.snap_last_term = m.snap_last_term;
+                self.log = m.log;
+                if self.applied < m.snap_base {
+                    // Our applied prefix ends inside the leader's
+                    // snapshot: jump straight to the snapshot state.
+                    self.state = m.snap_state.clone();
+                    self.applied = m.snap_base;
+                }
+                self.snap_state = m.snap_state;
+                // Committed prefixes agree, so entries we already applied
+                // stay committed even under a leader whose commit
+                // knowledge lags ours (hence the `max`).
+                self.commit = m.commit.min(self.abs_len()).max(self.applied);
                 self.apply_committed();
+                self.persist();
                 ok = true;
             }
         }
@@ -741,7 +924,13 @@ impl Replica {
 
     fn on_get_map(&mut self) -> Vec<u8> {
         let mut r = vec![R_MAP];
-        if self.is_leader {
+        // Read-index: confirm leadership with a majority round before
+        // answering. A deposed leader partitioned away from the quorum
+        // otherwise serves a placement map that predates commits on the
+        // other side — e.g. telling a migration driver its commit
+        // "provably did not land" while the real leader flipped
+        // ownership, double-owning the shard.
+        if self.is_leader && self.replicate() {
             self.stats.getmaps.inc();
             r.push(S_OK);
             r.extend_from_slice(&self.state.encode());
@@ -796,7 +985,10 @@ impl Replica {
             self.stats.heartbeats.inc();
             self.last_seen[node] = sim::now();
             if !self.state.alive[node] {
-                self.propose(MetaCmd::NodeUp(node as u32));
+                let cmd = MetaCmd::NodeUp(node as u32);
+                if !self.has_pending(&cmd) {
+                    self.propose(cmd);
+                }
             }
         }
         r.push(S_OK);
@@ -804,10 +996,27 @@ impl Replica {
     }
 }
 
-fn decode_append_log(b: &[u8]) -> Option<(Vec<(u64, MetaCmd)>, usize)> {
+/// Decoded body of an `Append`: the leader's snapshot plus every entry
+/// above it, and its commit point.
+struct AppendMsg {
+    commit: usize,
+    snap_base: usize,
+    snap_last_term: u64,
+    snap_state: MetaState,
+    log: Vec<(u64, MetaCmd)>,
+}
+
+fn decode_append(b: &[u8]) -> Option<AppendMsg> {
     let commit = get_u64(b, 13)? as usize;
-    let n = get_u64(b, 21)? as usize;
-    let mut off = 29;
+    let snap_base = get_u64(b, 21)? as usize;
+    let snap_last_term = get_u64(b, 29)?;
+    let snap_len = b
+        .get(37..41)
+        .map(|s| u32::from_le_bytes(s.try_into().unwrap()))? as usize;
+    let snap_state = MetaState::decode(b.get(41..41 + snap_len)?)?;
+    let mut off = 41 + snap_len;
+    let n = get_u64(b, off)? as usize;
+    off += 8;
     let mut log = Vec::with_capacity(n);
     for _ in 0..n {
         let term = get_u64(b, off)?;
@@ -819,7 +1028,13 @@ fn decode_append_log(b: &[u8]) -> Option<(Vec<(u64, MetaCmd)>, usize)> {
         off += len;
         log.push((term, cmd));
     }
-    Some((log, commit))
+    Some(AppendMsg {
+        commit,
+        snap_base,
+        snap_last_term,
+        snap_state,
+        log,
+    })
 }
 
 // ---------------------------------------------------------------------

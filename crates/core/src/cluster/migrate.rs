@@ -51,10 +51,15 @@
 //!
 //! Aborting at any step before 7 leaves the source the one owner: the
 //! driver unseals it, detaches the delta stream, and commits
-//! `MigrateAbort`. A crash of either endpoint mid-migration is detected
-//! by the metadata service's death sweep, which auto-aborts the
-//! migration; the invariant "exactly one owner per shard" holds at every
-//! instant because ownership only ever changes inside `MigrateCommit`.
+//! `MigrateAbort`. If the abort proposal itself finds no metadata
+//! majority, the driver parks it ([`Cluster::note_unacked_abort`]) and
+//! [`Cluster::reconcile`] re-proposes it once a majority is reachable —
+//! otherwise the slot would stay occupied forever, since with both
+//! endpoints alive the death sweep never auto-aborts. A crash of either
+//! endpoint mid-migration is detected by the metadata service's death
+//! sweep, which auto-aborts the migration; the invariant "exactly one
+//! owner per shard" holds at every instant because ownership only ever
+//! changes inside `MigrateCommit`.
 
 use std::sync::Arc;
 
@@ -161,6 +166,7 @@ fn write_retry(qp: &ClientQp, mr: &RemoteMr, off: usize, data: &[u8]) -> Result<
 struct Unwind<'a> {
     mc: &'a mut MetaClient,
     shard: usize,
+    to: usize,
     src: &'a Arc<ServerShared>,
     sealed: bool,
     attached: bool,
@@ -178,12 +184,19 @@ impl Unwind<'_> {
         }
         cluster.clear_staged();
         let deadline = sim::now() + sim::millis(2);
-        self.mc.propose(
+        let outcome = self.mc.propose(
             &MetaCmd::MigrateAbort {
                 shard: self.shard as u32,
             },
             deadline,
         );
+        if matches!(outcome, ProposeOutcome::Unavailable) {
+            // The abort may never have reached the log. Both endpoints
+            // are (or may be) alive, so the death sweep will never free
+            // the slot for us — park the abort for `Cluster::reconcile`
+            // to re-propose once a metadata majority is reachable.
+            cluster.note_unacked_abort(self.shard, self.to);
+        }
         cluster.stats().migrations_aborted.inc();
         err
     }
@@ -277,6 +290,9 @@ impl Cluster {
             }
             ProposeOutcome::Unavailable => return Err(MigrateError::MetaUnavailable),
         }
+        // The slot is (again) ours: any abort a previous driver failed to
+        // deliver is obsolete, and re-proposing it would kill this run.
+        self.clear_pending_abort();
         self.stats().migrations_started.inc();
 
         // Destination scaffolding: fresh pool, a listener so QPs (the
@@ -295,6 +311,7 @@ impl Cluster {
         let mut unwind = Unwind {
             mc: &mut mc,
             shard,
+            to,
             src: &src,
             sealed: false,
             attached: false,

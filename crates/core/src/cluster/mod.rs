@@ -234,6 +234,12 @@ pub struct Cluster {
     /// In-flight migration's destination artifacts (at most one — the
     /// metadata service serializes migrations).
     staged: Mutex<Option<StagedMigration>>,
+    /// A `MigrateAbort` whose proposal never reached a metadata majority:
+    /// `(shard, to)` of the dead migration still occupying the slot.
+    /// With both endpoints alive the death sweep will never free it, so
+    /// [`reconcile`](Self::reconcile) re-proposes it once a majority is
+    /// reachable again.
+    pending_abort: Mutex<Option<(u32, u32)>>,
     stop: Arc<AtomicBool>,
 }
 
@@ -322,6 +328,7 @@ impl Cluster {
             stats,
             migrate_repl,
             staged: Mutex::new(None),
+            pending_abort: Mutex::new(None),
             stop,
         }
     }
@@ -491,24 +498,73 @@ impl Cluster {
         }
     }
 
+    /// Record a `MigrateAbort` whose proposal found no metadata majority
+    /// (see the field doc on `pending_abort`).
+    pub(crate) fn note_unacked_abort(&self, shard: usize, to: usize) {
+        *self.pending_abort.lock().unwrap() = Some((shard as u32, to as u32));
+    }
+
+    /// A new migration start supersedes any recorded unacked abort: the
+    /// slot either freed in the meantime or was re-adopted by the new
+    /// driver (same pair), and re-proposing the stale abort would kill
+    /// the live migration.
+    pub(crate) fn clear_pending_abort(&self) {
+        *self.pending_abort.lock().unwrap() = None;
+    }
+
+    /// Re-propose a dropped `MigrateAbort` if the slot still holds that
+    /// exact migration. Returns the (possibly post-abort) state staging
+    /// reconciliation should judge against.
+    fn resolve_pending_abort(&self, mc: &mut MetaClient, state: MetaState) -> MetaState {
+        let Some((shard, to)) = *self.pending_abort.lock().unwrap() else {
+            return state;
+        };
+        if state.migrating != Some((shard, to)) {
+            // Settled without us: the death sweep's auto-abort fired, or
+            // a new migration took the slot.
+            self.clear_pending_abort();
+            return state;
+        }
+        match mc.propose(&MetaCmd::MigrateAbort { shard }, sim::now() + sim::millis(2)) {
+            meta::ProposeOutcome::Committed(s) => {
+                self.clear_pending_abort();
+                s
+            }
+            meta::ProposeOutcome::Rejected => {
+                self.clear_pending_abort();
+                state
+            }
+            meta::ProposeOutcome::Unavailable => state,
+        }
+    }
+
     /// Settle any staged migration against the authoritative placement:
     /// promote the staged destination if the metadata service says the
     /// move committed, abandon it (and unseal the surviving owner, which
     /// a dead driver may have left sealed) if it aborted, leave it
-    /// parked while the migration is still marked in flight.
+    /// parked while the migration is still marked in flight. Also
+    /// re-proposes a `MigrateAbort` the metadata service never acked
+    /// (the slot would otherwise stay occupied forever — no endpoint
+    /// died, so the death sweep never auto-aborts).
     ///
     /// [`restart_data_node`](Self::restart_data_node) runs this
     /// automatically; call it directly after waiting out a convergence
     /// window when no node restart is involved. Must run inside a
-    /// simulated process. No-op when nothing is staged or no metadata
-    /// majority is reachable.
+    /// simulated process. No-op when nothing is staged or pending, or no
+    /// metadata majority is reachable.
     pub fn reconcile(&self) {
-        let to = match &*self.staged.lock().unwrap() {
-            Some(st) => st.to,
-            None => return,
+        let staged_to = self.staged.lock().unwrap().as_ref().map(|st| st.to);
+        let pending_to = self
+            .pending_abort
+            .lock()
+            .unwrap()
+            .map(|(_, to)| to as usize);
+        let Some(local) = staged_to.or(pending_to) else {
+            return;
         };
-        let mut mc = MetaClient::new(&self.fabric, &self.agent_nodes[to], self.meta.nodes());
+        let mut mc = MetaClient::new(&self.fabric, &self.agent_nodes[local], self.meta.nodes());
         if let Some(state) = mc.get_map(sim::now() + sim::millis(5)) {
+            let state = self.resolve_pending_abort(&mut mc, state);
             self.reconcile_staged(&state);
         }
     }
@@ -558,15 +614,18 @@ impl Cluster {
         }
     }
 
-    /// Power-fail data node `i`: crash its agent endpoint and every seat
-    /// it currently owns (in-flight DMA torn per `spec`). The metadata
-    /// leader notices the heartbeat silence and commits `NodeDown`.
+    /// Power-fail data node `i`: crash its agent endpoint and **every**
+    /// seat endpoint the node hosts (in-flight DMA torn per `spec`) —
+    /// the seats it currently owns, retired tombstone seats, and equally
+    /// the scaffolding seat of a migration *to* this node, so a staged
+    /// destination pool stops absorbing delta/snapshot writes the
+    /// instant the machine dies. The metadata leader notices the
+    /// heartbeat silence and commits `NodeDown`.
     pub fn crash_data_node(&self, i: usize, spec: CrashSpec, seed: u64) {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x0DD5_EED5);
         self.fabric.crash_node(&self.agent_nodes[i], spec, &mut rng);
-        let seats = self.seats.lock().unwrap();
-        for (g, seat) in seats.iter().enumerate() {
-            if seat.owner == i {
+        for g in 0..self.cfg.shards {
+            if !self.seat_nodes[i][g].is_crashed() {
                 self.fabric
                     .crash_node(&self.seat_nodes[i][g], spec, &mut rng);
             }
@@ -606,8 +665,9 @@ impl Cluster {
                 .map(|(g, s)| (g, Arc::clone(&s.pool)))
                 .collect()
         };
-        if let Some(state) = &state {
-            self.reconcile_staged(state);
+        if let Some(state) = state {
+            let state = self.resolve_pending_abort(&mut mc, state);
+            self.reconcile_staged(&state);
         }
         let mut reports = Vec::with_capacity(owned.len());
         for (g, pool) in owned {
@@ -621,6 +681,17 @@ impl Cluster {
             self.install_seat(g, i, server);
             reports.push((g, report));
         }
+        // Reboot the node's remaining crashed endpoints (idle seats,
+        // tombstones, a migration scaffolding seat the machine failure
+        // took down) so future migrations can target them again. Runs
+        // AFTER the staging reconciliation above: its is_crashed() check
+        // must still observe the crash.
+        for g in 0..self.cfg.shards {
+            let node = &self.seat_nodes[i][g];
+            if node.is_crashed() {
+                self.fabric.restart_node(node);
+            }
+        }
         self.stats.node_restarts.inc();
         reports
     }
@@ -632,8 +703,10 @@ impl Cluster {
             .crash_node(&self.meta.nodes()[r], CrashSpec::DropAll, &mut rng);
     }
 
-    /// Restart metadata replica `r` with an empty log; the next leader
-    /// `Append` re-fills it. Must run inside a simulated process.
+    /// Restart metadata replica `r` from its simulated stable storage:
+    /// term, vote, snapshot, and log survive the power failure (see
+    /// [`MetaService::restart_replica`]). Must run inside a simulated
+    /// process.
     pub fn restart_meta_replica(&self, r: usize) {
         self.meta.restart_replica(&self.fabric, r);
     }

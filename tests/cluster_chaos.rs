@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use efactory::client::ClientConfig;
-use efactory::cluster::{Cluster, ClusterClient, ClusterConfig, MetaClient};
+use efactory::cluster::{Cluster, ClusterClient, ClusterConfig, MetaClient, MigrateError};
 use efactory::log::StoreLayout;
 use efactory::server::ServerConfig;
 use efactory_pmem::CrashSpec;
@@ -168,6 +168,13 @@ fn dest_kill_mid_migration_aborts_and_retry_succeeds() {
         // of this store takes ~85 µs end to end).
         sim::sleep(sim::micros(40));
         c2.crash_data_node(to, CrashSpec::DropAll, 0xD00D);
+        // A destination power failure takes the WHOLE machine down,
+        // including the scaffolding seat the migration is staging into —
+        // not just the seats the node already owns.
+        assert!(
+            c2.seat_node(to, 0).is_crashed(),
+            "destination crash must take the staged scaffolding seat down"
+        );
         mig.join();
         let r = result.lock().unwrap().take().expect("migrator finished");
         assert!(
@@ -191,6 +198,10 @@ fn dest_kill_mid_migration_aborts_and_retry_succeeds() {
         // destination), so a retry succeeds once the node is back.
         await_converged(&c2, sim::now() + sim::millis(20));
         c2.restart_data_node(to);
+        assert!(
+            !c2.seat_node(to, 0).is_crashed(),
+            "restart must bring every seat of the machine back"
+        );
         // Wait for the death detector to see the node alive again —
         // MigrateStart validates `alive[to]`.
         let probe_node = c2.fabric().add_node("alive-probe");
@@ -362,6 +373,185 @@ fn node_death_detection_and_rejoin() {
             sim::sleep(sim::micros(100));
         }
         assert_single_owner(cluster, 0, KEYS, "post-rejoin");
+    });
+}
+
+/// A committed placement flip must survive power failure of a majority
+/// of metadata replicas: term, vote, and log live on stable storage, so
+/// a restarted quorum re-elects a leader that still holds the commit.
+/// (Regression: replicas used to reboot with an empty log, letting a
+/// stale candidate win the election and erase a committed
+/// `MigrateCommit` — double-owning the shard.)
+#[test]
+fn committed_placement_survives_meta_majority_power_failure() {
+    with_cluster(1006, 2, 1, |cluster| {
+        seed_keys(cluster);
+        let from = cluster.owner_of(0);
+        let to = 1 - from;
+        let report = cluster.migrate(0, to).expect("clean migration");
+        assert_eq!(report.verify_diff_bytes, 0);
+
+        // Power-fail ALL metadata replicas — the commit's only holders —
+        // then bring back a bare majority that must still know it.
+        cluster.crash_meta_replica(1, 0xDEAD_0001);
+        cluster.crash_meta_replica(2, 0xDEAD_0002);
+        cluster.crash_meta_replica(0, 0xDEAD_0000);
+        cluster.restart_meta_replica(1);
+        cluster.restart_meta_replica(2);
+
+        let probe = cluster.fabric().add_node("quorum-probe");
+        let mut mc = MetaClient::new(cluster.fabric(), &probe, cluster.meta_nodes());
+        let deadline = sim::now() + sim::millis(20);
+        let state = loop {
+            if let Some(s) = mc.get_map(sim::now() + sim::micros(500)) {
+                break s;
+            }
+            assert!(
+                sim::now() < deadline,
+                "restarted majority never elected a leader"
+            );
+            sim::sleep(sim::micros(100));
+        };
+        assert_eq!(
+            state.placement.node_of_shard(0),
+            to,
+            "committed migration erased by metadata power failure"
+        );
+        cluster.restart_meta_replica(0);
+        assert_single_owner(cluster, 0, KEYS, "post-meta-power-fail");
+    });
+}
+
+/// A metadata leader cut off from its peers must refuse to answer: its
+/// read-index round loses the majority and it steps down, so clients are
+/// referred to the quorum side instead of being served a placement map
+/// that predates commits there. (Regression: a deposed leader used to
+/// serve stale `GetMap` replies forever, letting a migration driver
+/// conclude its commit "provably did not land" while the real leader
+/// flipped ownership.)
+#[test]
+fn partitioned_stale_meta_leader_cannot_serve_stale_placement() {
+    with_cluster(1007, 2, 1, |cluster| {
+        seed_keys(cluster);
+        let from = cluster.owner_of(0);
+        let to = 1 - from;
+
+        // Cut replica 0 (the deterministic initial leader) off from both
+        // peers. The quorum side {1, 2} elects a successor; replica 0
+        // must stop answering — not serve its pre-partition state.
+        let meta = cluster.meta_nodes().to_vec();
+        cluster.fabric().fail_link(&meta[0], &meta[1]);
+        cluster.fabric().fail_link(&meta[0], &meta[2]);
+        sim::sleep(sim::millis(1)); // quorum-side re-election
+
+        // The migration lands through the quorum-side leader…
+        let report = cluster
+            .migrate(0, to)
+            .expect("migration must commit through the quorum-side leader");
+        assert_eq!(report.verify_diff_bytes, 0);
+
+        // …and a FRESH client — which dials replica 0 first — must be
+        // referred onward and observe the committed flip, never the
+        // stale map.
+        let probe = cluster.fabric().add_node("stale-probe");
+        let mut mc = MetaClient::new(cluster.fabric(), &probe, cluster.meta_nodes());
+        let state = mc
+            .get_map(sim::now() + sim::millis(5))
+            .expect("quorum leader must answer");
+        assert_eq!(
+            state.placement.node_of_shard(0),
+            to,
+            "client was served a stale pre-partition placement"
+        );
+
+        cluster.fabric().heal_link(&meta[0], &meta[1]);
+        cluster.fabric().heal_link(&meta[0], &meta[2]);
+        sim::sleep(sim::millis(1)); // deposed leader rejoins
+        assert_single_owner(cluster, 0, KEYS, "post-partition-heal");
+    });
+}
+
+/// An abort that finds no metadata majority must not leak the migration
+/// slot: the driver parks it and `Cluster::reconcile` re-proposes it
+/// once a quorum is back. (Regression: the abort used to be dropped
+/// after one best-effort attempt — with both endpoints alive the death
+/// sweep never auto-aborts, so the slot stayed occupied and every
+/// migration to a different destination was rejected forever.)
+#[test]
+fn unacked_abort_is_reproposed_once_meta_recovers() {
+    with_cluster(1009, 3, 1, |cluster| {
+        seed_keys(cluster);
+        let from = cluster.owner_of(0);
+        let mid = (from + 1) % 3;
+        let alt = (from + 2) % 3;
+
+        // Fail the copy path (driver endpoint ↔ source seat) and power-
+        // fail EVERY metadata replica just after the start committed:
+        // the copy dies, and the driver's abort finds no majority.
+        let fabric = Arc::clone(cluster.fabric());
+        let a = cluster.agent_node(mid).clone();
+        let b = cluster.seat_node(from, 0).clone();
+        let c2 = Arc::clone(cluster);
+        let t_fault = sim::now() + sim::micros(30);
+        let controller = sim::spawn("fault-controller", move || {
+            sim::sleep_until(t_fault);
+            fabric.fail_link(&a, &b);
+            c2.crash_meta_replica(0, 0xAB07_0000);
+            c2.crash_meta_replica(1, 0xAB07_0001);
+            c2.crash_meta_replica(2, 0xAB07_0002);
+        });
+        let r = cluster.migrate(0, mid);
+        controller.join();
+        assert!(
+            matches!(r, Err(MigrateError::CopyFailed)),
+            "migration must die in the copy with its path cut: {r:?}"
+        );
+        assert!(
+            cluster.stats().migrations_started.get() >= 1,
+            "start must have committed before the meta power failure"
+        );
+        assert!(cluster.stats().migrations_aborted.get() >= 1);
+
+        // Metadata comes back with the slot still occupied (durable log)
+        // and both endpoints alive — nothing auto-frees it…
+        for r in 0..3 {
+            cluster.restart_meta_replica(r);
+        }
+        cluster
+            .fabric()
+            .heal_link(cluster.agent_node(mid), cluster.seat_node(from, 0));
+        let probe = cluster.fabric().add_node("quorum-probe");
+        let mut mc = MetaClient::new(cluster.fabric(), &probe, cluster.meta_nodes());
+        let deadline = sim::now() + sim::millis(20);
+        let state = loop {
+            if let Some(s) = mc.get_map(sim::now() + sim::micros(500)) {
+                break s;
+            }
+            assert!(
+                sim::now() < deadline,
+                "restarted replicas never elected a leader"
+            );
+            sim::sleep(sim::micros(100));
+        };
+        assert_eq!(
+            state.migrating,
+            Some((0, mid as u32)),
+            "occupied slot must survive the metadata power failure"
+        );
+        assert!(
+            matches!(cluster.migrate(0, alt), Err(MigrateError::Rejected)),
+            "slot still occupied: a different destination must be refused"
+        );
+
+        // …until reconciliation re-proposes the parked abort.
+        cluster.reconcile();
+        let state = await_converged(cluster, sim::now() + sim::millis(20));
+        assert_eq!(state.placement.node_of_shard(0), from);
+        let report = cluster
+            .migrate(0, alt)
+            .expect("slot freed — a different destination must now succeed");
+        assert_eq!(report.verify_diff_bytes, 0);
+        assert_single_owner(cluster, 0, KEYS, "post-abort-reproposal");
     });
 }
 

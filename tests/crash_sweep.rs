@@ -658,9 +658,10 @@ enum MigVictim {
     /// driver its fabric identity, so killing it mid-commit is the
     /// ambiguous-outcome case.
     Dest,
-    /// Metadata replica 0 (the initial leader): the commit must ride out
-    /// the re-election on the surviving majority.
-    MetaReplica,
+    /// One metadata replica (0 = the initial leader, forcing a
+    /// re-election; 1/2 = a follower, whose durable log must still serve
+    /// the surviving majority): the commit must ride it out either way.
+    MetaReplica(usize),
 }
 
 /// One sweep point: power-fail `victim` at `t_crash` into a live
@@ -712,7 +713,7 @@ fn migration_crash_at(victim: MigVictim, t_crash: Nanos, seed: u64) -> bool {
                     fc.crash_node(cc.agent_node(1), CrashSpec::DropAll, &mut rng);
                     fc.crash_node(cc.seat_node(1, 0), CrashSpec::DropAll, &mut rng);
                 }
-                MigVictim::MetaReplica => cc.crash_meta_replica(0, seed),
+                MigVictim::MetaReplica(r) => cc.crash_meta_replica(r, seed),
             }
         });
         // Both outcomes are legal at any cut; consistency is checked below
@@ -746,7 +747,7 @@ fn migration_crash_at(victim: MigVictim, t_crash: Nanos, seed: u64) -> bool {
             MigVictim::Dest => {
                 cl.restart_data_node(1);
             }
-            MigVictim::MetaReplica => cl.restart_meta_replica(0),
+            MigVictim::MetaReplica(r) => cl.restart_meta_replica(r),
         }
         cl.reconcile();
 
@@ -830,7 +831,7 @@ fn migration_sweep(victim: MigVictim, seed: u64) {
     match victim {
         // Losing one of three metadata replicas must never kill the
         // commit — the majority rides out the re-election.
-        MigVictim::MetaReplica => assert!(
+        MigVictim::MetaReplica(_) => assert!(
             !saw_fail,
             "a single metadata replica loss aborted a migration"
         ),
@@ -853,7 +854,21 @@ fn migration_sweep_dest_power_fail() {
 
 #[test]
 fn migration_sweep_meta_replica_power_fail() {
-    migration_sweep(MigVictim::MetaReplica, 303);
+    migration_sweep(MigVictim::MetaReplica(0), 303);
+}
+
+/// Coarse follower sweep: losing a non-leader replica mid-migration must
+/// never kill the commit either — and when it reboots, it reboots from
+/// its durable log, not empty (an empty rebootee granting votes is the
+/// classic committed-entry-erasure interleaving).
+#[test]
+fn migration_sweep_meta_follower_power_fail() {
+    for t in (0..=90).step_by(15).map(sim::micros) {
+        assert!(
+            migration_crash_at(MigVictim::MetaReplica(2), t, 304),
+            "a follower replica loss at t={t} aborted a migration"
+        );
+    }
 }
 
 #[test]
