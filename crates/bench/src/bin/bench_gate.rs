@@ -20,6 +20,8 @@
 //! cargo run --release -p efactory-bench --bin pipeline_scaling   -- --json fresh/BENCH_pipeline.json
 //! cargo run --release -p efactory-bench --bin latency_breakdown  -- --json fresh/BENCH_breakdown.json
 //! cargo run --release -p efactory-bench --bin txn_bench          -- --json fresh/BENCH_txn.json
+//! cargo run --release -p efactory-bench --bin cluster_bench      -- --json fresh/BENCH_cluster.json
+//! cargo run --release -p efactory-bench --bin cleaning_pressure  -- --json fresh/BENCH_cleaning.json
 //! ```
 //!
 //! On a `stale-baseline` verdict the fix is to refresh the committed
@@ -32,13 +34,14 @@ use std::process::ExitCode;
 use efactory_bench::gate::{compare_all, diff_json, extract_metrics, Json};
 
 /// The gated report files, by repo-root baseline name.
-const GATED: [&str; 6] = [
+const GATED: [&str; 7] = [
     "BENCH_put_get.json",
     "BENCH_repl.json",
     "BENCH_pipeline.json",
     "BENCH_breakdown.json",
     "BENCH_txn.json",
     "BENCH_cluster.json",
+    "BENCH_cleaning.json",
 ];
 
 fn load(path: &Path) -> Result<Json, String> {

@@ -1,0 +1,80 @@
+//! **cleaning_pressure** — the log-cleaning cost probe: an update-heavy
+//! workload whose live set fills most of a dual pool, so the cleaner runs
+//! passes back to back *through* the measured window. Three lanes:
+//!
+//! * `noclean` — single pool sized for the whole workload (no cleaner):
+//!   the interference-free baseline.
+//! * `clean` — dual 2 MiB pools at a 0.75 threshold: steady-state cleaning
+//!   pressure; every put races the relocator and rides out `Busy`
+//!   backpressure (the retry latency is part of the measurement).
+//! * `forced` — same layout with a pass additionally fired at the exact
+//!   start of the measured window, pinning a cleaning instant mid-run.
+//!
+//! Emitted as JSON (`BENCH_cleaning.json` by default, `--json <path>` to
+//! override) and gated by `bench_gate` on update throughput, the p99.9
+//! inflation over the `noclean` baseline (hard ceiling
+//! [`efactory_bench::gate::CLEAN_P999_CEILING_X`]), and relocation write
+//! amplification. Fully deterministic: fixed seed, virtual-time
+//! measurement.
+
+use efactory_bench::{spec, ReportSink};
+use efactory_harness::{cluster, Cleaning, SystemKind, Table};
+use efactory_ycsb::Mix;
+
+fn main() {
+    println!("cleaning_pressure: update-heavy churn under log cleaning (8 clients)\n");
+    let mut sink = ReportSink::with_default_path("cleaning_pressure", Some("BENCH_cleaning.json"));
+    let mut table = Table::new(vec![
+        "lane",
+        "Mops/s",
+        "put p50 (us)",
+        "put p99.9 (us)",
+        "cleanings",
+        "relocated",
+        "stalls",
+    ]);
+    for (tag, cleaning, force) in [
+        ("noclean", Cleaning::Disabled, false),
+        (
+            "clean",
+            Cleaning::Enabled {
+                threshold: 0.75,
+                pool_len: 2 << 20,
+            },
+            false,
+        ),
+        (
+            "forced",
+            Cleaning::Enabled {
+                threshold: 0.75,
+                pool_len: 2 << 20,
+            },
+            true,
+        ),
+    ] {
+        let mut s = spec(SystemKind::EFactory, Mix::UpdateOnly, 256);
+        s.cleaning = cleaning;
+        s.force_clean = force;
+        let r = cluster::run(&s);
+        let counter = |name: &str| {
+            r.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        table.row(vec![
+            tag.to_string(),
+            format!("{:.3}", r.mops),
+            format!("{:.2}", r.put.p50_us()),
+            format!("{:.2}", r.put.p999_us()),
+            format!("{}", r.cleanings),
+            format!("{}", counter("server.relocated")),
+            format!("{}", counter("server.cleaner.stalls")),
+        ]);
+        sink.add(&format!("Update-only/256B/{tag}"), &s, &r);
+    }
+    table.print();
+    println!();
+    sink.write();
+}

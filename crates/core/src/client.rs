@@ -1086,6 +1086,7 @@ impl TxnShard for Client {
         match status {
             Status::NotFound => return Ok(SnapOutcome::NotFound),
             Status::Busy => return busy(self),
+            Status::Expired => return Ok(SnapOutcome::Expired),
             Status::Ok => {}
             s => return Err(StoreError::Status(s)),
         }

@@ -73,7 +73,7 @@ use super::Cluster;
 use crate::protocol::Event;
 use crate::recovery::{self, RecoveryReport};
 use crate::repl::ReplTarget;
-use crate::server::{MigrateSlot, ServerShared};
+use crate::server::{CleanPhase, MigrateSlot, ServerShared};
 
 /// Why a migration did not commit. In every case the source remains the
 /// owner (the metadata service never saw, or refused, the commit).
@@ -96,6 +96,11 @@ pub enum MigrateError {
     /// The copy verified, but the metadata service refused the commit —
     /// the migration was auto-aborted under us (endpoint declared dead).
     CommitRefused,
+    /// The source's log cleaner kept a pass in flight past the wait
+    /// bound, so the delta stream was never attached. Cleaning rewrites
+    /// the log (and ultimately swaps pools) under the mirror's feet;
+    /// migration serializes behind it rather than racing it.
+    CleanTimeout,
 }
 
 /// What a committed migration did.
@@ -317,7 +322,26 @@ impl Cluster {
             attached: false,
         };
 
-        // Step 2: attach the delta stream through the verifier.
+        // Step 2: attach the delta stream through the verifier — but only
+        // once no cleaning pass is in flight. The cleaner relocates
+        // objects and swaps pools, which would invalidate the snapshot
+        // cursor and the 1:1 offset mapping the delta mirror relies on.
+        // Its run() gate refuses to start a pass while `migrate_out` is
+        // non-Idle, and a pass claims its phase without yielding, so after
+        // this loop observes `Normal` the Attach store below (no yields in
+        // between) parks the slot before any new pass can begin: exactly
+        // one side wins the race.
+        let clean_deadline = sim::now() + sim::millis(100);
+        loop {
+            if src.phase() == CleanPhase::Normal {
+                break;
+            }
+            if sim::now() >= clean_deadline {
+                return Err(unwind.abort(self, MigrateError::CleanTimeout));
+            }
+            sim::sleep(sim::micros(50));
+        }
+
         let delta_objs_before = self.migrate_repl_stats().mirror_objects.get();
         *src.migrate_out.lock().unwrap() = MigrateSlot::Attach(ReplTarget {
             backup: dest_node.clone(),

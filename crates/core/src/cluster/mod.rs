@@ -31,11 +31,17 @@
 //! repeated migrations; [`efactory_rnic::Fabric::node_by_name`] is the
 //! directory that resolves them.
 //!
-//! Cluster shards run with cleaning disabled (the migration delta stream
-//! mirrors by log offset, same constraint as [`crate::repl`]) and
-//! without per-shard backups: node death is survived the same way the
-//! single-node system survives power failure — restart + recovery over
-//! the NVM pool — while *planned* moves use live migration.
+//! Cluster shards may run with cleaning enabled: the cleaner and the
+//! migration engine exclude each other at pass granularity (the cleaner's
+//! gate skips sealed or migrating shards; [`migrate`] waits for any
+//! in-flight pass to finish or abort before parking its delta-stream
+//! attachment — see [`migrate::MigrateError::CleanTimeout`]). A migrated
+//! copy is taken from a sealed, drained source, so it is a crash-consistent
+//! image and the standard recovery rules — including cleaning-progress
+//! records — apply to it unchanged. Shards run without per-shard backups:
+//! node death is survived the same way the single-node system survives
+//! power failure — restart + recovery over the NVM pool — while *planned*
+//! moves use live migration.
 
 pub mod client;
 pub mod meta;
@@ -74,8 +80,9 @@ pub struct ClusterConfig {
     pub meta_replicas: usize,
     /// Per-shard NVM geometry.
     pub layout: StoreLayout,
-    /// Per-shard server template. Cleaning is forced off (see module
-    /// docs); the counter prefix is replaced with the seat name.
+    /// Per-shard server template; the counter prefix is replaced with the
+    /// seat name. `clean_enabled` is honored per shard (see module docs
+    /// for how cleaning and migration serialize).
     pub server: ServerConfig,
     /// Metadata-service timing (heartbeats, elections, death timeout).
     pub meta_timing: MetaTiming,
@@ -254,8 +261,7 @@ impl Cluster {
     /// the unstarted metadata service.
     pub fn format(fabric: &Arc<Fabric>, cfg: ClusterConfig) -> Cluster {
         assert!(cfg.nodes >= 1 && cfg.shards >= 1);
-        let mut server_cfg = cfg.server.clone();
-        server_cfg.clean_enabled = false;
+        let server_cfg = cfg.server.clone();
 
         let seat_nodes: Vec<Vec<Node>> = (0..cfg.nodes)
             .map(|i| {
@@ -525,7 +531,10 @@ impl Cluster {
             self.clear_pending_abort();
             return state;
         }
-        match mc.propose(&MetaCmd::MigrateAbort { shard }, sim::now() + sim::millis(2)) {
+        match mc.propose(
+            &MetaCmd::MigrateAbort { shard },
+            sim::now() + sim::millis(2),
+        ) {
             meta::ProposeOutcome::Committed(s) => {
                 self.clear_pending_abort();
                 s

@@ -139,31 +139,101 @@ impl LogRegion {
 
     /// Like [`scan_objects`](Self::scan_objects) but scans the whole region
     /// (recovery does not know the head yet) and returns the rebuilt head.
+    ///
+    /// While the cleaner's merge phase is in flight, the handler and the
+    /// cleaner allocate from the same region, so a crash can leave a *hole*
+    /// mid-log: a torn client write whose header never reached media, with
+    /// fully-persisted relocations (and decide-path commit records) sitting
+    /// above it. A scan that stopped at the first implausible header would
+    /// silently drop everything past the hole, so after losing the size
+    /// chain this scan re-synchronizes: it strides forward 8 bytes at a
+    /// time until it finds a header whose sizes are sane *and* whose value
+    /// CRC verifies, then resumes the normal size walk from there. The CRC
+    /// requirement keeps value bytes inside the hole from aliasing as
+    /// headers.
     pub fn scan_for_recovery(
         &self,
         pool: &PmemPool,
         max_klen: usize,
         max_vlen: usize,
     ) -> (Vec<usize>, usize) {
+        self.scan_tolerant(pool, self.base + self.len, max_klen, max_vlen)
+    }
+
+    /// Like [`scan_until`](Self::scan_until) but hole-tolerant — the
+    /// cleaner's scans over a pool that has been through a mid-clean crash
+    /// recovery. Such a pool can hold holes *below* its rebuilt head (the
+    /// crashed pass's reserved-but-never-written terminal record slot, a
+    /// torn client write under persisted relocations); a scan that stopped
+    /// at the first hole would relocate nothing, and the finish pass would
+    /// then drop every key anchored above it. Same resync rule as
+    /// [`scan_for_recovery`](Self::scan_for_recovery).
+    pub fn scan_until_tolerant(
+        &self,
+        pool: &PmemPool,
+        head: usize,
+        max_klen: usize,
+        max_vlen: usize,
+    ) -> Vec<usize> {
+        self.scan_tolerant(pool, head, max_klen, max_vlen).0
+    }
+
+    fn scan_tolerant(
+        &self,
+        pool: &PmemPool,
+        end: usize,
+        max_klen: usize,
+        max_vlen: usize,
+    ) -> (Vec<usize>, usize) {
         let mut offs = Vec::new();
         let mut cur = self.base;
-        let end = self.base + self.len;
+        let mut head = self.base;
+        let mut synced = true;
+        // A crash leaves at most one in-flight unpersisted object per
+        // allocator (handler + cleaner), so a genuine hole is bounded by a
+        // few max-sized objects. Past that, the blank space is the
+        // unwritten tail and the scan is done.
+        let max_hole = 4 * object_size(max_klen, max_vlen);
+        let mut strided = 0usize;
         while cur + crate::layout::HDR_LEN <= end {
             let hdr = ObjHeader::read_from(pool, cur);
-            if hdr.klen == 0 && hdr.vlen == 0 {
-                break;
+            let blank = hdr.klen == 0 && hdr.vlen == 0;
+            let plausible = !blank
+                && hdr.klen as usize <= max_klen
+                && hdr.vlen as usize <= max_vlen
+                && cur + hdr.object_size() <= end;
+            if synced && plausible {
+                // In sync: trust the size chain (a torn *value* is still
+                // walkable — intactness is judged later, per candidate).
+                offs.push(cur);
+                cur += hdr.object_size();
+                head = cur;
+            } else if !synced
+                && plausible
+                && hdr.has(crate::layout::flags::VALID)
+                && hdr.has(crate::layout::flags::DURABLE)
+                && {
+                    let value = crate::layout::read_value(pool, cur, &hdr);
+                    efactory_checksum::crc32c(&value) == hdr.crc
+                }
+            {
+                // Re-synchronized on a verified object past the hole.
+                synced = true;
+                strided = 0;
+                offs.push(cur);
+                cur += hdr.object_size();
+                head = cur;
+            } else {
+                // Lost the chain: torn header or unwritten space.
+                synced = false;
+                strided += 8;
+                if strided > max_hole {
+                    break;
+                }
+                cur += 8;
             }
-            if hdr.klen as usize > max_klen || hdr.vlen as usize > max_vlen {
-                break; // garbage — treat as end of log
-            }
-            let size = hdr.object_size();
-            if cur + size > end {
-                break;
-            }
-            offs.push(cur);
-            cur += size;
         }
-        (offs, cur)
+        (offs, head)
     }
 }
 

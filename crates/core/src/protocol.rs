@@ -30,6 +30,10 @@ pub enum Status {
     /// epoch (sealed for migration, or already handed off): refresh the
     /// placement map from the metadata service and retarget.
     WrongEpoch = 7,
+    /// The snapshot is older than the cleaner's compaction horizon: the
+    /// versions it could name may have been relocated and their commit
+    /// timestamps discarded. Capture a fresh snapshot and retry.
+    Expired = 8,
 }
 
 impl Status {
@@ -44,6 +48,7 @@ impl Status {
             5 => Status::Busy,
             6 => Status::Conflict,
             7 => Status::WrongEpoch,
+            8 => Status::Expired,
             _ => return None,
         })
     }

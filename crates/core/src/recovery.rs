@@ -12,7 +12,39 @@
 //! The allocation heads of both pools are rebuilt by scanning headers until
 //! the first hole or implausible size — safe because PUT persists the
 //! header + key *before* exposing the object, so every reachable object has
-//! a sane persisted header.
+//! a sane persisted header. (During a clean's merge phase the handler and
+//! the cleaner allocate from the same pool concurrently, so a torn client
+//! write can leave a hole *below* persisted relocations — the region scan
+//! is hole-tolerant for exactly this case.)
+//!
+//! # Mid-clean crashes
+//!
+//! A crash during log cleaning leaves versions of one key in both pools,
+//! half-relocated chains, `Trans`-flagged back-pointers, and possibly a
+//! torn pool swap. Two mechanisms make this tractable:
+//!
+//! * The cleaner persists a **progress record** before each stage
+//!   transition ([`crate::cleaner::decode_clean_record`]). The highest
+//!   `(epoch, stage)` record tells recovery which pool was active at the
+//!   crash instant instead of guessing from slot states:
+//!
+//!   | newest record | active pool | old region |
+//!   |---------------|-------------|------------|
+//!   | none          | fill heuristic | kept |
+//!   | `Compress`    | the recorded old pool | kept |
+//!   | `Merge` / `Finish` | the other pool | kept (chains span both) |
+//!   | `Done`        | the other pool | dead — re-zeroed here |
+//!   | `Abort`       | the recorded old pool (swap never happened) | kept |
+//!
+//! * Per-bucket candidate order honors `new_valid`: when set, the non-mark
+//!   slot holds the newer version (merge-phase write or relocated copy)
+//!   and is tried first, so recovery never anchors an older version while
+//!   a newer acknowledged one survives in the other pool.
+//!
+//! In-doubt (`PENDING`) versions are kept only when a durable commit
+//! record names their `(fingerprint, seq, value crc)` identity — identity,
+//! not offset, because cleaning relocates versions between records' write
+//! and the crash.
 
 use std::sync::Arc;
 
@@ -71,12 +103,38 @@ pub fn recover(
         objs.extend(region_objs);
         heads[i] = head;
     }
+    // The newest cleaning-progress record decides which pool was active
+    // and whether the old region is dead (see the module docs' table).
+    let clean_rec = objs
+        .iter()
+        .filter_map(|&off| {
+            let hdr = ObjHeader::read_from(&pool, off);
+            crate::cleaner::decode_clean_record(&pool, off, &hdr)
+        })
+        .max_by_key(|r| (r.epoch, r.stage));
+    let mut active_override = None;
+    let mut clean_epoch = 0;
+    if let Some(rec) = clean_rec {
+        clean_epoch = rec.epoch;
+        active_override = Some(match rec.stage {
+            crate::cleaner::STAGE_COMPRESS | crate::cleaner::STAGE_ABORT => rec.old_pool,
+            _ => 1 - rec.old_pool,
+        });
+        if rec.stage == crate::cleaner::STAGE_DONE {
+            // The flip completed before the crash: every anchor already
+            // points into the new pool and the old region holds only dead
+            // pre-clean versions. Finish the torn swap's final step.
+            let r = &regions[rec.old_pool];
+            pool.zero_region(r.base(), r.len());
+            heads[rec.old_pool] = r.base();
+        }
+    }
     report.heads = heads;
 
-    // Offsets of staged versions named by a durable commit record: these
+    // Version identities named by a durable commit record: these
     // transactions reached their commit point, so their versions are kept
     // (all-or-nothing). Staged versions *not* named never committed.
-    let committed = crate::txn::committed_offsets(&pool, &objs);
+    let committed = crate::txn::committed_versions(&pool, &objs);
 
     let in_bounds = |off: u64| -> bool {
         let off = off as usize;
@@ -92,10 +150,16 @@ pub fn recover(
         if e.fp == 0 {
             continue;
         }
-        // Candidate chain heads, newest first: the mark slot, then the
-        // other slot (covers a crash mid-cleaning, where either may hold
-        // the newest intact copy).
-        let candidates = [e.current(), e.other()];
+        // Candidate chain heads, newest first. `new_valid` set means the
+        // non-mark slot holds the newer version (a merge-phase write or a
+        // relocated copy of the mark-slot head), so it is tried first;
+        // otherwise the mark slot leads (covers a crash mid-cleaning,
+        // where either may hold the newest intact copy).
+        let candidates = if e.ctl.new_valid() {
+            [e.other(), e.current()]
+        } else {
+            [e.current(), e.other()]
+        };
         let mut found = None;
         let mut discarded = 0;
         'outer: for &start in &candidates {
@@ -110,7 +174,7 @@ pub fn recover(
                     break; // chain walked into garbage
                 }
                 let intact = hdr.has(flags::VALID)
-                    && (!hdr.has(flags::PENDING) || committed.contains(&off))
+                    && (!hdr.has(flags::PENDING) || committed.contains(&(e.fp, hdr.seq, hdr.crc)))
                     && {
                         let value = layout::read_value(&pool, off as usize, &hdr);
                         crc32c(&value) == hdr.crc
@@ -126,7 +190,7 @@ pub fn recover(
         report.versions_discarded += discarded;
         match found {
             Some((off, hdr)) => {
-                if off == e.current() && discarded == 0 {
+                if off == candidates[0] && discarded == 0 {
                     report.keys_intact += 1;
                 } else {
                     report.keys_rolled_back += 1;
@@ -171,17 +235,27 @@ pub fn recover(
         r.set_head(heads[i]);
     }
     // Everything reachable is durable post-recovery; park the verifier at
-    // the heads. New writes append beyond them.
-    let active = if heads[1] > shared.logs[1].base()
-        && heads[1] - shared.logs[1].base() > heads[0] - shared.logs[0].base()
-    {
-        1
-    } else {
-        0
-    };
+    // the heads. New writes append beyond them. A cleaning-progress record
+    // names the active pool authoritatively; without one, fall back to the
+    // fill heuristic (a store that never cleaned writes to pool 0, or to
+    // whichever pool plainly holds the data).
+    let active = active_override.unwrap_or_else(|| {
+        if heads[1] > shared.logs[1].base()
+            && heads[1] - shared.logs[1].base() > heads[0] - shared.logs[0].base()
+        {
+            1
+        } else {
+            0
+        }
+    });
     shared
         .active
         .store(active, std::sync::atomic::Ordering::Relaxed);
+    // Restore the epoch counter past every record ever written, so the
+    // next pass's records (epoch + 1) outrank any stale ones on the pools.
+    shared
+        .clean_epoch
+        .store(clean_epoch, std::sync::atomic::Ordering::Relaxed);
     shared
         .cursor_pool
         .store(active, std::sync::atomic::Ordering::Relaxed);
@@ -191,6 +265,38 @@ pub fn recover(
     (server, report)
 }
 
+/// Erase every cleaning-progress record on `pool` (clear `VALID`,
+/// persist the flag word). Backup promotion calls this before replaying a
+/// mirrored image: after a pool swap the mirror re-sends the new pool
+/// lowest-offset-first, so a backup image can hold a pass's records
+/// *without* the relocated data they describe — a state no crashed
+/// primary ever exhibits, and one where the `Done` rule's old-region zero
+/// would destroy fully-mirrored data. The fill heuristic plus dual-slot
+/// candidate walks recover such a mixed image correctly; the records
+/// would not. Returns how many records were erased.
+pub fn neutralize_clean_records(
+    pool: &PmemPool,
+    layout: &StoreLayout,
+    cfg: &ServerConfig,
+) -> usize {
+    let mut erased = 0;
+    for r in layout.regions().iter() {
+        if r.is_empty() {
+            continue;
+        }
+        let (objs, _head) = r.scan_for_recovery(pool, cfg.max_klen, cfg.max_vlen);
+        for off in objs {
+            let hdr = ObjHeader::read_from(pool, off);
+            if crate::cleaner::decode_clean_record(pool, off, &hdr).is_some() {
+                layout::update_flags(pool, off, 0, flags::VALID);
+                pool.persist(off, 8);
+                erased += 1;
+            }
+        }
+    }
+    erased
+}
+
 /// Consistency check used by tests: every hash entry points at a durable,
 /// CRC-valid object whose key matches the entry fingerprint. Returns the
 /// number of live keys, panicking with a description on any violation.
@@ -198,7 +304,13 @@ pub fn check_consistency(pool: &PmemPool, layout: &StoreLayout) -> usize {
     let ht = layout.hashtable();
     let mut live = 0;
     ht.for_each_occupied(pool, |idx, e| {
-        let off = e.current();
+        // The newest version lives in the non-mark slot when `new_valid`
+        // is set (merge-phase write or relocated copy).
+        let off = if e.ctl.new_valid() {
+            e.other()
+        } else {
+            e.current()
+        };
         assert!(off != 0, "bucket {idx}: zero offset");
         let hdr = ObjHeader::read_from(pool, off as usize);
         assert!(hdr.has(flags::VALID), "bucket {idx}: invalid head");

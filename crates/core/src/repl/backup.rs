@@ -98,13 +98,22 @@ fn drain_and_promote(ctx: BackupCtx, listener: Listener, ht: &HashTable, regions
 
 /// Replay the mirrored log through the standard recovery path and start
 /// serving. The recovered server gets a `promoted.`-prefixed counter
-/// namespace and (like every replicated store) runs with cleaning off.
+/// namespace.
+///
+/// Cleaning-progress records are erased first: the mirror re-sends a
+/// swapped pool lowest-offset-first, so the backup image can hold a
+/// `Done` record whose relocated data never arrived — recovery's record
+/// rules assume a crash-consistent primary image and would zero the
+/// fully-mirrored old region. With the records gone, recovery falls back
+/// to the fill heuristic + dual-slot candidate walks, which handle the
+/// mixed image correctly.
 fn promote(ctx: BackupCtx) {
     let tracer = ctx.cfg.obs.tracer.clone();
     let mut sp = tracer.span(Subsystem::Repl, "promote");
     let mut cfg = ctx.cfg.clone();
     cfg.counter_prefix = format!("{}promoted.", ctx.cfg.counter_prefix);
-    cfg.clean_enabled = false;
+    let erased = crate::recovery::neutralize_clean_records(&ctx.pool, &ctx.layout, &cfg);
+    sp.arg("clean_records_erased", erased as u64);
     let (srv, report) = crate::recovery::recover(
         &ctx.fabric,
         &ctx.node,

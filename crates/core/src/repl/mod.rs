@@ -47,12 +47,21 @@
 //! the previous durable version, the same contract a primary-local crash
 //! gives.
 //!
-//! # Constraints
+//! # Cleaning under replication
 //!
-//! Log cleaning is incompatible with mirroring-by-offset (the cleaner
-//! relocates live objects, which would invalidate the backup's copy), so
-//! [`ReplicatedServer::format`] forces `clean_enabled = false`. Replicated
-//! stores run with cleaning disabled and a log sized for the workload.
+//! The backup does **not** mirror by offset: it re-indexes every mirrored
+//! object into its own hash table (last-mirrored-wins), so primary-side
+//! log cleaning composes with mirroring. After a pool swap the verifier's
+//! cursor re-bases to the new pool and re-walks it from the base,
+//! re-mirroring every relocated object; until that re-walk completes the
+//! backup serves a mixed image (old-pool copies still indexed). Promotion
+//! erases any mirrored cleaning-progress records first
+//! ([`crate::recovery::neutralize_clean_records`]) because the mirror
+//! ships a swapped pool lowest-offset-first — a `Done` record can arrive
+//! before the relocations it describes, and recovery's record rules only
+//! hold for crash-consistent primary images. Merge-phase writes the
+//! primary acknowledged but had not yet re-mirrored roll back on
+//! promotion, the same bounded-loss contract as any unverified write.
 
 mod backup;
 mod client;
@@ -192,16 +201,16 @@ impl ReplicatedServer {
     /// Create a fresh primary on `node` plus a backup on a new node named
     /// `{node}-backup`, with an identical layout over its own pool.
     ///
-    /// Log cleaning is forced off: the cleaner relocates live objects,
-    /// which would invalidate the backup's mirrored offsets. Replicated
-    /// stores run with a log sized for the workload instead.
+    /// Log cleaning (when `cfg.clean_enabled`) runs on the primary as in a
+    /// standalone store; the backup re-indexes mirrored objects by content
+    /// rather than offset, so relocation is transparent to it (see the
+    /// module docs for the swap re-mirror and promotion rules).
     pub fn format(
         fabric: &Fabric,
         node: &Node,
         layout: StoreLayout,
-        mut cfg: ServerConfig,
+        cfg: ServerConfig,
     ) -> ReplicatedServer {
-        cfg.clean_enabled = false;
         let primary = Server::format(fabric, node, layout, cfg.clone());
         let backup_node = fabric.add_node(&format!("{}-backup", node.name()));
         let backup_pool = Arc::new(PmemPool::new(layout.total_len()));

@@ -24,7 +24,11 @@
 //! Non-durable objects are the verifier's domain and are skipped; so are
 //! already-quarantined ones. The walk only runs while no log cleaning is
 //! in progress and restarts if the clean epoch changes mid-pass — the
-//! cleaner rewrites the log under the scrubber's feet otherwise.
+//! cleaner rewrites the log under the scrubber's feet otherwise. Because
+//! the scrubber yields between examining an object and acting on it, every
+//! *mutation* (quarantine, backup rewrite) independently re-checks the
+//! phase and epoch after its last yield: a pool swapped mid-yield must be
+//! left exactly as the cleaner published it.
 //!
 //! A header so damaged the walk cannot even size the object is the worst
 //! case: with replication, the backup's intact copy repairs it in place
@@ -137,7 +141,7 @@ pub fn run(shared: &Arc<ServerShared>, fabric: &Arc<Fabric>, repl: Option<&ReplT
                 halted = true;
                 break;
             }
-            off += scrub_object(shared, repair.as_ref(), off, region);
+            off += scrub_object(shared, repair.as_ref(), off, region, epoch0);
             sim::work(shared.cfg.scrub_step_cost);
         }
         if !halted {
@@ -145,6 +149,16 @@ pub fn run(shared: &Arc<ServerShared>, fabric: &Arc<Fabric>, repl: Option<&ReplT
         }
         sim::sleep(shared.cfg.scrub_interval);
     }
+}
+
+/// Whether the cleaner moved under the scrubber since a pass began: any
+/// phase or epoch change means offsets examined before the last yield may
+/// now sit in a pool mid-relocation (or already re-zeroed). Mutations —
+/// quarantine flag flips, backup rewrites — must re-check this *after*
+/// their last yield, not just at the walk loop's top, or a half-copied
+/// object gets quarantined and a freed region gets resurrected.
+fn clean_moved(shared: &ServerShared, epoch0: u64) -> bool {
+    shared.phase() != CleanPhase::Normal || shared.clean_epoch.load(Ordering::Relaxed) != epoch0
 }
 
 /// Whether a header can be trusted to size the object it heads.
@@ -162,10 +176,17 @@ fn scrub_object(
     repair: Option<&RepairSource>,
     off: usize,
     region: &LogRegion,
+    epoch0: u64,
 ) -> usize {
     let head = region.head();
     let hdr = ObjHeader::read_from(&shared.pool, off);
     if !header_sane(shared, &hdr, off, head) {
+        if clean_moved(shared, epoch0) {
+            // The cleaner owns this pool now; the walk loop will halt the
+            // pass. Don't quarantine what may be a half-relocated object
+            // or a re-zeroed region.
+            return head - off;
+        }
         // The header itself is rotted: the object cannot even be sized.
         // A backup copy rescues it in place; otherwise quarantine the
         // corpse (the word-0 flag flip needs no sizing — any reader
@@ -174,11 +195,14 @@ fn scrub_object(
         // is unreachable to readers, so nothing observable goes
         // unscrubbed; it is still accounted under `scrub.skipped_bytes`.
         if let Some(src) = repair {
-            if let Some(size) = try_repair(shared, src, off, head) {
+            if let Some(size) = try_repair(shared, src, off, head, epoch0) {
                 shared.scrub.repaired.inc();
                 return size;
             }
             shared.scrub.repair_failures.inc();
+        }
+        if clean_moved(shared, epoch0) {
+            return head - off; // repair attempt yielded; re-check
         }
         // Idempotent across passes: the flag word is ours once written, so
         // a corpse met again is only jumped over, not re-counted.
@@ -197,6 +221,12 @@ fn scrub_object(
         return size;
     }
     sim::work(shared.cost.crc_hw(hdr.vlen as usize));
+    if clean_moved(shared, epoch0) {
+        // The CRC charge yielded; the object may since have been
+        // relocated (its source invalidated) or its pool re-zeroed. The
+        // walk loop halts the pass next iteration; mutate nothing.
+        return size;
+    }
     if shared.crc_matches(off, &hdr) {
         shared.scrub.clean.inc();
         return size;
@@ -206,11 +236,14 @@ fn scrub_object(
     let mut sp = shared.cfg.obs.tracer.span(Subsystem::Server, "scrub_rot");
     sp.arg("off", off as u64);
     if let Some(src) = repair {
-        if try_repair(shared, src, off, head).is_some() {
+        if try_repair(shared, src, off, head, epoch0).is_some() {
             shared.scrub.repaired.inc();
             return size;
         }
         shared.scrub.repair_failures.inc();
+    }
+    if clean_moved(shared, epoch0) {
+        return size; // repair attempt yielded; re-check before quarantine
     }
     quarantine(shared, off);
     shared.scrub.quarantined.inc();
@@ -253,7 +286,13 @@ fn next_reachable(shared: &ServerShared, region: &LogRegion, after: usize) -> Op
 /// independently (sane header + matching value CRC), and rewrite +
 /// re-persist it locally. Returns the repaired object's size, or `None`
 /// when no trustworthy copy could be obtained.
-fn try_repair(shared: &ServerShared, src: &RepairSource, off: usize, head: usize) -> Option<usize> {
+fn try_repair(
+    shared: &ServerShared,
+    src: &RepairSource,
+    off: usize,
+    head: usize,
+    epoch0: u64,
+) -> Option<usize> {
     // The local header may be rotted too, so size the object from the
     // *backup's* header (offsets are 1:1 by construction).
     let hdr_bytes = src.qp.rdma_read(&src.mr, off, layout::HDR_LEN).ok()?;
@@ -266,6 +305,12 @@ fn try_repair(shared: &ServerShared, src: &RepairSource, off: usize, head: usize
     let value = &obj[bhdr.value_off()..bhdr.value_off() + bhdr.vlen as usize];
     if crc32c(value) != bhdr.crc {
         // The backup's copy is rotted as well; don't spread it.
+        return None;
+    }
+    if clean_moved(shared, epoch0) {
+        // The RDMA reads yielded; a clean may have swapped pools under us.
+        // Rewriting now could resurrect an object into a re-zeroed region
+        // (recovery would then find it and misplace the log head).
         return None;
     }
     let mut sp = shared

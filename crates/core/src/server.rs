@@ -170,6 +170,13 @@ pub struct ServerStats {
     pub relocated: Counter,
     /// Stale versions skipped by cleaning.
     pub reclaimed_versions: Counter,
+    /// Cleaner stalls: the destination pool ran out of space mid-clean and
+    /// the cleaner parked (writes answer `Busy` until it resumes or
+    /// unwinds).
+    pub cleaner_stalls: Counter,
+    /// Total virtual ns the cleaner spent parked on destination-pool
+    /// space.
+    pub cleaner_park_ns: Counter,
     /// Allocation failures (table full / no space), PUT or DEL.
     pub put_failures: Counter,
     /// Retried requests answered from the dedup table (the retry's request
@@ -213,7 +220,7 @@ impl ServerStats {
     /// names — each shard of a sharded store registers its own counters
     /// (e.g. `shard2.server.puts`) in the one shared registry.
     pub fn register_prefixed(&self, reg: &Registry, prefix: &str) {
-        let pairs: [(&str, &Counter); 23] = [
+        let pairs: [(&str, &Counter); 25] = [
             ("server.puts", &self.puts),
             ("server.dels", &self.dels),
             ("server.gets", &self.gets),
@@ -231,6 +238,8 @@ impl ServerStats {
             ("server.cleanings", &self.cleanings),
             ("server.relocated", &self.relocated),
             ("server.reclaimed_versions", &self.reclaimed_versions),
+            ("server.cleaner.stalls", &self.cleaner_stalls),
+            ("server.cleaner.park_ns", &self.cleaner_park_ns),
             ("server.put_failures", &self.put_failures),
             ("server.dup_hits", &self.dup_hits),
             ("server.dup_stale", &self.dup_stale),
@@ -287,6 +296,10 @@ pub struct ServerShared {
     /// One-shot manual cleaning trigger (experiments force cleaning at a
     /// chosen instant; normally the fill threshold drives it).
     pub clean_request: AtomicBool,
+    /// The cleaner is parked on destination-pool space: the handler
+    /// answers PUT/DEL with `Busy` (retryable backpressure) instead of
+    /// consuming the bytes the stalled clean needs to make progress.
+    pub clean_stalled: AtomicBool,
     /// Node crash epoch at server creation; a later epoch means this server
     /// instance died with a crash and must never touch state again (even if
     /// the node was restarted for a recovered instance).
@@ -373,14 +386,19 @@ impl ServerShared {
         }
     }
 
-    /// The newest version's offset for `entry` under the current phase.
-    /// During merge, keys rewritten since cleaning started live in the new
-    /// pool behind the `new_valid` bit; otherwise the mark-selected slot is
-    /// authoritative.
+    /// The newest version's offset for `entry`. The `new_valid` bit always
+    /// means "the current version lives in the non-mark slot": set by
+    /// merge-phase writes and by relocation (where the copy duplicates the
+    /// mark-slot head, so either slot serves the same bytes), and — after a
+    /// mid-clean crash leaves anchors in both regions — by plain writes to
+    /// the active pool of keys whose recovered mark points at the other
+    /// pool. Honoring it unconditionally keeps reads on the newest version
+    /// in every one of those states.
     pub fn current_off(&self, entry: &Entry) -> u64 {
-        match self.phase() {
-            CleanPhase::Merge if entry.ctl.new_valid() => entry.other(),
-            _ => entry.current(),
+        if entry.ctl.new_valid() {
+            entry.other()
+        } else {
+            entry.current()
         }
     }
 
@@ -502,6 +520,7 @@ impl Server {
             scrub: crate::scrub::ScrubStats::default(),
             stop: AtomicBool::new(false),
             clean_request: AtomicBool::new(false),
+            clean_stalled: AtomicBool::new(false),
             born_epoch: node.epoch(),
             txn: std::sync::Mutex::new(crate::txn::TxnState::default()),
             sealed: AtomicBool::new(false),
@@ -795,6 +814,17 @@ fn insert_version(shared: &ServerShared, key: &[u8], vlen: u32, crc: u32) -> Res
         }
     };
 
+    // A stalled cleaner is parked on destination-pool space: consuming
+    // more bytes here would starve it, so push back with a retryable Busy
+    // (no failure counter — the client backs off and retries).
+    if shared.clean_stalled.load(Ordering::Relaxed) {
+        return Response::Put {
+            status: Status::Busy,
+            obj_off: 0,
+            value_off: 0,
+        };
+    }
+
     let fp = crate::hashtable::fingerprint(key);
     let size = layout::object_size(key.len(), vlen as usize);
 
@@ -820,6 +850,16 @@ fn insert_version(shared: &ServerShared, key: &[u8], vlen: u32, crc: u32) -> Res
     }
     let pool_idx = shared.alloc_pool();
     let Some(off) = shared.logs[pool_idx].alloc(size) else {
+        // Mid-clean the shortage is transient — the in-flight clean (or
+        // the follow-up pass it triggers) frees the pool — so degrade to
+        // retryable backpressure instead of a hard failure.
+        if shared.phase() != CleanPhase::Normal {
+            return Response::Put {
+                status: Status::Busy,
+                obj_off: 0,
+                value_off: 0,
+            };
+        }
         return fail(Status::NoSpace);
     };
     let hdr = ObjHeader {

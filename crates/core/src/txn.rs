@@ -94,6 +94,31 @@ pub struct TxnState {
     pub commit_ts: HashMap<u64, u64>,
     /// In-doubt two-phase-commit participants, keyed by (client QP, txn id).
     pub prepared: HashMap<(QpId, u64), Prepared>,
+    /// Oldest snapshot timestamp still servable. Log cleaning relocates
+    /// versions to new offsets whose timestamps read as 0 ("visible in
+    /// every snapshot") — correct for *current* reads but a time-travel
+    /// hazard for snapshots captured before the pass. The cleaner bumps
+    /// this to the watermark at every pool swap (and pass abort); older
+    /// snapshots are answered `Expired` and re-captured by the client.
+    pub min_snap_ts: u64,
+}
+
+/// Expire every snapshot captured before now: after relocation, versions a
+/// pre-pass snapshot should *not* see carry timestamp 0 and would leak in.
+/// Called by the cleaner (no yields — safe inside its mutation blocks).
+pub(crate) fn expire_snapshots(shared: &ServerShared) {
+    let mut txn = shared.txn.lock().unwrap();
+    txn.min_snap_ts = txn.watermark;
+}
+
+/// Pool-swap hook: expire pre-pass snapshots *and* drop the offset-keyed
+/// commit timestamps — the old pool is about to be zeroed and its offsets
+/// recycled, so stale map entries would alias future allocations.
+/// Relocated versions intentionally read as timestamp 0.
+pub(crate) fn on_clean_swap(shared: &ServerShared) {
+    let mut txn = shared.txn.lock().unwrap();
+    txn.min_snap_ts = txn.watermark;
+    txn.commit_ts.clear();
 }
 
 /// Earliest deadline after which `sweep_expired` may have work to do; the
@@ -249,11 +274,22 @@ fn abort_staged(shared: &ServerShared, offs: &[u64]) {
 /// Persist the commit record for `txn_id`: the transaction's durable
 /// commit point. A normal log allocation, never linked into the hash
 /// table; recovery scans the log for these.
+///
+/// Each staged version is named by `(key fingerprint, seq, value crc)`
+/// rather than its raw log offset: log cleaning relocates versions (and
+/// recycles whole pools), so an offset stops denoting "this write" the
+/// moment the cleaner touches it, while the version identity survives any
+/// number of relocations. The crc pins the value bytes, disambiguating
+/// seq reuse after a bucket is dropped and recreated.
 fn write_commit_record(shared: &ServerShared, txn_id: u64, offs: &[u64]) -> Result<(), Status> {
     let key = commit_record_key(txn_id);
-    let mut value = Vec::with_capacity(offs.len() * 8);
+    let mut value = Vec::with_capacity(offs.len() * 16);
     for &off in offs {
-        value.extend_from_slice(&off.to_le_bytes());
+        let hdr = ObjHeader::read_from(&shared.pool, off as usize);
+        let okey = layout::read_key(&shared.pool, off as usize, &hdr);
+        value.extend_from_slice(&fingerprint(&okey).to_le_bytes());
+        value.extend_from_slice(&hdr.seq.to_le_bytes());
+        value.extend_from_slice(&hdr.crc.to_le_bytes());
     }
     let size = layout::object_size(key.len(), value.len());
     let pool_idx = shared.alloc_pool();
@@ -554,6 +590,12 @@ pub(crate) fn handle_snap_get(
     // chosen version is consistent with a single instant of the map.
     let chosen = {
         let txn = shared.txn.lock().unwrap();
+        if snap_ts < txn.min_snap_ts {
+            // Snapshot predates the cleaner's compaction horizon:
+            // relocated versions read as timestamp 0 and would leak into
+            // it. The client must capture a fresh snapshot.
+            return resp(Status::Expired, 0, 0, 0);
+        }
         let mut chosen = None;
         while off != 0 && off != NIL {
             let hdr = ObjHeader::read_from(&shared.pool, off as usize);
@@ -610,9 +652,12 @@ pub(crate) fn handle_snap_get(
 }
 
 /// Scan recovered object offsets for durable commit records; returns the
-/// set of staged-version offsets those records name. Used by recovery to
-/// decide which `PENDING` versions committed.
-pub fn committed_offsets(pool: &PmemPool, objs: &[usize]) -> HashSet<u64> {
+/// set of `(key fingerprint, seq, value crc)` version identities those
+/// records name. Used by recovery to decide which `PENDING` versions
+/// committed. Identity-based (not offset-based) so records stay valid
+/// across log cleaning: a relocated copy carries the same key, seq, and
+/// value bytes as the staged original the record vouched for.
+pub fn committed_versions(pool: &PmemPool, objs: &[usize]) -> HashSet<(u64, u32, u32)> {
     let mut committed = HashSet::new();
     for &off in objs {
         let hdr = ObjHeader::read_from(pool, off);
@@ -624,11 +669,15 @@ pub fn committed_offsets(pool: &PmemPool, objs: &[usize]) -> HashSet<u64> {
             continue;
         }
         let value = layout::read_value(pool, off, &hdr);
-        if crc32c(&value) != hdr.crc || !value.len().is_multiple_of(8) {
+        if crc32c(&value) != hdr.crc || !value.len().is_multiple_of(16) {
             continue; // torn record: the transaction never committed
         }
-        for chunk in value.chunks_exact(8) {
-            committed.insert(u64::from_le_bytes(chunk.try_into().unwrap()));
+        for chunk in value.chunks_exact(16) {
+            committed.insert((
+                u64::from_le_bytes(chunk[..8].try_into().unwrap()),
+                u32::from_le_bytes(chunk[8..12].try_into().unwrap()),
+                u32::from_le_bytes(chunk[12..16].try_into().unwrap()),
+            ));
         }
     }
     committed
@@ -657,6 +706,9 @@ pub enum SnapOutcome {
     NotFound,
     /// In-doubt head or in-flight value — retry shortly.
     Busy,
+    /// Snapshot older than the cleaner's compaction horizon — capture a
+    /// fresh one; retrying the same timestamp can never succeed.
+    Expired,
 }
 
 /// Raw per-shard transactional RPCs. Implemented by [`crate::Client`] and
@@ -871,6 +923,10 @@ pub fn snap_get_routed<C: TxnShard>(
             SnapOutcome::Value(v) => return Ok(Some(v)),
             SnapOutcome::NotFound => return Ok(None),
             SnapOutcome::Busy => sim::sleep(TXN_BACKOFF),
+            // Cleaning compacted past this snapshot while we held it:
+            // retrying the same timestamp can never succeed — the caller
+            // must re-capture.
+            SnapOutcome::Expired => return Err(StoreError::Status(Status::Expired)),
         }
     }
     Err(StoreError::Status(Status::Busy))

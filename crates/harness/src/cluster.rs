@@ -118,9 +118,9 @@ pub struct ExperimentSpec {
     /// fences (eFactory only; 0 = flat per-message charging).
     pub doorbell_batch: usize,
     /// Backup replicas per server (eFactory only; 0 = unreplicated, 1 =
-    /// primary–backup mirroring with one backup node per shard). Requires
-    /// `Cleaning::Disabled` — the cleaner relocates objects, which would
-    /// invalidate the backup's mirrored offsets.
+    /// primary–backup mirroring with one backup node per shard). Composes
+    /// with `Cleaning::Enabled`: the backup indexes mirrored objects by
+    /// content, so relocation is transparent to it.
     pub replicas: usize,
     /// Fault injection: power-fail every shard's primary this many virtual
     /// nanoseconds after the measurement window opens. Requires
@@ -148,15 +148,16 @@ pub struct ExperimentSpec {
     /// Background snapshot-reader processes running for the whole
     /// measurement window: each captures an MVCC snapshot, reads a handful
     /// of keys under it, and repeats until the workload clients finish.
-    /// Used to measure snapshot/writer interference (eFactory only;
-    /// requires `Cleaning::Disabled`).
+    /// Used to measure snapshot/writer interference (eFactory only). With
+    /// `Cleaning::Enabled` a pool swap expires open snapshots; readers
+    /// re-capture on `Status::Expired`.
     pub snap_readers: usize,
     /// Data nodes hosting the shards. `1` (the default) runs the legacy
     /// single-machine topologies; above 1 the run builds an
     /// [`efactory::cluster::Cluster`] — shards placed round-robin across
     /// nodes, a 3-replica metadata service, and cluster-aware clients
     /// that retarget on placement changes. Requires eFactory with
-    /// `Cleaning::Disabled`, `replicas == 0`, and `window == 1`.
+    /// `replicas == 0` and `window == 1`.
     pub nodes: usize,
     /// Live-migrate shard 0 to the next node (`(owner + 1) % nodes`)
     /// this many virtual nanoseconds after the measurement window opens,
@@ -456,11 +457,6 @@ fn build_server(
             matches!(spec.system, SystemKind::EFactory | SystemKind::EFactoryNoHr),
             "transactional/snapshot workloads require eFactory"
         );
-        assert!(
-            matches!(spec.cleaning, Cleaning::Disabled),
-            "transactional/snapshot workloads require Cleaning::Disabled \
-             (commit timestamps are keyed by stable log offsets)"
-        );
     }
     let sized = StoreLayout::for_workload(
         spec.record_count as usize,
@@ -504,10 +500,6 @@ fn build_server(
                     spec.replicas, 1,
                     "primary–backup replication supports exactly one backup per shard"
                 );
-                assert!(
-                    matches!(spec.cleaning, Cleaning::Disabled),
-                    "replication requires Cleaning::Disabled (mirrored offsets must be stable)"
-                );
                 return AnyServer::EfRepl(efactory::repl::ReplicatedCluster::format(
                     fabric,
                     "server",
@@ -517,11 +509,6 @@ fn build_server(
                 ));
             }
             if spec.nodes > 1 {
-                assert!(
-                    matches!(spec.cleaning, Cleaning::Disabled),
-                    "multi-node runs require Cleaning::Disabled (migration \
-                     mirrors by log offset)"
-                );
                 assert_eq!(spec.window, 1, "multi-node runs use the serial client");
                 // The fabric the cluster lives on is the caller's; the
                 // `node` arg ("server") stays unused in this topology.
@@ -835,9 +822,19 @@ fn run_serial_txn(
             }
             Op::SnapRead { keys } => {
                 let t0 = sim::now();
-                let snap = kv.snapshot().expect("snapshot capture failed");
-                for k in &keys {
-                    kv.snap_get(k, &snap).expect("snap get failed");
+                // A cleaning pool swap expires open snapshots (the swap
+                // recycles old-pool offsets); re-capture and restart the
+                // scan — the retry latency is part of the measurement.
+                'scan: loop {
+                    let snap = kv.snapshot().expect("snapshot capture failed");
+                    for k in &keys {
+                        match kv.snap_get(k, &snap) {
+                            Ok(_) => {}
+                            Err(StoreError::Status(Status::Expired)) => continue 'scan,
+                            Err(e) => panic!("snap get failed: {e:?}"),
+                        }
+                    }
+                    break;
                 }
                 let dt = sim::now() - t0;
                 for _ in 0..keys.len() {
@@ -996,6 +993,18 @@ fn run_inner(
                         shared.clean_request.store(true, Ordering::Relaxed);
                     }
                 }
+                AnyServer::EfRepl(c) => {
+                    for shared in c.shared_all() {
+                        shared.clean_request.store(true, Ordering::Relaxed);
+                    }
+                }
+                AnyServer::EfCluster(c) => {
+                    for g in 0..c.config().shards {
+                        c.shard_shared(g)
+                            .clean_request
+                            .store(true, Ordering::Relaxed);
+                    }
+                }
                 _ => {}
             }
         }
@@ -1082,7 +1091,16 @@ fn run_inner(
                 while !stop.load(Ordering::Relaxed) {
                     let snap = kv.snapshot().expect("snap capture");
                     for _ in 0..TXN_KEYS {
-                        kv.snap_get(&wl.key(next_id()), &snap).expect("snap get");
+                        // A cleaning pool swap expires the snapshot
+                        // mid-scan; abandon it and re-capture on the next
+                        // iteration (readers model periodic scans, not
+                        // exactly-once reads).
+                        use efactory::protocol::{Status, StoreError};
+                        match kv.snap_get(&wl.key(next_id()), &snap) {
+                            Ok(_) => {}
+                            Err(StoreError::Status(Status::Expired)) => break,
+                            Err(e) => panic!("snap get: {e:?}"),
+                        }
                     }
                     sim::sleep(sim::micros(60));
                 }

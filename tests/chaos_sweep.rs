@@ -137,6 +137,37 @@ struct ChaosOutcome {
     fault_dropped: u64,
     fault_duplicated: u64,
     fault_delayed: u64,
+    /// Cleaning passes completed (cleaning lanes only; 0 otherwise).
+    cleanings: u64,
+    /// Objects quarantined by the scrubber or the relocator's CRC check.
+    quarantined: u64,
+    /// Post-heal read of the out-of-script bit-rotted key (rot lanes only).
+    rot_value: Option<Vec<u8>>,
+}
+
+/// Optional hazards layered onto the scripted chaos run.
+#[derive(Clone, Copy, Default)]
+struct LaneCfg {
+    /// Dual-pool layout with a near-zero clean threshold: cleaning passes
+    /// run back to back through the workload, and clients retry `Busy`
+    /// answers (cleaner backpressure) as the same logical op.
+    clean: bool,
+    /// Enable the scrubber and bit-rot a durable version of a dedicated
+    /// out-of-script key before the workload starts.
+    rot: bool,
+}
+
+/// Key/values for the bit-rot satellite (outside every script's keyspace).
+fn rot_key() -> Vec<u8> {
+    b"rot-key0".to_vec()
+}
+
+fn rot_val(gen: u32) -> Vec<u8> {
+    let mut v = format!("rot-gen-{gen}-").into_bytes();
+    while v.len() < 32 {
+        v.push(b'.');
+    }
+    v
 }
 
 const CLIENTS: usize = 3;
@@ -146,16 +177,31 @@ const KEYS: usize = 8;
 /// Run the scripted workload on a standalone eFactory store under `plan`,
 /// then read the whole keyspace back over a clean fabric.
 fn run_chaos(seed: u64, plan: Option<FaultPlan>) -> ChaosOutcome {
+    run_chaos_lane(seed, plan, LaneCfg::default())
+}
+
+fn run_chaos_lane(seed: u64, plan: Option<FaultPlan>, lane: LaneCfg) -> ChaosOutcome {
     let scripts = gen_scripts(CLIENTS, OPS, KEYS, seed);
     let mut simu = Sim::new(seed);
     let fabric = Fabric::new(CostModel::default());
-    if let Some(p) = plan {
-        fabric.set_fault_plan(Some(p));
+    // With the rot satellite the plan is applied *after* the rot key's two
+    // generations are preloaded, so their pool offsets stay script-exact
+    // (a chaos-delayed preload could re-issue and shift the log head).
+    if !lane.rot {
+        if let Some(p) = plan {
+            fabric.set_fault_plan(Some(p));
+        }
     }
     let server_node = fabric.add_node("server");
-    let layout = StoreLayout::new(2048, 1 << 20, false);
+    let layout = if lane.clean {
+        StoreLayout::new(2048, 256 * 1024, true)
+    } else {
+        StoreLayout::new(2048, 1 << 20, false)
+    };
     let cfg = ServerConfig {
-        clean_enabled: false,
+        clean_enabled: lane.clean,
+        clean_threshold: if lane.clean { 0.01 } else { 0.7 },
+        scrub_enabled: lane.rot,
         ..ServerConfig::default()
     };
     let server = Arc::new(Server::format(&fabric, &server_node, layout, cfg));
@@ -168,6 +214,30 @@ fn run_chaos(seed: u64, plan: Option<FaultPlan>) -> ChaosOutcome {
     simu.spawn("main", move || {
         server2.start(&f);
         let desc = server2.desc();
+        if lane.rot {
+            // Two durable generations of a dedicated key land as the first
+            // two log objects; rot the newer one's value bytes, then arm
+            // the fault plan. The scrubber (or the relocator's CRC check,
+            // whichever gets there first) must quarantine it and the store
+            // must fall back to the intact older generation — all while
+            // cleaning passes churn the pool underneath.
+            let setup_node = f.add_node("rot-setup");
+            let setup =
+                Client::connect(&f, &setup_node, &server_node, desc, ClientConfig::default())
+                    .expect("rot setup connect");
+            for gen in 0..2u32 {
+                setup.put(&rot_key(), &rot_val(gen)).expect("rot preload");
+                // Read-back pins the version durable (selective durability).
+                assert!(setup.get(&rot_key()).expect("rot readback").is_some());
+            }
+            let shared = server2.shared();
+            // object_size(klen 8, vlen 32) = 80; value bytes start at +48.
+            let gen1_val = shared.logs[0].base() + 80 + 48;
+            shared.pool.corrupt_range(gen1_val, 8, 0x5A);
+            if let Some(p) = plan {
+                f.set_fault_plan(Some(p));
+            }
+        }
         let retries_acc = Arc::new(std::sync::atomic::AtomicU64::new(0));
         let op_retries_acc = Arc::new(std::sync::atomic::AtomicU64::new(0));
         let reissues_acc = Arc::new(std::sync::atomic::AtomicU64::new(0));
@@ -182,12 +252,36 @@ fn run_chaos(seed: u64, plan: Option<FaultPlan>) -> ChaosOutcome {
                 let node = f2.add_node(&format!("cnode-{cid}"));
                 let c = Client::connect(&f2, &node, &sn, desc, ClientConfig::default())
                     .expect("connect");
+                // Cleaning lanes answer mid-clean writes with retryable
+                // `Busy` backpressure; re-issue until the pass lets go.
+                let busy = |r: &Result<(), efactory::protocol::StoreError>| {
+                    matches!(
+                        r,
+                        Err(efactory::protocol::StoreError::Status(
+                            efactory::protocol::Status::Busy
+                        ))
+                    )
+                };
                 for op in script {
                     match op {
-                        ChaosOp::Put { key: k, tag } => {
-                            c.put(&key(cid, k), &value(cid, k, tag)).expect("chaos put")
-                        }
-                        ChaosOp::Del { key: k } => c.del(&key(cid, k)).expect("chaos del"),
+                        ChaosOp::Put { key: k, tag } => loop {
+                            let r = c.put(&key(cid, k), &value(cid, k, tag));
+                            if lane.clean && busy(&r) {
+                                sim::sleep(sim::micros(2));
+                                continue;
+                            }
+                            r.expect("chaos put");
+                            break;
+                        },
+                        ChaosOp::Del { key: k } => loop {
+                            let r = c.del(&key(cid, k));
+                            if lane.clean && busy(&r) {
+                                sim::sleep(sim::micros(2));
+                                continue;
+                            }
+                            r.expect("chaos del");
+                            break;
+                        },
                         ChaosOp::Get { key: k } => {
                             // The read may see any not-yet-overwritten
                             // version; only transport success is asserted.
@@ -224,6 +318,11 @@ fn run_chaos(seed: u64, plan: Option<FaultPlan>) -> ChaosOutcome {
                 }
             }
         }
+        let rot_value = if lane.rot {
+            checker.get(&rot_key()).expect("rot verify get")
+        } else {
+            None
+        };
         let stats = &server2.shared().stats;
         let fs = f.stats();
         *out2.lock().unwrap() = Some(ChaosOutcome {
@@ -239,6 +338,9 @@ fn run_chaos(seed: u64, plan: Option<FaultPlan>) -> ChaosOutcome {
                 .fault_duplicated
                 .load(std::sync::atomic::Ordering::Relaxed),
             fault_delayed: fs.fault_delayed.load(std::sync::atomic::Ordering::Relaxed),
+            cleanings: stats.cleanings.get(),
+            quarantined: server2.shared().scrub.quarantined.get(),
+            rot_value,
         });
         server2.shutdown();
     });
@@ -386,6 +488,47 @@ fn chaos_plan_matrix() {
             assert_eq!(o.server_dels, dels, "plan {i} seed {seed}: dup DEL");
         }
     }
+}
+
+/// Cleaning lane: the full drop/dup/delay chaos plan, a bit-rotted durable
+/// version with the scrubber armed, and log-cleaning passes running back
+/// to back through the workload. Mid-clean writes ride out `Busy`
+/// backpressure; the rotted version is quarantined (by the scrubber or the
+/// relocator's CRC check) with fallback to the intact older generation;
+/// the run still converges to the script-dictated state and replays
+/// deterministically. Counter-exactness is asserted by the non-cleaning
+/// lanes — Busy-rejected attempts legitimately bump the server counters.
+#[test]
+fn cleaning_chaos_lane_converges_with_scrub_and_rot() {
+    let seed = 0xC1EA;
+    let scripts = gen_scripts(CLIENTS, OPS, KEYS, seed);
+    let expected = expected_state(&scripts);
+    let plan = FaultPlan::chaos(0.04, 0.03, 0.02, sim::micros(3), seed ^ 0xFA);
+    let lane = LaneCfg {
+        clean: true,
+        rot: true,
+    };
+    let a = run_chaos_lane(seed, Some(plan), lane);
+    assert!(
+        a.fault_dropped > 0 && a.fault_duplicated > 0,
+        "chaos plan must actually fire: {a:?}"
+    );
+    assert!(
+        a.cleanings > 0,
+        "cleaner never ran during the chaos workload"
+    );
+    assert!(
+        a.quarantined >= 1,
+        "bit-rotted version was never quarantined"
+    );
+    assert_eq!(
+        a.rot_value.as_deref(),
+        Some(&rot_val(0)[..]),
+        "rotted key must fall back to the intact older generation"
+    );
+    assert_eq!(a.final_state, expected, "cleaning+chaos run diverged");
+    let b = run_chaos_lane(seed, Some(plan), lane);
+    assert_eq!(a, b, "cleaning chaos lane must replay identically");
 }
 
 /// Satellite: a transient partition mid-workload, healed within the

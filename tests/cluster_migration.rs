@@ -58,9 +58,13 @@ fn with_cluster(
     shards: usize,
     body: impl FnOnce(&Cluster) + Send + 'static,
 ) {
+    with_cluster_cfg(seed, config(nodes, shards), body);
+}
+
+fn with_cluster_cfg(seed: u64, cfg: ClusterConfig, body: impl FnOnce(&Cluster) + Send + 'static) {
     let mut simu = Sim::new(seed);
     let fabric = Fabric::new(CostModel::default());
-    let cluster = Arc::new(Cluster::format(&fabric, config(nodes, shards)));
+    let cluster = Arc::new(Cluster::format(&fabric, cfg));
     let c2 = Arc::clone(&cluster);
     simu.spawn("main", move || {
         c2.start();
@@ -214,6 +218,133 @@ fn live_migration_under_traffic_is_lossless() {
             cluster.stats().client_retargets.get() > 0,
             "no WrongEpoch retarget happened — traffic never overlapped the move"
         );
+    });
+}
+
+/// Live migration composes with log cleaning: the source shard has
+/// completed cleaning passes before the move (so the pool being snapshotted
+/// is a cleaner-produced layout — relocated copies, progress records,
+/// terminal slot), a writer keeps traffic flowing (riding out `Busy` from
+/// mid-clean instants and `WrongEpoch` from the flip), and the driver's
+/// seal serializes behind any in-flight pass. The byte-verify must still
+/// report zero diff, every acked write must survive, and the *new* owner
+/// must be able to run its own cleaning pass over the migrated pool.
+#[test]
+fn migration_with_cleaning_enabled_is_lossless() {
+    let cfg = ClusterConfig::new(
+        2,
+        2,
+        StoreLayout::new(256, 256 * 1024, true),
+        ServerConfig {
+            // Low threshold: passes trigger as soon as the seed data
+            // lands, so the migrated pool is cleaner-produced.
+            clean_threshold: 0.02,
+            ..ServerConfig::default()
+        },
+    );
+    with_cluster_cfg(404, cfg, |cluster| {
+        let seed_client = connect(cluster, "seeder");
+        const KEYS: usize = 48;
+        for i in 0..KEYS {
+            seed_client.put(&key(i), &value(i, 0)).unwrap();
+        }
+        // Force at least one completed pass over the seed data, so the
+        // pool being migrated is a cleaner-produced layout.
+        let src = cluster.shard_shared(0);
+        src.clean_request.store(true, Ordering::Relaxed);
+        let deadline = sim::now() + sim::millis(50);
+        while src.stats.cleanings.get() == 0 {
+            assert!(sim::now() < deadline, "source shard never cleaned");
+            sim::sleep(sim::micros(20));
+        }
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let acked: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(vec![0; KEYS]));
+        let stop2 = Arc::clone(&stop);
+        let acked2 = Arc::clone(&acked);
+        let fabric = Arc::clone(cluster.fabric());
+        let meta_nodes = cluster.meta_nodes().to_vec();
+        let handle = Arc::clone(cluster.handle());
+        let stats = Arc::clone(cluster.stats());
+        let writer = sim::spawn("writer", move || {
+            let c = ClusterClient::connect(
+                &fabric,
+                &fabric.add_node("writer-node"),
+                &meta_nodes,
+                &handle,
+                &stats,
+                client_cfg(),
+            )
+            .expect("writer connect");
+            let mut ver = 1usize;
+            while !stop2.load(Ordering::Relaxed) {
+                for i in 0..KEYS {
+                    loop {
+                        match c.put(&key(i), &value(i, ver)) {
+                            Ok(()) => break,
+                            Err(StoreError::Status(Status::Busy)) => sim::sleep(sim::micros(3)),
+                            Err(e) => panic!("live put failed: {e:?}"),
+                        }
+                    }
+                    acked2.lock().unwrap()[i] = ver;
+                }
+                ver += 1;
+                sim::sleep(sim::micros(5));
+            }
+        });
+
+        sim::sleep(sim::micros(200));
+        let from = cluster.owner_of(0);
+        let report = cluster
+            .migrate(0, 1 - from)
+            .expect("migration with cleaning enabled failed");
+        assert_eq!(report.verify_diff_bytes, 0);
+
+        sim::sleep(sim::millis(1));
+        stop.store(true, Ordering::Relaxed);
+        writer.join();
+
+        let last = acked.lock().unwrap().clone();
+        let fresh = connect(cluster, "reader");
+        for (i, &want_min) in last.iter().enumerate() {
+            let got = fresh.get(&key(i)).unwrap().expect("key lost in migration");
+            let got_ver: usize = {
+                let s = String::from_utf8(got.clone()).unwrap();
+                s.rsplit("-v").next().unwrap()[..4].parse().unwrap()
+            };
+            assert!(
+                got_ver >= want_min,
+                "key {i}: read version {got_ver} older than acked {want_min}"
+            );
+            assert_eq!(got, value(i, got_ver), "key {i} bytes corrupted");
+        }
+
+        // The new owner cleans the migrated pool and nothing is lost.
+        let dst = cluster.shard_shared(0);
+        let before = dst.stats.cleanings.get();
+        dst.clean_request.store(true, Ordering::Relaxed);
+        let deadline = sim::now() + sim::millis(50);
+        while dst.stats.cleanings.get() == before {
+            assert!(
+                sim::now() < deadline,
+                "new owner never cleaned the migrated pool"
+            );
+            sim::sleep(sim::micros(20));
+        }
+        for (i, &want_min) in last.iter().enumerate() {
+            let got = fresh
+                .get(&key(i))
+                .unwrap()
+                .expect("key lost cleaning the migrated pool");
+            let got_ver: usize = {
+                let s = String::from_utf8(got.clone()).unwrap();
+                s.rsplit("-v").next().unwrap()[..4].parse().unwrap()
+            };
+            assert!(
+                got_ver >= want_min,
+                "key {i} regressed after post-move clean"
+            );
+        }
     });
 }
 

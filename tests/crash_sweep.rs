@@ -880,3 +880,566 @@ fn txn_sweep_with_word_granular_survival() {
 fn txn_sweep_with_line_granular_survival() {
     txn_sweep(CrashSpec::Lines(0.3), 203);
 }
+
+// --------------------------------------------------------------- mid-clean
+//
+// Crash-at-every-instant sweep over an entire log-cleaning pass
+// (compress → merge → finish → pool swap), the window where versions of
+// one key live in both pools, chains are half-relocated, `Trans`
+// back-pointers dangle, and the swap itself can tear. A calibration run
+// (same seed, no crash — determinism makes its timeline exact) measures
+// the pass window and the compress→merge boundary; the sweep then
+// power-fails the server on a fine grid spanning the whole pass and
+// requires, at every point:
+//
+// * every key that was durable before the pass reads its exact value;
+// * deleted keys stay deleted (tombstone reclamation never resurrects);
+// * a hot key being overwritten *during* the pass reads some exact
+//   acked-or-later version — never torn bytes;
+// * the recovered store passes the structural check, stays writable, and
+//   can run a fresh cleaning pass to completion.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use efactory::server::CleanPhase;
+
+/// Stable keys seeded (and made durable) before the pass. The last
+/// `CLEAN_DEAD` of them are deleted so the pass reclaims tombstones.
+const CLEAN_KEYS: usize = 24;
+const CLEAN_DEAD: usize = 4;
+
+fn ckey(i: usize) -> Vec<u8> {
+    format!("cleanswept-{i:02}").into_bytes()
+}
+
+fn cval(i: usize, gen: u32) -> Vec<u8> {
+    format!("clean-g{gen}-{i:02}-0123456789abcdef").into_bytes()
+}
+
+fn hot_val(v: u64) -> Vec<u8> {
+    format!("hot-v{v:06}-fedcba9876543210").into_bytes()
+}
+
+/// Timeline observations from the calibration run, relative to the
+/// instant the clean was requested.
+#[derive(Clone, Copy, Debug, Default)]
+struct CleanWindow {
+    begin: Nanos,
+    merge: Nanos,
+    end: Nanos,
+}
+
+/// One mid-clean sweep point. `t_crash = None` is the calibration run: no
+/// crash, returns the observed pass window. `Some(t)` power-fails the
+/// server `t` after the clean request and validates recovery.
+fn clean_crash_at(t_crash: Option<Nanos>, spec: CrashSpec, seed: u64) -> Option<CleanWindow> {
+    let mut simu = Sim::new(seed);
+    let fabric = Fabric::new(CostModel::default());
+    let server_node = fabric.add_node("server");
+    let layout = StoreLayout::new(256, 96 * 1024, true);
+    let cfg = ServerConfig {
+        clean_threshold: 2.0, // manual trigger only
+        clean_poll: sim::micros(5),
+        ..ServerConfig::default()
+    };
+    let server = Server::format(&fabric, &server_node, layout, cfg.clone());
+    let pool = Arc::clone(&server.shared().pool);
+
+    let f = Arc::clone(&fabric);
+    let out: Arc<std::sync::Mutex<Option<CleanWindow>>> = Arc::default();
+    let out2 = Arc::clone(&out);
+    simu.spawn("main", move || {
+        let shared = server.start(&f);
+        let c = connect(&f, &server_node, &server);
+        // Two generations per key → multi-version chains for the pass to
+        // walk; the tail keys get tombstoned so reclamation runs too.
+        for gen in 0..2u32 {
+            for i in 0..CLEAN_KEYS {
+                c.put(&ckey(i), &cval(i, gen)).unwrap();
+            }
+        }
+        for i in CLEAN_KEYS - CLEAN_DEAD..CLEAN_KEYS {
+            c.del(&ckey(i)).unwrap();
+        }
+        c.put(b"hot", &hot_val(0)).unwrap();
+        for i in 0..CLEAN_KEYS - CLEAN_DEAD {
+            c.get(&ckey(i)).unwrap().unwrap(); // read-back forces durability
+        }
+        c.get(b"hot").unwrap().unwrap();
+        sim::sleep(sim::micros(300)); // verifier drains
+
+        let t0 = sim::now();
+        shared.clean_request.store(true, Ordering::Relaxed);
+
+        // Watcher (present in every mode so all runs share one event
+        // timeline): records the pass boundaries it can observe.
+        let stop = Arc::new(AtomicBool::new(false));
+        let begin_at = Arc::new(AtomicU64::new(0));
+        let merge_at = Arc::new(AtomicU64::new(0));
+        let end_at = Arc::new(AtomicU64::new(0));
+        let (w_stop, w_begin, w_merge, w_end) = (
+            Arc::clone(&stop),
+            Arc::clone(&begin_at),
+            Arc::clone(&merge_at),
+            Arc::clone(&end_at),
+        );
+        let w_shared = Arc::clone(&shared);
+        let watcher = sim::spawn("watcher", move || {
+            let deadline = sim::now() + sim::millis(20);
+            while !w_stop.load(Ordering::Relaxed) && sim::now() < deadline {
+                let ph = w_shared.phase();
+                if ph != CleanPhase::Normal && w_begin.load(Ordering::Relaxed) == 0 {
+                    w_begin.store(sim::now(), Ordering::Relaxed);
+                }
+                if ph == CleanPhase::Merge && w_merge.load(Ordering::Relaxed) == 0 {
+                    w_merge.store(sim::now(), Ordering::Relaxed);
+                }
+                if w_shared.stats.cleanings.load(Ordering::Relaxed) >= 1 {
+                    w_end.store(sim::now(), Ordering::Relaxed);
+                    break;
+                }
+                sim::sleep(250);
+            }
+        });
+
+        // Crash controller (calibration sleeps past everything instead).
+        let sn = server_node.clone();
+        let f2 = Arc::clone(&f);
+        let crash_target = t0 + t_crash.unwrap_or(sim::millis(30));
+        let do_crash = t_crash.is_some();
+        let controller = sim::spawn("controller", move || {
+            sim::sleep_until(crash_target);
+            if do_crash {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xC1EA4);
+                f2.crash_node(&sn, spec, &mut rng);
+            }
+        });
+
+        // Hot writer: overwrites `hot` throughout the pass, so the sweep
+        // cuts client writes in compress phase (old pool), merge phase
+        // (new pool, racing the cleaner's allocator), and across the swap.
+        // `Busy` (cleaner backpressure) retries; a dead server ends it.
+        // Each put is followed by a read-back, which pins durability
+        // (selective durability): `durable` is the floor recovery may
+        // never roll below, `attempted` the ceiling it may reach.
+        let mut durable = 0u64;
+        let mut attempted = 0u64;
+        for v in 1..10_000u64 {
+            if end_at.load(Ordering::Relaxed) != 0 {
+                break; // calibration: pass finished
+            }
+            attempted = v;
+            use efactory::protocol::{Status, StoreError};
+            match c.put(b"hot", &hot_val(v)) {
+                Ok(()) => match c.get(b"hot") {
+                    Ok(Some(got)) if got == hot_val(v) => durable = v,
+                    Ok(_) => {}
+                    Err(_) => break,
+                },
+                Err(StoreError::Status(Status::Busy | Status::NoSpace)) => {
+                    sim::sleep(sim::micros(2));
+                }
+                Err(_) => break, // server crashed mid-RPC
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        watcher.join();
+        controller.join();
+        sim::sleep(sim::millis(1));
+
+        if t_crash.is_none() {
+            let (b, m, e) = (
+                begin_at.load(Ordering::Relaxed),
+                merge_at.load(Ordering::Relaxed),
+                end_at.load(Ordering::Relaxed),
+            );
+            assert!(b > 0 && m > b && e > m, "calibration never saw a full pass");
+            assert_eq!(
+                shared.active.load(Ordering::Relaxed),
+                1,
+                "calibration pass did not swap pools"
+            );
+            server.shutdown();
+            *out2.lock().unwrap() = Some(CleanWindow {
+                begin: b - t0,
+                merge: m - t0,
+                end: e - t0,
+            });
+            return;
+        }
+
+        // Reboot + recover.
+        f.restart_node(&server_node);
+        let (server2, _report) = recovery::recover(&f, &server_node, pool, layout, cfg.clone());
+        recovery::check_consistency(&server2.shared().pool, &layout);
+        let shared2 = server2.start(&f);
+        let c2 = connect(&f, &server_node, &server2);
+        let t = t_crash.unwrap();
+        for i in 0..CLEAN_KEYS - CLEAN_DEAD {
+            let v = c2
+                .get(&ckey(i))
+                .unwrap()
+                .unwrap_or_else(|| panic!("clean crash at t={t}: key {i} lost"));
+            assert_eq!(
+                v,
+                cval(i, 1),
+                "clean crash at t={t}: stale/torn value for key {i}"
+            );
+        }
+        for i in CLEAN_KEYS - CLEAN_DEAD..CLEAN_KEYS {
+            assert_eq!(
+                c2.get(&ckey(i)).unwrap(),
+                None,
+                "clean crash at t={t}: tombstoned key {i} resurrected"
+            );
+        }
+        // The hot key must read an exact written version, no older than
+        // the last read-back-pinned one, no newer than the last attempted.
+        let hv = c2
+            .get(b"hot")
+            .unwrap()
+            .unwrap_or_else(|| panic!("clean crash at t={t}: hot key lost"));
+        let matched = (durable..=attempted).any(|v| hv == hot_val(v));
+        assert!(
+            matched,
+            "clean crash at t={t}: hot key torn or out of window \
+             (durable {durable}, attempted {attempted}): {hv:?}"
+        );
+        // Post-recovery the store stays writable AND cleanable: a fresh
+        // pass over the recovered image must run to completion.
+        c2.put(b"post", b"alive").unwrap();
+        assert_eq!(c2.get(b"post").unwrap().as_deref(), Some(&b"alive"[..]));
+        sim::sleep(sim::micros(300));
+        shared2.clean_request.store(true, Ordering::Relaxed);
+        let deadline = sim::now() + sim::millis(50);
+        while shared2.stats.cleanings.load(Ordering::Relaxed) < 1 {
+            assert!(
+                sim::now() < deadline,
+                "clean crash at t={t}: recovered store could not complete a fresh clean"
+            );
+            sim::sleep(sim::micros(50));
+        }
+        assert_eq!(
+            c2.get(b"post").unwrap().as_deref(),
+            Some(&b"alive"[..]),
+            "clean crash at t={t}: fresh clean after recovery lost a durable key"
+        );
+        server2.shutdown();
+    });
+    simu.run().expect_ok();
+    let v = out.lock().unwrap().take();
+    v
+}
+
+fn mid_clean_sweep(spec: CrashSpec, seed: u64) {
+    let w = clean_crash_at(None, spec, seed).expect("calibration");
+    // Pad past both ends: before the first progress record (request →
+    // compress claim) and after the swap (CleanEnd + notify tail).
+    let pad = sim::micros(2);
+    let start = w.begin.saturating_sub(pad);
+    let stop = w.end + pad;
+    let step = ((stop - start) / 48).max(200);
+    let mut t = start;
+    let (mut in_compress, mut in_merge, mut past_end) = (false, false, false);
+    while t <= stop {
+        clean_crash_at(Some(t), spec, seed);
+        in_compress |= t >= w.begin && t < w.merge;
+        in_merge |= t >= w.merge && t < w.end;
+        past_end |= t >= w.end;
+        t += step;
+    }
+    // The grid must actually cut every stage of the pass.
+    assert!(in_compress, "sweep never crashed inside compress");
+    assert!(in_merge, "sweep never crashed inside merge/finish");
+    assert!(past_end, "sweep never crashed after the swap");
+}
+
+#[test]
+fn mid_clean_sweep_all_dirty_lines_lost() {
+    mid_clean_sweep(CrashSpec::DropAll, 401);
+}
+
+#[test]
+fn mid_clean_sweep_word_granular_survival() {
+    mid_clean_sweep(CrashSpec::Words(0.5), 402);
+}
+
+#[test]
+fn mid_clean_sweep_line_granular_survival() {
+    mid_clean_sweep(CrashSpec::Lines(0.3), 403);
+}
+
+// Sharded mid-clean sweep: every shard cleans concurrently and every
+// shard node power-fails at the swept instant; each shard recovers from
+// its own pool and must serve its keys exactly.
+
+fn sharded_clean_crash_at(
+    shards: usize,
+    t_crash: Option<Nanos>,
+    spec: CrashSpec,
+    seed: u64,
+) -> Option<Nanos> {
+    let mut simu = Sim::new(seed);
+    let fabric = Fabric::new(CostModel::default());
+    let layout = StoreLayout::new(256, 96 * 1024, true);
+    let cfg = ServerConfig {
+        clean_threshold: 2.0,
+        clean_poll: sim::micros(5),
+        ..ServerConfig::default()
+    };
+    let out: Arc<std::sync::Mutex<Option<Nanos>>> = Arc::default();
+    let out2 = Arc::clone(&out);
+    let f = Arc::clone(&fabric);
+    let cfg2 = cfg.clone();
+    simu.spawn("main", move || {
+        let server = ShardedServer::format(&f, "server", layout, cfg2.clone(), shards);
+        let nodes: Vec<_> = (0..shards).map(|i| server.node(i).clone()).collect();
+        let pools: Vec<_> = server
+            .shared_all()
+            .iter()
+            .map(|s| Arc::clone(&s.pool))
+            .collect();
+        let shareds: Vec<_> = server.shared_all().into_iter().map(Arc::clone).collect();
+        server.start(&f);
+        let c = ShardedClient::connect(
+            &f,
+            &f.add_node("client"),
+            &server.desc(),
+            ClientConfig::default(),
+        )
+        .unwrap();
+        let keys: Vec<_> = (0..shards).map(|i| key_for_shard(i, shards)).collect();
+        for gen in [OLD, NEW] {
+            for k in &keys {
+                c.put(k, gen).unwrap();
+            }
+        }
+        for k in &keys {
+            c.get(k).unwrap().unwrap();
+        }
+        sim::sleep(sim::micros(300));
+
+        let t0 = sim::now();
+        for s in &shareds {
+            s.clean_request.store(true, Ordering::Relaxed);
+        }
+        let f2 = Arc::clone(&f);
+        let nodes2 = nodes.clone();
+        let crash_target = t0 + t_crash.unwrap_or(sim::millis(30));
+        let do_crash = t_crash.is_some();
+        let controller = sim::spawn("controller", move || {
+            sim::sleep_until(crash_target);
+            if do_crash {
+                for (i, n) in nodes2.iter().enumerate() {
+                    let mut rng = StdRng::seed_from_u64(seed ^ 0xC1EA4 ^ (i as u64) << 17);
+                    f2.crash_node(n, spec, &mut rng);
+                }
+            }
+        });
+        if t_crash.is_none() {
+            // Calibration: wait for every shard's pass to complete.
+            let deadline = sim::now() + sim::millis(20);
+            while shareds
+                .iter()
+                .any(|s| s.stats.cleanings.load(Ordering::Relaxed) < 1)
+            {
+                assert!(sim::now() < deadline, "a shard never finished its pass");
+                sim::sleep(sim::micros(10));
+            }
+            let window = sim::now() - t0;
+            controller.join();
+            server.shutdown();
+            *out2.lock().unwrap() = Some(window);
+            return;
+        }
+        controller.join();
+        sim::sleep(sim::millis(1));
+
+        let mut rnodes = Vec::new();
+        let mut rdescs = Vec::new();
+        let mut rservers = Vec::new();
+        for (i, node) in nodes.iter().enumerate() {
+            f.restart_node(node);
+            let mut scfg = cfg2.clone();
+            if shards > 1 {
+                scfg.counter_prefix = format!("shard{i}.");
+            }
+            let (srv, _report) = recovery::recover(&f, node, Arc::clone(&pools[i]), layout, scfg);
+            recovery::check_consistency(&srv.shared().pool, &layout);
+            srv.start(&f);
+            rnodes.push(node.clone());
+            rdescs.push(srv.desc());
+            rservers.push(srv);
+        }
+        let c2 = ShardedClient::connect(
+            &f,
+            &f.add_node("client2"),
+            &ShardedDesc {
+                nodes: rnodes,
+                descs: rdescs,
+            },
+            ClientConfig::default(),
+        )
+        .unwrap();
+        let t = t_crash.unwrap();
+        for k in &keys {
+            let v = c2
+                .get(k)
+                .unwrap()
+                .unwrap_or_else(|| panic!("sharded clean crash at t={t}: key lost"));
+            assert_eq!(v, NEW, "sharded clean crash at t={t}: stale/torn value");
+        }
+        c2.put(b"post", b"alive").unwrap();
+        assert_eq!(c2.get(b"post").unwrap().as_deref(), Some(&b"alive"[..]));
+        for srv in &rservers {
+            srv.shutdown();
+        }
+    });
+    simu.run().expect_ok();
+    let v = out.lock().unwrap().take();
+    v
+}
+
+#[test]
+fn sharded_mid_clean_sweep() {
+    let shards = 2;
+    let seed = 421;
+    let window =
+        sharded_clean_crash_at(shards, None, CrashSpec::DropAll, seed).expect("calibration");
+    let step = (window / 20).max(400);
+    let mut t = 0;
+    while t <= window + sim::micros(2) {
+        sharded_clean_crash_at(shards, Some(t), CrashSpec::DropAll, seed);
+        t += step;
+    }
+}
+
+// Replicated mid-clean sweep: the PRIMARY power-fails at every swept
+// instant of its cleaning pass and the backup promotes. The promoted
+// store must serve every key that was mirrored before the pass — the
+// pass itself (relocation, swap, re-mirror) must never make the backup
+// unrecoverable. This is exactly the lane where a mirrored `Done`
+// progress record without its relocated data would be catastrophic; see
+// `recovery::neutralize_clean_records`.
+
+fn replicated_clean_crash_at(t_crash: Option<Nanos>, spec: CrashSpec, seed: u64) -> Option<Nanos> {
+    let mut simu = Sim::new(seed);
+    let fabric = Fabric::new(CostModel::default());
+    let node = fabric.add_node("server");
+    let layout = StoreLayout::new(256, 96 * 1024, true);
+    let cfg = ServerConfig {
+        clean_threshold: 2.0,
+        clean_poll: sim::micros(5),
+        ..ServerConfig::default()
+    };
+    let server = ReplicatedServer::format(&fabric, &node, layout, cfg.clone());
+    let out: Arc<std::sync::Mutex<Option<Nanos>>> = Arc::default();
+    let out2 = Arc::clone(&out);
+    let f = Arc::clone(&fabric);
+    simu.spawn("main", move || {
+        server.start(&f);
+        let c = Client::connect(
+            &f,
+            &f.add_node("client"),
+            server.primary_node(),
+            server.desc().desc,
+            ClientConfig::default(),
+        )
+        .unwrap();
+        for gen in 0..2u32 {
+            for i in 0..CLEAN_KEYS {
+                c.put(&ckey(i), &cval(i, gen)).unwrap();
+            }
+        }
+        for i in CLEAN_KEYS - CLEAN_DEAD..CLEAN_KEYS {
+            c.del(&ckey(i)).unwrap();
+        }
+        for i in 0..CLEAN_KEYS - CLEAN_DEAD {
+            c.get(&ckey(i)).unwrap().unwrap();
+        }
+        // Every pre-pass object mirrored: 2 generations + tombstones.
+        let want = (2 * CLEAN_KEYS + CLEAN_DEAD) as u64;
+        let deadline = sim::now() + sim::millis(50);
+        while server.stats().applied_objects.get() < want {
+            assert!(sim::now() < deadline, "backup never caught up");
+            sim::sleep(sim::micros(50));
+        }
+
+        let t0 = sim::now();
+        let shared = Arc::clone(server.shared());
+        shared.clean_request.store(true, Ordering::Relaxed);
+        if let Some(t) = t_crash {
+            f.schedule_crash(server.primary_node(), t0 + t, spec, seed ^ 0xC1EA4);
+            // Promotion is autonomous — wait for the backup to publish.
+            let deadline = sim::now() + sim::millis(500);
+            let promoted = loop {
+                if let Some(p) = server.handle().promoted() {
+                    break p;
+                }
+                assert!(sim::now() < deadline, "backup never promoted");
+                sim::sleep(sim::micros(100));
+            };
+            let c2 = Client::connect(
+                &f,
+                &f.add_node("client2"),
+                &promoted.node,
+                promoted.desc,
+                ClientConfig::default(),
+            )
+            .unwrap();
+            for i in 0..CLEAN_KEYS - CLEAN_DEAD {
+                let v = c2
+                    .get(&ckey(i))
+                    .unwrap()
+                    .unwrap_or_else(|| panic!("repl clean crash at t={t}: key {i} lost"));
+                // Both generations were mirrored and applied before the
+                // pass began, so the newest must survive promotion exactly.
+                assert_eq!(
+                    v,
+                    cval(i, 1),
+                    "repl clean crash at t={t}: stale/torn value for key {i}"
+                );
+            }
+            for i in CLEAN_KEYS - CLEAN_DEAD..CLEAN_KEYS {
+                assert_eq!(
+                    c2.get(&ckey(i)).unwrap(),
+                    None,
+                    "repl clean crash at t={t}: tombstoned key {i} resurrected on the backup"
+                );
+            }
+            c2.put(b"post", b"alive").unwrap();
+            assert_eq!(c2.get(b"post").unwrap().as_deref(), Some(&b"alive"[..]));
+        } else {
+            // Calibration: measure request → completed pass.
+            let deadline = sim::now() + sim::millis(20);
+            while shared.stats.cleanings.load(Ordering::Relaxed) < 1 {
+                assert!(sim::now() < deadline, "primary pass never completed");
+                sim::sleep(sim::micros(10));
+            }
+            *out2.lock().unwrap() = Some(sim::now() - t0);
+        }
+        server.shutdown();
+    });
+    simu.run().expect_ok();
+    let v = out.lock().unwrap().take();
+    v
+}
+
+#[test]
+fn replicated_mid_clean_sweep() {
+    if !replicas_enabled() {
+        return;
+    }
+    let seed = 431;
+    let window = replicated_clean_crash_at(None, CrashSpec::DropAll, seed).expect("calibration");
+    // Sweep past the pass end: the post-swap re-mirror window (where the
+    // backup holds a Done record but not yet the relocated data) is the
+    // most dangerous cut of all.
+    let stop = window + sim::micros(8);
+    let step = (stop / 24).max(400);
+    let mut t = 0;
+    while t <= stop {
+        replicated_clean_crash_at(Some(t), CrashSpec::DropAll, seed);
+        t += step;
+    }
+}

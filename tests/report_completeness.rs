@@ -97,6 +97,19 @@ fn every_registered_counter_lands_in_the_report() {
     clu.migrate_at = Some(50_000);
     names.extend(audit("cluster-migrate", &clu));
 
+    // The cleaning lane: dual pools with a forced pass mid-window so the
+    // server.cleaner.* family (including the backpressure counters) is
+    // live, not just registered.
+    let mut cln = spec();
+    cln.mix = Mix::UpdateOnly;
+    cln.cleaning = Cleaning::Enabled {
+        threshold: 0.55,
+        pool_len: 64 * 1024,
+    };
+    cln.force_clean = true;
+    cln.ops_per_client = 150;
+    names.extend(audit("cleaning", &cln));
+
     // The audit list: every counter family PRs 3–5 introduced, by name.
     // A rename or a dropped registration shows up as a failure here.
     for required in [
@@ -129,6 +142,13 @@ fn every_registered_counter_lands_in_the_report() {
         "repl.applied_bytes",
         "repl.apply_failures",
         "repl.promotions",
+        // log cleaner (progress + backpressure)
+        "server.cleanings",
+        "server.relocated",
+        "server.reclaimed_versions",
+        "server.bg_timeouts",
+        "server.cleaner.stalls",
+        "server.cleaner.park_ns",
         // CRC scrubber
         "scrub.passes",
         "scrub.scanned",

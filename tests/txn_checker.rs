@@ -94,6 +94,22 @@ struct Lane {
     chaos: bool,
     /// Inject the deliberate snapshot-staleness server bug (negative lane).
     stale: bool,
+    /// Dual-pool layout with an aggressive clean threshold, so log
+    /// cleaning passes run *during* the transactional workload (staged
+    /// PENDING heads, snapshot reads, and RMWs all race the relocator).
+    clean: bool,
+}
+
+impl Default for Lane {
+    fn default() -> Self {
+        Lane {
+            shards: 1,
+            replicas: 0,
+            chaos: false,
+            stale: false,
+            clean: false,
+        }
+    }
 }
 
 enum AnyDesc {
@@ -126,9 +142,16 @@ fn run_lane(seed: u64, lane: Lane) -> History {
             seed ^ 0xC0,
         )));
     }
-    let layout = StoreLayout::new(2048, 1 << 20, false);
+    let layout = if lane.clean {
+        StoreLayout::new(2048, 256 * 1024, true)
+    } else {
+        StoreLayout::new(2048, 1 << 20, false)
+    };
     let cfg = ServerConfig {
-        clean_enabled: false,
+        clean_enabled: lane.clean,
+        // With the live set a sliver of the pool, a near-zero threshold
+        // makes the cleaner run passes back to back through the workload.
+        clean_threshold: if lane.clean { 0.01 } else { 0.7 },
         snap_serve_stale: lane.stale,
         ..ServerConfig::default()
     };
@@ -214,16 +237,29 @@ fn run_lane(seed: u64, lane: Lane) -> History {
             let desc = Arc::clone(&desc);
             let out = Arc::clone(&out);
             handles.push(sim::spawn(&format!("snap-reader-{rid}"), move || {
+                use efactory::protocol::{Status, StoreError};
                 let kv = connect_txn(&f2, &format!("rnode-{rid}"), &desc);
                 for _ in 0..SNAPS_PER_READER {
-                    let capture_invoke = sim::now();
-                    let snap = kv.snapshot().expect("snapshot");
-                    let capture_complete = sim::now();
-                    let mut reads = Vec::with_capacity(KEYS);
-                    for i in 0..KEYS {
-                        let v = kv.snap_get(&key(i), &snap).expect("snap get");
-                        reads.push((key(i), v));
-                    }
+                    // A cleaning pool swap expires open snapshots
+                    // (`Status::Expired`); drop the partial read set and
+                    // re-capture — the retried snapshot is a fresh event.
+                    let (capture_invoke, capture_complete, snap, reads) = 'cap: loop {
+                        let capture_invoke = sim::now();
+                        let snap = kv.snapshot().expect("snapshot");
+                        let capture_complete = sim::now();
+                        let mut reads = Vec::with_capacity(KEYS);
+                        for i in 0..KEYS {
+                            match kv.snap_get(&key(i), &snap) {
+                                Ok(v) => reads.push((key(i), v)),
+                                Err(StoreError::Status(Status::Expired)) => {
+                                    sim::sleep(sim::micros(2));
+                                    continue 'cap;
+                                }
+                                Err(e) => panic!("snap get: {e:?}"),
+                            }
+                        }
+                        break (capture_invoke, capture_complete, snap, reads);
+                    };
                     let reads_complete = sim::now();
                     out.lock().unwrap().snaps.push(SnapEvent {
                         client: rid,
@@ -263,6 +299,24 @@ fn run_lane(seed: u64, lane: Lane) -> History {
         for h in &handles {
             h.join();
         }
+        if lane.clean {
+            // The lane only counts if the cleaner actually interleaved
+            // with the workload.
+            let shareds = match (&repl_cluster, &sharded_server) {
+                (Some(c), _) => c.shared_all(),
+                (_, Some(s)) => s.shared_all(),
+                _ => unreachable!(),
+            };
+            let cleaned: u64 = shareds
+                .iter()
+                .map(|sh| {
+                    sh.stats
+                        .cleanings
+                        .load(std::sync::atomic::Ordering::Relaxed)
+                })
+                .sum();
+            assert!(cleaned > 0, "cleaning lane ran zero cleaning passes");
+        }
         if let Some(c) = &repl_cluster {
             c.shutdown();
         }
@@ -300,6 +354,7 @@ fn serial_histories_are_consistent_across_shards() {
                 replicas: 0,
                 chaos: false,
                 stale: false,
+                clean: false,
             },
         );
         assert_eq!(h.txns.len(), WRITERS * (TXNS_PER_WRITER + RMWS_PER_WRITER));
@@ -321,6 +376,7 @@ fn replicated_histories_are_consistent() {
                 replicas: 1,
                 chaos: false,
                 stale: false,
+                clean: false,
             },
         );
         checker::assert_consistent(&h);
@@ -343,6 +399,7 @@ fn chaotic_histories_are_consistent() {
                     replicas: 0,
                     chaos: true,
                     stale: false,
+                    clean: false,
                 },
             );
             assert_eq!(
@@ -355,6 +412,37 @@ fn chaotic_histories_are_consistent() {
     }
 }
 
+/// Transactions, snapshot reads, and plain GETs stay consistent while the
+/// log cleaner runs passes *through* the workload: staged PENDING heads
+/// race the relocator's wait loop, snapshot timestamps straddle pool
+/// swaps, and the chaos cell adds drop/dup/delay on top.
+#[test]
+fn cleaning_histories_are_consistent() {
+    for (seed, shards, replicas, chaos) in [
+        (51u64, 1usize, 0usize, false),
+        (53, 4, 0, false),
+        (57, 1, 1, false),
+        (59, 4, 0, true),
+    ] {
+        let h = run_lane(
+            seed,
+            Lane {
+                shards,
+                replicas,
+                chaos,
+                clean: true,
+                ..Lane::default()
+            },
+        );
+        assert_eq!(
+            h.txns.len(),
+            WRITERS * (TXNS_PER_WRITER + RMWS_PER_WRITER),
+            "cleaning must not lose or double-count commits"
+        );
+        checker::assert_consistent(&h);
+    }
+}
+
 #[test]
 fn chaotic_history_replays_identically() {
     let lane = Lane {
@@ -362,6 +450,7 @@ fn chaotic_history_replays_identically() {
         replicas: 0,
         chaos: true,
         stale: false,
+        clean: false,
     };
     let a = run_lane(77, lane);
     let b = run_lane(77, lane);
@@ -542,6 +631,7 @@ fn stale_snapshot_server_bug_is_caught() {
             replicas: 0,
             chaos: false,
             stale: true,
+            clean: false,
         },
     );
     let v = checker::check(&h);
