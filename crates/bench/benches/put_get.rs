@@ -40,6 +40,7 @@ fn spec(system: SystemKind, mix: Mix, value_len: usize) -> ExperimentSpec {
         snap_readers: 0,
         nodes: 1,
         migrate_at: None,
+        exec: None,
     }
 }
 

@@ -22,6 +22,7 @@
 //! cargo run --release -p efactory-bench --bin txn_bench          -- --json fresh/BENCH_txn.json
 //! cargo run --release -p efactory-bench --bin cluster_bench      -- --json fresh/BENCH_cluster.json
 //! cargo run --release -p efactory-bench --bin cleaning_pressure  -- --json fresh/BENCH_cleaning.json
+//! cargo run --release -p efactory-bench --bin sim_throughput     -- --json fresh/BENCH_sim.json
 //! ```
 //!
 //! On a `stale-baseline` verdict the fix is to refresh the committed
@@ -34,7 +35,7 @@ use std::process::ExitCode;
 use efactory_bench::gate::{compare_all, diff_json, extract_metrics, Json};
 
 /// The gated report files, by repo-root baseline name.
-const GATED: [&str; 7] = [
+const GATED: [&str; 8] = [
     "BENCH_put_get.json",
     "BENCH_repl.json",
     "BENCH_pipeline.json",
@@ -42,6 +43,7 @@ const GATED: [&str; 7] = [
     "BENCH_txn.json",
     "BENCH_cluster.json",
     "BENCH_cleaning.json",
+    "BENCH_sim.json",
 ];
 
 fn load(path: &Path) -> Result<Json, String> {

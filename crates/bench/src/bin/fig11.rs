@@ -49,6 +49,7 @@ fn main() {
             snap_readers: 0,
             nodes: 1,
             migrate_at: None,
+            exec: None,
         };
         let normal = cluster::run(&base_spec(false));
         let cleaning = cluster::run(&base_spec(true));

@@ -287,6 +287,25 @@ pub const MIGRATE_P999_CEILING_X: f64 = 5.0;
 /// catches ordinary drift long before the ceiling does.
 pub const CLEAN_P999_CEILING_X: f64 = 600.0;
 
+/// Hard floor on the fiber executor's events/wall-second advantage over
+/// the thread executor at the 1M-record point (acceptance criterion of
+/// the executor-swap PR). Measured back-to-back on the same host, so the
+/// ratio is hardware-independent; a Condvar handoff costs microseconds
+/// where a fiber switch costs tens of nanoseconds, and an executor
+/// change that erodes the gap below 10× has re-serialized the hot path.
+pub const SIM_SPEEDUP_FLOOR: f64 = 10.0;
+/// Hard floor on absolute events/wall-second at the 1M-record sweep
+/// point. Deliberately conservative — ~5× below the measured reference
+/// rate, yet above anything the thread backend can reach — because its
+/// job is to fail a wedged or accidentally-quadratic kernel fast on any
+/// CI host, not to track the trajectory; the same-host speedup ratio and
+/// the deterministic event counts do that.
+pub const SIM_EPS_FLOOR: f64 = 250_000.0;
+/// Wall-clock metrics have no meaningful cross-host drift band: the
+/// committed baseline was produced on different hardware than the CI
+/// runner. `Rel(∞)` disables the band so only the hard floor gates.
+pub const FLOOR_ONLY: Tolerance = Tolerance::Rel(f64::INFINITY);
+
 /// Subsystem lanes of the breakdown's `shares` object, in lane order.
 const BREAKDOWN_SUBS: [&str; 7] = [
     "server", "client", "verifier", "cleaner", "pmem", "nic", "repl",
@@ -550,6 +569,49 @@ pub fn extract_metrics(stem: &str, report: &Json) -> Result<Vec<MetricValue>, St
                 Better::Lower,
                 Tolerance::Rel(REL_TOL),
             ));
+        }
+        "BENCH_sim" => {
+            // Event volume per sweep point: deterministic (seed + spec →
+            // exact event count, identical across executors and hosts),
+            // so the ordinary ±10% band applies. Drift here means the
+            // workload→event mapping changed, which re-scales every
+            // wall-clock number in this report.
+            for (label, tag) in [
+                ("Sim/4K/32", "sim_events_4k_c32"),
+                ("Sim/4K/1K", "sim_events_4k_c1k"),
+                ("Sim/100K/32", "sim_events_100k_c32"),
+                ("Sim/100K/1K", "sim_events_100k_c1k"),
+                ("Sim/1M/32", "sim_events_1m_c32"),
+                ("Sim/1M/1K", "sim_events_1m_c1k"),
+            ] {
+                out.push(metric(
+                    tag,
+                    field(report, label, "events_dispatched")?,
+                    Better::Lower,
+                    Tolerance::Rel(REL_TOL),
+                ));
+            }
+            // Wall-clock lanes: floor-only (see FLOOR_ONLY). The absolute
+            // events/second floor catches a wedged executor; the same-host
+            // fiber-vs-thread ratio locks the executor swap's win in.
+            let mut eps = metric(
+                "sim_eps_1m_c32",
+                field(report, "Sim/1M/32", "events_per_wall_sec")?,
+                Better::Higher,
+                FLOOR_ONLY,
+            );
+            eps.floor = Some(SIM_EPS_FLOOR);
+            out.push(eps);
+            let fiber = field(report, "Sim/1M/32", "events_per_wall_sec")?;
+            let thread = field(report, "Sim/1M/32/thread", "events_per_wall_sec")?;
+            let mut speedup = metric(
+                "sim_fiber_speedup_1m",
+                fiber / thread.max(1.0),
+                Better::Higher,
+                FLOOR_ONLY,
+            );
+            speedup.floor = Some(SIM_SPEEDUP_FLOOR);
+            out.push(speedup);
         }
         _ => {}
     }
@@ -934,6 +996,54 @@ mod tests {
         let half =
             Json::parse(r#"{"entries":[{"label":"Update-only/256B","breakdown":{}}]}"#).unwrap();
         assert!(extract_metrics("BENCH_breakdown", &half).is_err());
+    }
+
+    #[test]
+    fn sim_floors_are_hard_and_event_counts_are_banded() {
+        let sim = |events_1m: u64, fiber_eps: f64, thread_eps: f64| {
+            let mut entries = String::new();
+            for label in ["Sim/4K/32", "Sim/4K/1K", "Sim/100K/32", "Sim/100K/1K"] {
+                entries.push_str(&format!(
+                    r#"{{"label":"{label}","events_dispatched":1000,
+                        "events_per_wall_sec":5e6}},"#
+                ));
+            }
+            let doc = format!(
+                r#"{{"entries":[{entries}
+                    {{"label":"Sim/1M/32","events_dispatched":{events_1m},
+                      "events_per_wall_sec":{fiber_eps}}},
+                    {{"label":"Sim/1M/1K","events_dispatched":{events_1m},
+                      "events_per_wall_sec":{fiber_eps}}},
+                    {{"label":"Sim/1M/32/thread","events_dispatched":{events_1m},
+                      "events_per_wall_sec":{thread_eps}}}]}}"#
+            );
+            extract_metrics("BENCH_sim", &Json::parse(&doc).unwrap()).unwrap()
+        };
+        // Wall-clock lanes carry no drift band: halved (or tripled)
+        // events/second on a slower host still passes as long as the
+        // floors hold — only the deterministic event counts are banded.
+        let good = sim(80_000_000, 8e6, 3e5);
+        let rows = compare_all(&good, &sim(80_000_000, 4e6, 1.4e5));
+        assert!(rows.iter().all(|r| !r.verdict.failing()), "{rows:?}");
+        // A 20% event-volume drift at the 1M point is a workload change
+        // and fails the band even though wall metrics are in bounds.
+        let rows = compare_all(&good, &sim(96_000_000, 8e6, 3e5));
+        let ev = rows.iter().find(|r| r.name == "sim_events_1m_c32").unwrap();
+        assert_eq!(ev.verdict, Verdict::Regressed);
+        // The floors are hard: a baseline already below them must not let
+        // a matching fresh run slide — 6× fiber speedup fails the 10×
+        // floor, and sub-floor absolute throughput fails too.
+        let slow = sim(80_000_000, 1.8e6, 3e5);
+        let rows = compare_all(&slow, &slow.clone());
+        let sp = rows
+            .iter()
+            .find(|r| r.name == "sim_fiber_speedup_1m")
+            .unwrap();
+        assert_eq!(sp.verdict, Verdict::FloorViolation);
+        let wedged = sim(80_000_000, 2e5, 1e4);
+        let rows = compare_all(&good, &wedged);
+        let eps = rows.iter().find(|r| r.name == "sim_eps_1m_c32").unwrap();
+        assert_eq!(eps.verdict, Verdict::FloorViolation);
     }
 
     #[test]

@@ -299,8 +299,14 @@ impl StoreLayout {
         let need = (keys + updates) * obj;
         let pool_len = ((need as f64 * slack) as usize).max(64 * 1024);
         // Fill factor ≤ 0.25: linear probing within an NPROBE window must
-        // essentially never exhaust it.
-        let buckets = (keys * 4).max(crate::hashtable::NPROBE * 8);
+        // essentially never exhaust it. That holds to ~10^5 keys, but the
+        // expected count of full 16-bucket windows scales linearly with
+        // table size (probe-run clustering on top of ρ^NPROBE), and at a
+        // million keys a 0.25-fill table does overflow in practice — so
+        // large tables halve the fill again. The threshold leaves every
+        // paper-scale layout (≤64K keys) byte-identical.
+        let per_key = if keys >= 256 * 1024 { 8 } else { 4 };
+        let buckets = (keys * per_key).max(crate::hashtable::NPROBE * 8);
         Self::new(buckets, pool_len, two_pools)
     }
 }
@@ -430,6 +436,18 @@ mod tests {
         let [a, _] = l.regions();
         assert!(a.len() >= 11_000 * object_size(32, 1024));
         assert!(l.ht_buckets >= 2000);
+    }
+
+    #[test]
+    fn workload_sizing_widens_million_key_tables() {
+        // Paper-scale layouts keep the historical 0.25 fill exactly (any
+        // change would shift pool offsets and re-time every committed
+        // baseline); the scale sweep's million-key tables get 0.125 so
+        // NPROBE windows survive probe-run clustering.
+        let small = StoreLayout::for_workload(100_000, 0, 32, 64, 1.3, false);
+        assert_eq!(small.ht_buckets, 400_000);
+        let large = StoreLayout::for_workload(1_000_000, 0, 32, 64, 1.3, false);
+        assert_eq!(large.ht_buckets, 8_000_000);
     }
 
     #[test]

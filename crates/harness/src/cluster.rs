@@ -163,6 +163,12 @@ pub struct ExperimentSpec {
     /// this many virtual nanoseconds after the measurement window opens,
     /// while the measured workload keeps flowing. Requires `nodes > 1`.
     pub migrate_at: Option<Nanos>,
+    /// Simulation executor override (`None` = the process default, i.e.
+    /// `EF_SIM_EXEC` or fibers). Used by the equivalence tests and the
+    /// `sim_throughput` bench to pin a backend per run. Deliberately
+    /// excluded from report params: both backends produce byte-identical
+    /// reports, and stamping the executor would break that check.
+    pub exec: Option<efactory_sim::ExecModel>,
 }
 
 /// Keys per multi-key transaction (and per snapshot read) in the
@@ -200,6 +206,7 @@ impl ExperimentSpec {
             snap_readers: 0,
             nodes: 1,
             migrate_at: None,
+            exec: None,
         }
     }
 }
@@ -882,7 +889,10 @@ fn run_inner(
     obs: Option<Obs>,
 ) -> RunResult {
     let obs = obs.unwrap_or_default();
-    let mut simu = Sim::new(spec.seed);
+    let mut simu = match spec.exec {
+        Some(model) => Sim::with_exec(spec.seed, model),
+        None => Sim::new(spec.seed),
+    };
     let fabric = Fabric::new(cost);
     if let Some(plan) = spec.fault_plan {
         fabric.set_fault_plan(Some(plan));
@@ -1248,6 +1258,24 @@ fn run_inner(
     obs.registry
         .counter("obs.trace_dropped")
         .store(obs.tracer.dropped(), Ordering::Relaxed);
+    // Mirror the kernel's execution telemetry the same way. Only the
+    // backend-invariant counters go in (`stack_bytes` stays out): these
+    // values are a function of the deterministic event sequence, so a
+    // fiber run and a thread run of the same spec report identical
+    // numbers — the equivalence tests assert exactly that.
+    let sc = simu.counters().backend_invariant();
+    for (name, v) in [
+        ("sim.events_scheduled", sc.events_scheduled),
+        ("sim.events_dispatched", sc.events_dispatched),
+        ("sim.calls", sc.calls),
+        ("sim.chan_wakes", sc.chan_wakes),
+        ("sim.wakes_stale", sc.wakes_stale),
+        ("sim.ctx_switches", sc.ctx_switches),
+        ("sim.allocs", sc.allocs),
+        ("sim.slab_reused", sc.slab_reused),
+    ] {
+        obs.registry.counter(name).store(v, Ordering::Relaxed);
+    }
     // Fold the trace into the per-op critical-path breakdown, clipped to
     // the measurement window (preload ops start before `start` and are
     // excluded by min_start).

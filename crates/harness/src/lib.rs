@@ -55,6 +55,7 @@ mod tests {
             snap_readers: 0,
             nodes: 1,
             migrate_at: None,
+            exec: None,
         }
     }
 
@@ -193,6 +194,7 @@ mod tests {
             snap_readers: 0,
             nodes: 1,
             migrate_at: None,
+            exec: None,
         };
         let r = run(&spec);
         assert!(r.cleanings >= 1, "expected cleaning, got {r:?}");

@@ -224,6 +224,7 @@ mod tests {
             snap_readers: 0,
             nodes: 1,
             migrate_at: None,
+            exec: None,
         }
     }
 

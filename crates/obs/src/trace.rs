@@ -14,7 +14,6 @@
 //! subsystems at record time. Everything is deterministic — the export is
 //! byte-identical across same-seed runs.
 
-use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
@@ -119,18 +118,18 @@ pub struct TraceRecord {
     pub args: Vec<(&'static str, u64)>,
 }
 
-thread_local! {
-    static CURRENT_OP: Cell<u64> = const { Cell::new(0) };
-}
-
-/// The op id active on this thread (0 when none). Simulated processes are
-/// OS threads that run one at a time, so a thread-local is exactly
-/// per-process context.
+/// The op id active for the current simulated *process* (0 when none).
+///
+/// Stored in the sim kernel's per-process context slot, not a thread-local:
+/// with the fiber executor every process shares the driver thread, and a
+/// thread-local would leak one process's op id into the next at every park
+/// point. Outside a simulation the kernel falls back to a per-thread slot,
+/// so driver/test code behaves as before.
 pub fn current_op() -> u64 {
-    CURRENT_OP.with(|c| c.get())
+    efactory_sim::op_ctx_get()
 }
 
-/// Marks the current thread as executing op `op` until dropped; spans and
+/// Marks the current process as executing op `op` until dropped; spans and
 /// events recorded meanwhile inherit the id. Nests: the previous id is
 /// restored on drop.
 pub struct OpScope {
@@ -138,16 +137,16 @@ pub struct OpScope {
 }
 
 impl OpScope {
-    /// Enter op `op` on this thread.
+    /// Enter op `op` for the current process.
     pub fn enter(op: u64) -> OpScope {
-        let prev = CURRENT_OP.with(|c| c.replace(op));
+        let prev = efactory_sim::op_ctx_replace(op);
         OpScope { prev }
     }
 }
 
 impl Drop for OpScope {
     fn drop(&mut self) {
-        CURRENT_OP.with(|c| c.set(self.prev));
+        efactory_sim::op_ctx_replace(self.prev);
     }
 }
 

@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::kernel::{with_current, EventKind, Kernel, Pid};
+use crate::kernel::{with_current, EventKind, Kernel, Pid, WakeTarget};
 use crate::time::Nanos;
 
 struct QueuedMsg<T> {
@@ -61,6 +61,17 @@ impl<T> ChanInner<T> {
         for (pid, ticket) in state.waiters.drain(..) {
             kernel.schedule(at, EventKind::Wake { pid, ticket });
         }
+    }
+}
+
+// Channel delivery is the hottest event in the simulator; implementing
+// `WakeTarget` on the channel itself lets a send schedule an `Arc` clone
+// instead of boxing a fresh closure per message.
+impl<T: Send + 'static> WakeTarget for ChanInner<T> {
+    fn wake_all(&self, kernel: &Arc<Kernel>) {
+        let mut st = self.state.lock();
+        let at = kernel.now();
+        ChanInner::wake_waiters(&mut st, kernel, at);
     }
 }
 
@@ -118,17 +129,13 @@ impl<T: Send + 'static> Sender<T> {
         st.next_seq += 1;
         st.queue.push(QueuedMsg { ready_at, seq, msg });
         // Wake parked receivers at the instant the message becomes ready.
-        // Scheduling a Call (rather than draining waiters now) is essential:
-        // a later send with a *smaller* delay must be able to wake them
-        // earlier.
-        let inner = Arc::clone(&self.inner);
+        // Scheduling an event (rather than draining waiters now) is
+        // essential: a later send with a *smaller* delay must be able to
+        // wake them earlier.
+        drop(st);
         self.kernel.schedule(
             ready_at,
-            EventKind::Call(Box::new(move |k| {
-                let mut st = inner.state.lock();
-                let at = k.now();
-                ChanInner::wake_waiters(&mut st, k, at);
-            })),
+            EventKind::WakeAll(Arc::clone(&self.inner) as Arc<dyn WakeTarget>),
         );
         Ok(())
     }

@@ -1,0 +1,348 @@
+//! User-space stackful coroutines ("fibers") for the simulation kernel.
+//!
+//! The fiber executor runs every simulated process on the *driver* thread:
+//! granting an event to a process is a user-space context switch (save six
+//! callee-saved registers + swap `rsp`, ~tens of nanoseconds) instead of a
+//! Condvar park/wake round trip between two OS threads (~microseconds, plus
+//! an OS scheduler trip). Processes keep their blocking call style —
+//! `sleep`, `recv`, `join` — because each fiber owns a real stack; yielding
+//! switches back to the driver's stack mid-call.
+//!
+//! # Safety model
+//!
+//! - Only the driver thread ever switches fibers, and only one fiber runs at
+//!   a time, so fiber stacks need no synchronization.
+//! - Panics never unwind across the assembly switch: the kernel wraps every
+//!   process body in `catch_unwind` *inside* the fiber, so an unwind (user
+//!   panic or teardown [`AbortToken`](super::kernel)) starts and stops on the
+//!   fiber's own stack.
+//! - Stacks are heap allocations (no `mmap` guard pages are available in
+//!   this dependency-free build). A canary word at the low end is checked on
+//!   every switch back to the driver; overflow fails loudly instead of
+//!   corrupting silently. The default stack is deliberately generous
+//!   (lazily committed by the OS) and tunable via `EF_SIM_STACK_KB`.
+//!
+//! The assembly is x86_64 System-V only. On other targets
+//! [`SUPPORTED`] is `false` and the kernel falls back to the thread-backed
+//! executor, which implements identical semantics.
+
+#[cfg(all(target_arch = "x86_64", not(target_os = "windows")))]
+mod imp {
+    use std::alloc::{alloc, dealloc, Layout};
+    use std::arch::naked_asm;
+    use std::cell::Cell;
+
+    pub(crate) const SUPPORTED: bool = true;
+
+    /// Canary written at the lowest address of every fiber stack.
+    const CANARY: u64 = 0xEFAC_510C_0F1B_E57A;
+
+    /// Default stack size: 2 MiB, the same as the OS threads it replaces.
+    /// Virtual, not resident — untouched pages are never committed.
+    const DEFAULT_STACK: usize = 2 * 1024 * 1024;
+
+    fn stack_size() -> usize {
+        use std::sync::OnceLock;
+        static SIZE: OnceLock<usize> = OnceLock::new();
+        *SIZE.get_or_init(|| {
+            std::env::var("EF_SIM_STACK_KB")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .map(|kb| kb * 1024)
+                .unwrap_or(DEFAULT_STACK)
+                .clamp(64 * 1024, 1 << 30)
+                // Keep the stack top 16-aligned.
+                & !15
+        })
+    }
+
+    /// Save the six SysV callee-saved registers plus `rsp` into `*save`,
+    /// then load `rsp` from `*load` and pop the same set. Falling off the
+    /// end `ret`s into whatever the target stack has as a return address —
+    /// either a previous `fiber_switch` frame or the entry thunk of a fresh
+    /// fiber.
+    #[unsafe(naked)]
+    unsafe extern "C" fn fiber_switch(_save: *mut usize, _load: *const usize) {
+        naked_asm!(
+            "push rbp",
+            "push rbx",
+            "push r12",
+            "push r13",
+            "push r14",
+            "push r15",
+            "mov [rdi], rsp",
+            "mov rsp, [rsi]",
+            "pop r15",
+            "pop r14",
+            "pop r13",
+            "pop r12",
+            "pop rbx",
+            "pop rbp",
+            "ret",
+        )
+    }
+
+    /// First code a fresh fiber executes. The initial frame parks the
+    /// payload pointer in the saved-`r12` slot; move it to the first
+    /// argument register and enter Rust. `fiber_entry` never returns, so
+    /// the trailing `ud2` is unreachable.
+    #[unsafe(naked)]
+    unsafe extern "C" fn fiber_thunk() {
+        naked_asm!(
+            "mov rdi, r12",
+            "call {entry}",
+            "ud2",
+            entry = sym fiber_entry,
+        )
+    }
+
+    struct Payload {
+        body: Box<dyn FnOnce() + Send>,
+    }
+
+    extern "C" fn fiber_entry(raw: *mut Payload) -> ! {
+        // Re-box and run the process body. The body (built by the kernel)
+        // contains its own `catch_unwind`, so no unwind escapes this frame.
+        {
+            let payload = unsafe { Box::from_raw(raw) };
+            (payload.body)();
+        }
+        // Everything the body owned is dropped; hand the stack back to the
+        // driver for good.
+        let me = ACTIVE.with(|a| a.get());
+        debug_assert!(!me.is_null(), "fiber finished with no active fiber");
+        unsafe {
+            (*me).done = true;
+            loop {
+                // `done` makes the driver free this stack instead of
+                // resuming it; the loop only guards against a buggy resume.
+                fiber_switch(&mut (*me).fiber_rsp, &(*me).driver_rsp);
+            }
+        }
+    }
+
+    thread_local! {
+        /// The fiber currently executing on this thread (null on the
+        /// driver's own stack). Set around every switch by [`raw_resume`].
+        static ACTIVE: Cell<*mut Fiber> = const { Cell::new(std::ptr::null_mut()) };
+    }
+
+    struct StackMem {
+        base: *mut u8,
+        layout: Layout,
+    }
+
+    impl StackMem {
+        fn new(size: usize) -> StackMem {
+            let layout = Layout::from_size_align(size, 16).expect("bad stack layout");
+            let base = unsafe { alloc(layout) };
+            assert!(!base.is_null(), "fiber stack allocation failed");
+            unsafe { (base as *mut u64).write(CANARY) };
+            StackMem { base, layout }
+        }
+
+        fn top(&self) -> *mut u8 {
+            unsafe { self.base.add(self.layout.size()) }
+        }
+
+        fn canary_intact(&self) -> bool {
+            unsafe { (self.base as *const u64).read() == CANARY }
+        }
+    }
+
+    impl Drop for StackMem {
+        fn drop(&mut self) {
+            unsafe { dealloc(self.base, self.layout) };
+        }
+    }
+
+    pub(super) struct Fiber {
+        stack: StackMem,
+        /// Saved `rsp` of the suspended fiber.
+        fiber_rsp: usize,
+        /// Saved `rsp` of the driver while the fiber runs.
+        driver_rsp: usize,
+        done: bool,
+    }
+
+    impl Fiber {
+        /// Build a fiber whose first resume runs `body` from the top of a
+        /// fresh stack. Layout of the hand-crafted initial frame (slot `i`
+        /// is `top - 8*i`), consumed by `fiber_switch`'s pop sequence:
+        ///
+        /// ```text
+        ///   1: 0            terminal return address for stack walkers
+        ///   2: 0            padding (keeps the thunk's `call` 16-aligned)
+        ///   3: fiber_thunk  popped by `ret`
+        ///   4: 0 (rbp)  5: 0 (rbx)  6: payload (r12)
+        ///   7: 0 (r13)  8: 0 (r14)  9: 0 (r15)   <- initial rsp
+        /// ```
+        fn create(body: Box<dyn FnOnce() + Send>) -> Box<Fiber> {
+            let stack = StackMem::new(stack_size());
+            let payload = Box::into_raw(Box::new(Payload { body }));
+            let top = stack.top();
+            debug_assert_eq!(top as usize % 16, 0);
+            unsafe {
+                let slot = |i: usize| top.sub(8 * i) as *mut u64;
+                slot(1).write(0);
+                slot(2).write(0);
+                slot(3).write(fiber_thunk as *const () as usize as u64);
+                slot(4).write(0);
+                slot(5).write(0);
+                slot(6).write(payload as usize as u64);
+                slot(7).write(0);
+                slot(8).write(0);
+                slot(9).write(0);
+                Box::new(Fiber {
+                    fiber_rsp: slot(9) as usize,
+                    driver_rsp: 0,
+                    stack,
+                    done: false,
+                })
+            }
+        }
+    }
+
+    /// Switch from the driver to `f` and back. Returns when `f` parks or
+    /// finishes.
+    ///
+    /// # Safety
+    /// Caller must be the only thread resuming fibers and `f` must be
+    /// suspended (fresh or parked), never running or done.
+    unsafe fn raw_resume(f: *mut Fiber) {
+        let prev = ACTIVE.with(|a| a.replace(f));
+        unsafe { fiber_switch(&mut (*f).driver_rsp, &(*f).fiber_rsp) };
+        ACTIVE.with(|a| a.set(prev));
+        assert!(
+            unsafe { (*f).stack.canary_intact() },
+            "fiber stack overflow detected (raise EF_SIM_STACK_KB)"
+        );
+    }
+
+    /// Yield from the currently running fiber back to the driver. Returns
+    /// when the driver resumes this fiber again.
+    pub(crate) fn switch_to_driver() {
+        let me = ACTIVE.with(|a| a.get());
+        assert!(
+            !me.is_null(),
+            "fiber park outside a fiber (kernel/backend mismatch)"
+        );
+        unsafe { fiber_switch(&mut (*me).fiber_rsp, &(*me).driver_rsp) };
+    }
+
+    enum Slot {
+        /// Spawned; body not yet installed (see `set_body`).
+        Empty,
+        /// Body installed, fiber not yet started: no stack exists.
+        New(Box<dyn FnOnce() + Send>),
+        Running(Box<Fiber>),
+        Done,
+    }
+
+    /// Per-process fiber state, owned by the kernel's `Proc`.
+    ///
+    /// Wrapped in `UnsafeCell` because `Proc` is shared behind `Arc`, but
+    /// every access funnels through the single driver thread (or the thread
+    /// dropping the `Sim`, which runs strictly after the driver is out of
+    /// `run`), so no synchronization is needed — mirroring how fiber stacks
+    /// themselves are single-threaded.
+    pub(crate) struct FiberSlot(std::cell::UnsafeCell<Slot>);
+
+    unsafe impl Send for FiberSlot {}
+    unsafe impl Sync for FiberSlot {}
+
+    impl FiberSlot {
+        pub(crate) fn new() -> FiberSlot {
+            FiberSlot(std::cell::UnsafeCell::new(Slot::Empty))
+        }
+
+        /// Install the process body. Must happen before the first resume.
+        pub(crate) fn set_body(&self, body: Box<dyn FnOnce() + Send>) {
+            let slot = unsafe { &mut *self.0.get() };
+            debug_assert!(matches!(slot, Slot::Empty), "fiber body set twice");
+            *slot = Slot::New(body);
+        }
+
+        /// Run the fiber until it parks or finishes, returning the stack
+        /// bytes allocated by this resume (nonzero on the first resume
+        /// only). Lazily allocates the stack; frees it as soon as the
+        /// fiber finishes.
+        ///
+        /// # Safety
+        /// Driver-thread only; the fiber must currently be suspended.
+        pub(crate) unsafe fn resume(&self) -> usize {
+            let slot = unsafe { &mut *self.0.get() };
+            let mut stack_allocated = 0;
+            if matches!(slot, Slot::New(_)) {
+                let Slot::New(body) = std::mem::replace(slot, Slot::Done) else {
+                    unreachable!()
+                };
+                stack_allocated = stack_size();
+                *slot = Slot::Running(Fiber::create(body));
+            }
+            match slot {
+                Slot::Running(f) => {
+                    let fp: *mut Fiber = &mut **f;
+                    unsafe { raw_resume(fp) };
+                    if unsafe { (*fp).done } {
+                        *slot = Slot::Done; // drops the Box<Fiber> + stack
+                    }
+                    stack_allocated
+                }
+                Slot::Empty => panic!("fiber resumed before its body was set"),
+                Slot::Done => stack_allocated,
+                Slot::New(_) => unreachable!(),
+            }
+        }
+
+        /// Drop a never-started body (teardown of a process that was
+        /// spawned but never granted execution). Returns whether there was
+        /// one. Breaks the `body -> Arc<Kernel> -> Proc -> body` cycle.
+        pub(crate) fn discard_unstarted(&self) -> bool {
+            let slot = unsafe { &mut *self.0.get() };
+            if matches!(slot, Slot::Empty | Slot::New(_)) {
+                *slot = Slot::Done;
+                true
+            } else {
+                false
+            }
+        }
+    }
+}
+
+#[cfg(not(all(target_arch = "x86_64", not(target_os = "windows"))))]
+mod imp {
+    //! Stub for targets without a context-switch implementation. The kernel
+    //! resolves `ExecModel::Fiber` to `ExecModel::Thread` when
+    //! `SUPPORTED` is false, so none of this is reachable.
+
+    pub(crate) const SUPPORTED: bool = false;
+
+    pub(crate) fn switch_to_driver() {
+        unreachable!("fiber executor unsupported on this target")
+    }
+
+    pub(crate) struct FiberSlot(());
+
+    impl FiberSlot {
+        pub(crate) fn new() -> FiberSlot {
+            FiberSlot(())
+        }
+
+        pub(crate) fn set_body(&self, _body: Box<dyn FnOnce() + Send>) {
+            unreachable!("fiber executor unsupported on this target")
+        }
+
+        /// # Safety
+        /// Never called: unsupported target.
+        pub(crate) unsafe fn resume(&self) -> usize {
+            unreachable!("fiber executor unsupported on this target")
+        }
+
+        pub(crate) fn discard_unstarted(&self) -> bool {
+            true
+        }
+    }
+}
+
+pub(crate) use imp::{switch_to_driver, FiberSlot, SUPPORTED};

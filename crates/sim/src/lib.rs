@@ -10,12 +10,16 @@
 //!
 //! * A [`Sim`] owns a virtual clock (nanoseconds, starting at 0) and an event
 //!   queue ordered by `(time, sequence-number)`.
-//! * A *process* ([`spawn`](Sim::spawn)) is an OS thread that runs ordinary
-//!   blocking Rust code, but every blocking operation — [`sleep`],
-//!   [`Receiver::recv`], [`ProcessHandle::join`] — parks the thread and hands
-//!   control back to the driver. Exactly one process executes at any moment,
-//!   so execution is fully serialized and deterministic, independent of the
-//!   host's core count or scheduler.
+//! * A *process* ([`spawn`](Sim::spawn)) runs ordinary blocking Rust code,
+//!   but every blocking operation — [`sleep`], [`Receiver::recv`],
+//!   [`ProcessHandle::join`] — parks the process and hands control back to
+//!   the driver. Exactly one process executes at any moment, so execution is
+//!   fully serialized and deterministic, independent of the host's core
+//!   count or scheduler. Processes are hosted either as user-space *fibers*
+//!   on the driver thread (default — a grant costs one register-swap context
+//!   switch) or as one OS thread each (the original executor, kept for
+//!   equivalence testing and portability); see [`ExecModel`]. Both backends
+//!   produce bit-identical event orders.
 //! * [`channel`] / [`Sim::channel`] build MPMC channels whose sends carry a
 //!   **virtual latency**: `tx.send(msg, delay)` makes the message visible to
 //!   receivers `delay` virtual nanoseconds later. These model wires, NIC
@@ -51,12 +55,13 @@
 //! ```
 
 mod chan;
+mod fiber;
 mod kernel;
 mod time;
 
 pub use chan::{channel, Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError};
 pub use kernel::{
-    call_at, current_pid, in_process, now, sleep, sleep_until, spawn, try_now, work, yield_now,
-    Pid, ProcessHandle, RunOutcome, Sim,
+    call_at, current_pid, in_process, now, op_ctx_get, op_ctx_replace, sleep, sleep_until, spawn,
+    try_now, work, yield_now, ExecModel, Pid, ProcessHandle, RunOutcome, Sim, SimCounters,
 };
 pub use time::{micros, millis, secs, Nanos};

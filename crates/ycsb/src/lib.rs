@@ -119,10 +119,11 @@ impl Mix {
 #[derive(Debug, Clone)]
 pub struct Zipfian {
     n: u64,
-    theta: f64,
     alpha: f64,
     zetan: f64,
     eta: f64,
+    /// Precomputed `0.5^theta` — the rank-1 threshold used on every draw.
+    half_pow_theta: f64,
 }
 
 impl Zipfian {
@@ -132,14 +133,14 @@ impl Zipfian {
     /// Generator over `0..n` with skew `theta`.
     pub fn with_theta(n: u64, theta: f64) -> Self {
         assert!(n > 0, "zipfian over empty range");
-        let zetan = Self::zeta(n, theta);
+        let zetan = Self::zeta_cached(n, theta);
         let zeta2theta = Self::zeta(2, theta);
         Zipfian {
             n,
-            theta,
             alpha: 1.0 / (1.0 - theta),
             zetan,
             eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan),
+            half_pow_theta: 0.5f64.powf(theta),
         }
     }
 
@@ -152,6 +153,24 @@ impl Zipfian {
         (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
     }
 
+    /// `zeta(n, theta)`, memoized process-wide. The harmonic sum is O(n)
+    /// `pow` calls; at 10^6 records *per client stream* it dominates setup,
+    /// yet every stream of a run asks for the same `(n, theta)`. The sum is
+    /// evaluated once in its usual left-to-right order, so the cached value
+    /// is bit-identical to a fresh computation and determinism is unaffected.
+    fn zeta_cached(n: u64, theta: f64) -> f64 {
+        use std::sync::Mutex;
+        static CACHE: Mutex<Vec<(u64, u64, f64)>> = Mutex::new(Vec::new());
+        let key = theta.to_bits();
+        let mut cache = CACHE.lock().unwrap();
+        if let Some(&(_, _, z)) = cache.iter().find(|&&(cn, ct, _)| cn == n && ct == key) {
+            return z;
+        }
+        let z = Self::zeta(n, theta);
+        cache.push((n, key, z));
+        z
+    }
+
     /// Next rank in `0..n`; rank 0 is the most popular.
     pub fn next<R: Rng>(&self, rng: &mut R) -> u64 {
         let u: f64 = rng.gen();
@@ -159,7 +178,7 @@ impl Zipfian {
         if uz < 1.0 {
             return 0;
         }
-        if uz < 1.0 + 0.5f64.powf(self.theta) {
+        if uz < 1.0 + self.half_pow_theta {
             return 1;
         }
         let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
@@ -248,7 +267,28 @@ impl WorkloadConfig {
 /// zero-padded decimal, truncated to `len`.
 pub fn make_key(len: usize, id: u64) -> Vec<u8> {
     assert!(len >= 8, "keys shorter than 8 bytes are not supported");
-    let mut key = format!("user{id:0width$}", width = len - 4).into_bytes();
+    // Hand-rolled `format!("user{id:0width$}")`: key generation runs once
+    // per op and once per preloaded record, and the formatting machinery
+    // was a visible slice of million-record sweeps.
+    let width = len - 4;
+    let mut digits = [0u8; 20];
+    let mut n = 0;
+    let mut x = id;
+    loop {
+        digits[n] = b'0' + (x % 10) as u8;
+        n += 1;
+        x /= 10;
+        if x == 0 {
+            break;
+        }
+    }
+    let body = n.max(width);
+    let mut key = Vec::with_capacity(4 + body);
+    key.extend_from_slice(b"user");
+    key.resize(4 + body - n, b'0');
+    for i in (0..n).rev() {
+        key.push(digits[i]);
+    }
     key.truncate(len);
     key
 }
@@ -599,6 +639,16 @@ mod tests {
             #[test]
             fn keys_roundtrip_width(len in 8usize..64, id in any::<u64>()) {
                 prop_assert_eq!(make_key(len, id).len(), len);
+            }
+
+            #[test]
+            fn keys_match_reference_format(len in 8usize..64, id in any::<u64>()) {
+                // The hand-rolled encoder must agree byte-for-byte with the
+                // original `format!` implementation (key bytes feed CRCs and
+                // placement hashes, so any drift breaks replay).
+                let mut k = format!("user{id:0width$}", width = len - 4).into_bytes();
+                k.truncate(len);
+                prop_assert_eq!(make_key(len, id), k);
             }
         }
     }

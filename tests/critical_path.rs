@@ -40,6 +40,7 @@ fn base(mix: Mix, seed: u64) -> ExperimentSpec {
         snap_readers: 0,
         nodes: 1,
         migrate_at: None,
+        exec: None,
     }
 }
 

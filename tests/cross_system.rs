@@ -247,6 +247,7 @@ fn fabric_counters_reproducible_across_identical_runs() {
         snap_readers: 0,
         nodes: 1,
         migrate_at: None,
+        exec: None,
     };
     let a = cluster::run(&spec);
     let b = cluster::run(&spec);
@@ -291,6 +292,7 @@ fn harness_accounting_is_exact_for_all_mixes() {
             snap_readers: 0,
             nodes: 1,
             migrate_at: None,
+            exec: None,
         };
         let r = cluster::run(&spec);
         assert_eq!(r.total_ops, 120);

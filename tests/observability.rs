@@ -29,6 +29,7 @@ fn tiny_spec() -> ExperimentSpec {
         snap_readers: 0,
         nodes: 1,
         migrate_at: None,
+        exec: None,
     }
 }
 

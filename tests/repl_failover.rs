@@ -218,6 +218,7 @@ fn replicated_runs_are_byte_identical() {
         snap_readers: 0,
         nodes: 1,
         migrate_at: None,
+        exec: None,
     };
     let a = run(&spec);
     let b = run(&spec);

@@ -36,6 +36,7 @@ fn spec() -> ExperimentSpec {
         snap_readers: 0,
         nodes: 1,
         migrate_at: None,
+        exec: None,
     }
 }
 
@@ -165,6 +166,17 @@ fn every_registered_counter_lands_in_the_report() {
         "fabric.fault.retrans",
         // tracer health
         "obs.trace_dropped",
+        // sim-kernel execution telemetry (all backend-invariant: the one
+        // backend-dependent counter, stack_bytes, is deliberately kept
+        // out of reports so fiber and thread runs stay byte-identical)
+        "sim.events_scheduled",
+        "sim.events_dispatched",
+        "sim.calls",
+        "sim.chan_wakes",
+        "sim.wakes_stale",
+        "sim.ctx_switches",
+        "sim.allocs",
+        "sim.slab_reused",
         // transaction layer (client side)
         "client.txn.commits",
         "client.txn.conflicts",
